@@ -1,0 +1,33 @@
+"""Ablations beyond the paper: forecast noise, search granularity,
+carbon-tax pricing."""
+
+
+def test_forecast_noise(regenerate):
+    result = regenerate("ablation-forecast")
+    savings = result.column("carbon_saving_pct")
+    # Perfect forecasts are the upper bound; heavy noise erodes savings
+    # but the policy degrades gracefully (still clearly positive).
+    assert savings[0] == max(savings)
+    assert savings[-1] > 0.5 * savings[0]
+
+
+def test_granularity(regenerate):
+    result = regenerate("ablation-granularity")
+    savings = {row["granularity_min"]: row["carbon_saving_pct"] for row in result.rows}
+    # Hourly candidates already capture nearly all the savings of
+    # minute-exact search (CI is piecewise-constant per hour).
+    assert savings[60] > 0.95 * savings[1]
+    # The default (5 min) is within a fraction of a percent of exact.
+    assert abs(savings[5] - savings[1]) < 1.0
+
+
+def test_carbon_tax(regenerate):
+    result = regenerate("ablation-carbon-tax")
+    rows = sorted(result.rows, key=lambda row: row["carbon_price_usd_per_kg"])
+    # A carbon price widens the carbon-aware policy's cost advantage: the
+    # gap (agnostic - aware) grows with the carbon price.
+    gaps = [row["agnostic_cost"] - row["aware_cost"] for row in rows]
+    assert gaps == sorted(gaps)
+    # Carbon savings themselves are price-independent (same schedule).
+    savings = {row["carbon_saving_pct"] for row in rows}
+    assert max(savings) - min(savings) < 1e-9

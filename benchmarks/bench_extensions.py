@@ -1,0 +1,119 @@
+"""Future-work extensions beyond the paper's evaluation."""
+
+
+def test_ext_suspend_resume(regenerate):
+    result = regenerate("ext-suspend-resume")
+    rows = {row["policy"]: row for row in result.rows}
+    # GAIA-SR beats the contiguous Lowest-Window on carbon with the same
+    # (queue-average) knowledge...
+    assert rows["GAIA-SR"]["carbon_saving_pct"] > (
+        rows["Lowest-Window"]["carbon_saving_pct"]
+    )
+    # ... and closes most of the gap to exact-knowledge Wait Awhile.
+    gap_contiguous = (
+        rows["Wait Awhile"]["carbon_saving_pct"]
+        - rows["Lowest-Window"]["carbon_saving_pct"]
+    )
+    gap_sr = (
+        rows["Wait Awhile"]["carbon_saving_pct"] - rows["GAIA-SR"]["carbon_saving_pct"]
+    )
+    assert gap_sr < 0.75 * gap_contiguous
+    # Suspension costs waiting, as the paper predicts for this extension.
+    assert rows["GAIA-SR"]["mean_wait_h"] > rows["Lowest-Window"]["mean_wait_h"] * 0.9
+
+
+def test_ext_checkpointing(regenerate):
+    result = regenerate("ext-checkpointing")
+    for row in result.rows:
+        # Checkpoints shrink redone work; dramatically so for long jobs
+        # (many checkpoints fit), modestly for <=2 h jobs.
+        ratio = 0.6 if row["jmax_h"] <= 2 else 0.4
+        assert row["ckpt_lost_h"] < ratio * max(row["plain_lost_h"], 1e-9)
+    # ... so large J^max keeps paying where plain spot stalls (Fig. 18's
+    # conclusion reverses).
+    by_jmax = {row["jmax_h"]: row for row in result.rows}
+    assert by_jmax[24]["ckpt_cost"] < by_jmax[6]["ckpt_cost"]
+    assert by_jmax[24]["ckpt_cost"] < by_jmax[24]["plain_cost"]
+    assert by_jmax[24]["ckpt_carbon"] < by_jmax[24]["plain_carbon"]
+
+
+def test_ext_federation(regenerate):
+    result = regenerate("ext-federation")
+    rows = {row["selector"]: row for row in result.rows}
+    home = rows["home:CA-US"]
+    joint = rows["spatio-temporal"]
+    greedy = rows["greedy-spatial"]
+    # Spatial freedom adds savings over staying home with the same
+    # temporal policy.
+    assert joint["carbon_saving_pct"] > home["carbon_saving_pct"]
+    assert joint["migrated_jobs"] > 0
+    # Joint (spatio-temporal) selection is at least as good as greedy
+    # immediate-window selection.
+    assert joint["carbon_saving_pct"] >= greedy["carbon_saving_pct"] - 0.5
+
+
+def test_ext_arrival_phase(regenerate):
+    result = regenerate("ext-arrival-phase")
+    rows = {row["arrivals"]: row for row in result.rows}
+    valley = rows["valley-peak (7h)"]
+    ramp = rows["ramp-peak (19h)"]
+    # Arrivals peaking in the grid's CI valley are green by default...
+    assert valley["nowait_carbon_kg"] < ramp["nowait_carbon_kg"]
+    # ... leaving less for the scheduler; ramp-phased arrivals leave more.
+    assert valley["carbon_saving_pct"] < ramp["carbon_saving_pct"]
+
+
+def test_ext_energy_price(regenerate):
+    result = regenerate("ext-energy-price")
+    rows = {row["policy"]: row for row in result.rows}
+    # Each extreme wins its own objective...
+    assert rows["carbon-optimal"]["carbon_kg"] == min(
+        row["carbon_kg"] for row in result.rows
+    )
+    # Price-optimal wins its objective up to length-estimation noise (it
+    # optimizes forecast windows at the queue-average length, while the
+    # realized bill uses true lengths).
+    cheapest = min(row["energy_cost_usd"] for row in result.rows)
+    assert rows["price-optimal"]["energy_cost_usd"] <= cheapest * 1.03
+    # ... and they genuinely diverge on a weakly correlated grid: the
+    # carbon-optimal schedule pays more for energy than the price-optimal
+    # one, which in turn emits more carbon.
+    assert rows["carbon-optimal"]["energy_cost_usd"] > (
+        rows["price-optimal"]["energy_cost_usd"]
+    )
+    assert rows["price-optimal"]["carbon_kg"] > rows["carbon-optimal"]["carbon_kg"]
+    # The weighted policy sits on the frontier between them.
+    weighted = rows["weighted-0.5"]
+    assert rows["carbon-optimal"]["carbon_kg"] <= weighted["carbon_kg"] <= (
+        rows["price-optimal"]["carbon_kg"]
+    )
+
+
+def test_ext_scaling(regenerate):
+    result = regenerate("ext-scaling")
+
+    def saving(max_cpus, speedup):
+        return next(
+            row for row in result.rows
+            if row["max_cpus"] == max_cpus and row["speedup"] == speedup
+        )["carbon_saving_pct"]
+
+    # Scaling headroom strictly adds savings over pure temporal shifting.
+    linear = [saving(k, "linear") for k in (1, 2, 4, 8)]
+    assert all(b > a for a, b in zip(linear, linear[1:]))
+    # Amdahl-limited jobs capture less of the scaling benefit.
+    for max_cpus in (2, 4, 8):
+        assert saving(max_cpus, "amdahl-0.9") < saving(max_cpus, "linear")
+    # Even pure temporal shifting (the degenerate case) saves plenty.
+    assert linear[0] > 10
+
+
+def test_ext_provisioning(regenerate):
+    result = regenerate("ext-provisioning")
+    rows = {row["policy"]: row for row in result.rows}
+    # Suspend-resume fragmentation multiplies instance launches: its boot
+    # overhead exceeds the uninterruptible carbon-aware policy's.
+    assert rows["Ecovisor"]["cost_overhead_pct"] > rows["Carbon-Time"]["cost_overhead_pct"]
+    assert rows["Wait Awhile"]["boot_cpu_h"] > rows["NoWait"]["boot_cpu_h"]
+    # Everyone pays something.
+    assert all(row["cost_overhead_pct"] > 0 for row in result.rows)

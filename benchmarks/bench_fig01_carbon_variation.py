@@ -1,0 +1,13 @@
+"""Fig. 1 -- temporal and spatial carbon-intensity variation."""
+
+
+def test_fig01(regenerate):
+    result = regenerate("fig01")
+    swings = {row["region"]: row["daily_swing"] for row in result.rows}
+    # Paper: California swings 3.37x within a day; Ontario/NL less extreme
+    # but visible; regions spread up to 9x apart.
+    assert swings["CA-US"] > 2.5
+    assert all(swing > 1.2 for swing in swings.values())
+    assert result.extras["spatial_variation"] > 4.0
+    means = {row["region"]: row["mean_ci"] for row in result.rows}
+    assert means["ON-CA"] < means["CA-US"] < means["NL"]

@@ -1,0 +1,17 @@
+"""Fig. 2 / Section 3 -- the motivating carbon/cost/performance tension."""
+
+
+def test_fig02(regenerate):
+    result = regenerate("fig02")
+    ca = result.row_for("region", "CA-US")
+    se = result.row_for("region", "SE")
+
+    # Paper (California, Feb): carbon -36%, cost +68%, completion up.
+    assert ca["carbon_reduction_pct"] > 15
+    assert ca["cost_increase_pct"] > 15
+    assert ca["completion_increase_pct"] > 0
+
+    # Paper (Sweden): only ~4% carbon saving yet +76% cost -- blind
+    # carbon-chasing in a clean, stable grid wastes money.
+    assert se["carbon_reduction_pct"] < ca["carbon_reduction_pct"] / 2
+    assert se["cost_increase_pct"] > 15

@@ -1,0 +1,22 @@
+"""Fig. 4 -- reserved-capacity operating regimes."""
+
+
+def test_fig04(regenerate):
+    result = regenerate("fig04")
+    labels = result.column("regime")
+    costs = result.column("normalized_cost")
+    carbons = result.column("normalized_carbon")
+
+    # The sweep visits regime 2 and ends in regime 3 (below break-even).
+    assert "2-tradeoff" in labels
+    assert labels[-1] == "3-excess"
+    # Regimes appear in order: never back from excess to no-tradeoff.
+    order = {"1-no-tradeoff": 1, "2-tradeoff": 2, "3-excess": 3}
+    ranks = [order[label] for label in labels]
+    assert ranks == sorted(ranks)
+    # Carbon savings shrink monotonically as the pool grows.
+    assert carbons == sorted(carbons)
+    # Cost falls into a knee near the mean demand then rises again.
+    knee_index = costs.index(min(costs))
+    assert 0 < knee_index < len(costs) - 1
+    assert result.extras["knee_reserved"] <= result.extras["mean_demand"] * 1.6

@@ -1,0 +1,21 @@
+"""Fig. 5 -- sampled traces preserve the original length distribution."""
+
+
+def test_fig05(regenerate):
+    result = regenerate("fig05")
+    original = result.row_for("trace", "original")
+    year = result.row_for("trace", "year-100k")
+    week = result.row_for("trace", "week-1k")
+
+    # Paper: ~38% of raw Alibaba jobs are <=5 min, ~0.36% of compute.
+    assert 0.25 <= result.extras["short_job_share"] <= 0.5
+    assert result.extras["short_compute_share"] < 0.02
+
+    # Filtering removes the <=5 min mass from the sampled traces.
+    assert year["<=5min"] < original["<=5min"]
+    # The sampled length distribution tracks the filtered original above
+    # the cutoffs.
+    assert abs(year["<=12h"] - week["<=12h"]) < 0.1
+    # The week trace's 4-CPU cap shrinks its mean CPU demand (paper: the
+    # week trace's demand distribution is "somewhat different").
+    assert week["mean_cpus"] < original["mean_cpus"]

@@ -1,0 +1,20 @@
+"""Fig. 6 -- carbon intensity levels across the six cloud regions."""
+
+
+def test_fig06(regenerate):
+    result = regenerate("fig06")
+    rows = {row["region"]: row for row in result.rows}
+
+    # Paper order: SE < ON-CA < SA-AU < CA-US < NL < KY-US in mean CI.
+    means = result.column("mean_ci")
+    assert means == sorted(means)
+
+    # Category labels.
+    assert rows["SE"]["level"] == "Low" and rows["SE"]["variability"] == "Stable"
+    assert rows["KY-US"]["level"] == "High" and rows["KY-US"]["variability"] == "Stable"
+    assert rows["SA-AU"]["variability"] == "Variable"
+
+    # SA-AU has the largest relative variation; KY-US the smallest.
+    covs = {row["region"]: row["cov"] for row in result.rows}
+    assert covs["SA-AU"] == max(covs.values())
+    assert covs["KY-US"] == min(covs.values())

@@ -1,0 +1,14 @@
+"""Fig. 7 -- monthly carbon-intensity variation, CA-US vs SA-AU."""
+
+
+def test_fig07(regenerate):
+    result = regenerate("fig07")
+    assert len(result.rows) == 12
+
+    # Paper: South Australia's CI nearly doubles between July and December.
+    assert result.extras["sa_jul_dec_ratio"] > 1.5
+
+    sa = result.column("SA-AU")
+    # Southern-hemisphere seasonality: mid-year trough, year-end peak.
+    assert min(sa) == min(sa[4:9])   # trough around May-Sep
+    assert max(sa) in (*sa[:2], *sa[10:])  # peak around the year ends

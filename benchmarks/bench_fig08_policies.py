@@ -1,0 +1,39 @@
+"""Fig. 8 -- carbon vs waiting across the six scheduling policies."""
+
+
+def test_fig08(regenerate):
+    result = regenerate("fig08")
+    rows = {row["policy"]: row for row in result.rows}
+
+    # NoWait: the dirtiest schedule, zero waiting.
+    assert rows["NoWait"]["normalized_carbon"] == 1.0
+    assert rows["NoWait"]["normalized_wait"] == 0.0
+
+    # Suspend-resume policies (exact knowledge / reactive threshold) reach
+    # the lowest carbon and the highest waiting.
+    assert rows["Wait Awhile"]["normalized_carbon"] == min(
+        row["normalized_carbon"] for row in result.rows
+    )
+    suspenders_wait = min(
+        rows["Wait Awhile"]["normalized_wait"], rows["Ecovisor"]["normalized_wait"]
+    )
+    for policy in ("Lowest-Slot", "Lowest-Window", "Carbon-Time"):
+        assert rows[policy]["normalized_wait"] < suspenders_wait
+
+    # Lowest-Window beats Lowest-Slot (window-integral beats point-slot)
+    # and comes within ~25% of Wait Awhile without knowing lengths.
+    assert rows["Lowest-Window"]["normalized_carbon"] < (
+        rows["Lowest-Slot"]["normalized_carbon"]
+    )
+    assert rows["Lowest-Window"]["normalized_carbon"] < (
+        rows["Wait Awhile"]["normalized_carbon"] * 1.45
+    )
+
+    # Carbon-Time trades a few % carbon for clearly less waiting (paper:
+    # half of Wait Awhile's waiting at +23% carbon).
+    assert rows["Carbon-Time"]["normalized_wait"] < (
+        0.8 * rows["Wait Awhile"]["normalized_wait"]
+    )
+    assert rows["Carbon-Time"]["normalized_wait"] < (
+        rows["Lowest-Window"]["normalized_wait"]
+    )

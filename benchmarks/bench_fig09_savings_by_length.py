@@ -1,0 +1,23 @@
+"""Fig. 9 -- which job lengths contribute the carbon savings."""
+
+
+def test_fig09(regenerate):
+    result = regenerate("fig09")
+
+    shares = {row["job_length<="]: row["savings_share"] for row in result.rows}
+    # Paper: <=1 h jobs are ~half the job count but only ~10% of savings.
+    one_hour = result.row_for("job_length<=", "1h")
+    assert one_hour["job_share"] > 0.3
+    assert one_hour["savings_share"] < 0.25
+
+    # Paper: 3-12 h jobs contribute the bulk (~50%) of savings.
+    assert result.extras["medium_share"] > 0.35
+
+    # Paper: >24 h jobs contribute little (~7.5%) -- they straddle the
+    # diurnal CI cycle.
+    assert result.extras["long_share"] < 0.2
+
+    # CDF sanity: monotone non-decreasing in length.
+    values = result.column("savings_share")
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert abs(shares["3d"] - 1.0) < 1e-6

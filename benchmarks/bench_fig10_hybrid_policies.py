@@ -1,0 +1,33 @@
+"""Fig. 10 -- carbon/cost/waiting across policies on 9 reserved CPUs."""
+
+
+def test_fig10(regenerate):
+    result = regenerate("fig10")
+    rows = {row["policy"]: row for row in result.rows}
+
+    # NoWait: highest carbon.
+    assert rows["NoWait"]["normalized_carbon"] == 1.0
+
+    # AllWait-Threshold: the cheapest, and among the longest waits.
+    assert rows["AllWait-Threshold"]["normalized_cost"] == min(
+        row["normalized_cost"] for row in result.rows
+    )
+    assert rows["AllWait-Threshold"]["normalized_wait"] > 0.6
+
+    # Carbon-aware policies pay the price: all cost more than NoWait.
+    for policy in ("Wait Awhile", "Ecovisor", "Carbon-Time"):
+        assert rows[policy]["normalized_cost"] > rows["NoWait"]["normalized_cost"]
+
+    # Suspend-resume fragmentation ruins reserved utilization.
+    assert rows["Wait Awhile"]["reserved_util"] < rows["NoWait"]["reserved_util"]
+
+    # RES-First-Carbon-Time balances: cheaper than every carbon-aware
+    # policy, cleaner than NoWait/AllWait, and the shortest wait of the
+    # waiting policies.
+    gaia = rows["RES-First-Carbon-Time"]
+    for policy in ("Wait Awhile", "Ecovisor", "Carbon-Time"):
+        assert gaia["normalized_cost"] < rows[policy]["normalized_cost"]
+    assert gaia["normalized_carbon"] < rows["NoWait"]["normalized_carbon"]
+    assert gaia["normalized_carbon"] < rows["AllWait-Threshold"]["normalized_carbon"]
+    assert gaia["normalized_wait"] < rows["AllWait-Threshold"]["normalized_wait"]
+    assert gaia["normalized_wait"] < rows["Wait Awhile"]["normalized_wait"]

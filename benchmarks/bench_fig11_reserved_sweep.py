@@ -1,0 +1,24 @@
+"""Fig. 11 -- the reserved-capacity dial of RES-First-Carbon-Time."""
+
+
+def test_fig11(regenerate):
+    result = regenerate("fig11")
+    costs = result.column("normalized_cost")
+    carbons = result.column("normalized_carbon")
+    waits = result.column("mean_wait_h")
+
+    # Cost: U-shaped with an interior knee well below the on-demand
+    # baseline (paper: ~55% cost saving near the mean demand).
+    knee_index = costs.index(min(costs))
+    assert 0 < knee_index < len(costs) - 1
+    assert min(costs) < 0.8
+
+    # Carbon: savings shrink monotonically as the pool grows, from the
+    # carbon-optimal zero-reserved point toward ~NoWait.
+    assert carbons == sorted(carbons)
+    assert carbons[0] < 0.9
+    assert carbons[-1] > 0.95
+
+    # Waiting strictly decreases with pool size (paper's last finding).
+    assert all(b <= a + 1e-9 for a, b in zip(waits, waits[1:]))
+    assert waits[-1] < waits[0] / 4

@@ -1,0 +1,24 @@
+"""Fig. 15 -- normalized carbon savings across geographic regions."""
+
+
+def test_fig15(regenerate):
+    result = regenerate("fig15")
+
+    def saving(region, trace):
+        return next(
+            r for r in result.rows if r["region"] == region and r["trace"] == trace
+        )["carbon_saving_pct"]
+
+    for trace in ("mustang", "alibaba", "azure"):
+        # South Australia (largest CI variation) yields the biggest
+        # relative savings; Kentucky (flat coal grid) nearly none.
+        savings = {
+            region: saving(region, trace)
+            for region in ("SA-AU", "ON-CA", "CA-US", "NL", "KY-US")
+        }
+        assert savings["SA-AU"] == max(savings.values())
+        assert savings["KY-US"] == min(savings.values())
+        assert savings["KY-US"] < 5.0  # paper: ~1%
+
+    # Waiting time is essentially region-independent (paper: identical).
+    assert max(result.extras["wait_spread"].values()) < 0.15

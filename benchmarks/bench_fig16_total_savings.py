@@ -1,0 +1,26 @@
+"""Fig. 16 -- normalized vs total carbon savings across regions."""
+
+
+def test_fig16(regenerate):
+    result = regenerate("fig16")
+    rows = {row["region"]: row for row in result.rows}
+
+    # Normalized savings: SA-AU the best ratio, KY-US the worst.
+    assert rows["SA-AU"]["normalized_carbon"] == min(
+        row["normalized_carbon"] for row in result.rows
+    )
+    assert rows["KY-US"]["normalized_carbon"] == max(
+        row["normalized_carbon"] for row in result.rows
+    )
+
+    # The paper's point: total kg and normalized % rank regions
+    # differently. ON-CA has clean energy (small baseline) so its total
+    # saved kg is small despite a decent percentage; a dirty region can
+    # save as many absolute kg at a tiny percentage.
+    on_ca = rows["ON-CA"]
+    ky = rows["KY-US"]
+    assert on_ca["normalized_carbon"] < ky["normalized_carbon"]  # better %
+    assert on_ca["saved_kg"] < 3 * ky["saved_kg"]  # comparable absolute kg
+
+    # Every region still saves something in absolute terms.
+    assert all(row["saved_kg"] > 0 for row in result.rows)

@@ -1,0 +1,40 @@
+"""Fig. 17 -- reserved-pool economics across workload traces."""
+
+
+def test_fig17(regenerate):
+    result = regenerate("fig17")
+
+    def row(trace, policy):
+        return next(
+            r for r in result.rows if r["trace"] == trace and r["policy"] == policy
+        )
+
+    for trace in ("mustang", "alibaba", "azure"):
+        allwait = row(trace, "AllWait-Threshold")
+        ecovisor = row(trace, "Ecovisor")
+        carbon_time = row(trace, "Carbon-Time")
+        gaia = row(trace, "RES-First-Carbon-Time")
+
+        # AllWait: cheapest and dirtiest.
+        assert allwait["normalized_cost"] == min(
+            r["normalized_cost"] for r in result.rows if r["trace"] == trace
+        )
+        assert allwait["normalized_carbon"] == 1.0
+
+        # Carbon-aware suspend/contiguous policies pay the most.
+        assert max(ecovisor["normalized_cost"], carbon_time["normalized_cost"]) == max(
+            r["normalized_cost"] for r in result.rows if r["trace"] == trace
+        )
+
+        # RES-First bridges: near AllWait's cost (paper: within ~9%),
+        # saving real carbon vs AllWait.
+        assert gaia["normalized_cost"] < carbon_time["normalized_cost"]
+        assert gaia["normalized_cost"] < allwait["normalized_cost"] * 1.35
+        assert gaia["normalized_carbon"] < allwait["normalized_carbon"]
+
+    # Demand variability: lumpy Mustang keeps more scheduling flexibility
+    # (more carbon saving under RES-First) than smooth Azure.
+    mustang_gaia = row("mustang", "RES-First-Carbon-Time")
+    azure_gaia = row("azure", "RES-First-Carbon-Time")
+    assert mustang_gaia["demand_cov"] > azure_gaia["demand_cov"]
+    assert mustang_gaia["normalized_carbon"] < azure_gaia["normalized_carbon"]

@@ -1,0 +1,37 @@
+"""Fig. 18 -- how far to push spot under evictions (J^max sweep)."""
+
+
+def test_fig18(regenerate):
+    result = regenerate("fig18")
+
+    def series(rate):
+        return sorted(
+            (row for row in result.rows if row["eviction_rate"] == rate),
+            key=lambda row: row["jmax_h"],
+        )
+
+    # Without evictions: extending J^max is strictly cheaper at flat carbon.
+    no_evict = series(0.0)
+    costs = [row["normalized_cost"] for row in no_evict]
+    assert costs == sorted(costs, reverse=True)
+    carbons = {row["normalized_carbon"] for row in no_evict}
+    assert max(carbons) - min(carbons) < 1e-9
+    assert all(row["evictions"] == 0 for row in no_evict)
+
+    # With 15%/h evictions: pushing J^max past ~6 h buys (almost) no cost
+    # and strictly adds carbon (paper: up to +12%).
+    harsh = series(0.15)
+    by_jmax = {row["jmax_h"]: row for row in harsh}
+    assert by_jmax[24]["normalized_cost"] > by_jmax[6]["normalized_cost"] - 0.02
+    assert by_jmax[24]["normalized_carbon"] > by_jmax[6]["normalized_carbon"] + 0.05
+    # Carbon strictly increases with J^max once evictions bite.
+    harsh_carbons = [row["normalized_carbon"] for row in harsh]
+    assert harsh_carbons == sorted(harsh_carbons)
+
+    # More evictions -> more lost work at every J^max.
+    for jmax in (6, 12, 24):
+        lost = [
+            next(r for r in series(rate) if r["jmax_h"] == jmax)["lost_cpu_h"]
+            for rate in (0.0, 0.05, 0.10, 0.15)
+        ]
+        assert lost == sorted(lost)

@@ -1,0 +1,33 @@
+"""Fig. 19 -- spot + reserved under a 10%/h eviction rate."""
+
+
+def test_fig19(regenerate):
+    result = regenerate("fig19")
+
+    def series(jmax):
+        return sorted(
+            (row for row in result.rows if row["jmax_h"] == jmax),
+            key=lambda row: row["reserved_cpus"],
+        )
+
+    for jmax in (0, 2, 6, 12):
+        rows = series(jmax)
+        costs = [row["normalized_cost"] for row in rows]
+        carbons = [row["normalized_carbon"] for row in rows]
+        # Same U-ish cost trend across J^max: the knee is interior or at
+        # the mean-demand end, and far below the on-demand baseline.
+        assert min(costs) < 0.7
+        assert costs.index(min(costs)) >= len(costs) - 3
+        # Carbon savings shrink as reserved capacity grows (small slack:
+        # eviction randomness can wiggle adjacent points).
+        assert all(b >= a - 0.005 for a, b in zip(carbons, carbons[1:]))
+        assert carbons[-1] > carbons[0]
+
+    # At the cost knee, routing more demand to spot (larger J^max)
+    # retains more carbon savings (paper: 7% at J^max=12 vs 5.5% at 6).
+    def knee_carbon(jmax):
+        rows = series(jmax)
+        return min(rows, key=lambda row: row["normalized_cost"])["normalized_carbon"]
+
+    assert knee_carbon(12) < knee_carbon(0)
+    assert knee_carbon(6) < knee_carbon(0)

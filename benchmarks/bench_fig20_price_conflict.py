@@ -1,0 +1,17 @@
+"""Fig. 20 -- carbon intensity vs electricity price (ERCOT-like)."""
+
+
+def test_fig20(regenerate):
+    result = regenerate("fig20")
+
+    # Paper: 2022 ERCOT CI and price correlate at only ~0.16.
+    assert abs(result.extras["correlation"] - 0.16) < 0.1
+
+    # Many hours conflict (green but expensive, or cheap but dirty).
+    conflict = result.row_for("metric", "conflicting_hours_fraction")["value"]
+    assert conflict > 0.2
+
+    # ... but on some days the valleys align (the paper's first day):
+    # carbon-aware scheduling is *sometimes* free, never always.
+    aligned = result.extras["aligned_fraction"]
+    assert 0.05 < aligned < 0.95

@@ -1,0 +1,21 @@
+"""Table 1 -- policy capability summary."""
+
+
+def test_table1(regenerate):
+    result = regenerate("table1")
+    rows = {row["policy"]: row for row in result.rows}
+    assert len(result.rows) == 7
+
+    # The paper's knowledge/awareness matrix.
+    assert rows["NoWait"]["carbon_aware"] == "-"
+    assert rows["AllWait-Threshold"]["carbon_aware"] == "-"
+    assert rows["Wait Awhile"]["job_length"] == "Yes"
+    assert rows["Ecovisor"]["job_length"] == "-"
+    assert rows["Lowest-Slot"]["job_length"] == "-"
+    assert rows["Lowest-Window"]["job_length"] == "J_avg"
+    assert rows["Carbon-Time"]["job_length"] == "J_avg"
+    assert rows["Carbon-Time"]["performance_aware"] == "Yes"
+    carbon_aware = [p for p, row in rows.items() if row["carbon_aware"] == "Yes"]
+    assert set(carbon_aware) == {
+        "Wait Awhile", "Ecovisor", "Lowest-Slot", "Lowest-Window", "Carbon-Time",
+    }

@@ -1,0 +1,44 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's figures/tables via
+``repro.experiments``, times it with pytest-benchmark, writes the
+rendered table to ``benchmarks/output/<id>.txt``, prints it (visible
+with ``-s``), and asserts the *shape* of the paper's findings -- who
+wins, in which direction, roughly by how much -- rather than absolute
+numbers (the substrate is a simulator over synthetic traces, not the
+authors' testbed).
+
+Scale follows ``REPRO_SCALE`` (small/medium/full, default medium).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment under the benchmark timer and persist its table."""
+
+    def _run(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1
+        )
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        (OUTPUT_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+        return result
+
+    return _run
+
+
+def scale_name() -> str:
+    return os.environ.get("REPRO_SCALE", "medium")

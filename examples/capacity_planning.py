@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Capacity planning: size a reserved pool on the carbon-cost frontier.
+
+An operator committing to 3-year reserved instances faces the paper's
+Fig. 11 question: how many to buy?  This example sweeps the pool size for
+a work-conserving carbon-aware scheduler, prints the frontier with the
+paper's Fig. 4 regime labels, and recommends the cost knee plus a
+"greener" alternative a few instances below it (the paper's Section 7
+guidance: reserve between the base and the mean demand).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import DEFAULT_PRICING, alibaba_like, region_trace, week_long_trace
+from repro.analysis.report import render_table
+from repro.analysis.tradeoff import classify_regimes, knee_point, reserved_sweep
+
+
+def main() -> None:
+    workload = week_long_trace(alibaba_like(num_jobs=30_000, seed=1), num_jobs=1_000)
+    carbon = region_trace("SA-AU")
+    mean_demand = workload.mean_demand
+    print(f"mean demand: {mean_demand:.1f} CPUs "
+          f"(demand CoV {workload.demand_cov():.2f})")
+
+    fractions = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.5, 2.0)
+    values = sorted({int(round(mean_demand * f)) for f in fractions})
+    points = reserved_sweep(workload, carbon, "res-first:carbon-time", values)
+    labels = classify_regimes(points, DEFAULT_PRICING.breakeven_utilization())
+
+    rows = [
+        {
+            "reserved": point.reserved_cpus,
+            "cost_vs_on_demand": point.normalized_cost,
+            "carbon_vs_nowait": point.normalized_carbon,
+            "mean_wait_h": point.mean_wait_hours,
+            "utilization": point.reserved_utilization,
+            "regime": label,
+        }
+        for point, label in zip(points, labels)
+    ]
+    print()
+    print(render_table(rows, title="Reserved-pool frontier (RES-First-Carbon-Time)"))
+
+    knee = knee_point(points)
+    greener = [p for p in points if p.reserved_cpus < knee.reserved_cpus]
+    print()
+    print(f"cost knee: {knee.reserved_cpus} reserved CPUs "
+          f"({100 * (1 - knee.normalized_cost):.0f}% cheaper than on-demand, "
+          f"{100 * (1 - knee.normalized_carbon):.0f}% carbon saving)")
+    if greener:
+        alt = greener[-1]
+        extra_cost = 100 * (alt.normalized_cost - knee.normalized_cost)
+        extra_saving = 100 * (knee.normalized_carbon - alt.normalized_carbon)
+        print(f"greener option: {alt.reserved_cpus} reserved CPUs buys "
+              f"{extra_saving:.0f}pp more carbon saving for {extra_cost:.0f}pp "
+              f"more cost (the paper's Fig. 11 dial)")
+
+
+if __name__ == "__main__":
+    main()

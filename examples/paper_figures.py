@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's figures/tables from the command line.
+
+Usage::
+
+    python examples/paper_figures.py              # list experiments
+    python examples/paper_figures.py fig11        # one figure
+    python examples/paper_figures.py fig08 fig10 --scale small
+    python examples/paper_figures.py --all --scale small
+
+Scale: small (seconds), medium (default, minutes), full (the paper's
+year x 100k configuration).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids, e.g. fig11")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", choices=("small", "medium", "full"), default=None)
+    args = parser.parse_args(argv)
+
+    targets = list(EXPERIMENTS) if args.all else args.experiments
+    if not targets:
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        return 0
+
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+
+    for experiment_id in targets:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""repro -- reproduction of GAIA (ASPLOS '24): carbon-, performance-, and
+cost-aware batch scheduling on cloud purchase options.
+
+Quickstart::
+
+    from repro import run_simulation, region_trace, alibaba_like, week_long_trace
+
+    workload = week_long_trace(alibaba_like(20_000, seed=1), num_jobs=1_000)
+    carbon = region_trace("SA-AU")
+    nowait = run_simulation(workload, carbon, "nowait")
+    gaia = run_simulation(workload, carbon, "res-first:carbon-time", reserved_cpus=9)
+    print(gaia.carbon_savings_vs(nowait), gaia.cost_increase_vs(nowait))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper's figures mapped to the benchmark harness.
+"""
+
+from repro.carbon import (
+    CarbonIntensityTrace,
+    HistoricalForecaster,
+    NoisyForecaster,
+    PerfectForecaster,
+    RegionProfile,
+    generate_carbon_trace,
+    region_trace,
+)
+from repro.federation import (
+    FederatedRegion,
+    FederatedResult,
+    GreedySpatial,
+    HomeRegion,
+    SpatioTemporal,
+    run_federated_simulation,
+)
+from repro.cluster import (
+    DEFAULT_ENERGY,
+    DEFAULT_PRICING,
+    CheckpointConfig,
+    DiurnalHazard,
+    EnergyModel,
+    HourlyHazard,
+    NoEvictions,
+    PricingModel,
+    PurchaseOption,
+)
+from repro.policies import (
+    AllWaitThreshold,
+    CarbonTime,
+    Decision,
+    Ecovisor,
+    LowestSlot,
+    LowestWindow,
+    NoWait,
+    Policy,
+    ResFirst,
+    SpotFirst,
+    SpotRes,
+    WaitAwhile,
+    make_policy,
+    policy_table,
+)
+from repro.scaling import (
+    AmdahlSpeedup,
+    LinearSpeedup,
+    MalleableJob,
+    ScalingPlan,
+    fixed_allocation_plan,
+    plan_carbon_scaling,
+)
+from repro.simulator import JobRecord, SimulationResult, run_simulation
+from repro.workload import (
+    Job,
+    JobQueue,
+    QueueSet,
+    WorkloadTrace,
+    alibaba_like,
+    azure_like,
+    default_queue_set,
+    mustang_like,
+    poisson_exponential,
+    week_long_trace,
+    year_long_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # carbon
+    "CarbonIntensityTrace",
+    "RegionProfile",
+    "generate_carbon_trace",
+    "region_trace",
+    "PerfectForecaster",
+    "NoisyForecaster",
+    "HistoricalForecaster",
+    # federation
+    "FederatedRegion",
+    "FederatedResult",
+    "HomeRegion",
+    "GreedySpatial",
+    "SpatioTemporal",
+    "run_federated_simulation",
+    # cluster
+    "PurchaseOption",
+    "PricingModel",
+    "DEFAULT_PRICING",
+    "EnergyModel",
+    "DEFAULT_ENERGY",
+    "NoEvictions",
+    "HourlyHazard",
+    "DiurnalHazard",
+    "CheckpointConfig",
+    # workload
+    "Job",
+    "JobQueue",
+    "QueueSet",
+    "default_queue_set",
+    "WorkloadTrace",
+    "alibaba_like",
+    "azure_like",
+    "mustang_like",
+    "poisson_exponential",
+    "week_long_trace",
+    "year_long_trace",
+    # policies
+    "Policy",
+    "Decision",
+    "NoWait",
+    "AllWaitThreshold",
+    "WaitAwhile",
+    "Ecovisor",
+    "LowestSlot",
+    "LowestWindow",
+    "CarbonTime",
+    "ResFirst",
+    "SpotFirst",
+    "SpotRes",
+    "make_policy",
+    "policy_table",
+    # scaling (extension)
+    "MalleableJob",
+    "ScalingPlan",
+    "LinearSpeedup",
+    "AmdahlSpeedup",
+    "plan_carbon_scaling",
+    "fixed_allocation_plan",
+    # simulator
+    "run_simulation",
+    "SimulationResult",
+    "JobRecord",
+]

@@ -1,0 +1,53 @@
+"""Analysis layer: normalization, trade-off metrics, sweeps, reporting."""
+
+from repro.analysis.metrics import (
+    carbon_savings_fraction,
+    cost_increase_fraction,
+    energy_cost_usd,
+    mean_waiting_reduction,
+    saved_carbon_per_waiting_hour,
+    savings_cdf_by_length,
+    savings_per_cost_percent,
+    slo_violations,
+    stretch_percentiles,
+)
+from repro.analysis.normalize import normalize_to_baseline, normalize_to_max
+from repro.analysis.report import format_value, render_kv, render_table, sparkline
+from repro.analysis.stats import (
+    PolicyComparison,
+    bootstrap_ci,
+    compare_policies,
+    replicate,
+)
+from repro.analysis.tradeoff import (
+    SweepPoint,
+    classify_regimes,
+    knee_point,
+    reserved_sweep,
+)
+
+__all__ = [
+    "carbon_savings_fraction",
+    "cost_increase_fraction",
+    "savings_per_cost_percent",
+    "saved_carbon_per_waiting_hour",
+    "savings_cdf_by_length",
+    "mean_waiting_reduction",
+    "energy_cost_usd",
+    "stretch_percentiles",
+    "slo_violations",
+    "normalize_to_max",
+    "normalize_to_baseline",
+    "render_table",
+    "render_kv",
+    "format_value",
+    "sparkline",
+    "replicate",
+    "bootstrap_ci",
+    "compare_policies",
+    "PolicyComparison",
+    "SweepPoint",
+    "reserved_sweep",
+    "knee_point",
+    "classify_regimes",
+]

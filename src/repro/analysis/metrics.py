@@ -1,0 +1,153 @@
+"""Derived trade-off metrics used across the evaluation.
+
+Two of these are the paper's headline quantities:
+
+* **carbon savings per percent cost increase** -- the efficiency of
+  buying carbon reductions with money (GAIA "doubles" it vs. prior
+  carbon-aware policies);
+* **saved carbon per waiting hour** -- the efficiency of buying carbon
+  reductions with time (Fig. 14), which motivates the Carbon-Time
+  policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.simulator.results import JobRecord, SimulationResult
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = [
+    "carbon_savings_fraction",
+    "cost_increase_fraction",
+    "savings_per_cost_percent",
+    "saved_carbon_per_waiting_hour",
+    "savings_cdf_by_length",
+    "energy_cost_usd",
+    "stretch_percentiles",
+    "slo_violations",
+]
+
+
+def carbon_savings_fraction(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Fraction of the baseline's carbon avoided (0.2 = 20% less carbon)."""
+    return result.carbon_savings_vs(baseline)
+
+
+def cost_increase_fraction(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Fractional cost increase over the baseline (may be negative)."""
+    return result.cost_increase_vs(baseline)
+
+
+def savings_per_cost_percent(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Percent carbon saved per percent cost added (the headline metric).
+
+    Infinite when the policy saves carbon at no extra cost; negative
+    values mean the policy *wastes* both.
+    """
+    saving = carbon_savings_fraction(result, baseline) * 100.0
+    extra_cost = cost_increase_fraction(result, baseline) * 100.0
+    if extra_cost <= 0:
+        return float("inf") if saving > 0 else 0.0
+    return saving / extra_cost
+
+
+def saved_carbon_per_waiting_hour(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Grams of CO2eq saved per hour of user-visible waiting (Fig. 14)."""
+    saved_g = baseline.total_carbon_g - result.total_carbon_g
+    waiting_hours = result.total_waiting_hours
+    if waiting_hours <= 0:
+        return float("inf") if saved_g > 0 else 0.0
+    return saved_g / waiting_hours
+
+
+def savings_cdf_by_length(
+    records: tuple[JobRecord, ...] | list[JobRecord],
+    length_points: list[int],
+) -> list[float]:
+    """Cumulative share of total carbon savings from jobs up to each length.
+
+    Backs Fig. 9: the paper finds <1 h jobs contribute ~10% of savings,
+    3-12 h jobs ~50%, and >24 h jobs only ~7.5%.  Negative per-job
+    savings (jobs that got unlucky) are included, so the CDF can locally
+    exceed 1.
+    """
+    if not records:
+        raise ReproError("no records to analyse")
+    total = float(sum(record.carbon_saving_g for record in records))
+    if total <= 0:
+        raise ReproError("no aggregate carbon savings; CDF undefined")
+    lengths = np.array([record.length for record in records], dtype=np.float64)
+    savings = np.array([record.carbon_saving_g for record in records], dtype=np.float64)
+    cdf = []
+    for point in length_points:
+        cdf.append(float(savings[lengths <= point].sum() / total))
+    return cdf
+
+
+def stretch_percentiles(
+    result: SimulationResult, percentiles=(50, 90, 99)
+) -> dict[int, float]:
+    """Percentiles of per-job *stretch* (completion time / length).
+
+    Stretch is the user-visible slowdown factor: 1.0 means ran on
+    arrival.  Carbon-aware waiting hits short jobs hardest (a 6-hour
+    wait is stretch 73 for a 5-minute job but 1.5 for a 12-hour one),
+    which is the Fig. 14 rationale for small W_short.
+    """
+    stretches = np.array(
+        [record.completion_time / record.length for record in result.records]
+    )
+    return {int(p): float(np.percentile(stretches, p)) for p in percentiles}
+
+
+def slo_violations(result: SimulationResult, max_stretch: float = 2.0) -> float:
+    """Fraction of jobs whose stretch exceeds ``max_stretch``."""
+    if max_stretch < 1.0:
+        raise ReproError("max_stretch below 1 is unsatisfiable")
+    stretches = np.array(
+        [record.completion_time / record.length for record in result.records]
+    )
+    return float(np.mean(stretches > max_stretch))
+
+
+def energy_cost_usd(
+    result: SimulationResult,
+    price_trace,
+    kw_per_cpu: float = 0.01,
+) -> float:
+    """Wholesale energy cost of the realized schedule (paper Section 7).
+
+    ``price_trace`` is an hourly $/MWh series (see
+    :func:`repro.carbon.correlated_price_trace`); the result is the sum
+    over every executed interval of price x power, in dollars.  This is
+    the private-cloud operator's energy bill, distinct from the cloud
+    customer's instance bill in :attr:`SimulationResult.total_cost`.
+    """
+    if kw_per_cpu <= 0:
+        raise ReproError("kw_per_cpu must be positive")
+    last_finish = max(record.finish for record in result.records)
+    hours_needed = -(-last_finish // MINUTES_PER_HOUR)
+    covering = price_trace.tile_to(hours_needed)
+    total = 0.0
+    for record in result.records:
+        kw = kw_per_cpu * record.cpus
+        for interval in record.usage:
+            # integrate() yields ($/MWh)-hours; x kW / 1000 -> dollars.
+            total += covering.integrate(interval.start, interval.end) * kw / 1000.0
+    return total
+
+
+def mean_waiting_reduction(
+    result: SimulationResult, reference: SimulationResult
+) -> float:
+    """Fractional reduction in mean waiting time vs. a reference policy."""
+    ref = reference.mean_waiting_minutes
+    if ref <= 0:
+        raise ReproError("reference policy has zero waiting time")
+    return 1.0 - result.mean_waiting_minutes / ref

@@ -1,0 +1,31 @@
+"""Normalization helpers matching the paper's reporting conventions.
+
+The paper reports almost everything normalized: either *to the highest
+value of each metric across policies* (Figs. 8, 10, 13) or *to the NoWait
+baseline* (Figs. 11, 15, 18, 19).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["normalize_to_max", "normalize_to_baseline"]
+
+
+def normalize_to_max(values: Mapping[str, float]) -> dict[str, float]:
+    """Scale a metric so its largest entry is 1.0 (paper Figs. 8/10/13)."""
+    if not values:
+        raise ReproError("nothing to normalize")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ReproError("normalize_to_max needs a positive maximum")
+    return {key: value / peak for key, value in values.items()}
+
+
+def normalize_to_baseline(values: Mapping[str, float], baseline: float) -> dict[str, float]:
+    """Scale a metric by a baseline value (paper Figs. 11/15/18/19)."""
+    if baseline <= 0:
+        raise ReproError("baseline must be positive")
+    return {key: value / baseline for key, value in values.items()}

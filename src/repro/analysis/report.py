@@ -1,0 +1,100 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; this module renders row dictionaries into aligned ASCII tables so
+``pytest benchmarks/ --benchmark-only -s`` output reads like the paper's
+result tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["format_value", "render_table", "render_kv", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_value(value) -> str:
+    """Render one cell: floats to 3 significant decimals, rest via str."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    ``columns`` selects and orders the columns; by default the keys of
+    the first row are used.
+    """
+    if not rows:
+        raise ReproError("no rows to render")
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    table = [[format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    rule = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in table
+    )
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def sparkline(values, width: int = 72) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Values are bucket-averaged down to ``width`` characters and mapped
+    onto eight block heights -- enough to eyeball a CI trace's diurnal
+    dips or a demand profile's spikes in terminal output.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ReproError("nothing to sparkline")
+    if len(data) > width:
+        bucket = len(data) / width
+        data = [
+            sum(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, int((i + 1) * bucket) - int(i * bucket))
+            for i in range(width)
+        ]
+    low, high = min(data), max(data)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(data)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[min(7, int((value - low) / span * 8))] for value in data
+    )
+
+
+def render_kv(values: Mapping[str, object], title: str | None = None) -> str:
+    """Render a flat mapping as aligned ``key: value`` lines."""
+    if not values:
+        raise ReproError("no values to render")
+    width = max(len(key) for key in values)
+    lines = [f"{key.ljust(width)} : {format_value(value)}" for key, value in values.items()]
+    if title:
+        lines = [title, "-" * len(title), *lines]
+    return "\n".join(lines)

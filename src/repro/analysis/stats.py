@@ -1,0 +1,106 @@
+"""Statistical utilities for policy comparisons across seeds.
+
+The paper reports point estimates from single trace replays.  For a
+library release we also want error bars: :func:`replicate` reruns an
+experiment across workload seeds and :func:`bootstrap_ci` puts a
+confidence interval on any statistic of the replicated metric, so claims
+like "policy A saves more carbon than policy B" can be checked for
+seed-robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["replicate", "bootstrap_ci", "compare_policies", "PolicyComparison"]
+
+
+def replicate(metric: Callable[[int], float], seeds: Sequence[int]) -> list[float]:
+    """Evaluate ``metric(seed)`` for every seed, in order."""
+    if not seeds:
+        raise ReproError("need at least one seed")
+    return [float(metric(seed)) for seed in seeds]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval of ``statistic(values)``."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size < 2:
+        raise ReproError("bootstrap needs at least two observations")
+    if not 0 < confidence < 1:
+        raise ReproError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resamples = rng.integers(0, data.size, size=(n_resamples, data.size))
+    stats = np.array([statistic(data[idx]) for idx in resamples])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.percentile(stats, 100 * alpha)),
+        float(np.percentile(stats, 100 * (1 - alpha))),
+    )
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Seed-replicated comparison of two policies on one metric."""
+
+    metric_name: str
+    values_a: tuple[float, ...]
+    values_b: tuple[float, ...]
+    ci_difference: tuple[float, float]
+
+    @property
+    def mean_a(self) -> float:
+        return float(np.mean(self.values_a))
+
+    @property
+    def mean_b(self) -> float:
+        return float(np.mean(self.values_b))
+
+    @property
+    def mean_difference(self) -> float:
+        """mean(a) - mean(b)."""
+        return self.mean_a - self.mean_b
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the paired difference excludes zero."""
+        low, high = self.ci_difference
+        return low > 0 or high < 0
+
+
+def compare_policies(
+    metric_a: Callable[[int], float],
+    metric_b: Callable[[int], float],
+    seeds: Sequence[int],
+    metric_name: str = "metric",
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+) -> PolicyComparison:
+    """Paired seed-level comparison with a bootstrap CI on the difference.
+
+    The same seed drives both policies (paired design), so workload
+    randomness cancels out of the difference.
+    """
+    values_a = replicate(metric_a, seeds)
+    values_b = replicate(metric_b, seeds)
+    differences = [a - b for a, b in zip(values_a, values_b)]
+    ci = bootstrap_ci(
+        differences, confidence=confidence, n_resamples=n_resamples
+    )
+    return PolicyComparison(
+        metric_name=metric_name,
+        values_a=tuple(values_a),
+        values_b=tuple(values_b),
+        ci_difference=ci,
+    )

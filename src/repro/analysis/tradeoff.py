@@ -1,0 +1,109 @@
+"""Trade-off sweeps and operating-regime analysis (paper Figs. 4, 11, 19).
+
+The carbon-cost trade-off is navigated by the size of the pre-paid
+reserved pool.  :func:`reserved_sweep` replays a workload across pool
+sizes; :func:`classify_regimes` labels each point with the paper's
+Fig. 4 regimes; :func:`knee_point` finds the cost-minimizing pool size
+operators anchor on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import ReproError
+from repro.simulator.simulation import run_simulation
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["SweepPoint", "reserved_sweep", "knee_point", "classify_regimes"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One reserved-pool size in a sweep, normalized to the sweep baseline."""
+
+    reserved_cpus: int
+    cost: float
+    carbon_kg: float
+    mean_wait_hours: float
+    normalized_cost: float
+    normalized_carbon: float
+    reserved_utilization: float
+
+
+def reserved_sweep(
+    workload: WorkloadTrace,
+    carbon: CarbonIntensityTrace,
+    policy_spec: str,
+    reserved_values: Sequence[int],
+    baseline_spec: str = "nowait",
+    **sim_kwargs,
+) -> list[SweepPoint]:
+    """Run ``policy_spec`` across reserved pool sizes.
+
+    Normalization follows the paper's Fig. 11: every point is relative to
+    the ``baseline_spec`` policy on a pure on-demand cluster (0 reserved).
+    """
+    if not reserved_values:
+        raise ReproError("reserved_values must be non-empty")
+    baseline = run_simulation(workload, carbon, baseline_spec, reserved_cpus=0, **sim_kwargs)
+    points = []
+    for reserved in reserved_values:
+        result = run_simulation(
+            workload, carbon, policy_spec, reserved_cpus=int(reserved), **sim_kwargs
+        )
+        points.append(
+            SweepPoint(
+                reserved_cpus=int(reserved),
+                cost=result.total_cost,
+                carbon_kg=result.total_carbon_kg,
+                mean_wait_hours=result.mean_waiting_hours,
+                normalized_cost=result.total_cost / baseline.total_cost,
+                normalized_carbon=result.total_carbon_kg / baseline.total_carbon_kg,
+                reserved_utilization=result.reserved_utilization,
+            )
+        )
+    return points
+
+
+def knee_point(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The cost-minimizing point of a sweep (paper: "lowest cost" pool)."""
+    if not points:
+        raise ReproError("empty sweep")
+    return min(points, key=lambda point: point.cost)
+
+
+def classify_regimes(points: Sequence[SweepPoint], breakeven_utilization: float) -> list[str]:
+    """Label sweep points with the paper's Fig. 4 operating regimes.
+
+    * ``"1-no-tradeoff"`` -- below the base demand: adding reserved
+      capacity cuts cost while retaining (>=90% of) the zero-reserved
+      carbon savings.
+    * ``"2-tradeoff"`` -- between base and mean demand: cheaper but
+      dirtier; the operator picks a point.
+    * ``"3-excess"`` -- pool so large its utilization falls below the
+      cost break-even (reserved price / on-demand price); always
+      dominated, never operate here.
+
+    The first point must be the zero-reserved anchor the savings are
+    measured against.
+    """
+    if not points:
+        raise ReproError("empty sweep")
+    if points[0].reserved_cpus != 0:
+        raise ReproError("regime classification needs the 0-reserved anchor first")
+    # Savings relative to the carbon-agnostic baseline the sweep was
+    # normalized against (normalized_carbon of 1.0 = no savings).
+    full_savings = 1.0 - points[0].normalized_carbon
+    labels = []
+    for point in points:
+        savings = 1.0 - point.normalized_carbon
+        if point.reserved_cpus > 0 and point.reserved_utilization < breakeven_utilization:
+            labels.append("3-excess")
+        elif full_savings <= 0 or savings >= 0.9 * full_savings:
+            labels.append("1-no-tradeoff")
+        else:
+            labels.append("2-tradeoff")
+    return labels

@@ -1,0 +1,59 @@
+"""Carbon Information Service substrate: traces, synthesis, forecasting.
+
+Public surface of :mod:`repro.carbon`:
+
+* :class:`CarbonIntensityTrace` -- hourly CI with minute-exact integration.
+* :class:`RegionProfile` / :func:`generate_carbon_trace` -- synthetic grids.
+* :data:`REGION_PROFILES` / :func:`region_trace` -- the paper's regions.
+* :class:`PerfectForecaster` / :class:`NoisyForecaster` -- CIS interface.
+* :mod:`repro.carbon.stats` -- variation metrics backing Figs. 1, 6, 7.
+* :func:`correlated_price_trace` -- electricity prices (Fig. 20).
+"""
+
+from repro.carbon.forecast import Forecaster, NoisyForecaster, PerfectForecaster
+from repro.carbon.historical import HistoricalForecaster
+from repro.carbon.loaders import load_electricitymaps_csv, load_watttime_json
+from repro.carbon.price import (
+    ElectricityPriceTrace,
+    carbon_price_conflict_hours,
+    correlated_price_trace,
+    realized_correlation,
+)
+from repro.carbon.regions import PAPER_REGIONS, REGION_PROFILES, get_region, region_trace
+from repro.carbon.stats import (
+    coefficient_of_variation,
+    correlation,
+    monthly_means,
+    percentile_threshold,
+    spatial_variation,
+    temporal_variation,
+)
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
+
+__all__ = [
+    "CarbonIntensityTrace",
+    "HourlySeries",
+    "RegionProfile",
+    "generate_carbon_trace",
+    "REGION_PROFILES",
+    "PAPER_REGIONS",
+    "get_region",
+    "region_trace",
+    "Forecaster",
+    "PerfectForecaster",
+    "NoisyForecaster",
+    "HistoricalForecaster",
+    "load_electricitymaps_csv",
+    "load_watttime_json",
+    "ElectricityPriceTrace",
+    "correlated_price_trace",
+    "carbon_price_conflict_hours",
+    "realized_correlation",
+    "coefficient_of_variation",
+    "correlation",
+    "monthly_means",
+    "percentile_threshold",
+    "spatial_variation",
+    "temporal_variation",
+]

@@ -1,0 +1,134 @@
+"""Carbon Information Service (CIS) forecasters.
+
+Policies never read the carbon trace directly; they ask a
+:class:`Forecaster` for views of future carbon intensity.  The paper
+assumes perfect foresight (its Section 6.1 cites the high accuracy of
+production CI forecasts), which :class:`PerfectForecaster` provides.
+:class:`NoisyForecaster` is an ablation: forecast error grows with lead
+time, so start-time choices degrade gracefully rather than instantly.
+
+Accounting always uses the *true* trace regardless of the forecaster.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["Forecaster", "PerfectForecaster", "NoisyForecaster"]
+
+
+class Forecaster(ABC):
+    """Read interface to forecast carbon intensity, anchored at a query time.
+
+    ``now`` is the minute at which the forecast is issued; implementations
+    may degrade accuracy with the lead time ``target - now``.
+    """
+
+    def __init__(self, trace: CarbonIntensityTrace):
+        self.trace = trace
+
+    @property
+    def horizon_minutes(self) -> int:
+        return self.trace.horizon_minutes
+
+    @abstractmethod
+    def slot_values(self, now: int, start_minute: int, num_hours: int) -> np.ndarray:
+        """Forecast hourly CI values starting at the hour containing
+        ``start_minute`` (clipped at the trace end)."""
+
+    @abstractmethod
+    def interval_carbon(self, now: int, start_minute: int, end_minute: int) -> float:
+        """Forecast integral of CI over ``[start, end)`` in (g/kWh)-hours."""
+
+    @abstractmethod
+    def window_carbon_many(
+        self, now: int, starts: np.ndarray, duration: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`interval_carbon` over equal-length windows."""
+
+
+class PerfectForecaster(Forecaster):
+    """Oracle forecaster: returns the true trace values (paper default)."""
+
+    def slot_values(self, now: int, start_minute: int, num_hours: int) -> np.ndarray:
+        return self.trace.hour_values(start_minute // MINUTES_PER_HOUR, num_hours)
+
+    def interval_carbon(self, now: int, start_minute: int, end_minute: int) -> float:
+        return self.trace.integrate(start_minute, end_minute)
+
+    def window_carbon_many(
+        self, now: int, starts: np.ndarray, duration: int
+    ) -> np.ndarray:
+        return self.trace.integrate_many(starts, duration)
+
+
+class NoisyForecaster(Forecaster):
+    """Forecasts with multiplicative error growing with lead time.
+
+    The forecast for target hour ``h`` issued at time ``now`` is::
+
+        ci_hat(h) = ci(h) * max(0.05, 1 + sigma * sqrt(lead_h / 24) * z[h])
+
+    where ``z`` is a frozen standard-normal field indexed by target hour.
+    Freezing ``z`` keeps successive forecasts for the same hour coherent
+    (they converge to the truth as the hour approaches), which matches how
+    real forecast revisions behave.
+    """
+
+    def __init__(self, trace: CarbonIntensityTrace, sigma: float = 0.1, seed: int = 0):
+        super().__init__(trace)
+        if sigma < 0:
+            raise TraceError("forecast sigma must be non-negative")
+        self.sigma = sigma
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x5CA1AB1E]))
+        self._z = rng.normal(0.0, 1.0, size=trace.num_hours)
+
+    def _perturbed_hours(self, now: int, start_hour: int, end_hour: int) -> np.ndarray:
+        hours = np.arange(start_hour, end_hour)
+        lead_hours = np.maximum(0.0, hours - now / MINUTES_PER_HOUR)
+        scale = 1.0 + self.sigma * np.sqrt(lead_hours / 24.0) * self._z[start_hour:end_hour]
+        return self.trace.hourly[start_hour:end_hour] * np.maximum(0.05, scale)
+
+    def slot_values(self, now: int, start_minute: int, num_hours: int) -> np.ndarray:
+        start_hour = start_minute // MINUTES_PER_HOUR
+        end_hour = min(self.trace.num_hours, start_hour + max(1, num_hours))
+        if start_hour >= self.trace.num_hours:
+            raise TraceError("forecast window starts beyond the trace")
+        return self._perturbed_hours(now, start_hour, end_hour)
+
+    def _minute_cumulative(self, now: int, start_minute: int, end_minute: int):
+        """Per-minute prefix integral of the perturbed CI over a local span."""
+        start_hour = start_minute // MINUTES_PER_HOUR
+        end_hour = -(-end_minute // MINUTES_PER_HOUR)
+        if end_minute > self.trace.horizon_minutes:
+            raise TraceError("forecast interval beyond the trace horizon")
+        hourly = self._perturbed_hours(now, start_hour, end_hour)
+        per_minute = np.repeat(hourly / MINUTES_PER_HOUR, MINUTES_PER_HOUR)
+        cum = np.concatenate(([0.0], np.cumsum(per_minute)))
+        offset = start_hour * MINUTES_PER_HOUR
+        return cum, offset
+
+    def interval_carbon(self, now: int, start_minute: int, end_minute: int) -> float:
+        if start_minute > end_minute:
+            raise TraceError("inverted forecast interval")
+        if start_minute == end_minute:
+            return 0.0
+        cum, offset = self._minute_cumulative(now, start_minute, end_minute)
+        return float(cum[end_minute - offset] - cum[start_minute - offset])
+
+    def window_carbon_many(
+        self, now: int, starts: np.ndarray, duration: int
+    ) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size == 0:
+            return np.zeros(0)
+        lo = int(starts.min())
+        hi = int(starts.max()) + duration
+        cum, offset = self._minute_cumulative(now, lo, hi)
+        return cum[starts + duration - offset] - cum[starts - offset]

@@ -1,0 +1,145 @@
+"""Historical (non-oracle) carbon-intensity forecasting.
+
+The paper assumes perfect CI foresight, citing the accuracy of
+production forecasters (CarbonCast and ElectricityMaps).  Those systems
+are, at their core, seasonal models over recent history; this module
+implements that class of forecaster so the whole evaluation can be run
+**without any oracle**:
+
+:class:`HistoricalForecaster` predicts hour ``h`` as the mean CI of the
+same hour-of-day over a trailing window of days, blended with
+persistence (the current observation) for short leads -- a standard
+"seasonal-naive + persistence" baseline.  Only data strictly before the
+query time is ever consulted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.forecast import Forecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+from repro.units import HOURS_PER_DAY, MINUTES_PER_HOUR
+
+__all__ = ["HistoricalForecaster"]
+
+
+class HistoricalForecaster(Forecaster):
+    """Seasonal-naive forecaster over a trailing window of days.
+
+    Parameters
+    ----------
+    trace:
+        The true CI trace (used for *past* observations only).
+    history_days:
+        Trailing days averaged per hour-of-day (default 7).
+    persistence_hours:
+        Leads up to this many hours blend the current observation into
+        the seasonal estimate, decaying linearly -- capturing the strong
+        short-range autocorrelation of grid CI.
+    """
+
+    def __init__(
+        self,
+        trace: CarbonIntensityTrace,
+        history_days: int = 7,
+        persistence_hours: float = 4.0,
+    ):
+        super().__init__(trace)
+        if history_days <= 0:
+            raise TraceError("history window must be positive")
+        if persistence_hours < 0:
+            raise TraceError("persistence horizon must be non-negative")
+        self.history_days = history_days
+        self.persistence_hours = persistence_hours
+
+    # ------------------------------------------------------------------
+    def _seasonal_estimate(self, now_hour: int, target_hours: np.ndarray) -> np.ndarray:
+        """Mean of the same hour-of-day over the trailing window.
+
+        Only hours strictly before ``now_hour`` contribute; early in the
+        trace the window shrinks, and with no history at all the current
+        hour's observation is used (a cold-start persistence fallback).
+        """
+        hourly = self.trace.hourly
+        estimates = np.empty(target_hours.size, dtype=np.float64)
+        for i, target in enumerate(target_hours):
+            phase = int(target) % HOURS_PER_DAY
+            # Past hours with the same phase: target - 24k < now_hour.
+            first_candidate = phase
+            past = np.arange(first_candidate, min(now_hour, self.trace.num_hours), HOURS_PER_DAY)
+            past = past[past < now_hour][-self.history_days:]
+            if past.size:
+                estimates[i] = float(hourly[past].mean())
+            else:
+                estimates[i] = float(hourly[min(now_hour, self.trace.num_hours - 1)])
+        return estimates
+
+    def _forecast_hours(self, now: int, start_hour: int, end_hour: int) -> np.ndarray:
+        now_hour = now // MINUTES_PER_HOUR
+        targets = np.arange(start_hour, end_hour)
+        seasonal = self._seasonal_estimate(now_hour, targets)
+
+        # Past (and current) hours are observed, not forecast.
+        observed_mask = targets <= now_hour
+        values = seasonal
+        values[observed_mask] = self.trace.hourly[targets[observed_mask]]
+
+        # Blend persistence into short leads.
+        if self.persistence_hours > 0 and now_hour < self.trace.num_hours:
+            current = float(self.trace.hourly[now_hour])
+            leads = targets - now_hour
+            blend = np.clip(1.0 - leads / self.persistence_hours, 0.0, 1.0)
+            blend[observed_mask] = 0.0
+            values = blend * current + (1.0 - blend) * values
+        return values
+
+    # ------------------------------------------------------------------
+    # Forecaster interface
+    # ------------------------------------------------------------------
+    def slot_values(self, now: int, start_minute: int, num_hours: int) -> np.ndarray:
+        start_hour = start_minute // MINUTES_PER_HOUR
+        if start_hour >= self.trace.num_hours:
+            raise TraceError("forecast window starts beyond the trace")
+        end_hour = min(self.trace.num_hours, start_hour + max(1, num_hours))
+        return self._forecast_hours(now, start_hour, end_hour)
+
+    def _minute_cumulative(self, now: int, start_minute: int, end_minute: int):
+        start_hour = start_minute // MINUTES_PER_HOUR
+        end_hour = -(-end_minute // MINUTES_PER_HOUR)
+        if end_minute > self.trace.horizon_minutes:
+            raise TraceError("forecast interval beyond the trace horizon")
+        hourly = self._forecast_hours(now, start_hour, end_hour)
+        per_minute = np.repeat(hourly / MINUTES_PER_HOUR, MINUTES_PER_HOUR)
+        cum = np.concatenate(([0.0], np.cumsum(per_minute)))
+        return cum, start_hour * MINUTES_PER_HOUR
+
+    def interval_carbon(self, now: int, start_minute: int, end_minute: int) -> float:
+        if start_minute > end_minute:
+            raise TraceError("inverted forecast interval")
+        if start_minute == end_minute:
+            return 0.0
+        cum, offset = self._minute_cumulative(now, start_minute, end_minute)
+        return float(cum[end_minute - offset] - cum[start_minute - offset])
+
+    def window_carbon_many(self, now: int, starts: np.ndarray, duration: int) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.size == 0:
+            return np.zeros(0)
+        lo = int(starts.min())
+        hi = int(starts.max()) + duration
+        cum, offset = self._minute_cumulative(now, lo, hi)
+        return cum[starts + duration - offset] - cum[starts - offset]
+
+    def mean_absolute_percentage_error(
+        self, issue_minute: int, lead_hours: int
+    ) -> float:
+        """MAPE of this forecaster at a given issue time and lead window."""
+        now_hour = issue_minute // MINUTES_PER_HOUR
+        end_hour = min(self.trace.num_hours, now_hour + 1 + lead_hours)
+        if end_hour <= now_hour + 1:
+            raise TraceError("no future hours to score")
+        predicted = self._forecast_hours(issue_minute, now_hour + 1, end_hour)
+        actual = self.trace.hourly[now_hour + 1 : end_hour]
+        return float(np.mean(np.abs(predicted - actual) / np.maximum(actual, 1e-9)))

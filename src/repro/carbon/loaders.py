@@ -1,0 +1,98 @@
+"""Loaders for published carbon-intensity data formats.
+
+The paper uses hourly 2022 traces from ElectricityMaps.  Anyone holding
+that data (or WattTime exports) can load it here and run every
+experiment against the real grid instead of the synthetic regions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+
+__all__ = ["load_electricitymaps_csv", "load_watttime_json"]
+
+_EM_VALUE_COLUMNS = (
+    "carbon_intensity_avg",
+    "carbon_intensity",
+    "carbonIntensity",
+    "value",
+)
+_EM_TIME_COLUMNS = ("datetime", "timestamp", "point_time")
+
+
+def _parse_iso(text: str) -> datetime:
+    text = text.strip().replace("Z", "+00:00")
+    try:
+        return datetime.fromisoformat(text)
+    except ValueError as error:
+        raise TraceError(f"unparseable timestamp {text!r}") from error
+
+
+def load_electricitymaps_csv(path: str, name: str = "") -> CarbonIntensityTrace:
+    """Load an ElectricityMaps hourly CSV export.
+
+    Accepts the export's common column spellings (``datetime`` +
+    ``carbon_intensity_avg``/``carbon_intensity``).  Rows must be
+    hourly-consecutive; gaps are filled by carrying the last observation
+    forward (the provider's own convention for short outages), and a gap
+    longer than a day is an error.
+    """
+    rows: list[tuple[datetime, float]] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise TraceError(f"{path}: empty file")
+        time_column = next((c for c in _EM_TIME_COLUMNS if c in reader.fieldnames), None)
+        value_column = next((c for c in _EM_VALUE_COLUMNS if c in reader.fieldnames), None)
+        if time_column is None or value_column is None:
+            raise TraceError(
+                f"{path}: need a time column ({_EM_TIME_COLUMNS}) and a CI "
+                f"column ({_EM_VALUE_COLUMNS}); found {reader.fieldnames}"
+            )
+        for row in reader:
+            value_text = row[value_column].strip()
+            if not value_text:
+                continue  # provider emits blanks for missing hours
+            rows.append((_parse_iso(row[time_column]), float(value_text)))
+    if not rows:
+        raise TraceError(f"{path}: no data rows")
+    rows.sort(key=lambda item: item[0])
+
+    values: list[float] = [rows[0][1]]
+    for (prev_time, _), (this_time, this_value) in zip(rows, rows[1:]):
+        gap_hours = round((this_time - prev_time).total_seconds() / 3600)
+        if gap_hours < 1:
+            raise TraceError(f"{path}: duplicate or sub-hourly timestamps")
+        if gap_hours > 24:
+            raise TraceError(f"{path}: gap of {gap_hours} hours at {this_time}")
+        # Carry forward over short gaps, then append the new observation.
+        values.extend([values[-1]] * (gap_hours - 1))
+        values.append(this_value)
+    return CarbonIntensityTrace(values, name=name or path)
+
+
+def load_watttime_json(path: str, name: str = "") -> CarbonIntensityTrace:
+    """Load a WattTime historical JSON export.
+
+    Expects a list of ``{"point_time": ..., "value": ...}`` objects with
+    MOER values in lbs/MWh, converted to gCO2eq/kWh (x453.592 / 1000).
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list) or not payload:
+        raise TraceError(f"{path}: expected a non-empty JSON list")
+    entries = []
+    for item in payload:
+        try:
+            entries.append((_parse_iso(item["point_time"]), float(item["value"])))
+        except (KeyError, TypeError) as error:
+            raise TraceError(f"{path}: malformed entry {item!r}") from error
+    entries.sort(key=lambda item: item[0])
+    lbs_per_mwh_to_g_per_kwh = 453.592 / 1000.0
+    values = [value * lbs_per_mwh_to_g_per_kwh for _, value in entries]
+    return CarbonIntensityTrace(values, name=name or path)

@@ -1,0 +1,105 @@
+"""Electricity price series and the carbon/price conflict (paper Fig. 20).
+
+The paper's discussion section shows ERCOT (Texas) hourly market prices
+against grid CI for two days: on one day the carbon and price valleys
+align, on the next they conflict, and over 2022 the two series correlate
+at only ~0.16.  We synthesize a price series whose correlation with a CI
+trace is a controlled parameter so the experiment can reproduce both the
+aligned and the conflicting regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.stats import correlation
+from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
+from repro.errors import ConfigError
+
+__all__ = ["ElectricityPriceTrace", "correlated_price_trace"]
+
+
+class ElectricityPriceTrace(HourlySeries):
+    """Hourly wholesale electricity price in $/MWh.
+
+    Unlike carbon intensity, market prices may legitimately be negative
+    (ERCOT regularly clears below zero during renewable surplus), so no
+    sign constraint is applied.
+    """
+
+
+def correlated_price_trace(
+    ci_trace: CarbonIntensityTrace,
+    target_correlation: float = 0.16,
+    mean_price: float = 60.0,
+    price_sigma: float = 35.0,
+    spike_probability: float = 0.01,
+    spike_scale: float = 400.0,
+    seed: int = 0,
+) -> ElectricityPriceTrace:
+    """Build a price trace with a chosen correlation to ``ci_trace``.
+
+    The price is ``mean + sigma * (rho * z_ci + sqrt(1-rho^2) * z_ind)``
+    plus rare positive spikes (scarcity pricing), where ``z_ci`` is the
+    standardized CI series.  The realized correlation is close to, though
+    not exactly, ``target_correlation`` because of the spikes.
+    """
+    if not -1.0 <= target_correlation <= 1.0:
+        raise ConfigError("target correlation must lie in [-1, 1]")
+    if price_sigma < 0 or spike_scale < 0:
+        raise ConfigError("price sigma and spike scale must be non-negative")
+    if not 0 <= spike_probability < 1:
+        raise ConfigError("spike probability must lie in [0, 1)")
+
+    ci = ci_trace.hourly
+    std = ci.std()
+    if std == 0:
+        raise ConfigError("cannot correlate against a constant CI trace")
+    z_ci = (ci - ci.mean()) / std
+
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xE1EC7]))
+    z_ind = rng.normal(0.0, 1.0, size=ci.size)
+    spikes = rng.random(ci.size) < spike_probability
+    spike_values = spikes * rng.exponential(spike_scale, size=ci.size)
+
+    def build(rho: float) -> np.ndarray:
+        mix = rho * z_ci + np.sqrt(max(0.0, 1.0 - rho * rho)) * z_ind
+        return mean_price + price_sigma * mix + spike_values
+
+    # Scarcity spikes dilute the correlation, so correct once: measure the
+    # realized correlation at the target mixing weight and rescale.
+    price = build(target_correlation)
+    if price_sigma > 0 and target_correlation != 0:
+        realized = float(np.corrcoef(ci, price)[0, 1])
+        if realized != 0:
+            corrected = np.clip(
+                target_correlation * (target_correlation / realized), -0.99, 0.99
+            )
+            price = build(float(corrected))
+    return ElectricityPriceTrace(price, name=f"{ci_trace.name}-price")
+
+
+def carbon_price_conflict_hours(
+    ci_trace: CarbonIntensityTrace,
+    price_trace: ElectricityPriceTrace,
+    low_percentile: float = 30.0,
+) -> float:
+    """Fraction of hours where carbon and cost objectives conflict.
+
+    An hour conflicts when CI is in its lowest ``low_percentile`` percent
+    (carbon-attractive) but price is *not* in its own lowest band, or vice
+    versa.  Backs the qualitative claim of the paper's Fig. 20.
+    """
+    hours = min(ci_trace.num_hours, price_trace.num_hours)
+    ci = ci_trace.hourly[:hours]
+    price = price_trace.hourly[:hours]
+    ci_low = ci <= np.percentile(ci, low_percentile)
+    price_low = price <= np.percentile(price, low_percentile)
+    return float(np.mean(ci_low != price_low))
+
+
+def realized_correlation(
+    ci_trace: CarbonIntensityTrace, price_trace: ElectricityPriceTrace
+) -> float:
+    """Pearson correlation between CI and price over their overlap."""
+    return correlation(ci_trace, price_trace)

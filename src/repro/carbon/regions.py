@@ -1,0 +1,122 @@
+"""Canonical region profiles mirroring the paper's six cloud regions.
+
+The paper (Fig. 6) groups its 2022 ElectricityMaps regions into three CI
+levels (Low/Med/High) and two variability classes (Stable/Variable):
+
+========  =============== =============== ==========================
+Region    Level           Variability     Notes
+========  =============== =============== ==========================
+SE        Low             Stable          Swedish hydro/nuclear grid
+ON-CA     Low             Variable        Ontario, Canada
+SA-AU     Med             Variable        Largest relative variation;
+                                          mean CI ~doubles Jul->Dec
+CA-US     Med             Variable        ~3.4x diurnal swing (Fig 1)
+NL        Med             Variable        Netherlands
+KY-US     High            Stable          Coal-heavy, nearly flat
+========  =============== =============== ==========================
+
+``TX-US`` is included for the paper's Fig. 20 ERCOT discussion.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import ConfigError
+from repro.units import HOURS_PER_YEAR
+
+__all__ = [
+    "REGION_PROFILES",
+    "PAPER_REGIONS",
+    "get_region",
+    "region_trace",
+]
+
+REGION_PROFILES: dict[str, RegionProfile] = {
+    profile.name: profile
+    for profile in (
+        RegionProfile(
+            name="SE",
+            mean_ci=32.0,
+            diurnal_amplitude=0.06,
+            seasonal_amplitude=0.08,
+            noise_sigma=0.05,
+        ),
+        RegionProfile(
+            name="ON-CA",
+            mean_ci=75.0,
+            diurnal_amplitude=0.30,
+            seasonal_amplitude=0.08,
+            noise_sigma=0.20,
+        ),
+        RegionProfile(
+            name="SA-AU",
+            mean_ci=250.0,
+            diurnal_amplitude=0.50,
+            seasonal_amplitude=0.33,
+            noise_sigma=0.22,
+            # Southern hemisphere: CI peaks in December (paper Fig. 7).
+            seasonal_peak_day=350.0,
+        ),
+        RegionProfile(
+            name="CA-US",
+            mean_ci=270.0,
+            diurnal_amplitude=0.45,
+            seasonal_amplitude=0.12,
+            noise_sigma=0.12,
+            seasonal_peak_day=45.0,
+        ),
+        RegionProfile(
+            name="NL",
+            mean_ci=400.0,
+            diurnal_amplitude=0.25,
+            seasonal_amplitude=0.10,
+            noise_sigma=0.12,
+        ),
+        RegionProfile(
+            name="KY-US",
+            mean_ci=870.0,
+            diurnal_amplitude=0.03,
+            seasonal_amplitude=0.04,
+            noise_sigma=0.03,
+        ),
+        RegionProfile(
+            name="TX-US",
+            mean_ci=420.0,
+            diurnal_amplitude=0.30,
+            seasonal_amplitude=0.10,
+            noise_sigma=0.15,
+        ),
+    )
+}
+
+#: The five regions of the paper's large-scale evaluation (Figs. 15-16)
+#: ordered as in Fig. 6, plus Sweden used in the Section 3 sanity check.
+PAPER_REGIONS: tuple[str, ...] = ("SE", "ON-CA", "SA-AU", "CA-US", "NL", "KY-US")
+
+
+def get_region(name: str) -> RegionProfile:
+    """Look up a region profile by code, raising ``ConfigError`` if unknown."""
+    try:
+        return REGION_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(REGION_PROFILES))
+        raise ConfigError(f"unknown region {name!r}; known regions: {known}") from None
+
+
+@lru_cache(maxsize=64)
+def region_trace(
+    name: str,
+    num_hours: int = HOURS_PER_YEAR,
+    seed: int = 0,
+    start_hour_of_year: int = 0,
+) -> CarbonIntensityTrace:
+    """Deterministic canonical CI trace for a named region (cached)."""
+    return generate_carbon_trace(
+        get_region(name),
+        num_hours=num_hours,
+        seed=seed,
+        start_hour_of_year=start_hour_of_year,
+    )

@@ -1,0 +1,105 @@
+"""Descriptive statistics over carbon-intensity traces.
+
+These back the paper's characterization figures: diurnal swing (Fig. 1),
+per-region level/variability (Fig. 6), and monthly means (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
+from repro.errors import TraceError
+from repro.units import HOURS_PER_DAY, MINUTES_PER_HOUR
+
+__all__ = [
+    "temporal_variation",
+    "spatial_variation",
+    "monthly_means",
+    "coefficient_of_variation",
+    "percentile_threshold",
+    "correlation",
+]
+
+_HOURS_PER_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def temporal_variation(trace: CarbonIntensityTrace) -> float:
+    """Mean within-day max/min CI ratio (the paper reports 3.37x for CA)."""
+    return trace.daily_min_max_ratio()
+
+
+def spatial_variation(traces: Sequence[CarbonIntensityTrace]) -> float:
+    """Ratio between the highest and lowest instantaneous CI across regions.
+
+    The paper's Fig. 1 reports up to 9x across three regions at the same
+    moment; we compute the max over aligned hours of (max region / min
+    region).
+    """
+    if len(traces) < 2:
+        raise TraceError("spatial variation needs at least two traces")
+    hours = min(trace.num_hours for trace in traces)
+    stacked = np.stack([trace.hourly[:hours] for trace in traces])
+    lows = stacked.min(axis=0)
+    if np.any(lows <= 0):
+        return float("inf")
+    return float(np.max(stacked.max(axis=0) / lows))
+
+
+def monthly_means(trace: CarbonIntensityTrace) -> list[float]:
+    """Mean CI per calendar month (non-leap year layout).
+
+    Requires at least a full year; extra hours are ignored.
+    """
+    if trace.num_hours < 365 * HOURS_PER_DAY:
+        raise TraceError("monthly means require a year-long trace")
+    means = []
+    cursor = 0
+    for days in _HOURS_PER_MONTH_DAYS:
+        span = days * HOURS_PER_DAY
+        means.append(float(trace.hourly[cursor : cursor + span].mean()))
+        cursor += span
+    return means
+
+
+def coefficient_of_variation(series: HourlySeries) -> float:
+    """std/mean of the hourly values."""
+    mean = float(series.hourly.mean())
+    if mean == 0:
+        raise TraceError("coefficient of variation undefined for zero mean")
+    return float(series.hourly.std() / mean)
+
+
+def percentile_threshold(
+    values: np.ndarray | Sequence[float], percentile: float
+) -> float:
+    """The ``percentile``-th percentile of a value window.
+
+    Used by the Ecovisor policy, which runs a job only when CI is below the
+    30th percentile of the next 24 hours.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise TraceError("percentile of an empty window")
+    if not 0 <= percentile <= 100:
+        raise TraceError("percentile must be within [0, 100]")
+    return float(np.percentile(values, percentile))
+
+
+def correlation(a: HourlySeries, b: HourlySeries) -> float:
+    """Pearson correlation between two hourly series over their overlap."""
+    hours = min(a.num_hours, b.num_hours)
+    if hours < 2:
+        raise TraceError("correlation needs at least two overlapping hours")
+    xa = a.hourly[:hours]
+    xb = b.hourly[:hours]
+    if xa.std() == 0 or xb.std() == 0:
+        raise TraceError("correlation undefined for a constant series")
+    return float(np.corrcoef(xa, xb)[0, 1])
+
+
+def mean_levels(traces: Iterable[CarbonIntensityTrace]) -> dict[str, float]:
+    """Mean CI per region, ordered as given (backs Fig. 6)."""
+    return {trace.name: float(trace.hourly.mean()) for trace in traces}

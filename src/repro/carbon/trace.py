@@ -1,0 +1,245 @@
+"""Hourly time series and carbon-intensity traces.
+
+Carbon-intensity data is published hourly (e.g. by ElectricityMaps), while
+the simulator runs on a minute clock.  :class:`HourlySeries` stores the
+hourly values and exposes exact piecewise-constant integration over
+arbitrary minute intervals via a lazily-built minute-resolution prefix sum,
+so policies can evaluate thousands of candidate start times in O(1) each.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.units import MINUTES_PER_DAY, MINUTES_PER_HOUR
+
+__all__ = ["HourlySeries", "CarbonIntensityTrace"]
+
+
+class HourlySeries:
+    """An immutable hourly time series starting at minute 0.
+
+    Parameters
+    ----------
+    hourly:
+        One value per hour.  Values apply piecewise-constant over the hour.
+    name:
+        Optional label (e.g. a region code) used in reprs and reports.
+    """
+
+    def __init__(self, hourly: Sequence[float] | np.ndarray, name: str = ""):
+        values = np.asarray(hourly, dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise TraceError("hourly series must be a non-empty 1-D sequence")
+        if not np.all(np.isfinite(values)):
+            raise TraceError("hourly series contains non-finite values")
+        values = values.copy()
+        values.setflags(write=False)
+        self._hourly = values
+        self.name = name
+        self._cumulative: np.ndarray | None = None
+
+    @property
+    def hourly(self) -> np.ndarray:
+        """The underlying hourly values (read-only array)."""
+        return self._hourly
+
+    @property
+    def num_hours(self) -> int:
+        return int(self._hourly.size)
+
+    @property
+    def horizon_minutes(self) -> int:
+        """Total coverage of the series in minutes."""
+        return self.num_hours * MINUTES_PER_HOUR
+
+    def __len__(self) -> int:
+        return self.num_hours
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<{type(self).__name__}{label} hours={self.num_hours} "
+            f"mean={self._hourly.mean():.1f}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Point and slice access
+    # ------------------------------------------------------------------
+    def value_at(self, minute: float) -> float:
+        """Series value at an absolute minute (piecewise-constant)."""
+        self._check_minute(minute)
+        return float(self._hourly[int(minute) // MINUTES_PER_HOUR])
+
+    def hour_values(self, start_hour: int, num_hours: int) -> np.ndarray:
+        """Hourly values for ``num_hours`` hours starting at ``start_hour``.
+
+        The window is clipped to the series end; at least one hour must be
+        available.
+        """
+        if start_hour < 0 or start_hour >= self.num_hours:
+            raise TraceError(
+                f"start hour {start_hour} outside series of {self.num_hours} hours"
+            )
+        end = min(self.num_hours, start_hour + max(1, num_hours))
+        return self._hourly[start_hour:end]
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def _cum(self) -> np.ndarray:
+        """Prefix integral: ``cum[m]`` = integral of the series over
+        ``[0, m)`` minutes, expressed in value-hours."""
+        if self._cumulative is None:
+            per_minute = np.repeat(self._hourly / MINUTES_PER_HOUR, MINUTES_PER_HOUR)
+            cum = np.empty(per_minute.size + 1, dtype=np.float64)
+            cum[0] = 0.0
+            np.cumsum(per_minute, out=cum[1:])
+            self._cumulative = cum
+        return self._cumulative
+
+    def integrate(self, start_minute: float, end_minute: float) -> float:
+        """Integral of the series over ``[start, end)`` in value-hours.
+
+        For a carbon-intensity trace, multiplying the result by a constant
+        power draw in kW yields grams of CO2eq.
+        """
+        start = int(start_minute)
+        end = int(end_minute)
+        if start > end:
+            raise TraceError(f"inverted interval [{start}, {end})")
+        self._check_minute(start)
+        if end > self.horizon_minutes:
+            raise TraceError(
+                f"interval end {end} beyond horizon {self.horizon_minutes}"
+            )
+        cum = self._cum()
+        return float(cum[end] - cum[start])
+
+    def integrate_many(self, starts: np.ndarray, duration: int) -> np.ndarray:
+        """Vectorized :meth:`integrate` for many equal-length windows."""
+        starts = np.asarray(starts, dtype=np.int64)
+        if duration < 0:
+            raise TraceError("duration must be non-negative")
+        if starts.size and (starts.min() < 0 or starts.max() + duration > self.horizon_minutes):
+            raise TraceError("candidate window extends beyond the trace horizon")
+        cum = self._cum()
+        return cum[starts + duration] - cum[starts]
+
+    def mean_over(self, start_minute: float, end_minute: float) -> float:
+        """Time-weighted mean value over ``[start, end)``."""
+        duration_hours = (end_minute - start_minute) / MINUTES_PER_HOUR
+        if duration_hours <= 0:
+            raise TraceError("mean_over requires a non-empty interval")
+        return self.integrate(start_minute, end_minute) / duration_hours
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def slice_hours(self, start_hour: int, num_hours: int) -> "HourlySeries":
+        """A new series covering ``[start_hour, start_hour + num_hours)``."""
+        values = self.hour_values(start_hour, num_hours)
+        if values.size < num_hours:
+            raise TraceError("slice extends beyond the series")
+        return type(self)(values, name=self.name)
+
+    def tile_to(self, num_hours: int) -> "HourlySeries":
+        """Repeat the series until it covers at least ``num_hours`` hours."""
+        if num_hours <= self.num_hours:
+            return self.slice_hours(0, num_hours)
+        repeats = -(-num_hours // self.num_hours)
+        values = np.tile(self._hourly, repeats)[:num_hours]
+        return type(self)(values, name=self.name)
+
+    def scaled(self, factor: float) -> "HourlySeries":
+        """A copy with all values multiplied by ``factor``."""
+        return type(self)(self._hourly * factor, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write ``hour,value`` rows to ``path``."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["hour", "value"])
+            for hour, value in enumerate(self._hourly):
+                writer.writerow([hour, repr(float(value))])
+
+    @classmethod
+    def from_csv(cls, path: str, name: str = "") -> "HourlySeries":
+        """Read a series previously written by :meth:`to_csv`."""
+        values = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or "value" not in reader.fieldnames:
+                raise TraceError(f"{path}: missing 'value' column")
+            for row in reader:
+                values.append(float(row["value"]))
+        return cls(values, name=name)
+
+    # ------------------------------------------------------------------
+    def _check_minute(self, minute: float) -> None:
+        if minute < 0 or minute >= self.horizon_minutes:
+            raise TraceError(
+                f"minute {minute} outside series horizon "
+                f"[0, {self.horizon_minutes})"
+            )
+
+
+class CarbonIntensityTrace(HourlySeries):
+    """Grid carbon intensity in gCO2eq/kWh, hourly resolution.
+
+    In addition to the generic :class:`HourlySeries` machinery this class
+    names the domain operations used by the scheduling policies and the
+    accounting layer.
+    """
+
+    def __init__(self, hourly: Sequence[float] | np.ndarray, name: str = ""):
+        super().__init__(hourly, name=name)
+        if np.any(self.hourly < 0):
+            raise TraceError("carbon intensity cannot be negative")
+
+    # Domain-named aliases -------------------------------------------------
+    def ci_at(self, minute: float) -> float:
+        """Carbon intensity (g/kWh) at an absolute minute."""
+        return self.value_at(minute)
+
+    def interval_carbon(self, start_minute: float, end_minute: float) -> float:
+        """Integral of CI over ``[start, end)`` in (g/kWh)-hours.
+
+        Multiply by a power draw in kW to obtain grams of CO2eq.
+        """
+        return self.integrate(start_minute, end_minute)
+
+    def window_carbon_many(self, starts: np.ndarray, duration: int) -> np.ndarray:
+        """Vectorized :meth:`interval_carbon` over equal-length windows."""
+        return self.integrate_many(starts, duration)
+
+    def daily_min_max_ratio(self) -> float:
+        """Mean (max/min) ratio of CI within each full day of the trace."""
+        full_days = self.num_hours // 24
+        if full_days == 0:
+            raise TraceError("trace shorter than one day")
+        byday = self.hourly[: full_days * 24].reshape(full_days, 24)
+        mins = byday.min(axis=1)
+        if np.any(mins <= 0):
+            return float("inf")
+        return float(np.mean(byday.max(axis=1) / mins))
+
+
+def mean_intensity(traces: Iterable[CarbonIntensityTrace]) -> dict[str, float]:
+    """Mean CI per trace, keyed by trace name."""
+    return {trace.name: float(trace.hourly.mean()) for trace in traces}
+
+
+def align_horizons(
+    traces: Iterable[CarbonIntensityTrace], minutes: int
+) -> list[CarbonIntensityTrace]:
+    """Tile every trace so each covers at least ``minutes`` minutes."""
+    hours = -(-minutes // MINUTES_PER_HOUR)
+    return [trace.tile_to(hours) for trace in traces]  # type: ignore[misc]

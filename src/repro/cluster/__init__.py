@@ -1,0 +1,26 @@
+"""Cloud cluster substrate: purchase options, pricing, energy, evictions."""
+
+from repro.cluster.capacity import ReservedPool
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel, PurchaseOption
+from repro.cluster.spot import (
+    CheckpointConfig,
+    DiurnalHazard,
+    EvictionModel,
+    HourlyHazard,
+    NoEvictions,
+)
+
+__all__ = [
+    "CheckpointConfig",
+    "PurchaseOption",
+    "PricingModel",
+    "DEFAULT_PRICING",
+    "EnergyModel",
+    "DEFAULT_ENERGY",
+    "ReservedPool",
+    "EvictionModel",
+    "NoEvictions",
+    "HourlyHazard",
+    "DiurnalHazard",
+]

@@ -1,0 +1,62 @@
+"""Capacity bookkeeping for the fixed reserved pool.
+
+On-demand and spot capacity is elastic (the cloud always has more), so
+only the pre-paid reserved pool needs explicit accounting.  The pool
+enforces conservation invariants: allocations never exceed capacity and
+releases never exceed allocations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigError
+
+__all__ = ["ReservedPool"]
+
+
+class ReservedPool:
+    """A fixed pool of reserved CPUs with strict conservation checks."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ConfigError("reserved capacity must be non-negative")
+        self._capacity = int(capacity)
+        self._in_use = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._in_use
+
+    def can_fit(self, cpus: int) -> bool:
+        """Whether ``cpus`` CPUs are currently free."""
+        if cpus <= 0:
+            raise CapacityError("capacity queries must be for positive CPUs")
+        return cpus <= self.free
+
+    def allocate(self, cpus: int) -> None:
+        """Take ``cpus`` CPUs from the pool; raises if they do not fit."""
+        if not self.can_fit(cpus):
+            raise CapacityError(
+                f"cannot allocate {cpus} reserved CPUs; only {self.free} free"
+            )
+        self._in_use += cpus
+
+    def release(self, cpus: int) -> None:
+        """Return ``cpus`` CPUs to the pool; raises on over-release."""
+        if cpus <= 0:
+            raise CapacityError("release must be for positive CPUs")
+        if cpus > self._in_use:
+            raise CapacityError(
+                f"releasing {cpus} reserved CPUs but only {self._in_use} in use"
+            )
+        self._in_use -= cpus
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ReservedPool {self._in_use}/{self._capacity} in use>"

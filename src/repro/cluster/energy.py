@@ -1,0 +1,57 @@
+"""Server energy model.
+
+The paper assumes homogeneous resources and that reserved instances are
+*turned off when idle* (no idle energy or carbon); accordingly the default
+idle power is zero, but a non-zero idle draw is supported for ablations.
+A job's carbon footprint is its energy (kWh) weighted by the carbon
+intensity of each time slot it executes in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["EnergyModel", "DEFAULT_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-CPU power draw in watts.
+
+    Attributes
+    ----------
+    watts_per_cpu:
+        Active power per CPU.  Only relative carbon matters for the
+        paper's normalized metrics, so the default (10 W, a small cloud
+        vCPU share) sets the absolute scale of "total saved kg" figures.
+    idle_watts_per_cpu:
+        Draw of an idle (but powered) reserved CPU; the paper assumes 0.
+    """
+
+    watts_per_cpu: float = 10.0
+    idle_watts_per_cpu: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.watts_per_cpu <= 0:
+            raise ConfigError("active power must be positive")
+        if self.idle_watts_per_cpu < 0:
+            raise ConfigError("idle power must be non-negative")
+
+    def active_kw(self, cpus: int) -> float:
+        """Active power draw of ``cpus`` busy CPUs in kW."""
+        if cpus < 0:
+            raise ConfigError("cpus must be non-negative")
+        return self.watts_per_cpu * cpus / 1000.0
+
+    def energy_kwh(self, cpus: int, minutes: float) -> float:
+        """Active energy of ``cpus`` CPUs busy for ``minutes``."""
+        if minutes < 0:
+            raise ConfigError("minutes must be non-negative")
+        return self.active_kw(cpus) * minutes / MINUTES_PER_HOUR
+
+
+#: The default energy model used across experiments.
+DEFAULT_ENERGY = EnergyModel()

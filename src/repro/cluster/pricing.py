@@ -1,0 +1,129 @@
+"""Cloud purchase options and pricing (paper Sections 2.3, 6.1).
+
+The paper's deployment uses AWS ``c7gn.medium`` workers at $0.0624 per
+on-demand hour, 3-year reserved instances at 40% of the on-demand price,
+and spot instances at 20%.  The crucial asymmetry: **reserved capacity is
+paid upfront for the whole commitment period whether used or not**, while
+on-demand and spot are pay-as-you-go.  This is what turns carbon-aware
+demand spikes into cost increases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigError
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["PurchaseOption", "PricingModel", "DEFAULT_PRICING"]
+
+
+class PurchaseOption(str, Enum):
+    """The three cloud purchase options GAIA schedules across."""
+
+    RESERVED = "reserved"
+    ON_DEMAND = "on_demand"
+    SPOT = "spot"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-CPU pricing for the three purchase options.
+
+    Attributes
+    ----------
+    on_demand_hourly:
+        $ per CPU-hour for on-demand capacity.
+    reserved_fraction:
+        Reserved price as a fraction of on-demand (paper: 0.4 for a
+        3-year commitment).
+    spot_fraction:
+        Spot price as a fraction of on-demand (paper: 0.2).
+    carbon_price_per_kg:
+        Optional carbon tax in $ per kgCO2eq, folded into job cost by the
+        accounting layer (paper Section 7 ablation); 0 disables it.
+    """
+
+    on_demand_hourly: float = 0.0624
+    reserved_fraction: float = 0.4
+    spot_fraction: float = 0.2
+    carbon_price_per_kg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.on_demand_hourly <= 0:
+            raise ConfigError("on-demand price must be positive")
+        if not 0 < self.reserved_fraction <= 1:
+            raise ConfigError("reserved fraction must be in (0, 1]")
+        if not 0 < self.spot_fraction <= 1:
+            raise ConfigError("spot fraction must be in (0, 1]")
+        if self.carbon_price_per_kg < 0:
+            raise ConfigError("carbon price must be non-negative")
+
+    @property
+    def reserved_hourly(self) -> float:
+        """$ per CPU-hour of reserved capacity (paid regardless of use)."""
+        return self.on_demand_hourly * self.reserved_fraction
+
+    @property
+    def spot_hourly(self) -> float:
+        """$ per CPU-hour of spot capacity."""
+        return self.on_demand_hourly * self.spot_fraction
+
+    def hourly_rate(self, option: PurchaseOption) -> float:
+        """$ per CPU-hour for a purchase option's metered usage."""
+        if option is PurchaseOption.RESERVED:
+            return self.reserved_hourly
+        if option is PurchaseOption.SPOT:
+            return self.spot_hourly
+        return self.on_demand_hourly
+
+    def usage_cost(self, option: PurchaseOption, cpu_minutes: float) -> float:
+        """Metered cost of using ``cpu_minutes`` on ``option``.
+
+        Reserved usage is *not* metered (it is covered by the upfront
+        payment), so this returns 0 for reserved.
+        """
+        if cpu_minutes < 0:
+            raise ConfigError("cpu_minutes must be non-negative")
+        if option is PurchaseOption.RESERVED:
+            return 0.0
+        return self.hourly_rate(option) * cpu_minutes / MINUTES_PER_HOUR
+
+    def reserved_upfront(self, reserved_cpus: int, horizon_minutes: int) -> float:
+        """Upfront cost of holding ``reserved_cpus`` for the whole horizon."""
+        if reserved_cpus < 0 or horizon_minutes < 0:
+            raise ConfigError("reserved capacity and horizon must be non-negative")
+        return self.reserved_hourly * reserved_cpus * horizon_minutes / MINUTES_PER_HOUR
+
+    def breakeven_utilization(self) -> float:
+        """Reserved utilization above which reserved beats on-demand.
+
+        A reserved CPU used a fraction ``u`` of the time costs
+        ``reserved_fraction / u`` per *useful* hour relative to on-demand;
+        break-even is at ``u = reserved_fraction`` (paper Fig. 4, regime 3
+        sits below this).
+        """
+        return self.reserved_fraction
+
+    def effective_reserved_hourly(self, utilization: float) -> float:
+        """Effective $ per *useful* CPU-hour at a given reserved utilization."""
+        if not 0 < utilization <= 1:
+            raise ConfigError("utilization must be in (0, 1]")
+        return self.reserved_hourly / utilization
+
+    def with_carbon_price(self, price_per_kg: float) -> "PricingModel":
+        """A copy of this model with a carbon tax attached."""
+        return PricingModel(
+            on_demand_hourly=self.on_demand_hourly,
+            reserved_fraction=self.reserved_fraction,
+            spot_fraction=self.spot_fraction,
+            carbon_price_per_kg=price_per_kg,
+        )
+
+
+#: The paper's pricing configuration.
+DEFAULT_PRICING = PricingModel()

@@ -1,0 +1,185 @@
+"""Spot-instance eviction models (paper Sections 4.2.4, 6.4.5).
+
+Spot capacity is rented at a steep discount but may be revoked.  The
+paper parameterizes evictions by an hourly *eviction rate* -- the percent
+of spot customers evicted per hour -- and assumes all job progress is
+lost on eviction (application-agnostic checkpointing being impractical in
+its HPC setting).  Fig. 18 sweeps rates of 0-15%/hour.
+
+A constant hourly eviction probability ``p`` corresponds to a memoryless
+survival process, so eviction times are sampled from an exponential with
+rate ``-ln(1 - p)`` per hour.  A diurnal variant modulates the hazard
+with the daily demand cycle the paper cites (evictions track cloud
+demand).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import HOURS_PER_DAY, MINUTES_PER_HOUR
+
+__all__ = [
+    "EvictionModel",
+    "NoEvictions",
+    "HourlyHazard",
+    "DiurnalHazard",
+    "CheckpointConfig",
+]
+
+
+class CheckpointConfig:
+    """Periodic checkpointing of spot executions (paper §4.2.4 future work).
+
+    The paper assumes all progress is lost on eviction and defers the
+    "trade-off between the checkpointing overhead, eviction rate, and
+    the amount of recomputation" to future work; this implements it.
+
+    A job on spot checkpoints after every ``interval`` minutes of useful
+    work, paying ``overhead`` minutes per checkpoint.  On eviction, work
+    up to the last *completed* checkpoint survives; everything since is
+    recomputed.
+
+    Parameters
+    ----------
+    interval:
+        Useful-work minutes between checkpoints.
+    overhead:
+        Wall-clock minutes each checkpoint costs (the job occupies its
+        CPUs but makes no progress).
+    """
+
+    def __init__(self, interval: int, overhead: int):
+        if interval <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+        if overhead < 0:
+            raise ConfigError("checkpoint overhead must be non-negative")
+        self.interval = int(interval)
+        self.overhead = int(overhead)
+
+    def wall_time(self, work: int) -> int:
+        """Wall minutes to complete ``work`` minutes of useful work.
+
+        A checkpoint follows every full interval; no checkpoint after
+        the final (possibly partial) stretch -- the job is done.
+        """
+        if work < 0:
+            raise ConfigError("work must be non-negative")
+        full_intervals = (work - 1) // self.interval if work > 0 else 0
+        return work + full_intervals * self.overhead
+
+    def preserved_work(self, elapsed_wall: float, total_work: int) -> int:
+        """Useful work preserved after ``elapsed_wall`` minutes on spot.
+
+        Work is durable once its trailing checkpoint *completes*, i.e.
+        after ``k * (interval + overhead)`` wall minutes for ``k``
+        intervals; a fully finished job needs no trailing checkpoint but
+        a finished job is never evicted, so that case cannot arise here.
+        """
+        if elapsed_wall < 0:
+            raise ConfigError("elapsed time must be non-negative")
+        chunk = self.interval + self.overhead
+        completed_intervals = int(elapsed_wall // chunk)
+        return min(completed_intervals * self.interval, total_work)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CheckpointConfig every {self.interval}m +{self.overhead}m>"
+
+
+class EvictionModel(ABC):
+    """Samples the eviction time of a spot allocation."""
+
+    @abstractmethod
+    def sample_eviction(self, start_minute: int, rng: np.random.Generator) -> float:
+        """Minutes *after* ``start_minute`` until eviction (may be inf)."""
+
+    def rng_for_job(self, seed: int, job_id: int) -> np.random.Generator:
+        """A deterministic per-job RNG, so re-running a simulation (or
+        re-scheduling the same job after an eviction) is reproducible."""
+        return np.random.default_rng(
+            np.random.SeedSequence([seed, zlib.crc32(b"spot"), job_id])
+        )
+
+
+class NoEvictions(EvictionModel):
+    """Spot capacity that is never revoked (the paper's prototype case:
+    "spot instances were never evicted in our experiments")."""
+
+    def sample_eviction(self, start_minute: int, rng: np.random.Generator) -> float:
+        return math.inf
+
+
+class HourlyHazard(EvictionModel):
+    """Constant per-hour eviction probability.
+
+    Parameters
+    ----------
+    hourly_rate:
+        Probability of eviction within any given hour, in [0, 1).
+        0 degrades to :class:`NoEvictions` behaviour.
+    """
+
+    def __init__(self, hourly_rate: float):
+        if not 0 <= hourly_rate < 1:
+            raise ConfigError("hourly eviction rate must be in [0, 1)")
+        self.hourly_rate = hourly_rate
+        self._lambda_per_minute = (
+            -math.log(1.0 - hourly_rate) / MINUTES_PER_HOUR if hourly_rate > 0 else 0.0
+        )
+
+    def sample_eviction(self, start_minute: int, rng: np.random.Generator) -> float:
+        if self._lambda_per_minute == 0.0:
+            return math.inf
+        return float(rng.exponential(1.0 / self._lambda_per_minute))
+
+    def survival_probability(self, minutes: float) -> float:
+        """Probability a spot allocation survives ``minutes`` unevicted."""
+        if minutes < 0:
+            raise ConfigError("minutes must be non-negative")
+        return math.exp(-self._lambda_per_minute * minutes)
+
+
+class DiurnalHazard(EvictionModel):
+    """Eviction hazard that follows the daily cloud-demand cycle.
+
+    The instantaneous hourly rate is
+    ``base_rate * (1 + amplitude * cos(2*pi*(h - peak_hour)/24))``;
+    sampling uses thinning against the peak rate so the non-homogeneous
+    process is exact.
+    """
+
+    def __init__(self, base_rate: float, amplitude: float = 0.5, peak_hour: float = 14.0):
+        if not 0 <= base_rate < 1:
+            raise ConfigError("base eviction rate must be in [0, 1)")
+        if not 0 <= amplitude <= 1:
+            raise ConfigError("amplitude must be in [0, 1]")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.peak_hour = peak_hour
+
+    def _rate_at(self, minute: float) -> float:
+        hour_of_day = (minute / MINUTES_PER_HOUR) % HOURS_PER_DAY
+        modulation = 1.0 + self.amplitude * math.cos(
+            2.0 * math.pi * (hour_of_day - self.peak_hour) / HOURS_PER_DAY
+        )
+        rate = self.base_rate * modulation
+        return -math.log(max(1e-12, 1.0 - rate)) / MINUTES_PER_HOUR
+
+    def sample_eviction(self, start_minute: int, rng: np.random.Generator) -> float:
+        if self.base_rate == 0:
+            return math.inf
+        peak = -math.log(1.0 - min(0.999999, self.base_rate * (1 + self.amplitude)))
+        peak_per_minute = peak / MINUTES_PER_HOUR
+        elapsed = 0.0
+        # Thinning (Lewis-Shedler): propose from the peak-rate process,
+        # accept with probability rate(t)/peak.
+        for _ in range(100_000):
+            elapsed += rng.exponential(1.0 / peak_per_minute)
+            if rng.random() <= self._rate_at(start_minute + elapsed) / peak_per_minute:
+                return elapsed
+        return math.inf  # pragma: no cover - unreachable at sane rates

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the GAIA reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TraceError(ReproError):
+    """A carbon or workload trace is malformed or too short for the request."""
+
+
+class ConfigError(ReproError):
+    """A simulation, cluster, or policy configuration is invalid."""
+
+
+class SchedulingError(ReproError):
+    """A policy produced an invalid decision (e.g. start before arrival)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class CapacityError(ReproError):
+    """Capacity bookkeeping was violated (double-free / over-allocation)."""

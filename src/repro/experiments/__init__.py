@@ -1,0 +1,20 @@
+"""Experiment layer: one module per paper figure/table.
+
+Use :func:`repro.experiments.run_experiment` (or the per-figure modules'
+``run``) to regenerate a figure's data rows; ``ExperimentResult.render``
+prints them as a table.  Sizes are controlled by ``REPRO_SCALE``.
+"""
+
+from repro.experiments import setup
+from repro.experiments.base import SCALES, ExperimentResult, Scale, current_scale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "setup",
+    "ExperimentResult",
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "EXPERIMENTS",
+    "run_experiment",
+]

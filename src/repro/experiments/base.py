@@ -1,0 +1,81 @@
+"""Experiment plumbing: result container and scale control.
+
+Every paper figure/table maps to one module exposing
+``run(scale=None) -> ExperimentResult``.  The ``REPRO_SCALE`` environment
+variable (``small`` / ``medium`` / ``full``) sets the default workload
+sizes: ``full`` is the paper's configuration (year-long, 100k jobs);
+``medium`` (the default) shrinks the horizon and job count together so
+the mean cluster demand -- which the reserved-pool experiments anchor on
+-- is preserved while the whole suite runs in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigError
+
+__all__ = ["Scale", "SCALES", "current_scale", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Workload sizing for one experiment scale."""
+
+    name: str
+    raw_jobs: int      # jobs generated in the "original" trace
+    year_jobs: int     # jobs sampled into the large-scale workload
+    year_days: int     # horizon of the large-scale workload
+    week_jobs: int     # jobs sampled into the prototype-style week workload
+
+
+SCALES: dict[str, Scale] = {
+    "small": Scale("small", raw_jobs=20_000, year_jobs=4_000, year_days=28, week_jobs=300),
+    "medium": Scale("medium", raw_jobs=60_000, year_jobs=20_000, year_days=91, week_jobs=1_000),
+    "full": Scale("full", raw_jobs=200_000, year_jobs=100_000, year_days=365, week_jobs=1_000),
+}
+
+
+def current_scale(override: str | None = None) -> Scale:
+    """Resolve the active scale (explicit arg beats ``REPRO_SCALE``)."""
+    name = override or os.environ.get("REPRO_SCALE", "medium")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one reproduced figure/table."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    columns: Sequence[str] | None = None
+    notes: str = ""
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Text rendering used by the benchmark harness."""
+        header = f"{self.experiment_id}: {self.title}"
+        table = render_table(self.rows, columns=self.columns, title=header)
+        if self.notes:
+            return f"{table}\n\n{self.notes}"
+        return table
+
+    def column(self, key: str) -> list:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows]
+
+    def row_for(self, key: str, value) -> dict:
+        """First row whose ``key`` equals ``value``."""
+        for row in self.rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r}")

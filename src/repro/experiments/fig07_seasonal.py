@@ -1,0 +1,40 @@
+"""Fig. 7 -- seasonal carbon-intensity variation.
+
+The paper plots monthly mean CI for California and South Australia,
+noting that South Australia's carbon intensity nearly doubles between
+July and December (southern-hemisphere seasonality).
+"""
+
+from __future__ import annotations
+
+from repro.carbon.regions import region_trace
+from repro.carbon.stats import monthly_means
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run"]
+
+MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Monthly mean CI for CA-US and SA-AU (scale-independent)."""
+    ca = monthly_means(region_trace("CA-US"))
+    sa = monthly_means(region_trace("SA-AU"))
+    rows = [
+        {"month": month, "CA-US": ca_value, "SA-AU": sa_value}
+        for month, ca_value, sa_value in zip(MONTHS, ca, sa)
+    ]
+    jul_dec_ratio = sa[11] / sa[6]
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Mean carbon intensity by month",
+        rows=rows,
+        notes=(
+            f"SA-AU December/July ratio: {jul_dec_ratio:.2f} "
+            "(paper: carbon intensity almost doubles between July and December)"
+        ),
+        extras={"sa_jul_dec_ratio": jul_dec_ratio},
+    )

@@ -1,0 +1,65 @@
+"""Fig. 12 -- combining spot and reserved purchase options.
+
+Week Alibaba workload in South Australia.  Spot-First keeps the carbon
+savings of the carbon-aware schedule while cutting cost (~17% in the
+paper, evictions never fired in the prototype); Spot-RES adds reserved
+capacity for long jobs and re-introduces the carbon/cost dial: more
+reserved CPUs -> cheaper but dirtier.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.normalize import normalize_to_max
+from repro.cluster.spot import NoEvictions
+from repro.experiments import setup
+from repro.experiments.base import ExperimentResult
+from repro.simulator.simulation import run_simulation
+
+__all__ = ["run", "CONFIGS"]
+
+#: (label, policy spec, reserved CPUs), mirroring the paper's x-axis.
+CONFIGS = (
+    ("Carbon-Time (0)", "carbon-time", 0),
+    ("Spot-First-Carbon-Time (0)", "spot-first:carbon-time", 0),
+    ("Spot-First-Ecovisor (0)", "spot-first:ecovisor", 0),
+    ("Spot-RES-Carbon-Time (9)", "spot-res:carbon-time", 9),
+    ("Spot-RES-Carbon-Time (6)", "spot-res:carbon-time", 6),
+)
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Regenerate the Fig. 12 spot/reserved combinations."""
+    workload = setup.week_workload("alibaba", scale)
+    carbon = setup.carbon_for("SA-AU")
+    results = {}
+    for label, spec, reserved in CONFIGS:
+        results[label] = run_simulation(
+            workload,
+            carbon,
+            spec,
+            reserved_cpus=reserved,
+            eviction_model=NoEvictions(),  # the paper's prototype saw none
+        )
+    norm_carbon = normalize_to_max({k: r.total_carbon_kg for k, r in results.items()})
+    norm_cost = normalize_to_max({k: r.total_cost for k, r in results.items()})
+    norm_wait = normalize_to_max({k: r.mean_waiting_hours for k, r in results.items()})
+    rows = [
+        {
+            "config": label,
+            "normalized_carbon": norm_carbon[label],
+            "normalized_cost": norm_cost[label],
+            "normalized_wait": norm_wait[label],
+            "cost_usd": results[label].total_cost,
+        }
+        for label, _, _ in CONFIGS
+    ]
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Spot and reserved combinations (SA-AU, week trace)",
+        rows=rows,
+        notes=(
+            "paper: Spot-First keeps Carbon-Time's savings ~17% cheaper; "
+            "Spot-RES(9) cheapest but fewer savings than Spot-RES(6)"
+        ),
+        extras={"results": results},
+    )

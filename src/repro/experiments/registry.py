@@ -1,0 +1,76 @@
+"""Registry mapping experiment ids to their ``run`` functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.experiments import ablations, extensions
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig01_carbon_variation import run as fig01
+from repro.experiments.fig02_motivating import run as fig02
+from repro.experiments.fig04_regimes import run as fig04
+from repro.experiments.fig05_traces import run as fig05
+from repro.experiments.fig06_regions import run as fig06
+from repro.experiments.fig07_seasonal import run as fig07
+from repro.experiments.fig08_policies import run as fig08
+from repro.experiments.fig09_savings_by_length import run as fig09
+from repro.experiments.fig10_hybrid_policies import run as fig10
+from repro.experiments.fig11_reserved_sweep import run as fig11
+from repro.experiments.fig12_spot_reserved import run as fig12
+from repro.experiments.fig13_traces import run as fig13
+from repro.experiments.fig14_waiting import run as fig14
+from repro.experiments.fig15_regions import run as fig15
+from repro.experiments.fig16_total_savings import run as fig16
+from repro.experiments.fig17_reserved_traces import run as fig17
+from repro.experiments.fig18_spot_eviction import run as fig18
+from repro.experiments.fig19_hybrid_sweep import run as fig19
+from repro.experiments.fig20_price_conflict import run as fig20
+from repro.experiments.headline import run as headline
+from repro.experiments.table1_policies import run as table1
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": fig01,
+    "fig02": fig02,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "table1": table1,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "fig20": fig20,
+    "headline": headline,
+    "ablation-forecast": ablations.forecast_noise,
+    "ablation-granularity": ablations.granularity,
+    "ablation-carbon-tax": ablations.carbon_tax,
+    "ext-suspend-resume": extensions.suspend_resume,
+    "ext-checkpointing": extensions.checkpointing,
+    "ext-federation": extensions.federation,
+    "ext-provisioning": extensions.provisioning,
+    "ext-arrival-phase": extensions.arrival_phase,
+    "ext-energy-price": extensions.energy_price,
+    "ext-scaling": extensions.scaling,
+}
+
+
+def run_experiment(experiment_id: str, scale: str | None = None) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig11"``)."""
+    runner = EXPERIMENTS.get(experiment_id)
+    if runner is None:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return runner(scale)

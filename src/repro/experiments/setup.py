@@ -1,0 +1,115 @@
+"""Canonical experiment inputs (paper Section 6.1), cached per scale.
+
+Provides the workloads and carbon traces every figure module consumes:
+the three trace families put through the paper's sampling pipeline, the
+six regions' CI traces, and the paper's default queue/waiting
+configuration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.carbon.regions import region_trace
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import ConfigError
+from repro.experiments.base import Scale, current_scale
+from repro.units import MINUTES_PER_DAY, hours
+from repro.workload.job import QueueSet, default_queue_set
+from repro.workload.sampling import week_long_trace, year_long_trace
+from repro.workload.synthetic import TRACE_FAMILIES
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "raw_trace",
+    "year_workload",
+    "week_workload",
+    "carbon_for",
+    "fine_grained_queues",
+    "EVAL_REGIONS",
+    "DEFAULT_SEED",
+]
+
+#: Regions of the large-scale evaluation (Figs. 15-16), paper order.
+EVAL_REGIONS: tuple[str, ...] = ("SA-AU", "ON-CA", "CA-US", "NL", "KY-US")
+
+#: Seed used by all canonical experiment inputs.
+DEFAULT_SEED = 1
+
+
+def current_scale_name(override: str | None = None) -> str:
+    """Resolve the active scale name (see :func:`current_scale`)."""
+    return current_scale(override).name
+
+
+@lru_cache(maxsize=16)
+def raw_trace(family: str, scale_name: str) -> WorkloadTrace:
+    """The synthetic stand-in for one of the paper's original traces."""
+    generator = TRACE_FAMILIES.get(family)
+    if generator is None:
+        raise ConfigError(f"unknown trace family {family!r}; known: {sorted(TRACE_FAMILIES)}")
+    scale = current_scale(scale_name)
+    return generator(num_jobs=scale.raw_jobs, seed=DEFAULT_SEED)
+
+
+@lru_cache(maxsize=16)
+def _year_workload(family: str, scale_name: str) -> WorkloadTrace:
+    scale = current_scale(scale_name)
+    return year_long_trace(
+        raw_trace(family, scale.name),
+        num_jobs=scale.year_jobs,
+        horizon=scale.year_days * MINUTES_PER_DAY,
+        seed=DEFAULT_SEED,
+    )
+
+
+def year_workload(family: str, scale_name: str | None = None) -> WorkloadTrace:
+    """The paper's year-long 100k-job workload (scaled per REPRO_SCALE)."""
+    return _year_workload(family, current_scale(scale_name).name)
+
+
+@lru_cache(maxsize=16)
+def _week_workload(family: str, scale_name: str) -> WorkloadTrace:
+    scale = current_scale(scale_name)
+    return week_long_trace(
+        raw_trace(family, scale.name), num_jobs=scale.week_jobs, seed=DEFAULT_SEED
+    )
+
+
+def week_workload(family: str = "alibaba", scale_name: str | None = None) -> WorkloadTrace:
+    """The paper's week-long 1k-job prototype workload (<=4 CPUs/job)."""
+    return _week_workload(family, current_scale(scale_name).name)
+
+
+def carbon_for(region: str) -> CarbonIntensityTrace:
+    """Year-long canonical CI trace for a region (cached upstream)."""
+    return region_trace(region, seed=0)
+
+
+def fine_grained_queues(max_wait_hours: int = 24, short_wait_hours: int = 6) -> QueueSet:
+    """Queue set with hour-granular bounds for the spot J^max sweeps.
+
+    Spot eligibility is decided by *queue bound*, so the Fig. 18/19
+    sweeps over J^max in {2, 6, 12, 18, 24} hours need queues at those
+    boundaries (plus the 3-day catch-all of the default configuration).
+    """
+    from repro.workload.job import JobQueue
+
+    bounds = [2, 6, 12, 18, 24]
+    queues = [
+        JobQueue(
+            name=f"q{bound}h",
+            max_length=hours(bound),
+            max_wait=hours(short_wait_hours if bound <= 2 else max_wait_hours),
+        )
+        for bound in bounds
+    ]
+    queues.append(
+        JobQueue(name="qlong", max_length=hours(24 * 3), max_wait=hours(max_wait_hours))
+    )
+    return QueueSet(tuple(queues))
+
+
+def default_queues() -> QueueSet:
+    """The paper's two-queue default (short <= 2 h / long <= 3 days)."""
+    return default_queue_set()

@@ -1,0 +1,21 @@
+"""Table 1 -- summary of scheduling policies and their assumptions."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.policies.registry import policy_table
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    """Regenerate the paper's Table 1 from the policy class metadata."""
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Summary of scheduling policies",
+        rows=policy_table(),
+        notes=(
+            "Job length 'J_avg' = queue-wide historical average only; "
+            "'Yes' = exact per-job length (Wait Awhile's assumption)."
+        ),
+    )

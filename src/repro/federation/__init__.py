@@ -1,0 +1,25 @@
+"""Geo-distributed federation (the paper's spatial-shifting future work)."""
+
+from repro.federation.selectors import (
+    GreedySpatial,
+    HomeRegion,
+    LowestMeanCI,
+    RegionSelector,
+    SpatioTemporal,
+)
+from repro.federation.simulation import (
+    FederatedRegion,
+    FederatedResult,
+    run_federated_simulation,
+)
+
+__all__ = [
+    "RegionSelector",
+    "HomeRegion",
+    "LowestMeanCI",
+    "GreedySpatial",
+    "SpatioTemporal",
+    "FederatedRegion",
+    "FederatedResult",
+    "run_federated_simulation",
+]

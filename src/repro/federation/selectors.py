@@ -1,0 +1,131 @@
+"""Region-selection policies for geographically federated clusters.
+
+The paper exploits *temporal* CI variation within a single region and
+leaves *spatial* shifting across geo-distributed clusters as future work
+(Sections 2.1 and 9).  This module implements that extension: a
+:class:`RegionSelector` assigns each arriving job to one of the
+federation's regions; the chosen region's own (temporal) scheduling
+policy then decides when it runs.
+
+Selectors see the same knowledge the temporal policies do: per-region CI
+forecasts and the job's queue (bound + average length), never its true
+length.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.policies.base import SchedulingContext
+from repro.workload.job import Job
+
+__all__ = [
+    "RegionSelector",
+    "HomeRegion",
+    "LowestMeanCI",
+    "GreedySpatial",
+    "SpatioTemporal",
+]
+
+
+class RegionSelector(ABC):
+    """Chooses the execution region for each arriving job."""
+
+    name: str = "selector"
+
+    @abstractmethod
+    def select(self, job: Job, contexts: dict[str, SchedulingContext]) -> str:
+        """Return the name of the region ``job`` should execute in.
+
+        ``contexts`` maps region name to that region's scheduling
+        context (forecaster + queues).
+        """
+
+
+class HomeRegion(RegionSelector):
+    """Keep every job in its home region (the single-region baseline)."""
+
+    def __init__(self, home: str):
+        self.home = home
+        self.name = f"home:{home}"
+
+    def select(self, job: Job, contexts: dict[str, SchedulingContext]) -> str:
+        if self.home not in contexts:
+            raise ConfigError(f"home region {self.home!r} not in the federation")
+        return self.home
+
+
+class LowestMeanCI(RegionSelector):
+    """Statically route everything to the annually-greenest region.
+
+    The obvious strawman: it ignores when the job runs, so a region that
+    is green *on average* but dirty right now still wins.
+    """
+
+    name = "lowest-mean-ci"
+
+    def select(self, job: Job, contexts: dict[str, SchedulingContext]) -> str:
+        means = {
+            region: float(ctx.forecaster.trace.hourly.mean())
+            for region, ctx in contexts.items()
+        }
+        return min(means, key=means.get)
+
+
+class GreedySpatial(RegionSelector):
+    """Route to the region with the greenest *immediate* window.
+
+    Evaluates each region's forecast carbon over ``[t, t + Ĵ]`` (the
+    queue-average window, starting now) and picks the minimum: spatial
+    shifting without temporal shifting.
+    """
+
+    name = "greedy-spatial"
+
+    def select(self, job: Job, contexts: dict[str, SchedulingContext]) -> str:
+        best_region = None
+        best_carbon = np.inf
+        for region, ctx in sorted(contexts.items()):
+            queue = ctx.queue_of(job)
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            end = min(job.arrival + estimate, ctx.carbon_horizon)
+            carbon = ctx.forecaster.interval_carbon(job.arrival, job.arrival, end)
+            if carbon < best_carbon:
+                best_carbon = carbon
+                best_region = region
+        if best_region is None:
+            raise ConfigError("empty federation")
+        return best_region
+
+
+class SpatioTemporal(RegionSelector):
+    """Jointly pick the region whose *best start* within W is greenest.
+
+    For each region, evaluates the minimum forecast window carbon over
+    all candidate starts in ``[t, t + W]`` (what Lowest-Window would
+    achieve there) and routes to the winner -- spatial and temporal
+    flexibility composed.
+    """
+
+    name = "spatio-temporal"
+
+    def select(self, job: Job, contexts: dict[str, SchedulingContext]) -> str:
+        best_region = None
+        best_carbon = np.inf
+        for region, ctx in sorted(contexts.items()):
+            queue = ctx.queue_of(job)
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            candidates = ctx.candidate_starts(job.arrival, queue.max_wait, estimate)
+            footprints = ctx.forecaster.window_carbon_many(
+                job.arrival, candidates, estimate
+            )
+            carbon = float(footprints.min())
+            if carbon < best_carbon:
+                best_carbon = carbon
+                best_region = region
+        if best_region is None:
+            raise ConfigError("empty federation")
+        return best_region

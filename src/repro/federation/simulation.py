@@ -1,0 +1,189 @@
+"""Federated (multi-region) simulation.
+
+Runs one GAIA cluster per region: a :class:`RegionSelector` routes each
+job at arrival, then every region executes its share with its own engine
+(reserved pool, CI trace, temporal policy).  Jobs placed outside their
+home region optionally pay a migration delay (data transfer before the
+job is schedulable), which shifts their effective arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
+from repro.errors import ConfigError
+from repro.federation.selectors import RegionSelector
+from repro.policies.base import Policy, SchedulingContext
+from repro.policies.registry import make_policy
+from repro.simulator.engine import Engine
+from repro.simulator.results import SimulationResult
+from repro.simulator.simulation import prepare_carbon
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job, QueueSet, default_queue_set
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["FederatedRegion", "FederatedResult", "run_federated_simulation"]
+
+
+@dataclass(frozen=True)
+class FederatedRegion:
+    """One cluster of the federation."""
+
+    name: str
+    carbon: CarbonIntensityTrace
+    reserved_cpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reserved_cpus < 0:
+            raise ConfigError(f"region {self.name}: negative reserved pool")
+
+
+@dataclass
+class FederatedResult:
+    """Merged accounting across the federation's per-region runs."""
+
+    selector_name: str
+    policy_name: str
+    home: str
+    per_region: dict[str, SimulationResult] = field(default_factory=dict)
+    placements: dict[str, int] = field(default_factory=dict)
+    migrated_jobs: int = 0
+
+    @property
+    def total_carbon_kg(self) -> float:
+        return sum(result.total_carbon_kg for result in self.per_region.values())
+
+    @property
+    def total_cost(self) -> float:
+        return sum(result.total_cost for result in self.per_region.values())
+
+    @property
+    def mean_waiting_hours(self) -> float:
+        waits = [
+            record.waiting_time
+            for result in self.per_region.values()
+            for record in result.records
+        ]
+        return sum(waits) / len(waits) / MINUTES_PER_HOUR if waits else 0.0
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(len(result.records) for result in self.per_region.values())
+
+    def summary(self) -> dict[str, float | str]:
+        return {
+            "selector": self.selector_name,
+            "policy": self.policy_name,
+            "carbon_kg": self.total_carbon_kg,
+            "cost_usd": self.total_cost,
+            "mean_wait_h": self.mean_waiting_hours,
+            "migrated_jobs": float(self.migrated_jobs),
+        }
+
+
+def run_federated_simulation(
+    workload: WorkloadTrace,
+    regions: list[FederatedRegion],
+    selector: RegionSelector,
+    policy: Policy | str,
+    home: str | None = None,
+    queues: QueueSet | None = None,
+    migration_minutes: int = 0,
+    pricing: PricingModel = DEFAULT_PRICING,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    granularity: int = 5,
+) -> FederatedResult:
+    """Route the workload across regions, then simulate each cluster.
+
+    ``policy`` (a spec string or instance) is the *temporal* policy every
+    region runs; ``selector`` is the *spatial* policy.  ``home`` defaults
+    to the first region; jobs routed elsewhere have ``migration_minutes``
+    added to their arrival (data staging) before they become schedulable.
+    """
+    if not regions:
+        raise ConfigError("a federation needs at least one region")
+    names = [region.name for region in regions]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate region names: {names}")
+    home = home if home is not None else names[0]
+    if home not in names:
+        raise ConfigError(f"home region {home!r} not in the federation")
+    if migration_minutes < 0:
+        raise ConfigError("migration delay must be non-negative")
+    if isinstance(policy, str):
+        policy_spec = policy
+    else:
+        policy_spec = None
+
+    queues = queues if queues is not None else default_queue_set()
+    queues = queues.with_averages(workload.jobs)
+    workload = workload.with_queues(queues)
+
+    # Build per-region contexts over fully tiled carbon so selector and
+    # engines see identical horizons.
+    extra_hours = -(-migration_minutes // MINUTES_PER_HOUR)
+    prepared = {}
+    for region in regions:
+        trace = prepare_carbon(region.carbon, workload, queues)
+        if extra_hours:
+            # Migration shifts arrivals later; keep the slack intact.
+            trace = trace.tile_to(trace.num_hours + extra_hours)
+        prepared[region.name] = trace
+    contexts = {
+        name: SchedulingContext(
+            forecaster=PerfectForecaster(trace), queues=queues, granularity=granularity
+        )
+        for name, trace in prepared.items()
+    }
+
+    # Route every job; apply the migration delay off-home.
+    assigned: dict[str, list[Job]] = {name: [] for name in names}
+    migrated = 0
+    for job in workload:
+        region = selector.select(job, contexts)
+        if region not in assigned:
+            raise ConfigError(f"selector chose unknown region {region!r}")
+        if region != home and migration_minutes:
+            job = replace(job, arrival=job.arrival + migration_minutes)
+            migrated += 1
+        elif region != home:
+            migrated += 1
+        assigned[region].append(job)
+
+    by_region: dict[str, SimulationResult] = {}
+    for region in regions:
+        jobs = assigned[region.name]
+        if not jobs:
+            continue
+        sub_workload = WorkloadTrace(
+            jobs, name=f"{workload.name}@{region.name}",
+            horizon=max(workload.horizon, max(j.arrival for j in jobs) + 1),
+        )
+        region_policy = (
+            make_policy(policy_spec) if policy_spec is not None else policy
+        )
+        engine = Engine(
+            workload=sub_workload,
+            carbon=prepared[region.name],
+            policy=region_policy,
+            queues=queues,
+            reserved_cpus=region.reserved_cpus,
+            pricing=pricing,
+            energy=energy,
+            granularity=granularity,
+        )
+        by_region[region.name] = engine.run()
+
+    policy_name = next(iter(by_region.values())).policy_name if by_region else str(policy)
+    return FederatedResult(
+        selector_name=selector.name,
+        policy_name=policy_name,
+        home=home,
+        per_region=by_region,
+        placements={name: len(jobs) for name, jobs in assigned.items()},
+        migrated_jobs=migrated,
+    )

@@ -1,0 +1,38 @@
+"""GAIA scheduling policies (the paper's core contribution)."""
+
+from repro.policies.base import Decision, Policy, SchedulingContext, validate_decision
+from repro.policies.carbon_agnostic import AllWaitThreshold, NoWait
+from repro.policies.carbon_time import CarbonTime
+from repro.policies.ecovisor import Ecovisor
+from repro.policies.lowest_slot import LowestSlot
+from repro.policies.lowest_window import LowestWindow
+from repro.policies.price_aware import PriceAware, WeightedCarbonPrice
+from repro.policies.registry import TIMING_POLICIES, WRAPPERS, make_policy, policy_table
+from repro.policies.suspend_resume import GaiaSuspendResume
+from repro.policies.wait_awhile import WaitAwhile, merge_segments
+from repro.policies.wrappers import ResFirst, SpotFirst, SpotRes
+
+__all__ = [
+    "Policy",
+    "Decision",
+    "SchedulingContext",
+    "validate_decision",
+    "NoWait",
+    "AllWaitThreshold",
+    "WaitAwhile",
+    "Ecovisor",
+    "LowestSlot",
+    "LowestWindow",
+    "CarbonTime",
+    "GaiaSuspendResume",
+    "PriceAware",
+    "WeightedCarbonPrice",
+    "ResFirst",
+    "SpotFirst",
+    "SpotRes",
+    "make_policy",
+    "policy_table",
+    "TIMING_POLICIES",
+    "WRAPPERS",
+    "merge_segments",
+]

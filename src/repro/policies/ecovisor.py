@@ -1,0 +1,73 @@
+"""Ecovisor baseline (Souza et al., ASPLOS '23; paper Table 1).
+
+A *reactive* suspend-resume policy that needs no job-length knowledge:
+at job arrival it fixes a threshold at the 30th percentile of the carbon
+intensity over the next 24 hours, then executes whenever the current CI
+is at or below the threshold and pauses otherwise.  Once the job has
+waited its queue's maximum waiting time ``W`` in total, it runs to
+completion unconditionally (the paper's compliance rule).
+
+The engine executes plans, so the reactive walk is materialized into
+segments at arrival; the walk consults only the "current" CI at each
+step and uses the true length solely as its stopping condition, which is
+behaviourally identical to reacting online.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.stats import percentile_threshold
+from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.wait_awhile import merge_segments
+from repro.units import HOURS_PER_DAY, MINUTES_PER_HOUR
+from repro.workload.job import Job
+
+__all__ = ["Ecovisor"]
+
+
+class Ecovisor(Policy):
+    """Greedy threshold suspend-resume: run below the 30th CI percentile."""
+
+    name = "Ecovisor"
+    carbon_aware = True
+    performance_aware = False
+    length_knowledge = "none"
+
+    def __init__(self, threshold_percentile: float = 30.0, lookahead_hours: int = HOURS_PER_DAY):
+        self.threshold_percentile = threshold_percentile
+        self.lookahead_hours = lookahead_hours
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        arrival = job.arrival
+        remaining = job.length
+        queue = ctx.queue_of(job)
+        wait_budget = queue.max_wait
+
+        horizon_hours = min(
+            self.lookahead_hours,
+            ctx.forecaster.trace.num_hours - arrival // MINUTES_PER_HOUR,
+        )
+        window = ctx.forecaster.slot_values(arrival, arrival, horizon_hours)
+        threshold = percentile_threshold(window, self.threshold_percentile)
+
+        segments: list[tuple[int, int]] = []
+        cursor = arrival
+        waited = 0
+        while remaining > 0:
+            if waited >= wait_budget or cursor + remaining >= ctx.carbon_horizon:
+                # Waiting budget exhausted (or out of carbon data): the
+                # job now runs to completion unconditionally.
+                segments.append((cursor, cursor + remaining))
+                break
+            slot_end = (cursor // MINUTES_PER_HOUR + 1) * MINUTES_PER_HOUR
+            current_ci = float(ctx.forecaster.slot_values(cursor, cursor, 1)[0])
+            if current_ci <= threshold:
+                run = min(slot_end - cursor, remaining)
+                segments.append((cursor, cursor + run))
+                cursor += run
+                remaining -= run
+            else:
+                pause = min(slot_end - cursor, wait_budget - waited)
+                waited += pause
+                cursor += pause
+        plan = merge_segments(segments)
+        return Decision(start_time=plan[0][0], segments=plan)

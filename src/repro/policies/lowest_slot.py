@@ -1,0 +1,43 @@
+"""Lowest Carbon Slot policy (paper Section 4.2.1).
+
+Examine the CI forecast over the waiting window ``[t, t + W)`` and begin
+execution at the hour slot with the lowest carbon intensity.  Needs no
+job-length knowledge at all -- the cheapest slot is cheapest regardless of
+how long the job runs from there (though not necessarily optimal for the
+job's full footprint, which is Lowest-Window's refinement).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job
+
+__all__ = ["LowestSlot"]
+
+
+class LowestSlot(Policy):
+    """Start at the lowest-CI hourly slot within the waiting window."""
+
+    name = "Lowest-Slot"
+    carbon_aware = True
+    performance_aware = False
+    length_knowledge = "none"
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        queue = ctx.queue_of(job)
+        arrival = job.arrival
+        window_end = min(arrival + queue.max_wait, ctx.carbon_horizon - queue.max_length)
+        if window_end <= arrival:
+            return Decision(start_time=arrival)
+
+        first_hour = arrival // MINUTES_PER_HOUR
+        num_hours = -(-window_end // MINUTES_PER_HOUR) - first_hour
+        values = ctx.forecaster.slot_values(arrival, arrival, num_hours)
+
+        best_index = int(np.argmin(values))  # argmin ties break earliest
+        slot_start = (first_hour + best_index) * MINUTES_PER_HOUR
+        start = min(max(arrival, slot_start), window_end)
+        return Decision(start_time=start)

@@ -1,0 +1,102 @@
+"""Electricity-price-aware scheduling (paper Section 7 / Fig. 20).
+
+The paper's discussion notes that private-cloud operators face the same
+trade-off through *dynamic energy pricing*: a carbon-aware schedule is
+only sometimes a cost-aware one (ERCOT's price/CI correlation is ~0.16).
+These policies make that concrete:
+
+* :class:`PriceAware` is Lowest-Window against the **price** series --
+  what a purely cost-driven operator runs.
+* :class:`WeightedCarbonPrice` minimizes a weighted blend of normalized
+  window carbon and window energy cost, tracing the carbon/cost frontier
+  the discussion describes; ``weight=1`` degrades to Lowest-Window,
+  ``weight=0`` to PriceAware.
+
+Both consume a price series through :class:`SchedulingContext`'s
+``price_forecaster`` -- a :class:`PerfectForecaster` over an
+:class:`ElectricityPriceTrace` works directly, since prices (unlike CI)
+are typically published day-ahead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.workload.job import Job
+
+__all__ = ["PriceAware", "WeightedCarbonPrice"]
+
+
+def _price_forecaster(ctx: SchedulingContext):
+    forecaster = getattr(ctx, "price_forecaster", None)
+    if forecaster is None:
+        raise SchedulingError(
+            "price-aware policies need ctx.price_forecaster (a Forecaster "
+            "over an ElectricityPriceTrace)"
+        )
+    return forecaster
+
+
+class PriceAware(Policy):
+    """Start where the estimated-length *energy cost* integral is smallest."""
+
+    name = "Price-Aware"
+    carbon_aware = False
+    performance_aware = False
+    length_knowledge = "average"
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        queue = ctx.queue_of(job)
+        estimate = max(1, int(round(ctx.length_estimate(queue))))
+        candidates = ctx.candidate_starts(job.arrival, queue.max_wait, estimate)
+        if candidates.size == 1:
+            return Decision(start_time=int(candidates[0]))
+        prices = _price_forecaster(ctx).window_carbon_many(
+            job.arrival, candidates, estimate
+        )
+        tolerance = 1e-9 * max(1.0, float(np.max(np.abs(prices))))
+        best = int(np.flatnonzero(prices <= prices.min() + tolerance)[0])
+        return Decision(start_time=int(candidates[best]))
+
+
+class WeightedCarbonPrice(Policy):
+    """Minimize ``w * carbon + (1 - w) * energy_cost`` over the window.
+
+    Both objectives are normalized by their value at the immediate start
+    so the weight is unitless; ``carbon_weight`` in [0, 1].
+    """
+
+    carbon_aware = True
+    performance_aware = False
+    length_knowledge = "average"
+
+    def __init__(self, carbon_weight: float = 0.5):
+        if not 0.0 <= carbon_weight <= 1.0:
+            raise SchedulingError("carbon_weight must lie in [0, 1]")
+        self.carbon_weight = carbon_weight
+        self.name = f"Carbon-Price({carbon_weight:.2f})"
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        queue = ctx.queue_of(job)
+        estimate = max(1, int(round(ctx.length_estimate(queue))))
+        arrival = job.arrival
+        candidates = ctx.candidate_starts(arrival, queue.max_wait, estimate)
+        if candidates.size == 1:
+            return Decision(start_time=int(candidates[0]))
+
+        carbon = ctx.forecaster.window_carbon_many(arrival, candidates, estimate)
+        price = _price_forecaster(ctx).window_carbon_many(arrival, candidates, estimate)
+
+        def normalized(series: np.ndarray) -> np.ndarray:
+            anchor = abs(float(series[0]))
+            return series / anchor if anchor > 1e-12 else series
+
+        blended = (
+            self.carbon_weight * normalized(carbon)
+            + (1.0 - self.carbon_weight) * normalized(price)
+        )
+        tolerance = 1e-9 * max(1.0, float(np.max(np.abs(blended))))
+        best = int(np.flatnonzero(blended <= blended.min() + tolerance)[0])
+        return Decision(start_time=int(candidates[best]))

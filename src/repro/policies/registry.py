@@ -1,0 +1,102 @@
+"""Policy registry and the paper's Table 1.
+
+``make_policy`` builds any policy (including wrapped variants) from a
+spec string such as ``"carbon-time"``, ``"res-first:carbon-time"`` or
+``"spot-res:lowest-window"``, which the experiment layer and examples use
+for configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.policies.base import Policy
+from repro.policies.carbon_agnostic import AllWaitThreshold, NoWait
+from repro.policies.carbon_time import CarbonTime
+from repro.policies.ecovisor import Ecovisor
+from repro.policies.lowest_slot import LowestSlot
+from repro.policies.lowest_window import LowestWindow
+from repro.policies.suspend_resume import GaiaSuspendResume
+from repro.policies.wait_awhile import WaitAwhile
+from repro.policies.wrappers import ResFirst, SpotFirst, SpotRes
+
+__all__ = ["TIMING_POLICIES", "WRAPPERS", "make_policy", "policy_table"]
+
+#: Factories for the timing policies of the paper's Table 1.
+TIMING_POLICIES: dict[str, Callable[[], Policy]] = {
+    "nowait": NoWait,
+    "allwait-threshold": AllWaitThreshold,
+    "wait-awhile": WaitAwhile,
+    "ecovisor": Ecovisor,
+    "lowest-slot": LowestSlot,
+    "lowest-window": LowestWindow,
+    "carbon-time": CarbonTime,
+    # Extension beyond the paper: suspend-resume with queue-average
+    # knowledge only (the paper's Section 4.1 future work).
+    "gaia-sr": GaiaSuspendResume,
+}
+
+#: Purchase-option wrappers (Section 4.2.3-4.2.4).
+WRAPPERS: dict[str, Callable[[Policy], Policy]] = {
+    "res-first": ResFirst,
+    "spot-first": SpotFirst,
+    "spot-res": SpotRes,
+}
+
+
+def make_policy(spec: str, **wrapper_kwargs) -> Policy:
+    """Build a policy from a spec like ``"res-first:carbon-time"``.
+
+    The spec is ``[wrapper:]timing``; wrapper kwargs (e.g.
+    ``spot_max_length``) are forwarded to the wrapper constructor.
+    """
+    spec = spec.strip().lower()
+    if ":" in spec:
+        wrapper_name, _, timing_name = spec.partition(":")
+        wrapper = WRAPPERS.get(wrapper_name)
+        if wrapper is None:
+            raise ConfigError(
+                f"unknown wrapper {wrapper_name!r}; known: {sorted(WRAPPERS)}"
+            )
+    else:
+        wrapper, timing_name = None, spec
+    factory = TIMING_POLICIES.get(timing_name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown policy {timing_name!r}; known: {sorted(TIMING_POLICIES)}"
+        )
+    policy = factory()
+    if wrapper is None:
+        if wrapper_kwargs:
+            raise ConfigError("wrapper kwargs given without a wrapper")
+        return policy
+    return wrapper(policy, **wrapper_kwargs)
+
+
+def policy_table() -> list[dict[str, str]]:
+    """Rows of the paper's Table 1 (policy capability summary)."""
+    rows = []
+    for name in (
+        "nowait",
+        "allwait-threshold",
+        "wait-awhile",
+        "ecovisor",
+        "lowest-slot",
+        "lowest-window",
+        "carbon-time",
+    ):
+        policy = TIMING_POLICIES[name]()
+        rows.append(
+            {
+                "policy": policy.name,
+                "job_length": {
+                    "none": "-",
+                    "average": "J_avg",
+                    "exact": "Yes",
+                }[policy.length_knowledge],
+                "carbon_aware": "Yes" if policy.carbon_aware else "-",
+                "performance_aware": "Yes" if policy.performance_aware else "-",
+            }
+        )
+    return rows

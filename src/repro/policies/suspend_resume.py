@@ -1,0 +1,120 @@
+"""GAIA suspend-resume extension (the paper's Section 4.1 future work).
+
+GAIA's released policies are uninterruptible: "Adding suspend-resume
+capability to the scheduler is part of future work.  Such a capability
+can further increase carbon savings ... albeit at the expense of
+increasing completion times."  This module implements that extension
+while keeping GAIA's knowledge model: the scheduler still knows only the
+**queue-wide average length** Ĵ, never the job's true length.
+
+:class:`GaiaSuspendResume` plans like Wait Awhile but against Ĵ: it
+selects the cheapest-carbon hourly slots summing to Ĵ within the
+deadline ``t + Ĵ + W`` and runs the job in them.  Because the true
+length J may differ from Ĵ, the plan is *materialized* by walking time:
+
+* run during selected slots, pause outside them;
+* if the job finishes before the plan is exhausted (J < Ĵ), stop early;
+* if the plan is exhausted and the job is unfinished (J > Ĵ), keep
+  running contiguously to completion (no further pausing -- the waiting
+  budget was provisioned for Ĵ).
+
+Total pausing is bounded by W by construction, so the decision always
+validates against the queue contract.  The true length is used only as
+the walk's stopping condition, exactly as a real suspend-resume executor
+would discover it at runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.wait_awhile import merge_segments
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job
+
+__all__ = ["GaiaSuspendResume"]
+
+
+class GaiaSuspendResume(Policy):
+    """Suspend-resume in the cheapest slots, knowing only queue averages."""
+
+    name = "GAIA-SR"
+    carbon_aware = True
+    performance_aware = False
+    length_knowledge = "average"
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        queue = ctx.queue_of(job)
+        arrival = job.arrival
+        estimate = max(1, int(round(ctx.length_estimate(queue))))
+        deadline = min(arrival + estimate + queue.max_wait, ctx.carbon_horizon)
+
+        run_windows = self._planned_windows(ctx, arrival, estimate, deadline)
+        segments = self._materialize(run_windows, arrival, job.length, deadline)
+        plan = merge_segments(segments)
+        return Decision(start_time=plan[0][0], segments=plan)
+
+    # ------------------------------------------------------------------
+    def _planned_windows(
+        self, ctx: SchedulingContext, arrival: int, estimate: int, deadline: int
+    ) -> list[tuple[int, int]]:
+        """Cheapest slot windows summing to ``estimate`` before ``deadline``.
+
+        Mirrors Wait Awhile's greedy selection, but sized by the queue
+        average rather than the true length.
+        """
+        if deadline - arrival <= estimate:
+            return [(arrival, deadline)]
+
+        first_hour = arrival // MINUTES_PER_HOUR
+        last_hour = -(-deadline // MINUTES_PER_HOUR)
+        values = ctx.forecaster.slot_values(arrival, arrival, last_hour - first_hour)
+        slot_ids = np.arange(first_hour, first_hour + values.size)
+        avail_start = np.maximum(arrival, slot_ids * MINUTES_PER_HOUR)
+        avail_end = np.minimum(deadline, (slot_ids + 1) * MINUTES_PER_HOUR)
+        durations = avail_end - avail_start
+
+        order = np.lexsort((slot_ids, values))
+        chosen: dict[int, int] = {}
+        remaining = estimate
+        for index in order:
+            index = int(index)
+            if durations[index] <= 0:
+                continue
+            take = int(min(durations[index], remaining))
+            chosen[index] = take
+            remaining -= take
+            if remaining == 0:
+                break
+
+        windows = []
+        for index, take in chosen.items():
+            if take == durations[index]:
+                windows.append((int(avail_start[index]), int(avail_end[index])))
+            elif index + 1 in chosen:
+                windows.append((int(avail_end[index]) - take, int(avail_end[index])))
+            else:
+                windows.append((int(avail_start[index]), int(avail_start[index]) + take))
+        windows.sort()
+        return windows
+
+    @staticmethod
+    def _materialize(
+        run_windows: list[tuple[int, int]], arrival: int, length: int, deadline: int
+    ) -> list[tuple[int, int]]:
+        """Walk the planned windows against the job's actual length."""
+        segments: list[tuple[int, int]] = []
+        remaining = length
+        for start, end in run_windows:
+            if remaining <= 0:
+                break
+            run = min(end - start, remaining)
+            segments.append((start, start + run))
+            remaining -= run
+        if remaining > 0:
+            # Plan exhausted (J > Ĵ): keep running from the last planned
+            # minute (or the arrival if no window was planned).
+            resume_at = segments[-1][1] if segments else arrival
+            segments.append((resume_at, resume_at + remaining))
+        return segments

@@ -1,0 +1,102 @@
+"""Wait Awhile baseline (Wiesner et al., Middleware '21; paper Table 1).
+
+The strongest carbon-aware baseline: it knows each job's **exact** length
+``J`` and may **suspend and resume** execution.  Within the deadline
+``t + J + W`` it executes the job in the hourly slots with the lowest
+carbon intensity whose durations sum to ``J``.
+
+Slot selection is greedy by forecast CI (ties to the earlier slot); the
+single marginally-used slot is aligned against an adjacent chosen slot
+when possible so the plan stays as contiguous as the optimum allows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job
+
+__all__ = ["WaitAwhile"]
+
+
+def merge_segments(segments: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    """Sort segments and merge the ones that touch."""
+    if not segments:
+        raise SchedulingError("cannot merge an empty segment list")
+    ordered = sorted(segments)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start < last_end:
+            raise SchedulingError("overlapping segments in plan")
+        if start == last_end:
+            merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+class WaitAwhile(Policy):
+    """Suspend-resume execution in the lowest-carbon slots before J + W."""
+
+    name = "Wait Awhile"
+    requires_job_length = True
+    carbon_aware = True
+    performance_aware = False
+    length_knowledge = "exact"
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        queue = ctx.queue_of(job)
+        arrival = job.arrival
+        length = job.length  # exact-length knowledge is this policy's premise
+        deadline = min(arrival + length + queue.max_wait, ctx.carbon_horizon)
+        if deadline - arrival <= length:
+            # No slack (or clipped at the horizon): run contiguously now.
+            return Decision(
+                start_time=arrival, segments=((arrival, arrival + length),)
+            )
+
+        first_hour = arrival // MINUTES_PER_HOUR
+        last_hour = -(-deadline // MINUTES_PER_HOUR)
+        values = ctx.forecaster.slot_values(arrival, arrival, last_hour - first_hour)
+
+        # Available execution window of each hourly slot, clipped to
+        # [arrival, deadline).
+        slot_ids = np.arange(first_hour, first_hour + values.size)
+        avail_start = np.maximum(arrival, slot_ids * MINUTES_PER_HOUR)
+        avail_end = np.minimum(deadline, (slot_ids + 1) * MINUTES_PER_HOUR)
+        durations = avail_end - avail_start
+
+        order = np.lexsort((slot_ids, values))  # by CI, ties to earlier slot
+        chosen: dict[int, int] = {}  # local slot index -> minutes taken
+        remaining = length
+        for index in order:
+            index = int(index)
+            if durations[index] <= 0:
+                continue
+            take = int(min(durations[index], remaining))
+            chosen[index] = take
+            remaining -= take
+            if remaining == 0:
+                break
+        if remaining > 0:
+            raise SchedulingError(
+                f"job {job.job_id}: deadline window cannot fit length {length}"
+            )
+
+        segments = []
+        for index, take in chosen.items():
+            if take == durations[index]:
+                segments.append((int(avail_start[index]), int(avail_end[index])))
+            else:
+                # The single partial slot: butt it against a chosen
+                # neighbour to minimize fragmentation.
+                if index + 1 in chosen:
+                    segments.append((int(avail_end[index]) - take, int(avail_end[index])))
+                else:
+                    segments.append((int(avail_start[index]), int(avail_start[index]) + take))
+        plan = merge_segments(segments)
+        return Decision(start_time=plan[0][0], segments=plan)

@@ -1,0 +1,19 @@
+"""Carbon-aware scaling of malleable jobs (the paper's §9 future work)."""
+
+from repro.scaling.planner import (
+    MalleableJob,
+    ScalingPlan,
+    fixed_allocation_plan,
+    plan_carbon_scaling,
+)
+from repro.scaling.speedup import AmdahlSpeedup, LinearSpeedup, SpeedupModel
+
+__all__ = [
+    "SpeedupModel",
+    "LinearSpeedup",
+    "AmdahlSpeedup",
+    "MalleableJob",
+    "ScalingPlan",
+    "plan_carbon_scaling",
+    "fixed_allocation_plan",
+]

@@ -1,0 +1,181 @@
+"""Carbon-aware scaling planner for malleable jobs.
+
+Given a malleable job (total work, CPU cap, speedup curve), a deadline,
+and the CI forecast, choose how many CPUs to run in each hourly slot so
+the job finishes by its deadline with minimal carbon.
+
+The allocation is greedy over *marginal* (slot, CPU) units: the j-th CPU
+in slot ``h`` contributes ``marginal_rate[j] * slot_minutes`` work at a
+carbon cost proportional to ``ci[h] * slot_minutes``; units are taken in
+increasing carbon-per-work order until the job's work is covered.  For
+concave (non-increasing marginal) speedups an exchange argument makes
+this allocation carbon-optimal among slot-constant allocations -- the
+CarbonScaler result.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.errors import ConfigError, SchedulingError
+from repro.scaling.speedup import LinearSpeedup, SpeedupModel
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["MalleableJob", "ScalingPlan", "plan_carbon_scaling"]
+
+
+@dataclass(frozen=True)
+class MalleableJob:
+    """A scalable batch job.
+
+    Attributes
+    ----------
+    work:
+        Total work in work-minutes: the wall minutes the job needs at
+        one CPU (``rate(1) == 1``).
+    max_cpus:
+        Largest CPU allocation the job can exploit.
+    arrival:
+        Submission minute.
+    """
+
+    work: float
+    max_cpus: int
+    arrival: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ConfigError("work must be positive")
+        if self.max_cpus <= 0:
+            raise ConfigError("max_cpus must be positive")
+        if self.arrival < 0:
+            raise ConfigError("arrival must be non-negative")
+
+
+@dataclass
+class ScalingPlan:
+    """Per-slot CPU allocation and its accounting."""
+
+    job: MalleableJob
+    deadline: int
+    #: (slot_start_minute, slot_end_minute, cpus) for every active slot.
+    allocation: list[tuple[int, int, int]] = field(default_factory=list)
+    carbon_g: float = 0.0
+    energy_kwh: float = 0.0
+
+    @property
+    def peak_cpus(self) -> int:
+        return max((cpus for _, _, cpus in self.allocation), default=0)
+
+    @property
+    def completion_minute(self) -> int:
+        return max((end for _, end, _ in self.allocation), default=self.job.arrival)
+
+    @property
+    def cpu_minutes(self) -> float:
+        return float(sum((end - start) * cpus for start, end, cpus in self.allocation))
+
+    def work_done(self, speedup: SpeedupModel) -> float:
+        """Work-minutes accomplished by the allocation."""
+        return float(
+            sum(
+                speedup.rate(cpus) * (end - start)
+                for start, end, cpus in self.allocation
+            )
+        )
+
+
+def plan_carbon_scaling(
+    job: MalleableJob,
+    carbon: CarbonIntensityTrace,
+    deadline: int,
+    speedup: SpeedupModel | None = None,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> ScalingPlan:
+    """Allocate CPUs to hourly slots, minimizing carbon before ``deadline``.
+
+    Raises :class:`SchedulingError` when even the full allocation in
+    every slot cannot finish the work by the deadline.
+    """
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    if deadline <= job.arrival:
+        raise SchedulingError("deadline must lie after the arrival")
+    if deadline > carbon.horizon_minutes:
+        raise SchedulingError("deadline beyond the carbon trace")
+
+    first_hour = job.arrival // MINUTES_PER_HOUR
+    last_hour = -(-deadline // MINUTES_PER_HOUR)
+    slots = []
+    for hour in range(first_hour, last_hour):
+        start = max(job.arrival, hour * MINUTES_PER_HOUR)
+        end = min(deadline, (hour + 1) * MINUTES_PER_HOUR)
+        if end > start:
+            slots.append((start, end, float(carbon.hourly[hour])))
+
+    marginals = speedup.marginal_rates(job.max_cpus)
+    capacity = sum(
+        speedup.rate(job.max_cpus) * (end - start) for start, end, _ in slots
+    )
+    if capacity + 1e-9 < job.work:
+        raise SchedulingError(
+            f"infeasible: {job.work:.0f} work-minutes exceed the "
+            f"{capacity:.0f} attainable before the deadline"
+        )
+
+    # Greedy over marginal (slot, cpu) units, cheapest carbon-per-work
+    # first.  Each heap entry is the *next* CPU to add in that slot; its
+    # successor is pushed on pop, so marginals are consumed in order.
+    heap: list[tuple[float, int, int]] = []  # (carbon_per_work, slot_idx, cpu_idx)
+    for index, (start, end, ci) in enumerate(slots):
+        if marginals[0] > 0:
+            heapq.heappush(heap, (ci / marginals[0], index, 0))
+
+    cpus_per_slot = [0] * len(slots)
+    remaining = job.work
+    while remaining > 1e-9 and heap:
+        _, index, cpu_idx = heapq.heappop(heap)
+        start, end, ci = slots[index]
+        slot_minutes = end - start
+        gained = marginals[cpu_idx] * slot_minutes
+        cpus_per_slot[index] = cpu_idx + 1
+        remaining -= gained
+        next_cpu = cpu_idx + 1
+        if next_cpu < job.max_cpus and marginals[next_cpu] > 0:
+            heapq.heappush(heap, (ci / marginals[next_cpu], index, next_cpu))
+
+    plan = ScalingPlan(job=job, deadline=deadline)
+    for (start, end, ci), cpus in zip(slots, cpus_per_slot):
+        if cpus == 0:
+            continue
+        minutes = end - start
+        plan.allocation.append((start, end, cpus))
+        plan.energy_kwh += energy.energy_kwh(cpus, minutes)
+        plan.carbon_g += ci * energy.active_kw(cpus) * minutes / MINUTES_PER_HOUR
+    return plan
+
+
+def fixed_allocation_plan(
+    job: MalleableJob,
+    carbon: CarbonIntensityTrace,
+    cpus: int,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    speedup: SpeedupModel | None = None,
+) -> ScalingPlan:
+    """Run-on-arrival at a constant allocation (the carbon-agnostic
+    baseline scaling is compared against)."""
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    if cpus <= 0 or cpus > job.max_cpus:
+        raise ConfigError("cpus must be in [1, max_cpus]")
+    rate = speedup.rate(cpus)
+    duration = int(-(-job.work // rate))
+    end = job.arrival + duration
+    if end > carbon.horizon_minutes:
+        raise SchedulingError("fixed plan runs past the carbon trace")
+    plan = ScalingPlan(job=job, deadline=end)
+    plan.allocation.append((job.arrival, end, cpus))
+    plan.energy_kwh = energy.energy_kwh(cpus, duration)
+    plan.carbon_g = carbon.interval_carbon(job.arrival, end) * energy.active_kw(cpus)
+    return plan

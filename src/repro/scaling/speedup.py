@@ -1,0 +1,73 @@
+"""Parallel speedup models for malleable jobs.
+
+The paper's conclusion names "other carbon-saving modalities, such as
+scaling" (its CarbonScaler sibling work) as future work: a *malleable*
+job can vary how many CPUs it uses over time, doing more work in
+low-carbon hours and less in high-carbon ones.  How much extra work an
+extra CPU buys is the job's speedup curve:
+
+* :class:`LinearSpeedup` -- embarrassingly parallel, ``S(k) = k``;
+* :class:`AmdahlSpeedup` -- a serial fraction caps the returns,
+  ``S(k) = 1 / ((1-p) + p/k)`` with parallel fraction ``p``.
+
+``marginal_rates`` exposes the diminishing per-CPU contributions the
+scaling planner allocates greedily.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["SpeedupModel", "LinearSpeedup", "AmdahlSpeedup"]
+
+
+class SpeedupModel(ABC):
+    """Work rate (work-minutes per wall minute) as a function of CPUs."""
+
+    @abstractmethod
+    def rate(self, cpus: int) -> float:
+        """Work rate at ``cpus`` CPUs; ``rate(1) == 1`` by convention."""
+
+    def marginal_rates(self, max_cpus: int) -> np.ndarray:
+        """Extra work rate contributed by CPU 1, 2, ..., max_cpus.
+
+        Must be non-negative; for concave speedups it is non-increasing,
+        which is what makes the planner's greedy allocation optimal.
+        """
+        if max_cpus <= 0:
+            raise ConfigError("max_cpus must be positive")
+        rates = np.array([self.rate(k) for k in range(max_cpus + 1)])
+        marginals = np.diff(rates)
+        if np.any(marginals < -1e-12):
+            raise ConfigError("speedup must be non-decreasing in CPUs")
+        return np.maximum(marginals, 0.0)
+
+
+class LinearSpeedup(SpeedupModel):
+    """Perfect scaling: ``S(k) = k``."""
+
+    def rate(self, cpus: int) -> float:
+        if cpus < 0:
+            raise ConfigError("cpus must be non-negative")
+        return float(cpus)
+
+
+class AmdahlSpeedup(SpeedupModel):
+    """Amdahl's law with parallel fraction ``p`` in (0, 1]."""
+
+    def __init__(self, parallel_fraction: float):
+        if not 0 < parallel_fraction <= 1:
+            raise ConfigError("parallel fraction must be in (0, 1]")
+        self.parallel_fraction = parallel_fraction
+
+    def rate(self, cpus: int) -> float:
+        if cpus < 0:
+            raise ConfigError("cpus must be non-negative")
+        if cpus == 0:
+            return 0.0
+        p = self.parallel_fraction
+        return 1.0 / ((1.0 - p) + p / cpus)

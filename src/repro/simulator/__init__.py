@@ -1,0 +1,23 @@
+"""GAIA-Simulator: discrete-event cluster simulation and accounting."""
+
+from repro.simulator.engine import Engine
+from repro.simulator.results import (
+    JobRecord,
+    SimulationResult,
+    UsageInterval,
+    demand_profile,
+)
+from repro.simulator.simulation import prepare_carbon, run_simulation
+from repro.simulator.validation import assert_valid, verify_result
+
+__all__ = [
+    "verify_result",
+    "assert_valid",
+    "Engine",
+    "JobRecord",
+    "SimulationResult",
+    "UsageInterval",
+    "demand_profile",
+    "prepare_carbon",
+    "run_simulation",
+]

@@ -1,0 +1,426 @@
+"""The GAIA-Simulator discrete-event engine.
+
+Replays a workload trace against a carbon-intensity trace under a
+scheduling policy and the cluster's purchase-option configuration,
+producing a :class:`~repro.simulator.results.SimulationResult`.
+
+Event semantics (all timestamps are integer minutes):
+
+* ``FINISH``/segment-end events run before anything else at the same
+  minute so freed reserved capacity is immediately reusable.
+* ``EVICT`` (spot revocation) runs next: the job loses all progress and
+  restarts at once on reserved-if-free, else on-demand (paper 4.2.4).
+* ``ARRIVAL`` asks the policy for a decision; work-conserving jobs
+  (``reserved_pickup``) start immediately if reserved capacity fits,
+  otherwise they join a pending queue that drains first-fit in arrival
+  order whenever reserved capacity frees up.
+* ``START`` fires at the policy's planned start time; a job that was
+  already picked up by a reserved instance ignores it.
+
+At any (re)start the resource manager prefers a reserved instance when
+the job is not spot-bound and capacity fits -- "the resource manager
+follows the schedule and uses reserved instances when available"
+(paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.carbon.forecast import Forecaster, PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.capacity import ReservedPool
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel, PurchaseOption
+from repro.cluster.spot import CheckpointConfig, EvictionModel, NoEvictions
+from repro.errors import SimulationError
+from repro.policies.base import Decision, Policy, SchedulingContext, validate_decision
+from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["Engine"]
+
+
+class _EventKind(IntEnum):
+    """Tie-break order for events at the same minute."""
+
+    FINISH = 0
+    EVICT = 1
+    ARRIVAL = 2
+    START = 3
+
+
+@dataclass
+class _RunState:
+    """Mutable execution state of one job inside the engine."""
+
+    job: Job
+    decision: Decision
+    started: bool = False
+    finished: bool = False
+    segments: tuple[tuple[int, int], ...] | None = None
+    segment_index: int = 0
+    current_start: int | None = None
+    current_option: PurchaseOption | None = None
+    first_start: int | None = None
+    usage: list[UsageInterval] = field(default_factory=list)
+    evictions: int = 0
+    lost_cpu_minutes: float = 0.0
+    finish: int | None = None
+    spot_rng: object = None  # per-job RNG, persistent across allocations
+    completed_work: int = 0  # minutes preserved by checkpoints
+    spot_attempts: int = 0
+    checkpoint_overhead_minutes: float = 0.0  # cpu-minutes spent checkpointing
+    pending_overhead: int = 0  # wall overhead of the open allocation
+
+
+class Engine:
+    """One-shot simulator: construct, :meth:`run`, read the result."""
+
+    def __init__(
+        self,
+        workload: WorkloadTrace,
+        carbon: CarbonIntensityTrace,
+        policy: Policy,
+        queues: QueueSet,
+        reserved_cpus: int = 0,
+        pricing: PricingModel = DEFAULT_PRICING,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        eviction_model: EvictionModel | None = None,
+        forecaster: Forecaster | None = None,
+        granularity: int = 5,
+        validate: bool = True,
+        spot_seed: int = 0,
+        checkpointing: CheckpointConfig | None = None,
+        retry_spot: bool = False,
+        max_spot_retries: int = 10,
+        instance_overhead_minutes: int = 0,
+        length_estimator=None,
+        price_forecaster: Forecaster | None = None,
+    ):
+        self.workload = workload
+        self.carbon = carbon
+        self.policy = policy
+        self.queues = queues
+        self.pool = ReservedPool(reserved_cpus)
+        self.pricing = pricing
+        self.energy = energy
+        self.eviction_model = eviction_model if eviction_model is not None else NoEvictions()
+        forecaster = forecaster if forecaster is not None else PerfectForecaster(carbon)
+        if forecaster.trace is not carbon:
+            raise SimulationError("forecaster must be built over the simulation's carbon trace")
+        self.ctx = SchedulingContext(
+            forecaster=forecaster,
+            queues=queues,
+            granularity=granularity,
+            estimator=length_estimator,
+            price_forecaster=price_forecaster,
+        )
+        self.validate = validate
+        self.spot_seed = spot_seed
+        if retry_spot and checkpointing is None:
+            raise SimulationError(
+                "retry_spot without checkpointing cannot guarantee progress; "
+                "configure a CheckpointConfig"
+            )
+        self.checkpointing = checkpointing
+        self.retry_spot = retry_spot
+        self.max_spot_retries = max_spot_retries
+        if instance_overhead_minutes < 0:
+            raise SimulationError("instance overhead must be non-negative")
+        self.instance_overhead_minutes = instance_overhead_minutes
+
+        self._heap: list[tuple[int, int, int, _RunState | Job]] = []
+        self._seq = itertools.count()
+        self._pending: list[_RunState] = []  # reserved-pickup jobs, arrival order
+        self._runs: list[_RunState] = []
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: int, kind: _EventKind, payload) -> None:
+        if time < 0:
+            raise SimulationError(f"event scheduled at negative time {time}")
+        heapq.heappush(self._heap, (time, int(kind), next(self._seq), payload))
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the whole workload and return the accounting result."""
+        for job in self.workload:
+            self._push(job.arrival, _EventKind.ARRIVAL, job)
+
+        handlers = {
+            _EventKind.ARRIVAL: self._on_arrival,
+            _EventKind.START: self._on_start,
+            _EventKind.FINISH: self._on_finish,
+            _EventKind.EVICT: self._on_evict,
+        }
+        while self._heap:
+            time, kind, _, payload = heapq.heappop(self._heap)
+            handlers[_EventKind(kind)](time, payload)
+
+        unfinished = [run.job.job_id for run in self._runs if not run.finished]
+        if unfinished:
+            raise SimulationError(f"jobs never finished: {unfinished[:5]}...")
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, now: int, job: Job) -> None:
+        decision = self.policy.decide(job, self.ctx)
+        if self.validate:
+            validate_decision(job, decision, self.ctx)
+        run = _RunState(job=job, decision=decision, segments=decision.segments)
+        self._runs.append(run)
+
+        if decision.segments is not None:
+            self._begin_segment(run, decision.segments[0][0])
+            return
+
+        if decision.reserved_pickup and self.pool.can_fit(job.cpus):
+            self._start_run(run, now, PurchaseOption.RESERVED)
+            return
+        if decision.reserved_pickup:
+            self._pending.append(run)
+        self._push(decision.start_time, _EventKind.START, run)
+
+    def _on_start(self, now: int, payload) -> None:
+        if isinstance(payload, _SegmentStart):
+            self._start_segment(payload.run, now)
+            return
+        run = payload
+        if run.started:
+            return  # already picked up by a freed reserved instance
+        if run.decision.use_spot:
+            option = PurchaseOption.SPOT
+        elif self.pool.can_fit(run.job.cpus):
+            option = PurchaseOption.RESERVED
+        else:
+            option = PurchaseOption.ON_DEMAND
+        self._start_run(run, now, option)
+
+    def _on_finish(self, now: int, run: _RunState) -> None:
+        self._close_interval(run, now)
+        if run.pending_overhead:
+            run.checkpoint_overhead_minutes += run.pending_overhead * run.job.cpus
+            run.pending_overhead = 0
+        if run.segments is not None:
+            run.segment_index += 1
+            if run.segment_index < len(run.segments):
+                self._begin_segment(run, run.segments[run.segment_index][0])
+            else:
+                self._finalize(run, now)
+        else:
+            self._finalize(run, now)
+        self._drain_pending(now)
+
+    def _on_evict(self, now: int, run: _RunState) -> None:
+        if run.finished or run.current_option is not PurchaseOption.SPOT:
+            raise SimulationError(f"spurious eviction for job {run.job.job_id}")
+        if run.current_start is None:
+            raise SimulationError(f"evicted job {run.job.job_id} has no open interval")
+        elapsed = now - run.current_start
+        # Without checkpointing all progress is lost (paper 4.2.4); with
+        # it, work up to the last completed checkpoint survives.
+        preserved = 0
+        if self.checkpointing is not None and run.segments is None:
+            work_at_stake = run.job.length - run.completed_work
+            preserved = self.checkpointing.preserved_work(elapsed, work_at_stake)
+        run.completed_work += preserved
+        run.lost_cpu_minutes += (elapsed - preserved) * run.job.cpus
+        run.pending_overhead = 0  # unfinished checkpoints counted as lost
+        run.evictions += 1
+        self._close_interval(run, now)
+        # Any remaining suspend-resume plan is abandoned: the redo runs
+        # contiguously on the fallback option (reserved if one is free,
+        # else on-demand; back onto spot when retries are enabled).
+        run.segments = None
+        if self.retry_spot and run.spot_attempts < self.max_spot_retries:
+            option = PurchaseOption.SPOT
+        elif self.pool.can_fit(run.job.cpus):
+            option = PurchaseOption.RESERVED
+        else:
+            option = PurchaseOption.ON_DEMAND
+        self._allocate_remaining(run, now, option)
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+    def _begin_segment(self, run: _RunState, start: int) -> None:
+        self._push(start, _EventKind.START, _SegmentStart(run))
+
+    def _start_run(self, run: _RunState, now: int, option: PurchaseOption) -> None:
+        run.started = True
+        if run.first_start is None:
+            run.first_start = now
+        self._allocate_remaining(run, now, option)
+
+    def _allocate_remaining(self, run: _RunState, now: int, option: PurchaseOption) -> None:
+        """Allocate for the job's outstanding work, including the wall
+        time checkpointing adds on spot."""
+        work = run.job.length - run.completed_work
+        if option is PurchaseOption.SPOT and self.checkpointing is not None:
+            wall = self.checkpointing.wall_time(work)
+        else:
+            wall = work
+        run.pending_overhead = wall - work
+        self._allocate(run, now, option, wall)
+
+    def _allocate(self, run: _RunState, now: int, option: PurchaseOption, duration: int) -> None:
+        if option is PurchaseOption.RESERVED:
+            self.pool.allocate(run.job.cpus)
+        if option is PurchaseOption.SPOT:
+            run.spot_attempts += 1
+        run.current_start = now
+        run.current_option = option
+        finish = now + duration
+        if option is PurchaseOption.SPOT:
+            if run.spot_rng is None:
+                run.spot_rng = self.eviction_model.rng_for_job(self.spot_seed, run.job.job_id)
+            offset = self.eviction_model.sample_eviction(now, run.spot_rng)
+            if not math.isinf(offset):
+                evict_at = now + max(1, int(round(offset)))
+                if evict_at < finish:
+                    self._push(evict_at, _EventKind.EVICT, run)
+                    return
+        self._push(finish, _EventKind.FINISH, run)
+
+    def _start_segment(self, run: _RunState, now: int) -> None:
+        if run.finished or run.segments is None:
+            return  # plan abandoned after a spot eviction; stale event
+        start, end = run.segments[run.segment_index]
+        if now != start:
+            raise SimulationError("segment start drifted")
+        if run.first_start is None:
+            run.first_start = now
+        run.started = True
+        if run.decision.use_spot:
+            option = PurchaseOption.SPOT
+        elif self.pool.can_fit(run.job.cpus):
+            option = PurchaseOption.RESERVED
+        else:
+            option = PurchaseOption.ON_DEMAND
+        self._allocate(run, now, option, end - start)
+
+    def _close_interval(self, run: _RunState, now: int) -> None:
+        if run.current_start is None or run.current_option is None:
+            raise SimulationError(f"job {run.job.job_id} has no open interval")
+        if now > run.current_start:
+            run.usage.append(
+                UsageInterval(
+                    start=run.current_start,
+                    end=now,
+                    cpus=run.job.cpus,
+                    option=run.current_option,
+                )
+            )
+        if run.current_option is PurchaseOption.RESERVED:
+            self.pool.release(run.job.cpus)
+        run.current_start = None
+        run.current_option = None
+
+    def _finalize(self, run: _RunState, now: int) -> None:
+        run.finished = True
+        run.finish = now
+        if self.ctx.estimator is not None and run.job.queue:
+            # The accounting database learns lengths as jobs complete.
+            self.ctx.estimator.observe(run.job.queue, run.job.length)
+
+    def _drain_pending(self, now: int) -> None:
+        """First-fit start of pending work-conserving jobs on freed capacity."""
+        if not self._pending or self.pool.free == 0:
+            return
+        still_pending = []
+        for run in self._pending:
+            if run.started or run.finished:
+                continue  # started at its planned time; drop from the queue
+            if self.pool.can_fit(run.job.cpus):
+                self._start_run(run, now, PurchaseOption.RESERVED)
+            else:
+                still_pending.append(run)
+        self._pending = still_pending
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _record_for(self, run: _RunState) -> JobRecord:
+        job = run.job
+        kw = self.energy.active_kw(job.cpus)
+        carbon = 0.0
+        energy_kwh = 0.0
+        usage_cost = 0.0
+        provisioning = 0.0
+        for interval in run.usage:
+            carbon += self.carbon.interval_carbon(interval.start, interval.end) * kw
+            energy_kwh += self.energy.energy_kwh(job.cpus, interval.end - interval.start)
+            usage_cost += self.pricing.usage_cost(interval.option, interval.cpu_minutes)
+            if (
+                self.instance_overhead_minutes
+                and interval.option is not PurchaseOption.RESERVED
+            ):
+                # Each elastic allocation boots a fresh instance: the boot
+                # minutes are billed and draw power at the pre-start CI
+                # (paper prototype: "entire instance time, including
+                # initiation and termination").
+                overhead = self.instance_overhead_minutes
+                provisioning += overhead * job.cpus
+                usage_cost += self.pricing.usage_cost(
+                    interval.option, overhead * job.cpus
+                )
+                energy_kwh += self.energy.energy_kwh(job.cpus, overhead)
+                carbon += (
+                    self.carbon.ci_at(interval.start)
+                    * kw
+                    * overhead
+                    / MINUTES_PER_HOUR
+                )
+        baseline_end = min(job.arrival + job.length, self.carbon.horizon_minutes)
+        baseline = self.carbon.interval_carbon(job.arrival, baseline_end) * kw
+        return JobRecord(
+            job_id=job.job_id,
+            queue=job.queue,
+            arrival=job.arrival,
+            length=job.length,
+            cpus=job.cpus,
+            first_start=run.first_start if run.first_start is not None else job.arrival,
+            finish=run.finish if run.finish is not None else job.arrival + job.length,
+            carbon_g=carbon,
+            energy_kwh=energy_kwh,
+            usage_cost=usage_cost,
+            baseline_carbon_g=baseline,
+            usage=tuple(run.usage),
+            evictions=run.evictions,
+            lost_cpu_minutes=run.lost_cpu_minutes,
+            checkpoint_overhead_minutes=run.checkpoint_overhead_minutes,
+            provisioning_cpu_minutes=provisioning,
+        )
+
+    def _build_result(self) -> SimulationResult:
+        records = tuple(self._record_for(run) for run in self._runs)
+        return SimulationResult(
+            policy_name=self.policy.name,
+            workload_name=self.workload.name,
+            region=self.carbon.name,
+            reserved_cpus=self.pool.capacity,
+            horizon=self.workload.horizon,
+            pricing=self.pricing,
+            records=records,
+        )
+
+
+class _SegmentStart:
+    """Adapter so segment starts share the START event slot."""
+
+    __slots__ = ("run",)
+
+    def __init__(self, run: _RunState):
+        self.run = run

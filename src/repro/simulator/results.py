@@ -1,0 +1,319 @@
+"""Simulation outputs: per-job records and cluster-wide accounting.
+
+The accounting follows the paper (Section 4.1): on-demand and spot usage
+is metered per use; reserved capacity is paid upfront for the whole
+horizon regardless of utilization; energy and carbon are attributed by
+actual usage for every purchase option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.cluster.pricing import PricingModel, PurchaseOption
+from repro.errors import SimulationError
+from repro.units import MINUTES_PER_HOUR, grams_to_kg
+
+__all__ = ["UsageInterval", "JobRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class UsageInterval:
+    """One contiguous stretch of execution on one purchase option."""
+
+    start: int
+    end: int
+    cpus: int
+    option: PurchaseOption
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(f"empty usage interval [{self.start}, {self.end})")
+
+    @property
+    def cpu_minutes(self) -> float:
+        return float((self.end - self.start) * self.cpus)
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Everything accounted for one completed job.
+
+    ``waiting`` generalizes "start minus arrival" to suspend-resume and
+    evicted executions: it is the completion time minus the job's pure
+    length, i.e. all time the user lost to delays, pauses, and redone
+    work.
+    """
+
+    job_id: int
+    queue: str
+    arrival: int
+    length: int
+    cpus: int
+    first_start: int
+    finish: int
+    carbon_g: float
+    energy_kwh: float
+    usage_cost: float
+    baseline_carbon_g: float
+    usage: tuple[UsageInterval, ...]
+    evictions: int = 0
+    lost_cpu_minutes: float = 0.0
+    checkpoint_overhead_minutes: float = 0.0
+    provisioning_cpu_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.first_start < self.arrival:
+            raise SimulationError(f"job {self.job_id} started before arrival")
+        if self.finish < self.first_start + self.length:
+            raise SimulationError(f"job {self.job_id} finished implausibly early")
+
+    @property
+    def completion_time(self) -> int:
+        """Minutes from submission to completion."""
+        return self.finish - self.arrival
+
+    @property
+    def waiting_time(self) -> int:
+        """Completion time in excess of the job's pure execution length."""
+        return self.completion_time - self.length
+
+    @property
+    def carbon_saving_g(self) -> float:
+        """Carbon saved relative to running on arrival (may be negative)."""
+        return self.baseline_carbon_g - self.carbon_g
+
+    @property
+    def options_used(self) -> tuple[PurchaseOption, ...]:
+        """Distinct purchase options, in first-use order."""
+        seen: list[PurchaseOption] = []
+        for interval in self.usage:
+            if interval.option not in seen:
+                seen.append(interval.option)
+        return tuple(seen)
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    policy_name: str
+    workload_name: str
+    region: str
+    reserved_cpus: int
+    horizon: int
+    pricing: PricingModel
+    records: tuple[JobRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise SimulationError("a simulation result needs at least one record")
+
+    # ------------------------------------------------------------------
+    # Carbon and energy
+    # ------------------------------------------------------------------
+    @property
+    def total_carbon_g(self) -> float:
+        return float(sum(record.carbon_g for record in self.records))
+
+    @property
+    def total_carbon_kg(self) -> float:
+        return grams_to_kg(self.total_carbon_g)
+
+    @property
+    def baseline_carbon_g(self) -> float:
+        """Footprint had every job run on arrival (the NoWait schedule)."""
+        return float(sum(record.baseline_carbon_g for record in self.records))
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return float(sum(record.energy_kwh for record in self.records))
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    @property
+    def reserved_upfront_cost(self) -> float:
+        """Upfront payment for the reserved pool over the whole horizon."""
+        return self.pricing.reserved_upfront(self.reserved_cpus, self.horizon)
+
+    @property
+    def metered_cost(self) -> float:
+        """Pay-as-you-go cost of on-demand and spot usage."""
+        return float(sum(record.usage_cost for record in self.records))
+
+    @property
+    def carbon_tax_cost(self) -> float:
+        """Cost of emissions under the pricing model's carbon price."""
+        return self.pricing.carbon_price_per_kg * self.total_carbon_kg
+
+    @property
+    def total_cost(self) -> float:
+        return self.reserved_upfront_cost + self.metered_cost + self.carbon_tax_cost
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+    @property
+    def mean_waiting_minutes(self) -> float:
+        return float(np.mean([record.waiting_time for record in self.records]))
+
+    @property
+    def mean_waiting_hours(self) -> float:
+        return self.mean_waiting_minutes / MINUTES_PER_HOUR
+
+    @property
+    def total_waiting_hours(self) -> float:
+        return float(sum(r.waiting_time for r in self.records)) / MINUTES_PER_HOUR
+
+    @property
+    def mean_completion_hours(self) -> float:
+        return (
+            float(np.mean([record.completion_time for record in self.records]))
+            / MINUTES_PER_HOUR
+        )
+
+    def waiting_percentiles(self, percentiles=(50, 90, 95, 99)) -> dict[int, float]:
+        """Waiting-time percentiles in hours (tail latency of the queue)."""
+        waits = np.array([record.waiting_time for record in self.records], dtype=float)
+        return {
+            int(p): float(np.percentile(waits, p)) / MINUTES_PER_HOUR
+            for p in percentiles
+        }
+
+    def by_queue(self) -> dict[str, dict[str, float]]:
+        """Per-queue breakdown: job count, carbon, mean/95p waiting."""
+        groups: dict[str, list[JobRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.queue, []).append(record)
+        breakdown = {}
+        for queue, records in sorted(groups.items()):
+            waits = np.array([r.waiting_time for r in records], dtype=float)
+            breakdown[queue] = {
+                "jobs": float(len(records)),
+                "carbon_kg": grams_to_kg(sum(r.carbon_g for r in records)),
+                "mean_wait_h": float(waits.mean()) / MINUTES_PER_HOUR,
+                "p95_wait_h": float(np.percentile(waits, 95)) / MINUTES_PER_HOUR,
+                "cpu_hours": float(
+                    sum(r.length * r.cpus for r in records) / MINUTES_PER_HOUR
+                ),
+            }
+        return breakdown
+
+    # ------------------------------------------------------------------
+    # Utilization and spot
+    # ------------------------------------------------------------------
+    def cpu_minutes_by_option(self) -> dict[PurchaseOption, float]:
+        totals = {option: 0.0 for option in PurchaseOption}
+        for record in self.records:
+            for interval in record.usage:
+                totals[interval.option] += interval.cpu_minutes
+        return totals
+
+    @property
+    def reserved_utilization(self) -> float:
+        """Busy fraction of the pre-paid reserved pool over the horizon.
+
+        Usage past the nominal horizon (jobs still draining) is clipped so
+        utilization stays in [0, 1].
+        """
+        if self.reserved_cpus == 0:
+            return 0.0
+        busy = 0.0
+        for record in self.records:
+            for interval in record.usage:
+                if interval.option is not PurchaseOption.RESERVED:
+                    continue
+                end = min(interval.end, self.horizon)
+                if end > interval.start:
+                    busy += (end - interval.start) * interval.cpus
+        return busy / (self.reserved_cpus * self.horizon)
+
+    @property
+    def total_evictions(self) -> int:
+        return sum(record.evictions for record in self.records)
+
+    @property
+    def lost_cpu_hours(self) -> float:
+        return (
+            float(sum(record.lost_cpu_minutes for record in self.records))
+            / MINUTES_PER_HOUR
+        )
+
+    @property
+    def provisioning_cpu_hours(self) -> float:
+        """CPU-hours spent booting elastic instances (0 unless enabled)."""
+        return (
+            float(sum(r.provisioning_cpu_minutes for r in self.records))
+            / MINUTES_PER_HOUR
+        )
+
+    @property
+    def checkpoint_overhead_cpu_hours(self) -> float:
+        """CPU-hours spent writing checkpoints (0 unless enabled)."""
+        return (
+            float(sum(r.checkpoint_overhead_minutes for r in self.records))
+            / MINUTES_PER_HOUR
+        )
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def carbon_savings_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional carbon saving relative to another run (1 = all)."""
+        base = baseline.total_carbon_g
+        if base <= 0:
+            raise SimulationError("baseline carbon must be positive")
+        return 1.0 - self.total_carbon_g / base
+
+    def cost_increase_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional cost increase relative to another run."""
+        base = baseline.total_cost
+        if base <= 0:
+            raise SimulationError("baseline cost must be positive")
+        return self.total_cost / base - 1.0
+
+    def summary(self) -> dict[str, float | str]:
+        """Flat summary used by reports and benchmarks."""
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "region": self.region,
+            "reserved_cpus": self.reserved_cpus,
+            "carbon_kg": self.total_carbon_kg,
+            "cost_usd": self.total_cost,
+            "metered_usd": self.metered_cost,
+            "reserved_usd": self.reserved_upfront_cost,
+            "mean_wait_h": self.mean_waiting_hours,
+            "mean_completion_h": self.mean_completion_hours,
+            "reserved_utilization": self.reserved_utilization,
+            "evictions": float(self.total_evictions),
+            "lost_cpu_h": self.lost_cpu_hours,
+        }
+
+
+def demand_profile(
+    records: Iterable[JobRecord],
+    horizon: int,
+    option: PurchaseOption | None = None,
+) -> np.ndarray:
+    """Per-minute CPU demand realized by a set of job records.
+
+    ``option`` restricts the profile to one purchase option; ``None``
+    aggregates all.  Usage past the horizon is clipped.
+    """
+    delta = np.zeros(horizon + 1, dtype=np.float64)
+    for record in records:
+        for interval in record.usage:
+            if option is not None and interval.option is not option:
+                continue
+            start = min(interval.start, horizon)
+            end = min(interval.end, horizon)
+            if end <= start:
+                continue
+            delta[start] += interval.cpus
+            delta[end] -= interval.cpus
+    return np.cumsum(delta[:-1])

@@ -1,0 +1,115 @@
+"""Post-hoc verification of simulation results.
+
+The engine enforces capacity conservation while running; this module
+re-derives the accounting invariants from a finished
+:class:`SimulationResult` so users extending the simulator (new
+policies, new purchase options) can check their changes didn't bend the
+books.  ``verify_result`` returns human-readable violation strings —
+empty means clean — and ``assert_valid`` raises on the first problem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.pricing import PurchaseOption
+from repro.errors import SimulationError
+from repro.simulator.results import SimulationResult, demand_profile
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["verify_result", "assert_valid"]
+
+
+def verify_result(
+    result: SimulationResult,
+    queues=None,
+    tolerance: float = 1e-6,
+) -> list[str]:
+    """Check every accounting invariant; return violations (empty = ok).
+
+    Checked per job: occupancy conservation (usage = length + lost +
+    checkpoint overhead), chronology (arrival <= first start, ordered
+    disjoint usage, finish = last usage end), non-negative waiting, and
+    evictions implying spot usage.  Checked cluster-wide: the reserved
+    pool is never oversubscribed, and metered cost matches a recomputation
+    from usage (modulo provisioning overhead, which is additive).
+
+    ``queues`` (a :class:`QueueSet`) additionally enables the waiting-
+    bound check: no job waits more than its queue's W plus its redone/
+    overhead time (one hour of slot-rounding slack).
+    """
+    violations: list[str] = []
+
+    def flag(job_id, message):
+        violations.append(f"job {job_id}: {message}")
+
+    recomputed_cost = 0.0
+    for record in result.records:
+        usage = sorted(record.usage, key=lambda interval: interval.start)
+        occupancy = sum(interval.end - interval.start for interval in usage)
+        expected = (
+            record.length
+            + record.lost_cpu_minutes / record.cpus
+            + record.checkpoint_overhead_minutes / record.cpus
+        )
+        if abs(occupancy - expected) > tolerance:
+            flag(record.job_id, f"occupancy {occupancy} != expected {expected}")
+        if usage:
+            if usage[0].start < record.first_start:
+                flag(record.job_id, "usage precedes first_start")
+            if usage[-1].end != record.finish:
+                flag(record.job_id, "finish does not match last usage end")
+            for before, after in zip(usage, usage[1:]):
+                if after.start < before.end:
+                    flag(record.job_id, "overlapping usage intervals")
+        if record.first_start < record.arrival:
+            flag(record.job_id, "started before arrival")
+        if record.waiting_time < 0:
+            flag(record.job_id, "negative waiting time")
+        if record.evictions and PurchaseOption.SPOT not in record.options_used:
+            flag(record.job_id, "evictions recorded without spot usage")
+        for interval in usage:
+            recomputed_cost += result.pricing.usage_cost(
+                interval.option, interval.cpu_minutes
+            )
+        if queues is not None and record.queue:
+            bound = (
+                queues[record.queue].max_wait
+                + record.lost_cpu_minutes / record.cpus
+                + record.checkpoint_overhead_minutes / record.cpus
+                + MINUTES_PER_HOUR
+            )
+            if record.waiting_time > bound + tolerance:
+                flag(record.job_id, f"waiting {record.waiting_time} exceeds bound {bound}")
+
+    # Metered cost is at least the recomputed usage cost (provisioning
+    # overhead legitimately adds on top).
+    if result.metered_cost + tolerance < recomputed_cost:
+        violations.append(
+            f"metered cost {result.metered_cost} below recomputed usage "
+            f"cost {recomputed_cost}"
+        )
+
+    if result.reserved_cpus >= 0:
+        horizon = max(record.finish for record in result.records)
+        reserved = demand_profile(
+            result.records, horizon, option=PurchaseOption.RESERVED
+        )
+        peak = float(reserved.max()) if reserved.size else 0.0
+        if peak > result.reserved_cpus + tolerance:
+            violations.append(
+                f"reserved pool oversubscribed: peak {peak} > {result.reserved_cpus}"
+            )
+
+    if not np.isfinite(result.total_carbon_g) or result.total_carbon_g < 0:
+        violations.append("total carbon is negative or non-finite")
+    return violations
+
+
+def assert_valid(result: SimulationResult, queues=None) -> None:
+    """Raise :class:`SimulationError` on the first invariant violation."""
+    violations = verify_result(result, queues=queues)
+    if violations:
+        raise SimulationError(
+            f"{len(violations)} invariant violation(s); first: {violations[0]}"
+        )

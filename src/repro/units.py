@@ -1,0 +1,81 @@
+"""Time, energy, and carbon unit conventions used throughout the library.
+
+The simulator operates on a discrete **minute** clock: every timestamp and
+duration is an integer number of minutes since the start of the simulated
+horizon.  Carbon-intensity traces are hourly (as published by services such
+as ElectricityMaps) and are integrated piecewise-constant over minutes.
+
+Conventions:
+
+* time            -- int minutes
+* carbon intensity -- gCO2eq per kWh
+* energy          -- kWh
+* power           -- kW
+* money           -- USD
+"""
+
+from __future__ import annotations
+
+MINUTES_PER_HOUR = 60
+HOURS_PER_DAY = 24
+MINUTES_PER_DAY = MINUTES_PER_HOUR * HOURS_PER_DAY
+DAYS_PER_WEEK = 7
+MINUTES_PER_WEEK = MINUTES_PER_DAY * DAYS_PER_WEEK
+DAYS_PER_YEAR = 365
+HOURS_PER_YEAR = HOURS_PER_DAY * DAYS_PER_YEAR
+MINUTES_PER_YEAR = MINUTES_PER_DAY * DAYS_PER_YEAR
+
+GRAMS_PER_KILOGRAM = 1000.0
+
+
+def hours(value: float) -> int:
+    """Convert a duration in hours to whole minutes (rounded to nearest)."""
+    return int(round(value * MINUTES_PER_HOUR))
+
+
+def days(value: float) -> int:
+    """Convert a duration in days to whole minutes (rounded to nearest)."""
+    return int(round(value * MINUTES_PER_DAY))
+
+
+def weeks(value: float) -> int:
+    """Convert a duration in weeks to whole minutes (rounded to nearest)."""
+    return int(round(value * MINUTES_PER_WEEK))
+
+
+def to_hours(minutes: float) -> float:
+    """Convert a duration in minutes to fractional hours."""
+    return minutes / MINUTES_PER_HOUR
+
+
+def to_days(minutes: float) -> float:
+    """Convert a duration in minutes to fractional days."""
+    return minutes / MINUTES_PER_DAY
+
+
+def grams_to_kg(grams: float) -> float:
+    """Convert grams of CO2eq to kilograms."""
+    return grams / GRAMS_PER_KILOGRAM
+
+
+def format_minutes(minutes: float) -> str:
+    """Render a duration in minutes as a compact human-readable string.
+
+    >>> format_minutes(90)
+    '1h30m'
+    >>> format_minutes(2880)
+    '2d'
+    """
+    minutes = int(round(minutes))
+    if minutes < 0:
+        return "-" + format_minutes(-minutes)
+    d, rem = divmod(minutes, MINUTES_PER_DAY)
+    h, m = divmod(rem, MINUTES_PER_HOUR)
+    parts = []
+    if d:
+        parts.append(f"{d}d")
+    if h:
+        parts.append(f"{h}h")
+    if m or not parts:
+        parts.append(f"{m}m")
+    return "".join(parts)

@@ -1,0 +1,85 @@
+"""Workload substrate: jobs, queues, traces, and synthetic families."""
+
+from repro.workload.adapters import (
+    LoadReport,
+    load_alibaba_pai,
+    load_azure_vm,
+    load_mustang,
+)
+from repro.workload.distributions import (
+    DiscreteChoice,
+    Distribution,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Scaled,
+)
+from repro.workload.job import (
+    DEFAULT_QUEUES,
+    Job,
+    JobQueue,
+    QueueSet,
+    default_queue_set,
+)
+from repro.workload.sampling import (
+    MAX_JOB_LENGTH,
+    MIN_JOB_LENGTH,
+    filter_lengths,
+    resample_trace,
+    week_long_trace,
+    year_long_trace,
+)
+from repro.workload.stats import (
+    cpu_hours_by_length_bin,
+    demand_cdf,
+    length_cdf,
+    short_job_compute_share,
+    trace_summary,
+)
+from repro.workload.estimation import OnlineLengthEstimator
+from repro.workload.synthetic import (
+    TRACE_FAMILIES,
+    alibaba_like,
+    azure_like,
+    diurnal_arrivals,
+    mustang_like,
+    poisson_exponential,
+)
+from repro.workload.trace import WorkloadTrace
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "QueueSet",
+    "default_queue_set",
+    "DEFAULT_QUEUES",
+    "WorkloadTrace",
+    "Distribution",
+    "LogNormal",
+    "Exponential",
+    "Mixture",
+    "DiscreteChoice",
+    "Scaled",
+    "alibaba_like",
+    "azure_like",
+    "mustang_like",
+    "poisson_exponential",
+    "diurnal_arrivals",
+    "TRACE_FAMILIES",
+    "OnlineLengthEstimator",
+    "LoadReport",
+    "load_azure_vm",
+    "load_mustang",
+    "load_alibaba_pai",
+    "filter_lengths",
+    "resample_trace",
+    "year_long_trace",
+    "week_long_trace",
+    "MIN_JOB_LENGTH",
+    "MAX_JOB_LENGTH",
+    "length_cdf",
+    "demand_cdf",
+    "cpu_hours_by_length_bin",
+    "short_job_compute_share",
+    "trace_summary",
+]

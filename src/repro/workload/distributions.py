@@ -1,0 +1,130 @@
+"""Sampling primitives for synthetic workload generation.
+
+Small, composable distribution objects with an explicit ``sample(rng, n)``
+method.  Keeping the RNG external makes every generator deterministic
+under a seed and lets mixtures share one stream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Distribution",
+    "LogNormal",
+    "Exponential",
+    "Mixture",
+    "DiscreteChoice",
+    "Scaled",
+]
+
+
+class Distribution(ABC):
+    """A one-dimensional sampling distribution."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` samples as a float array."""
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal parameterized by its *median* and log-space sigma.
+
+    ``median`` is more intuitive than mu for calibrating job lengths:
+    half the jobs are shorter than it.
+    """
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ConfigError("LogNormal median must be positive")
+        if self.sigma < 0:
+            raise ConfigError("LogNormal sigma must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=n)
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given mean."""
+
+    mean: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigError("Exponential mean must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean, size=n)
+
+
+class Mixture(Distribution):
+    """Weighted mixture of component distributions."""
+
+    def __init__(self, components: Sequence[tuple[float, Distribution]]):
+        if not components:
+            raise ConfigError("Mixture needs at least one component")
+        weights = np.array([w for w, _ in components], dtype=np.float64)
+        if np.any(weights <= 0):
+            raise ConfigError("Mixture weights must be positive")
+        self._weights = weights / weights.sum()
+        self._distributions = [dist for _, dist in components]
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        choices = rng.choice(len(self._distributions), size=n, p=self._weights)
+        out = np.empty(n, dtype=np.float64)
+        for index, dist in enumerate(self._distributions):
+            mask = choices == index
+            count = int(mask.sum())
+            if count:
+                out[mask] = dist.sample(rng, count)
+        return out
+
+
+class DiscreteChoice(Distribution):
+    """Weighted choice over a fixed set of values (e.g. CPU counts)."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]):
+        if len(values) != len(weights) or not values:
+            raise ConfigError("values and weights must be equal-length and non-empty")
+        w = np.array(weights, dtype=np.float64)
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ConfigError("weights must be non-negative with positive sum")
+        self._values = np.array(values, dtype=np.float64)
+        self._weights = w / w.sum()
+
+    @property
+    def mean(self) -> float:
+        """Expected value of the choice."""
+        return float(np.dot(self._values, self._weights))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.choice(self._values, size=n, p=self._weights)
+
+
+@dataclass(frozen=True)
+class Scaled(Distribution):
+    """Multiply every sample of an inner distribution by a constant.
+
+    Used e.g. for Mustang-HPC's 24-core node granularity.
+    """
+
+    inner: Distribution
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ConfigError("Scaled factor must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.inner.sample(rng, n) * self.factor

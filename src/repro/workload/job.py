@@ -1,0 +1,206 @@
+"""Job model and length-based queues.
+
+Following the paper (Section 4.2), users submit jobs to a *queue* that
+bounds how long the job may run (e.g. a short queue of up to 2 hours and a
+long queue).  The scheduler knows the queue's bound and, optionally, the
+queue-wide historical average length -- but never the job's true length.
+Each queue also carries the system-wide maximum waiting time ``W`` the
+scheduler may impose on its jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError, TraceError
+from repro.units import days, hours
+
+__all__ = ["Job", "JobQueue", "QueueSet", "DEFAULT_QUEUES", "default_queue_set"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A batch job as submitted by a user.
+
+    Attributes
+    ----------
+    job_id:
+        Unique id within its trace.
+    arrival:
+        Submission minute.
+    length:
+        True execution length in minutes.  Policies must not read this
+        unless they explicitly model job-length knowledge (Wait Awhile).
+    cpus:
+        Number of CPUs held for the entire execution.
+    queue:
+        Name of the length queue the job was submitted to ("" until
+        assigned by a :class:`QueueSet`).
+    """
+
+    job_id: int
+    arrival: int
+    length: int
+    cpus: int = 1
+    queue: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise TraceError(f"job {self.job_id}: negative arrival {self.arrival}")
+        if self.length <= 0:
+            raise TraceError(f"job {self.job_id}: non-positive length {self.length}")
+        if self.cpus <= 0:
+            raise TraceError(f"job {self.job_id}: non-positive cpus {self.cpus}")
+
+    @property
+    def cpu_minutes(self) -> float:
+        """Total compute demand of the job in CPU-minutes."""
+        return float(self.length * self.cpus)
+
+    def with_queue(self, queue_name: str) -> "Job":
+        """A copy of the job assigned to ``queue_name``."""
+        return replace(self, queue=queue_name)
+
+
+@dataclass(frozen=True)
+class JobQueue:
+    """A length queue with its scheduling parameters.
+
+    Attributes
+    ----------
+    name:
+        Queue label, e.g. ``"short"``.
+    max_length:
+        Upper bound (minutes) on job length; jobs longer than this are
+        terminated by the cluster, so users submit to a queue whose bound
+        covers their job.
+    max_wait:
+        System-wide maximum waiting time ``W`` (minutes) for this queue;
+        the scheduler guarantees execution starts no later than ``W``
+        after arrival.
+    avg_length:
+        Historical queue-wide average job length (minutes), the coarse
+        length estimate available to Lowest-Window and Carbon-Time.
+        ``None`` until computed from a trace.
+    """
+
+    name: str
+    max_length: int
+    max_wait: int
+    avg_length: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_length <= 0:
+            raise ConfigError(f"queue {self.name}: max_length must be positive")
+        if self.max_wait < 0:
+            raise ConfigError(f"queue {self.name}: max_wait must be non-negative")
+
+    def length_estimate(self) -> float:
+        """The scheduler's working estimate of a job's length.
+
+        Uses the historical average when available, otherwise falls back
+        to the queue bound (the only guaranteed knowledge).
+        """
+        return self.avg_length if self.avg_length is not None else float(self.max_length)
+
+
+@dataclass(frozen=True)
+class QueueSet:
+    """An ordered collection of length queues.
+
+    Queues are kept sorted by ``max_length``; a job is routed to the first
+    queue whose bound covers its length (the paper assumes users assign
+    their jobs to the appropriate queue).
+    """
+
+    queues: tuple[JobQueue, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.queues:
+            raise ConfigError("a QueueSet needs at least one queue")
+        ordered = tuple(sorted(self.queues, key=lambda q: q.max_length))
+        object.__setattr__(self, "queues", ordered)
+        names = [q.name for q in ordered]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate queue names: {names}")
+
+    def __iter__(self):
+        return iter(self.queues)
+
+    def __getitem__(self, name: str) -> JobQueue:
+        for queue in self.queues:
+            if queue.name == name:
+                return queue
+        raise KeyError(name)
+
+    @property
+    def longest(self) -> JobQueue:
+        return self.queues[-1]
+
+    @property
+    def max_wait(self) -> int:
+        """The largest W over all queues (bounds scheduler look-ahead)."""
+        return max(queue.max_wait for queue in self.queues)
+
+    def queue_for_length(self, length: int) -> JobQueue:
+        """The queue a job of ``length`` minutes is submitted to."""
+        for queue in self.queues:
+            if length <= queue.max_length:
+                return queue
+        raise ConfigError(
+            f"job length {length} min exceeds the longest queue bound "
+            f"{self.longest.max_length} min"
+        )
+
+    def assign(self, jobs: Iterable[Job]) -> list[Job]:
+        """Route each job to its queue, returning re-labelled copies."""
+        return [job.with_queue(self.queue_for_length(job.length).name) for job in jobs]
+
+    def with_averages(self, jobs: Sequence[Job]) -> "QueueSet":
+        """A copy whose queues carry per-queue historical average lengths.
+
+        Jobs are routed by length; queues with no jobs keep their previous
+        estimate.
+        """
+        totals: dict[str, list[float]] = {queue.name: [] for queue in self.queues}
+        for job in jobs:
+            totals[self.queue_for_length(job.length).name].append(job.length)
+        new_queues = []
+        for queue in self.queues:
+            lengths = totals[queue.name]
+            if lengths:
+                queue = replace(queue, avg_length=sum(lengths) / len(lengths))
+            new_queues.append(queue)
+        return QueueSet(tuple(new_queues))
+
+
+def default_queue_set(
+    short_max: int | None = None,
+    long_max: int | None = None,
+    short_wait: int | None = None,
+    long_wait: int | None = None,
+) -> QueueSet:
+    """The paper's two-queue configuration.
+
+    Short queue: jobs up to 2 h, W = 6 h.  Long queue: jobs up to 3 days
+    (the trace-construction cap), W = 24 h.
+    """
+    return QueueSet(
+        (
+            JobQueue(
+                name="short",
+                max_length=short_max if short_max is not None else hours(2),
+                max_wait=short_wait if short_wait is not None else hours(6),
+            ),
+            JobQueue(
+                name="long",
+                max_length=long_max if long_max is not None else days(3),
+                max_wait=long_wait if long_wait is not None else hours(24),
+            ),
+        )
+    )
+
+
+#: Module-level instance of the paper's default queue configuration.
+DEFAULT_QUEUES = default_queue_set()

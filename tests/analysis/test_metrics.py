@@ -1,0 +1,123 @@
+"""Derived trade-off metrics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    carbon_savings_fraction,
+    cost_increase_fraction,
+    mean_waiting_reduction,
+    saved_carbon_per_waiting_hour,
+    savings_cdf_by_length,
+    savings_per_cost_percent,
+)
+from repro.cluster.pricing import DEFAULT_PRICING, PurchaseOption
+from repro.errors import ReproError
+from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
+
+
+def fake_result(carbon_g=1000.0, cost=10.0, waits=(60,)):
+    records = []
+    for i, wait in enumerate(waits):
+        records.append(
+            JobRecord(
+                job_id=i, queue="q", arrival=0, length=60, cpus=1,
+                first_start=wait, finish=wait + 60,
+                carbon_g=carbon_g / len(waits), energy_kwh=0.01,
+                usage_cost=cost if i == 0 else 0.0,
+                baseline_carbon_g=carbon_g / len(waits),
+                usage=(UsageInterval(wait, wait + 60, 1, PurchaseOption.ON_DEMAND),),
+            )
+        )
+    return SimulationResult(
+        policy_name="p", workload_name="w", region="r", reserved_cpus=0,
+        horizon=1440, pricing=DEFAULT_PRICING, records=tuple(records),
+    )
+
+
+class TestFractions:
+    def test_savings_fraction(self):
+        base = fake_result(carbon_g=1000.0)
+        better = fake_result(carbon_g=600.0)
+        assert carbon_savings_fraction(better, base) == pytest.approx(0.4)
+
+    def test_cost_increase(self):
+        base = fake_result(cost=10.0)
+        pricier = fake_result(cost=15.0)
+        assert cost_increase_fraction(pricier, base) == pytest.approx(0.5)
+
+
+class TestSavingsPerCostPercent:
+    def test_normal_ratio(self):
+        base = fake_result(carbon_g=1000.0, cost=10.0)
+        other = fake_result(carbon_g=800.0, cost=11.0)  # -20% carbon, +10% cost
+        assert savings_per_cost_percent(other, base) == pytest.approx(2.0)
+
+    def test_free_savings_is_infinite(self):
+        base = fake_result(carbon_g=1000.0, cost=10.0)
+        other = fake_result(carbon_g=900.0, cost=9.0)
+        assert math.isinf(savings_per_cost_percent(other, base))
+
+    def test_no_savings_no_cost_is_zero(self):
+        base = fake_result(carbon_g=1000.0, cost=10.0)
+        other = fake_result(carbon_g=1000.0, cost=10.0)
+        assert savings_per_cost_percent(other, base) == 0.0
+
+
+class TestSavedPerWaitingHour:
+    def test_ratio(self):
+        base = fake_result(carbon_g=1000.0, waits=(0,))
+        other = fake_result(carbon_g=880.0, waits=(120,))  # 2 h waiting
+        assert saved_carbon_per_waiting_hour(other, base) == pytest.approx(60.0)
+
+    def test_zero_wait_with_savings_is_infinite(self):
+        base = fake_result(carbon_g=1000.0, waits=(0,))
+        other = fake_result(carbon_g=900.0, waits=(0,))
+        assert math.isinf(saved_carbon_per_waiting_hour(other, base))
+
+
+class TestSavingsCdf:
+    def _records(self):
+        def rec(i, length, saving):
+            return JobRecord(
+                job_id=i, queue="q", arrival=0, length=length, cpus=1,
+                first_start=0, finish=length, carbon_g=100.0 - saving,
+                energy_kwh=0.01, usage_cost=0.0, baseline_carbon_g=100.0,
+                usage=(UsageInterval(0, length, 1, PurchaseOption.ON_DEMAND),),
+            )
+        return [rec(0, 30, 10.0), rec(1, 120, 30.0), rec(2, 600, 60.0)]
+
+    def test_cdf_monotone_to_one(self):
+        cdf = savings_cdf_by_length(self._records(), [30, 120, 600])
+        assert cdf == pytest.approx([0.1, 0.4, 1.0])
+
+    def test_no_savings_rejected(self):
+        records = self._records()
+        zero = [
+            JobRecord(
+                job_id=r.job_id, queue="q", arrival=0, length=r.length, cpus=1,
+                first_start=0, finish=r.length, carbon_g=100.0,
+                energy_kwh=0.01, usage_cost=0.0, baseline_carbon_g=100.0,
+                usage=r.usage,
+            )
+            for r in records
+        ]
+        with pytest.raises(ReproError):
+            savings_cdf_by_length(zero, [30])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            savings_cdf_by_length([], [30])
+
+
+class TestWaitingReduction:
+    def test_reduction(self):
+        slow = fake_result(waits=(120,))
+        fast = fake_result(waits=(60,))
+        assert mean_waiting_reduction(fast, slow) == pytest.approx(0.5)
+
+    def test_zero_reference_rejected(self):
+        base = fake_result(waits=(0,))
+        with pytest.raises(ReproError):
+            mean_waiting_reduction(base, base)

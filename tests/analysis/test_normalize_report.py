@@ -1,0 +1,81 @@
+"""Normalization helpers and ASCII reporting."""
+
+import pytest
+
+from repro.analysis.normalize import normalize_to_baseline, normalize_to_max
+from repro.analysis.report import format_value, render_kv, render_table
+from repro.errors import ReproError
+
+
+class TestNormalize:
+    def test_to_max(self):
+        normalized = normalize_to_max({"a": 2.0, "b": 4.0})
+        assert normalized == {"a": 0.5, "b": 1.0}
+
+    def test_to_max_empty(self):
+        with pytest.raises(ReproError):
+            normalize_to_max({})
+
+    def test_to_max_nonpositive(self):
+        with pytest.raises(ReproError):
+            normalize_to_max({"a": 0.0})
+
+    def test_to_baseline(self):
+        assert normalize_to_baseline({"a": 3.0}, 2.0) == {"a": 1.5}
+
+    def test_to_baseline_zero(self):
+        with pytest.raises(ReproError):
+            normalize_to_baseline({"a": 1.0}, 0.0)
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (1.0, "1"),
+            (0.5, "0.5"),
+            (0.123456, "0.1235"),
+            (12.345678, "12.346"),
+            (1234567.0, "1,234,567"),
+            ("text", "text"),
+            (None, "None"),
+            (float("nan"), "nan"),
+            (True, "True"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert format_value(value) == expected
+
+
+class TestRenderTable:
+    def test_alignment_and_columns(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 22.5}]
+        text = render_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len(lines) == 6
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        assert render_table(rows, columns=["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_table([])
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        text = render_kv({"x": 1, "long_key": 2.5}, title="K")
+        assert text.startswith("K\n-")
+        assert ": 1" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_kv({})

@@ -1,0 +1,104 @@
+"""Seed replication and bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    PolicyComparison,
+    bootstrap_ci,
+    compare_policies,
+    replicate,
+)
+from repro.errors import ReproError
+
+
+class TestReplicate:
+    def test_order_preserved(self):
+        assert replicate(lambda seed: seed * 2.0, [3, 1, 2]) == [6.0, 2.0, 4.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            replicate(lambda seed: 0.0, [])
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 1.0, size=60)
+        low, high = bootstrap_ci(values, seed=1)
+        assert low < 10.0 < high
+        assert high - low < 1.5
+
+    def test_tightens_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=400)
+        low_s, high_s = bootstrap_ci(small, seed=1)
+        low_l, high_l = bootstrap_ci(large, seed=1)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_custom_statistic(self):
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        low, high = bootstrap_ci(values, statistic=np.median, seed=0)
+        assert high <= 100.0
+        assert low >= 1.0
+
+    def test_deterministic(self):
+        values = list(range(20))
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestComparePolicies:
+    def test_clear_separation_significant(self):
+        comparison = compare_policies(
+            metric_a=lambda seed: 10.0 + (seed % 3) * 0.1,
+            metric_b=lambda seed: 5.0 + (seed % 3) * 0.1,
+            seeds=range(10),
+        )
+        assert comparison.mean_difference == pytest.approx(5.0)
+        assert comparison.significant
+
+    def test_identical_policies_not_significant(self):
+        comparison = compare_policies(
+            metric_a=lambda seed: float(np.random.default_rng(seed).normal()),
+            metric_b=lambda seed: float(np.random.default_rng(seed + 1000).normal()),
+            seeds=range(12),
+        )
+        assert isinstance(comparison, PolicyComparison)
+        assert not comparison.significant
+
+    def test_end_to_end_carbon_claim(self):
+        """Carbon-Time saves carbon vs NoWait robustly across seeds."""
+        from repro.carbon.regions import region_trace
+        from repro.simulator.simulation import run_simulation
+        from repro.units import days
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+
+        carbon = region_trace("SA-AU")
+
+        def saving_for(spec):
+            def metric(seed: int) -> float:
+                workload = week_long_trace(
+                    alibaba_like(3_000, horizon=days(30), seed=seed), num_jobs=80,
+                    seed=seed,
+                )
+                return run_simulation(workload, carbon, spec).total_carbon_kg
+
+            return metric
+
+        comparison = compare_policies(
+            metric_a=saving_for("nowait"),
+            metric_b=saving_for("carbon-time"),
+            seeds=range(6),
+            metric_name="carbon_kg",
+        )
+        # NoWait emits more than Carbon-Time on every seed.
+        assert comparison.mean_difference > 0
+        assert comparison.significant

@@ -1,0 +1,77 @@
+"""Stretch (slowdown) metrics and SLO-violation rates."""
+
+import pytest
+
+from repro.analysis.metrics import slo_violations, stretch_percentiles
+from repro.cluster.pricing import DEFAULT_PRICING, PurchaseOption
+from repro.errors import ReproError
+from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
+
+
+def result_with(jobs):
+    """jobs: list of (length, waiting) pairs."""
+    records = []
+    for i, (length, wait) in enumerate(jobs):
+        records.append(
+            JobRecord(
+                job_id=i, queue="q", arrival=0, length=length, cpus=1,
+                first_start=wait, finish=wait + length, carbon_g=1.0,
+                energy_kwh=0.01, usage_cost=0.0, baseline_carbon_g=1.0,
+                usage=(UsageInterval(wait, wait + length, 1,
+                                     PurchaseOption.ON_DEMAND),),
+            )
+        )
+    return SimulationResult(
+        policy_name="p", workload_name="w", region="r", reserved_cpus=0,
+        horizon=100_000, pricing=DEFAULT_PRICING, records=tuple(records),
+    )
+
+
+class TestStretchPercentiles:
+    def test_no_waiting_is_stretch_one(self):
+        result = result_with([(60, 0), (120, 0)])
+        assert stretch_percentiles(result)[50] == pytest.approx(1.0)
+
+    def test_short_jobs_stretch_most(self):
+        # Same 60-minute wait: stretch 13 for a 5-min job, 1.5 for 2 h.
+        result = result_with([(5, 60), (120, 60)])
+        percentiles = stretch_percentiles(result, percentiles=(0, 100))
+        assert percentiles[100] == pytest.approx(13.0)
+        assert percentiles[0] == pytest.approx(1.5)
+
+    def test_monotone(self):
+        result = result_with([(5, 60), (60, 60), (120, 60), (600, 60)])
+        percentiles = stretch_percentiles(result)
+        assert percentiles[50] <= percentiles[90] <= percentiles[99]
+
+
+class TestSloViolations:
+    def test_counts_violators(self):
+        result = result_with([(5, 60), (120, 60), (600, 0)])
+        # Stretches: 13, 1.5, 1.0 -> one above 2.0.
+        assert slo_violations(result, max_stretch=2.0) == pytest.approx(1 / 3)
+
+    def test_all_satisfied(self):
+        result = result_with([(60, 0)])
+        assert slo_violations(result) == 0.0
+
+    def test_unsatisfiable_threshold_rejected(self):
+        result = result_with([(60, 0)])
+        with pytest.raises(ReproError):
+            slo_violations(result, max_stretch=0.5)
+
+    def test_end_to_end_carbon_aware_violates_more(self):
+        from repro.carbon.regions import region_trace
+        from repro.simulator.simulation import run_simulation
+        from repro.units import days
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+
+        workload = week_long_trace(
+            alibaba_like(4_000, horizon=days(30), seed=12), num_jobs=150
+        )
+        carbon = region_trace("SA-AU")
+        nowait = run_simulation(workload, carbon, "nowait")
+        aware = run_simulation(workload, carbon, "lowest-window")
+        assert slo_violations(nowait, 2.0) == 0.0
+        assert slo_violations(aware, 2.0) > 0.0

@@ -1,0 +1,94 @@
+"""Reserved sweeps, knee finding, regime classification."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    SweepPoint,
+    classify_regimes,
+    knee_point,
+    reserved_sweep,
+)
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import ReproError
+from repro.units import days, hours
+from repro.workload.sampling import week_long_trace
+from repro.workload.synthetic import alibaba_like
+
+import numpy as np
+
+
+def point(reserved, cost, carbon, util):
+    return SweepPoint(
+        reserved_cpus=reserved, cost=cost, carbon_kg=carbon,
+        mean_wait_hours=1.0, normalized_cost=cost, normalized_carbon=carbon,
+        reserved_utilization=util,
+    )
+
+
+class TestKnee:
+    def test_minimum_cost(self):
+        points = [point(0, 1.0, 0.8, 0), point(5, 0.7, 0.9, 0.9), point(10, 0.9, 1.0, 0.6)]
+        assert knee_point(points).reserved_cpus == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            knee_point([])
+
+
+class TestRegimes:
+    def test_three_regimes(self):
+        points = [
+            point(0, 1.0, 0.80, 0.0),     # anchor: 20% savings
+            point(2, 0.9, 0.81, 0.95),    # retains >90% of savings
+            point(5, 0.7, 0.90, 0.85),    # trade-off
+            point(50, 1.4, 1.00, 0.2),    # below break-even utilization
+        ]
+        labels = classify_regimes(points, breakeven_utilization=0.4)
+        assert labels == ["1-no-tradeoff", "1-no-tradeoff", "2-tradeoff", "3-excess"]
+
+    def test_requires_zero_anchor(self):
+        with pytest.raises(ReproError):
+            classify_regimes([point(5, 1.0, 1.0, 0.5)], 0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            classify_regimes([], 0.4)
+
+
+class TestReservedSweepIntegration:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        workload = week_long_trace(
+            alibaba_like(4_000, horizon=days(30), seed=8), num_jobs=150
+        )
+        day = np.full(24, 300.0)
+        day[9:16] = 60.0
+        carbon = CarbonIntensityTrace(np.tile(day, 12), name="synthetic")
+        mean = workload.mean_demand
+        values = [0, int(mean / 2), int(mean), int(mean * 1.5)]
+        return reserved_sweep(workload, carbon, "res-first:carbon-time", values)
+
+    def test_normalized_to_nowait_zero(self, sweep):
+        # The zero-reserved carbon-aware run must not cost more than ~the
+        # all-on-demand NoWait baseline by more than the carbon shifting
+        # overhead (same usage, same rates -> ratio ~1).
+        assert sweep[0].normalized_cost == pytest.approx(1.0, abs=0.05)
+
+    def test_carbon_monotone_rising(self, sweep):
+        carbons = [p.normalized_carbon for p in sweep]
+        assert carbons == sorted(carbons)
+
+    def test_waiting_decreases(self, sweep):
+        waits = [p.mean_wait_hours for p in sweep]
+        assert waits[-1] < waits[0]
+
+    def test_cost_dips_below_baseline(self, sweep):
+        assert min(p.normalized_cost for p in sweep) < 1.0
+
+    def test_empty_values_rejected(self):
+        workload = week_long_trace(
+            alibaba_like(2_000, horizon=days(14), seed=8), num_jobs=50
+        )
+        carbon = CarbonIntensityTrace(np.full(24 * 30, 100.0))
+        with pytest.raises(ReproError):
+            reserved_sweep(workload, carbon, "nowait", [])

@@ -1,0 +1,108 @@
+"""Forecaster behaviour: perfect oracle and lead-dependent noise."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import NoisyForecaster, PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(1)
+    return CarbonIntensityTrace(rng.uniform(50, 400, size=96), name="t")
+
+
+class TestPerfectForecaster:
+    def test_slot_values_are_truth(self, trace):
+        forecaster = PerfectForecaster(trace)
+        np.testing.assert_array_equal(
+            forecaster.slot_values(0, 120, 4), trace.hourly[2:6]
+        )
+
+    def test_interval_matches_trace(self, trace):
+        forecaster = PerfectForecaster(trace)
+        assert forecaster.interval_carbon(0, 30, 300) == trace.interval_carbon(30, 300)
+
+    def test_window_many_matches_trace(self, trace):
+        forecaster = PerfectForecaster(trace)
+        starts = np.array([0, 60, 125])
+        np.testing.assert_allclose(
+            forecaster.window_carbon_many(0, starts, 90),
+            trace.window_carbon_many(starts, 90),
+        )
+
+    def test_now_is_ignored(self, trace):
+        forecaster = PerfectForecaster(trace)
+        assert forecaster.interval_carbon(0, 0, 60) == forecaster.interval_carbon(
+            5000, 0, 60
+        )
+
+
+class TestNoisyForecaster:
+    def test_zero_lead_is_truth(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.5, seed=3)
+        # Forecasting the current hour has zero lead, hence zero error.
+        now = 90
+        value = forecaster.slot_values(now, now, 1)[0]
+        assert value == pytest.approx(trace.ci_at(now))
+
+    def test_error_grows_with_lead(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.5, seed=3)
+        near = forecaster.slot_values(0, 0, 48)
+        errors = np.abs(near - trace.hourly[:48]) / trace.hourly[:48]
+        # Mean error over the second day must exceed the first hour's.
+        assert errors[24:].mean() > errors[0]
+
+    def test_sigma_zero_is_perfect(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.0, seed=3)
+        np.testing.assert_allclose(
+            forecaster.slot_values(0, 0, 48), trace.hourly[:48]
+        )
+
+    def test_deterministic(self, trace):
+        a = NoisyForecaster(trace, sigma=0.3, seed=9)
+        b = NoisyForecaster(trace, sigma=0.3, seed=9)
+        np.testing.assert_array_equal(
+            a.slot_values(0, 0, 24), b.slot_values(0, 0, 24)
+        )
+
+    def test_forecast_never_negative(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=3.0 - 2.9, seed=0)
+        assert np.all(forecaster.slot_values(0, 0, 96) >= 0)
+
+    def test_interval_consistent_with_windows(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.4, seed=2)
+        starts = np.array([70, 200])
+        windows = forecaster.window_carbon_many(10, starts, 120)
+        for start, window in zip(starts, windows):
+            assert forecaster.interval_carbon(10, int(start), int(start) + 120) == (
+                pytest.approx(window)
+            )
+
+    def test_interval_converges_as_now_advances(self, trace):
+        """Forecasts for a fixed hour approach truth as it gets closer."""
+        forecaster = NoisyForecaster(trace, sigma=0.8, seed=4)
+        target = 48 * 60
+        truth = trace.interval_carbon(target, target + 60)
+        early = abs(forecaster.interval_carbon(0, target, target + 60) - truth)
+        late = abs(forecaster.interval_carbon(target, target, target + 60) - truth)
+        assert late <= early
+
+    def test_rejects_negative_sigma(self, trace):
+        with pytest.raises(TraceError):
+            NoisyForecaster(trace, sigma=-0.1)
+
+    def test_rejects_interval_beyond_horizon(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.1)
+        with pytest.raises(TraceError):
+            forecaster.interval_carbon(0, 0, trace.horizon_minutes + 60)
+
+    def test_empty_interval(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.1)
+        assert forecaster.interval_carbon(0, 100, 100) == 0.0
+
+    def test_empty_window_array(self, trace):
+        forecaster = NoisyForecaster(trace, sigma=0.1)
+        assert forecaster.window_carbon_many(0, np.array([], dtype=int), 60).size == 0

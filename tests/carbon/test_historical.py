@@ -1,0 +1,123 @@
+"""Historical (non-oracle) forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.historical import HistoricalForecaster
+from repro.carbon.regions import region_trace
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+from repro.units import hours
+
+
+def diurnal(days=20, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    day = 200.0 + 150.0 * np.sin(np.arange(24) / 24 * 2 * np.pi)
+    values = np.tile(day, days)
+    if noise:
+        values = values * (1 + rng.normal(0, noise, size=values.size))
+    return CarbonIntensityTrace(np.maximum(5.0, values), name="diurnal")
+
+
+class TestSeasonalEstimate:
+    def test_perfect_on_pure_diurnal(self):
+        trace = diurnal()
+        forecaster = HistoricalForecaster(trace, persistence_hours=0)
+        now = hours(24 * 10)
+        predicted = forecaster.slot_values(now, now + hours(5), 24)
+        actual = trace.hourly[24 * 10 + 5 : 24 * 10 + 5 + 24]
+        np.testing.assert_allclose(predicted, actual, rtol=1e-9)
+
+    def test_never_reads_the_future(self):
+        # Two traces identical up to hour 240, then divergent: forecasts
+        # issued at hour 240 must be identical.
+        base = diurnal(days=20).hourly.copy()
+        altered = base.copy()
+        altered[241:] *= 3.0
+        f1 = HistoricalForecaster(CarbonIntensityTrace(base))
+        f2 = HistoricalForecaster(CarbonIntensityTrace(altered))
+        now = hours(240)
+        # Forecast strictly future hours (lead >= 1 h).
+        a = f1.slot_values(now, now + hours(1), 24)
+        b = f2.slot_values(now, now + hours(1), 24)
+        np.testing.assert_allclose(a, b)
+
+    def test_observed_hours_are_truth(self):
+        trace = diurnal(noise=0.3, seed=1)
+        forecaster = HistoricalForecaster(trace)
+        now = hours(24 * 8) + 30
+        values = forecaster.slot_values(now, now - hours(3), 3)
+        np.testing.assert_allclose(
+            values, trace.hour_values((now - hours(3)) // 60, 3)
+        )
+
+    def test_cold_start_uses_persistence(self):
+        trace = diurnal()
+        forecaster = HistoricalForecaster(trace, persistence_hours=0)
+        # At hour 0 there is no history at all: falls back to current.
+        values = forecaster.slot_values(0, 0, 3)
+        assert np.all(np.isfinite(values))
+
+    def test_persistence_blends_short_leads(self):
+        # A flat-history trace with a current spike: near-term forecasts
+        # lean toward the spike, far leads toward the seasonal mean.
+        values = np.full(24 * 10, 100.0)
+        values[24 * 9] = 400.0  # the "current" hour spikes
+        trace = CarbonIntensityTrace(values)
+        forecaster = HistoricalForecaster(trace, persistence_hours=4)
+        now = hours(24 * 9)
+        forecast = forecaster.slot_values(now, now + hours(1), 6)
+        assert forecast[0] > forecast[3] > 100.0 - 1e-9
+        assert forecast[5] == pytest.approx(100.0)
+
+
+class TestForecasterInterface:
+    def test_interval_consistency(self):
+        trace = diurnal(noise=0.2, seed=2)
+        forecaster = HistoricalForecaster(trace)
+        now = hours(24 * 9)
+        starts = np.array([now + 90, now + 300])
+        windows = forecaster.window_carbon_many(now, starts, 120)
+        for start, window in zip(starts, windows):
+            assert forecaster.interval_carbon(now, int(start), int(start) + 120) == (
+                pytest.approx(window)
+            )
+
+    def test_mape_reasonable_on_real_region(self):
+        forecaster = HistoricalForecaster(region_trace("CA-US"))
+        mape = forecaster.mean_absolute_percentage_error(hours(24 * 30), 24)
+        assert 0 < mape < 0.6  # seasonal-naive is coarse but sane
+
+    def test_validation(self):
+        trace = diurnal()
+        with pytest.raises(TraceError):
+            HistoricalForecaster(trace, history_days=0)
+        with pytest.raises(TraceError):
+            HistoricalForecaster(trace, persistence_hours=-1)
+        forecaster = HistoricalForecaster(trace)
+        with pytest.raises(TraceError):
+            forecaster.interval_carbon(0, 10, 5)
+
+
+class TestEndToEnd:
+    def test_drives_carbon_time_without_oracle(self):
+        from repro.simulator.simulation import run_simulation
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+        from repro.units import days
+
+        workload = week_long_trace(
+            alibaba_like(5_000, horizon=days(40), seed=5), num_jobs=150
+        )
+        carbon = region_trace("SA-AU")
+        baseline = run_simulation(workload, carbon, "nowait")
+        oracle = run_simulation(workload, carbon, "carbon-time")
+        historical = run_simulation(
+            workload, carbon, "carbon-time",
+            forecaster_factory=lambda trace: HistoricalForecaster(trace),
+        )
+        oracle_saving = oracle.carbon_savings_vs(baseline)
+        historical_saving = historical.carbon_savings_vs(baseline)
+        # The non-oracle forecaster captures most of the oracle's savings.
+        assert historical_saving > 0.5 * oracle_saving
+        assert historical_saving <= oracle_saving + 0.02

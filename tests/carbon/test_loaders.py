@@ -1,0 +1,128 @@
+"""Published carbon-data format loaders."""
+
+import json
+
+import pytest
+
+from repro.carbon.loaders import load_electricitymaps_csv, load_watttime_json
+from repro.errors import TraceError
+
+
+class TestElectricityMaps:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,zone,carbon_intensity_avg\n"
+            "2022-01-01T00:00:00Z,CA,200\n"
+            "2022-01-01T01:00:00Z,CA,210\n"
+            "2022-01-01T02:00:00Z,CA,190\n"
+        )
+        trace = load_electricitymaps_csv(str(path), name="CA")
+        assert trace.num_hours == 3
+        assert trace.ci_at(61) == 210.0
+        assert trace.name == "CA"
+
+    def test_alternate_column_names(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "timestamp,carbonIntensity\n"
+            "2022-01-01T00:00:00+00:00,150\n"
+            "2022-01-01T01:00:00+00:00,160\n"
+        )
+        assert load_electricitymaps_csv(str(path)).num_hours == 2
+
+    def test_short_gap_carried_forward(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,carbon_intensity\n"
+            "2022-01-01T00:00:00Z,100\n"
+            "2022-01-01T03:00:00Z,400\n"
+        )
+        trace = load_electricitymaps_csv(str(path))
+        assert trace.num_hours == 4
+        assert trace.ci_at(60) == 100.0   # carried forward
+        assert trace.ci_at(181) == 400.0
+
+    def test_long_gap_rejected(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,carbon_intensity\n"
+            "2022-01-01T00:00:00Z,100\n"
+            "2022-01-10T00:00:00Z,100\n"
+        )
+        with pytest.raises(TraceError):
+            load_electricitymaps_csv(str(path))
+
+    def test_unsorted_input_sorted(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,carbon_intensity\n"
+            "2022-01-01T01:00:00Z,210\n"
+            "2022-01-01T00:00:00Z,200\n"
+        )
+        trace = load_electricitymaps_csv(str(path))
+        assert trace.ci_at(0) == 200.0
+
+    def test_blank_values_skipped(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,carbon_intensity\n"
+            "2022-01-01T00:00:00Z,100\n"
+            "2022-01-01T01:00:00Z,\n"
+            "2022-01-01T02:00:00Z,120\n"
+        )
+        trace = load_electricitymaps_csv(str(path))
+        assert trace.num_hours == 3
+        assert trace.ci_at(70) == 100.0  # gap filled by carry-forward
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            load_electricitymaps_csv(str(path))
+
+    def test_duplicate_hours_rejected(self, tmp_path):
+        path = tmp_path / "em.csv"
+        path.write_text(
+            "datetime,carbon_intensity\n"
+            "2022-01-01T00:00:00Z,100\n"
+            "2022-01-01T00:00:00Z,110\n"
+        )
+        with pytest.raises(TraceError):
+            load_electricitymaps_csv(str(path))
+
+
+class TestWattTime:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "wt.json"
+        payload = [
+            {"point_time": "2022-01-01T00:00:00Z", "value": 1000.0},
+            {"point_time": "2022-01-01T01:00:00Z", "value": 2000.0},
+        ]
+        path.write_text(json.dumps(payload))
+        trace = load_watttime_json(str(path), name="wt")
+        assert trace.num_hours == 2
+        # 1000 lbs/MWh = 453.592 g/kWh
+        assert trace.ci_at(0) == pytest.approx(453.592)
+
+    def test_sorted_by_time(self, tmp_path):
+        path = tmp_path / "wt.json"
+        payload = [
+            {"point_time": "2022-01-01T01:00:00Z", "value": 2000.0},
+            {"point_time": "2022-01-01T00:00:00Z", "value": 1000.0},
+        ]
+        path.write_text(json.dumps(payload))
+        trace = load_watttime_json(str(path))
+        assert trace.ci_at(0) == pytest.approx(453.592)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "wt.json"
+        path.write_text(json.dumps([{"oops": 1}]))
+        with pytest.raises(TraceError):
+            load_watttime_json(str(path))
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "wt.json"
+        path.write_text("[]")
+        with pytest.raises(TraceError):
+            load_watttime_json(str(path))

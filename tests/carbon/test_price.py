@@ -1,0 +1,79 @@
+"""Electricity price synthesis and the carbon/cost conflict (Fig. 20)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.price import (
+    ElectricityPriceTrace,
+    carbon_price_conflict_hours,
+    correlated_price_trace,
+    realized_correlation,
+)
+from repro.carbon.regions import region_trace
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def ci():
+    return region_trace("TX-US", num_hours=24 * 120)
+
+
+class TestPriceTrace:
+    def test_negatives_allowed(self):
+        trace = ElectricityPriceTrace([-20.0, 50.0])
+        assert trace.value_at(0) == -20.0
+
+
+class TestCorrelatedGeneration:
+    def test_hits_target_correlation(self, ci):
+        price = correlated_price_trace(ci, target_correlation=0.16, seed=0)
+        assert realized_correlation(ci, price) == pytest.approx(0.16, abs=0.05)
+
+    def test_high_correlation(self, ci):
+        price = correlated_price_trace(
+            ci, target_correlation=0.9, spike_probability=0.0, seed=0
+        )
+        assert realized_correlation(ci, price) == pytest.approx(0.9, abs=0.05)
+
+    def test_negative_correlation(self, ci):
+        price = correlated_price_trace(
+            ci, target_correlation=-0.5, spike_probability=0.0, seed=0
+        )
+        assert realized_correlation(ci, price) == pytest.approx(-0.5, abs=0.08)
+
+    def test_deterministic(self, ci):
+        a = correlated_price_trace(ci, seed=4)
+        b = correlated_price_trace(ci, seed=4)
+        np.testing.assert_array_equal(a.hourly, b.hourly)
+
+    def test_length_matches_ci(self, ci):
+        assert correlated_price_trace(ci).num_hours == ci.num_hours
+
+    def test_rejects_bad_correlation(self, ci):
+        with pytest.raises(ConfigError):
+            correlated_price_trace(ci, target_correlation=1.5)
+
+    def test_rejects_bad_spikes(self, ci):
+        with pytest.raises(ConfigError):
+            correlated_price_trace(ci, spike_probability=1.0)
+
+    def test_rejects_constant_ci(self):
+        from repro.carbon.trace import CarbonIntensityTrace
+
+        flat = CarbonIntensityTrace([100.0] * 48)
+        with pytest.raises(ConfigError):
+            correlated_price_trace(flat)
+
+
+class TestConflictMetric:
+    def test_identical_series_no_conflict(self, ci):
+        price = ElectricityPriceTrace(ci.hourly.copy())
+        assert carbon_price_conflict_hours(ci, price) == 0.0
+
+    def test_anticorrelated_conflicts(self, ci):
+        price = ElectricityPriceTrace(-ci.hourly)
+        assert carbon_price_conflict_hours(ci, price) > 0.5
+
+    def test_weakly_correlated_conflicts_often(self, ci):
+        price = correlated_price_trace(ci, target_correlation=0.16, seed=0)
+        assert carbon_price_conflict_hours(ci, price) > 0.2

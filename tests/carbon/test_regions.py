@@ -1,0 +1,63 @@
+"""Canonical region profiles (the paper's Fig. 6 categories)."""
+
+import pytest
+
+from repro.carbon.regions import PAPER_REGIONS, REGION_PROFILES, get_region, region_trace
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_paper_regions_exist(self):
+        for name in PAPER_REGIONS:
+            assert name in REGION_PROFILES
+
+    def test_get_region_unknown(self):
+        with pytest.raises(ConfigError):
+            get_region("MOON")
+
+    def test_texas_for_fig20(self):
+        assert get_region("TX-US").mean_ci > 0
+
+
+class TestCategories:
+    """The synthetic profiles must land in the paper's level/variability cells."""
+
+    def test_sweden_low_stable(self):
+        profile = get_region("SE")
+        assert profile.level_label == "Low"
+        assert profile.variability_label == "Stable"
+
+    def test_kentucky_high_stable(self):
+        profile = get_region("KY-US")
+        assert profile.level_label == "High"
+        assert profile.variability_label == "Stable"
+
+    def test_middle_regions_variable(self):
+        for name in ("SA-AU", "CA-US", "NL", "ON-CA"):
+            assert get_region(name).variability_label == "Variable"
+
+    def test_level_ordering_matches_fig6(self):
+        means = [get_region(name).mean_ci for name in PAPER_REGIONS]
+        assert means == sorted(means)
+
+    def test_sa_has_largest_relative_variation(self):
+        """Paper: South Australia has the highest variation of the regions."""
+        sa = get_region("SA-AU")
+        sa_swing = sa.diurnal_amplitude + sa.noise_sigma + sa.seasonal_amplitude
+        for name in PAPER_REGIONS:
+            if name == "SA-AU":
+                continue
+            other = get_region(name)
+            swing = other.diurnal_amplitude + other.noise_sigma + other.seasonal_amplitude
+            assert sa_swing >= swing
+
+
+class TestRegionTrace:
+    def test_cached_identity(self):
+        assert region_trace("SE", num_hours=48) is region_trace("SE", num_hours=48)
+
+    def test_year_default(self):
+        assert region_trace("SE").num_hours == 365 * 24
+
+    def test_trace_name_matches(self):
+        assert region_trace("NL", num_hours=24).name == "NL"

@@ -1,0 +1,79 @@
+"""Carbon-trace statistics behind Figs. 1, 6, 7."""
+
+import numpy as np
+import pytest
+
+from repro.carbon import stats
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import TraceError
+
+
+class TestTemporalVariation:
+    def test_known_ratio(self):
+        day = [100.0] * 12 + [50.0] * 12
+        trace = CarbonIntensityTrace(day * 3)
+        assert stats.temporal_variation(trace) == pytest.approx(2.0)
+
+
+class TestSpatialVariation:
+    def test_constant_traces(self):
+        a = CarbonIntensityTrace([100.0] * 24, name="a")
+        b = CarbonIntensityTrace([300.0] * 24, name="b")
+        assert stats.spatial_variation([a, b]) == pytest.approx(3.0)
+
+    def test_uses_overlap_only(self):
+        a = CarbonIntensityTrace([100.0, 100.0], name="a")
+        b = CarbonIntensityTrace([200.0, 200.0, 900.0], name="b")
+        assert stats.spatial_variation([a, b]) == pytest.approx(2.0)
+
+    def test_needs_two(self):
+        with pytest.raises(TraceError):
+            stats.spatial_variation([CarbonIntensityTrace([1.0])])
+
+
+class TestMonthlyMeans:
+    def test_year_layout(self):
+        values = np.concatenate([np.full(31 * 24, 10.0), np.full(8036, 20.0)])
+        trace = CarbonIntensityTrace(values)
+        means = stats.monthly_means(trace)
+        assert len(means) == 12
+        assert means[0] == pytest.approx(10.0)
+        assert means[1] == pytest.approx(20.0)
+
+    def test_needs_full_year(self):
+        with pytest.raises(TraceError):
+            stats.monthly_means(CarbonIntensityTrace([1.0] * 100))
+
+
+class TestPercentileThreshold:
+    def test_basic(self):
+        assert stats.percentile_threshold(np.arange(101.0), 30) == pytest.approx(30.0)
+
+    def test_empty(self):
+        with pytest.raises(TraceError):
+            stats.percentile_threshold(np.array([]), 30)
+
+    def test_out_of_range(self):
+        with pytest.raises(TraceError):
+            stats.percentile_threshold(np.array([1.0]), 150)
+
+
+class TestCorrelationAndCov:
+    def test_perfect_correlation(self):
+        a = CarbonIntensityTrace([1.0, 2.0, 3.0, 4.0])
+        b = CarbonIntensityTrace([2.0, 4.0, 6.0, 8.0])
+        assert stats.correlation(a, b) == pytest.approx(1.0)
+
+    def test_constant_rejected(self):
+        a = CarbonIntensityTrace([1.0, 1.0])
+        b = CarbonIntensityTrace([1.0, 2.0])
+        with pytest.raises(TraceError):
+            stats.correlation(a, b)
+
+    def test_cov(self):
+        trace = CarbonIntensityTrace([50.0, 150.0])
+        assert stats.coefficient_of_variation(trace) == pytest.approx(0.5)
+
+    def test_mean_levels_keyed_by_name(self):
+        a = CarbonIntensityTrace([10.0], name="a")
+        assert stats.mean_levels([a]) == {"a": 10.0}

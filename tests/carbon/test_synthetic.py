@@ -1,0 +1,108 @@
+"""Synthetic carbon-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.errors import ConfigError
+
+
+def profile(**overrides) -> RegionProfile:
+    base = dict(
+        name="test",
+        mean_ci=200.0,
+        diurnal_amplitude=0.4,
+        seasonal_amplitude=0.2,
+        noise_sigma=0.1,
+    )
+    base.update(overrides)
+    return RegionProfile(**base)
+
+
+class TestRegionProfile:
+    def test_labels(self):
+        assert profile(mean_ci=50).level_label == "Low"
+        assert profile(mean_ci=300).level_label == "Med"
+        assert profile(mean_ci=800).level_label == "High"
+
+    def test_variability_labels(self):
+        flat = profile(diurnal_amplitude=0.05, noise_sigma=0.05)
+        assert flat.variability_label == "Stable"
+        assert profile().variability_label == "Variable"
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigError):
+            profile(mean_ci=0)
+
+    def test_rejects_amplitude_out_of_range(self):
+        with pytest.raises(ConfigError):
+            profile(diurnal_amplitude=1.5)
+        with pytest.raises(ConfigError):
+            profile(noise_sigma=-0.1)
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(ConfigError):
+            profile(noise_half_life_hours=0)
+
+
+class TestGeneration:
+    def test_length_and_positivity(self):
+        trace = generate_carbon_trace(profile(), num_hours=500, seed=3)
+        assert trace.num_hours == 500
+        assert np.all(trace.hourly >= profile().floor_ci)
+
+    def test_deterministic_under_seed(self):
+        a = generate_carbon_trace(profile(), num_hours=200, seed=7)
+        b = generate_carbon_trace(profile(), num_hours=200, seed=7)
+        np.testing.assert_array_equal(a.hourly, b.hourly)
+
+    def test_seed_changes_noise(self):
+        a = generate_carbon_trace(profile(), num_hours=200, seed=1)
+        b = generate_carbon_trace(profile(), num_hours=200, seed=2)
+        assert not np.array_equal(a.hourly, b.hourly)
+
+    def test_regions_draw_independent_weather(self):
+        a = generate_carbon_trace(profile(name="r1"), num_hours=200, seed=1)
+        b = generate_carbon_trace(profile(name="r2"), num_hours=200, seed=1)
+        assert not np.array_equal(a.hourly, b.hourly)
+
+    def test_mean_close_to_profile(self):
+        trace = generate_carbon_trace(profile(), num_hours=24 * 365, seed=0)
+        assert trace.hourly.mean() == pytest.approx(200.0, rel=0.1)
+
+    def test_diurnal_cycle_present(self):
+        trace = generate_carbon_trace(
+            profile(noise_sigma=0.0, seasonal_amplitude=0.0), num_hours=24 * 30, seed=0
+        )
+        byday = trace.hourly.reshape(30, 24)
+        hourly_mean = byday.mean(axis=0)
+        peak_hour = int(hourly_mean.argmax())
+        assert abs(peak_hour - 19) <= 1  # default diurnal peak at 19h
+
+    def test_flat_profile_is_flat(self):
+        flat = profile(diurnal_amplitude=0.0, seasonal_amplitude=0.0, noise_sigma=0.0)
+        trace = generate_carbon_trace(flat, num_hours=100, seed=0)
+        np.testing.assert_allclose(trace.hourly, 200.0)
+
+    def test_seasonal_phase_offset(self):
+        prof = profile(noise_sigma=0.0, diurnal_amplitude=0.0, seasonal_peak_day=0.0)
+        january = generate_carbon_trace(prof, num_hours=24 * 30, seed=0)
+        july = generate_carbon_trace(
+            prof, num_hours=24 * 30, seed=0, start_hour_of_year=24 * 182
+        )
+        assert january.hourly.mean() > july.hourly.mean()
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigError):
+            generate_carbon_trace(profile(), num_hours=0)
+
+    def test_noise_is_persistent(self):
+        """OU noise should be positively autocorrelated hour to hour."""
+        trace = generate_carbon_trace(
+            profile(diurnal_amplitude=0.0, seasonal_amplitude=0.0, noise_sigma=0.3),
+            num_hours=2000,
+            seed=5,
+        )
+        x = trace.hourly - trace.hourly.mean()
+        autocorr = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert autocorr > 0.5

@@ -1,0 +1,184 @@
+"""CarbonIntensityTrace / HourlySeries behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace, HourlySeries, align_horizons
+from repro.errors import TraceError
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = CarbonIntensityTrace([100.0, 200.0], name="x")
+        assert trace.num_hours == 2
+        assert trace.horizon_minutes == 120
+        assert trace.name == "x"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityTrace([])
+
+    def test_rejects_negative_ci(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityTrace([100.0, -1.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityTrace([100.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            CarbonIntensityTrace(np.ones((2, 2)))
+
+    def test_hourly_is_readonly(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(ValueError):
+            trace.hourly[0] = 5.0
+
+    def test_input_not_aliased(self):
+        source = np.array([100.0, 200.0])
+        trace = CarbonIntensityTrace(source)
+        source[0] = 1.0
+        assert trace.ci_at(0) == 100.0
+
+    def test_price_series_allows_negative(self):
+        series = HourlySeries([-10.0, 5.0])
+        assert series.value_at(0) == -10.0
+
+
+class TestPointAccess:
+    def test_ci_at_hour_boundaries(self):
+        trace = CarbonIntensityTrace([100.0, 200.0, 300.0])
+        assert trace.ci_at(0) == 100.0
+        assert trace.ci_at(59) == 100.0
+        assert trace.ci_at(60) == 200.0
+        assert trace.ci_at(179) == 300.0
+
+    def test_ci_at_out_of_range(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(TraceError):
+            trace.ci_at(60)
+        with pytest.raises(TraceError):
+            trace.ci_at(-1)
+
+    def test_hour_values_clips(self):
+        trace = CarbonIntensityTrace([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(trace.hour_values(1, 10), [2.0, 3.0])
+
+    def test_hour_values_bad_start(self):
+        trace = CarbonIntensityTrace([1.0])
+        with pytest.raises(TraceError):
+            trace.hour_values(5, 1)
+
+
+class TestIntegration:
+    def test_full_hour(self):
+        trace = CarbonIntensityTrace([100.0, 200.0])
+        assert trace.interval_carbon(0, 60) == pytest.approx(100.0)
+
+    def test_partial_hour(self):
+        trace = CarbonIntensityTrace([100.0, 200.0])
+        assert trace.interval_carbon(0, 30) == pytest.approx(50.0)
+
+    def test_spanning_hours(self):
+        trace = CarbonIntensityTrace([100.0, 200.0])
+        # 30 min at 100 + 30 min at 200 = 50 + 100 value-hours
+        assert trace.interval_carbon(30, 90) == pytest.approx(150.0)
+
+    def test_empty_interval(self):
+        trace = CarbonIntensityTrace([100.0])
+        assert trace.interval_carbon(30, 30) == 0.0
+
+    def test_inverted_interval_rejected(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(TraceError):
+            trace.interval_carbon(30, 10)
+
+    def test_end_beyond_horizon_rejected(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(TraceError):
+            trace.interval_carbon(0, 61)
+
+    def test_integrate_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        trace = CarbonIntensityTrace(rng.uniform(10, 500, size=48))
+        starts = np.arange(0, 24 * 60, 7)
+        vectorized = trace.window_carbon_many(starts, 180)
+        scalar = [trace.interval_carbon(s, s + 180) for s in starts]
+        np.testing.assert_allclose(vectorized, scalar)
+
+    def test_integrate_many_out_of_range(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(TraceError):
+            trace.window_carbon_many(np.array([30]), 60)
+
+    def test_mean_over(self):
+        trace = CarbonIntensityTrace([100.0, 200.0])
+        assert trace.mean_over(0, 120) == pytest.approx(150.0)
+
+    def test_mean_over_empty(self):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(TraceError):
+            trace.mean_over(10, 10)
+
+
+class TestTransformations:
+    def test_slice_hours(self):
+        trace = CarbonIntensityTrace([1.0, 2.0, 3.0], name="t")
+        sliced = trace.slice_hours(1, 2)
+        np.testing.assert_array_equal(sliced.hourly, [2.0, 3.0])
+        assert isinstance(sliced, CarbonIntensityTrace)
+        assert sliced.name == "t"
+
+    def test_slice_too_long(self):
+        trace = CarbonIntensityTrace([1.0, 2.0])
+        with pytest.raises(TraceError):
+            trace.slice_hours(1, 5)
+
+    def test_tile_to(self):
+        trace = CarbonIntensityTrace([1.0, 2.0])
+        tiled = trace.tile_to(5)
+        np.testing.assert_array_equal(tiled.hourly, [1.0, 2.0, 1.0, 2.0, 1.0])
+
+    def test_tile_to_shorter_slices(self):
+        trace = CarbonIntensityTrace([1.0, 2.0, 3.0])
+        assert trace.tile_to(2).num_hours == 2
+
+    def test_scaled(self):
+        trace = CarbonIntensityTrace([10.0])
+        assert trace.scaled(2.5).ci_at(0) == 25.0
+
+    def test_daily_min_max_ratio(self):
+        day = [100.0] * 12 + [25.0] * 12
+        trace = CarbonIntensityTrace(day * 2)
+        assert trace.daily_min_max_ratio() == pytest.approx(4.0)
+
+    def test_daily_ratio_needs_a_day(self):
+        trace = CarbonIntensityTrace([100.0] * 10)
+        with pytest.raises(TraceError):
+            trace.daily_min_max_ratio()
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, tmp_path):
+        trace = CarbonIntensityTrace([100.5, 200.25, 0.125], name="rt")
+        path = str(tmp_path / "trace.csv")
+        trace.to_csv(path)
+        loaded = CarbonIntensityTrace.from_csv(path, name="rt")
+        np.testing.assert_array_equal(loaded.hourly, trace.hourly)
+
+    def test_csv_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            CarbonIntensityTrace.from_csv(str(path))
+
+
+class TestAlignHorizons:
+    def test_tiles_all(self):
+        traces = [
+            CarbonIntensityTrace([1.0, 2.0], name="a"),
+            CarbonIntensityTrace([3.0] * 5, name="b"),
+        ]
+        aligned = align_horizons(traces, minutes=4 * 60)
+        assert all(t.num_hours == 4 for t in aligned)

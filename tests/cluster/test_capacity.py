@@ -1,0 +1,55 @@
+"""Reserved pool conservation invariants."""
+
+import pytest
+
+from repro.cluster.capacity import ReservedPool
+from repro.errors import CapacityError, ConfigError
+
+
+class TestReservedPool:
+    def test_initial_state(self):
+        pool = ReservedPool(8)
+        assert pool.capacity == 8
+        assert pool.free == 8
+        assert pool.in_use == 0
+
+    def test_allocate_release_cycle(self):
+        pool = ReservedPool(4)
+        pool.allocate(3)
+        assert pool.free == 1
+        pool.release(2)
+        assert pool.free == 3
+        pool.release(1)
+        assert pool.free == 4
+
+    def test_can_fit(self):
+        pool = ReservedPool(2)
+        assert pool.can_fit(2)
+        pool.allocate(2)
+        assert not pool.can_fit(1)
+
+    def test_over_allocation_rejected(self):
+        pool = ReservedPool(2)
+        with pytest.raises(CapacityError):
+            pool.allocate(3)
+
+    def test_over_release_rejected(self):
+        pool = ReservedPool(2)
+        pool.allocate(1)
+        with pytest.raises(CapacityError):
+            pool.release(2)
+
+    def test_zero_capacity_pool(self):
+        pool = ReservedPool(0)
+        assert not pool.can_fit(1)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ConfigError):
+            ReservedPool(-1)
+
+    def test_rejects_nonpositive_queries(self):
+        pool = ReservedPool(2)
+        with pytest.raises(CapacityError):
+            pool.can_fit(0)
+        with pytest.raises(CapacityError):
+            pool.release(0)

@@ -1,0 +1,142 @@
+"""Checkpointed spot executions (the paper's deferred trade-off)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.pricing import PurchaseOption
+from repro.cluster.spot import CheckpointConfig, HourlyHazard
+from repro.errors import ConfigError, SimulationError
+from repro.simulator.simulation import run_simulation
+from repro.units import days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+def flat():
+    return CarbonIntensityTrace(np.full(24 * 30, 100.0), name="flat")
+
+
+def spot_queue():
+    return QueueSet((JobQueue(name="q", max_length=hours(6), max_wait=0),))
+
+
+class TestCheckpointConfig:
+    def test_wall_time_no_trailing_checkpoint(self):
+        config = CheckpointConfig(interval=30, overhead=5)
+        assert config.wall_time(30) == 30   # one stretch, done
+        assert config.wall_time(31) == 36   # checkpoint after first 30
+        assert config.wall_time(60) == 65
+        assert config.wall_time(90) == 100
+        assert config.wall_time(0) == 0
+
+    def test_preserved_work(self):
+        config = CheckpointConfig(interval=30, overhead=5)
+        assert config.preserved_work(0, 120) == 0
+        assert config.preserved_work(34, 120) == 0    # first ckpt at 35
+        assert config.preserved_work(35, 120) == 30
+        assert config.preserved_work(71, 120) == 60
+        assert config.preserved_work(10_000, 45) == 45  # capped at work
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=0, overhead=1)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=10, overhead=-1)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(10, 1).wall_time(-1)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(10, 1).preserved_work(-1, 10)
+
+
+class TestCheckpointedExecution:
+    def _run(self, length=hours(4), rate=0.999, checkpointing=None, retry=False,
+             spot_seed=3):
+        from repro.policies.carbon_time import CarbonTime
+        from repro.policies.wrappers import SpotFirst
+
+        jobs = [Job(job_id=0, arrival=0, length=length, cpus=1)]
+        policy = SpotFirst(CarbonTime(), spot_max_length=hours(6))
+        return run_simulation(
+            WorkloadTrace(jobs), flat(), policy,
+            queues=spot_queue(), eviction_model=HourlyHazard(rate),
+            checkpointing=checkpointing, retry_spot=retry, spot_seed=spot_seed,
+        )
+
+    def test_checkpoint_preserves_progress(self):
+        config = CheckpointConfig(interval=30, overhead=2)
+        lost_plain, lost_ckpt = [], []
+        for seed in range(10):
+            lost_plain.append(
+                self._run(rate=0.5, spot_seed=seed).records[0].lost_cpu_minutes
+            )
+            lost_ckpt.append(
+                self._run(rate=0.5, checkpointing=config, spot_seed=seed)
+                .records[0].lost_cpu_minutes
+            )
+        # Over a spread of eviction draws, checkpoints preserve real work.
+        assert np.mean(lost_ckpt) < np.mean(lost_plain)
+        assert min(lost_ckpt) < min(lost_plain) or max(lost_ckpt) < max(lost_plain)
+
+    def test_overhead_accounted_without_eviction(self):
+        config = CheckpointConfig(interval=60, overhead=5)
+        from repro.policies.carbon_time import CarbonTime
+        from repro.policies.wrappers import SpotFirst
+
+        jobs = [Job(job_id=0, arrival=0, length=180, cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(),
+            SpotFirst(CarbonTime(), spot_max_length=hours(6)),
+            queues=spot_queue(), checkpointing=config,
+        )
+        record = result.records[0]
+        # 180 min work = 2 full intervals -> 2 checkpoints -> 190 wall.
+        assert record.finish == 190
+        assert record.checkpoint_overhead_minutes == 10
+        assert record.evictions == 0
+        # Occupancy = work + overhead; the user waits for the overhead.
+        executed = sum(i.end - i.start for i in record.usage)
+        assert executed == 190
+        assert record.waiting_time == 10
+
+    def test_retry_spot_stays_on_spot(self):
+        config = CheckpointConfig(interval=30, overhead=2)
+        record = self._run(rate=0.7, checkpointing=config, retry=True).records[0]
+        assert record.evictions >= 1
+        # All (or all but the final fallback) attempts run on spot.
+        assert record.usage[0].option is PurchaseOption.SPOT
+        assert record.usage[1].option in (
+            PurchaseOption.SPOT, PurchaseOption.ON_DEMAND,
+        )
+
+    def test_retry_without_checkpointing_rejected(self):
+        with pytest.raises(SimulationError):
+            self._run(retry=True)
+
+    def test_conservation_with_checkpointing(self):
+        config = CheckpointConfig(interval=30, overhead=2)
+        result = self._run(rate=0.5, checkpointing=config, retry=True)
+        record = result.records[0]
+        executed = sum(i.end - i.start for i in record.usage) * record.cpus
+        # Occupancy = useful work + lost work + checkpoint overhead.
+        assert executed == pytest.approx(
+            record.length * record.cpus
+            + record.lost_cpu_minutes
+            + record.checkpoint_overhead_minutes
+        )
+
+    def test_cheaper_than_progress_loss_at_high_rates(self):
+        """The deferred trade-off: checkpointing pays off when evictions
+        are frequent relative to job length."""
+        config = CheckpointConfig(interval=30, overhead=2)
+        costs_plain = []
+        costs_ckpt = []
+        for seed in range(8):
+            costs_plain.append(
+                self._run(rate=0.5, spot_seed=seed).records[0].usage_cost
+            )
+            costs_ckpt.append(
+                self._run(rate=0.5, checkpointing=config, retry=True, spot_seed=seed)
+                .records[0].usage_cost
+            )
+        assert np.mean(costs_ckpt) < np.mean(costs_plain)

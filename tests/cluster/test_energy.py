@@ -1,0 +1,37 @@
+"""Energy model."""
+
+import pytest
+
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.errors import ConfigError
+
+
+class TestEnergyModel:
+    def test_active_kw(self):
+        model = EnergyModel(watts_per_cpu=10.0)
+        assert model.active_kw(5) == pytest.approx(0.05)
+
+    def test_energy_kwh(self):
+        model = EnergyModel(watts_per_cpu=100.0)
+        assert model.energy_kwh(2, 30) == pytest.approx(0.1)
+
+    def test_zero_cpus(self):
+        assert DEFAULT_ENERGY.active_kw(0) == 0.0
+
+    def test_idle_default_zero(self):
+        """Paper: reserved instances are off when idle."""
+        assert DEFAULT_ENERGY.idle_watts_per_cpu == 0.0
+
+    def test_rejects_bad_power(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(watts_per_cpu=0)
+        with pytest.raises(ConfigError):
+            EnergyModel(watts_per_cpu=10, idle_watts_per_cpu=-1)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_ENERGY.energy_kwh(1, -5)
+
+    def test_rejects_negative_cpus(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_ENERGY.active_kw(-1)

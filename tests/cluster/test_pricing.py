@@ -1,0 +1,97 @@
+"""Pricing model: the reserved/on-demand/spot economics."""
+
+import pytest
+
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel, PurchaseOption
+from repro.errors import ConfigError
+
+
+class TestRates:
+    def test_paper_defaults(self):
+        assert DEFAULT_PRICING.on_demand_hourly == pytest.approx(0.0624)
+        assert DEFAULT_PRICING.reserved_hourly == pytest.approx(0.0624 * 0.4)
+        assert DEFAULT_PRICING.spot_hourly == pytest.approx(0.0624 * 0.2)
+
+    def test_hourly_rate_dispatch(self):
+        assert DEFAULT_PRICING.hourly_rate(PurchaseOption.ON_DEMAND) == 0.0624
+        assert DEFAULT_PRICING.hourly_rate(PurchaseOption.RESERVED) == pytest.approx(
+            0.0624 * 0.4
+        )
+        assert DEFAULT_PRICING.hourly_rate(PurchaseOption.SPOT) == pytest.approx(
+            0.0624 * 0.2
+        )
+
+
+class TestUsageCost:
+    def test_on_demand_metered(self):
+        assert DEFAULT_PRICING.usage_cost(PurchaseOption.ON_DEMAND, 120) == (
+            pytest.approx(0.0624 * 2)
+        )
+
+    def test_reserved_usage_is_free(self):
+        """Reserved usage is covered by the upfront payment."""
+        assert DEFAULT_PRICING.usage_cost(PurchaseOption.RESERVED, 10_000) == 0.0
+
+    def test_spot_discount(self):
+        spot = DEFAULT_PRICING.usage_cost(PurchaseOption.SPOT, 60)
+        on_demand = DEFAULT_PRICING.usage_cost(PurchaseOption.ON_DEMAND, 60)
+        assert spot == pytest.approx(0.2 * on_demand)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PRICING.usage_cost(PurchaseOption.SPOT, -1)
+
+
+class TestReservedUpfront:
+    def test_paid_for_whole_horizon(self):
+        cost = DEFAULT_PRICING.reserved_upfront(10, 60 * 24)
+        assert cost == pytest.approx(0.0624 * 0.4 * 10 * 24)
+
+    def test_zero_pool_is_free(self):
+        assert DEFAULT_PRICING.reserved_upfront(0, 10_000) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PRICING.reserved_upfront(-1, 100)
+
+
+class TestBreakeven:
+    def test_breakeven_equals_fraction(self):
+        assert DEFAULT_PRICING.breakeven_utilization() == pytest.approx(0.4)
+
+    def test_effective_price_at_full_utilization(self):
+        assert DEFAULT_PRICING.effective_reserved_hourly(1.0) == pytest.approx(
+            DEFAULT_PRICING.reserved_hourly
+        )
+
+    def test_effective_price_at_breakeven_equals_on_demand(self):
+        effective = DEFAULT_PRICING.effective_reserved_hourly(0.4)
+        assert effective == pytest.approx(DEFAULT_PRICING.on_demand_hourly)
+
+    def test_low_utilization_is_worse_than_on_demand(self):
+        assert DEFAULT_PRICING.effective_reserved_hourly(0.2) > (
+            DEFAULT_PRICING.on_demand_hourly
+        )
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_PRICING.effective_reserved_hourly(0.0)
+
+
+class TestValidationAndTax:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigError):
+            PricingModel(reserved_fraction=0.0)
+        with pytest.raises(ConfigError):
+            PricingModel(spot_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PricingModel(on_demand_hourly=0.0)
+
+    def test_with_carbon_price(self):
+        taxed = DEFAULT_PRICING.with_carbon_price(0.05)
+        assert taxed.carbon_price_per_kg == 0.05
+        assert taxed.on_demand_hourly == DEFAULT_PRICING.on_demand_hourly
+
+    def test_rejects_negative_tax(self):
+        with pytest.raises(ConfigError):
+            PricingModel(carbon_price_per_kg=-1)

@@ -1,0 +1,98 @@
+"""Spot eviction models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.spot import DiurnalHazard, HourlyHazard, NoEvictions
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestNoEvictions:
+    def test_never_evicts(self, rng):
+        model = NoEvictions()
+        assert math.isinf(model.sample_eviction(0, rng))
+
+
+class TestHourlyHazard:
+    def test_zero_rate_never_evicts(self, rng):
+        assert math.isinf(HourlyHazard(0.0).sample_eviction(0, rng))
+
+    def test_mean_matches_rate(self, rng):
+        model = HourlyHazard(0.10)
+        samples = [model.sample_eviction(0, rng) for _ in range(20_000)]
+        # exponential with per-hour hazard -ln(0.9): mean = 60/lambda
+        expected_mean = 60.0 / -math.log(0.9)
+        assert np.mean(samples) == pytest.approx(expected_mean, rel=0.05)
+
+    def test_survival_probability(self):
+        model = HourlyHazard(0.10)
+        assert model.survival_probability(60) == pytest.approx(0.9)
+        assert model.survival_probability(120) == pytest.approx(0.81)
+
+    def test_survival_empirical(self, rng):
+        model = HourlyHazard(0.15)
+        survived = sum(model.sample_eviction(0, rng) > 60 for _ in range(20_000))
+        assert survived / 20_000 == pytest.approx(0.85, abs=0.01)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigError):
+            HourlyHazard(1.0)
+        with pytest.raises(ConfigError):
+            HourlyHazard(-0.1)
+
+    def test_rejects_negative_minutes(self):
+        with pytest.raises(ConfigError):
+            HourlyHazard(0.1).survival_probability(-1)
+
+    def test_rng_for_job_deterministic(self):
+        model = HourlyHazard(0.1)
+        a = model.sample_eviction(0, model.rng_for_job(1, 42))
+        b = model.sample_eviction(0, model.rng_for_job(1, 42))
+        assert a == b
+
+    def test_rng_differs_per_job(self):
+        model = HourlyHazard(0.1)
+        a = model.sample_eviction(0, model.rng_for_job(1, 1))
+        b = model.sample_eviction(0, model.rng_for_job(1, 2))
+        assert a != b
+
+
+class TestDiurnalHazard:
+    def test_zero_base_never_evicts(self, rng):
+        assert math.isinf(DiurnalHazard(0.0).sample_eviction(0, rng))
+
+    def test_mean_rate_close_to_base(self, rng):
+        model = DiurnalHazard(0.10, amplitude=0.5)
+        samples = [model.sample_eviction(0, rng) for _ in range(10_000)]
+        flat = HourlyHazard(0.10)
+        expected_mean = 60.0 / -math.log(0.9)
+        # Diurnal modulation averages out near the flat-mean eviction time.
+        assert np.mean(samples) == pytest.approx(expected_mean, rel=0.25)
+        assert flat.survival_probability(60) == pytest.approx(0.9)
+
+    def test_peak_hour_has_more_evictions(self, rng):
+        model = DiurnalHazard(0.10, amplitude=1.0, peak_hour=14.0)
+        # Jobs started at the peak should be evicted sooner on average than
+        # jobs started at the trough.
+        peak_start = 14 * 60
+        trough_start = 2 * 60
+        peak = np.mean([
+            min(model.sample_eviction(peak_start, rng), 180.0) for _ in range(4000)
+        ])
+        trough = np.mean([
+            min(model.sample_eviction(trough_start, rng), 180.0) for _ in range(4000)
+        ])
+        assert peak < trough
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            DiurnalHazard(1.0)
+        with pytest.raises(ConfigError):
+            DiurnalHazard(0.1, amplitude=2.0)

@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic traces and cluster configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.units import MINUTES_PER_HOUR, days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture
+def flat_carbon() -> CarbonIntensityTrace:
+    """Constant 100 g/kWh for 10 days."""
+    return CarbonIntensityTrace(np.full(240, 100.0), name="flat")
+
+
+@pytest.fixture
+def diurnal_carbon() -> CarbonIntensityTrace:
+    """Deterministic day cycle: 100 at night, dipping to 20 at hours 10-15."""
+    day = np.full(24, 100.0)
+    day[10:16] = 20.0
+    return CarbonIntensityTrace(np.tile(day, 14), name="diurnal")
+
+
+@pytest.fixture
+def two_queue_set() -> QueueSet:
+    """The paper's default short/long configuration with known averages."""
+    return QueueSet(
+        (
+            JobQueue(name="short", max_length=hours(2), max_wait=hours(6), avg_length=60.0),
+            JobQueue(name="long", max_length=days(3), max_wait=hours(24), avg_length=hours(8)),
+        )
+    )
+
+
+@pytest.fixture
+def tiny_workload() -> WorkloadTrace:
+    """Five assorted jobs over two days."""
+    jobs = [
+        Job(job_id=0, arrival=0, length=60, cpus=1),
+        Job(job_id=1, arrival=30, length=hours(4), cpus=2),
+        Job(job_id=2, arrival=hours(2), length=hours(1), cpus=1),
+        Job(job_id=3, arrival=hours(10), length=hours(12), cpus=4),
+        Job(job_id=4, arrival=hours(30), length=90, cpus=1),
+    ]
+    return WorkloadTrace(jobs, name="tiny", horizon=days(2))
+
+
+def make_job(job_id=0, arrival=0, length=60, cpus=1, queue="") -> Job:
+    """Job factory with defaults, importable from tests."""
+    return Job(job_id=job_id, arrival=arrival, length=length, cpus=cpus, queue=queue)
+
+
+@pytest.fixture
+def job_factory():
+    return make_job
+
+
+def hourly_steps(*values: float) -> CarbonIntensityTrace:
+    """CI trace from explicit hourly values (importable helper)."""
+    return CarbonIntensityTrace(np.array(values, dtype=float), name="steps")
+
+
+assert MINUTES_PER_HOUR == 60

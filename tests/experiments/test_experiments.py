@@ -1,0 +1,80 @@
+"""Experiment registry smoke tests plus shape checks on the cheap ones.
+
+The expensive figure experiments are exercised (with full shape
+assertions) by the benchmark harness; here we verify the registry wiring
+and the scale-independent experiments end to end at the small scale.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+CHEAP = ("fig01", "fig02", "fig05", "fig06", "fig07", "table1", "fig20",
+         "fig08", "fig09", "headline")
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        for eid in ("fig01", "fig02", "fig04", "fig05", "fig06", "fig07",
+                    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+                    "fig20", "table1", "headline"):
+            assert eid in EXPERIMENTS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig99")
+
+
+@pytest.mark.parametrize("eid", CHEAP)
+def test_cheap_experiments_run(eid):
+    result = run_experiment(eid, scale="small")
+    assert result.rows
+    assert result.render()
+
+
+class TestShapeChecks:
+    """Scale-independent shape assertions on the cheap experiments."""
+
+    def test_fig01_variations(self):
+        result = run_experiment("fig01", scale="small")
+        swings = {row["region"]: row["daily_swing"] for row in result.rows}
+        assert swings["CA-US"] > 2.0  # paper: 3.37x
+        assert result.extras["spatial_variation"] > 4.0  # paper: up to 9x
+
+    def test_fig02_tension(self):
+        result = run_experiment("fig02", scale="small")
+        ca = result.row_for("region", "CA-US")
+        se = result.row_for("region", "SE")
+        # California: sizable carbon cut at a large cost increase.
+        assert ca["carbon_reduction_pct"] > 15
+        assert ca["cost_increase_pct"] > 15
+        assert ca["completion_increase_pct"] > 0
+        # Sweden: little carbon to save, still pay the cost overhead.
+        assert se["carbon_reduction_pct"] < ca["carbon_reduction_pct"] / 2
+        assert se["cost_increase_pct"] > 15
+
+    def test_fig06_categories(self):
+        result = run_experiment("fig06", scale="small")
+        means = result.column("mean_ci")
+        assert means == sorted(means)  # ordered as in the paper's figure
+        ky = result.row_for("region", "KY-US")
+        se = result.row_for("region", "SE")
+        assert ky["mean_ci"] / se["mean_ci"] > 9
+
+    def test_fig07_sa_seasonality(self):
+        result = run_experiment("fig07", scale="small")
+        assert result.extras["sa_jul_dec_ratio"] > 1.5  # paper: ~2x
+
+    def test_table1_knowledge_column(self):
+        result = run_experiment("table1", scale="small")
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["Wait Awhile"]["job_length"] == "Yes"
+        assert rows["Carbon-Time"]["performance_aware"] == "Yes"
+
+    def test_fig20_weak_correlation(self):
+        result = run_experiment("fig20", scale="small")
+        assert abs(result.extras["correlation"] - 0.16) < 0.1
+        conflict = result.row_for("metric", "conflicting_hours_fraction")["value"]
+        assert conflict > 0.2

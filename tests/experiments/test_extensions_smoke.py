@@ -1,0 +1,82 @@
+"""Smoke + shape tests for the cheap extension experiments.
+
+The heavier ones (checkpointing, provisioning) are exercised with full
+assertions by ``benchmarks/bench_extensions.py``.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+class TestSuspendResume:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-suspend-resume", scale="small")
+
+    def test_rows(self, result):
+        assert {row["policy"] for row in result.rows} == {
+            "Lowest-Window", "GAIA-SR", "Ecovisor", "Wait Awhile",
+        }
+
+    def test_sr_beats_contiguous(self, result):
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["GAIA-SR"]["carbon_saving_pct"] > (
+            rows["Lowest-Window"]["carbon_saving_pct"]
+        )
+
+    def test_exact_knowledge_still_best(self, result):
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["Wait Awhile"]["carbon_saving_pct"] == max(
+            row["carbon_saving_pct"] for row in result.rows
+        )
+
+
+class TestArrivalPhase:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-arrival-phase", scale="small")
+
+    def test_valley_arrivals_greener_baseline(self, result):
+        rows = {row["arrivals"]: row for row in result.rows}
+        assert rows["valley-peak (7h)"]["nowait_carbon_kg"] < (
+            rows["ramp-peak (19h)"]["nowait_carbon_kg"]
+        )
+
+    def test_ramp_arrivals_leave_more_to_save(self, result):
+        rows = {row["arrivals"]: row for row in result.rows}
+        assert rows["ramp-peak (19h)"]["carbon_saving_pct"] > (
+            rows["valley-peak (7h)"]["carbon_saving_pct"]
+        )
+
+
+class TestEnergyPrice:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-energy-price", scale="small")
+
+    def test_frontier_extremes(self, result):
+        rows = {row["policy"]: row for row in result.rows}
+        assert rows["carbon-optimal"]["carbon_kg"] == min(
+            row["carbon_kg"] for row in result.rows
+        )
+        assert rows["price-optimal"]["energy_cost_usd"] == min(
+            row["energy_cost_usd"] for row in result.rows
+        )
+
+
+class TestFederationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext-federation", scale="small")
+
+    def test_spatial_beats_home(self, result):
+        rows = {row["selector"]: row for row in result.rows}
+        assert rows["spatio-temporal"]["carbon_saving_pct"] > (
+            rows["home:CA-US"]["carbon_saving_pct"]
+        )
+
+    def test_placements_conserve_jobs(self, result):
+        for row in result.rows:
+            counts = [int(v) for v in row["placements"].split("/")]
+            assert sum(counts) > 0

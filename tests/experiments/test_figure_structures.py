@@ -1,0 +1,71 @@
+"""Structural tests for the mid-weight figure experiments at small scale.
+
+The benchmarks assert the paper's findings; these tests pin the *shape
+of the output data* (row counts, columns, value domains) so refactors of
+the experiment layer fail fast in the unit suite.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig04():
+    return run_experiment("fig04", scale="small")
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return run_experiment("fig11", scale="small")
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return run_experiment("fig12", scale="small")
+
+
+class TestFig04Structure:
+    def test_columns(self, fig04):
+        for column in ("reserved_cpus", "normalized_cost", "normalized_carbon",
+                       "reserved_utilization", "regime"):
+            assert column in fig04.rows[0]
+
+    def test_anchor_row(self, fig04):
+        assert fig04.rows[0]["reserved_cpus"] == 0
+        assert fig04.rows[0]["normalized_cost"] == pytest.approx(1.0, abs=0.05)
+
+    def test_regime_labels_valid(self, fig04):
+        valid = {"1-no-tradeoff", "2-tradeoff", "3-excess"}
+        assert set(fig04.column("regime")) <= valid
+
+    def test_extras(self, fig04):
+        assert fig04.extras["mean_demand"] > 0
+        assert fig04.extras["knee_reserved"] >= 0
+
+
+class TestFig11Structure:
+    def test_sweep_monotone_in_reserved(self, fig11):
+        reserved = fig11.column("reserved_cpus")
+        assert reserved == sorted(reserved)
+        assert reserved[0] == 0
+
+    def test_utilization_in_unit_interval(self, fig11):
+        assert all(0 <= row["reserved_util"] <= 1 for row in fig11.rows)
+
+    def test_normalized_positive(self, fig11):
+        assert all(row["normalized_cost"] > 0 for row in fig11.rows)
+        assert all(0 < row["normalized_carbon"] <= 1.05 for row in fig11.rows)
+
+
+class TestFig12Structure:
+    def test_all_configs_present(self, fig12):
+        assert len(fig12.rows) == 5
+        assert any("Ecovisor" in row["config"] for row in fig12.rows)
+
+    def test_normalization_anchored(self, fig12):
+        assert max(fig12.column("normalized_carbon")) == pytest.approx(1.0)
+        assert max(fig12.column("normalized_cost")) == pytest.approx(1.0)
+
+    def test_render_includes_notes(self, fig12):
+        assert "Spot-First" in fig12.render()

@@ -1,0 +1,80 @@
+"""Experiment scaffolding: scales and canonical inputs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import setup
+from repro.experiments.base import SCALES, ExperimentResult, current_scale
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"small", "medium", "full"}
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert current_scale("small").name == "small"
+
+    def test_env_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert current_scale().name == "small"
+
+    def test_default_medium(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "medium"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            current_scale("galactic")
+
+    def test_full_is_paper_size(self):
+        scale = SCALES["full"]
+        assert scale.year_jobs == 100_000
+        assert scale.year_days == 365
+
+
+class TestCanonicalInputs:
+    def test_week_workload_cached(self):
+        a = setup.week_workload("alibaba", "small")
+        b = setup.week_workload("alibaba", "small")
+        assert a is b
+
+    def test_week_workload_shape(self):
+        trace = setup.week_workload("alibaba", "small")
+        assert len(trace) == SCALES["small"].week_jobs
+        assert trace.cpu_counts().max() <= 4
+
+    def test_year_workload_shape(self):
+        trace = setup.year_workload("azure", "small")
+        assert len(trace) == SCALES["small"].year_jobs
+        assert trace.horizon == SCALES["small"].year_days * 1440
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigError):
+            setup.raw_trace("slurmtron", "small")
+
+    def test_fine_grained_queues_boundaries(self):
+        queues = setup.fine_grained_queues()
+        bounds = [queue.max_length for queue in queues]
+        assert bounds == sorted(bounds)
+        assert bounds[0] == 120  # 2 h short queue
+        assert queues.queues[0].max_wait == 360
+
+    def test_carbon_for_regions(self):
+        for region in setup.EVAL_REGIONS:
+            assert setup.carbon_for(region).num_hours == 365 * 24
+
+
+class TestExperimentResult:
+    def test_render_and_lookup(self):
+        result = ExperimentResult(
+            experiment_id="x", title="T",
+            rows=[{"k": "a", "v": 1.0}, {"k": "b", "v": 2.0}],
+            notes="note",
+        )
+        text = result.render()
+        assert "x: T" in text and "note" in text
+        assert result.column("v") == [1.0, 2.0]
+        assert result.row_for("k", "b")["v"] == 2.0
+        with pytest.raises(KeyError):
+            result.row_for("k", "missing")

@@ -1,0 +1,111 @@
+"""Policy base types: context, candidates, decision validation."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SchedulingError
+from repro.policies.base import Decision, SchedulingContext, validate_decision
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+@pytest.fixture
+def ctx(two_queue_set):
+    trace = CarbonIntensityTrace(np.full(24 * 10, 100.0))
+    return SchedulingContext(
+        forecaster=PerfectForecaster(trace), queues=two_queue_set, granularity=5
+    )
+
+
+def short_job(arrival=0, length=60):
+    return Job(job_id=0, arrival=arrival, length=length, cpus=1, queue="short")
+
+
+class TestSchedulingContext:
+    def test_horizon_defaults_to_trace(self, ctx):
+        assert ctx.carbon_horizon == 24 * 10 * 60
+
+    def test_rejects_bad_granularity(self, two_queue_set):
+        trace = CarbonIntensityTrace([100.0])
+        with pytest.raises(SchedulingError):
+            SchedulingContext(
+                forecaster=PerfectForecaster(trace), queues=two_queue_set, granularity=0
+            )
+
+    def test_queue_of_uses_label(self, ctx):
+        job = Job(job_id=0, arrival=0, length=hours(10), cpus=1, queue="short")
+        assert ctx.queue_of(job).name == "short"
+
+    def test_queue_of_falls_back_to_length(self, ctx):
+        job = Job(job_id=0, arrival=0, length=hours(10), cpus=1)
+        assert ctx.queue_of(job).name == "long"
+
+
+class TestCandidateStarts:
+    def test_includes_arrival_and_step(self, ctx):
+        candidates = ctx.candidate_starts(100, 60, 30)
+        assert candidates[0] == 100
+        assert candidates[1] - candidates[0] == 5
+
+    def test_includes_latest(self, ctx):
+        candidates = ctx.candidate_starts(0, 17, 10)
+        assert candidates[-1] == 17
+
+    def test_clipped_at_horizon(self, ctx):
+        arrival = ctx.carbon_horizon - 100
+        candidates = ctx.candidate_starts(arrival, hours(6), 80)
+        assert candidates[-1] + 80 <= ctx.carbon_horizon
+
+    def test_degenerate_window(self, ctx):
+        arrival = ctx.carbon_horizon - 10
+        candidates = ctx.candidate_starts(arrival, hours(6), 60)
+        np.testing.assert_array_equal(candidates, [arrival])
+
+
+class TestValidateDecision:
+    def test_valid_simple(self, ctx):
+        validate_decision(short_job(), Decision(start_time=0), ctx)
+
+    def test_rejects_start_before_arrival(self, ctx):
+        with pytest.raises(SchedulingError):
+            validate_decision(short_job(arrival=50), Decision(start_time=20), ctx)
+
+    def test_rejects_start_past_wait_bound(self, ctx):
+        job = short_job()  # short queue: W = 6 h
+        with pytest.raises(SchedulingError):
+            validate_decision(job, Decision(start_time=hours(8)), ctx)
+
+    def test_allows_hour_tolerance(self, ctx):
+        job = short_job()
+        validate_decision(job, Decision(start_time=hours(6) + 30), ctx)
+
+    def test_segments_must_start_at_start_time(self, ctx):
+        job = short_job(length=60)
+        decision = Decision(start_time=0, segments=((10, 70),))
+        with pytest.raises(SchedulingError):
+            validate_decision(job, decision, ctx)
+
+    def test_segments_must_sum_to_length(self, ctx):
+        job = short_job(length=60)
+        decision = Decision(start_time=0, segments=((0, 30), (50, 70)))
+        with pytest.raises(SchedulingError):
+            validate_decision(job, decision, ctx)
+
+    def test_segments_must_not_overlap(self, ctx):
+        job = short_job(length=60)
+        decision = Decision(start_time=0, segments=((0, 40), (30, 50)))
+        with pytest.raises(SchedulingError):
+            validate_decision(job, decision, ctx)
+
+    def test_rejects_empty_segment(self, ctx):
+        job = short_job(length=60)
+        decision = Decision(start_time=0, segments=((0, 0), (0, 60)))
+        with pytest.raises(SchedulingError):
+            validate_decision(job, decision, ctx)
+
+    def test_valid_segment_plan(self, ctx):
+        job = short_job(length=60)
+        decision = Decision(start_time=0, segments=((0, 30), (100, 130)))
+        validate_decision(job, decision, ctx)

@@ -1,0 +1,82 @@
+"""Ecovisor: greedy-threshold suspend-resume."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.policies.base import SchedulingContext, validate_decision
+from repro.policies.ecovisor import Ecovisor
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+def make_ctx(hourly, max_wait=hours(6)):
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    queues = QueueSet((JobQueue(name="q", max_length=hours(72), max_wait=max_wait),))
+    return SchedulingContext(forecaster=PerfectForecaster(trace), queues=queues)
+
+
+def job(arrival=0, length=120):
+    return Job(job_id=0, arrival=arrival, length=length, cpus=1, queue="q")
+
+
+class TestEcovisor:
+    def test_runs_immediately_in_cheap_slot(self):
+        # Arrival hour is the cheapest of the day: below the 30th pct.
+        hourly = [10.0] + [100.0] * 30
+        decision = Ecovisor().decide(job(length=60), make_ctx(hourly))
+        assert decision.segments == ((0, 60),)
+
+    def test_pauses_through_expensive_slots(self):
+        # Hours 0-1 expensive, hours 2-9 cheap (8 of 24 hours, so the 30th
+        # percentile of the look-ahead is 10): run only in the valley.
+        hourly = [100, 100] + [10] * 8 + [100] * 20
+        decision = Ecovisor().decide(job(length=120), make_ctx(hourly))
+        assert decision.segments == ((hours(2), hours(4)),)
+
+    def test_forced_run_after_wait_budget(self):
+        # The valley (threshold-setting 30% of hours) lies beyond the
+        # 3-hour waiting budget: the job must force-run at exactly W.
+        hourly = [200.0] * 10 + [50.0] * 8 + [200.0] * 12
+        ctx = make_ctx(hourly, max_wait=hours(3))
+        decision = Ecovisor().decide(job(length=60), ctx)
+        assert decision.segments == ((hours(3), hours(4)),)
+
+    def test_waiting_never_exceeds_budget(self):
+        rng = np.random.default_rng(4)
+        ctx = make_ctx(rng.uniform(20, 500, size=80), max_wait=hours(6))
+        for arrival in (0, 25, hours(3) + 7):
+            for length in (45, 90, 240):
+                the_job = job(arrival=arrival, length=length)
+                decision = Ecovisor().decide(the_job, ctx)
+                validate_decision(the_job, decision, ctx)
+                finish = decision.segments[-1][1]
+                paused = finish - arrival - length
+                assert 0 <= paused <= hours(6)
+
+    def test_mid_hour_arrival(self):
+        hourly = [10.0] + [100.0] * 30
+        decision = Ecovisor().decide(job(arrival=30, length=20), make_ctx(hourly))
+        assert decision.segments == ((30, 50),)
+
+    def test_custom_threshold_percentile(self):
+        # With a 100th-percentile threshold everything qualifies: runs
+        # now even though the first hour is the most expensive.
+        hourly = [400, 10, 10, 10] + [10] * 24
+        policy = Ecovisor(threshold_percentile=100.0)
+        decision = policy.decide(job(length=60), make_ctx(hourly))
+        assert decision.segments == ((0, 60),)
+
+    def test_zero_wait_budget_runs_immediately(self):
+        hourly = [500, 10] + [100] * 24
+        ctx = make_ctx(hourly, max_wait=0)
+        decision = Ecovisor().decide(job(length=60), ctx)
+        assert decision.segments == ((0, 60),)
+
+    def test_threshold_uses_24h_lookahead(self):
+        # A deep valley 30 h away must not drag the threshold down.
+        hourly = [50.0] * 24 + [50.0] * 6 + [1.0] * 4 + [50.0] * 10
+        decision = Ecovisor().decide(job(length=60), make_ctx(hourly))
+        # All first-24h values are 50 -> threshold 50 -> run immediately.
+        assert decision.segments[0][0] == 0

@@ -1,0 +1,113 @@
+"""Electricity-price-aware policies (paper Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.price import ElectricityPriceTrace
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SchedulingError
+from repro.policies.base import SchedulingContext
+from repro.policies.price_aware import PriceAware, WeightedCarbonPrice
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+def make_ctx(ci_hourly, price_hourly=None):
+    trace = CarbonIntensityTrace(np.asarray(ci_hourly, dtype=float))
+    queues = QueueSet(
+        (JobQueue(name="q", max_length=hours(72), max_wait=hours(6), avg_length=60.0),)
+    )
+    price_forecaster = None
+    if price_hourly is not None:
+        price_forecaster = PerfectForecaster(
+            ElectricityPriceTrace(np.asarray(price_hourly, dtype=float))
+        )
+    return SchedulingContext(
+        forecaster=PerfectForecaster(trace),
+        queues=queues,
+        price_forecaster=price_forecaster,
+    )
+
+
+def job(arrival=0):
+    return Job(job_id=0, arrival=arrival, length=60, cpus=1, queue="q")
+
+
+FLAT_CI = [100.0] * 10
+# Price valley at hour 2; CI valley at hour 4.
+PRICES = [90, 80, 5, 70, 60, 65, 70, 90, 90, 90]
+CI = [100, 95, 90, 85, 5, 80, 85, 100, 100, 100]
+
+
+class TestPriceAware:
+    def test_picks_cheapest_price_window(self):
+        ctx = make_ctx(FLAT_CI, PRICES)
+        decision = PriceAware().decide(job(), ctx)
+        assert decision.start_time == hours(2)
+
+    def test_requires_price_forecaster(self):
+        ctx = make_ctx(FLAT_CI)
+        with pytest.raises(SchedulingError):
+            PriceAware().decide(job(), ctx)
+
+    def test_ignores_carbon(self):
+        ctx = make_ctx(CI, PRICES)
+        decision = PriceAware().decide(job(), ctx)
+        assert decision.start_time == hours(2)  # price valley, not CI's
+
+
+class TestWeightedCarbonPrice:
+    def test_weight_one_follows_carbon(self):
+        ctx = make_ctx(CI, PRICES)
+        decision = WeightedCarbonPrice(1.0).decide(job(), ctx)
+        assert decision.start_time == hours(4)
+
+    def test_weight_zero_follows_price(self):
+        ctx = make_ctx(CI, PRICES)
+        decision = WeightedCarbonPrice(0.0).decide(job(), ctx)
+        assert decision.start_time == hours(2)
+
+    def test_intermediate_weight_picks_one_valley(self):
+        ctx = make_ctx(CI, PRICES)
+        decision = WeightedCarbonPrice(0.5).decide(job(), ctx)
+        assert decision.start_time in (hours(2), hours(4))
+
+    def test_aligned_valleys_unanimous(self):
+        # When carbon and price valleys coincide, every weight agrees
+        # (the paper's "first day" case).
+        aligned_prices = [90, 80, 70, 60, 5, 65, 70, 90, 90, 90]
+        ctx = make_ctx(CI, aligned_prices)
+        for weight in (0.0, 0.3, 0.7, 1.0):
+            assert WeightedCarbonPrice(weight).decide(job(), ctx).start_time == hours(4)
+
+    def test_weight_validated(self):
+        with pytest.raises(SchedulingError):
+            WeightedCarbonPrice(1.5)
+
+    def test_name_includes_weight(self):
+        assert "0.25" in WeightedCarbonPrice(0.25).name
+
+
+class TestEndToEnd:
+    def test_run_simulation_plumbs_price_trace(self):
+        from repro.analysis.metrics import energy_cost_usd
+        from repro.carbon.price import correlated_price_trace
+        from repro.carbon.regions import region_trace
+        from repro.simulator.simulation import run_simulation
+        from repro.units import days
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+
+        workload = week_long_trace(
+            alibaba_like(4_000, horizon=days(30), seed=9), num_jobs=120
+        )
+        carbon = region_trace("TX-US")
+        price = correlated_price_trace(carbon, seed=1)
+        cost_driven = run_simulation(workload, carbon, PriceAware(), price_trace=price)
+        carbon_driven = run_simulation(
+            workload, carbon, "lowest-window", price_trace=price
+        )
+        assert energy_cost_usd(cost_driven, price) < energy_cost_usd(
+            carbon_driven, price
+        )

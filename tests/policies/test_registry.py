@@ -1,0 +1,57 @@
+"""Policy registry and Table 1 metadata."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policies.carbon_time import CarbonTime
+from repro.policies.registry import TIMING_POLICIES, make_policy, policy_table
+from repro.policies.wrappers import ResFirst, SpotFirst, SpotRes
+from repro.units import hours
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("spec", sorted(TIMING_POLICIES))
+    def test_all_timing_specs(self, spec):
+        assert make_policy(spec).name
+
+    def test_wrapped_specs(self):
+        assert isinstance(make_policy("res-first:carbon-time"), ResFirst)
+        assert isinstance(make_policy("spot-first:lowest-window"), SpotFirst)
+        assert isinstance(make_policy("spot-res:carbon-time"), SpotRes)
+
+    def test_wrapper_kwargs_forwarded(self):
+        policy = make_policy("spot-first:carbon-time", spot_max_length=hours(12))
+        assert policy.spot_max_length == hours(12)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_policy("  Carbon-Time "), CarbonTime)
+
+    def test_unknown_timing(self):
+        with pytest.raises(ConfigError):
+            make_policy("frobnicate")
+
+    def test_unknown_wrapper(self):
+        with pytest.raises(ConfigError):
+            make_policy("banana:carbon-time")
+
+    def test_kwargs_without_wrapper_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("carbon-time", spot_max_length=10)
+
+
+class TestPolicyTable:
+    def test_matches_paper_table1(self):
+        rows = {row["policy"]: row for row in policy_table()}
+        assert rows["NoWait"]["carbon_aware"] == "-"
+        assert rows["Wait Awhile"]["job_length"] == "Yes"
+        assert rows["Ecovisor"]["job_length"] == "-"
+        assert rows["Lowest-Window"]["job_length"] == "J_avg"
+        assert rows["Carbon-Time"]["performance_aware"] == "Yes"
+        # Carbon-Time is the only performance-aware policy in Table 1.
+        performance_aware = [
+            name for name, row in rows.items() if row["performance_aware"] == "Yes"
+        ]
+        assert performance_aware == ["Carbon-Time"]
+
+    def test_seven_rows(self):
+        assert len(policy_table()) == 7

@@ -1,0 +1,100 @@
+"""GAIA suspend-resume extension (queue-average knowledge only)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.policies.base import SchedulingContext, validate_decision
+from repro.policies.suspend_resume import GaiaSuspendResume
+from repro.policies.wait_awhile import WaitAwhile
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+def make_ctx(hourly, avg=120.0, max_wait=hours(6)):
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    queues = QueueSet(
+        (JobQueue(name="q", max_length=hours(72), max_wait=max_wait, avg_length=avg),)
+    )
+    return SchedulingContext(forecaster=PerfectForecaster(trace), queues=queues)
+
+
+def job(arrival=0, length=120):
+    return Job(job_id=0, arrival=arrival, length=length, cpus=1, queue="q")
+
+
+class TestGaiaSuspendResume:
+    def test_matches_wait_awhile_when_estimate_exact(self):
+        rng = np.random.default_rng(2)
+        hourly = rng.uniform(20, 500, size=100)
+        ctx = make_ctx(hourly, avg=120.0)
+        the_job = job(length=120)
+        assert GaiaSuspendResume().decide(the_job, ctx).segments == (
+            WaitAwhile().decide(the_job, ctx).segments
+        )
+
+    def test_shorter_job_stops_early(self):
+        # Estimate 120 min, true length 60: only the cheapest part of the
+        # plan executes.
+        hourly = [100, 90, 10, 15, 70, 60, 90, 100, 100, 100]
+        ctx = make_ctx(hourly, avg=120.0)
+        decision = GaiaSuspendResume().decide(job(length=60), ctx)
+        total = sum(e - s for s, e in decision.segments)
+        assert total == 60
+        assert decision.segments[0][0] == hours(2)  # cheapest slot first
+
+    def test_longer_job_runs_on_past_plan(self):
+        # Estimate 60 min, true length 180: the plan covers the first
+        # hour; the overflow runs contiguously from the plan's end.
+        hourly = [100, 90, 10, 80, 70, 60, 90, 100, 100, 100]
+        ctx = make_ctx(hourly, avg=60.0)
+        decision = GaiaSuspendResume().decide(job(length=180), ctx)
+        total = sum(e - s for s, e in decision.segments)
+        assert total == 180
+        # Planned window is hour 2; overflow continues from hour 3.
+        assert decision.segments == ((hours(2), hours(5)),)
+
+    def test_waiting_bounded_by_w(self):
+        rng = np.random.default_rng(7)
+        ctx = make_ctx(rng.uniform(20, 600, size=120), avg=90.0)
+        for arrival in (0, 33, hours(4) + 5):
+            for length in (10, 90, 300, 700):
+                the_job = job(arrival=arrival, length=length)
+                decision = GaiaSuspendResume().decide(the_job, ctx)
+                validate_decision(the_job, decision, ctx)
+                waiting = decision.segments[-1][1] - arrival - length
+                assert 0 <= waiting <= hours(6)
+
+    def test_no_slack_runs_contiguously(self):
+        ctx = make_ctx([100.0] * 6, avg=120.0, max_wait=0)
+        decision = GaiaSuspendResume().decide(job(length=120), ctx)
+        assert decision.segments == ((0, 120),)
+
+    def test_metadata(self):
+        policy = GaiaSuspendResume()
+        assert policy.carbon_aware
+        assert policy.length_knowledge == "average"
+        assert not policy.requires_job_length
+
+    def test_registry_spec(self):
+        from repro.policies.registry import make_policy
+
+        assert isinstance(make_policy("gaia-sr"), GaiaSuspendResume)
+
+
+class TestEndToEnd:
+    def test_beats_lowest_window_on_carbon(self):
+        """Suspension should recover savings a contiguous policy cannot."""
+        from repro.simulator.simulation import run_simulation
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+        from repro.carbon.regions import region_trace
+
+        workload = week_long_trace(
+            alibaba_like(6_000, horizon=hours(24 * 40), seed=9), num_jobs=200
+        )
+        carbon = region_trace("SA-AU")
+        contiguous = run_simulation(workload, carbon, "lowest-window")
+        suspended = run_simulation(workload, carbon, "gaia-sr")
+        assert suspended.total_carbon_g < contiguous.total_carbon_g

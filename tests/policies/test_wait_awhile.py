@@ -1,0 +1,118 @@
+"""Wait Awhile: suspend-resume in the lowest-carbon slots."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SchedulingError
+from repro.policies.base import SchedulingContext, validate_decision
+from repro.policies.wait_awhile import WaitAwhile, merge_segments
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+def make_ctx(hourly, max_wait=hours(6)):
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    queues = QueueSet(
+        (JobQueue(name="q", max_length=hours(72), max_wait=max_wait),)
+    )
+    return SchedulingContext(forecaster=PerfectForecaster(trace), queues=queues)
+
+
+def job(arrival=0, length=120):
+    return Job(job_id=0, arrival=arrival, length=length, cpus=1, queue="q")
+
+
+class TestMergeSegments:
+    def test_merges_touching(self):
+        assert merge_segments([(0, 10), (10, 20)]) == ((0, 20),)
+
+    def test_keeps_gaps(self):
+        assert merge_segments([(0, 10), (20, 30)]) == ((0, 10), (20, 30))
+
+    def test_sorts_first(self):
+        assert merge_segments([(20, 30), (0, 10)]) == ((0, 10), (20, 30))
+
+    def test_rejects_overlap(self):
+        with pytest.raises(SchedulingError):
+            merge_segments([(0, 15), (10, 20)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulingError):
+            merge_segments([])
+
+
+class TestWaitAwhile:
+    def test_contiguous_when_no_slack(self):
+        ctx = make_ctx([100.0] * 4, max_wait=0)
+        decision = WaitAwhile().decide(job(length=120), ctx)
+        assert decision.segments == ((0, 120),)
+
+    def test_picks_cheapest_slots(self):
+        # 2 h job, W = 6 h, deadline hour 8. Cheapest slots: hours 3 and 6.
+        ctx = make_ctx([100, 90, 80, 10, 70, 60, 20, 100, 100, 100])
+        decision = WaitAwhile().decide(job(length=120), ctx)
+        assert decision.segments == ((hours(3), hours(4)), (hours(6), hours(7)))
+
+    def test_contiguous_valley_merges(self):
+        ctx = make_ctx([100, 90, 10, 10, 70, 60, 90, 100, 100, 100])
+        decision = WaitAwhile().decide(job(length=120), ctx)
+        assert decision.segments == ((hours(2), hours(4)),)
+
+    def test_partial_slot_aligned_to_chosen_neighbour(self):
+        # 90-minute job; cheapest hour 3 (10), then hour 4 (20): the
+        # 30-minute remainder in hour 4 butts against hour 3's end.
+        ctx = make_ctx([100, 90, 80, 10, 20, 60, 70, 100, 100, 100])
+        decision = WaitAwhile().decide(job(length=90), ctx)
+        assert decision.segments == ((hours(3), hours(4) + 30),)
+
+    def test_partial_slot_before_chosen_neighbour(self):
+        # Cheapest hour 3 (10) then hour 2 (15): the remainder in hour 2
+        # is end-aligned so it touches hour 3.
+        ctx = make_ctx([100, 90, 15, 10, 70, 60, 70, 100, 100, 100])
+        decision = WaitAwhile().decide(job(length=90), ctx)
+        assert decision.segments == ((hours(3) - 30, hours(4)),)
+
+    def test_total_duration_exact(self):
+        rng = np.random.default_rng(1)
+        ctx = make_ctx(rng.uniform(20, 500, size=100))
+        for length in (7, 60, 95, 180, 600):
+            decision = WaitAwhile().decide(job(length=length), ctx)
+            total = sum(end - start for start, end in decision.segments)
+            assert total == length
+
+    def test_meets_deadline(self):
+        rng = np.random.default_rng(2)
+        ctx = make_ctx(rng.uniform(20, 500, size=100), max_wait=hours(6))
+        for arrival in (0, 45, hours(5) + 13):
+            for length in (30, 120, 300):
+                the_job = job(arrival=arrival, length=length)
+                decision = WaitAwhile().decide(the_job, ctx)
+                validate_decision(the_job, decision, ctx)
+                assert decision.segments[-1][1] <= arrival + length + hours(6)
+
+    def test_mid_hour_arrival_uses_partial_first_slot(self):
+        # Arrival at minute 30 of the cheapest hour: the available part
+        # of that hour should be used.
+        ctx = make_ctx([10, 100, 100, 100, 100, 100, 100, 100])
+        decision = WaitAwhile().decide(job(arrival=30, length=60), ctx)
+        assert decision.segments[0][0] == 30
+
+    def test_beats_or_matches_lowest_window(self):
+        """With exact knowledge + suspension, Wait Awhile's planned carbon
+        must be <= any contiguous plan of the same job."""
+        rng = np.random.default_rng(5)
+        hourly = rng.uniform(20, 500, size=60)
+        ctx = make_ctx(hourly)
+        trace = ctx.forecaster.trace
+        the_job = job(length=150)
+        decision = WaitAwhile().decide(the_job, ctx)
+        planned = sum(
+            trace.interval_carbon(start, end) for start, end in decision.segments
+        )
+        best_contiguous = min(
+            trace.interval_carbon(s, s + 150)
+            for s in range(0, hours(6), 10)
+        )
+        assert planned <= best_contiguous + 1e-9

@@ -1,0 +1,139 @@
+"""RES-First / Spot-First / Spot-RES wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SchedulingError
+from repro.policies.base import SchedulingContext
+from repro.policies.carbon_time import CarbonTime
+from repro.policies.ecovisor import Ecovisor
+from repro.policies.lowest_window import LowestWindow
+from repro.policies.wait_awhile import WaitAwhile
+from repro.policies.wrappers import ResFirst, SpotFirst, SpotRes
+from repro.units import days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+
+@pytest.fixture
+def ctx():
+    hourly = [100, 90, 10, 80, 70, 60, 50, 100] + [100] * 100
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    queues = QueueSet(
+        (
+            JobQueue(name="short", max_length=hours(2), max_wait=hours(6), avg_length=60.0),
+            JobQueue(name="long", max_length=days(3), max_wait=hours(24), avg_length=300.0),
+        )
+    )
+    return SchedulingContext(forecaster=PerfectForecaster(trace), queues=queues)
+
+
+def short_job(**kw):
+    return Job(job_id=0, arrival=0, length=60, cpus=1, queue="short", **kw)
+
+
+def long_job():
+    return Job(job_id=1, arrival=0, length=hours(10), cpus=1, queue="long")
+
+
+class TestResFirst:
+    def test_inherits_timing(self, ctx):
+        inner = CarbonTime()
+        wrapped = ResFirst(inner)
+        assert wrapped.decide(short_job(), ctx).start_time == (
+            inner.decide(short_job(), ctx).start_time
+        )
+
+    def test_marks_reserved_pickup(self, ctx):
+        decision = ResFirst(CarbonTime()).decide(short_job(), ctx)
+        assert decision.reserved_pickup
+        assert not decision.use_spot
+        assert decision.segments is None
+
+    def test_name(self):
+        assert ResFirst(CarbonTime()).name == "RES-First-Carbon-Time"
+
+    def test_rejects_suspend_resume_inner(self):
+        # A trace that forces Ecovisor to pause mid-job, yielding a
+        # multi-segment plan that RES-First cannot execute.
+        hourly = [200] * 2 + [50] * 8 + [200] * 120
+        trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+        queues = QueueSet(
+            (JobQueue(name="long", max_length=days(3), max_wait=hours(24)),)
+        )
+        paused_ctx = SchedulingContext(
+            forecaster=PerfectForecaster(trace), queues=queues
+        )
+        paused_job = Job(job_id=0, arrival=0, length=hours(10), cpus=1, queue="long")
+        assert len(Ecovisor().decide(paused_job, paused_ctx).segments) > 1
+        wrapped = ResFirst(Ecovisor())
+        with pytest.raises(SchedulingError):
+            wrapped.decide(paused_job, paused_ctx)
+
+    def test_rejects_missing_inner(self):
+        with pytest.raises(SchedulingError):
+            ResFirst(None)
+
+    def test_metadata_propagates(self):
+        wrapped = ResFirst(LowestWindow())
+        assert wrapped.carbon_aware
+        assert not wrapped.performance_aware
+        assert wrapped.length_knowledge == "average"
+
+
+class TestSpotFirst:
+    def test_short_jobs_go_to_spot(self, ctx):
+        decision = SpotFirst(CarbonTime()).decide(short_job(), ctx)
+        assert decision.use_spot
+        assert not decision.reserved_pickup
+
+    def test_long_jobs_stay_on_demand(self, ctx):
+        decision = SpotFirst(CarbonTime()).decide(long_job(), ctx)
+        assert not decision.use_spot
+
+    def test_jmax_extends_eligibility(self, ctx):
+        policy = SpotFirst(CarbonTime(), spot_max_length=days(3))
+        assert policy.decide(long_job(), ctx).use_spot
+
+    def test_preserves_suspend_resume_plans(self, ctx):
+        decision = SpotFirst(Ecovisor()).decide(short_job(), ctx)
+        assert decision.use_spot
+        assert decision.segments is not None
+
+    def test_rejects_bad_jmax(self):
+        with pytest.raises(SchedulingError):
+            SpotFirst(CarbonTime(), spot_max_length=0)
+
+    def test_name(self):
+        assert SpotFirst(CarbonTime()).name == "Spot-First-Carbon-Time"
+
+
+class TestSpotRes:
+    def test_short_spot_long_reserved(self, ctx):
+        policy = SpotRes(CarbonTime())
+        short_decision = policy.decide(short_job(), ctx)
+        long_decision = policy.decide(long_job(), ctx)
+        assert short_decision.use_spot and not short_decision.reserved_pickup
+        assert long_decision.reserved_pickup and not long_decision.use_spot
+
+    def test_exact_length_knowledge_passthrough(self):
+        # Two separated carbon valleys force Wait Awhile into a
+        # two-segment plan; long jobs under RES-First semantics cannot be
+        # suspend-resume.
+        hourly = [100, 5, 100, 100, 100, 5] + [100] * 120
+        trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+        queues = QueueSet(
+            (JobQueue(name="long", max_length=days(3), max_wait=hours(24)),)
+        )
+        paused_ctx = SchedulingContext(
+            forecaster=PerfectForecaster(trace), queues=queues
+        )
+        paused_job = Job(job_id=0, arrival=0, length=120, cpus=1, queue="long")
+        assert len(WaitAwhile().decide(paused_job, paused_ctx).segments) == 2
+        policy = SpotRes(WaitAwhile())
+        with pytest.raises(SchedulingError):
+            policy.decide(paused_job, paused_ctx)
+
+    def test_name(self):
+        assert SpotRes(CarbonTime()).name == "Spot-RES-Carbon-Time"

@@ -1,0 +1,253 @@
+"""Engine semantics: work-conserving pickup, spot evictions, segments."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.pricing import PurchaseOption
+from repro.cluster.spot import HourlyHazard, NoEvictions
+from repro.errors import ConfigError
+from repro.simulator.simulation import run_simulation
+from repro.units import days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+def flat(hours_count=24 * 12, value=100.0):
+    return CarbonIntensityTrace(np.full(hours_count, value), name="flat")
+
+
+def single_queue(max_wait=hours(6)):
+    return QueueSet((JobQueue(name="q", max_length=days(3), max_wait=max_wait),))
+
+
+def record_of(result, job_id):
+    return next(r for r in result.records if r.job_id == job_id)
+
+
+class TestNoWaitExecution:
+    def test_runs_at_arrival(self):
+        workload = WorkloadTrace([Job(job_id=0, arrival=42, length=60, cpus=1)])
+        result = run_simulation(workload, flat(), "nowait", queues=single_queue())
+        record = result.records[0]
+        assert record.first_start == 42
+        assert record.finish == 102
+        assert record.waiting_time == 0
+        assert record.completion_time == 60
+
+    def test_on_demand_when_no_reserved(self):
+        workload = WorkloadTrace([Job(job_id=0, arrival=0, length=60, cpus=1)])
+        result = run_simulation(workload, flat(), "nowait", queues=single_queue())
+        assert record_of(result, 0).options_used == (PurchaseOption.ON_DEMAND,)
+
+    def test_reserved_preferred_when_free(self):
+        workload = WorkloadTrace([Job(job_id=0, arrival=0, length=60, cpus=1)])
+        result = run_simulation(
+            workload, flat(), "nowait", reserved_cpus=1, queues=single_queue()
+        )
+        assert record_of(result, 0).options_used == (PurchaseOption.RESERVED,)
+
+    def test_overflow_to_on_demand(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=120, cpus=1),
+            Job(job_id=1, arrival=10, length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "nowait", reserved_cpus=1, queues=single_queue()
+        )
+        assert record_of(result, 0).options_used == (PurchaseOption.RESERVED,)
+        assert record_of(result, 1).options_used == (PurchaseOption.ON_DEMAND,)
+
+    def test_multi_cpu_job_needs_full_fit(self):
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=4)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "nowait", reserved_cpus=2, queues=single_queue()
+        )
+        assert record_of(result, 0).options_used == (PurchaseOption.ON_DEMAND,)
+
+
+class TestWorkConservingPickup:
+    def test_allwait_starts_when_reserved_frees(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=120, cpus=1),
+            Job(job_id=1, arrival=10, length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold",
+            reserved_cpus=1, queues=single_queue(),
+        )
+        second = record_of(result, 1)
+        assert second.first_start == 120  # picked up the freed instance
+        assert second.options_used == (PurchaseOption.RESERVED,)
+
+    def test_allwait_falls_back_to_on_demand_at_w(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=hours(20), cpus=1),
+            Job(job_id=1, arrival=0, length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold",
+            reserved_cpus=1, queues=single_queue(max_wait=hours(2)),
+        )
+        second = record_of(result, 1)
+        assert second.first_start == hours(2)
+        assert second.options_used == (PurchaseOption.ON_DEMAND,)
+
+    def test_fcfs_first_fit_pickup_order(self):
+        # Job 1 (2 cpus) is ahead of job 2 (1 cpu); when 1 CPU frees,
+        # first-fit lets the smaller later job run (no convoying).
+        jobs = [
+            Job(job_id=0, arrival=0, length=60, cpus=1),
+            Job(job_id=1, arrival=1, length=60, cpus=2),
+            Job(job_id=2, arrival=2, length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold",
+            reserved_cpus=1, queues=single_queue(),
+        )
+        assert record_of(result, 2).first_start == 60
+        assert record_of(result, 2).options_used == (PurchaseOption.RESERVED,)
+
+    def test_pickup_skips_already_started(self):
+        # Job 1 hits its W fallback on-demand; when reserved later frees
+        # it must not start again.
+        jobs = [
+            Job(job_id=0, arrival=0, length=hours(4), cpus=1),
+            Job(job_id=1, arrival=0, length=30, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold",
+            reserved_cpus=1, queues=single_queue(max_wait=60),
+        )
+        second = record_of(result, 1)
+        assert second.first_start == 60
+        assert second.finish == 90
+
+
+class TestSegmentExecution:
+    def test_wait_awhile_runs_in_valleys(self):
+        day = np.full(24, 200.0)
+        day[10:12] = 10.0
+        carbon = CarbonIntensityTrace(np.tile(day, 10), name="valley")
+        jobs = [Job(job_id=0, arrival=hours(6), length=120, cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), carbon, "wait-awhile", queues=single_queue()
+        )
+        record = record_of(result, 0)
+        assert record.first_start == hours(10)
+        assert record.finish == hours(12)
+        # Carbon accounted at the valley intensity: 2 h * 10 g * 0.01 kW
+        assert record.carbon_g == pytest.approx(2 * 10 * 0.01)
+
+    def test_segment_job_grabs_reserved_per_segment(self):
+        day = np.full(24, 200.0)
+        day[10] = 10.0
+        day[14] = 20.0
+        carbon = CarbonIntensityTrace(np.tile(day, 10), name="two-valleys")
+        jobs = [Job(job_id=0, arrival=hours(9), length=120, cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), carbon, "wait-awhile",
+            reserved_cpus=1, queues=single_queue(),
+        )
+        record = record_of(result, 0)
+        assert len(record.usage) == 2
+        assert all(u.option is PurchaseOption.RESERVED for u in record.usage)
+
+    def test_waiting_time_counts_pauses(self):
+        day = np.full(24, 200.0)
+        day[10:12] = 10.0
+        carbon = CarbonIntensityTrace(np.tile(day, 10))
+        jobs = [Job(job_id=0, arrival=hours(6), length=120, cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), carbon, "wait-awhile", queues=single_queue()
+        )
+        assert record_of(result, 0).waiting_time == hours(4)
+
+
+class TestSpotExecution:
+    def test_spot_used_without_evictions(self):
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1, queue="")]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "spot-first:carbon-time",
+            queues=QueueSet((JobQueue(name="q", max_length=hours(2), max_wait=0),)),
+            eviction_model=NoEvictions(),
+        )
+        record = record_of(result, 0)
+        assert record.options_used == (PurchaseOption.SPOT,)
+        assert record.evictions == 0
+
+    def test_eviction_restarts_on_demand(self):
+        jobs = [Job(job_id=0, arrival=0, length=hours(2), cpus=1)]
+        # 99.9%/hour eviction: the job will certainly be evicted.
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "spot-first:carbon-time",
+            queues=QueueSet((JobQueue(name="q", max_length=hours(2), max_wait=0),)),
+            eviction_model=HourlyHazard(0.999), spot_seed=3,
+        )
+        record = record_of(result, 0)
+        assert record.evictions == 1
+        assert record.lost_cpu_minutes > 0
+        assert record.options_used[0] is PurchaseOption.SPOT
+        assert record.options_used[-1] is PurchaseOption.ON_DEMAND
+        # The redo runs the full length after the eviction.
+        assert record.finish > record.first_start + record.length
+        assert record.waiting_time == record.lost_cpu_minutes
+
+    def test_eviction_cost_includes_lost_spot_time(self):
+        jobs = [Job(job_id=0, arrival=0, length=hours(2), cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "spot-first:carbon-time",
+            queues=QueueSet((JobQueue(name="q", max_length=hours(2), max_wait=0),)),
+            eviction_model=HourlyHazard(0.999), spot_seed=3,
+        )
+        record = record_of(result, 0)
+        pricing = result.pricing
+        lost_cost = pricing.usage_cost(PurchaseOption.SPOT, record.lost_cpu_minutes)
+        redo_cost = pricing.usage_cost(PurchaseOption.ON_DEMAND, record.length)
+        assert record.usage_cost == pytest.approx(lost_cost + redo_cost)
+
+    def test_spot_deterministic_under_seed(self):
+        jobs = [Job(job_id=0, arrival=0, length=hours(2), cpus=1)]
+        queues = QueueSet((JobQueue(name="q", max_length=hours(2), max_wait=0),))
+        kwargs = dict(queues=queues, eviction_model=HourlyHazard(0.5), spot_seed=11)
+        a = run_simulation(WorkloadTrace(jobs), flat(), "spot-first:carbon-time", **kwargs)
+        b = run_simulation(WorkloadTrace(jobs), flat(), "spot-first:carbon-time", **kwargs)
+        assert a.records[0].finish == b.records[0].finish
+
+    def test_evicted_restart_prefers_reserved(self):
+        jobs = [Job(job_id=0, arrival=0, length=hours(2), cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "spot-res:carbon-time",
+            reserved_cpus=4,
+            queues=QueueSet((JobQueue(name="q", max_length=hours(2), max_wait=0),)),
+            eviction_model=HourlyHazard(0.999), spot_seed=3,
+        )
+        record = record_of(result, 0)
+        assert record.options_used[-1] is PurchaseOption.RESERVED
+
+
+class TestValidationPlumbing:
+    def test_workload_exceeding_queue_rejected(self):
+        jobs = [Job(job_id=0, arrival=0, length=days(10), cpus=1)]
+        with pytest.raises(ConfigError):
+            run_simulation(WorkloadTrace(jobs), flat(), "nowait")
+
+    def test_carbon_trace_auto_tiled(self):
+        # A 1-day carbon trace must stretch to cover a 3-day workload.
+        jobs = [Job(job_id=0, arrival=days(2), length=hours(30), cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(hours_count=24), "nowait", queues=single_queue()
+        )
+        assert result.records[0].finish == days(2) + hours(30)
+
+    def test_policy_object_accepted(self):
+        from repro.policies.carbon_agnostic import NoWait
+
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1)]
+        result = run_simulation(WorkloadTrace(jobs), flat(), NoWait(), queues=single_queue())
+        assert result.policy_name == "NoWait"
+
+    def test_bad_policy_type_rejected(self):
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1)]
+        with pytest.raises(ConfigError):
+            run_simulation(WorkloadTrace(jobs), flat(), 42, queues=single_queue())

@@ -1,0 +1,180 @@
+"""Engine edge cases: ordering, contention, clipping, guards."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.pricing import PurchaseOption
+from repro.errors import SimulationError
+from repro.policies.carbon_agnostic import NoWait
+from repro.simulator.engine import Engine
+from repro.simulator.simulation import run_simulation
+from repro.units import days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+def flat(hours_count=24 * 12):
+    return CarbonIntensityTrace(np.full(hours_count, 100.0), name="flat")
+
+
+def single_queue(max_wait=hours(6)):
+    return QueueSet((JobQueue(name="q", max_length=days(3), max_wait=max_wait),))
+
+
+def record_of(result, job_id):
+    return next(r for r in result.records if r.job_id == job_id)
+
+
+class TestSimultaneousEvents:
+    def test_same_minute_arrivals_fcfs_for_reserved(self):
+        jobs = [
+            Job(job_id=0, arrival=100, length=60, cpus=1),
+            Job(job_id=1, arrival=100, length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "nowait", reserved_cpus=1,
+            queues=single_queue(),
+        )
+        assert record_of(result, 0).options_used == (PurchaseOption.RESERVED,)
+        assert record_of(result, 1).options_used == (PurchaseOption.ON_DEMAND,)
+
+    def test_finish_frees_before_same_minute_arrival(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=60, cpus=1),
+            Job(job_id=1, arrival=60, length=30, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "nowait", reserved_cpus=1,
+            queues=single_queue(),
+        )
+        # Job 0 finishes at minute 60; job 1 arrives at 60 and must get
+        # the freed reserved CPU.
+        assert record_of(result, 1).options_used == (PurchaseOption.RESERVED,)
+
+    def test_contending_segments_split_options(self):
+        # Wait Awhile plans per job, so both pick the same valley slot;
+        # the single reserved CPU goes to the first, the second's segment
+        # overflows to on-demand (no double-allocation).
+        day = np.full(24, 200.0)
+        day[10] = 10.0
+        day[11] = 20.0
+        carbon = CarbonIntensityTrace(np.tile(day, 10))
+        jobs = [
+            Job(job_id=0, arrival=hours(8), length=60, cpus=1),
+            Job(job_id=1, arrival=hours(8), length=60, cpus=1),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), carbon, "wait-awhile", reserved_cpus=1,
+            queues=single_queue(),
+        )
+        assert [record.first_start for record in result.records] == (
+            [hours(10), hours(10)]
+        )
+        options = sorted(record.options_used[0] for record in result.records)
+        assert options == [PurchaseOption.ON_DEMAND, PurchaseOption.RESERVED]
+
+
+class TestClipping:
+    def test_arrival_at_minute_zero(self):
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold", reserved_cpus=1,
+            queues=single_queue(),
+        )
+        assert record_of(result, 0).first_start == 0
+
+    def test_wait_awhile_near_horizon(self):
+        # A job arriving near the carbon horizon still completes (the
+        # simulation tiles the trace).
+        jobs = [Job(job_id=0, arrival=days(11), length=hours(5), cpus=1)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(hours_count=24 * 11 + 1), "wait-awhile",
+            queues=single_queue(),
+        )
+        assert record_of(result, 0).finish >= days(11) + hours(5)
+
+    def test_multiday_job_waits_and_completes(self):
+        jobs = [Job(job_id=0, arrival=0, length=days(3), cpus=2)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "carbon-time", queues=single_queue()
+        )
+        record = record_of(result, 0)
+        assert record.finish - record.first_start == days(3)
+
+
+class TestGuards:
+    def test_forecaster_must_wrap_same_trace(self):
+        trace_a = flat()
+        trace_b = flat()
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1, queue="q")]
+        with pytest.raises(SimulationError):
+            Engine(
+                workload=WorkloadTrace(jobs),
+                carbon=trace_a,
+                policy=NoWait(),
+                queues=single_queue(),
+                forecaster=PerfectForecaster(trace_b),
+            )
+
+    def test_negative_event_time_rejected(self):
+        jobs = [Job(job_id=0, arrival=0, length=60, cpus=1, queue="q")]
+        engine = Engine(
+            workload=WorkloadTrace(jobs),
+            carbon=flat(),
+            policy=NoWait(),
+            queues=single_queue(),
+        )
+        with pytest.raises(SimulationError):
+            engine._push(-1, 0, None)
+
+    def test_validate_flag_catches_bad_policy(self):
+        class Broken(NoWait):
+            name = "Broken"
+
+            def decide(self, job, ctx):
+                from repro.policies.base import Decision
+
+                return Decision(start_time=job.arrival - 10 if job.arrival else 0)
+
+        jobs = [Job(job_id=0, arrival=100, length=60, cpus=1)]
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            run_simulation(
+                WorkloadTrace(jobs), flat(), Broken(), queues=single_queue()
+            )
+
+
+class TestPendingQueue:
+    def test_partial_drain_keeps_order(self):
+        # Three pending 1-CPU jobs; 2 CPUs free up at once: the first two
+        # (by arrival) start, the third keeps waiting.
+        jobs = [
+            Job(job_id=0, arrival=0, length=120, cpus=2),
+            Job(job_id=1, arrival=1, length=60, cpus=1),
+            Job(job_id=2, arrival=2, length=60, cpus=1),
+            Job(job_id=3, arrival=3, length=60, cpus=2),
+        ]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold", reserved_cpus=2,
+            queues=single_queue(),
+        )
+        assert record_of(result, 1).first_start == 120
+        assert record_of(result, 2).first_start == 120
+        # Job 3 (2 CPUs) starts only once both 1-CPU jobs finish.
+        assert record_of(result, 3).first_start == 180
+
+    def test_many_jobs_single_reserved_cpu_serialize(self):
+        jobs = [Job(job_id=i, arrival=0, length=10, cpus=1) for i in range(5)]
+        result = run_simulation(
+            WorkloadTrace(jobs), flat(), "allwait-threshold", reserved_cpus=1,
+            queues=single_queue(),
+        )
+        starts = sorted(record.first_start for record in result.records)
+        assert starts == [0, 10, 20, 30, 40]
+        assert all(
+            record.options_used == (PurchaseOption.RESERVED,)
+            for record in result.records
+        )

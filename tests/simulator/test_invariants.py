@@ -1,0 +1,166 @@
+"""Cross-policy accounting invariants on a realistic mixed workload.
+
+These integration checks run every registered policy over the same
+workload and assert the conservation laws the accounting must obey no
+matter what the policy decided.
+"""
+
+import numpy as np
+import pytest
+
+from repro.carbon.regions import region_trace
+from repro.cluster.pricing import PurchaseOption
+from repro.cluster.spot import HourlyHazard
+from repro.simulator.simulation import run_simulation
+from repro.units import MINUTES_PER_HOUR, days
+from repro.workload.sampling import week_long_trace
+from repro.workload.synthetic import alibaba_like
+
+ALL_SPECS = (
+    "nowait",
+    "allwait-threshold",
+    "wait-awhile",
+    "ecovisor",
+    "lowest-slot",
+    "lowest-window",
+    "carbon-time",
+    "res-first:carbon-time",
+    "res-first:lowest-window",
+    "spot-first:carbon-time",
+    "spot-res:carbon-time",
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return week_long_trace(alibaba_like(8_000, horizon=days(40), seed=6), num_jobs=250)
+
+
+@pytest.fixture(scope="module")
+def carbon():
+    return region_trace("SA-AU")
+
+
+@pytest.fixture(scope="module", params=ALL_SPECS)
+def outcome(request, workload, carbon):
+    return run_simulation(
+        workload,
+        carbon,
+        request.param,
+        reserved_cpus=8,
+        eviction_model=HourlyHazard(0.05),
+        spot_seed=1,
+    )
+
+
+class TestConservation:
+    def test_every_job_completes(self, outcome, workload):
+        assert len(outcome.records) == len(workload)
+
+    def test_executed_time_covers_length(self, outcome):
+        for record in outcome.records:
+            executed = sum(interval.end - interval.start for interval in record.usage)
+            # Lost spot progress is re-executed, so total occupancy is
+            # length + lost time.
+            assert executed * record.cpus == pytest.approx(
+                record.length * record.cpus + record.lost_cpu_minutes
+            )
+
+    def test_waiting_non_negative(self, outcome):
+        assert all(record.waiting_time >= 0 for record in outcome.records)
+
+    def test_finish_after_start(self, outcome):
+        for record in outcome.records:
+            assert record.finish >= record.first_start + record.length
+
+    def test_no_eviction_without_spot(self, outcome):
+        for record in outcome.records:
+            if record.evictions:
+                assert PurchaseOption.SPOT in record.options_used
+
+    def test_reserved_capacity_never_exceeded(self, outcome):
+        from repro.simulator.results import demand_profile
+
+        horizon = max(record.finish for record in outcome.records)
+        reserved = demand_profile(
+            outcome.records, horizon, option=PurchaseOption.RESERVED
+        )
+        assert reserved.max() <= outcome.reserved_cpus + 1e-9
+
+    def test_carbon_positive_and_finite(self, outcome):
+        assert np.isfinite(outcome.total_carbon_g)
+        assert outcome.total_carbon_g > 0
+
+    def test_energy_proportional_to_work(self, outcome):
+        for record in outcome.records[:50]:
+            executed_cpu_minutes = sum(
+                interval.cpu_minutes for interval in record.usage
+            )
+            expected_kwh = 0.01 * executed_cpu_minutes / MINUTES_PER_HOUR
+            assert record.energy_kwh == pytest.approx(expected_kwh)
+
+    def test_metered_cost_matches_usage(self, outcome):
+        recomputed = 0.0
+        for record in outcome.records:
+            for interval in record.usage:
+                recomputed += outcome.pricing.usage_cost(
+                    interval.option, interval.cpu_minutes
+                )
+        assert outcome.metered_cost == pytest.approx(recomputed)
+
+    def test_waiting_bounded_by_w_plus_redo(self, outcome):
+        """No job waits more than its W plus redone work (evictions)."""
+        from repro.workload.job import default_queue_set
+
+        queues = default_queue_set()
+        for record in outcome.records:
+            bound = queues[record.queue].max_wait + record.lost_cpu_minutes / record.cpus
+            assert record.waiting_time <= bound + MINUTES_PER_HOUR
+
+
+class TestCrossPolicyRelations:
+    def test_nowait_is_zero_wait(self, workload, carbon):
+        result = run_simulation(workload, carbon, "nowait", reserved_cpus=8)
+        assert result.mean_waiting_minutes == 0.0
+
+    def test_carbon_aware_saves_carbon(self, workload, carbon):
+        base = run_simulation(workload, carbon, "nowait")
+        for spec in ("lowest-slot", "lowest-window", "carbon-time", "wait-awhile",
+                     "ecovisor"):
+            aware = run_simulation(workload, carbon, spec)
+            assert aware.total_carbon_g < base.total_carbon_g, spec
+
+    def test_wait_awhile_dominates_on_carbon(self, workload, carbon):
+        """Exact length + suspension must beat every non-interruptible
+        carbon policy on pure carbon."""
+        best = run_simulation(workload, carbon, "wait-awhile")
+        for spec in ("lowest-slot", "lowest-window", "carbon-time"):
+            other = run_simulation(workload, carbon, spec)
+            assert best.total_carbon_g <= other.total_carbon_g * 1.001, spec
+
+    def test_carbon_time_waits_less_than_lowest_window(self, workload, carbon):
+        carbon_time = run_simulation(workload, carbon, "carbon-time")
+        lowest_window = run_simulation(workload, carbon, "lowest-window")
+        assert carbon_time.mean_waiting_minutes < lowest_window.mean_waiting_minutes
+
+    def test_res_first_cheaper_than_plain(self, workload, carbon):
+        plain = run_simulation(workload, carbon, "carbon-time", reserved_cpus=8)
+        work_conserving = run_simulation(
+            workload, carbon, "res-first:carbon-time", reserved_cpus=8
+        )
+        assert work_conserving.total_cost < plain.total_cost
+        assert work_conserving.reserved_utilization > plain.reserved_utilization
+
+    def test_spot_cheaper_than_on_demand_without_evictions(self, workload, carbon):
+        plain = run_simulation(workload, carbon, "carbon-time")
+        spot = run_simulation(workload, carbon, "spot-first:carbon-time")
+        assert spot.total_cost < plain.total_cost
+        # Same schedule, same carbon.
+        assert spot.total_carbon_g == pytest.approx(plain.total_carbon_g)
+
+    def test_identical_runs_are_deterministic(self, workload, carbon):
+        a = run_simulation(workload, carbon, "res-first:carbon-time", reserved_cpus=8)
+        b = run_simulation(workload, carbon, "res-first:carbon-time", reserved_cpus=8)
+        assert a.total_carbon_g == b.total_carbon_g
+        assert a.total_cost == b.total_cost
+        assert [r.finish for r in a.records] == [r.finish for r in b.records]

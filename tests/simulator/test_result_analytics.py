@@ -1,0 +1,71 @@
+"""Waiting percentiles, per-queue breakdowns, sparklines."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import sparkline
+from repro.carbon.regions import region_trace
+from repro.errors import ReproError
+from repro.simulator.simulation import run_simulation
+from repro.units import days
+from repro.workload.sampling import week_long_trace
+from repro.workload.synthetic import alibaba_like
+
+
+@pytest.fixture(scope="module")
+def result():
+    workload = week_long_trace(
+        alibaba_like(5_000, horizon=days(30), seed=8), num_jobs=200
+    )
+    return run_simulation(workload, region_trace("SA-AU"), "carbon-time")
+
+
+class TestWaitingPercentiles:
+    def test_monotone(self, result):
+        percentiles = result.waiting_percentiles()
+        assert percentiles[50] <= percentiles[90] <= percentiles[95] <= percentiles[99]
+
+    def test_custom_points(self, result):
+        assert set(result.waiting_percentiles((10, 50))) == {10, 50}
+
+    def test_median_below_mean_for_skewed_waits(self, result):
+        # Carbon-aware waiting is right-skewed (many immediate starts,
+        # a tail of long delays): median < mean.
+        assert result.waiting_percentiles()[50] <= result.mean_waiting_hours + 1e-9
+
+
+class TestByQueue:
+    def test_partitions_jobs(self, result):
+        breakdown = result.by_queue()
+        assert set(breakdown) == {"short", "long"}
+        assert sum(group["jobs"] for group in breakdown.values()) == len(result.records)
+
+    def test_carbon_partitions(self, result):
+        breakdown = result.by_queue()
+        total = sum(group["carbon_kg"] for group in breakdown.values())
+        assert total == pytest.approx(result.total_carbon_kg)
+
+    def test_short_queue_waits_less(self, result):
+        # W_short = 6 h < W_long = 24 h, so the tail must be shorter.
+        breakdown = result.by_queue()
+        assert breakdown["short"]["p95_wait_h"] <= breakdown["long"]["p95_wait_h"] + 6
+
+
+class TestSparkline:
+    def test_length_capped_to_width(self):
+        line = sparkline(np.arange(1000), width=50)
+        assert len(line) == 50
+
+    def test_short_series_kept(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])

@@ -1,0 +1,103 @@
+"""Post-hoc result verification."""
+
+import pytest
+
+from repro.carbon.regions import region_trace
+from repro.cluster.pricing import DEFAULT_PRICING, PurchaseOption
+from repro.cluster.spot import HourlyHazard
+from repro.errors import SimulationError
+from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
+from repro.simulator.simulation import run_simulation
+from repro.simulator.validation import assert_valid, verify_result
+from repro.units import days
+from repro.workload.job import default_queue_set
+from repro.workload.sampling import week_long_trace
+from repro.workload.synthetic import alibaba_like
+
+
+def make_record(**overrides):
+    base = dict(
+        job_id=0, queue="short", arrival=0, length=60, cpus=1,
+        first_start=0, finish=60, carbon_g=1.0, energy_kwh=0.01,
+        usage_cost=0.0624, baseline_carbon_g=1.0,
+        usage=(UsageInterval(0, 60, 1, PurchaseOption.ON_DEMAND),),
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+def make_result(records, reserved=0):
+    return SimulationResult(
+        policy_name="p", workload_name="w", region="r",
+        reserved_cpus=reserved, horizon=1440, pricing=DEFAULT_PRICING,
+        records=tuple(records),
+    )
+
+
+class TestVerifyResult:
+    def test_clean_result_passes(self):
+        assert verify_result(make_result([make_record()])) == []
+
+    def test_real_simulations_pass(self):
+        workload = week_long_trace(
+            alibaba_like(4_000, horizon=days(30), seed=11), num_jobs=150
+        )
+        carbon = region_trace("SA-AU")
+        queues = default_queue_set()
+        for spec in ("nowait", "wait-awhile", "res-first:carbon-time",
+                     "spot-res:carbon-time"):
+            result = run_simulation(
+                workload, carbon, spec, reserved_cpus=6,
+                eviction_model=HourlyHazard(0.05),
+            )
+            assert verify_result(result, queues=queues) == [], spec
+
+    def test_detects_occupancy_mismatch(self):
+        bad = make_record(
+            usage=(UsageInterval(0, 45, 1, PurchaseOption.ON_DEMAND),),
+            finish=60, length=60,
+        )
+        violations = verify_result(make_result([bad]))
+        assert any("occupancy" in violation for violation in violations)
+
+    def test_detects_finish_mismatch(self):
+        bad = make_record(
+            usage=(UsageInterval(0, 60, 1, PurchaseOption.ON_DEMAND),),
+            finish=90, length=60,
+        )
+        violations = verify_result(make_result([bad]))
+        assert any("finish" in violation for violation in violations)
+
+    def test_detects_eviction_without_spot(self):
+        bad = make_record(evictions=1)
+        violations = verify_result(make_result([bad]))
+        assert any("eviction" in violation for violation in violations)
+
+    def test_detects_oversubscribed_reserved(self):
+        records = [
+            make_record(
+                job_id=i,
+                usage=(UsageInterval(0, 60, 1, PurchaseOption.RESERVED),),
+            )
+            for i in range(3)
+        ]
+        violations = verify_result(make_result(records, reserved=2))
+        assert any("oversubscribed" in violation for violation in violations)
+
+    def test_waiting_bound_with_queues(self):
+        bad = make_record(first_start=1440, finish=1500)  # waited 24 h in "short"
+        violations = verify_result(
+            make_result([bad]), queues=default_queue_set()
+        )
+        assert any("exceeds bound" in violation for violation in violations)
+
+    def test_assert_valid_raises(self):
+        bad = make_record(
+            usage=(UsageInterval(0, 45, 1, PurchaseOption.ON_DEMAND),),
+            finish=60,
+        )
+        with pytest.raises(SimulationError):
+            assert_valid(make_result([bad]))
+
+    def test_assert_valid_clean(self):
+        assert_valid(make_result([make_record()]))

@@ -1,0 +1,122 @@
+"""Artifact-style command-line interface."""
+
+import csv
+import os
+
+import pytest
+
+from repro.cli import _parse_waiting, build_parser, main
+from repro.errors import ReproError
+from repro.units import hours
+
+
+class TestParsing:
+    def test_waiting_spec(self):
+        assert _parse_waiting("6x24") == (hours(6), hours(24))
+        assert _parse_waiting("0x0") == (0, 0)
+        assert _parse_waiting("1.5X12") == (90, hours(12))
+
+    def test_bad_waiting_spec(self):
+        with pytest.raises(ReproError):
+            _parse_waiting("six-by-24")
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.policy == "nowait"
+        assert args.waiting == "6x24"
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        code = main(["--workload", "poisson", "--horizon-days", "3",
+                     "--region", "CA-US", "--policy", "carbon-time"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Carbon-Time" in out
+        assert "carbon_kg" in out
+
+    def test_unknown_policy_errors(self, capsys):
+        assert main(["--policy", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_region_errors(self, capsys):
+        assert main(["--workload", "poisson", "--region", "ATLANTIS"]) == 2
+        assert "ATLANTIS" in capsys.readouterr().err
+
+    def test_unknown_workload_errors(self, capsys):
+        assert main(["--workload", "slurmtron"]) == 2
+        assert "slurmtron" in capsys.readouterr().err
+
+    def test_output_files(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        code = main([
+            "--workload", "poisson", "--horizon-days", "3",
+            "--region", "SA-AU", "--policy", "res-first:carbon-time",
+            "--reserved", "5", "--output-dir", out_dir,
+        ])
+        assert code == 0
+        for name in ("aggregate.csv", "details.csv", "runtime.csv"):
+            assert os.path.exists(os.path.join(out_dir, name))
+        with open(os.path.join(out_dir, "details.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows and {"job_id", "carbon_g", "waiting_min"} <= set(rows[0])
+        with open(os.path.join(out_dir, "runtime.csv")) as handle:
+            runtime = list(csv.DictReader(handle))
+        assert runtime and float(runtime[0]["carbon_intensity"]) > 0
+
+    def test_csv_workload_and_carbon_roundtrip(self, tmp_path, capsys):
+        from repro.carbon.regions import region_trace
+        from repro.workload.synthetic import poisson_exponential
+
+        workload_path = str(tmp_path / "jobs.csv")
+        carbon_path = str(tmp_path / "ci.csv")
+        poisson_exponential(horizon=hours(72), seed=2).to_csv(workload_path)
+        region_trace("NL", num_hours=24 * 30).to_csv(carbon_path)
+        code = main([
+            "--workload", workload_path, "--region", carbon_path,
+            "--policy", "lowest-window",
+        ])
+        assert code == 0
+        assert "Lowest-Window" in capsys.readouterr().out
+
+    def test_spot_options(self, capsys):
+        code = main([
+            "--workload", "poisson", "--horizon-days", "3",
+            "--policy", "spot-first:carbon-time", "--eviction-rate", "0.1",
+            "--checkpoint-interval", "30",
+        ])
+        assert code == 0
+
+    def test_carbon_start_hour_offsets(self, capsys):
+        code = main([
+            "--workload", "poisson", "--horizon-days", "3",
+            "--region", "CA-US", "--carbon-start-hour", "744",
+        ])
+        assert code == 0
+
+    def test_forecaster_choices(self, capsys):
+        for forecaster in ("noisy", "historical"):
+            code = main([
+                "--workload", "poisson", "--horizon-days", "3",
+                "--policy", "carbon-time", "--forecaster", forecaster,
+            ])
+            assert code == 0
+
+    def test_online_estimation_flag(self, capsys):
+        code = main([
+            "--workload", "poisson", "--horizon-days", "3",
+            "--policy", "lowest-window", "--online-estimation",
+        ])
+        assert code == 0
+
+    def test_carbon_price_flag(self, capsys):
+        code = main([
+            "--workload", "poisson", "--horizon-days", "3",
+            "--carbon-price", "0.5",
+        ])
+        assert code == 0
+
+    def test_sparklines_printed(self, capsys):
+        main(["--workload", "poisson", "--horizon-days", "3"])
+        out = capsys.readouterr().out
+        assert "demand" in out and "carbon" in out

@@ -1,0 +1,134 @@
+"""End-to-end user journeys across the whole library.
+
+Each scenario exercises the full pipeline -- trace generation, sampling,
+simulation, analysis, verification -- the way the README and examples
+compose it, with cross-module consistency checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CheckpointConfig,
+    HourlyHazard,
+    PurchaseOption,
+    alibaba_like,
+    region_trace,
+    run_simulation,
+    week_long_trace,
+)
+from repro.analysis.metrics import savings_per_cost_percent
+from repro.analysis.tradeoff import knee_point, reserved_sweep
+from repro.simulator.results import demand_profile
+from repro.simulator.validation import verify_result
+from repro.units import days, hours
+from repro.workload.job import default_queue_set
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return week_long_trace(
+        alibaba_like(6_000, horizon=days(40), seed=21), num_jobs=250
+    )
+
+
+@pytest.fixture(scope="module")
+def carbon():
+    return region_trace("SA-AU")
+
+
+class TestReadmeJourney:
+    """The README quickstart, with its implicit claims verified."""
+
+    def test_quickstart_flow(self, workload, carbon):
+        nowait = run_simulation(workload, carbon, "nowait")
+        gaia = run_simulation(
+            workload, carbon, "res-first:carbon-time",
+            reserved_cpus=int(workload.mean_demand / 2),
+        )
+        assert gaia.carbon_savings_vs(nowait) > 0
+        assert gaia.total_cost < nowait.total_cost  # reserved pool pays off
+        assert gaia.mean_waiting_hours > 0
+        assert verify_result(gaia, queues=default_queue_set()) == []
+
+    def test_nowait_realizes_the_arrival_demand(self, workload, carbon):
+        """Under NoWait, the realized demand profile equals the
+        workload's run-on-arrival profile -- two independent code paths."""
+        result = run_simulation(workload, carbon, "nowait")
+        realized = demand_profile(result.records, workload.horizon)
+        planned = workload.demand_profile()
+        np.testing.assert_allclose(realized, planned)
+
+    def test_carbon_matches_manual_recomputation(self, workload, carbon):
+        """Total carbon equals an independent recomputation from usage
+        intervals and the raw trace."""
+        result = run_simulation(workload, carbon, "carbon-time")
+        from repro.simulator.simulation import prepare_carbon
+
+        covering = prepare_carbon(carbon, workload, default_queue_set())
+        recomputed = 0.0
+        for record in result.records:
+            for interval in record.usage:
+                recomputed += (
+                    covering.interval_carbon(interval.start, interval.end)
+                    * 0.01 * record.cpus
+                )
+        assert result.total_carbon_g == pytest.approx(recomputed)
+
+
+class TestCapacityPlanningJourney:
+    def test_sweep_and_knee(self, workload, carbon):
+        mean = workload.mean_demand
+        points = reserved_sweep(
+            workload, carbon, "res-first:carbon-time",
+            [0, int(mean / 2), int(mean), int(mean * 1.5)],
+        )
+        knee = knee_point(points)
+        assert knee.reserved_cpus > 0
+        assert knee.normalized_cost < 1.0
+        # The knee's result is self-consistent with a direct run.
+        direct = run_simulation(
+            workload, carbon, "res-first:carbon-time",
+            reserved_cpus=knee.reserved_cpus,
+        )
+        assert direct.total_cost == pytest.approx(knee.cost)
+
+
+class TestSpotJourney:
+    def test_checkpointed_spot_under_pressure(self, workload, carbon):
+        result = run_simulation(
+            workload, carbon, "spot-res:carbon-time", reserved_cpus=8,
+            eviction_model=HourlyHazard(0.10),
+            checkpointing=CheckpointConfig(interval=30, overhead=2),
+            retry_spot=True,
+        )
+        assert verify_result(result) == []
+        options = {
+            option
+            for record in result.records
+            for option in record.options_used
+        }
+        assert PurchaseOption.SPOT in options
+        assert PurchaseOption.RESERVED in options
+
+    def test_headline_metric_composes(self, workload, carbon):
+        baseline = run_simulation(workload, carbon, "nowait", reserved_cpus=8)
+        gaia = run_simulation(
+            workload, carbon, "spot-res:carbon-time", reserved_cpus=8
+        )
+        ratio = savings_per_cost_percent(gaia, baseline)
+        assert ratio > 0  # saves carbon without losing money overall
+
+
+class TestPersistenceJourney:
+    def test_workload_roundtrip_reproduces_simulation(self, tmp_path, workload, carbon):
+        path = str(tmp_path / "workload.csv")
+        workload.to_csv(path)
+        from repro.workload.trace import WorkloadTrace
+
+        reloaded = WorkloadTrace.from_csv(path, name=workload.name,
+                                          horizon=workload.horizon)
+        a = run_simulation(workload, carbon, "carbon-time")
+        b = run_simulation(reloaded, carbon, "carbon-time")
+        assert a.total_carbon_g == b.total_carbon_g
+        assert a.total_cost == b.total_cost

@@ -1,0 +1,83 @@
+"""Cross-cutting coverage: doctests, __main__, misc metric units."""
+
+import doctest
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro.units
+
+
+class TestDoctests:
+    def test_units_doctests(self):
+        results = doctest.testmod(repro.units)
+        assert results.failed == 0
+        assert results.attempted > 0
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--workload", "poisson",
+             "--horizon-days", "2", "--policy", "nowait"],
+            capture_output=True, text=True, timeout=180,
+        )
+        assert completed.returncode == 0
+        assert "NoWait" in completed.stdout
+
+
+class TestEnergyCostUnits:
+    def test_hand_computed(self):
+        """1 CPU for 60 min at 100 $/MWh and 10 W: 0.01 kWh -> $0.001."""
+        from repro.analysis.metrics import energy_cost_usd
+        from repro.carbon.price import ElectricityPriceTrace
+        from repro.cluster.pricing import DEFAULT_PRICING, PurchaseOption
+        from repro.simulator.results import (
+            JobRecord,
+            SimulationResult,
+            UsageInterval,
+        )
+
+        record = JobRecord(
+            job_id=0, queue="q", arrival=0, length=60, cpus=1,
+            first_start=0, finish=60, carbon_g=1.0, energy_kwh=0.01,
+            usage_cost=0.0, baseline_carbon_g=1.0,
+            usage=(UsageInterval(0, 60, 1, PurchaseOption.ON_DEMAND),),
+        )
+        result = SimulationResult(
+            policy_name="p", workload_name="w", region="r", reserved_cpus=0,
+            horizon=1440, pricing=DEFAULT_PRICING, records=(record,),
+        )
+        price = ElectricityPriceTrace([100.0] * 24)
+        assert energy_cost_usd(result, price) == pytest.approx(0.001)
+
+    def test_rejects_bad_power(self):
+        from repro.analysis.metrics import energy_cost_usd
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            energy_cost_usd(None, None, kw_per_cpu=0)
+
+
+class TestCliWorkloadBranches:
+    def test_long_horizon_uses_year_pipeline(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "--workload", "alibaba", "--jobs", "150", "--horizon-days", "10",
+            "--policy", "nowait",
+        ])
+        assert code == 0
+
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

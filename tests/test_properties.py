@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.policies.base import SchedulingContext, validate_decision
+from repro.policies.carbon_time import CarbonTime
+from repro.policies.ecovisor import Ecovisor
+from repro.policies.lowest_slot import LowestSlot
+from repro.policies.lowest_window import LowestWindow
+from repro.policies.suspend_resume import GaiaSuspendResume
+from repro.policies.wait_awhile import WaitAwhile
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+ci_values = st.lists(
+    st.floats(min_value=1.0, max_value=2000.0, allow_nan=False, allow_infinity=False),
+    min_size=30,
+    max_size=120,
+)
+
+arrivals = st.integers(min_value=0, max_value=hours(10))
+lengths = st.integers(min_value=1, max_value=hours(12))
+
+
+def make_ctx(hourly, granularity=7):
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    queues = QueueSet(
+        (
+            JobQueue(name="short", max_length=hours(2), max_wait=hours(6), avg_length=50.0),
+            JobQueue(name="long", max_length=hours(12), max_wait=hours(8), avg_length=200.0),
+        )
+    )
+    return SchedulingContext(
+        forecaster=PerfectForecaster(trace), queues=queues, granularity=granularity
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trace integration properties
+# ---------------------------------------------------------------------------
+
+
+class TestTraceProperties:
+    @given(hourly=ci_values, a=st.integers(0, 1500), b=st.integers(0, 1500))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_additive(self, hourly, a, b):
+        trace = CarbonIntensityTrace(hourly)
+        lo, hi = sorted((a % trace.horizon_minutes, b % trace.horizon_minutes))
+        mid = (lo + hi) // 2
+        whole = trace.interval_carbon(lo, hi)
+        split = trace.interval_carbon(lo, mid) + trace.interval_carbon(mid, hi)
+        assert abs(whole - split) < 1e-6
+
+    @given(hourly=ci_values, a=st.integers(0, 1500), b=st.integers(0, 1500))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_bounded_by_extremes(self, hourly, a, b):
+        trace = CarbonIntensityTrace(hourly)
+        lo, hi = sorted((a % trace.horizon_minutes, b % trace.horizon_minutes))
+        if lo == hi:
+            return
+        duration_hours = (hi - lo) / 60.0
+        integral = trace.interval_carbon(lo, hi)
+        assert integral <= max(hourly) * duration_hours + 1e-6
+        assert integral >= min(hourly) * duration_hours - 1e-6
+
+    @given(hourly=ci_values)
+    @settings(max_examples=30, deadline=None)
+    def test_tile_preserves_values(self, hourly):
+        trace = CarbonIntensityTrace(hourly)
+        tiled = trace.tile_to(trace.num_hours * 2 + 5)
+        for hour in range(trace.num_hours):
+            assert tiled.hourly[hour] == trace.hourly[hour]
+            assert tiled.hourly[hour + trace.num_hours] == trace.hourly[hour]
+
+
+# ---------------------------------------------------------------------------
+# Policy decision properties
+# ---------------------------------------------------------------------------
+
+
+class TestPolicyProperties:
+    @given(hourly=ci_values, arrival=arrivals, length=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_all_policies_produce_valid_decisions(self, hourly, arrival, length):
+        ctx = make_ctx(hourly)
+        job = Job(job_id=0, arrival=arrival, length=length, cpus=1)
+        job = job.with_queue(ctx.queues.queue_for_length(length).name)
+        for policy in (LowestSlot(), LowestWindow(), CarbonTime(), WaitAwhile(),
+                       Ecovisor(), GaiaSuspendResume()):
+            decision = policy.decide(job, ctx)
+            validate_decision(job, decision, ctx)
+
+    @given(hourly=ci_values, arrival=arrivals, length=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_wait_awhile_not_worse_than_now(self, hourly, arrival, length):
+        """Planned carbon never exceeds the run-immediately footprint."""
+        ctx = make_ctx(hourly)
+        trace = ctx.forecaster.trace
+        job = Job(job_id=0, arrival=arrival, length=length, cpus=1)
+        job = job.with_queue(ctx.queues.queue_for_length(length).name)
+        decision = WaitAwhile().decide(job, ctx)
+        planned = sum(trace.interval_carbon(s, e) for s, e in decision.segments)
+        immediate = trace.interval_carbon(arrival, arrival + length)
+        assert planned <= immediate + 1e-6
+
+    @given(hourly=ci_values, arrival=arrivals)
+    @settings(max_examples=60, deadline=None)
+    def test_carbon_time_never_hurts(self, hourly, arrival):
+        """Carbon-Time's chosen window (at the estimate length) is never
+        dirtier than starting immediately."""
+        ctx = make_ctx(hourly)
+        trace = ctx.forecaster.trace
+        job = Job(job_id=0, arrival=arrival, length=30, cpus=1, queue="short")
+        estimate = 50
+        decision = CarbonTime().decide(job, ctx)
+        chosen = trace.interval_carbon(decision.start_time, decision.start_time + estimate)
+        immediate = trace.interval_carbon(arrival, arrival + estimate)
+        assert chosen <= immediate + 1e-6
+
+    @given(hourly=ci_values, arrival=arrivals, length=lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_ecovisor_waiting_budget(self, hourly, arrival, length):
+        ctx = make_ctx(hourly)
+        job = Job(job_id=0, arrival=arrival, length=length, cpus=1)
+        job = job.with_queue(ctx.queues.queue_for_length(length).name)
+        decision = Ecovisor().decide(job, ctx)
+        total = sum(e - s for s, e in decision.segments)
+        assert total == length
+        waiting = decision.segments[-1][1] - arrival - length
+        assert 0 <= waiting <= ctx.queue_of(job).max_wait
+
+
+class TestForecasterProperties:
+    @given(hourly=ci_values, now=st.integers(0, hours(20)))
+    @settings(max_examples=40, deadline=None)
+    def test_historical_never_exceeds_bounds(self, hourly, now):
+        """Historical forecasts stay within the observed value range."""
+        from repro.carbon.historical import HistoricalForecaster
+
+        trace = CarbonIntensityTrace(hourly)
+        now = min(now, trace.horizon_minutes - hours(2))
+        forecaster = HistoricalForecaster(trace)
+        horizon_hours = min(24, trace.num_hours - now // 60)
+        values = forecaster.slot_values(now, now, horizon_hours)
+        assert np.all(values >= min(hourly) - 1e-9)
+        assert np.all(values <= max(hourly) + 1e-9)
+
+    @given(hourly=ci_values, sigma=st.floats(0.0, 0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_noisy_integral_consistency(self, hourly, sigma):
+        """Window integrals equal sums of sub-interval integrals."""
+        from repro.carbon.forecast import NoisyForecaster
+
+        trace = CarbonIntensityTrace(hourly)
+        forecaster = NoisyForecaster(trace, sigma=sigma, seed=1)
+        end = min(trace.horizon_minutes, 600)
+        whole = forecaster.interval_carbon(0, 0, end)
+        split = forecaster.interval_carbon(0, 0, end // 2) + (
+            forecaster.interval_carbon(0, end // 2, end)
+        )
+        assert abs(whole - split) < 1e-6
+
+
+class TestEstimatorProperties:
+    @given(
+        lengths=st.lists(st.floats(1.0, 10_000.0), min_size=1, max_size=200),
+        alpha=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_within_observed_range(self, lengths, alpha):
+        from repro.workload.estimation import OnlineLengthEstimator
+        from repro.workload.job import default_queue_set
+
+        estimator = OnlineLengthEstimator(default_queue_set(), alpha=alpha, warmup=5)
+        for length in lengths:
+            estimator.observe("short", length)
+        estimate = estimator.estimate("short")
+        assert min(lengths) - 1e-6 <= estimate <= max(lengths) + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# End-to-end engine properties
+# ---------------------------------------------------------------------------
+
+job_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=hours(48)),   # arrival
+        st.integers(min_value=1, max_value=hours(10)),   # length
+        st.integers(min_value=1, max_value=4),           # cpus
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestEngineProperties:
+    @given(jobs=job_lists, reserved=st.integers(0, 6),
+           spec=st.sampled_from(["nowait", "allwait-threshold", "carbon-time",
+                                 "res-first:carbon-time", "wait-awhile",
+                                 "spot-res:carbon-time"]))
+    @settings(max_examples=40, deadline=None)
+    def test_accounting_conserved(self, jobs, reserved, spec):
+        from repro.simulator.simulation import run_simulation
+        from repro.workload.trace import WorkloadTrace
+
+        rng = np.random.default_rng(0)
+        trace = WorkloadTrace(
+            [Job(job_id=i, arrival=a, length=l, cpus=c)
+             for i, (a, l, c) in enumerate(jobs)]
+        )
+        carbon = CarbonIntensityTrace(rng.uniform(20, 900, size=24 * 3), name="t")
+        result = run_simulation(trace, carbon, spec, reserved_cpus=reserved)
+        assert len(result.records) == len(jobs)
+        for record in result.records:
+            executed = sum(i.end - i.start for i in record.usage)
+            assert executed == record.length + record.lost_cpu_minutes / record.cpus
+            assert record.waiting_time >= 0
+            assert record.carbon_g >= 0
+        assert result.total_cost >= result.reserved_upfront_cost

@@ -1,0 +1,167 @@
+"""Carbon-aware scaling of malleable jobs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import ConfigError, SchedulingError
+from repro.scaling.planner import (
+    MalleableJob,
+    fixed_allocation_plan,
+    plan_carbon_scaling,
+)
+from repro.scaling.speedup import AmdahlSpeedup, LinearSpeedup
+from repro.units import hours
+
+
+def trace(hourly):
+    return CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+
+
+class TestSpeedups:
+    def test_linear(self):
+        model = LinearSpeedup()
+        assert model.rate(4) == 4.0
+        np.testing.assert_allclose(model.marginal_rates(3), [1.0, 1.0, 1.0])
+
+    def test_amdahl_caps(self):
+        model = AmdahlSpeedup(0.9)
+        assert model.rate(1) == pytest.approx(1.0)
+        assert model.rate(10**6) == pytest.approx(10.0, rel=0.01)  # 1/(1-p)
+
+    def test_amdahl_marginals_decreasing(self):
+        marginals = AmdahlSpeedup(0.8).marginal_rates(8)
+        assert all(b <= a + 1e-12 for a, b in zip(marginals, marginals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AmdahlSpeedup(0.0)
+        with pytest.raises(ConfigError):
+            LinearSpeedup().marginal_rates(0)
+        with pytest.raises(ConfigError):
+            LinearSpeedup().rate(-1)
+
+
+class TestMalleableJob:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MalleableJob(work=0, max_cpus=1)
+        with pytest.raises(ConfigError):
+            MalleableJob(work=10, max_cpus=0)
+        with pytest.raises(ConfigError):
+            MalleableJob(work=10, max_cpus=1, arrival=-1)
+
+
+class TestPlanner:
+    def test_concentrates_in_cheapest_slot(self):
+        # 60 work-minutes, 2 CPUs: fits entirely in the single cheap hour.
+        ci = [100, 100, 10, 100, 100, 100]
+        job = MalleableJob(work=60, max_cpus=2)
+        plan = plan_carbon_scaling(job, trace(ci), deadline=hours(6))
+        assert plan.allocation == [(hours(2), hours(3), 1)]
+        assert plan.carbon_g == pytest.approx(10 * 0.01)
+
+    def test_scales_up_in_valley(self):
+        # 240 work-minutes, one cheap hour: 2 CPUs there + the rest in
+        # the next-cheapest hours beats running flat.
+        ci = [100, 90, 10, 80, 100, 100]
+        job = MalleableJob(work=240, max_cpus=2)
+        plan = plan_carbon_scaling(job, trace(ci), deadline=hours(6))
+        by_slot = {start: cpus for start, _, cpus in plan.allocation}
+        assert by_slot[hours(2)] == 2  # full throttle in the valley
+
+    def test_work_covered(self):
+        rng = np.random.default_rng(0)
+        ci = rng.uniform(20, 500, size=30)
+        job = MalleableJob(work=777, max_cpus=4)
+        plan = plan_carbon_scaling(job, trace(ci), deadline=hours(30))
+        assert plan.work_done(LinearSpeedup()) >= job.work - 1e-9
+
+    def test_respects_cpu_cap_and_deadline(self):
+        rng = np.random.default_rng(1)
+        ci = rng.uniform(20, 500, size=30)
+        job = MalleableJob(work=2000, max_cpus=3, arrival=95)
+        plan = plan_carbon_scaling(job, trace(ci), deadline=hours(20))
+        assert plan.peak_cpus <= 3
+        assert plan.completion_minute <= hours(20)
+        assert all(start >= 95 for start, _, _ in plan.allocation)
+
+    def test_infeasible_raises(self):
+        job = MalleableJob(work=10_000, max_cpus=1)
+        with pytest.raises(SchedulingError):
+            plan_carbon_scaling(job, trace([100] * 10), deadline=hours(3))
+
+    def test_deadline_validation(self):
+        job = MalleableJob(work=10, max_cpus=1, arrival=100)
+        with pytest.raises(SchedulingError):
+            plan_carbon_scaling(job, trace([100] * 10), deadline=50)
+        with pytest.raises(SchedulingError):
+            plan_carbon_scaling(job, trace([100] * 2), deadline=hours(10))
+
+    def test_more_parallelism_never_hurts(self):
+        rng = np.random.default_rng(2)
+        ci = rng.uniform(20, 500, size=48)
+        carbons = []
+        for max_cpus in (1, 2, 4, 8):
+            job = MalleableJob(work=1200, max_cpus=max_cpus)
+            plan = plan_carbon_scaling(job, trace(ci), deadline=hours(48))
+            carbons.append(plan.carbon_g)
+        assert all(b <= a + 1e-9 for a, b in zip(carbons, carbons[1:]))
+
+    def test_amdahl_saves_less_than_linear(self):
+        rng = np.random.default_rng(3)
+        ci = rng.uniform(20, 500, size=48)
+        job = MalleableJob(work=1200, max_cpus=8)
+        linear = plan_carbon_scaling(
+            job, trace(ci), deadline=hours(48), speedup=LinearSpeedup()
+        )
+        amdahl = plan_carbon_scaling(
+            job, trace(ci), deadline=hours(48), speedup=AmdahlSpeedup(0.8)
+        )
+        assert linear.carbon_g <= amdahl.carbon_g + 1e-9
+
+    def test_beats_fixed_allocation(self):
+        day = np.concatenate([np.full(12, 400.0), np.full(12, 50.0)])
+        ci = np.tile(day, 3)
+        job = MalleableJob(work=hours(10), max_cpus=4)
+        scaled = plan_carbon_scaling(job, trace(ci), deadline=hours(48))
+        fixed = fixed_allocation_plan(job, trace(ci), cpus=1)
+        assert scaled.carbon_g < fixed.carbon_g
+
+
+class TestFixedAllocation:
+    def test_duration_and_carbon(self):
+        job = MalleableJob(work=120, max_cpus=4, arrival=30)
+        plan = fixed_allocation_plan(job, trace([100] * 10), cpus=2)
+        assert plan.allocation == [(30, 90, 2)]
+        assert plan.carbon_g == pytest.approx(100 * 0.02)
+
+    def test_validation(self):
+        job = MalleableJob(work=120, max_cpus=2)
+        with pytest.raises(ConfigError):
+            fixed_allocation_plan(job, trace([100] * 10), cpus=3)
+
+
+class TestPlannerProperties:
+    @given(
+        ci=st.lists(st.floats(1.0, 1000.0), min_size=12, max_size=72),
+        work=st.integers(10, 2000),
+        max_cpus=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, ci, work, max_cpus):
+        carbon = trace(ci)
+        job = MalleableJob(work=work, max_cpus=max_cpus)
+        deadline = carbon.horizon_minutes
+        capacity = max_cpus * deadline
+        if capacity < work:
+            return  # infeasible draws are tested separately
+        plan = plan_carbon_scaling(job, carbon, deadline=deadline)
+        assert plan.work_done(LinearSpeedup()) >= work - 1e-6
+        assert plan.peak_cpus <= max_cpus
+        assert plan.completion_minute <= deadline
+        # Carbon never exceeds running everything at the worst slot price.
+        worst = max(ci) * 0.01 * (plan.cpu_minutes / 60)
+        assert plan.carbon_g <= worst + 1e-6

@@ -1,0 +1,56 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_hours_to_minutes(self):
+        assert units.hours(2) == 120
+
+    def test_fractional_hours_round(self):
+        assert units.hours(1.5) == 90
+        assert units.hours(0.251) == 15
+
+    def test_days(self):
+        assert units.days(3) == 3 * 24 * 60
+
+    def test_weeks(self):
+        assert units.weeks(1) == 7 * 24 * 60
+
+    def test_to_hours_roundtrip(self):
+        assert units.to_hours(units.hours(7)) == 7.0
+
+    def test_to_days_roundtrip(self):
+        assert units.to_days(units.days(2)) == 2.0
+
+    def test_grams_to_kg(self):
+        assert units.grams_to_kg(2500.0) == 2.5
+
+    def test_year_constants_consistent(self):
+        assert units.MINUTES_PER_YEAR == units.HOURS_PER_YEAR * 60
+        assert units.MINUTES_PER_DAY == 1440
+
+
+class TestFormatMinutes:
+    @pytest.mark.parametrize(
+        "minutes,expected",
+        [
+            (0, "0m"),
+            (59, "59m"),
+            (60, "1h"),
+            (90, "1h30m"),
+            (1440, "1d"),
+            (1500, "1d1h"),
+            (2 * 1440 + 61, "2d1h1m"),
+        ],
+    )
+    def test_rendering(self, minutes, expected):
+        assert units.format_minutes(minutes) == expected
+
+    def test_negative(self):
+        assert units.format_minutes(-90) == "-1h30m"
+
+    def test_rounds_floats(self):
+        assert units.format_minutes(59.6) == "1h"

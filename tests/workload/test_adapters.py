@@ -1,0 +1,137 @@
+"""Public-dataset adapters, exercised on schema-faithful fixtures."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload.adapters import (
+    MUSTANG_CORES_PER_NODE,
+    load_alibaba_pai,
+    load_azure_vm,
+    load_mustang,
+)
+
+
+@pytest.fixture
+def azure_csv(tmp_path):
+    path = tmp_path / "vmtable.csv"
+    path.write_text(
+        "vmid,subscriptionid,deploymentid,vmcreated,vmdeleted,maxcpu,avgcpu,"
+        "p95maxcpu,vmcategory,vmcorecountbucket,vmmemorybucket\n"
+        "vm1,s1,d1,0,3600,90,40,80,Delay-insensitive,2,4\n"
+        "vm2,s1,d1,600,90000,50,10,30,Interactive,>24,32\n"
+        "vm3,s2,d2,1200,1200,10,5,8,Unknown,1,2\n"      # zero lifetime: skip
+        "vm4,s2,d2,1800,5400,10,5,8,Unknown,4,8\n"
+    )
+    return str(path)
+
+
+class TestAzure:
+    def test_load(self, azure_csv):
+        report = load_azure_vm(azure_csv)
+        assert report.rows_read == 4
+        assert report.rows_skipped == 1
+        trace = report.trace
+        assert len(trace) == 3
+        first = trace[0]
+        assert first.arrival == 0
+        assert first.length == 60  # 3600 s
+        assert first.cpus == 2
+
+    def test_top_bucket_floored(self, azure_csv):
+        trace = load_azure_vm(azure_csv).trace
+        big = next(job for job in trace if job.cpus == 30)
+        assert big.length == (90000 - 600) // 60
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            load_azure_vm(str(path))
+
+    def test_nothing_usable(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text(
+            "vmid,vmcreated,vmdeleted,vmcorecountbucket\nvm1,10,10,2\n"
+        )
+        with pytest.raises(TraceError):
+            load_azure_vm(str(path))
+
+
+@pytest.fixture
+def mustang_csv(tmp_path):
+    path = tmp_path / "mustang.csv"
+    path.write_text(
+        "user_ID,group_ID,submit_time,start_time,end_time,wallclock_limit,"
+        "job_status,node_count,tasks_requested\n"
+        "u1,g1,2016-01-01 00:00:00,2016-01-01 00:05:00,2016-01-01 02:05:00,"
+        "16:00:00,JOBEND,2,48\n"
+        "u2,g1,2016-01-01 01:00:00,2016-01-01 01:10:00,2016-01-01 01:40:00,"
+        "16:00:00,CANCELLED,1,24\n"
+        "u3,g2,2016-01-01 02:00:00,2016-01-01 02:30:00,2016-01-01 10:30:00,"
+        "16:00:00,JOBEND,8,192\n"
+    )
+    return str(path)
+
+
+class TestMustang:
+    def test_load_completed_only(self, mustang_csv):
+        report = load_mustang(mustang_csv)
+        assert report.rows_read == 3
+        assert report.rows_skipped == 1  # the CANCELLED job
+        trace = report.trace
+        assert len(trace) == 2
+        assert trace[0].cpus == 2 * MUSTANG_CORES_PER_NODE
+        assert trace[0].length == 120
+        # Arrivals are relative to the first submit.
+        assert trace[0].arrival == 0
+        assert trace[1].arrival == 120
+
+    def test_keep_all_statuses(self, mustang_csv):
+        report = load_mustang(mustang_csv, completed_only=False)
+        assert len(report.trace) == 3
+
+    def test_bad_timestamp_skipped(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "submit_time,start_time,end_time,node_count,job_status\n"
+            "not-a-time,2016-01-01 00:00:00,2016-01-01 01:00:00,1,JOBEND\n"
+            "2016-01-01 00:00:00,2016-01-01 00:05:00,2016-01-01 01:00:00,1,JOBEND\n"
+        )
+        report = load_mustang(str(path))
+        assert report.rows_skipped == 1
+        assert len(report.trace) == 1
+
+
+@pytest.fixture
+def pai_csv(tmp_path):
+    path = tmp_path / "pai_task_table.csv"
+    path.write_text(
+        "job_name,task_name,inst_num,status,start_time,end_time,plan_cpu,"
+        "plan_gpu,plan_mem\n"
+        "j1,t1,1,Terminated,1000,4600,600,0,10\n"
+        "j2,t1,4,Terminated,2000,9200,100,50,20\n"
+        "j3,t1,1,Failed,3000,4000,100,0,10\n"
+        "j4,t1,1,Terminated,0,4000,100,0,10\n"          # zero start: skip
+    )
+    return str(path)
+
+
+class TestAlibabaPai:
+    def test_load(self, pai_csv):
+        report = load_alibaba_pai(pai_csv)
+        assert report.rows_read == 4
+        assert report.rows_skipped == 2
+        trace = report.trace
+        assert len(trace) == 2
+        first = trace[0]
+        assert first.cpus == 6      # plan_cpu 600 = 6 cores
+        assert first.length == 60   # 3600 s
+        second = trace[1]
+        assert second.cpus == 4     # 4 instances x 1 core
+
+    def test_feeds_sampling_pipeline(self, pai_csv):
+        from repro.workload.sampling import resample_trace
+
+        trace = load_alibaba_pai(pai_csv).trace
+        sampled = resample_trace(trace, num_jobs=50, horizon=10_000, seed=1)
+        assert len(sampled) == 50

@@ -1,0 +1,93 @@
+"""Sampling distribution primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.distributions import (
+    DiscreteChoice,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Scaled,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLogNormal:
+    def test_median_calibration(self, rng):
+        samples = LogNormal(median=100.0, sigma=1.0).sample(rng, 50_000)
+        assert np.median(samples) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_sigma_is_constant(self, rng):
+        samples = LogNormal(median=42.0, sigma=0.0).sample(rng, 10)
+        np.testing.assert_allclose(samples, 42.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            LogNormal(median=0, sigma=1)
+        with pytest.raises(ConfigError):
+            LogNormal(median=1, sigma=-1)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        samples = Exponential(mean=30.0).sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(30.0, rel=0.05)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigError):
+            Exponential(mean=0)
+
+
+class TestMixture:
+    def test_weights_normalized(self, rng):
+        mixture = Mixture([(2.0, Exponential(10.0)), (2.0, Exponential(1000.0))])
+        samples = mixture.sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(505.0, rel=0.1)
+
+    def test_single_component(self, rng):
+        mixture = Mixture([(1.0, Exponential(5.0))])
+        assert mixture.sample(rng, 100).shape == (100,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            Mixture([])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ConfigError):
+            Mixture([(0.0, Exponential(1.0))])
+
+
+class TestDiscreteChoice:
+    def test_values_only_from_set(self, rng):
+        choice = DiscreteChoice([1, 2, 4], [0.2, 0.3, 0.5])
+        samples = choice.sample(rng, 1000)
+        assert set(np.unique(samples)) <= {1.0, 2.0, 4.0}
+
+    def test_mean(self):
+        choice = DiscreteChoice([1, 3], [0.5, 0.5])
+        assert choice.mean == pytest.approx(2.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            DiscreteChoice([1], [0.5, 0.5])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigError):
+            DiscreteChoice([1, 2], [-1.0, 2.0])
+
+
+class TestScaled:
+    def test_scaling(self, rng):
+        scaled = Scaled(DiscreteChoice([1, 2], [0.5, 0.5]), factor=24)
+        samples = scaled.sample(rng, 100)
+        assert set(np.unique(samples)) <= {24.0, 48.0}
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigError):
+            Scaled(Exponential(1.0), factor=0)

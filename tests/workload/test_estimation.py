@@ -1,0 +1,98 @@
+"""Online queue-average length estimation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import days, hours
+from repro.workload.estimation import OnlineLengthEstimator
+from repro.workload.job import default_queue_set
+
+
+@pytest.fixture
+def estimator():
+    return OnlineLengthEstimator(default_queue_set(), alpha=0.1, warmup=3)
+
+
+class TestOnlineLengthEstimator:
+    def test_cold_start_at_queue_bound(self, estimator):
+        assert estimator.estimate("short") == float(hours(2))
+        assert estimator.estimate("long") == float(days(3))
+
+    def test_warmup_running_mean(self, estimator):
+        estimator.observe("short", 30)
+        assert estimator.estimate("short") == 30.0
+        estimator.observe("short", 60)
+        assert estimator.estimate("short") == 45.0
+
+    def test_ewma_after_warmup(self, estimator):
+        for _ in range(3):
+            estimator.observe("short", 60)
+        estimator.observe("short", 160)  # 4th: EWMA with alpha 0.1
+        assert estimator.estimate("short") == pytest.approx(0.9 * 60 + 0.1 * 160)
+
+    def test_converges_to_true_mean(self):
+        estimator = OnlineLengthEstimator(default_queue_set(), alpha=0.05)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for length in rng.exponential(90, size=2_000):
+            estimator.observe("short", max(1.0, length))
+        assert estimator.estimate("short") == pytest.approx(90, rel=0.3)
+
+    def test_queues_independent(self, estimator):
+        estimator.observe("short", 10)
+        assert estimator.estimate("long") == float(days(3))
+
+    def test_observation_count(self, estimator):
+        estimator.observe("short", 10)
+        estimator.observe("short", 10)
+        assert estimator.observations("short") == 2
+        assert estimator.observations("long") == 0
+
+    def test_validation(self, estimator):
+        with pytest.raises(ConfigError):
+            estimator.observe("nope", 10)
+        with pytest.raises(ConfigError):
+            estimator.observe("short", 0)
+        with pytest.raises(ConfigError):
+            estimator.estimate("nope")
+        with pytest.raises(ConfigError):
+            OnlineLengthEstimator(default_queue_set(), alpha=0.0)
+        with pytest.raises(ConfigError):
+            OnlineLengthEstimator(default_queue_set(), warmup=-1)
+
+
+class TestEndToEnd:
+    def test_online_estimation_approaches_oracle(self):
+        from repro.carbon.regions import region_trace
+        from repro.simulator.simulation import run_simulation
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+
+        workload = week_long_trace(
+            alibaba_like(6_000, horizon=days(40), seed=6), num_jobs=300
+        )
+        carbon = region_trace("SA-AU")
+        baseline = run_simulation(workload, carbon, "nowait")
+        oracle = run_simulation(workload, carbon, "carbon-time")
+        online = run_simulation(
+            workload, carbon, "carbon-time", online_estimation=True
+        )
+        oracle_saving = oracle.carbon_savings_vs(baseline)
+        online_saving = online.carbon_savings_vs(baseline)
+        # Learned averages recover most of the oracle-average savings.
+        assert online_saving > 0.6 * oracle_saving
+
+    def test_online_estimation_deterministic(self):
+        from repro.carbon.regions import region_trace
+        from repro.simulator.simulation import run_simulation
+        from repro.workload.sampling import week_long_trace
+        from repro.workload.synthetic import alibaba_like
+
+        workload = week_long_trace(
+            alibaba_like(4_000, horizon=days(30), seed=7), num_jobs=100
+        )
+        carbon = region_trace("CA-US")
+        a = run_simulation(workload, carbon, "lowest-window", online_estimation=True)
+        b = run_simulation(workload, carbon, "lowest-window", online_estimation=True)
+        assert a.total_carbon_g == b.total_carbon_g

@@ -1,0 +1,128 @@
+"""Job model and queue routing."""
+
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.units import days, hours
+from repro.workload.job import DEFAULT_QUEUES, Job, JobQueue, QueueSet, default_queue_set
+
+
+class TestJob:
+    def test_cpu_minutes(self):
+        assert Job(job_id=0, arrival=0, length=90, cpus=2).cpu_minutes == 180.0
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(TraceError):
+            Job(job_id=0, arrival=-1, length=10)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(TraceError):
+            Job(job_id=0, arrival=0, length=0)
+
+    def test_rejects_nonpositive_cpus(self):
+        with pytest.raises(TraceError):
+            Job(job_id=0, arrival=0, length=10, cpus=0)
+
+    def test_with_queue_is_copy(self):
+        job = Job(job_id=0, arrival=0, length=10)
+        labelled = job.with_queue("short")
+        assert labelled.queue == "short"
+        assert job.queue == ""
+
+    def test_frozen(self):
+        job = Job(job_id=0, arrival=0, length=10)
+        with pytest.raises(AttributeError):
+            job.length = 20
+
+
+class TestJobQueue:
+    def test_length_estimate_prefers_average(self):
+        queue = JobQueue(name="q", max_length=120, max_wait=60, avg_length=45.0)
+        assert queue.length_estimate() == 45.0
+
+    def test_length_estimate_falls_back_to_bound(self):
+        queue = JobQueue(name="q", max_length=120, max_wait=60)
+        assert queue.length_estimate() == 120.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            JobQueue(name="q", max_length=0, max_wait=60)
+        with pytest.raises(ConfigError):
+            JobQueue(name="q", max_length=60, max_wait=-1)
+
+
+class TestQueueSet:
+    def test_sorted_by_bound(self):
+        queues = QueueSet(
+            (
+                JobQueue(name="long", max_length=1000, max_wait=0),
+                JobQueue(name="short", max_length=10, max_wait=0),
+            )
+        )
+        assert [q.name for q in queues] == ["short", "long"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            QueueSet(())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigError):
+            QueueSet(
+                (
+                    JobQueue(name="q", max_length=10, max_wait=0),
+                    JobQueue(name="q", max_length=20, max_wait=0),
+                )
+            )
+
+    def test_routing_smallest_fitting_queue(self):
+        queues = default_queue_set()
+        assert queues.queue_for_length(30).name == "short"
+        assert queues.queue_for_length(hours(2)).name == "short"
+        assert queues.queue_for_length(hours(2) + 1).name == "long"
+
+    def test_routing_overflow(self):
+        with pytest.raises(ConfigError):
+            default_queue_set().queue_for_length(days(30))
+
+    def test_getitem(self):
+        assert DEFAULT_QUEUES["short"].max_wait == hours(6)
+        with pytest.raises(KeyError):
+            DEFAULT_QUEUES["missing"]
+
+    def test_max_wait(self):
+        assert DEFAULT_QUEUES.max_wait == hours(24)
+
+    def test_assign_labels_jobs(self):
+        jobs = [Job(job_id=0, arrival=0, length=30), Job(job_id=1, arrival=0, length=hours(5))]
+        labelled = DEFAULT_QUEUES.assign(jobs)
+        assert [job.queue for job in labelled] == ["short", "long"]
+
+    def test_with_averages(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=30),
+            Job(job_id=1, arrival=0, length=90),
+            Job(job_id=2, arrival=0, length=hours(5)),
+        ]
+        queues = default_queue_set().with_averages(jobs)
+        assert queues["short"].avg_length == pytest.approx(60.0)
+        assert queues["long"].avg_length == pytest.approx(hours(5))
+
+    def test_with_averages_keeps_empty_queue_estimate(self):
+        jobs = [Job(job_id=0, arrival=0, length=30)]
+        queues = default_queue_set().with_averages(jobs)
+        assert queues["long"].avg_length is None
+        assert queues["long"].length_estimate() == float(days(3))
+
+
+class TestDefaultQueueSet:
+    def test_paper_defaults(self):
+        queues = default_queue_set()
+        assert queues["short"].max_length == hours(2)
+        assert queues["short"].max_wait == hours(6)
+        assert queues["long"].max_length == days(3)
+        assert queues["long"].max_wait == hours(24)
+
+    def test_custom_waits(self):
+        queues = default_queue_set(short_wait=hours(3), long_wait=hours(48))
+        assert queues["short"].max_wait == hours(3)
+        assert queues["long"].max_wait == hours(48)

@@ -1,0 +1,84 @@
+"""The paper's trace-construction pipeline."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import days, weeks
+from repro.workload.sampling import (
+    MAX_JOB_LENGTH,
+    MIN_JOB_LENGTH,
+    filter_lengths,
+    resample_trace,
+    week_long_trace,
+    year_long_trace,
+)
+from repro.workload.synthetic import alibaba_like
+
+
+@pytest.fixture(scope="module")
+def raw():
+    return alibaba_like(num_jobs=5_000, horizon=days(60), seed=4)
+
+
+class TestFilterLengths:
+    def test_paper_cutoffs(self, raw):
+        filtered = filter_lengths(raw)
+        lengths = filtered.lengths()
+        assert lengths.min() >= MIN_JOB_LENGTH
+        assert lengths.max() <= MAX_JOB_LENGTH
+
+    def test_removes_jobs(self, raw):
+        assert len(filter_lengths(raw)) < len(raw)
+
+    def test_inverted_bounds(self, raw):
+        with pytest.raises(ConfigError):
+            filter_lengths(raw, min_length=100, max_length=10)
+
+
+class TestResample:
+    def test_counts_and_horizon(self, raw):
+        sampled = resample_trace(raw, num_jobs=300, horizon=weeks(1), seed=1)
+        assert len(sampled) == 300
+        assert sampled.horizon == weeks(1)
+        assert all(job.arrival < weeks(1) for job in sampled)
+
+    def test_preserves_length_distribution(self, raw):
+        filtered = filter_lengths(raw)
+        sampled = resample_trace(filtered, num_jobs=4_000, horizon=weeks(1), seed=1)
+        assert sampled.lengths().mean() == pytest.approx(
+            filtered.lengths().mean(), rel=0.1
+        )
+
+    def test_cpu_cap_excludes(self, raw):
+        sampled = resample_trace(raw, num_jobs=200, horizon=weeks(1), seed=1, max_cpus=4)
+        assert sampled.cpu_counts().max() <= 4
+
+    def test_deterministic(self, raw):
+        a = resample_trace(raw, num_jobs=50, horizon=weeks(1), seed=9)
+        b = resample_trace(raw, num_jobs=50, horizon=weeks(1), seed=9)
+        assert [(j.arrival, j.length) for j in a] == [(j.arrival, j.length) for j in b]
+
+    def test_rejects_impossible_cap(self, raw):
+        with pytest.raises(ConfigError):
+            resample_trace(raw, num_jobs=10, horizon=100, max_cpus=0)
+
+    def test_rejects_bad_sizes(self, raw):
+        with pytest.raises(ConfigError):
+            resample_trace(raw, num_jobs=0, horizon=100)
+        with pytest.raises(ConfigError):
+            resample_trace(raw, num_jobs=10, horizon=0)
+
+
+class TestPipelines:
+    def test_year_long(self, raw):
+        trace = year_long_trace(raw, num_jobs=1_000, horizon=days(30), seed=2)
+        assert len(trace) == 1_000
+        assert trace.lengths().max() <= MAX_JOB_LENGTH
+        assert trace.name.endswith("-year")
+
+    def test_week_long(self, raw):
+        trace = week_long_trace(raw, num_jobs=200, seed=2)
+        assert len(trace) == 200
+        assert trace.horizon == weeks(1)
+        assert trace.cpu_counts().max() <= 4
+        assert trace.name.endswith("-week")

@@ -1,0 +1,70 @@
+"""Workload statistics (Fig. 5 / Fig. 9 inputs)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.units import hours
+from repro.workload.job import Job
+from repro.workload.stats import (
+    cpu_hours_by_length_bin,
+    demand_cdf,
+    length_cdf,
+    short_job_compute_share,
+    trace_summary,
+)
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture
+def trace():
+    jobs = [
+        Job(job_id=0, arrival=0, length=3, cpus=1),      # very short
+        Job(job_id=1, arrival=0, length=60, cpus=2),     # 1 h
+        Job(job_id=2, arrival=0, length=hours(6), cpus=4),
+        Job(job_id=3, arrival=0, length=hours(30), cpus=1),
+    ]
+    return WorkloadTrace(jobs, horizon=hours(40))
+
+
+class TestCdfs:
+    def test_length_cdf(self, trace):
+        assert length_cdf(trace, [5, 60, hours(12), hours(40)]) == [
+            0.25, 0.5, 0.75, 1.0,
+        ]
+
+    def test_demand_cdf(self, trace):
+        assert demand_cdf(trace, [1, 2, 4]) == [0.5, 0.75, 1.0]
+
+
+class TestBins:
+    def test_cpu_hours_by_bin(self, trace):
+        totals = cpu_hours_by_length_bin(trace, [60, hours(12)])
+        # bin (0, 60]: job 0 (0.05 h) + job 1 (2 cpu-h); (60, 12h]: job 2
+        # (24 cpu-h); (12h, inf): job 3 (30 cpu-h)
+        assert totals[0] == pytest.approx(0.05 + 2.0)
+        assert totals[1] == pytest.approx(24.0)
+        assert totals[2] == pytest.approx(30.0)
+
+    def test_bins_sum_to_total(self, trace):
+        totals = cpu_hours_by_length_bin(trace, [60, hours(12)])
+        assert sum(totals) == pytest.approx(trace.total_cpu_hours)
+
+    def test_rejects_unsorted_edges(self, trace):
+        with pytest.raises(TraceError):
+            cpu_hours_by_length_bin(trace, [100, 10])
+
+
+class TestShortJobShare:
+    def test_shares(self, trace):
+        job_share, compute_share = short_job_compute_share(trace, cutoff=5)
+        assert job_share == 0.25
+        assert compute_share < 0.01
+
+
+class TestSummary:
+    def test_keys_and_values(self, trace):
+        summary = trace_summary(trace)
+        assert summary["jobs"] == 4
+        assert summary["mean_cpus"] == 2.0
+        assert summary["max_length_hours"] == 30.0
+        assert summary["total_cpu_hours"] == pytest.approx(trace.total_cpu_hours)

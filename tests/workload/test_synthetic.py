@@ -1,0 +1,156 @@
+"""Synthetic workload families: calibration to the paper's trace facts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import days, hours
+from repro.workload.synthetic import (
+    TRACE_FAMILIES,
+    alibaba_like,
+    azure_like,
+    mustang_like,
+    poisson_exponential,
+)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    def test_deterministic(self, family):
+        a = TRACE_FAMILIES[family](num_jobs=200, horizon=days(7), seed=5)
+        b = TRACE_FAMILIES[family](num_jobs=200, horizon=days(7), seed=5)
+        assert [(j.arrival, j.length, j.cpus) for j in a] == [
+            (j.arrival, j.length, j.cpus) for j in b
+        ]
+
+    @pytest.mark.parametrize("family", sorted(TRACE_FAMILIES))
+    def test_job_count_and_bounds(self, family):
+        trace = TRACE_FAMILIES[family](num_jobs=500, horizon=days(7), seed=1)
+        assert len(trace) == 500
+        assert all(job.arrival < days(7) for job in trace)
+        assert all(job.length >= 1 for job in trace)
+        assert all(job.cpus >= 1 for job in trace)
+
+    def test_families_differ(self):
+        a = alibaba_like(num_jobs=300, horizon=days(7), seed=1)
+        b = azure_like(num_jobs=300, horizon=days(7), seed=1)
+        assert a.lengths().mean() != b.lengths().mean()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            alibaba_like(num_jobs=0)
+        with pytest.raises(ConfigError):
+            alibaba_like(num_jobs=10, horizon=0)
+
+
+class TestAlibabaShape:
+    def test_short_job_mass(self):
+        """Paper: 38% of Alibaba jobs are under 5 minutes."""
+        trace = alibaba_like(num_jobs=20_000, horizon=days(60), seed=2)
+        share = float((trace.lengths() <= 5).mean())
+        assert 0.25 <= share <= 0.50
+
+    def test_short_jobs_contribute_little_compute(self):
+        """Paper: those jobs are ~0.36% of compute cycles."""
+        trace = alibaba_like(num_jobs=20_000, horizon=days(60), seed=2)
+        lengths = trace.lengths().astype(float)
+        work = lengths * trace.cpu_counts()
+        assert work[lengths <= 5].sum() / work.sum() < 0.02
+
+    def test_cpu_cap(self):
+        trace = alibaba_like(num_jobs=2_000, horizon=days(30), seed=3, max_cpus=4)
+        assert trace.cpu_counts().max() <= 4
+
+
+class TestMustangShape:
+    def test_sixteen_hour_cap(self):
+        """Paper: the Mustang trace's maximum job length is 16 hours."""
+        trace = mustang_like(num_jobs=5_000, horizon=days(60), seed=2)
+        assert trace.lengths().max() <= hours(16)
+
+    def test_node_granularity(self):
+        """Mustang allocates whole 24-core nodes."""
+        trace = mustang_like(num_jobs=2_000, horizon=days(30), seed=2)
+        assert np.all(trace.cpu_counts() % 24 == 0)
+
+    def test_lumpier_than_azure(self):
+        """Paper: demand CoV Mustang ~0.8 vs Azure ~0.3."""
+        mustang = mustang_like(num_jobs=5_000, horizon=days(60), seed=2)
+        azure = azure_like(num_jobs=5_000, horizon=days(60), seed=2)
+        assert mustang.demand_cov() > azure.demand_cov()
+
+
+class TestAzureShape:
+    def test_long_tail(self):
+        """Azure jobs span diurnal CI cycles (mean length >> Alibaba's)."""
+        azure = azure_like(num_jobs=5_000, horizon=days(60), seed=2)
+        alibaba = alibaba_like(num_jobs=5_000, horizon=days(60), seed=2)
+        assert azure.lengths().mean() > alibaba.lengths().mean()
+        assert azure.lengths().max() > hours(48)
+
+
+class TestDiurnalArrivals:
+    def test_mass_concentrates_at_peak(self):
+        import numpy as np
+        from repro.workload.synthetic import diurnal_arrivals
+
+        rng = np.random.default_rng(0)
+        arrivals = diurnal_arrivals(rng, 20_000, days(30), peak_hour=14.0,
+                                    amplitude=0.8)
+        hour_of_day = (arrivals / 60.0) % 24
+        near_peak = ((hour_of_day > 10) & (hour_of_day < 18)).mean()
+        assert near_peak > 0.45  # uniform would give ~0.33
+
+    def test_zero_amplitude_is_uniform(self):
+        import numpy as np
+        from repro.workload.synthetic import diurnal_arrivals
+
+        rng = np.random.default_rng(0)
+        arrivals = diurnal_arrivals(rng, 5_000, days(10), amplitude=0.0)
+        hour_of_day = (arrivals / 60.0) % 24
+        assert abs(((hour_of_day > 10) & (hour_of_day < 18)).mean() - 1 / 3) < 0.05
+
+    def test_amplitude_validated(self):
+        import numpy as np
+        from repro.workload.synthetic import diurnal_arrivals
+
+        with pytest.raises(ConfigError):
+            diurnal_arrivals(np.random.default_rng(0), 10, 1000, amplitude=1.5)
+
+    def test_generator_knob(self):
+        trace = alibaba_like(
+            num_jobs=5_000, horizon=days(30), seed=1, arrival_peak_hour=14.0
+        )
+        import numpy as np
+
+        hour_of_day = (np.array([j.arrival for j in trace]) / 60.0) % 24
+        assert ((hour_of_day > 10) & (hour_of_day < 18)).mean() > 0.4
+
+    def test_sampling_pipeline_knob(self):
+        from repro.workload.sampling import week_long_trace
+
+        raw = alibaba_like(num_jobs=5_000, horizon=days(30), seed=1)
+        trace = week_long_trace(raw, num_jobs=2_000, arrival_peak_hour=14.0)
+        import numpy as np
+
+        hour_of_day = (np.array([j.arrival for j in trace]) / 60.0) % 24
+        assert ((hour_of_day > 10) & (hour_of_day < 18)).mean() > 0.4
+
+
+class TestPoissonExponential:
+    def test_motivating_workload_demand(self):
+        """Paper Section 3: ~5 CPUs of average demand."""
+        trace = poisson_exponential(seed=3, horizon=days(30))
+        assert trace.mean_demand == pytest.approx(5.0, rel=0.25)
+
+    def test_single_cpu_jobs(self):
+        trace = poisson_exponential(seed=1)
+        assert set(np.unique(trace.cpu_counts())) == {1}
+
+    def test_rejects_bad_means(self):
+        with pytest.raises(ConfigError):
+            poisson_exponential(mean_interarrival=0)
+
+    def test_too_short_horizon(self):
+        with pytest.raises(ConfigError):
+            poisson_exponential(horizon=1, mean_interarrival=10_000, seed=123)

@@ -1,0 +1,134 @@
+"""WorkloadTrace container and analytics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.units import hours
+from repro.workload.job import Job, default_queue_set
+from repro.workload.trace import WorkloadTrace
+
+
+def jobs3():
+    return [
+        Job(job_id=0, arrival=10, length=60, cpus=1),
+        Job(job_id=1, arrival=0, length=30, cpus=2),
+        Job(job_id=2, arrival=5, length=120, cpus=1),
+    ]
+
+
+class TestConstruction:
+    def test_sorted_by_arrival(self):
+        trace = WorkloadTrace(jobs3())
+        assert [job.job_id for job in trace] == [1, 2, 0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace([Job(job_id=0, arrival=0, length=1), Job(job_id=0, arrival=1, length=1)])
+
+    def test_horizon_inferred(self):
+        trace = WorkloadTrace(jobs3())
+        assert trace.horizon == 5 + 120
+
+    def test_horizon_before_last_arrival_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace(jobs3(), horizon=5)
+
+    def test_len_and_getitem(self):
+        trace = WorkloadTrace(jobs3())
+        assert len(trace) == 3
+        assert trace[0].job_id == 1
+
+
+class TestAggregates:
+    def test_total_cpu_minutes(self):
+        trace = WorkloadTrace(jobs3())
+        assert trace.total_cpu_minutes == 60 + 60 + 120
+
+    def test_mean_demand(self):
+        trace = WorkloadTrace(jobs3(), horizon=120)
+        assert trace.mean_demand == pytest.approx(240 / 120)
+
+    def test_lengths_and_cpus_arrays(self):
+        trace = WorkloadTrace(jobs3())
+        np.testing.assert_array_equal(np.sort(trace.lengths()), [30, 60, 120])
+        assert trace.cpu_counts().sum() == 4
+
+
+class TestDemandProfile:
+    def test_simple_profile(self):
+        jobs = [
+            Job(job_id=0, arrival=0, length=10, cpus=2),
+            Job(job_id=1, arrival=5, length=10, cpus=1),
+        ]
+        profile = WorkloadTrace(jobs, horizon=20).demand_profile()
+        assert profile[0] == 2
+        assert profile[5] == 3
+        assert profile[12] == 1
+        assert profile[15] == 0
+
+    def test_clips_at_horizon(self):
+        jobs = [Job(job_id=0, arrival=0, length=100, cpus=1)]
+        profile = WorkloadTrace(jobs, horizon=10).demand_profile(horizon=10)
+        assert profile.size == 10
+        assert profile[-1] == 1
+
+    def test_demand_cov_constant_load(self):
+        jobs = [Job(job_id=0, arrival=0, length=100, cpus=3)]
+        trace = WorkloadTrace(jobs, horizon=100)
+        assert trace.demand_cov() == pytest.approx(0.0)
+
+
+class TestTransformations:
+    def test_filtered(self):
+        trace = WorkloadTrace(jobs3())
+        short = trace.filtered(lambda job: job.length <= 60)
+        assert len(short) == 2
+
+    def test_filtered_all_removed(self):
+        trace = WorkloadTrace(jobs3())
+        with pytest.raises(TraceError):
+            trace.filtered(lambda job: False)
+
+    def test_renumbered(self):
+        trace = WorkloadTrace(jobs3()).renumbered()
+        assert [job.job_id for job in trace] == [0, 1, 2]
+
+    def test_with_queues(self):
+        trace = WorkloadTrace(
+            [Job(job_id=0, arrival=0, length=30), Job(job_id=1, arrival=0, length=hours(10))]
+        )
+        labelled = trace.with_queues(default_queue_set())
+        assert [job.queue for job in labelled] == ["short", "long"]
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, tmp_path):
+        trace = WorkloadTrace(jobs3(), name="rt").with_queues(default_queue_set())
+        path = str(tmp_path / "jobs.csv")
+        trace.to_csv(path)
+        loaded = WorkloadTrace.from_csv(path, name="rt")
+        assert len(loaded) == len(trace)
+        for a, b in zip(loaded, trace):
+            assert (a.job_id, a.arrival, a.length, a.cpus, a.queue) == (
+                b.job_id, b.arrival, b.length, b.cpus, b.queue,
+            )
+
+    def test_csv_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            WorkloadTrace.from_csv(str(path))
+
+    def test_from_arrays(self):
+        trace = WorkloadTrace.from_arrays([0, 10], [60, 30], [1, 2], name="arr")
+        assert len(trace) == 2
+        assert trace[1].cpus == 2
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace.from_arrays([0], [60, 30], [1, 2])
