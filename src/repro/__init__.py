@@ -15,6 +15,8 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper's figures mapped to the benchmark harness.
 """
 
+from __future__ import annotations
+
 from repro.carbon import (
     CarbonIntensityTrace,
     HistoricalForecaster,

@@ -1,5 +1,7 @@
 """Analysis layer: normalization, trade-off metrics, sweeps, reporting."""
 
+from __future__ import annotations
+
 from repro.analysis.metrics import (
     carbon_savings_fraction,
     cost_increase_fraction,

@@ -27,6 +27,7 @@ __all__ = [
     "energy_cost_usd",
     "stretch_percentiles",
     "slo_violations",
+    "mean_waiting_reduction",
 ]
 
 

@@ -7,7 +7,7 @@ baseline* (Figs. 11, 15, 18, 19).
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.errors import ReproError
 

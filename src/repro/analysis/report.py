@@ -8,7 +8,7 @@ result tables.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import ReproError
 

@@ -9,8 +9,8 @@ operators anchor on.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.carbon.trace import CarbonIntensityTrace
 from repro.errors import ReproError

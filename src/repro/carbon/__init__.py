@@ -10,6 +10,8 @@ Public surface of :mod:`repro.carbon`:
 * :func:`correlated_price_trace` -- electricity prices (Fig. 20).
 """
 
+from __future__ import annotations
+
 from repro.carbon.forecast import Forecaster, NoisyForecaster, PerfectForecaster
 from repro.carbon.historical import HistoricalForecaster
 from repro.carbon.loaders import load_electricitymaps_csv, load_watttime_json

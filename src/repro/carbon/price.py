@@ -16,7 +16,12 @@ from repro.carbon.stats import correlation
 from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
 from repro.errors import ConfigError
 
-__all__ = ["ElectricityPriceTrace", "correlated_price_trace"]
+__all__ = [
+    "ElectricityPriceTrace",
+    "correlated_price_trace",
+    "carbon_price_conflict_hours",
+    "realized_correlation",
+]
 
 
 class ElectricityPriceTrace(HourlySeries):

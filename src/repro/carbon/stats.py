@@ -6,13 +6,13 @@ per-region level/variability (Fig. 6), and monthly means (Fig. 7).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
 from repro.errors import TraceError
-from repro.units import HOURS_PER_DAY, MINUTES_PER_HOUR
+from repro.units import HOURS_PER_DAY
 
 __all__ = [
     "temporal_variation",
@@ -21,6 +21,7 @@ __all__ = [
     "coefficient_of_variation",
     "percentile_threshold",
     "correlation",
+    "mean_levels",
 ]
 
 _HOURS_PER_MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)

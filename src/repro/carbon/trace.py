@@ -10,14 +10,14 @@ so policies can evaluate thousands of candidate start times in O(1) each.
 from __future__ import annotations
 
 import csv
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import TraceError
-from repro.units import MINUTES_PER_DAY, MINUTES_PER_HOUR
+from repro.units import MINUTES_PER_HOUR
 
-__all__ = ["HourlySeries", "CarbonIntensityTrace"]
+__all__ = ["HourlySeries", "CarbonIntensityTrace", "mean_intensity", "align_horizons"]
 
 
 class HourlySeries:

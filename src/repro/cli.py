@@ -38,6 +38,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="GAIA simulator: carbon/cost/performance-aware batch scheduling",
@@ -133,7 +134,7 @@ def _load_carbon(args: argparse.Namespace) -> CarbonIntensityTrace:
     return series
 
 
-def _write_outputs(result: SimulationResult, carbon, energy_kw_per_cpu, out_dir: str) -> None:
+def _write_outputs(result: SimulationResult, carbon_trace, energy_kw_per_cpu, out_dir: str) -> None:
     os.makedirs(out_dir, exist_ok=True)
     # Aggregate file: the totals the artifact reports.
     with open(os.path.join(out_dir, "aggregate.csv"), "w", newline="") as handle:
@@ -167,18 +168,19 @@ def _write_outputs(result: SimulationResult, carbon, energy_kw_per_cpu, out_dir:
         for hour in range(hours_count):
             lo, hi = hour * MINUTES_PER_HOUR, min(horizon, (hour + 1) * MINUTES_PER_HOUR)
             mean_demand = float(profile[lo:hi].mean()) if hi > lo else 0.0
-            ci = carbon.ci_at(min(lo, carbon.horizon_minutes - 1))
+            ci = carbon_trace.ci_at(min(lo, carbon_trace.horizon_minutes - 1))
             grams = mean_demand * energy_kw_per_cpu * ci * (hi - lo) / MINUTES_PER_HOUR
             writer.writerow([hour, f"{mean_demand:.3f}", f"{ci:.2f}", f"{grams:.4f}"])
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run one simulation from CLI arguments; return a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         short_wait, long_wait = _parse_waiting(args.waiting)
         workload = _load_workload(args)
-        carbon = _load_carbon(args)
+        carbon_trace = _load_carbon(args)
         queues = default_queue_set(short_wait=short_wait, long_wait=long_wait)
         eviction = (
             HourlyHazard(args.eviction_rate) if args.eviction_rate > 0 else NoEvictions()
@@ -199,7 +201,7 @@ def main(argv: list[str] | None = None) -> int:
         pricing = DEFAULT_PRICING.with_carbon_price(args.carbon_price)
         result = run_simulation(
             workload,
-            carbon,
+            carbon_trace,
             args.policy,
             reserved_cpus=args.reserved,
             queues=queues,
@@ -222,13 +224,13 @@ def main(argv: list[str] | None = None) -> int:
     last_finish = max(record.finish for record in result.records)
     profile = demand_profile(result.records, last_finish)
     print(f"\ndemand  {sparkline(profile)}")
-    ci_hours = carbon.hourly[: -(-last_finish // MINUTES_PER_HOUR)]
+    ci_hours = carbon_trace.hourly[: -(-last_finish // MINUTES_PER_HOUR)]
     print(f"carbon  {sparkline(ci_hours)}")
     if args.output_dir:
         from repro.cluster.energy import DEFAULT_ENERGY
 
         last_finish = max(record.finish for record in result.records)
-        covering = carbon.tile_to(-(-last_finish // MINUTES_PER_HOUR) + 1)
+        covering = carbon_trace.tile_to(-(-last_finish // MINUTES_PER_HOUR) + 1)
         _write_outputs(result, covering, DEFAULT_ENERGY.active_kw(1), args.output_dir)
         print(f"\nwrote aggregate.csv, details.csv, runtime.csv to {args.output_dir}")
     return 0

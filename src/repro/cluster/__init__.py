@@ -1,5 +1,7 @@
 """Cloud cluster substrate: purchase options, pricing, energy, evictions."""
 
+from __future__ import annotations
+
 from repro.cluster.capacity import ReservedPool
 from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
 from repro.cluster.pricing import DEFAULT_PRICING, PricingModel, PurchaseOption

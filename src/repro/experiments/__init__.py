@@ -5,6 +5,8 @@ Use :func:`repro.experiments.run_experiment` (or the per-figure modules'
 prints them as a table.  Sizes are controlled by ``REPRO_SCALE``.
 """
 
+from __future__ import annotations
+
 from repro.experiments import setup
 from repro.experiments.base import SCALES, ExperimentResult, Scale, current_scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment

@@ -27,12 +27,12 @@ CARBON_PRICES = (0.0, 0.05, 0.5)  # $/kgCO2eq; 0.05 ~ a $50/tonne tax
 def forecast_noise(scale: str | None = None) -> ExperimentResult:
     """Carbon-Time savings vs CI-forecast error."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon, "nowait")
+    carbon_trace = setup.carbon_for("SA-AU")
+    baseline = run_simulation(workload, carbon_trace, "nowait")
     rows = []
     for sigma in NOISE_SIGMAS:
         result = run_simulation(
-            workload, carbon, "carbon-time", forecast_sigma=sigma, forecast_seed=7
+            workload, carbon_trace, "carbon-time", forecast_sigma=sigma, forecast_seed=7
         )
         rows.append(
             {
@@ -52,11 +52,11 @@ def forecast_noise(scale: str | None = None) -> ExperimentResult:
 def granularity(scale: str | None = None) -> ExperimentResult:
     """Start-time candidate spacing: accuracy vs search cost."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon, "nowait")
+    carbon_trace = setup.carbon_for("SA-AU")
+    baseline = run_simulation(workload, carbon_trace, "nowait")
     rows = []
     for step in GRANULARITIES:
-        result = run_simulation(workload, carbon, "carbon-time", granularity=step)
+        result = run_simulation(workload, carbon_trace, "carbon-time", granularity=step)
         rows.append(
             {
                 "granularity_min": step,
@@ -77,13 +77,15 @@ def granularity(scale: str | None = None) -> ExperimentResult:
 def carbon_tax(scale: str | None = None) -> ExperimentResult:
     """Fold a carbon price into cost (paper Section 7 discussion)."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     rows = []
     for price in CARBON_PRICES:
         pricing = PricingModel().with_carbon_price(price)
-        agnostic = run_simulation(workload, carbon, "nowait", reserved_cpus=9, pricing=pricing)
+        agnostic = run_simulation(
+            workload, carbon_trace, "nowait", reserved_cpus=9, pricing=pricing
+        )
         aware = run_simulation(
-            workload, carbon, "res-first:carbon-time", reserved_cpus=9, pricing=pricing
+            workload, carbon_trace, "res-first:carbon-time", reserved_cpus=9, pricing=pricing
         )
         rows.append(
             {

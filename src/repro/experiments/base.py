@@ -12,8 +12,8 @@ the mean cluster demand -- which the reserved-pool experiments anchor on
 from __future__ import annotations
 
 import os
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
 
 from repro.analysis.report import render_table
 from repro.errors import ConfigError

@@ -39,11 +39,11 @@ __all__ = [
 def suspend_resume(scale: str | None = None) -> ExperimentResult:
     """GAIA-SR vs the paper's policies on carbon and waiting."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon, "nowait")
+    carbon_trace = setup.carbon_for("SA-AU")
+    baseline = run_simulation(workload, carbon_trace, "nowait")
     rows = []
     for spec in ("lowest-window", "gaia-sr", "ecovisor", "wait-awhile"):
-        result = run_simulation(workload, carbon, spec)
+        result = run_simulation(workload, carbon_trace, spec)
         rows.append(
             {
                 "policy": result.policy_name,
@@ -67,19 +67,19 @@ def suspend_resume(scale: str | None = None) -> ExperimentResult:
 def checkpointing(scale: str | None = None) -> ExperimentResult:
     """Checkpointed spot retries vs progress loss (Fig. 18 revisited)."""
     workload = setup.year_workload("azure", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     queues = setup.fine_grained_queues()
-    baseline = run_simulation(workload, carbon, "nowait", queues=queues)
+    baseline = run_simulation(workload, carbon_trace, "nowait", queues=queues)
     eviction = HourlyHazard(0.10)
     config = CheckpointConfig(interval=30, overhead=2)
     rows = []
     for jmax in (2, 6, 12, 24):
         policy = SpotFirst(CarbonTime(), spot_max_length=hours(jmax))
         plain = run_simulation(
-            workload, carbon, policy, queues=queues, eviction_model=eviction
+            workload, carbon_trace, policy, queues=queues, eviction_model=eviction
         )
         ckpt = run_simulation(
-            workload, carbon, policy, queues=queues, eviction_model=eviction,
+            workload, carbon_trace, policy, queues=queues, eviction_model=eviction,
             checkpointing=config, retry_spot=True,
         )
         rows.append(
@@ -163,7 +163,7 @@ def arrival_phase(scale: str | None = None) -> ExperimentResult:
     from repro.workload.synthetic import alibaba_like
 
     scale_obj = setup.current_scale(scale)
-    carbon = setup.carbon_for("CA-US")  # strong solar valley, evening ramp
+    carbon_trace = setup.carbon_for("CA-US")  # strong solar valley, evening ramp
     rows = []
     # The synthetic CA-US grid peaks at 19h, so its CI valley sits ~7h.
     raw = alibaba_like(num_jobs=scale_obj.raw_jobs, seed=setup.DEFAULT_SEED)
@@ -173,8 +173,8 @@ def arrival_phase(scale: str | None = None) -> ExperimentResult:
             raw, num_jobs=scale_obj.week_jobs, seed=setup.DEFAULT_SEED,
             arrival_peak_hour=peak,
         )
-        baseline = run_simulation(workload, carbon, "nowait")
-        aware = run_simulation(workload, carbon, "carbon-time")
+        baseline = run_simulation(workload, carbon_trace, "nowait")
+        aware = run_simulation(workload, carbon_trace, "carbon-time")
         rows.append(
             {
                 "arrivals": label,
@@ -207,8 +207,8 @@ def energy_price(scale: str | None = None) -> ExperimentResult:
     from repro.policies.price_aware import PriceAware, WeightedCarbonPrice
 
     workload = setup.week_workload("alibaba", scale)
-    carbon = region_trace("TX-US")
-    price = correlated_price_trace(carbon, target_correlation=0.16, seed=0)
+    carbon_trace = region_trace("TX-US")
+    price = correlated_price_trace(carbon_trace, target_correlation=0.16, seed=0)
     policies = [
         ("nowait", None),
         ("carbon-optimal", WeightedCarbonPrice(1.0)),
@@ -219,7 +219,7 @@ def energy_price(scale: str | None = None) -> ExperimentResult:
     baseline = None
     for label, policy in policies:
         result = run_simulation(
-            workload, carbon, policy if policy is not None else "nowait",
+            workload, carbon_trace, policy if policy is not None else "nowait",
             price_trace=price,
         )
         baseline = baseline or result
@@ -255,7 +255,7 @@ def scaling(scale: str | None = None) -> ExperimentResult:
     from repro.units import hours
 
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     jobs = [
         MalleableJob(work=float(job.length), max_cpus=1, arrival=job.arrival)
         for job in workload
@@ -268,14 +268,14 @@ def scaling(scale: str | None = None) -> ExperimentResult:
                 work=job.work, max_cpus=max_cpus, arrival=job.arrival
             )
             deadline = min(
-                int(job.arrival + job.work + hours(24)), carbon.horizon_minutes
+                int(job.arrival + job.work + hours(24)), carbon_trace.horizon_minutes
             )
-            plan = plan_carbon_scaling(malleable, carbon, deadline, speedup=speedup)
+            plan = plan_carbon_scaling(malleable, carbon_trace, deadline, speedup=speedup)
             total += plan.carbon_g
         return total
 
     baseline = sum(
-        fixed_allocation_plan(job, carbon, cpus=1).carbon_g for job in jobs
+        fixed_allocation_plan(job, carbon_trace, cpus=1).carbon_g for job in jobs
     )
     rows = []
     for max_cpus in (1, 2, 4, 8):
@@ -306,11 +306,11 @@ def scaling(scale: str | None = None) -> ExperimentResult:
 def provisioning(scale: str | None = None) -> ExperimentResult:
     """Instance boot overheads across scheduling styles."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     rows = []
     for spec in ("nowait", "carbon-time", "ecovisor", "wait-awhile"):
-        plain = run_simulation(workload, carbon, spec)
-        booted = run_simulation(workload, carbon, spec, instance_overhead_minutes=5)
+        plain = run_simulation(workload, carbon_trace, spec)
+        booted = run_simulation(workload, carbon_trace, spec, instance_overhead_minutes=5)
         rows.append(
             {
                 "policy": plain.policy_name,

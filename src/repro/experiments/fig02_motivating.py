@@ -43,12 +43,12 @@ def run(scale: str | None = None) -> ExperimentResult:
     workload = motivating_workload()
     rows = []
     for region, start_hour in (("CA-US", FEBRUARY_START_HOUR), ("SE", FEBRUARY_START_HOUR)):
-        carbon = region_trace(region, seed=0, start_hour_of_year=start_hour)
+        carbon_trace = region_trace(region, seed=0, start_hour_of_year=start_hour)
         baseline = run_simulation(
-            workload, carbon, "nowait", reserved_cpus=RESERVED, queues=_queues()
+            workload, carbon_trace, "nowait", reserved_cpus=RESERVED, queues=_queues()
         )
         aware = run_simulation(
-            workload, carbon, "wait-awhile", reserved_cpus=RESERVED, queues=_queues()
+            workload, carbon_trace, "wait-awhile", reserved_cpus=RESERVED, queues=_queues()
         )
         rows.append(
             {

@@ -22,11 +22,11 @@ __all__ = ["run"]
 def run(scale: str | None = None) -> ExperimentResult:
     """Sweep reserved capacity from zero to ~1.6x the mean demand."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     mean_demand = workload.mean_demand
     values = sorted({int(round(mean_demand * frac)) for frac in
                      (0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6, 2.4, 3.5)})
-    points = reserved_sweep(workload, carbon, "res-first:carbon-time", values)
+    points = reserved_sweep(workload, carbon_trace, "res-first:carbon-time", values)
     labels = classify_regimes(points, DEFAULT_PRICING.breakeven_utilization())
     rows = [
         {

@@ -29,9 +29,9 @@ POLICIES = (
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 8 policy comparison."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     results = {
-        spec: run_simulation(workload, carbon, spec, reserved_cpus=0)
+        spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=0)
         for spec in POLICIES
     }
     carbon_by_policy = {spec: result.total_carbon_kg for spec, result in results.items()}

@@ -31,8 +31,8 @@ LENGTH_POINTS = (
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 9 savings-by-length CDF."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
-    result = run_simulation(workload, carbon, "carbon-time", reserved_cpus=0)
+    carbon_trace = setup.carbon_for("SA-AU")
+    result = run_simulation(workload, carbon_trace, "carbon-time", reserved_cpus=0)
     cdf = savings_cdf_by_length(result.records, list(LENGTH_POINTS))
     lengths = workload.lengths()
     rows = [

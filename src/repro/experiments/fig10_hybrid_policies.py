@@ -33,9 +33,9 @@ RESERVED = 9
 def run(scale: str | None = None, reserved: int = RESERVED) -> ExperimentResult:
     """Regenerate the Fig. 10 hybrid-cluster policy comparison."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     results = {
-        spec: run_simulation(workload, carbon, spec, reserved_cpus=reserved)
+        spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=reserved)
         for spec in POLICIES
     }
     norm_carbon = normalize_to_max({s: r.total_carbon_kg for s, r in results.items()})

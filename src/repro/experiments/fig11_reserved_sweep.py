@@ -19,11 +19,11 @@ __all__ = ["run"]
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 11 reserved sweep."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     mean_demand = workload.mean_demand
     step = max(1, int(round(mean_demand / 7)))
     values = list(range(0, int(round(mean_demand * 1.5)) + step, step))
-    points = reserved_sweep(workload, carbon, "res-first:carbon-time", values)
+    points = reserved_sweep(workload, carbon_trace, "res-first:carbon-time", values)
     rows = [
         {
             "reserved_cpus": point.reserved_cpus,

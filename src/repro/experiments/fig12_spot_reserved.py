@@ -30,12 +30,12 @@ CONFIGS = (
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 12 spot/reserved combinations."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     results = {}
     for label, spec, reserved in CONFIGS:
         results[label] = run_simulation(
             workload,
-            carbon,
+            carbon_trace,
             spec,
             reserved_cpus=reserved,
             eviction_model=NoEvictions(),  # the paper's prototype saw none

@@ -25,14 +25,14 @@ FAMILIES = ("mustang", "alibaba", "azure")
 
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 13 cross-trace comparison."""
-    carbon = setup.carbon_for("CA-US")
+    carbon_trace = setup.carbon_for("CA-US")
     rows = []
     extras = {}
     for family in FAMILIES:
         workload = setup.year_workload(family, scale)
-        baseline = run_simulation(workload, carbon, "nowait", reserved_cpus=0)
+        baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=0)
         results = {
-            spec: run_simulation(workload, carbon, spec, reserved_cpus=0)
+            spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=0)
             for spec in POLICIES
         }
         norm_wait = normalize_to_max(

@@ -25,21 +25,21 @@ W_LONG_SWEEP = (12, 24, 48, 72, 84)
 POLICIES = ("lowest-window", "carbon-time")
 
 
-def _evaluate(workload, carbon, spec, w_short_h, w_long_h):
+def _evaluate(workload, carbon_trace, spec, w_short_h, w_long_h):
     queues = default_queue_set(short_wait=hours(w_short_h), long_wait=hours(w_long_h))
-    baseline = run_simulation(workload, carbon, "nowait", queues=queues)
-    result = run_simulation(workload, carbon, spec, queues=queues)
+    baseline = run_simulation(workload, carbon_trace, "nowait", queues=queues)
+    result = run_simulation(workload, carbon_trace, spec, queues=queues)
     return saved_carbon_per_waiting_hour(result, baseline), result, baseline
 
 
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 14 waiting-limit sweeps."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     rows = []
     for w_short in W_SHORT_SWEEP:
         for spec in POLICIES:
-            per_hour, result, baseline = _evaluate(workload, carbon, spec, w_short, 24)
+            per_hour, result, baseline = _evaluate(workload, carbon_trace, spec, w_short, 24)
             rows.append(
                 {
                     "sweep": "W_short",
@@ -52,7 +52,7 @@ def run(scale: str | None = None) -> ExperimentResult:
             )
     for w_long in W_LONG_SWEEP:
         for spec in POLICIES:
-            per_hour, result, baseline = _evaluate(workload, carbon, spec, 6, w_long)
+            per_hour, result, baseline = _evaluate(workload, carbon_trace, spec, 6, w_long)
             rows.append(
                 {
                     "sweep": "W_long",

@@ -23,11 +23,11 @@ def run(scale: str | None = None) -> ExperimentResult:
     rows = []
     waits: dict[str, list[float]] = {family: [] for family in FAMILIES}
     for region in setup.EVAL_REGIONS:
-        carbon = setup.carbon_for(region)
+        carbon_trace = setup.carbon_for(region)
         for family in FAMILIES:
             workload = setup.year_workload(family, scale)
-            baseline = run_simulation(workload, carbon, "nowait", reserved_cpus=0)
-            result = run_simulation(workload, carbon, "carbon-time", reserved_cpus=0)
+            baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=0)
+            result = run_simulation(workload, carbon_trace, "carbon-time", reserved_cpus=0)
             rows.append(
                 {
                     "region": region,

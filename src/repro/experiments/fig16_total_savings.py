@@ -21,9 +21,9 @@ def run(scale: str | None = None) -> ExperimentResult:
     workload = setup.year_workload("alibaba", scale)
     rows = []
     for region in setup.EVAL_REGIONS:
-        carbon = setup.carbon_for(region)
-        baseline = run_simulation(workload, carbon, "nowait", reserved_cpus=0)
-        result = run_simulation(workload, carbon, "carbon-time", reserved_cpus=0)
+        carbon_trace = setup.carbon_for(region)
+        baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=0)
+        result = run_simulation(workload, carbon_trace, "carbon-time", reserved_cpus=0)
         rows.append(
             {
                 "region": region,

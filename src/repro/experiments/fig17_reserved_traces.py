@@ -29,7 +29,7 @@ FAMILIES = ("mustang", "alibaba", "azure")
 
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 17 trace x policy reserved comparison."""
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     rows = []
     reserved_used = {}
     for family in FAMILIES:
@@ -37,7 +37,7 @@ def run(scale: str | None = None) -> ExperimentResult:
         reserved = int(round(workload.mean_demand))
         reserved_used[family] = reserved
         results = {
-            spec: run_simulation(workload, carbon, spec, reserved_cpus=reserved)
+            spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=reserved)
             for spec in POLICIES
         }
         norm_cost = normalize_to_max({s: r.total_cost for s, r in results.items()})

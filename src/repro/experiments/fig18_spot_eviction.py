@@ -29,9 +29,9 @@ EVICTION_RATES = (0.0, 0.05, 0.10, 0.15)
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 18 J^max x eviction-rate sweep."""
     workload = setup.year_workload("azure", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     queues = setup.fine_grained_queues()
-    baseline = run_simulation(workload, carbon, "nowait", queues=queues)
+    baseline = run_simulation(workload, carbon_trace, "nowait", queues=queues)
 
     rows = []
     for rate in EVICTION_RATES:
@@ -39,7 +39,7 @@ def run(scale: str | None = None) -> ExperimentResult:
         for jmax in JMAX_SWEEP:
             policy = SpotFirst(CarbonTime(), spot_max_length=hours(jmax))
             result = run_simulation(
-                workload, carbon, policy, queues=queues, eviction_model=eviction
+                workload, carbon_trace, policy, queues=queues, eviction_model=eviction
             )
             rows.append(
                 {

@@ -29,10 +29,10 @@ EVICTION_RATE = 0.10
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 19 reserved x J^max sweep."""
     workload = setup.year_workload("azure", scale)
-    carbon = setup.carbon_for("SA-AU")
+    carbon_trace = setup.carbon_for("SA-AU")
     queues = setup.fine_grained_queues()
     eviction = HourlyHazard(EVICTION_RATE)
-    baseline = run_simulation(workload, carbon, "nowait", queues=queues)
+    baseline = run_simulation(workload, carbon_trace, "nowait", queues=queues)
     mean_demand = workload.mean_demand
 
     rows = []
@@ -45,7 +45,7 @@ def run(scale: str | None = None) -> ExperimentResult:
             reserved = int(round(mean_demand * fraction))
             result = run_simulation(
                 workload,
-                carbon,
+                carbon_trace,
                 policy,
                 reserved_cpus=reserved,
                 queues=queues,

@@ -25,14 +25,14 @@ GAIA_POLICIES = ("res-first:carbon-time", "spot-res:carbon-time")
 def run(scale: str | None = None) -> ExperimentResult:
     """Compute savings-per-cost-percent and waiting reduction."""
     workload = setup.week_workload("alibaba", scale)
-    carbon = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon, "nowait", reserved_cpus=RESERVED)
+    carbon_trace = setup.carbon_for("SA-AU")
+    baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=RESERVED)
 
     rows = []
     efficiency = {}
     results = {}
     for spec in (*PRIOR_POLICIES, "carbon-time", *GAIA_POLICIES):
-        result = run_simulation(workload, carbon, spec, reserved_cpus=RESERVED)
+        result = run_simulation(workload, carbon_trace, spec, reserved_cpus=RESERVED)
         results[spec] = result
         ratio = savings_per_cost_percent(result, baseline)
         efficiency[spec] = ratio

@@ -13,7 +13,7 @@ from functools import lru_cache
 from repro.carbon.regions import region_trace
 from repro.carbon.trace import CarbonIntensityTrace
 from repro.errors import ConfigError
-from repro.experiments.base import Scale, current_scale
+from repro.experiments.base import current_scale
 from repro.units import MINUTES_PER_DAY, hours
 from repro.workload.job import QueueSet, default_queue_set
 from repro.workload.sampling import week_long_trace, year_long_trace
@@ -28,6 +28,8 @@ __all__ = [
     "fine_grained_queues",
     "EVAL_REGIONS",
     "DEFAULT_SEED",
+    "current_scale_name",
+    "default_queues",
 ]
 
 #: Regions of the large-scale evaluation (Figs. 15-16), paper order.

@@ -1,5 +1,7 @@
 """Geo-distributed federation (the paper's spatial-shifting future work)."""
 
+from __future__ import annotations
+
 from repro.federation.selectors import (
     GreedySpatial,
     HomeRegion,

@@ -92,9 +92,9 @@ class GreedySpatial(RegionSelector):
             queue = ctx.queue_of(job)
             estimate = max(1, int(round(ctx.length_estimate(queue))))
             end = min(job.arrival + estimate, ctx.carbon_horizon)
-            carbon = ctx.forecaster.interval_carbon(job.arrival, job.arrival, end)
-            if carbon < best_carbon:
-                best_carbon = carbon
+            carbon_g = ctx.forecaster.interval_carbon(job.arrival, job.arrival, end)
+            if carbon_g < best_carbon:
+                best_carbon = carbon_g
                 best_region = region
         if best_region is None:
             raise ConfigError("empty federation")
@@ -122,9 +122,9 @@ class SpatioTemporal(RegionSelector):
             footprints = ctx.forecaster.window_carbon_many(
                 job.arrival, candidates, estimate
             )
-            carbon = float(footprints.min())
-            if carbon < best_carbon:
-                best_carbon = carbon
+            carbon_g = float(footprints.min())
+            if carbon_g < best_carbon:
+                best_carbon = carbon_g
                 best_region = region
         if best_region is None:
             raise ConfigError("empty federation")

@@ -1,0 +1,35 @@
+"""simlint -- domain-aware static analysis for GAIA's simulation invariants.
+
+The Python type system cannot see that all timestamps are integer
+minutes, that every stochastic draw must come from an explicitly seeded
+RNG, or that gCO2eq and kWh and USD must never silently mix.  simlint
+encodes those invariants as AST rules (SIM001..SIM008) with inline
+``# simlint: disable=CODE`` suppressions and a CLI gate for CI::
+
+    python -m repro.lint src tests
+
+See docs/linting.md for the rule catalogue, and :mod:`repro.lint.base`
+for how to add a rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Rule, all_rules, get_rule, register
+from repro.lint.context import ModuleContext, collect_files, module_name_for
+from repro.lint.findings import Finding
+from repro.lint.runner import lint_module, lint_paths
+from repro.lint.suppressions import Suppressions
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "lint_module",
+    "lint_paths",
+    "module_name_for",
+    "register",
+]

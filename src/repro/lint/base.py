@@ -1,0 +1,82 @@
+"""Rule interface and registry for simlint.
+
+A rule is a class with a unique ``code`` (``SIM0xx``), a short ``name``,
+a ``rationale`` tying it to GAIA's simulation invariants (rendered by
+``--list-rules`` and docs/linting.md), and a ``check`` generator
+yielding :class:`Finding` objects for one :class:`ModuleContext`.
+
+Rules self-register via the :func:`register` decorator at import time;
+:mod:`repro.lint.rules` imports every rule module so ``all_rules`` is
+complete once the package is imported.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from repro.errors import ConfigError
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rule"]
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+class Rule(ABC):
+    """Base class for one simlint rule."""
+
+    #: Unique error code, e.g. ``"SIM001"``.
+    code: str = "SIM000"
+    #: Short human-readable rule name.
+    name: str = "rule"
+    #: Why the rule exists, tied to the paper's accounting model.
+    rationale: str = ""
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Whether the rule should run on this module (default: always)."""
+        return True
+
+    @abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def finding(self, module: ModuleContext, node, message: str) -> Finding:
+        """Build a finding anchored at an AST node (or at line 1 for None)."""
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_class.code
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ConfigError(f"duplicate simlint rule code {code!r}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, ordered by code."""
+    import repro.lint.rules  # noqa: F401  (side-effect: rule registration)
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate one rule by its code."""
+    import repro.lint.rules  # noqa: F401  (side-effect: rule registration)
+
+    rule_class = _REGISTRY.get(code.upper())
+    if rule_class is None:
+        raise ConfigError(
+            f"unknown simlint rule {code!r}; known: {sorted(_REGISTRY)}"
+        )
+    return rule_class()

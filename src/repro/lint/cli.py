@@ -1,0 +1,85 @@
+"""``python -m repro.lint`` -- the simlint command line.
+
+Usage::
+
+    python -m repro.lint src tests          # lint trees, exit 1 on findings
+    python -m repro.lint --list-rules       # rule codes + rationales
+    python -m repro.lint --select SIM001 src/repro/policies
+
+Findings print one per line as ``path:line:col: CODE message``; the
+exit status is the number of findings capped at 1, so CI can gate on
+it (2 for usage errors: unknown rule codes, nonexistent paths).  See
+docs/linting.md for the rule catalogue and the
+``# simlint: disable=CODE`` suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.lint.base import all_rules
+from repro.lint.runner import lint_paths
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: static checks for GAIA's simulation invariants",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line; findings only",
+    )
+    return parser
+
+
+def _split(spec: str | None) -> list[str] | None:
+    if spec is None:
+        return None
+    return [code.strip() for code in spec.split(",") if code.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; return a process exit status (0 = clean)."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    try:
+        findings = lint_paths(
+            args.paths, select=_split(args.select), ignore=_split(args.ignore)
+        )
+    except ConfigError as error:
+        print(f"simlint: error: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"simlint: {len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0

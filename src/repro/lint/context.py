@@ -1,0 +1,91 @@
+"""Parsed-module context handed to every simlint rule.
+
+A :class:`ModuleContext` bundles what a rule needs to reason about one
+file: its path, dotted module name (``repro.policies.base``), raw
+source, parsed AST, and suppression comments.  Module names drive rule
+scoping -- e.g. determinism rules apply only to ``repro.*`` modules,
+not to tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.suppressions import Suppressions
+
+__all__ = ["ModuleContext", "module_name_for", "collect_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "node_modules", ".hypothesis"}
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Files under a ``src`` directory are named from the package root
+    (``src/repro/units.py`` -> ``repro.units``); other files are named
+    from their repo-relative path (``tests/lint/test_rules.py`` ->
+    ``tests.lint.test_rules``).  ``__init__`` segments are dropped so a
+    package and its ``__init__.py`` share a name.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    while parts and parts[0] in (".", ".."):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may consult about one Python file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def from_path(cls, path: Path) -> ModuleContext:
+        """Parse a file into a context (raises ``SyntaxError`` on bad source)."""
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, path=path)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path | str = "<string>", module: str | None = None
+    ) -> ModuleContext:
+        """Build a context from in-memory source (used heavily by tests)."""
+        path = Path(path)
+        if module is None:
+            module = module_name_for(path)
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            suppressions=Suppressions.parse(source),
+        )
+
+    @property
+    def lines(self) -> list[str]:
+        """Source split into lines (1-indexed via ``lines[lineno - 1]``)."""
+        return self.source.splitlines()
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)

@@ -1,0 +1,27 @@
+"""The :class:`Finding` record emitted by every simlint rule.
+
+A finding pinpoints one violation: file, position, rule code, and a
+human-readable message.  Findings sort by location so reports are stable
+regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Format as the conventional ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -1,0 +1,29 @@
+"""simlint's domain rules; importing this package registers them all.
+
+Each ``sim0xx_*`` module defines one rule class decorated with
+:func:`repro.lint.base.register`.  Add new rules by creating a module
+here and importing it below -- the registry, CLI, and docs pick it up
+automatically.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.sim001_determinism import UnseededRandomness
+from repro.lint.rules.sim002_integer_minutes import IntegerMinutes
+from repro.lint.rules.sim003_unit_suffixes import UnitSuffixes
+from repro.lint.rules.sim004_policy_registry import PolicyRegistryCompleteness
+from repro.lint.rules.sim005_experiment_registry import ExperimentRegistryCompleteness
+from repro.lint.rules.sim006_mutable_defaults import MutableDefaults
+from repro.lint.rules.sim007_export_hygiene import ExportHygiene
+from repro.lint.rules.sim008_docstrings import PublicDocstrings
+
+__all__ = [
+    "UnseededRandomness",
+    "IntegerMinutes",
+    "UnitSuffixes",
+    "PolicyRegistryCompleteness",
+    "ExperimentRegistryCompleteness",
+    "MutableDefaults",
+    "ExportHygiene",
+    "PublicDocstrings",
+]

@@ -1,0 +1,137 @@
+"""SIM001 -- no unseeded randomness or wall-clock reads in the library.
+
+GAIA's simulator must be bit-reproducible: the paper's figures are
+regenerated from seeds, and the spot-eviction and synthetic-trace
+machinery routes every draw through an explicitly seeded
+``np.random.Generator`` (see ``cluster.spot`` and ``carbon.synthetic``).
+A single ``random.random()`` or ``time.time()`` hidden in a policy makes
+results irreproducible in a way no test reliably catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["UnseededRandomness"]
+
+#: numpy.random attributes that construct explicitly seeded generators.
+_SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Wall-clock reads on the ``time`` module (monotonic/perf_counter are
+#: allowed: they are profiling tools, not simulation inputs).
+_WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime"}
+
+#: Wall-clock constructors on datetime/date classes.
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render an attribute chain like ``np.random.rand`` as a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class UnseededRandomness(Rule):
+    """Flag global-RNG and wall-clock calls inside ``repro`` modules."""
+
+    code = "SIM001"
+    name = "unseeded-randomness"
+    rationale = (
+        "Simulations must be reproducible from explicit seeds; module-level "
+        "RNGs and wall-clock reads make results depend on hidden state."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        numpy_aliases = {"numpy"}
+        random_from_names: set[str] = set()
+        time_function_imported = False
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    random_from_names.update(
+                        alias.asname or alias.name for alias in node.names
+                    )
+                if node.module == "time":
+                    time_function_imported |= any(
+                        alias.name in _WALL_CLOCK_TIME for alias in node.names
+                    )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in random_from_names:
+                    yield self.finding(
+                        module, node,
+                        f"call to random.{func.id}() uses the global RNG; "
+                        "draw from an explicitly seeded np.random.Generator",
+                    )
+                elif time_function_imported and func.id in _WALL_CLOCK_TIME:
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock read {func.id}(); simulation time is the "
+                        "integer-minute clock, not real time",
+                    )
+                continue
+            dotted = _dotted(func)
+            if dotted is None:
+                continue
+            head, _, tail = dotted.partition(".")
+            if head == "random" and tail:
+                yield self.finding(
+                    module, node,
+                    f"call to {dotted}() uses the global RNG; draw from an "
+                    "explicitly seeded np.random.Generator",
+                )
+            elif head in numpy_aliases and tail.startswith("random."):
+                attr = tail.split(".", 1)[1]
+                if attr not in _SEEDED_CONSTRUCTORS:
+                    yield self.finding(
+                        module, node,
+                        f"call to {dotted}() uses numpy's module-level RNG; "
+                        "use an explicitly seeded np.random.default_rng(seed)",
+                    )
+            elif head == "time" and tail in _WALL_CLOCK_TIME:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {dotted}(); simulation time is the "
+                    "integer-minute clock, not real time",
+                )
+            elif (
+                head in ("datetime", "date")
+                and dotted.rsplit(".", 1)[-1] in _WALL_CLOCK_DATETIME
+            ):
+                yield self.finding(
+                    module, node,
+                    f"wall-clock read {dotted}(); simulation time is the "
+                    "integer-minute clock, not real time",
+                )

@@ -1,0 +1,150 @@
+"""SIM002 -- timestamps are integer minutes; floats must not leak in.
+
+The simulator runs on a discrete minute clock (``docs/accounting.md``):
+every ``start``, ``end``, ``arrival``, and ``finish`` is an ``int``
+minute index.  A float sneaking into one of these (a true division, a
+float literal, a ``float`` annotation) silently breaks slot arithmetic
+-- carbon integration and capacity accounting both index arrays by
+these values.
+
+Names ending in ``_cpu_minutes`` / ``_overhead_minutes`` are exempt:
+they are *resource quantities* (cpu x minutes), legitimately fractional
+after division by a job's cpu count.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["IntegerMinutes", "is_minute_name"]
+
+_MINUTE_WORDS = {"start", "end", "arrival", "finish"}
+_INT_PRODUCERS = {"int", "round", "len", "floor", "ceil", "hours", "days", "weeks"}
+
+
+def is_minute_name(name: str) -> bool:
+    """Whether a variable/parameter name denotes an integer-minute value."""
+    lowered = name.lower()
+    if lowered.endswith(("_cpu_minutes", "_cpu_minute", "_overhead_minutes")):
+        return False
+    if "per_minute" in lowered:  # rates (1/min), legitimately fractional
+        return False
+    if lowered.endswith(("_minute", "_minutes")):
+        return True
+    return lowered in _MINUTE_WORDS or lowered.rsplit("_", 1)[-1] in _MINUTE_WORDS
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    """Conservatively decide whether an expression produces a float.
+
+    Only expressions that *definitely* yield floats are flagged (float
+    literals, true division, ``float()`` casts); anything wrapped in an
+    integer-producing call (``int``, ``round``, unit helpers like
+    ``hours``) is trusted.  Unknown names get the benefit of the doubt.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Mod, ast.Pow)):
+            return _is_floaty(node.left) or _is_floaty(node.right)
+        return False
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name in _INT_PRODUCERS:
+            return False
+        if name == "float":
+            return True
+        if name in ("min", "max", "sum", "abs"):
+            return any(_is_floaty(arg) for arg in node.args)
+        return False
+    if isinstance(node, ast.IfExp):
+        return _is_floaty(node.body) or _is_floaty(node.orelse)
+    return False
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class IntegerMinutes(Rule):
+    """Flag float values flowing into minute-valued names."""
+
+    code = "SIM002"
+    name = "integer-minutes"
+    rationale = (
+        "All timestamps are integer minutes on the discrete simulation "
+        "clock; float starts/ends corrupt slot indexing and carbon "
+        "integration."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_binding(module, target, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                name = _target_name(node.target)
+                if name is not None and is_minute_name(name):
+                    annotation = node.annotation
+                    if isinstance(annotation, ast.Name) and annotation.id == "float":
+                        yield self.finding(
+                            module, node,
+                            f"minute-valued {name!r} annotated as float; "
+                            "timestamps are integer minutes",
+                        )
+                if node.value is not None:
+                    yield from self._check_binding(module, node.target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.op, ast.Div):
+                    name = _target_name(node.target)
+                    if name is not None and is_minute_name(name):
+                        yield self.finding(
+                            module, node,
+                            f"true division into minute-valued {name!r}; "
+                            "use // or wrap in int(round(...))",
+                        )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg is not None
+                        and is_minute_name(keyword.arg)
+                        and _is_floaty(keyword.value)
+                    ):
+                        yield self.finding(
+                            module, keyword.value,
+                            f"float expression passed to minute-valued "
+                            f"parameter {keyword.arg!r}",
+                        )
+
+    def _check_binding(
+        self, module: ModuleContext, target: ast.expr, value: ast.expr
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                yield from self._check_binding(module, element, value)
+            return
+        name = _target_name(target)
+        if name is not None and is_minute_name(name) and _is_floaty(value):
+            yield self.finding(
+                module, value,
+                f"float expression assigned to minute-valued {name!r}; "
+                "timestamps are integer minutes (use //, int(), or round())",
+            )

@@ -1,0 +1,156 @@
+"""SIM003 -- unit-suffix discipline for carbon/energy/cost quantities.
+
+The accounting model (``docs/accounting.md``) moves between gCO2eq,
+kWh, and USD; the codebase encodes the unit in the variable name
+(``carbon_g``, ``energy_kwh``, ``usage_cost``, ``price_per_hour``).
+This rule enforces two things:
+
+* **no mixed-unit arithmetic**: adding or subtracting two names whose
+  suffixes place them in different unit families (``carbon_g +
+  energy_kwh``) is flagged -- such sums are physically meaningless and
+  exactly the bug class ``repro.simulator.validation`` exists to catch
+  at runtime;
+* **no bare quantity names**: assigning an arithmetic result or a
+  carbon/cost-producing call to a bare ``carbon`` / ``energy`` /
+  ``cost`` / ``price`` name is flagged -- the unit must be in the name.
+
+Trace/object constructors (``region_trace``) are not quantities and are
+exempt; so are plain name-to-name copies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["UnitSuffixes", "unit_family"]
+
+#: Map of recognized unit suffixes to their unit family.
+_SUFFIX_FAMILIES = {
+    "g": "carbon-mass[g]",
+    "kg": "carbon-mass[kg]",
+    "kwh": "energy[kWh]",
+    "kw": "power[kW]",
+    "usd": "money[USD]",
+    "cost": "money[USD]",
+    "per_hour": "rate[/h]",
+    "per_kwh": "rate[/kWh]",
+}
+
+#: Bare quantity stems that need a unit suffix when assigned numbers.
+_BARE_STEMS = {"carbon", "energy", "cost", "price"}
+
+#: Substrings marking a call as producing a unit-bearing quantity.
+_QUANTITY_CALL_MARKERS = ("carbon", "energy", "cost", "price")
+
+
+def unit_family(name: str) -> str | None:
+    """The unit family a suffixed name belongs to, or ``None``."""
+    lowered = name.lower()
+    if lowered.endswith("_per_hour"):
+        return _SUFFIX_FAMILIES["per_hour"]
+    if lowered.endswith("_per_kwh"):
+        return _SUFFIX_FAMILIES["per_kwh"]
+    if lowered == "cost" or lowered.endswith("_cost"):
+        return _SUFFIX_FAMILIES["cost"]
+    tail = lowered.rsplit("_", 1)[-1]
+    if tail != lowered and tail in _SUFFIX_FAMILIES:
+        return _SUFFIX_FAMILIES[tail]
+    return None
+
+
+def _operand_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_quantity_expression(node: ast.expr) -> bool:
+    """Whether an expression plausibly produces a raw unit-bearing number."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(
+            node.value, bool
+        )
+    if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        lowered = name.lower()
+        if "trace" in lowered:  # trace constructors return objects, not numbers
+            return False
+        return any(marker in lowered for marker in _QUANTITY_CALL_MARKERS) or (
+            lowered in ("sum", "float")
+        )
+    return False
+
+
+@register
+class UnitSuffixes(Rule):
+    """Flag mixed-unit arithmetic and unsuffixed quantity names."""
+
+    code = "SIM003"
+    name = "unit-suffixes"
+    rationale = (
+        "Quantities carry their unit in the name (gCO2eq vs kWh vs USD); "
+        "mixing families in one sum is physically meaningless and evades "
+        "runtime validation."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = _operand_name(node.left), _operand_name(node.right)
+                if left and right:
+                    left_family = unit_family(left)
+                    right_family = unit_family(right)
+                    if (
+                        left_family
+                        and right_family
+                        and left_family != right_family
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"mixing units: {left!r} is {left_family} but "
+                            f"{right!r} is {right_family}; convert explicitly "
+                            "before combining",
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id.lower() in _BARE_STEMS
+                        and _is_quantity_expression(node.value)
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"unit-bearing variable {target.id!r} has no unit "
+                            "suffix; name it e.g. "
+                            f"{target.id}_g / {target.id}_kwh / {target.id}_usd",
+                        )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    parameter_family = unit_family(keyword.arg)
+                    argument = _operand_name(keyword.value)
+                    if parameter_family is None or argument is None:
+                        continue
+                    argument_family = unit_family(argument)
+                    if argument_family and argument_family != parameter_family:
+                        yield self.finding(
+                            module, keyword.value,
+                            f"passing {argument!r} ({argument_family}) to "
+                            f"parameter {keyword.arg!r} ({parameter_family})",
+                        )

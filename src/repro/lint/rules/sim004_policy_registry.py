@@ -1,0 +1,108 @@
+"""SIM004 -- every concrete Policy subclass is registered and complete.
+
+The experiment layer builds policies exclusively through
+``repro.policies.registry.make_policy`` spec strings; a Policy subclass
+missing from the registry silently falls out of Table 1, the figure
+benchmarks, and the CLI.  Likewise a subclass that forgets to override
+``decide`` -- the one abstract hook of ``base.Policy`` -- only explodes
+at simulation time.
+
+Private (``_``-prefixed) and abstract classes are exempt: they are
+implementation scaffolding, not selectable policies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["PolicyRegistryCompleteness"]
+
+#: The hooks a concrete policy must override from base.Policy.
+_REQUIRED_HOOKS = ("decide",)
+
+
+def _base_names(class_def: ast.ClassDef) -> set[str]:
+    names = set()
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _is_abstract(class_def: ast.ClassDef) -> bool:
+    if {"ABC", "ABCMeta"} & _base_names(class_def):
+        return True
+    for node in class_def.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in node.decorator_list:
+                name = (
+                    decorator.id
+                    if isinstance(decorator, ast.Name)
+                    else getattr(decorator, "attr", "")
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+def _registered_policy_class_names() -> set[str]:
+    """Class names reachable through the policy registry (imported live)."""
+    from repro.policies.registry import TIMING_POLICIES, WRAPPERS
+
+    names = set()
+    for factory in (*TIMING_POLICIES.values(), *WRAPPERS.values()):
+        names.add(getattr(factory, "__name__", str(factory)))
+    return names
+
+
+@register
+class PolicyRegistryCompleteness(Rule):
+    """Flag unregistered or incomplete Policy subclasses."""
+
+    code = "SIM004"
+    name = "policy-registry"
+    rationale = (
+        "Policies are only reachable through registry spec strings; an "
+        "unregistered subclass is dead code and an un-overridden decide() "
+        "fails only at simulation time."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.module.startswith("repro.policies")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        registered = _registered_policy_class_names()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if "Policy" not in _base_names(node):
+                continue  # only direct textual subclasses of Policy
+            if node.name.startswith("_") or node.name == "Policy":
+                continue
+            if _is_abstract(node):
+                continue
+            defined = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for hook in _REQUIRED_HOOKS:
+                if hook not in defined:
+                    yield self.finding(
+                        module, node,
+                        f"Policy subclass {node.name!r} does not override "
+                        f"required hook {hook!r}",
+                    )
+            if node.name not in registered:
+                yield self.finding(
+                    module, node,
+                    f"Policy subclass {node.name!r} is not registered in "
+                    "repro.policies.registry (TIMING_POLICIES/WRAPPERS)",
+                )

@@ -1,0 +1,61 @@
+"""SIM006 -- no mutable default arguments.
+
+A ``def run(jobs=[])`` default is created once and shared across calls;
+in a simulator that reuses policy and engine objects across sweeps
+(``reserved_sweep`` runs dozens of simulations in one process) a
+mutated default silently couples runs -- a determinism bug SIM001
+cannot see.  Use ``None`` plus an inside-the-function default, or a
+``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["MutableDefaults"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaults(Rule):
+    """Flag list/dict/set (and friends) used as parameter defaults."""
+
+    code = "SIM006"
+    name = "mutable-defaults"
+    rationale = (
+        "Mutable defaults are shared across calls; sweeps that run many "
+        "simulations in one process pick up state from earlier runs."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {label!r}; use None "
+                        "and construct inside the function",
+                    )

@@ -1,0 +1,110 @@
+"""SIM007 -- ``__all__`` export hygiene.
+
+The package's public surface is declared through ``__all__`` in every
+module (the top-level ``repro/__init__.py`` re-exports from them).  Two
+failure modes are flagged:
+
+* a name listed in ``__all__`` that is never defined or imported in the
+  module -- ``from repro.x import *`` would raise ``AttributeError``;
+* a public top-level class or function that is *not* listed -- it
+  silently falls out of the documented API surface.
+
+The second check applies only to library modules (``repro.*``); test
+modules rarely declare ``__all__`` and never need to.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["ExportHygiene"]
+
+
+def _declared_all(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+    """The ``__all__`` assignment and its string entries, if present."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return node, names
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound at module top level (defs, classes, imports, assigns)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        bound.add(name_node.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            bound |= _top_level_bindings(
+                ast.Module(body=list(getattr(node, "body", [])), type_ignores=[])
+            )
+    return bound
+
+
+@register
+class ExportHygiene(Rule):
+    """Flag phantom ``__all__`` entries and unexported public defs."""
+
+    code = "SIM007"
+    name = "export-hygiene"
+    rationale = (
+        "__all__ is the declared API surface; phantom entries break "
+        "star-imports and unexported public defs hide API from users."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        declared = _declared_all(module.tree)
+        if declared is None:
+            return
+        all_node, exported = declared
+        bound = _top_level_bindings(module.tree)
+        for name in exported:
+            if name not in bound and name != "__version__":
+                yield self.finding(
+                    module, all_node,
+                    f"__all__ lists {name!r} but the module never defines or "
+                    "imports it",
+                )
+        if not module.module.startswith("repro"):
+            return
+        exported_set = set(exported)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not node.name.startswith("_") and node.name not in exported_set:
+                    yield self.finding(
+                        module, node,
+                        f"public definition {node.name!r} is missing from "
+                        "__all__ (export it or prefix with _)",
+                    )

@@ -1,0 +1,57 @@
+"""SIM008 -- public API docstring presence.
+
+Every library module, public top-level class, and public top-level
+function must carry a docstring.  The reproduction is navigated by
+researchers comparing code to the paper; the docstrings are where the
+paper-section cross-references live (see ``docs/architecture.md``), so
+an undocumented public symbol is an unreviewable one.
+
+Test modules are exempt (test names are their own documentation), as
+are ``_``-private symbols and methods (documented at the class level).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["PublicDocstrings"]
+
+
+@register
+class PublicDocstrings(Rule):
+    """Flag missing docstrings on modules and public top-level defs."""
+
+    code = "SIM008"
+    name = "public-docstrings"
+    rationale = (
+        "Docstrings carry the paper-section cross-references; an "
+        "undocumented public symbol cannot be checked against the paper."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        return module.module.startswith("repro")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if ast.get_docstring(module.tree) is None:
+            yield self.finding(
+                module, module.tree.body[0] if module.tree.body else None,
+                "module has no docstring",
+            )
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(
+                    module, node,
+                    f"public {kind} {node.name!r} has no docstring",
+                )

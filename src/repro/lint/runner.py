@@ -1,0 +1,83 @@
+"""Run simlint rules over files and collect findings.
+
+``lint_paths`` is the programmatic entry point used by the CLI and the
+test suite: expand paths to ``.py`` files, parse each into a
+:class:`ModuleContext`, run every applicable rule, and drop findings
+silenced by inline suppressions.  Unparseable files surface as SIM000
+findings (never suppressible) instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.base import Rule, all_rules
+from repro.lint.context import ModuleContext, collect_files
+from repro.lint.findings import Finding
+
+__all__ = ["lint_module", "lint_paths"]
+
+
+def lint_module(module: ModuleContext, rules: Iterable[Rule]) -> list[Finding]:
+    """Run the given rules over one parsed module, honoring suppressions."""
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.suppressions.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories; return all unsuppressed findings, sorted.
+
+    ``select`` restricts to the given codes; ``ignore`` drops codes.
+    Unknown codes and nonexistent paths raise :class:`ConfigError`
+    rather than silently linting nothing -- a typo must not turn into
+    a green CI run.
+    """
+    rules = all_rules()
+    known = {rule.code for rule in rules}
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ConfigError(f"unknown rule code(s) in --select: {', '.join(unknown)}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore is not None:
+        dropped = {code.upper() for code in ignore}
+        unknown = sorted(dropped - known)
+        if unknown:
+            raise ConfigError(f"unknown rule code(s) in --ignore: {', '.join(unknown)}")
+        rules = [rule for rule in rules if rule.code not in dropped]
+
+    resolved = [Path(p) for p in paths]
+    missing = [str(p) for p in resolved if not p.exists()]
+    if missing:
+        raise ConfigError(f"no such file or directory: {', '.join(missing)}")
+
+    findings: list[Finding] = []
+    for file_path in collect_files(resolved):
+        try:
+            module = ModuleContext.from_path(file_path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    code="SIM000",
+                    message=f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        findings.extend(lint_module(module, rules))
+    return sorted(findings)

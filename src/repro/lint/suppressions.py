@@ -1,0 +1,63 @@
+"""Inline suppression comments for simlint findings.
+
+Two forms are recognized, mirroring the conventions of flake8/pylint:
+
+* ``# simlint: disable=SIM001`` on a source line suppresses the listed
+  codes (comma-separated) for findings **on that line**.
+* ``# simlint: disable-file=SIM005`` anywhere in a file suppresses the
+  listed codes for the **whole file**.
+
+``disable=all`` suppresses every rule.  Suppressions are parsed with a
+regex over raw source lines rather than the tokenizer so they also work
+in files that fail to parse (those are reported as SIM000 syntax
+findings, which cannot be suppressed).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+__all__ = ["Suppressions"]
+
+_LINE_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*simlint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _codes(spec: str) -> set[str]:
+    return {code.strip().upper() for code in spec.split(",") if code.strip()}
+
+
+@dataclass
+class Suppressions:
+    """Per-line and file-wide suppressed rule codes for one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, source: str) -> Suppressions:
+        """Collect suppression comments from raw source text."""
+        suppressions = cls()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _FILE_RE.search(line)
+            if match:
+                suppressions.file_wide |= _codes(match.group(1))
+                continue
+            match = _LINE_RE.search(line)
+            if match:
+                suppressions.by_line.setdefault(lineno, set()).update(
+                    _codes(match.group(1))
+                )
+        return suppressions
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether the finding is silenced by an inline comment."""
+        if finding.code == "SIM000":  # syntax errors are never maskable
+            return False
+        for scope in (self.file_wide, self.by_line.get(finding.line, ())):
+            if finding.code in scope or "ALL" in scope:
+                return True
+        return False

@@ -1,5 +1,7 @@
 """GAIA scheduling policies (the paper's core contribution)."""
 
+from __future__ import annotations
+
 from repro.policies.base import Decision, Policy, SchedulingContext, validate_decision
 from repro.policies.carbon_agnostic import AllWaitThreshold, NoWait
 from repro.policies.carbon_time import CarbonTime

@@ -86,16 +86,20 @@ class WeightedCarbonPrice(Policy):
         if candidates.size == 1:
             return Decision(start_time=int(candidates[0]))
 
-        carbon = ctx.forecaster.window_carbon_many(arrival, candidates, estimate)
-        price = _price_forecaster(ctx).window_carbon_many(arrival, candidates, estimate)
+        window_carbon_g = ctx.forecaster.window_carbon_many(
+            arrival, candidates, estimate
+        )
+        window_cost = _price_forecaster(ctx).window_carbon_many(
+            arrival, candidates, estimate
+        )
 
         def normalized(series: np.ndarray) -> np.ndarray:
             anchor = abs(float(series[0]))
             return series / anchor if anchor > 1e-12 else series
 
         blended = (
-            self.carbon_weight * normalized(carbon)
-            + (1.0 - self.carbon_weight) * normalized(price)
+            self.carbon_weight * normalized(window_carbon_g)
+            + (1.0 - self.carbon_weight) * normalized(window_cost)
         )
         tolerance = 1e-9 * max(1.0, float(np.max(np.abs(blended))))
         best = int(np.flatnonzero(blended <= blended.min() + tolerance)[0])

@@ -8,7 +8,7 @@ for configuration.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import ConfigError
 from repro.policies.base import Policy
@@ -17,6 +17,7 @@ from repro.policies.carbon_time import CarbonTime
 from repro.policies.ecovisor import Ecovisor
 from repro.policies.lowest_slot import LowestSlot
 from repro.policies.lowest_window import LowestWindow
+from repro.policies.price_aware import PriceAware, WeightedCarbonPrice
 from repro.policies.suspend_resume import GaiaSuspendResume
 from repro.policies.wait_awhile import WaitAwhile
 from repro.policies.wrappers import ResFirst, SpotFirst, SpotRes
@@ -35,6 +36,11 @@ TIMING_POLICIES: dict[str, Callable[[], Policy]] = {
     # Extension beyond the paper: suspend-resume with queue-average
     # knowledge only (the paper's Section 4.1 future work).
     "gaia-sr": GaiaSuspendResume,
+    # Electricity-price-aware policies (paper Section 7 / Fig. 20); they
+    # need a ctx.price_forecaster at decision time (pass price_trace to
+    # run_simulation).
+    "price-aware": PriceAware,
+    "carbon-price": WeightedCarbonPrice,
 }
 
 #: Purchase-option wrappers (Section 4.2.3-4.2.4).

@@ -19,7 +19,7 @@ from repro.policies.base import Decision, Policy, SchedulingContext
 from repro.units import MINUTES_PER_HOUR
 from repro.workload.job import Job
 
-__all__ = ["WaitAwhile"]
+__all__ = ["WaitAwhile", "merge_segments"]
 
 
 def merge_segments(segments: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:

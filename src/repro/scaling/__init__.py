@@ -1,5 +1,7 @@
 """Carbon-aware scaling of malleable jobs (the paper's §9 future work)."""
 
+from __future__ import annotations
+
 from repro.scaling.planner import (
     MalleableJob,
     ScalingPlan,

@@ -24,7 +24,7 @@ from repro.errors import ConfigError, SchedulingError
 from repro.scaling.speedup import LinearSpeedup, SpeedupModel
 from repro.units import MINUTES_PER_HOUR
 
-__all__ = ["MalleableJob", "ScalingPlan", "plan_carbon_scaling"]
+__all__ = ["MalleableJob", "ScalingPlan", "plan_carbon_scaling", "fixed_allocation_plan"]
 
 
 @dataclass(frozen=True)

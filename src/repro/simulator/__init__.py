@@ -1,5 +1,7 @@
 """GAIA-Simulator: discrete-event cluster simulation and accounting."""
 
+from __future__ import annotations
+
 from repro.simulator.engine import Engine
 from repro.simulator.results import (
     JobRecord,

@@ -355,12 +355,12 @@ class Engine:
     def _record_for(self, run: _RunState) -> JobRecord:
         job = run.job
         kw = self.energy.active_kw(job.cpus)
-        carbon = 0.0
+        carbon_g = 0.0
         energy_kwh = 0.0
         usage_cost = 0.0
         provisioning = 0.0
         for interval in run.usage:
-            carbon += self.carbon.interval_carbon(interval.start, interval.end) * kw
+            carbon_g += self.carbon.interval_carbon(interval.start, interval.end) * kw
             energy_kwh += self.energy.energy_kwh(job.cpus, interval.end - interval.start)
             usage_cost += self.pricing.usage_cost(interval.option, interval.cpu_minutes)
             if (
@@ -377,7 +377,7 @@ class Engine:
                     interval.option, overhead * job.cpus
                 )
                 energy_kwh += self.energy.energy_kwh(job.cpus, overhead)
-                carbon += (
+                carbon_g += (
                     self.carbon.ci_at(interval.start)
                     * kw
                     * overhead
@@ -393,7 +393,7 @@ class Engine:
             cpus=job.cpus,
             first_start=run.first_start if run.first_start is not None else job.arrival,
             finish=run.finish if run.finish is not None else job.arrival + job.length,
-            carbon_g=carbon,
+            carbon_g=carbon_g,
             energy_kwh=energy_kwh,
             usage_cost=usage_cost,
             baseline_carbon_g=baseline,

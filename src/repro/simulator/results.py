@@ -8,8 +8,9 @@ actual usage for every purchase option.
 
 from __future__ import annotations
 
+import hashlib
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 import numpy as np
 
@@ -17,7 +18,7 @@ from repro.cluster.pricing import PricingModel, PurchaseOption
 from repro.errors import SimulationError
 from repro.units import MINUTES_PER_HOUR, grams_to_kg
 
-__all__ = ["UsageInterval", "JobRecord", "SimulationResult"]
+__all__ = ["UsageInterval", "JobRecord", "SimulationResult", "demand_profile"]
 
 
 @dataclass(frozen=True)
@@ -275,6 +276,39 @@ class SimulationResult:
         if base <= 0:
             raise SimulationError("baseline cost must be positive")
         return self.total_cost / base - 1.0
+
+    def digest(self) -> str:
+        """Hex digest of the full result, for determinism regression tests.
+
+        Two runs of the same scenario with the same seeds must produce
+        bit-identical digests (the runtime complement of lint rule
+        SIM001): the hash covers every per-job record field, every usage
+        interval, and the run's identifying configuration.  Float fields
+        are hashed via ``repr`` (exact shortest-roundtrip form), so any
+        drift -- reordered accumulation, a different RNG draw -- changes
+        the digest.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(
+            f"{self.policy_name}|{self.workload_name}|{self.region}|"
+            f"{self.reserved_cpus}|{self.horizon}".encode()
+        )
+        for record in self.records:
+            hasher.update(
+                f"{record.job_id}|{record.queue}|{record.arrival}|"
+                f"{record.length}|{record.cpus}|{record.first_start}|"
+                f"{record.finish}|{record.carbon_g!r}|{record.energy_kwh!r}|"
+                f"{record.usage_cost!r}|{record.baseline_carbon_g!r}|"
+                f"{record.evictions}|{record.lost_cpu_minutes!r}|"
+                f"{record.checkpoint_overhead_minutes!r}|"
+                f"{record.provisioning_cpu_minutes!r}".encode()
+            )
+            for interval in record.usage:
+                hasher.update(
+                    f"{interval.start}|{interval.end}|{interval.cpus}|"
+                    f"{interval.option.value}".encode()
+                )
+        return hasher.hexdigest()
 
     def summary(self) -> dict[str, float | str]:
         """Flat summary used by reports and benchmarks."""

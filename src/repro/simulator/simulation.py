@@ -111,23 +111,23 @@ def run_simulation(
         redo_factor += 11  # engine default: up to 10 spot retries
     if checkpointing is not None:
         redo_factor *= 2
-    carbon = prepare_carbon(carbon, workload, queues, redo_factor=redo_factor)
+    covering = prepare_carbon(carbon, workload, queues, redo_factor=redo_factor)
 
     forecaster: Forecaster
     if forecaster_factory is not None:
         if forecast_sigma > 0:
             raise ConfigError("pass either forecast_sigma or forecaster_factory")
-        forecaster = forecaster_factory(carbon)
+        forecaster = forecaster_factory(covering)
         if not isinstance(forecaster, Forecaster):
             raise ConfigError("forecaster_factory must build a Forecaster")
     elif forecast_sigma > 0:
-        forecaster = NoisyForecaster(carbon, sigma=forecast_sigma, seed=forecast_seed)
+        forecaster = NoisyForecaster(covering, sigma=forecast_sigma, seed=forecast_seed)
     else:
-        forecaster = PerfectForecaster(carbon)
+        forecaster = PerfectForecaster(covering)
 
     engine = Engine(
         workload=workload,
-        carbon=carbon,
+        carbon=covering,
         policy=policy,
         queues=queues,
         reserved_cpus=reserved_cpus,
@@ -142,7 +142,7 @@ def run_simulation(
         retry_spot=retry_spot,
         instance_overhead_minutes=instance_overhead_minutes,
         length_estimator=estimator,
-        price_forecaster=_price_forecaster_for(price_trace, carbon),
+        price_forecaster=_price_forecaster_for(price_trace, covering),
     )
     return engine.run()
 

@@ -1,5 +1,7 @@
 """Workload substrate: jobs, queues, traces, and synthetic families."""
 
+from __future__ import annotations
+
 from repro.workload.adapters import (
     LoadReport,
     load_alibaba_pai,

@@ -28,12 +28,11 @@ loader raises :class:`TraceError` only when *nothing* usable remains.
 from __future__ import annotations
 
 import csv
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Callable, Iterator
 
 from repro.errors import TraceError
-from repro.units import MINUTES_PER_HOUR
 from repro.workload.job import Job
 from repro.workload.trace import WorkloadTrace
 
@@ -203,14 +202,14 @@ def load_alibaba_pai(path: str) -> LoadReport:
         status = row.get("status", "").strip()
         if status not in ("", "Terminated"):
             return None
-        start = float(row["start_time"])
-        end = float(row["end_time"])
-        if end <= start or start <= 0:
+        start_seconds = float(row["start_time"])
+        end_seconds = float(row["end_time"])
+        if end_seconds <= start_seconds or start_seconds <= 0:
             return None
         plan_cpu = float(row["plan_cpu"] or 100.0)
         instances = int(float(row.get("inst_num") or 1))
         cpus = max(1, round(instances * plan_cpu / 100.0))
-        return start, end - start, cpus
+        return start_seconds, end_seconds - start_seconds, cpus
 
     return _build_trace(
         path,

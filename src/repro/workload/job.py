@@ -10,8 +10,8 @@ scheduler may impose on its jobs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
 
 from repro.errors import ConfigError, TraceError
 from repro.units import days, hours

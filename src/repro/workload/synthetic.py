@@ -21,7 +21,7 @@ subsequently filters, mirroring the paper's own methodology.
 from __future__ import annotations
 
 import zlib
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

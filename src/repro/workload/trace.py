@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import csv
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -118,12 +118,16 @@ class WorkloadTrace:
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
-    def filtered(self, predicate: Callable[[Job], bool], name: str | None = None) -> "WorkloadTrace":
+    def filtered(
+        self, predicate: Callable[[Job], bool], name: str | None = None
+    ) -> "WorkloadTrace":
         """Jobs satisfying ``predicate`` (horizon preserved)."""
         kept = [job for job in self._jobs if predicate(job)]
         if not kept:
             raise TraceError("filter removed every job")
-        return WorkloadTrace(kept, name=name if name is not None else self.name, horizon=self.horizon)
+        return WorkloadTrace(
+            kept, name=name if name is not None else self.name, horizon=self.horizon
+        )
 
     def renumbered(self) -> "WorkloadTrace":
         """A copy whose job ids are consecutive from zero."""

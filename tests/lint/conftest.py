@@ -1,0 +1,25 @@
+"""Shared helpers for the simlint test suite.
+
+Rule tests feed inline source snippets through one rule at a time; the
+snippets live in strings (not on-disk fixture files) so the repo-wide
+``python -m repro.lint src tests`` run stays clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, ModuleContext, get_rule, lint_module
+
+
+@pytest.fixture
+def check():
+    """Run one rule over a source snippet; return its findings."""
+
+    def run(source: str, code: str, module: str = "repro.fake") -> list[Finding]:
+        context = ModuleContext.from_source(
+            textwrap.dedent(source), path="src/repro/fake.py", module=module
+        )
+        return lint_module(context, [get_rule(code)])
+
+    return run

@@ -1,0 +1,177 @@
+"""Framework-level tests: registry, suppressions, runner, and CLI."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import (
+    Finding,
+    ModuleContext,
+    Suppressions,
+    all_rules,
+    get_rule,
+    lint_paths,
+    module_name_for,
+)
+from repro.lint.cli import main
+
+EXPECTED_CODES = [f"SIM00{i}" for i in range(1, 9)]
+
+
+class TestRegistry:
+    def test_all_eight_rules_registered(self):
+        assert [rule.code for rule in all_rules()] == EXPECTED_CODES
+
+    def test_rules_have_names_and_rationales(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.rationale
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("sim001").code == "SIM001"
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigError):
+            get_rule("SIM999")
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_for(Path("src/repro/policies/base.py")) == (
+            "repro.policies.base"
+        )
+
+    def test_init_collapses_to_package(self):
+        assert module_name_for(Path("src/repro/lint/__init__.py")) == "repro.lint"
+
+    def test_tests_layout(self):
+        assert module_name_for(Path("tests/lint/test_rules.py")) == (
+            "tests.lint.test_rules"
+        )
+
+
+class TestSuppressions:
+    def test_line_scope(self):
+        suppressions = Suppressions.parse("x = 1  # simlint: disable=SIM001\ny = 2\n")
+        on_line = Finding("f.py", 1, 0, "SIM001", "m")
+        assert suppressions.is_suppressed(on_line)
+        assert not suppressions.is_suppressed(Finding("f.py", 2, 0, "SIM001", "m"))
+        assert not suppressions.is_suppressed(Finding("f.py", 1, 0, "SIM002", "m"))
+
+    def test_multiple_codes_and_all(self):
+        suppressions = Suppressions.parse("x = 1  # simlint: disable=SIM001, SIM003\n")
+        assert suppressions.is_suppressed(Finding("f.py", 1, 0, "SIM003", "m"))
+        blanket = Suppressions.parse("x = 1  # simlint: disable=all\n")
+        assert blanket.is_suppressed(Finding("f.py", 1, 0, "SIM007", "m"))
+
+    def test_file_wide(self):
+        suppressions = Suppressions.parse("# simlint: disable-file=SIM008\nx = 1\n")
+        assert suppressions.is_suppressed(Finding("f.py", 99, 0, "SIM008", "m"))
+
+    def test_syntax_errors_never_suppressible(self):
+        suppressions = Suppressions.parse("# simlint: disable-file=all\n")
+        assert not suppressions.is_suppressed(Finding("f.py", 1, 0, "SIM000", "m"))
+
+
+class TestRunner:
+    def test_syntax_error_becomes_sim000(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([tmp_path])
+        assert [finding.code for finding in findings] == ["SIM000"]
+
+    def test_select_and_ignore(self, tmp_path):
+        module = tmp_path / "src" / "repro" / "fake.py"
+        module.parent.mkdir(parents=True)
+        module.write_text("def run(jobs=[]):\n    return jobs\n")
+        # SIM006 (mutable default) and SIM008 (no docstrings) both apply.
+        assert {f.code for f in lint_paths([tmp_path])} == {"SIM006", "SIM008"}
+        assert {f.code for f in lint_paths([tmp_path], select=["SIM006"])} == {
+            "SIM006"
+        }
+        assert {f.code for f in lint_paths([tmp_path], ignore=["SIM008"])} == {
+            "SIM006"
+        }
+
+    def test_unknown_select_code_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="SIM999"):
+            lint_paths([tmp_path], select=["SIM999"])
+
+    def test_unknown_ignore_code_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="SIM042"):
+            lint_paths([tmp_path], ignore=["SIM042"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such file"):
+            lint_paths([tmp_path / "does-not-exist"])
+
+    def test_pycache_skipped(self, tmp_path):
+        cached = tmp_path / "__pycache__" / "junk.py"
+        cached.parent.mkdir()
+        cached.write_text("def broken(:\n")
+        assert lint_paths([tmp_path]) == []
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        module = tmp_path / "src" / "repro" / "fake.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "def second(jobs=[]):\n    return jobs\n\n"
+            "def first(tags=set()):\n    return tags\n"
+        )
+        findings = lint_paths([tmp_path], select=["SIM006"])
+        assert [finding.line for finding in findings] == [1, 4]
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        module = tmp_path / "src" / "repro" / "fake.py"
+        module.parent.mkdir(parents=True)
+        module.write_text('"""Fake."""\n\n__all__ = []\n')
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().err
+
+    def test_findings_exit_one_and_render(self, tmp_path, capsys):
+        module = tmp_path / "src" / "repro" / "fake.py"
+        module.parent.mkdir(parents=True)
+        module.write_text('"""Fake."""\n\ndef run(jobs=[]):\n    return jobs\n')
+        assert main([str(tmp_path), "--select", "SIM006"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM006" in out and "fake.py:3:" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in EXPECTED_CODES:
+            assert code in out
+
+    def test_usage_errors_exit_two(self, tmp_path, capsys):
+        assert main(["--select", "SIM999", str(tmp_path)]) == 2
+        assert "SIM999" in capsys.readouterr().err
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_module_entry_point(self, tmp_path):
+        module = tmp_path / "src" / "repro" / "fake.py"
+        module.parent.mkdir(parents=True)
+        module.write_text('"""Fake."""\n\n__all__ = []\n')
+        root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestSelfClean:
+    def test_lint_package_lints_itself_clean(self):
+        assert lint_paths(["src/repro/lint"]) == []

@@ -1,0 +1,425 @@
+"""Positive/negative/suppression fixtures for every SIM rule."""
+
+import pytest
+
+from repro.lint import lint_paths
+from repro.lint.rules.sim002_integer_minutes import is_minute_name
+from repro.lint.rules.sim003_unit_suffixes import unit_family
+
+
+def codes(findings):
+    return [finding.code for finding in findings]
+
+
+class TestSIM001Determinism:
+    def test_global_random_fires(self, check):
+        source = """
+            import random
+
+            def jitter():
+                return random.random()
+        """
+        assert codes(check(source, "SIM001")) == ["SIM001"]
+
+    def test_from_random_import_fires(self, check):
+        source = """
+            from random import randint
+
+            def pick():
+                return randint(0, 10)
+        """
+        assert codes(check(source, "SIM001")) == ["SIM001"]
+
+    def test_numpy_module_level_rng_fires(self, check):
+        source = """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)
+        """
+        assert codes(check(source, "SIM001")) == ["SIM001"]
+
+    def test_wall_clock_fires(self, check):
+        source = """
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now()
+        """
+        assert codes(check(source, "SIM001")) == ["SIM001", "SIM001"]
+
+    def test_seeded_generator_is_clean(self, check):
+        source = """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random()
+        """
+        assert check(source, "SIM001") == []
+
+    def test_does_not_apply_to_tests(self, check):
+        source = """
+            import random
+
+            def helper():
+                return random.random()
+        """
+        assert check(source, "SIM001", module="tests.test_fake") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            import random
+
+            def jitter():
+                return random.random()  # simlint: disable=SIM001
+        """
+        assert check(source, "SIM001") == []
+
+
+class TestSIM002IntegerMinutes:
+    def test_float_division_into_start_fires(self, check):
+        source = """
+            def plan(total):
+                start = total / 2
+                return start
+        """
+        assert codes(check(source, "SIM002")) == ["SIM002"]
+
+    def test_float_literal_keyword_fires(self, check):
+        source = """
+            def submit(make_job):
+                return make_job(arrival=1.5)
+        """
+        assert codes(check(source, "SIM002")) == ["SIM002"]
+
+    def test_float_annotation_fires(self, check):
+        source = """
+            class Record:
+                finish: float = 0
+        """
+        assert codes(check(source, "SIM002")) == ["SIM002"]
+
+    def test_floor_division_is_clean(self, check):
+        source = """
+            def plan(total):
+                start = total // 2
+                end = int(round(total * 1.5))
+                return start, end
+        """
+        assert check(source, "SIM002") == []
+
+    def test_cpu_minutes_and_rates_are_exempt(self, check):
+        source = """
+            def account(record, rate):
+                lost_cpu_minutes = record.lost / 2.0
+                lambda_per_minute = rate / 60
+                return lost_cpu_minutes, lambda_per_minute
+        """
+        assert check(source, "SIM002") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            def plan(total):
+                start = total / 2  # simlint: disable=SIM002
+                return start
+        """
+        assert check(source, "SIM002") == []
+
+    def test_name_classifier(self):
+        assert is_minute_name("arrival")
+        assert is_minute_name("first_start")
+        assert is_minute_name("warmup_minutes")
+        assert not is_minute_name("lost_cpu_minutes")
+        assert not is_minute_name("lambda_per_minute")
+        assert not is_minute_name("carbon_g")
+
+
+class TestSIM003UnitSuffixes:
+    def test_mixed_unit_addition_fires(self, check):
+        source = """
+            def total(carbon_g, energy_kwh):
+                return carbon_g + energy_kwh
+        """
+        assert codes(check(source, "SIM003")) == ["SIM003"]
+
+    def test_mixed_unit_keyword_fires(self, check):
+        source = """
+            def book(ledger, energy_kwh):
+                ledger.add(usage_cost=energy_kwh)
+        """
+        assert codes(check(source, "SIM003")) == ["SIM003"]
+
+    def test_bare_quantity_name_fires(self, check):
+        source = """
+            def footprint(forecaster, start, length):
+                carbon = forecaster.window_carbon(start, length)
+                return carbon
+        """
+        assert codes(check(source, "SIM003")) == ["SIM003"]
+
+    def test_same_family_and_trace_constructors_are_clean(self, check):
+        source = """
+            def combine(carbon_g, baseline_carbon_g, region):
+                carbon = region_trace(region)  # a trace object, not a number
+                return carbon_g + baseline_carbon_g
+        """
+        assert check(source, "SIM003") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            def total(carbon_g, energy_kwh):
+                return carbon_g + energy_kwh  # simlint: disable=SIM003
+        """
+        assert check(source, "SIM003") == []
+
+    def test_family_classifier(self):
+        assert unit_family("carbon_g") == "carbon-mass[g]"
+        assert unit_family("energy_kwh") == "energy[kWh]"
+        assert unit_family("usage_cost") == unit_family("price_usd")
+        assert unit_family("price_per_hour") == "rate[/h]"
+        assert unit_family("wrapper_kwargs") is None
+
+
+class TestSIM004PolicyRegistry:
+    def test_unregistered_policy_fires(self, check):
+        source = """
+            class Fancy(Policy):
+                def decide(self, job, ctx):
+                    return None
+        """
+        findings = check(source, "SIM004", module="repro.policies.fake")
+        assert codes(findings) == ["SIM004"]
+        assert "not registered" in findings[0].message
+
+    def test_missing_decide_fires(self, check):
+        source = """
+            class CarbonTime(Policy):
+                name = "broken"
+        """
+        findings = check(source, "SIM004", module="repro.policies.fake")
+        assert codes(findings) == ["SIM004"]
+        assert "decide" in findings[0].message
+
+    def test_registered_policy_is_clean(self, check):
+        source = """
+            class CarbonTime(Policy):
+                def decide(self, job, ctx):
+                    return None
+        """
+        assert check(source, "SIM004", module="repro.policies.fake") == []
+
+    def test_private_and_abstract_are_exempt(self, check):
+        source = """
+            from abc import abstractmethod
+
+            class _Scaffold(Policy):
+                pass
+
+            class Base(Policy):
+                @abstractmethod
+                def decide(self, job, ctx):
+                    ...
+        """
+        assert check(source, "SIM004", module="repro.policies.fake") == []
+
+    def test_only_applies_under_policies(self, check):
+        source = """
+            class Fancy(Policy):
+                pass
+        """
+        assert check(source, "SIM004", module="repro.workload.fake") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            class Fancy(Policy):  # simlint: disable=SIM004
+                def decide(self, job, ctx):
+                    return None
+        """
+        assert check(source, "SIM004", module="repro.policies.fake") == []
+
+
+class TestSIM005ExperimentRegistry:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        experiments = tmp_path / "src" / "repro" / "experiments"
+        experiments.mkdir(parents=True)
+        (tmp_path / "benchmarks").mkdir()
+        (experiments / "registry.py").write_text(
+            '"""Registry."""\nfrom repro.experiments.fig01_demo import run\n'
+        )
+        return tmp_path
+
+    def add_experiment(self, tree, stem, registered=True, benchmarked=True):
+        experiments = tree / "src" / "repro" / "experiments"
+        (experiments / f"{stem}.py").write_text(f'"""Experiment {stem}."""\n')
+        if registered:
+            with open(experiments / "registry.py", "a") as handle:
+                handle.write(f"from repro.experiments.{stem} import run\n")
+        if benchmarked:
+            (tree / "benchmarks" / f"bench_{stem}.py").write_text(
+                f'"""Bench {stem}."""\n'
+            )
+
+    def test_unregistered_experiment_fires(self, tree):
+        self.add_experiment(tree, "fig99_demo", registered=False)
+        findings = lint_paths([tree / "src"], select=["SIM005"])
+        assert [finding.code for finding in findings] == ["SIM005"]
+        assert "not referenced" in findings[0].message
+
+    def test_missing_benchmark_fires(self, tree):
+        self.add_experiment(tree, "fig98_demo", benchmarked=False)
+        findings = lint_paths([tree / "src"], select=["SIM005"])
+        assert "bench_fig98_demo" in findings[0].message
+
+    def test_wired_experiment_is_clean(self, tree):
+        self.add_experiment(tree, "fig97_demo")
+        assert lint_paths([tree / "src"], select=["SIM005"]) == []
+
+    def test_suppression_silences(self, tree):
+        experiments = tree / "src" / "repro" / "experiments"
+        (experiments / "fig96_demo.py").write_text(
+            '"""Experiment."""  # simlint: disable=SIM005\n'
+        )
+        assert lint_paths([tree / "src"], select=["SIM005"]) == []
+
+    def test_real_tree_is_wired(self):
+        assert lint_paths(["src/repro/experiments"], select=["SIM005"]) == []
+
+
+class TestSIM006MutableDefaults:
+    def test_list_default_fires(self, check):
+        source = """
+            def run(jobs=[]):
+                return jobs
+        """
+        assert codes(check(source, "SIM006")) == ["SIM006"]
+
+    def test_dict_call_and_kwonly_fire(self, check):
+        source = """
+            def run(*, options=dict(), tags=set()):
+                return options, tags
+        """
+        assert codes(check(source, "SIM006")) == ["SIM006", "SIM006"]
+
+    def test_applies_to_tests_too(self, check):
+        source = """
+            def helper(acc=[]):
+                return acc
+        """
+        assert codes(check(source, "SIM006", module="tests.test_fake")) == ["SIM006"]
+
+    def test_none_default_is_clean(self, check):
+        source = """
+            def run(jobs=None, limit=3, name="x"):
+                return jobs or []
+        """
+        assert check(source, "SIM006") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            def run(jobs=[]):  # simlint: disable=SIM006
+                return jobs
+        """
+        assert check(source, "SIM006") == []
+
+
+class TestSIM007ExportHygiene:
+    def test_phantom_export_fires(self, check):
+        source = """
+            __all__ = ["missing"]
+        """
+        findings = check(source, "SIM007")
+        assert codes(findings) == ["SIM007"]
+        assert "missing" in findings[0].message
+
+    def test_unexported_public_def_fires(self, check):
+        source = """
+            __all__ = ["shown"]
+
+            def shown():
+                return 1
+
+            def hidden():
+                return 2
+        """
+        findings = check(source, "SIM007")
+        assert codes(findings) == ["SIM007"]
+        assert "hidden" in findings[0].message
+
+    def test_private_and_imported_names_are_clean(self, check):
+        source = """
+            from os import path
+
+            __all__ = ["CONSTANT", "shown", "path"]
+
+            CONSTANT = 3
+
+            def shown():
+                return _helper()
+
+            def _helper():
+                return 1
+        """
+        assert check(source, "SIM007") == []
+
+    def test_public_def_check_skips_test_modules(self, check):
+        source = """
+            __all__ = []
+
+            def helper():
+                return 1
+        """
+        assert check(source, "SIM007", module="tests.test_fake") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            __all__ = ["missing"]  # simlint: disable=SIM007
+        """
+        assert check(source, "SIM007") == []
+
+
+class TestSIM008Docstrings:
+    def test_missing_module_docstring_fires(self, check):
+        source = """
+            X = 1
+        """
+        assert codes(check(source, "SIM008")) == ["SIM008"]
+
+    def test_missing_public_def_docstrings_fire(self, check):
+        source = """
+            '''Module.'''
+
+            def shown():
+                return 1
+
+            class Thing:
+                pass
+        """
+        assert len(check(source, "SIM008")) == 2
+
+    def test_documented_and_private_are_clean(self, check):
+        source = """
+            '''Module.'''
+
+            def shown():
+                '''Documented.'''
+
+            def _hidden():
+                return 1
+        """
+        assert check(source, "SIM008") == []
+
+    def test_does_not_apply_to_tests(self, check):
+        source = """
+            def test_something():
+                assert True
+        """
+        assert check(source, "SIM008", module="tests.test_fake") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            X = 1  # simlint: disable=SIM008
+        """
+        assert check(source, "SIM008") == []

@@ -20,9 +20,20 @@ from repro import (
 from repro.analysis.metrics import savings_per_cost_percent
 from repro.analysis.tradeoff import knee_point, reserved_sweep
 from repro.simulator.results import demand_profile
-from repro.simulator.validation import verify_result
+from repro.simulator.validation import assert_valid, verify_result
 from repro.units import days, hours
 from repro.workload.job import default_queue_set
+
+
+def assert_accounting(*results, queues=None):
+    """Re-derive every accounting invariant for each simulation result.
+
+    ``assert_valid`` raises on the first violation, so each end-to-end
+    journey doubles as an invariant regression test (the runtime
+    counterpart of the simlint rules -- see docs/linting.md).
+    """
+    for result in results:
+        assert_valid(result, queues=queues)
 
 
 @pytest.fixture(scope="module")
@@ -50,11 +61,13 @@ class TestReadmeJourney:
         assert gaia.total_cost < nowait.total_cost  # reserved pool pays off
         assert gaia.mean_waiting_hours > 0
         assert verify_result(gaia, queues=default_queue_set()) == []
+        assert_accounting(nowait, gaia, queues=default_queue_set())
 
     def test_nowait_realizes_the_arrival_demand(self, workload, carbon):
         """Under NoWait, the realized demand profile equals the
         workload's run-on-arrival profile -- two independent code paths."""
         result = run_simulation(workload, carbon, "nowait")
+        assert_accounting(result, queues=default_queue_set())
         realized = demand_profile(result.records, workload.horizon)
         planned = workload.demand_profile()
         np.testing.assert_allclose(realized, planned)
@@ -63,6 +76,7 @@ class TestReadmeJourney:
         """Total carbon equals an independent recomputation from usage
         intervals and the raw trace."""
         result = run_simulation(workload, carbon, "carbon-time")
+        assert_accounting(result, queues=default_queue_set())
         from repro.simulator.simulation import prepare_carbon
 
         covering = prepare_carbon(carbon, workload, default_queue_set())
@@ -92,6 +106,7 @@ class TestCapacityPlanningJourney:
             reserved_cpus=knee.reserved_cpus,
         )
         assert direct.total_cost == pytest.approx(knee.cost)
+        assert_accounting(direct, queues=default_queue_set())
 
 
 class TestSpotJourney:
@@ -103,6 +118,7 @@ class TestSpotJourney:
             retry_spot=True,
         )
         assert verify_result(result) == []
+        assert_accounting(result, queues=default_queue_set())
         options = {
             option
             for record in result.records
@@ -118,6 +134,7 @@ class TestSpotJourney:
         )
         ratio = savings_per_cost_percent(gaia, baseline)
         assert ratio > 0  # saves carbon without losing money overall
+        assert_accounting(baseline, gaia, queues=default_queue_set())
 
 
 class TestPersistenceJourney:
@@ -132,3 +149,4 @@ class TestPersistenceJourney:
         b = run_simulation(reloaded, carbon, "carbon-time")
         assert a.total_carbon_g == b.total_carbon_g
         assert a.total_cost == b.total_cost
+        assert_accounting(a, b, queues=default_queue_set())
