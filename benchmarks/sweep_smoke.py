@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Benchmark smoke: time representative sweeps, emit ``BENCH_sweep.json``.
+
+Runs each experiment twice through the batch runner -- a cold pass that
+executes simulations and a warm pass that should be served from the
+result cache -- and records machine-readable wall times and cache-hit
+counts so CI builds a perf trajectory across PRs::
+
+    python benchmarks/sweep_smoke.py --jobs 2 --scale small
+
+Output shape (``BENCH_sweep.json``)::
+
+    {"meta": {"jobs": 2, "scale": "small"},
+     "experiments": {"fig08": {"cold_s": 1.9, "warm_s": 0.02,
+                               "cold_cache_hits": 0, "warm_cache_hits": 6}}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+DEFAULT_EXPERIMENTS = ("fig08", "fig16", "ablation-granularity")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=None,
+                        help=f"experiment ids (default: {' '.join(DEFAULT_EXPERIMENTS)})")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes per sweep")
+    parser.add_argument("--scale", choices=("small", "medium", "full"), default="small")
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_JOBS"] = str(args.jobs)
+    from repro.experiments.registry import run_experiment
+    from repro.simulator.runner import default_cache
+
+    cache = default_cache()
+    report: dict[str, dict[str, float | int]] = {}
+    for experiment_id in args.experiments or DEFAULT_EXPERIMENTS:
+        timings = {}
+        for phase in ("cold", "warm"):
+            hits_before = cache.hits
+            started = time.perf_counter()
+            run_experiment(experiment_id, scale=args.scale)
+            timings[f"{phase}_s"] = round(time.perf_counter() - started, 3)
+            timings[f"{phase}_cache_hits"] = cache.hits - hits_before
+        report[experiment_id] = timings
+        print(f"{experiment_id}: cold {timings['cold_s']}s "
+              f"({timings['cold_cache_hits']} hits), "
+              f"warm {timings['warm_s']}s ({timings['warm_cache_hits']} hits)")
+
+    payload = {
+        "meta": {"jobs": args.jobs, "scale": args.scale},
+        "experiments": report,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    stale = [
+        experiment_id
+        for experiment_id, timings in report.items()
+        if timings["warm_cache_hits"] == 0
+    ]
+    if stale:
+        print(f"warm pass missed the cache for: {', '.join(stale)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,13 +6,16 @@ Usage::
     python examples/paper_figures.py              # list experiments
     python examples/paper_figures.py fig11        # one figure
     python examples/paper_figures.py fig08 fig10 --scale small
-    python examples/paper_figures.py --all --scale small
+    python examples/paper_figures.py --all --scale small --jobs 4
 
 Scale: small (seconds), medium (default, minutes), full (the paper's
-year x 100k configuration).
+year x 100k configuration).  ``--jobs N`` fans each experiment's
+simulation grid out over N worker processes; ``--no-cache`` disables
+result reuse across runs.
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -24,7 +27,19 @@ def main(argv=None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment ids, e.g. fig11")
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--scale", choices=("small", "medium", "full"), default=None)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes per simulation sweep "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="re-run every simulation even when a cached "
+                             "result exists")
     args = parser.parse_args(argv)
+
+    # The experiment layer reads these when it submits sweeps.
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
 
     targets = list(EXPERIMENTS) if args.all else args.experiments
     if not targets:

@@ -69,7 +69,15 @@ from repro.scaling import (
     fixed_allocation_plan,
     plan_carbon_scaling,
 )
-from repro.simulator import JobRecord, SimulationResult, run_simulation
+from repro.simulator import (
+    JobRecord,
+    ResultCache,
+    RunStats,
+    SimulationResult,
+    SimulationSpec,
+    run_many,
+    run_simulation,
+)
 from repro.workload import (
     Job,
     JobQueue,
@@ -151,4 +159,9 @@ __all__ = [
     "run_simulation",
     "SimulationResult",
     "JobRecord",
+    # batch runner
+    "SimulationSpec",
+    "run_many",
+    "RunStats",
+    "ResultCache",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.carbon.trace import CarbonIntensityTrace
 from repro.errors import ReproError
-from repro.simulator.simulation import run_simulation
+from repro.simulator.runner import SimulationSpec, run_many
 from repro.workload.trace import WorkloadTrace
 
 __all__ = ["SweepPoint", "reserved_sweep", "knee_point", "classify_regimes"]
@@ -39,33 +39,41 @@ def reserved_sweep(
     policy_spec: str,
     reserved_values: Sequence[int],
     baseline_spec: str = "nowait",
+    jobs: int | None = None,
     **sim_kwargs,
 ) -> list[SweepPoint]:
     """Run ``policy_spec`` across reserved pool sizes.
 
     Normalization follows the paper's Fig. 11: every point is relative to
     the ``baseline_spec`` policy on a pure on-demand cluster (0 reserved).
+    The baseline and every pool size go through the batch runner in one
+    submission, so sweep points are cached, deduplicated, and spread over
+    ``jobs`` (or ``$REPRO_JOBS``) workers.
     """
     if not reserved_values:
         raise ReproError("reserved_values must be non-empty")
-    baseline = run_simulation(workload, carbon, baseline_spec, reserved_cpus=0, **sim_kwargs)
-    points = []
-    for reserved in reserved_values:
-        result = run_simulation(
+    specs = [
+        SimulationSpec.build(workload, carbon, baseline_spec, reserved_cpus=0, **sim_kwargs)
+    ]
+    specs.extend(
+        SimulationSpec.build(
             workload, carbon, policy_spec, reserved_cpus=int(reserved), **sim_kwargs
         )
-        points.append(
-            SweepPoint(
-                reserved_cpus=int(reserved),
-                cost=result.total_cost,
-                carbon_kg=result.total_carbon_kg,
-                mean_wait_hours=result.mean_waiting_hours,
-                normalized_cost=result.total_cost / baseline.total_cost,
-                normalized_carbon=result.total_carbon_kg / baseline.total_carbon_kg,
-                reserved_utilization=result.reserved_utilization,
-            )
+        for reserved in reserved_values
+    )
+    baseline, *results = run_many(specs, jobs=jobs)
+    return [
+        SweepPoint(
+            reserved_cpus=int(reserved),
+            cost=result.total_cost,
+            carbon_kg=result.total_carbon_kg,
+            mean_wait_hours=result.mean_waiting_hours,
+            normalized_cost=result.total_cost / baseline.total_cost,
+            normalized_carbon=result.total_carbon_kg / baseline.total_carbon_kg,
+            reserved_utilization=result.reserved_utilization,
         )
-    return points
+        for reserved, result in zip(reserved_values, results)
+    ]
 
 
 def knee_point(points: Sequence[SweepPoint]) -> SweepPoint:

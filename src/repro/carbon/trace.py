@@ -10,6 +10,7 @@ so policies can evaluate thousands of candidate start times in O(1) each.
 from __future__ import annotations
 
 import csv
+import hashlib
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -42,6 +43,7 @@ class HourlySeries:
         self._hourly = values
         self.name = name
         self._cumulative: np.ndarray | None = None
+        self._content_digest: str | None = None
 
     @property
     def hourly(self) -> np.ndarray:
@@ -120,15 +122,40 @@ class HourlySeries:
         cum = self._cum()
         return float(cum[end] - cum[start])
 
-    def integrate_many(self, starts: np.ndarray, duration: int) -> np.ndarray:
-        """Vectorized :meth:`integrate` for many equal-length windows."""
+    def integrate_many(
+        self, starts: np.ndarray, duration: int | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`integrate` over many windows.
+
+        ``duration`` is either a scalar (equal-length candidate windows,
+        the policy search case) or a per-window array (the accounting
+        case: one entry per usage interval).
+        """
         starts = np.asarray(starts, dtype=np.int64)
-        if duration < 0:
+        durations = np.asarray(duration, dtype=np.int64)
+        if np.any(durations < 0):
             raise TraceError("duration must be non-negative")
-        if starts.size and (starts.min() < 0 or starts.max() + duration > self.horizon_minutes):
+        ends = starts + durations
+        if starts.size and (starts.min() < 0 or ends.max() > self.horizon_minutes):
             raise TraceError("candidate window extends beyond the trace horizon")
         cum = self._cum()
-        return cum[starts + duration] - cum[starts]
+        return cum[ends] - cum[starts]
+
+    def content_digest(self) -> str:
+        """SHA-256 over the series' exact values, name, and type.
+
+        Content-addresses the series for the simulation runner's result
+        cache (see :mod:`repro.simulator.runner`): two series hash equal
+        iff their float values are bit-identical and they carry the same
+        name and class.  Computed once and cached.
+        """
+        if self._content_digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(type(self).__name__.encode())
+            hasher.update(self.name.encode())
+            hasher.update(self._hourly.tobytes())
+            self._content_digest = hasher.hexdigest()
+        return self._content_digest
 
     def mean_over(self, start_minute: float, end_minute: float) -> float:
         """Time-weighted mean value over ``[start, end)``."""

@@ -86,6 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--carbon-price", type=float, default=0.0,
                         help="carbon tax in $ per kgCO2eq folded into cost")
     parser.add_argument("--granularity", type=int, default=5)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-run the simulation instead of reusing "
+                             "a cached result for identical inputs")
     parser.add_argument("--output-dir", default=None,
                         help="write aggregate.csv, details.csv, runtime.csv here")
     return parser
@@ -199,10 +202,7 @@ def main(argv: list[str] | None = None) -> int:
 
             forecaster_factory = HistoricalForecaster
         pricing = DEFAULT_PRICING.with_carbon_price(args.carbon_price)
-        result = run_simulation(
-            workload,
-            carbon_trace,
-            args.policy,
+        sim_kwargs = dict(
             reserved_cpus=args.reserved,
             queues=queues,
             pricing=pricing,
@@ -211,9 +211,19 @@ def main(argv: list[str] | None = None) -> int:
             instance_overhead_minutes=args.instance_overhead,
             granularity=args.granularity,
             forecast_sigma=forecast_sigma,
-            forecaster_factory=forecaster_factory,
             online_estimation=args.online_estimation,
         )
+        if forecaster_factory is not None:
+            # Live forecaster objects are not spec-able; run directly.
+            result = run_simulation(
+                workload, carbon_trace, args.policy,
+                forecaster_factory=forecaster_factory, **sim_kwargs,
+            )
+        else:
+            from repro.simulator.runner import SimulationSpec, run_many
+
+            spec = SimulationSpec.build(workload, carbon_trace, args.policy, **sim_kwargs)
+            result = run_many([spec], use_cache=not args.no_cache)[0]
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.units import MINUTES_PER_HOUR
 
@@ -45,6 +47,14 @@ class EnergyModel:
         if cpus < 0:
             raise ConfigError("cpus must be non-negative")
         return self.watts_per_cpu * cpus / 1000.0
+
+    def active_kw_many(self, cpu_counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`active_kw` (same operation order, so the
+        per-element results are bit-identical to the scalar method)."""
+        counts = np.asarray(cpu_counts)
+        if counts.size and counts.min() < 0:
+            raise ConfigError("cpus must be non-negative")
+        return self.watts_per_cpu * counts / 1000.0
 
     def energy_kwh(self, cpus: int, minutes: float) -> float:
         """Active energy of ``cpus`` CPUs busy for ``minutes``."""

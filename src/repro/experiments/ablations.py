@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from repro.cluster.pricing import PricingModel
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["forecast_noise", "granularity", "carbon_tax"]
 
@@ -28,12 +28,16 @@ def forecast_noise(scale: str | None = None) -> ExperimentResult:
     """Carbon-Time savings vs CI-forecast error."""
     workload = setup.week_workload("alibaba", scale)
     carbon_trace = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon_trace, "nowait")
-    rows = []
-    for sigma in NOISE_SIGMAS:
-        result = run_simulation(
+    specs = [SimulationSpec.build(workload, carbon_trace, "nowait")]
+    specs.extend(
+        SimulationSpec.build(
             workload, carbon_trace, "carbon-time", forecast_sigma=sigma, forecast_seed=7
         )
+        for sigma in NOISE_SIGMAS
+    )
+    baseline, *results = sweep(specs)
+    rows = []
+    for sigma, result in zip(NOISE_SIGMAS, results):
         rows.append(
             {
                 "forecast_sigma": sigma,
@@ -53,10 +57,14 @@ def granularity(scale: str | None = None) -> ExperimentResult:
     """Start-time candidate spacing: accuracy vs search cost."""
     workload = setup.week_workload("alibaba", scale)
     carbon_trace = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon_trace, "nowait")
+    specs = [SimulationSpec.build(workload, carbon_trace, "nowait")]
+    specs.extend(
+        SimulationSpec.build(workload, carbon_trace, "carbon-time", granularity=step)
+        for step in GRANULARITIES
+    )
+    baseline, *results = sweep(specs)
     rows = []
-    for step in GRANULARITIES:
-        result = run_simulation(workload, carbon_trace, "carbon-time", granularity=step)
+    for step, result in zip(GRANULARITIES, results):
         rows.append(
             {
                 "granularity_min": step,
@@ -78,15 +86,19 @@ def carbon_tax(scale: str | None = None) -> ExperimentResult:
     """Fold a carbon price into cost (paper Section 7 discussion)."""
     workload = setup.week_workload("alibaba", scale)
     carbon_trace = setup.carbon_for("SA-AU")
-    rows = []
+    specs = []
     for price in CARBON_PRICES:
         pricing = PricingModel().with_carbon_price(price)
-        agnostic = run_simulation(
-            workload, carbon_trace, "nowait", reserved_cpus=9, pricing=pricing
-        )
-        aware = run_simulation(
-            workload, carbon_trace, "res-first:carbon-time", reserved_cpus=9, pricing=pricing
-        )
+        for policy in ("nowait", "res-first:carbon-time"):
+            specs.append(
+                SimulationSpec.build(
+                    workload, carbon_trace, policy, reserved_cpus=9, pricing=pricing
+                )
+            )
+    results = sweep(specs)
+    rows = []
+    for index, price in enumerate(CARBON_PRICES):
+        agnostic, aware = results[2 * index], results[2 * index + 1]
         rows.append(
             {
                 "carbon_price_usd_per_kg": price,

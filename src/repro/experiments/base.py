@@ -18,7 +18,21 @@ from dataclasses import dataclass, field
 from repro.analysis.report import render_table
 from repro.errors import ConfigError
 
-__all__ = ["Scale", "SCALES", "current_scale", "ExperimentResult"]
+__all__ = ["Scale", "SCALES", "current_scale", "ExperimentResult", "sweep"]
+
+
+def sweep(specs, jobs=None, stats=None):
+    """Run an experiment's whole simulation grid through the batch runner.
+
+    Thin façade over :func:`repro.simulator.runner.run_many` so figure
+    modules submit their full grid up front (deduplicated, cached, and
+    fanned out over ``$REPRO_JOBS`` workers) instead of looping over
+    ``run_simulation``.  Returns one ``SimulationResult`` per spec, in
+    spec order.
+    """
+    from repro.simulator.runner import run_many
+
+    return run_many(specs, jobs=jobs, stats=stats)
 
 
 @dataclass(frozen=True)

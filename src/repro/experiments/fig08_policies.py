@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from repro.analysis.normalize import normalize_to_max
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["run", "POLICIES"]
 
@@ -30,10 +30,11 @@ def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 8 policy comparison."""
     workload = setup.week_workload("alibaba", scale)
     carbon_trace = setup.carbon_for("SA-AU")
-    results = {
-        spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=0)
+    specs = [
+        SimulationSpec.build(workload, carbon_trace, spec, reserved_cpus=0)
         for spec in POLICIES
-    }
+    ]
+    results = dict(zip(POLICIES, sweep(specs)))
     carbon_by_policy = {spec: result.total_carbon_kg for spec, result in results.items()}
     wait_by_policy = {spec: result.mean_waiting_hours for spec, result in results.items()}
     norm_carbon = normalize_to_max(carbon_by_policy)

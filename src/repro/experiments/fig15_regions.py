@@ -10,8 +10,8 @@ waiting time is essentially region-independent.
 from __future__ import annotations
 
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["run", "FAMILIES"]
 
@@ -20,24 +20,34 @@ FAMILIES = ("mustang", "alibaba", "azure")
 
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 15 region x workload matrix."""
+    workloads = {family: setup.year_workload(family, scale) for family in FAMILIES}
+    cells = [
+        (region, family)
+        for region in setup.EVAL_REGIONS
+        for family in FAMILIES
+    ]
+    specs = [
+        SimulationSpec.build(
+            workloads[family], setup.carbon_for(region), policy, reserved_cpus=0
+        )
+        for region, family in cells
+        for policy in ("nowait", "carbon-time")
+    ]
+    results = sweep(specs)
     rows = []
     waits: dict[str, list[float]] = {family: [] for family in FAMILIES}
-    for region in setup.EVAL_REGIONS:
-        carbon_trace = setup.carbon_for(region)
-        for family in FAMILIES:
-            workload = setup.year_workload(family, scale)
-            baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=0)
-            result = run_simulation(workload, carbon_trace, "carbon-time", reserved_cpus=0)
-            rows.append(
-                {
-                    "region": region,
-                    "trace": family,
-                    "normalized_carbon": result.total_carbon_kg / baseline.total_carbon_kg,
-                    "carbon_saving_pct": 100 * result.carbon_savings_vs(baseline),
-                    "mean_wait_h": result.mean_waiting_hours,
-                }
-            )
-            waits[family].append(result.mean_waiting_hours)
+    for index, (region, family) in enumerate(cells):
+        baseline, result = results[2 * index], results[2 * index + 1]
+        rows.append(
+            {
+                "region": region,
+                "trace": family,
+                "normalized_carbon": result.total_carbon_kg / baseline.total_carbon_kg,
+                "carbon_saving_pct": 100 * result.carbon_savings_vs(baseline),
+                "mean_wait_h": result.mean_waiting_hours,
+            }
+        )
+        waits[family].append(result.mean_waiting_hours)
     wait_spread = {
         family: (max(values) - min(values)) / max(values)
         for family, values in waits.items()

@@ -10,8 +10,8 @@ region/trade-off configuration.
 from __future__ import annotations
 
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["run"]
 
@@ -19,11 +19,15 @@ __all__ = ["run"]
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 16 normalized-vs-total comparison."""
     workload = setup.year_workload("alibaba", scale)
+    specs = [
+        SimulationSpec.build(workload, setup.carbon_for(region), policy, reserved_cpus=0)
+        for region in setup.EVAL_REGIONS
+        for policy in ("nowait", "carbon-time")
+    ]
+    results = sweep(specs)
     rows = []
-    for region in setup.EVAL_REGIONS:
-        carbon_trace = setup.carbon_for(region)
-        baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=0)
-        result = run_simulation(workload, carbon_trace, "carbon-time", reserved_cpus=0)
+    for index, region in enumerate(setup.EVAL_REGIONS):
+        baseline, result = results[2 * index], results[2 * index + 1]
         rows.append(
             {
                 "region": region,

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 from repro.analysis.normalize import normalize_to_max
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["run", "POLICIES", "FAMILIES"]
 
@@ -30,16 +30,26 @@ FAMILIES = ("mustang", "alibaba", "azure")
 def run(scale: str | None = None) -> ExperimentResult:
     """Regenerate the Fig. 17 trace x policy reserved comparison."""
     carbon_trace = setup.carbon_for("SA-AU")
+    workloads = {family: setup.year_workload(family, scale) for family in FAMILIES}
+    reserved_used = {
+        family: int(round(workload.mean_demand))
+        for family, workload in workloads.items()
+    }
+    specs = [
+        SimulationSpec.build(
+            workloads[family], carbon_trace, spec, reserved_cpus=reserved_used[family]
+        )
+        for family in FAMILIES
+        for spec in POLICIES
+    ]
+    all_results = sweep(specs)
     rows = []
-    reserved_used = {}
-    for family in FAMILIES:
-        workload = setup.year_workload(family, scale)
-        reserved = int(round(workload.mean_demand))
-        reserved_used[family] = reserved
-        results = {
-            spec: run_simulation(workload, carbon_trace, spec, reserved_cpus=reserved)
-            for spec in POLICIES
-        }
+    for family_index, family in enumerate(FAMILIES):
+        workload = workloads[family]
+        reserved = reserved_used[family]
+        results = dict(
+            zip(POLICIES, all_results[family_index * len(POLICIES):][: len(POLICIES)])
+        )
         norm_cost = normalize_to_max({s: r.total_cost for s, r in results.items()})
         norm_carbon = normalize_to_max({s: r.total_carbon_kg for s, r in results.items()})
         for spec in POLICIES:

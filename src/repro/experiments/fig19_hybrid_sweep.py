@@ -13,10 +13,8 @@ from __future__ import annotations
 
 from repro.cluster.spot import HourlyHazard
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.policies.carbon_time import CarbonTime
-from repro.policies.wrappers import ResFirst, SpotRes
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 from repro.units import hours
 
 __all__ = ["run", "JMAX_SWEEP", "RESERVED_FRACTIONS", "EVICTION_RATE"]
@@ -32,35 +30,44 @@ def run(scale: str | None = None) -> ExperimentResult:
     carbon_trace = setup.carbon_for("SA-AU")
     queues = setup.fine_grained_queues()
     eviction = HourlyHazard(EVICTION_RATE)
-    baseline = run_simulation(workload, carbon_trace, "nowait", queues=queues)
     mean_demand = workload.mean_demand
 
-    rows = []
-    for jmax in JMAX_SWEEP:
+    grid = [
+        (jmax, fraction, int(round(mean_demand * fraction)))
+        for jmax in JMAX_SWEEP
+        for fraction in RESERVED_FRACTIONS
+    ]
+    specs = [SimulationSpec.build(workload, carbon_trace, "nowait", queues=queues)]
+    for jmax, _fraction, reserved in grid:
         if jmax == 0:
-            policy = ResFirst(CarbonTime())
+            policy_spec, policy_kwargs = "res-first:carbon-time", None
         else:
-            policy = SpotRes(CarbonTime(), spot_max_length=hours(jmax))
-        for fraction in RESERVED_FRACTIONS:
-            reserved = int(round(mean_demand * fraction))
-            result = run_simulation(
+            policy_spec = "spot-res:carbon-time"
+            policy_kwargs = {"spot_max_length": hours(jmax)}
+        specs.append(
+            SimulationSpec.build(
                 workload,
                 carbon_trace,
-                policy,
+                policy_spec,
+                policy_kwargs=policy_kwargs,
                 reserved_cpus=reserved,
                 queues=queues,
                 eviction_model=eviction,
             )
-            rows.append(
-                {
-                    "jmax_h": jmax,
-                    "reserved_cpus": reserved,
-                    "reserved_frac": fraction,
-                    "normalized_cost": result.total_cost / baseline.total_cost,
-                    "normalized_carbon": result.total_carbon_kg / baseline.total_carbon_kg,
-                    "mean_wait_h": result.mean_waiting_hours,
-                }
-            )
+        )
+    baseline, *results = sweep(specs)
+
+    rows = [
+        {
+            "jmax_h": jmax,
+            "reserved_cpus": reserved,
+            "reserved_frac": fraction,
+            "normalized_cost": result.total_cost / baseline.total_cost,
+            "normalized_carbon": result.total_carbon_kg / baseline.total_carbon_kg,
+            "mean_wait_h": result.mean_waiting_hours,
+        }
+        for (jmax, fraction, reserved), result in zip(grid, results)
+    ]
     return ExperimentResult(
         experiment_id="fig19",
         title="Spot-RES: reserved sweep per J^max at 10%/h evictions (Azure)",

@@ -12,8 +12,8 @@ import math
 
 from repro.analysis.metrics import mean_waiting_reduction, savings_per_cost_percent
 from repro.experiments import setup
-from repro.experiments.base import ExperimentResult
-from repro.simulator.simulation import run_simulation
+from repro.experiments.base import ExperimentResult, sweep
+from repro.simulator.runner import SimulationSpec
 
 __all__ = ["run", "RESERVED"]
 
@@ -26,13 +26,17 @@ def run(scale: str | None = None) -> ExperimentResult:
     """Compute savings-per-cost-percent and waiting reduction."""
     workload = setup.week_workload("alibaba", scale)
     carbon_trace = setup.carbon_for("SA-AU")
-    baseline = run_simulation(workload, carbon_trace, "nowait", reserved_cpus=RESERVED)
+    policies = (*PRIOR_POLICIES, "carbon-time", *GAIA_POLICIES)
+    specs = [
+        SimulationSpec.build(workload, carbon_trace, spec, reserved_cpus=RESERVED)
+        for spec in ("nowait", *policies)
+    ]
+    baseline, *policy_results = sweep(specs)
 
     rows = []
     efficiency = {}
     results = {}
-    for spec in (*PRIOR_POLICIES, "carbon-time", *GAIA_POLICIES):
-        result = run_simulation(workload, carbon_trace, spec, reserved_cpus=RESERVED)
+    for spec, result in zip(policies, policy_results):
         results[spec] = result
         ratio = savings_per_cost_percent(result, baseline)
         efficiency[spec] = ratio

@@ -1,76 +1,85 @@
-"""Registry mapping experiment ids to their ``run`` functions."""
+"""Registry mapping experiment ids to their ``run`` functions.
+
+Figure modules are imported *lazily*: the registry stores
+``(module stem, attribute)`` pairs and resolves them through
+:mod:`importlib` on first access, so ``python -m repro`` startup and
+single-experiment runs stop paying for 26 eager module imports.
+``EXPERIMENTS`` still behaves like the dict it used to be (iteration,
+membership, ``.get``), only import time moved.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import importlib
+from collections.abc import Callable, Iterator, Mapping
 
 from repro.errors import ConfigError
-from repro.experiments import ablations, extensions
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig01_carbon_variation import run as fig01
-from repro.experiments.fig02_motivating import run as fig02
-from repro.experiments.fig04_regimes import run as fig04
-from repro.experiments.fig05_traces import run as fig05
-from repro.experiments.fig06_regions import run as fig06
-from repro.experiments.fig07_seasonal import run as fig07
-from repro.experiments.fig08_policies import run as fig08
-from repro.experiments.fig09_savings_by_length import run as fig09
-from repro.experiments.fig10_hybrid_policies import run as fig10
-from repro.experiments.fig11_reserved_sweep import run as fig11
-from repro.experiments.fig12_spot_reserved import run as fig12
-from repro.experiments.fig13_traces import run as fig13
-from repro.experiments.fig14_waiting import run as fig14
-from repro.experiments.fig15_regions import run as fig15
-from repro.experiments.fig16_total_savings import run as fig16
-from repro.experiments.fig17_reserved_traces import run as fig17
-from repro.experiments.fig18_spot_eviction import run as fig18
-from repro.experiments.fig19_hybrid_sweep import run as fig19
-from repro.experiments.fig20_price_conflict import run as fig20
-from repro.experiments.headline import run as headline
-from repro.experiments.table1_policies import run as table1
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
-EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "fig01": fig01,
-    "fig02": fig02,
-    "fig04": fig04,
-    "fig05": fig05,
-    "fig06": fig06,
-    "fig07": fig07,
-    "table1": table1,
-    "fig08": fig08,
-    "fig09": fig09,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig14": fig14,
-    "fig15": fig15,
-    "fig16": fig16,
-    "fig17": fig17,
-    "fig18": fig18,
-    "fig19": fig19,
-    "fig20": fig20,
-    "headline": headline,
-    "ablation-forecast": ablations.forecast_noise,
-    "ablation-granularity": ablations.granularity,
-    "ablation-carbon-tax": ablations.carbon_tax,
-    "ext-suspend-resume": extensions.suspend_resume,
-    "ext-checkpointing": extensions.checkpointing,
-    "ext-federation": extensions.federation,
-    "ext-provisioning": extensions.provisioning,
-    "ext-arrival-phase": extensions.arrival_phase,
-    "ext-energy-price": extensions.energy_price,
-    "ext-scaling": extensions.scaling,
+#: Experiment id -> (module stem under ``repro.experiments``, attribute).
+_EXPERIMENT_SPECS: dict[str, tuple[str, str]] = {
+    "fig01": ("fig01_carbon_variation", "run"),
+    "fig02": ("fig02_motivating", "run"),
+    "fig04": ("fig04_regimes", "run"),
+    "fig05": ("fig05_traces", "run"),
+    "fig06": ("fig06_regions", "run"),
+    "fig07": ("fig07_seasonal", "run"),
+    "table1": ("table1_policies", "run"),
+    "fig08": ("fig08_policies", "run"),
+    "fig09": ("fig09_savings_by_length", "run"),
+    "fig10": ("fig10_hybrid_policies", "run"),
+    "fig11": ("fig11_reserved_sweep", "run"),
+    "fig12": ("fig12_spot_reserved", "run"),
+    "fig13": ("fig13_traces", "run"),
+    "fig14": ("fig14_waiting", "run"),
+    "fig15": ("fig15_regions", "run"),
+    "fig16": ("fig16_total_savings", "run"),
+    "fig17": ("fig17_reserved_traces", "run"),
+    "fig18": ("fig18_spot_eviction", "run"),
+    "fig19": ("fig19_hybrid_sweep", "run"),
+    "fig20": ("fig20_price_conflict", "run"),
+    "headline": ("headline", "run"),
+    "ablation-forecast": ("ablations", "forecast_noise"),
+    "ablation-granularity": ("ablations", "granularity"),
+    "ablation-carbon-tax": ("ablations", "carbon_tax"),
+    "ext-suspend-resume": ("extensions", "suspend_resume"),
+    "ext-checkpointing": ("extensions", "checkpointing"),
+    "ext-federation": ("extensions", "federation"),
+    "ext-provisioning": ("extensions", "provisioning"),
+    "ext-arrival-phase": ("extensions", "arrival_phase"),
+    "ext-energy-price": ("extensions", "energy_price"),
+    "ext-scaling": ("extensions", "scaling"),
 }
+
+
+class _LazyExperiments(Mapping):
+    """Dict-like view over the experiment table with on-demand imports."""
+
+    def __getitem__(self, experiment_id: str) -> Callable[..., ExperimentResult]:
+        stem, attribute = _EXPERIMENT_SPECS[experiment_id]
+        module = importlib.import_module(f"repro.experiments.{stem}")
+        return getattr(module, attribute)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_EXPERIMENT_SPECS)
+
+    def __len__(self) -> int:
+        return len(_EXPERIMENT_SPECS)
+
+    def __contains__(self, experiment_id) -> bool:
+        return experiment_id in _EXPERIMENT_SPECS
+
+
+#: All reproduced figures/tables, keyed by experiment id.
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentResult]] = _LazyExperiments()
 
 
 def run_experiment(experiment_id: str, scale: str | None = None) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"fig11"``)."""
-    runner = EXPERIMENTS.get(experiment_id)
-    if runner is None:
+    if experiment_id not in EXPERIMENTS:
         raise ConfigError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
-    return runner(scale)
+    return EXPERIMENTS[experiment_id](scale)

@@ -143,6 +143,11 @@ class Policy(ABC):
     performance_aware: bool = False
     #: Knowledge of job length: "none", "average", or "exact" (Table 1).
     length_knowledge: str = "none"
+    #: True when :meth:`decide` is a pure function of the (arrival, queue,
+    #: cpus, length-estimate) tuple given a fixed context — i.e. the policy
+    #: keeps no per-run mutable state.  The engine memoizes decisions for
+    #: stateless policies (see ``Engine`` ``memoize_decisions``).
+    stateless: bool = True
 
     @abstractmethod
     def decide(self, job: Job, ctx: SchedulingContext) -> Decision:

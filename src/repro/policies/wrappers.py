@@ -40,6 +40,7 @@ class _Wrapper(Policy):
         self.performance_aware = inner.performance_aware
         self.requires_job_length = inner.requires_job_length
         self.length_knowledge = inner.length_knowledge
+        self.stateless = inner.stateless
 
     def _inner_decision(self, job: Job, ctx: SchedulingContext) -> Decision:
         return self.inner.decide(job, ctx)

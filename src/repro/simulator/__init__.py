@@ -9,6 +9,12 @@ from repro.simulator.results import (
     UsageInterval,
     demand_profile,
 )
+from repro.simulator.runner import (
+    ResultCache,
+    RunStats,
+    SimulationSpec,
+    run_many,
+)
 from repro.simulator.simulation import prepare_carbon, run_simulation
 from repro.simulator.validation import assert_valid, verify_result
 
@@ -22,4 +28,8 @@ __all__ = [
     "demand_profile",
     "prepare_carbon",
     "run_simulation",
+    "SimulationSpec",
+    "run_many",
+    "RunStats",
+    "ResultCache",
 ]

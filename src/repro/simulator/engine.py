@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass, field
 from enum import IntEnum
 
+import numpy as np
+
 from repro.carbon.forecast import Forecaster, PerfectForecaster
 from repro.carbon.trace import CarbonIntensityTrace
 from repro.cluster.capacity import ReservedPool
@@ -103,6 +105,7 @@ class Engine:
         instance_overhead_minutes: int = 0,
         length_estimator=None,
         price_forecaster: Forecaster | None = None,
+        memoize_decisions: bool | None = None,
     ):
         self.workload = workload
         self.carbon = carbon
@@ -135,6 +138,15 @@ class Engine:
         if instance_overhead_minutes < 0:
             raise SimulationError("instance overhead must be non-negative")
         self.instance_overhead_minutes = instance_overhead_minutes
+        # Decision memoization: replicated jobs with identical
+        # (arrival, queue, cpus, length) re-use the first decision instead
+        # of re-running the candidate-window argmin.  Sound only for
+        # stateless policies (see Policy.stateless) and never with an
+        # online length estimator, whose estimates drift within a run.
+        if memoize_decisions is None:
+            memoize_decisions = getattr(policy, "stateless", False)
+        self.memoize_decisions = bool(memoize_decisions) and length_estimator is None
+        self._decision_memo: dict[tuple[int, str, int, int], Decision] = {}
 
         self._heap: list[tuple[int, int, int, _RunState | Job]] = []
         self._seq = itertools.count()
@@ -169,16 +181,16 @@ class Engine:
 
         unfinished = [run.job.job_id for run in self._runs if not run.finished]
         if unfinished:
-            raise SimulationError(f"jobs never finished: {unfinished[:5]}...")
+            shown = ", ".join(str(job_id) for job_id in unfinished[:5])
+            more = ", ..." if len(unfinished) > 5 else ""
+            raise SimulationError(f"jobs never finished: [{shown}{more}]")
         return self._build_result()
 
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: int, job: Job) -> None:
-        decision = self.policy.decide(job, self.ctx)
-        if self.validate:
-            validate_decision(job, decision, self.ctx)
+        decision = self._decide(job)
         run = _RunState(job=job, decision=decision, segments=decision.segments)
         self._runs.append(run)
 
@@ -192,6 +204,29 @@ class Engine:
         if decision.reserved_pickup:
             self._pending.append(run)
         self._push(decision.start_time, _EventKind.START, run)
+
+    def _decide(self, job: Job) -> Decision:
+        """The policy's decision for ``job``, memoized when sound.
+
+        The key includes ``job.length``: segment policies (Wait Awhile,
+        Ecovisor) consume the exact length, and queue routing falls back
+        to it for unqueued jobs, so two jobs share a decision only when
+        every decide() input matches.  Decisions are frozen, so sharing
+        one across runs is safe.
+        """
+        if not self.memoize_decisions:
+            decision = self.policy.decide(job, self.ctx)
+            if self.validate:
+                validate_decision(job, decision, self.ctx)
+            return decision
+        key = (job.arrival, job.queue, job.cpus, job.length)
+        cached = self._decision_memo.get(key)
+        if cached is None:
+            cached = self.policy.decide(job, self.ctx)
+            if self.validate:
+                validate_decision(job, cached, self.ctx)
+            self._decision_memo[key] = cached
+        return cached
 
     def _on_start(self, now: int, payload) -> None:
         if isinstance(payload, _SegmentStart):
@@ -352,17 +387,70 @@ class Engine:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def _record_for(self, run: _RunState) -> JobRecord:
+    def _interval_values(
+        self,
+    ) -> tuple[list[float], list[float], list[float], list[float]]:
+        """Per-interval accounting values across *all* runs, batched.
+
+        One :meth:`HourlySeries.integrate_many` call (and one numpy
+        expression each for energy, metered cost, and boot-overhead
+        carbon) replaces the per-interval Python calls the old accounting
+        loop made.  Values are elementwise-identical to the scalar
+        formulas, so the per-job accumulation in :meth:`_record_for`
+        reproduces the old sums bit for bit.
+        """
+        count = sum(len(run.usage) for run in self._runs)
+        starts = np.empty(count, dtype=np.int64)
+        durations = np.empty(count, dtype=np.int64)
+        cpu_counts = np.empty(count, dtype=np.int64)
+        rates_usd_per_hour = np.empty(count, dtype=np.float64)
+        cursor = 0
+        for run in self._runs:
+            for interval in run.usage:
+                starts[cursor] = interval.start
+                durations[cursor] = interval.end - interval.start
+                cpu_counts[cursor] = interval.cpus
+                rates_usd_per_hour[cursor] = (
+                    0.0
+                    if interval.option is PurchaseOption.RESERVED
+                    else self.pricing.hourly_rate(interval.option)
+                )
+                cursor += 1
+        kw_values = self.energy.active_kw_many(cpu_counts)
+        carbon_values_g = self.carbon.integrate_many(starts, durations) * kw_values
+        energy_values_kwh = kw_values * durations / MINUTES_PER_HOUR
+        cost_values_usd = rates_usd_per_hour * (durations * cpu_counts) / MINUTES_PER_HOUR
+        boot_ci = self.carbon.hourly[starts // MINUTES_PER_HOUR]
+        boot_carbon_values_g = (
+            boot_ci * kw_values * self.instance_overhead_minutes / MINUTES_PER_HOUR
+        )
+        return (
+            carbon_values_g.tolist(),
+            energy_values_kwh.tolist(),
+            cost_values_usd.tolist(),
+            boot_carbon_values_g.tolist(),
+        )
+
+    def _record_for(
+        self,
+        run: _RunState,
+        offset: int,
+        carbon_values_g: list[float],
+        energy_values_kwh: list[float],
+        cost_values_usd: list[float],
+        boot_carbon_values_g: list[float],
+    ) -> JobRecord:
         job = run.job
         kw = self.energy.active_kw(job.cpus)
         carbon_g = 0.0
         energy_kwh = 0.0
         usage_cost = 0.0
         provisioning = 0.0
-        for interval in run.usage:
-            carbon_g += self.carbon.interval_carbon(interval.start, interval.end) * kw
-            energy_kwh += self.energy.energy_kwh(job.cpus, interval.end - interval.start)
-            usage_cost += self.pricing.usage_cost(interval.option, interval.cpu_minutes)
+        for position, interval in enumerate(run.usage):
+            index = offset + position
+            carbon_g += carbon_values_g[index]
+            energy_kwh += energy_values_kwh[index]
+            usage_cost += cost_values_usd[index]
             if (
                 self.instance_overhead_minutes
                 and interval.option is not PurchaseOption.RESERVED
@@ -377,12 +465,7 @@ class Engine:
                     interval.option, overhead * job.cpus
                 )
                 energy_kwh += self.energy.energy_kwh(job.cpus, overhead)
-                carbon_g += (
-                    self.carbon.ci_at(interval.start)
-                    * kw
-                    * overhead
-                    / MINUTES_PER_HOUR
-                )
+                carbon_g += boot_carbon_values_g[index]
         baseline_end = min(job.arrival + job.length, self.carbon.horizon_minutes)
         baseline = self.carbon.interval_carbon(job.arrival, baseline_end) * kw
         return JobRecord(
@@ -405,7 +488,12 @@ class Engine:
         )
 
     def _build_result(self) -> SimulationResult:
-        records = tuple(self._record_for(run) for run in self._runs)
+        values = self._interval_values()
+        records = []
+        offset = 0
+        for run in self._runs:
+            records.append(self._record_for(run, offset, *values))
+            offset += len(run.usage)
         return SimulationResult(
             policy_name=self.policy.name,
             workload_name=self.workload.name,

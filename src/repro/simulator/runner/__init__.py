@@ -1,0 +1,40 @@
+"""Parallel, cached batch execution of simulations.
+
+The runner turns the experiment layer's ``run_simulation`` loops into
+declarative sweeps: build :class:`SimulationSpec` values (frozen,
+hashable, picklable descriptions of single runs), submit the whole grid
+to :func:`run_many`, and let the runner deduplicate, consult the
+content-addressed :class:`ResultCache`, and fan the rest out over
+worker processes.  See ``docs/performance.md`` for the architecture and
+cache-keying details.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.runner.cache import (
+    ResultCache,
+    code_version_salt,
+    default_cache,
+    reset_default_cache,
+)
+from repro.simulator.runner.execute import (
+    RunStats,
+    execution_count,
+    resolve_jobs,
+    run_many,
+)
+from repro.simulator.runner.spec import FrozenSeries, FrozenWorkload, SimulationSpec
+
+__all__ = [
+    "SimulationSpec",
+    "FrozenWorkload",
+    "FrozenSeries",
+    "run_many",
+    "RunStats",
+    "resolve_jobs",
+    "execution_count",
+    "ResultCache",
+    "code_version_salt",
+    "default_cache",
+    "reset_default_cache",
+]

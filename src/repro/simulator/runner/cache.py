@@ -1,0 +1,160 @@
+"""Content-addressed caching of simulation results.
+
+Results are keyed by ``sha256(code_version_salt + spec.digest())``: the
+spec digest covers every simulation input, and the code-version salt --
+a hash of the ``repro`` sources that can affect simulation outputs --
+invalidates all entries whenever the simulator, policies, or models
+change.  The experiment/analysis/lint layers are deliberately excluded
+from the salt: editing a figure script must not evict the simulations it
+re-plots.
+
+The in-memory layer is always on; the on-disk layer is opt-in via
+``$REPRO_CACHE_DIR`` (explicit directory) or ``$REPRO_DISK_CACHE=1``
+(default ``~/.cache/repro``).  ``$REPRO_NO_CACHE=1`` disables caching in
+:func:`repro.simulator.runner.run_many` entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+from repro.simulator.results import SimulationResult
+
+__all__ = [
+    "code_version_salt",
+    "ResultCache",
+    "default_cache",
+    "reset_default_cache",
+]
+
+#: Packages (relative to the ``repro`` root) whose sources determine
+#: simulation outputs.  Top-level modules (units, errors, ...) are
+#: always included.
+_SALTED_PACKAGES = ("carbon", "cluster", "policies", "simulator", "workload")
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """SHA-256 over the simulation-affecting ``repro`` source files.
+
+    Cached per process: source files do not change under a running
+    simulation, and hashing them once costs a few milliseconds.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    files = sorted(root.glob("*.py"))
+    for package in _SALTED_PACKAGES:
+        files.extend(sorted((root / package).rglob("*.py")))
+    hasher = hashlib.sha256()
+    for path in files:
+        hasher.update(path.relative_to(root).as_posix().encode())
+        hasher.update(path.read_bytes())
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Two-layer (memory + optional disk) cache of simulation results.
+
+    Parameters
+    ----------
+    disk_dir:
+        Directory for pickled results, or ``None`` for memory-only.
+        Created lazily on the first write.
+    """
+
+    def __init__(self, disk_dir: str | Path | None = None):
+        self._memory: dict[str, SimulationResult] = {}
+        self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ResultCache":
+        """Build a cache from ``$REPRO_CACHE_DIR`` / ``$REPRO_DISK_CACHE``."""
+        env = os.environ if environ is None else environ
+        cache_dir = env.get("REPRO_CACHE_DIR", "")
+        if cache_dir:
+            return cls(disk_dir=cache_dir)
+        if env.get("REPRO_DISK_CACHE", "") == "1":
+            return cls(disk_dir=Path.home() / ".cache" / "repro")
+        return cls()
+
+    def key_for(self, spec) -> str:
+        """The cache key of a spec: its digest salted by the code version."""
+        return hashlib.sha256(
+            f"{code_version_salt()}:{spec.digest()}".encode()
+        ).hexdigest()
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` (counted as a miss)."""
+        found = self._memory.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        if self.disk_dir is not None:
+            found = self._read_disk(key)
+            if found is not None:
+                self._memory[key] = found
+                self.hits += 1
+                return found
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store a result under ``key`` in every configured layer."""
+        self._memory[key] = result
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            handle, staging_path = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(staging_path, self.disk_dir / f"{key}.pkl")
+            except OSError:
+                if os.path.exists(staging_path):
+                    os.unlink(staging_path)
+                raise
+
+    def clear(self) -> None:
+        """Drop the memory layer and reset counters (disk is untouched)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _read_disk(self, key: str) -> SimulationResult | None:
+        path = self.disk_dir / f"{key}.pkl"
+        try:
+            with open(path, "rb") as stream:
+                found = pickle.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            # A truncated or stale entry is a miss, not an error.
+            return None
+        return found if isinstance(found, SimulationResult) else None
+
+
+_DEFAULT_CACHE: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache, built from the environment on first use."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ResultCache.from_env()
+    return _DEFAULT_CACHE
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (tests; env changes)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None

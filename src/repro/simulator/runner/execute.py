@@ -1,0 +1,152 @@
+"""Batch execution of simulation specs: serial, parallel, and cached.
+
+:func:`run_many` is the sweep primitive every experiment builds on.  It
+deduplicates identical specs within a batch, consults the result cache,
+and fans the remainder out over a ``ProcessPoolExecutor`` -- workers
+receive only the small picklable specs and rebuild live traces
+themselves.  ``jobs=1`` runs in-process (deterministic call order, and
+the :func:`execution_count` hook observes every engine execution, which
+the cache-hit tests rely on).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simulator.results import SimulationResult
+from repro.simulator.runner.cache import ResultCache, default_cache
+from repro.simulator.runner.spec import SimulationSpec
+
+__all__ = ["RunStats", "run_many", "resolve_jobs", "execution_count"]
+
+
+#: In-process count of simulations actually executed (cache hits and
+#: work done in pool workers do not increment it here).
+_EXECUTIONS = 0
+
+
+def execution_count() -> int:
+    """How many simulations this process has executed via the runner.
+
+    A warm-cache ``run_many`` leaves this unchanged -- the invariant the
+    cache-hit tests assert.
+    """
+    return _EXECUTIONS
+
+
+def _execute(spec: SimulationSpec) -> SimulationResult:
+    """Run one spec in-process, counting the execution."""
+    global _EXECUTIONS
+    _EXECUTIONS += 1
+    return spec.run()
+
+
+def _execute_indexed(item: tuple[int, SimulationSpec]) -> tuple[int, SimulationResult]:
+    """Pool-worker entry point (module-level so it pickles)."""
+    index, spec = item
+    return index, _execute(spec)
+
+
+@dataclass
+class RunStats:
+    """Bookkeeping of one :func:`run_many` call.
+
+    ``total = executed + cache_hits + deduplicated``: every spec is
+    either executed, served from the cache, or aliased to an identical
+    spec executed in the same batch.
+    """
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    jobs: int = 1
+
+
+def resolve_jobs(jobs: int | None = None, environ=None) -> int:
+    """Worker count: the explicit argument, else ``$REPRO_JOBS``, else 1."""
+    if jobs is None:
+        env = os.environ if environ is None else environ
+        raw = env.get("REPRO_JOBS", "")
+        jobs = int(raw) if raw else 1
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    return jobs
+
+
+def run_many(
+    specs: Iterable[SimulationSpec],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+    stats: RunStats | None = None,
+) -> list[SimulationResult]:
+    """Run every spec and return one result per spec, in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The simulations to run.  Identical specs (equal digests) are
+        executed once and share the result object.
+    jobs:
+        Worker processes; ``None`` reads ``$REPRO_JOBS`` (default 1).
+        1 runs in-process.
+    cache:
+        Result cache to consult and fill; ``None`` uses the process-wide
+        :func:`default_cache`.
+    use_cache:
+        ``False`` (or ``$REPRO_NO_CACHE=1``) bypasses the cache
+        entirely; in-batch deduplication still applies.
+    stats:
+        Optional :class:`RunStats` filled in place with hit/execution
+        counts.
+    """
+    spec_list = list(specs)
+    jobs = resolve_jobs(jobs)
+    if os.environ.get("REPRO_NO_CACHE", "") == "1":
+        use_cache = False
+    active_cache = (cache if cache is not None else default_cache()) if use_cache else None
+
+    results: list[SimulationResult | None] = [None] * len(spec_list)
+    digests: list[str] = [spec.digest() for spec in spec_list]
+    to_run: list[tuple[int, SimulationSpec]] = []
+    followers: dict[str, list[int]] = {}
+    hit_count = 0
+    for index, spec in enumerate(spec_list):
+        if active_cache is not None:
+            found = active_cache.get(active_cache.key_for(spec))
+            if found is not None:
+                results[index] = found
+                hit_count += 1
+                continue
+        digest = digests[index]
+        if digest in followers:
+            followers[digest].append(index)
+        else:
+            followers[digest] = []
+            to_run.append((index, spec))
+
+    if not to_run or jobs == 1 or len(to_run) == 1:
+        computed = [(index, _execute(spec)) for index, spec in to_run]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
+            computed = list(pool.map(_execute_indexed, to_run))
+
+    for index, result in computed:
+        results[index] = result
+        if active_cache is not None:
+            active_cache.put(active_cache.key_for(spec_list[index]), result)
+        for follower in followers[digests[index]]:
+            results[follower] = result
+
+    if stats is not None:
+        stats.total = len(spec_list)
+        stats.executed = len(to_run)
+        stats.cache_hits = hit_count
+        stats.deduplicated = len(spec_list) - hit_count - len(to_run)
+        stats.jobs = jobs
+    return results  # type: ignore[return-value]  # every slot is filled above

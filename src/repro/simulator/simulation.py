@@ -74,6 +74,7 @@ def run_simulation(
     forecaster_factory=None,
     online_estimation: bool = False,
     price_trace=None,
+    memoize_decisions: bool | None = None,
 ) -> SimulationResult:
     """Run one policy over one workload/region and return the accounting.
 
@@ -81,6 +82,9 @@ def run_simulation(
     the pre-paid pool size, ``eviction_model`` the spot market behaviour,
     ``forecast_sigma`` > 0 switches to noisy CI forecasts (ablation), and
     ``granularity`` the candidate start-time spacing in minutes.
+    ``memoize_decisions`` overrides the engine's default of caching
+    decisions for stateless policies (never cached under online
+    estimation, whose length estimates drift within a run).
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
@@ -143,6 +147,7 @@ def run_simulation(
         instance_overhead_minutes=instance_overhead_minutes,
         length_estimator=estimator,
         price_forecaster=_price_forecaster_for(price_trace, covering),
+        memoize_decisions=memoize_decisions,
     )
     return engine.run()
 

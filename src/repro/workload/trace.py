@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import hashlib
 from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
@@ -41,6 +42,7 @@ class WorkloadTrace:
         if horizon is not None and horizon < ordered[-1].arrival:
             raise TraceError("horizon ends before the last arrival")
         self.horizon = horizon if horizon is not None else inferred
+        self._content_digest: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -59,6 +61,23 @@ class WorkloadTrace:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" {self.name!r}" if self.name else ""
         return f"<WorkloadTrace{label} jobs={len(self)} horizon={self.horizon}m>"
+
+    def content_digest(self) -> str:
+        """SHA-256 over every job field plus the trace name and horizon.
+
+        Content-addresses the workload for the simulation runner's result
+        cache (see :mod:`repro.simulator.runner`).  Computed once and
+        cached; the trace is immutable so the digest never goes stale.
+        """
+        if self._content_digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(f"WorkloadTrace:{self.name}:{self.horizon}".encode())
+            for job in self._jobs:
+                hasher.update(
+                    f"{job.job_id},{job.arrival},{job.length},{job.cpus},{job.queue};".encode()
+                )
+            self._content_digest = hasher.hexdigest()
+        return self._content_digest
 
     # ------------------------------------------------------------------
     # Aggregates
