@@ -61,6 +61,14 @@ from repro.policies import (
     make_policy,
     policy_table,
 )
+from repro.obs import (
+    CollectingTracer,
+    JsonlTracer,
+    MetricsRegistry,
+    Tracer,
+    aggregate_metrics,
+    tracer_from_env,
+)
 from repro.scaling import (
     AmdahlSpeedup,
     LinearSpeedup,
@@ -164,4 +172,11 @@ __all__ = [
     "run_many",
     "RunStats",
     "ResultCache",
+    # observability
+    "Tracer",
+    "JsonlTracer",
+    "CollectingTracer",
+    "tracer_from_env",
+    "MetricsRegistry",
+    "aggregate_metrics",
 ]

@@ -16,6 +16,7 @@ from repro.lint.rules.sim005_experiment_registry import ExperimentRegistryComple
 from repro.lint.rules.sim006_mutable_defaults import MutableDefaults
 from repro.lint.rules.sim007_export_hygiene import ExportHygiene
 from repro.lint.rules.sim008_docstrings import PublicDocstrings
+from repro.lint.rules.sim009_method_docstrings import MethodDocstrings
 
 __all__ = [
     "UnseededRandomness",
@@ -26,4 +27,5 @@ __all__ = [
     "MutableDefaults",
     "ExportHygiene",
     "PublicDocstrings",
+    "MethodDocstrings",
 ]

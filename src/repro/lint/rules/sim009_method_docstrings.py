@@ -1,0 +1,63 @@
+"""SIM009 -- method docstrings in the simulator and observability layers.
+
+SIM008 requires docstrings on modules and public *top-level* symbols
+everywhere.  The simulator core (``repro.simulator``) and the telemetry
+contract (``repro.obs``) are held to a stricter bar: every public
+*method and property* of a public class must carry a docstring too.
+These two packages are the layers external tooling programs against --
+``SimulationResult`` accessors feed the analysis/benchmark stack, and
+``repro.obs`` events/tracers are a documented wire contract
+(``docs/observability.md``) -- so an undocumented method there is an
+undocumented API.
+
+Private (``_``-prefixed) and dunder methods are exempt: the former are
+implementation detail, the latter are documented by the data model.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.base import Rule, register
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+__all__ = ["MethodDocstrings"]
+
+#: Dotted-module prefixes the rule applies to.
+_STRICT_PACKAGES = ("repro.simulator", "repro.obs")
+
+
+@register
+class MethodDocstrings(Rule):
+    """Flag missing docstrings on public methods in simulator/obs."""
+
+    code = "SIM009"
+    name = "method-docstrings"
+    rationale = (
+        "repro.simulator results and repro.obs events are programmed "
+        "against by the analysis stack and external tooling; an "
+        "undocumented public method there is an undocumented API "
+        "(docs/observability.md is built on these docstrings)."
+    )
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        """Only the simulator core and the observability layer."""
+        return module.module.startswith(_STRICT_PACKAGES)
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield a finding per undocumented public method/property."""
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+                continue
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if member.name.startswith("_"):
+                    continue
+                if ast.get_docstring(member) is None:
+                    yield self.finding(
+                        module, member,
+                        f"public method {node.name}.{member.name!r} has no docstring",
+                    )

@@ -1,0 +1,58 @@
+"""Simulation observability: event traces, metrics, and trace tooling.
+
+``repro.obs`` is the introspection layer for every trace-driven run.
+It has three parts, all **zero-overhead when disabled** (the default):
+
+* a structured event-trace API (:mod:`repro.obs.events` defines the
+  typed events; :mod:`repro.obs.tracer` the emitters) producing JSONL
+  streams of job lifecycle events, policy decisions with their
+  carbon/price inputs, and per-interval accounting snapshots;
+* a metrics registry (:mod:`repro.obs.metrics`) of counters, gauges,
+  and histograms, snapshot into ``SimulationResult.metrics`` and
+  aggregated across :func:`repro.simulator.runner.run_many` batches;
+* a CLI (``python -m repro.obs``) that summarizes one trace or diffs
+  two -- the debugging workflow for "why did this digest change".
+
+The engine, policies, and batch runner are instrumented behind
+:data:`~repro.obs.tracer.NULL_TRACER`; enable tracing with the
+``tracer=`` keyword of ``run_simulation``/``Engine``/``run_many`` or by
+setting ``$REPRO_TRACE`` (see :func:`~repro.obs.tracer.tracer_from_env`).
+The full telemetry contract -- every event type, field, and unit -- is
+documented in ``docs/observability.md``.
+
+This package deliberately imports nothing from the simulation layers,
+and it is excluded from the result cache's code-version salt: tracing
+never changes simulation outputs.
+"""
+
+from __future__ import annotations
+
+from repro.obs.analyze import diff_traces, read_trace, summarize_trace
+from repro.obs.events import EVENT_TYPES, Event, event_from_dict
+from repro.obs.metrics import MetricsRegistry, aggregate_metrics, empty_snapshot
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    tracer_from_env,
+)
+
+__all__ = [
+    "Event",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlTracer",
+    "CollectingTracer",
+    "tracer_from_env",
+    "MetricsRegistry",
+    "aggregate_metrics",
+    "empty_snapshot",
+    "read_trace",
+    "summarize_trace",
+    "diff_traces",
+]

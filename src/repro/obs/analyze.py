@@ -1,0 +1,207 @@
+"""Trace analysis: summarize one JSONL trace or diff two.
+
+These are the functions behind ``python -m repro.obs``.  They operate on
+the *wire form* (plain dicts) rather than typed events so a summary
+still works on traces from newer code with event types this version does
+not know; ``--strict`` parsing through
+:func:`repro.obs.events.event_from_dict` is the round-trip test's job.
+
+The diff is the "why did this digest change" workflow: run the scenario
+twice with tracing into two files, then ``python -m repro.obs diff a b``
+reports the first event where the streams diverge -- which job, which
+decision input, which eviction draw -- instead of leaving you to bisect
+a 365-day simulation by hand (walkthrough in ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.obs.metrics import aggregate_metrics
+
+__all__ = [
+    "read_trace",
+    "summarize_trace",
+    "render_summary",
+    "diff_traces",
+    "render_diff",
+]
+
+
+def read_trace(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    Blank lines are skipped; a malformed line raises :class:`ConfigError`
+    naming the line number.
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigError(f"{path}:{number}: not valid JSON ({error})") from None
+            if not isinstance(payload, dict) or "type" not in payload:
+                raise ConfigError(f"{path}:{number}: not an event object")
+            events.append(payload)
+    return events
+
+
+def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a trace into the summary dict ``summarize`` renders.
+
+    Keys: ``events`` (total), ``by_type`` (counts), ``runs`` (run_meta
+    payloads), ``decisions_by_policy`` (total and memoized counts),
+    ``starts_by_option``, ``evictions``, ``accounting`` (summed
+    interval_account values), and ``metrics`` (all snapshots aggregated
+    per :func:`repro.obs.metrics.aggregate_metrics`).
+    """
+    by_type: Counter[str] = Counter(event["type"] for event in events)
+    runs = [
+        {key: value for key, value in event.items() if key != "type"}
+        for event in events
+        if event["type"] == "run_meta"
+    ]
+    decisions: dict[str, dict[str, int]] = {}
+    starts: Counter[str] = Counter()
+    evictions = {"count": 0, "lost_cpu_minutes": 0.0, "preserved_minutes": 0}
+    accounting = {"intervals": 0, "carbon_g": 0.0, "energy_kwh": 0.0, "cost_usd": 0.0}
+    snapshots: list[dict[str, Any]] = []
+    for event in events:
+        kind = event["type"]
+        if kind == "policy_decision":
+            entry = decisions.setdefault(event["policy"], {"total": 0, "memoized": 0})
+            entry["total"] += 1
+            if event.get("memoized"):
+                entry["memoized"] += 1
+        elif kind == "job_start":
+            starts[event["option"]] += 1
+        elif kind == "job_evict":
+            evictions["count"] += 1
+            evictions["preserved_minutes"] += event.get("preserved_minutes", 0)
+            evictions["lost_cpu_minutes"] += event.get("lost_cpu_minutes", 0.0)
+        elif kind == "interval_account":
+            accounting["intervals"] += 1
+            accounting["carbon_g"] += event.get("carbon_g", 0.0)
+            accounting["energy_kwh"] += event.get("energy_kwh", 0.0)
+            accounting["cost_usd"] += event.get("cost_usd", 0.0)
+        elif kind == "metrics_snapshot":
+            snapshots.append(event.get("metrics", {}))
+    return {
+        "events": len(events),
+        "by_type": dict(sorted(by_type.items())),
+        "runs": runs,
+        "decisions_by_policy": decisions,
+        "starts_by_option": dict(sorted(starts.items())),
+        "evictions": evictions,
+        "accounting": accounting,
+        "metrics": aggregate_metrics(snapshots),
+    }
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_trace`'s dict."""
+    lines = [f"events: {summary['events']}"]
+    for kind, count in summary["by_type"].items():
+        lines.append(f"  {kind}: {count}")
+    if summary["runs"]:
+        lines.append("runs:")
+        for run in summary["runs"]:
+            lines.append(
+                f"  {run.get('policy')} on {run.get('workload')} @ "
+                f"{run.get('region')} (reserved={run.get('reserved_cpus')}, "
+                f"horizon={run.get('horizon')})"
+            )
+    if summary["decisions_by_policy"]:
+        lines.append("decisions by policy:")
+        for policy, entry in sorted(summary["decisions_by_policy"].items()):
+            lines.append(
+                f"  {policy}: {entry['total']} ({entry['memoized']} memoized)"
+            )
+    if summary["starts_by_option"]:
+        lines.append("starts by option:")
+        for option, count in summary["starts_by_option"].items():
+            lines.append(f"  {option}: {count}")
+    if summary["evictions"]["count"]:
+        lines.append(
+            f"evictions: {summary['evictions']['count']} "
+            f"(lost {summary['evictions']['lost_cpu_minutes']:.0f} cpu-min, "
+            f"preserved {summary['evictions']['preserved_minutes']} min)"
+        )
+    accounting = summary["accounting"]
+    if accounting["intervals"]:
+        lines.append(
+            f"accounting: {accounting['intervals']} intervals, "
+            f"{accounting['carbon_g']:.1f} gCO2, "
+            f"{accounting['energy_kwh']:.2f} kWh, "
+            f"${accounting['cost_usd']:.2f} metered"
+        )
+    counters = summary["metrics"]["counters"]
+    if counters:
+        lines.append("metrics (counters):")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name}: {value:g}")
+    histograms = summary["metrics"]["histograms"]
+    if histograms:
+        lines.append("metrics (histograms):")
+        for name, stats in sorted(histograms.items()):
+            lines.append(
+                f"  {name}: n={stats['count']:g} sum={stats['sum']:.4g} "
+                f"min={stats['min']:.4g} max={stats['max']:.4g}"
+            )
+    return "\n".join(lines)
+
+
+def diff_traces(
+    a_events: list[dict[str, Any]], b_events: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Compare two traces event by event.
+
+    Returns ``identical`` (bool), ``lengths`` (event counts),
+    ``count_deltas`` (per-type counts that differ, as ``[a, b]``), and
+    ``first_divergence`` -- the index and both wire dicts of the first
+    position where the streams disagree (``None`` events past the end of
+    the shorter trace), or ``None`` when identical.
+    """
+    first: dict[str, Any] | None = None
+    for index in range(max(len(a_events), len(b_events))):
+        a_event = a_events[index] if index < len(a_events) else None
+        b_event = b_events[index] if index < len(b_events) else None
+        if a_event != b_event:
+            first = {"index": index, "a": a_event, "b": b_event}
+            break
+    a_counts: Counter[str] = Counter(event["type"] for event in a_events)
+    b_counts: Counter[str] = Counter(event["type"] for event in b_events)
+    deltas = {
+        kind: [a_counts.get(kind, 0), b_counts.get(kind, 0)]
+        for kind in sorted(set(a_counts) | set(b_counts))
+        if a_counts.get(kind, 0) != b_counts.get(kind, 0)
+    }
+    return {
+        "identical": first is None,
+        "lengths": [len(a_events), len(b_events)],
+        "count_deltas": deltas,
+        "first_divergence": first,
+    }
+
+
+def render_diff(diff: dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_traces`'s dict."""
+    if diff["identical"]:
+        return f"traces are identical ({diff['lengths'][0]} events)"
+    lines = [f"traces differ: {diff['lengths'][0]} vs {diff['lengths'][1]} events"]
+    if diff["count_deltas"]:
+        lines.append("event-count deltas:")
+        for kind, (a_count, b_count) in diff["count_deltas"].items():
+            lines.append(f"  {kind}: {a_count} vs {b_count}")
+    first = diff["first_divergence"]
+    lines.append(f"first divergence at event {first['index']}:")
+    lines.append(f"  a: {json.dumps(first['a'], sort_keys=True)}")
+    lines.append(f"  b: {json.dumps(first['b'], sort_keys=True)}")
+    return "\n".join(lines)

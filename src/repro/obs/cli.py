@@ -1,0 +1,97 @@
+"""Command-line interface of ``python -m repro.obs``.
+
+Three subcommands:
+
+* ``summarize TRACE`` -- event counts, per-policy decision counts,
+  purchase-option mix, summed interval accounting, and aggregated
+  metrics for one JSONL trace (``--json`` for machine-readable output);
+* ``diff A B`` -- compare two traces and report the first divergence
+  (exit status 1 when they differ; the digest-debugging workflow);
+* ``schema`` -- list every event type and its fields, straight from the
+  dataclasses in :mod:`repro.obs.events`.
+
+Usage errors (unreadable file, malformed JSONL) exit with status 2,
+mirroring ``python -m repro.lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro.errors import ConfigError
+from repro.obs.analyze import (
+    diff_traces,
+    read_trace,
+    render_diff,
+    render_summary,
+    summarize_trace,
+)
+from repro.obs.events import EVENT_TYPES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or diff repro simulation traces (JSONL).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="aggregate one trace file into a readable report"
+    )
+    summarize.add_argument("trace", help="path to a JSONL trace")
+    summarize.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    diff = commands.add_parser(
+        "diff", help="compare two traces; exit 1 if they diverge"
+    )
+    diff.add_argument("a", help="first trace (JSONL)")
+    diff.add_argument("b", help="second trace (JSONL)")
+    diff.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    schema = commands.add_parser("schema", help="print every event type and its fields")
+    schema.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    return parser
+
+
+def _schema() -> dict[str, list[str]]:
+    """Event type -> ordered field names, from the event dataclasses."""
+    return {
+        name: [field.name for field in dataclasses.fields(event_class)]
+        for name, event_class in sorted(EVENT_TYPES.items())
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            summary = summarize_trace(read_trace(args.trace))
+            print(json.dumps(summary, indent=2) if args.json else render_summary(summary))
+            return 0
+        if args.command == "diff":
+            diff = diff_traces(read_trace(args.a), read_trace(args.b))
+            print(json.dumps(diff, indent=2) if args.json else render_diff(diff))
+            return 0 if diff["identical"] else 1
+        if args.command == "schema":
+            schema = _schema()
+            if args.json:
+                print(json.dumps(schema, indent=2))
+            else:
+                for name, fields in schema.items():
+                    print(f"{name}: {', '.join(fields)}")
+            return 0
+    except BrokenPipeError:  # e.g. piped into `head`; not a usage error
+        sys.stderr.close()
+        return 0
+    except (ConfigError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,285 @@
+"""Typed trace events: the vocabulary of the telemetry contract.
+
+Every event is a frozen dataclass with JSON-native fields; a trace is a
+stream of events serialized one-per-line (JSONL) by
+:class:`repro.obs.tracer.JsonlTracer`.  The wire form of an event is its
+field dict plus a ``"type"`` discriminator, so
+``event_from_dict(event.to_dict())`` round-trips exactly -- the schema
+test relies on it.
+
+Field conventions (details and a worked example per event live in
+``docs/observability.md``):
+
+* ``time`` -- integer simulation minute (never wall-clock);
+* ``option`` -- lowercase purchase-option name (``"reserved"``,
+  ``"on_demand"``, ``"spot"``);
+* carbon intensities are in g/kWh, energy in kWh, carbon masses in
+  grams, costs in USD, electricity prices in the price series' native
+  $/MWh.
+
+This module is dependency-free by design (stdlib only): the tracer can
+be imported anywhere -- engine, policies, runner -- without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+__all__ = [
+    "Event",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "RunMeta",
+    "JobArrival",
+    "PolicyDecision",
+    "CandidateWindow",
+    "JobStart",
+    "JobEvict",
+    "JobFinish",
+    "IntervalAccount",
+    "MetricsSnapshot",
+    "SweepSubmitted",
+    "SweepCompleted",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all trace events.
+
+    Subclasses set the class attribute ``type`` (the wire
+    discriminator) and register themselves in :data:`EVENT_TYPES` via
+    the :func:`_register` decorator.
+    """
+
+    type: ClassVar[str] = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-serializable wire form: fields plus ``"type"``."""
+        payload: dict[str, Any] = {"type": self.type}
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+
+#: Wire discriminator -> event class, for parsing traces back.
+EVENT_TYPES: dict[str, type[Event]] = {}
+
+
+def _register(event_class: type[Event]) -> type[Event]:
+    """Class decorator adding an event type to :data:`EVENT_TYPES`."""
+    EVENT_TYPES[event_class.type] = event_class
+    return event_class
+
+
+def event_from_dict(payload: dict[str, Any]) -> Event:
+    """Rebuild a typed event from its wire form.
+
+    Raises ``KeyError`` for an unknown ``"type"`` and ``TypeError`` for
+    missing or unexpected fields -- strict on purpose, so the schema
+    round-trip test catches contract drift.
+    """
+    fields = dict(payload)
+    event_class = EVENT_TYPES[fields.pop("type")]
+    return event_class(**fields)
+
+
+@_register
+@dataclass(frozen=True)
+class RunMeta(Event):
+    """Header event identifying one simulation run.
+
+    Emitted once, first, by the engine; ``summarize`` groups decision
+    counts under the ``policy`` named here.
+    """
+
+    type: ClassVar[str] = "run_meta"
+
+    policy: str
+    workload: str
+    region: str
+    reserved_cpus: int
+    horizon: int
+
+
+@_register
+@dataclass(frozen=True)
+class JobArrival(Event):
+    """A job entered the system at its trace arrival minute."""
+
+    type: ClassVar[str] = "job_arrival"
+
+    time: int
+    job_id: int
+    queue: str
+    cpus: int
+    length: int
+
+
+@_register
+@dataclass(frozen=True)
+class PolicyDecision(Event):
+    """The policy's scheduling decision for one job, with its inputs.
+
+    ``arrival_ci_g_per_kwh`` / ``start_ci_g_per_kwh`` are the true
+    hourly carbon intensity at the arrival minute and at the chosen
+    start minute; ``start_price_usd_per_mwh`` is the electricity price
+    at the chosen start when a price series is configured, else
+    ``None``.  ``memoized`` marks decisions served from the engine's
+    decision memo rather than a fresh ``Policy.decide`` call.
+    """
+
+    type: ClassVar[str] = "policy_decision"
+
+    time: int
+    job_id: int
+    policy: str
+    start_time: int
+    use_spot: bool
+    reserved_pickup: bool
+    num_segments: int
+    memoized: bool
+    arrival_ci_g_per_kwh: float
+    start_ci_g_per_kwh: float
+    start_price_usd_per_mwh: float | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class CandidateWindow(Event):
+    """One candidate-start search performed by a window policy.
+
+    Emitted by :meth:`SchedulingContext.candidate_starts`: the search
+    ranged over ``num_candidates`` start minutes in ``[time, latest]``
+    for a job expected to hold its window for ``hold_minutes``.
+    """
+
+    type: ClassVar[str] = "candidate_window"
+
+    time: int
+    latest: int
+    num_candidates: int
+    hold_minutes: int
+
+
+@_register
+@dataclass(frozen=True)
+class JobStart(Event):
+    """One allocation began executing (initial start, restart, segment).
+
+    ``attempt`` counts spot allocations made for the job so far (0 for
+    non-spot allocations before any spot attempt); ``duration`` is the
+    planned wall minutes of this allocation, including checkpoint
+    overhead on spot.
+    """
+
+    type: ClassVar[str] = "job_start"
+
+    time: int
+    job_id: int
+    option: str
+    duration: int
+    attempt: int
+
+
+@_register
+@dataclass(frozen=True)
+class JobEvict(Event):
+    """A spot revocation hit a running allocation.
+
+    ``lost_cpu_minutes`` and ``preserved_minutes`` are this eviction's
+    alone (cpu-minutes of progress lost; minutes saved by checkpoints);
+    ``evictions`` is the job's cumulative eviction count.
+    """
+
+    type: ClassVar[str] = "job_evict"
+
+    time: int
+    job_id: int
+    lost_cpu_minutes: float
+    preserved_minutes: int
+    evictions: int
+
+
+@_register
+@dataclass(frozen=True)
+class JobFinish(Event):
+    """A job completed all of its work."""
+
+    type: ClassVar[str] = "job_finish"
+
+    time: int
+    job_id: int
+    waiting_minutes: int
+    evictions: int
+
+
+@_register
+@dataclass(frozen=True)
+class IntervalAccount(Event):
+    """Accounting snapshot of one closed usage interval.
+
+    The metered values are exactly the engine's vectorized per-interval
+    accounting (``Engine._interval_values``): carbon from the true
+    trace, energy from the cluster energy model, cost at the option's
+    hourly rate (0 for reserved).  Boot-overhead surcharges are per-job,
+    not per-interval, and appear only in ``JobRecord``.
+    """
+
+    type: ClassVar[str] = "interval_account"
+
+    job_id: int
+    start: int
+    end: int
+    cpus: int
+    option: str
+    carbon_g: float
+    energy_kwh: float
+    cost_usd: float
+
+
+@_register
+@dataclass(frozen=True)
+class MetricsSnapshot(Event):
+    """A metrics-registry snapshot (see :mod:`repro.obs.metrics`).
+
+    ``scope`` names the emitting component (``"engine"``, ``"runner"``);
+    ``metrics`` is the ``MetricsRegistry.snapshot()`` mapping.
+    """
+
+    type: ClassVar[str] = "metrics_snapshot"
+
+    scope: str
+    metrics: dict[str, Any]
+
+
+@_register
+@dataclass(frozen=True)
+class SweepSubmitted(Event):
+    """A ``run_many`` batch was planned: how much work remains after
+    cache hits and in-batch deduplication."""
+
+    type: ClassVar[str] = "sweep_submitted"
+
+    total: int
+    executed: int
+    cache_hits: int
+    deduplicated: int
+    jobs: int
+
+
+@_register
+@dataclass(frozen=True)
+class SweepCompleted(Event):
+    """A ``run_many`` batch finished; ``wall_seconds`` is the whole
+    batch's wall time including cache lookups."""
+
+    type: ClassVar[str] = "sweep_completed"
+
+    total: int
+    executed: int
+    cache_hits: int
+    deduplicated: int
+    jobs: int
+    wall_seconds: float

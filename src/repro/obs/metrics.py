@@ -1,0 +1,98 @@
+"""Metrics registry: counters, gauges, and histograms for runs and sweeps.
+
+A :class:`MetricsRegistry` is a cheap in-process accumulator.  Its
+:meth:`~MetricsRegistry.snapshot` form -- a plain nested dict, the shape
+stored in ``SimulationResult.metrics`` and ``RunStats.metrics`` -- is::
+
+    {"counters":   {name: float},
+     "gauges":     {name: float},
+     "histograms": {name: {"count": int, "sum": float,
+                           "min": float, "max": float}}}
+
+Aggregation semantics (:func:`aggregate_metrics`): counters **sum**,
+gauges take the **max** (they record peaks/levels), histograms **merge**
+(counts and sums add, bounds widen).  The metric-name catalogue -- what
+the engine and runner record under which names -- is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+__all__ = ["MetricsRegistry", "aggregate_metrics", "empty_snapshot"]
+
+
+def empty_snapshot() -> dict[str, Any]:
+    """A snapshot with no metrics (the identity of :func:`aggregate_metrics`)."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class MetricsRegistry:
+    """Accumulates counters, gauges, and histograms by name."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    def counter(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the named counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def histogram(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = {
+                "count": 1,
+                "sum": float(value),
+                "min": float(value),
+                "max": float(value),
+            }
+            return
+        stats["count"] += 1
+        stats["sum"] += value
+        stats["min"] = min(stats["min"], value)
+        stats["max"] = max(stats["max"], value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A deep-copied, JSON-serializable view of everything recorded."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {name: dict(stats) for name, stats in self._histograms.items()},
+        }
+
+
+def aggregate_metrics(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Combine snapshots: counters sum, gauges max, histograms merge.
+
+    Empty or missing sections are tolerated, so partially-populated
+    snapshots (e.g. a result produced before metrics existed, unpickled
+    from an old cache entry) aggregate cleanly.
+    """
+    merged = empty_snapshot()
+    for snap in snapshots:
+        if not snap:
+            continue
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            current = merged["gauges"].get(name)
+            merged["gauges"][name] = value if current is None else max(current, value)
+        for name, stats in snap.get("histograms", {}).items():
+            current = merged["histograms"].get(name)
+            if current is None:
+                merged["histograms"][name] = dict(stats)
+            else:
+                current["count"] += stats["count"]
+                current["sum"] += stats["sum"]
+                current["min"] = min(current["min"], stats["min"])
+                current["max"] = max(current["max"], stats["max"])
+    return merged

@@ -1,0 +1,147 @@
+"""Tracer implementations: where trace events go.
+
+The contract is one method -- :meth:`Tracer.emit` -- plus an ``enabled``
+flag that instrumented code checks *before* constructing an event, so a
+disabled tracer costs one attribute read per event site and allocates
+nothing.  :data:`NULL_TRACER` is the process-wide disabled singleton
+every instrumented component defaults to.
+
+Select a tracer explicitly (the ``tracer=`` keyword of
+``run_simulation`` / ``Engine`` / ``run_many``) or through the
+environment (:func:`tracer_from_env`):
+
+* ``$REPRO_TRACE`` unset, empty, or ``0`` -- tracing off;
+* ``$REPRO_TRACE=1`` -- JSONL to ``repro-trace.jsonl`` (appending);
+* ``$REPRO_TRACE=<path>`` -- JSONL to that path;
+* ``$REPRO_TRACE_FILE=<path>`` -- overrides the destination.
+
+Writes are line-buffered single ``write`` calls, so concurrent worker
+processes appending to one file interleave whole lines, not bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.obs.events import Event
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "JsonlTracer",
+    "tracer_from_env",
+]
+
+
+class Tracer:
+    """Base tracer: enabled, but drops events (subclasses record them)."""
+
+    #: Instrumented code checks this before building an event.
+    enabled: bool = True
+
+    def emit(self, event: Event) -> None:
+        """Record one event (base class drops it)."""
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    def __enter__(self) -> "Tracer":
+        """Support ``with JsonlTracer(...) as tracer:`` usage."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close on context-manager exit."""
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: ``enabled`` is False and ``emit`` is a no-op."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:
+        """Drop the event."""
+
+
+#: Process-wide disabled tracer; the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+class CollectingTracer(Tracer):
+    """In-memory tracer collecting events into a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+    def by_type(self, type_name: str) -> list[Event]:
+        """All collected events with the given wire type, in order."""
+        return [event for event in self.events if event.type == type_name]
+
+
+class JsonlTracer(Tracer):
+    """Tracer writing one JSON object per line to a file or stream.
+
+    Parameters
+    ----------
+    destination:
+        A path (opened lazily in append mode, created if missing) or an
+        already-open text stream (not closed by :meth:`close`).
+    """
+
+    def __init__(self, destination: str | IO[str]) -> None:
+        self._path: str | None
+        self._stream: IO[str] | None
+        if isinstance(destination, str):
+            self._path = destination
+            self._stream = None
+            self._owns_stream = True
+        else:
+            self._path = None
+            self._stream = destination
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, event: Event) -> None:
+        """Serialize the event as one JSONL line."""
+        if self._stream is None:
+            assert self._path is not None
+            self._stream = open(self._path, "a", encoding="utf-8")
+        self._stream.write(json.dumps(event.to_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Flush and close the stream if this tracer opened it."""
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+            self._stream = None
+
+
+def tracer_from_env(environ: dict[str, str] | None = None) -> Tracer:
+    """Build the tracer the environment asks for (see module docstring).
+
+    Returns :data:`NULL_TRACER` unless ``$REPRO_TRACE`` enables tracing,
+    so callers can use the result unconditionally.
+    """
+    if environ is None:
+        import os
+
+        env: Any = os.environ
+    else:
+        env = environ
+    raw = env.get("REPRO_TRACE", "")
+    if raw in ("", "0"):
+        return NULL_TRACER
+    destination = env.get("REPRO_TRACE_FILE", "")
+    if not destination:
+        destination = raw if raw not in ("1", "true") else "repro-trace.jsonl"
+    return JsonlTracer(destination)

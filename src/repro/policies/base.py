@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.carbon.forecast import Forecaster
 from repro.errors import SchedulingError
+from repro.obs.events import CandidateWindow
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.units import MINUTES_PER_HOUR
 from repro.workload.job import Job, JobQueue, QueueSet
 
@@ -86,6 +88,10 @@ class SchedulingContext:
     #: Optional Forecaster over an electricity-price series, consumed by
     #: the price-aware policies (paper Section 7).
     price_forecaster: Forecaster | None = None
+    #: Observability sink shared with the engine (``docs/observability.md``);
+    #: the no-op null tracer by default, so emission sites cost one
+    #: attribute check when tracing is off.
+    tracer: Tracer = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.carbon_horizon <= 0:
@@ -119,10 +125,20 @@ class SchedulingContext:
         """
         latest = min(arrival + max_wait, self.carbon_horizon - hold)
         if latest <= arrival:
-            return np.array([arrival], dtype=np.int64)
-        candidates = np.arange(arrival, latest + 1, self.granularity, dtype=np.int64)
-        if candidates[-1] != latest:
-            candidates = np.append(candidates, latest)
+            candidates = np.array([arrival], dtype=np.int64)
+        else:
+            candidates = np.arange(arrival, latest + 1, self.granularity, dtype=np.int64)
+            if candidates[-1] != latest:
+                candidates = np.append(candidates, latest)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                CandidateWindow(
+                    time=arrival,
+                    latest=max(latest, arrival),
+                    num_candidates=len(candidates),
+                    hold_minutes=hold,
+                )
+            )
         return candidates
 
 

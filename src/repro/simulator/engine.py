@@ -40,6 +40,18 @@ from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
 from repro.cluster.pricing import DEFAULT_PRICING, PricingModel, PurchaseOption
 from repro.cluster.spot import CheckpointConfig, EvictionModel, NoEvictions
 from repro.errors import SimulationError
+from repro.obs.events import (
+    IntervalAccount,
+    JobArrival,
+    JobEvict,
+    JobFinish,
+    JobStart,
+    MetricsSnapshot,
+    PolicyDecision,
+    RunMeta,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.base import Decision, Policy, SchedulingContext, validate_decision
 from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
 from repro.units import MINUTES_PER_HOUR
@@ -106,6 +118,7 @@ class Engine:
         length_estimator=None,
         price_forecaster: Forecaster | None = None,
         memoize_decisions: bool | None = None,
+        tracer: Tracer | None = None,
     ):
         self.workload = workload
         self.carbon = carbon
@@ -118,12 +131,17 @@ class Engine:
         forecaster = forecaster if forecaster is not None else PerfectForecaster(carbon)
         if forecaster.trace is not carbon:
             raise SimulationError("forecaster must be built over the simulation's carbon trace")
+        # Observability: NULL_TRACER by default, so every emission site
+        # below is a single attribute check when tracing is off.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
         self.ctx = SchedulingContext(
             forecaster=forecaster,
             queues=queues,
             granularity=granularity,
             estimator=length_estimator,
             price_forecaster=price_forecaster,
+            tracer=self.tracer,
         )
         self.validate = validate
         self.spot_seed = spot_seed
@@ -152,6 +170,9 @@ class Engine:
         self._seq = itertools.count()
         self._pending: list[_RunState] = []  # reserved-pickup jobs, arrival order
         self._runs: list[_RunState] = []
+        # Cheap always-on counters, snapshot into SimulationResult.metrics.
+        self._policy_calls = 0
+        self._memo_hits = 0
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -166,6 +187,16 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the whole workload and return the accounting result."""
+        if self._tracing:
+            self.tracer.emit(
+                RunMeta(
+                    policy=self.policy.name,
+                    workload=self.workload.name,
+                    region=self.carbon.name,
+                    reserved_cpus=self.pool.capacity,
+                    horizon=self.workload.horizon,
+                )
+            )
         for job in self.workload:
             self._push(job.arrival, _EventKind.ARRIVAL, job)
 
@@ -190,6 +221,16 @@ class Engine:
     # Handlers
     # ------------------------------------------------------------------
     def _on_arrival(self, now: int, job: Job) -> None:
+        if self._tracing:
+            self.tracer.emit(
+                JobArrival(
+                    time=now,
+                    job_id=job.job_id,
+                    queue=job.queue,
+                    cpus=job.cpus,
+                    length=job.length,
+                )
+            )
         decision = self._decide(job)
         run = _RunState(job=job, decision=decision, segments=decision.segments)
         self._runs.append(run)
@@ -216,17 +257,57 @@ class Engine:
         """
         if not self.memoize_decisions:
             decision = self.policy.decide(job, self.ctx)
+            self._policy_calls += 1
             if self.validate:
                 validate_decision(job, decision, self.ctx)
+            if self._tracing:
+                self._trace_decision(job, decision, memoized=False)
             return decision
         key = (job.arrival, job.queue, job.cpus, job.length)
         cached = self._decision_memo.get(key)
+        memoized = cached is not None
         if cached is None:
             cached = self.policy.decide(job, self.ctx)
+            self._policy_calls += 1
             if self.validate:
                 validate_decision(job, cached, self.ctx)
             self._decision_memo[key] = cached
+        else:
+            self._memo_hits += 1
+        if self._tracing:
+            self._trace_decision(job, cached, memoized=memoized)
         return cached
+
+    def _ci_at(self, minute: int) -> float:
+        """True hourly carbon intensity (g/kWh) at a simulation minute."""
+        hourly = self.carbon.hourly
+        index = min(minute // MINUTES_PER_HOUR, len(hourly) - 1)
+        return float(hourly[index])
+
+    def _trace_decision(self, job: Job, decision: Decision, memoized: bool) -> None:
+        """Emit a PolicyDecision event with its carbon/price inputs."""
+        price_usd_per_mwh: float | None = None
+        if self.ctx.price_forecaster is not None:
+            price_hourly = self.ctx.price_forecaster.trace.hourly
+            price_index = min(
+                decision.start_time // MINUTES_PER_HOUR, len(price_hourly) - 1
+            )
+            price_usd_per_mwh = float(price_hourly[price_index])
+        self.tracer.emit(
+            PolicyDecision(
+                time=job.arrival,
+                job_id=job.job_id,
+                policy=self.policy.name,
+                start_time=decision.start_time,
+                use_spot=decision.use_spot,
+                reserved_pickup=decision.reserved_pickup,
+                num_segments=len(decision.segments) if decision.segments else 0,
+                memoized=memoized,
+                arrival_ci_g_per_kwh=self._ci_at(job.arrival),
+                start_ci_g_per_kwh=self._ci_at(decision.start_time),
+                start_price_usd_per_mwh=price_usd_per_mwh,
+            )
+        )
 
     def _on_start(self, now: int, payload) -> None:
         if isinstance(payload, _SegmentStart):
@@ -274,6 +355,16 @@ class Engine:
         run.lost_cpu_minutes += (elapsed - preserved) * run.job.cpus
         run.pending_overhead = 0  # unfinished checkpoints counted as lost
         run.evictions += 1
+        if self._tracing:
+            self.tracer.emit(
+                JobEvict(
+                    time=now,
+                    job_id=run.job.job_id,
+                    lost_cpu_minutes=float((elapsed - preserved) * run.job.cpus),
+                    preserved_minutes=preserved,
+                    evictions=run.evictions,
+                )
+            )
         self._close_interval(run, now)
         # Any remaining suspend-resume plan is abandoned: the redo runs
         # contiguously on the fallback option (reserved if one is free,
@@ -317,6 +408,16 @@ class Engine:
             run.spot_attempts += 1
         run.current_start = now
         run.current_option = option
+        if self._tracing:
+            self.tracer.emit(
+                JobStart(
+                    time=now,
+                    job_id=run.job.job_id,
+                    option=option.name.lower(),
+                    duration=duration,
+                    attempt=run.spot_attempts,
+                )
+            )
         finish = now + duration
         if option is PurchaseOption.SPOT:
             if run.spot_rng is None:
@@ -366,6 +467,15 @@ class Engine:
     def _finalize(self, run: _RunState, now: int) -> None:
         run.finished = True
         run.finish = now
+        if self._tracing:
+            self.tracer.emit(
+                JobFinish(
+                    time=now,
+                    job_id=run.job.job_id,
+                    waiting_minutes=now - run.job.arrival - run.job.length,
+                    evictions=run.evictions,
+                )
+            )
         if self.ctx.estimator is not None and run.job.queue:
             # The accounting database learns lengths as jobs complete.
             self.ctx.estimator.observe(run.job.queue, run.job.length)
@@ -494,6 +604,11 @@ class Engine:
         for run in self._runs:
             records.append(self._record_for(run, offset, *values))
             offset += len(run.usage)
+        if self._tracing:
+            self._trace_interval_accounts(values)
+        metrics = self._metrics_snapshot(records)
+        if self._tracing:
+            self.tracer.emit(MetricsSnapshot(scope="engine", metrics=metrics))
         return SimulationResult(
             policy_name=self.policy.name,
             workload_name=self.workload.name,
@@ -502,7 +617,55 @@ class Engine:
             horizon=self.workload.horizon,
             pricing=self.pricing,
             records=records,
+            metrics=metrics,
         )
+
+    def _trace_interval_accounts(self, values: tuple[list[float], ...]) -> None:
+        """Emit one IntervalAccount per usage interval, in record order."""
+        carbon_values_g, energy_values_kwh, cost_values_usd, _ = values
+        index = 0
+        for run in self._runs:
+            for interval in run.usage:
+                self.tracer.emit(
+                    IntervalAccount(
+                        job_id=run.job.job_id,
+                        start=interval.start,
+                        end=interval.end,
+                        cpus=interval.cpus,
+                        option=interval.option.name.lower(),
+                        carbon_g=carbon_values_g[index],
+                        energy_kwh=energy_values_kwh[index],
+                        cost_usd=cost_values_usd[index],
+                    )
+                )
+                index += 1
+
+    def _metrics_snapshot(self, records: list[JobRecord]) -> dict:
+        """The engine's metrics registry snapshot for this run.
+
+        Built once per run from state the engine tracks anyway, so
+        collection adds no per-event cost (``docs/observability.md``
+        catalogues the names).
+        """
+        registry = MetricsRegistry()
+        registry.counter("engine.jobs", float(len(records)))
+        registry.counter(f"policy.decisions.{self.policy.name}", float(len(self._runs)))
+        registry.counter("engine.policy_calls", float(self._policy_calls))
+        registry.counter("engine.decision_memo_hits", float(self._memo_hits))
+        registry.counter(
+            "engine.evictions", float(sum(run.evictions for run in self._runs))
+        )
+        registry.counter(
+            "engine.spot_attempts", float(sum(run.spot_attempts for run in self._runs))
+        )
+        registry.counter(
+            "engine.usage_intervals", float(sum(len(run.usage) for run in self._runs))
+        )
+        registry.gauge("engine.reserved_cpus", float(self.pool.capacity))
+        registry.gauge("engine.memoize_decisions", float(self.memoize_decisions))
+        for record in records:
+            registry.histogram("engine.job_waiting_minutes", float(record.waiting_time))
+        return registry.snapshot()
 
 
 class _SegmentStart:

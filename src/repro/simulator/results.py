@@ -36,6 +36,7 @@ class UsageInterval:
 
     @property
     def cpu_minutes(self) -> float:
+        """CPU-minutes metered by this interval (duration times width)."""
         return float((self.end - self.start) * self.cpus)
 
 
@@ -99,7 +100,15 @@ class JobRecord:
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of one simulation run."""
+    """Aggregate outcome of one simulation run.
+
+    ``metrics`` is the engine's observability snapshot (see
+    :mod:`repro.obs.metrics`): counters/gauges/histograms describing how
+    the run executed (decisions, memo hits, evictions, waiting
+    distribution).  It is *diagnostic* state -- excluded from equality
+    comparisons and from :meth:`digest`, which cover only the simulated
+    outcome.
+    """
 
     policy_name: str
     workload_name: str
@@ -108,6 +117,7 @@ class SimulationResult:
     horizon: int
     pricing: PricingModel
     records: tuple[JobRecord, ...] = field(default_factory=tuple)
+    metrics: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.records:
@@ -118,10 +128,12 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def total_carbon_g(self) -> float:
+        """Emissions of all jobs, in grams of CO2-equivalent."""
         return float(sum(record.carbon_g for record in self.records))
 
     @property
     def total_carbon_kg(self) -> float:
+        """Emissions of all jobs, in kilograms of CO2-equivalent."""
         return grams_to_kg(self.total_carbon_g)
 
     @property
@@ -131,6 +143,7 @@ class SimulationResult:
 
     @property
     def total_energy_kwh(self) -> float:
+        """Energy drawn by all jobs, in kilowatt-hours."""
         return float(sum(record.energy_kwh for record in self.records))
 
     # ------------------------------------------------------------------
@@ -153,6 +166,7 @@ class SimulationResult:
 
     @property
     def total_cost(self) -> float:
+        """Full bill in USD: reserved upfront + metered usage + carbon tax."""
         return self.reserved_upfront_cost + self.metered_cost + self.carbon_tax_cost
 
     # ------------------------------------------------------------------
@@ -160,18 +174,22 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def mean_waiting_minutes(self) -> float:
+        """Mean per-job waiting time (delay beyond pure length), minutes."""
         return float(np.mean([record.waiting_time for record in self.records]))
 
     @property
     def mean_waiting_hours(self) -> float:
+        """Mean per-job waiting time, in hours."""
         return self.mean_waiting_minutes / MINUTES_PER_HOUR
 
     @property
     def total_waiting_hours(self) -> float:
+        """Summed waiting time across all jobs, in hours."""
         return float(sum(r.waiting_time for r in self.records)) / MINUTES_PER_HOUR
 
     @property
     def mean_completion_hours(self) -> float:
+        """Mean submission-to-completion time per job, in hours."""
         return (
             float(np.mean([record.completion_time for record in self.records]))
             / MINUTES_PER_HOUR
@@ -208,6 +226,7 @@ class SimulationResult:
     # Utilization and spot
     # ------------------------------------------------------------------
     def cpu_minutes_by_option(self) -> dict[PurchaseOption, float]:
+        """CPU-minutes of realized usage per purchase option (all keys present)."""
         totals = {option: 0.0 for option in PurchaseOption}
         for record in self.records:
             for interval in record.usage:
@@ -235,10 +254,12 @@ class SimulationResult:
 
     @property
     def total_evictions(self) -> int:
+        """Total spot revocations suffered across all jobs."""
         return sum(record.evictions for record in self.records)
 
     @property
     def lost_cpu_hours(self) -> float:
+        """CPU-hours of progress redone because of evictions."""
         return (
             float(sum(record.lost_cpu_minutes for record in self.records))
             / MINUTES_PER_HOUR

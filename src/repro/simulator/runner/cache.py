@@ -73,6 +73,11 @@ class ResultCache:
         self.disk_dir = Path(disk_dir).expanduser() if disk_dir is not None else None
         self.hits = 0
         self.misses = 0
+        # Per-layer observability counters (hits = memory_hits + disk_hits);
+        # run_many folds their deltas into RunStats.metrics as cache.*.
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.writes = 0
 
     @classmethod
     def from_env(cls, environ=None) -> "ResultCache":
@@ -96,19 +101,31 @@ class ResultCache:
         found = self._memory.get(key)
         if found is not None:
             self.hits += 1
+            self.memory_hits += 1
             return found
         if self.disk_dir is not None:
             found = self._read_disk(key)
             if found is not None:
                 self._memory[key] = found
                 self.hits += 1
+                self.disk_hits += 1
                 return found
         self.misses += 1
         return None
 
+    def layer_counters(self) -> dict[str, int]:
+        """Current per-layer counters (for metrics deltas in ``run_many``)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
     def put(self, key: str, result: SimulationResult) -> None:
         """Store a result under ``key`` in every configured layer."""
         self._memory[key] = result
+        self.writes += 1
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             handle, staging_path = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
@@ -126,6 +143,9 @@ class ResultCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.writes = 0
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -12,11 +12,15 @@ the cache-hit tests rely on).
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.obs.events import MetricsSnapshot, SweepCompleted, SweepSubmitted
+from repro.obs.metrics import MetricsRegistry, aggregate_metrics
+from repro.obs.tracer import Tracer, tracer_from_env
 from repro.simulator.results import SimulationResult
 from repro.simulator.runner.cache import ResultCache, default_cache
 from repro.simulator.runner.spec import SimulationSpec
@@ -45,10 +49,20 @@ def _execute(spec: SimulationSpec) -> SimulationResult:
     return spec.run()
 
 
-def _execute_indexed(item: tuple[int, SimulationSpec]) -> tuple[int, SimulationResult]:
+def _execute_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
+    """Run one spec, returning the result and its wall seconds."""
+    started = time.perf_counter()
+    result = _execute(spec)
+    return result, time.perf_counter() - started
+
+
+def _execute_indexed(
+    item: tuple[int, SimulationSpec]
+) -> tuple[int, SimulationResult, float]:
     """Pool-worker entry point (module-level so it pickles)."""
     index, spec = item
-    return index, _execute(spec)
+    result, wall_seconds = _execute_timed(spec)
+    return index, result, wall_seconds
 
 
 @dataclass
@@ -57,7 +71,10 @@ class RunStats:
 
     ``total = executed + cache_hits + deduplicated``: every spec is
     either executed, served from the cache, or aliased to an identical
-    spec executed in the same batch.
+    spec executed in the same batch.  ``metrics`` is the batch's
+    aggregated observability snapshot (see :mod:`repro.obs.metrics`):
+    the runner's own counters and per-execution wall-time histogram
+    merged with the engine metrics of every distinct result.
     """
 
     total: int = 0
@@ -65,6 +82,7 @@ class RunStats:
     cache_hits: int = 0
     deduplicated: int = 0
     jobs: int = 1
+    metrics: dict = field(default_factory=dict)
 
 
 def resolve_jobs(jobs: int | None = None, environ=None) -> int:
@@ -84,6 +102,7 @@ def run_many(
     cache: ResultCache | None = None,
     use_cache: bool = True,
     stats: RunStats | None = None,
+    tracer: Tracer | None = None,
 ) -> list[SimulationResult]:
     """Run every spec and return one result per spec, in spec order.
 
@@ -103,13 +122,24 @@ def run_many(
         entirely; in-batch deduplication still applies.
     stats:
         Optional :class:`RunStats` filled in place with hit/execution
-        counts.
+        counts and the batch's aggregated metrics snapshot.
+    tracer:
+        Observability sink for batch-level events (sweep submitted /
+        completed, runner metrics); ``None`` consults ``$REPRO_TRACE``
+        and defaults to the no-op null tracer.  Worker processes emit
+        their per-run events through their own env-resolved tracers.
     """
     spec_list = list(specs)
     jobs = resolve_jobs(jobs)
+    if tracer is None:
+        tracer = tracer_from_env()
     if os.environ.get("REPRO_NO_CACHE", "") == "1":
         use_cache = False
     active_cache = (cache if cache is not None else default_cache()) if use_cache else None
+    cache_counters_before = (
+        active_cache.layer_counters() if active_cache is not None else {}
+    )
+    batch_started = time.perf_counter()
 
     results: list[SimulationResult | None] = [None] * len(spec_list)
     digests: list[str] = [spec.digest() for spec in spec_list]
@@ -130,23 +160,98 @@ def run_many(
             followers[digest] = []
             to_run.append((index, spec))
 
+    deduplicated = len(spec_list) - hit_count - len(to_run)
+    if tracer.enabled:
+        tracer.emit(
+            SweepSubmitted(
+                total=len(spec_list),
+                executed=len(to_run),
+                cache_hits=hit_count,
+                deduplicated=deduplicated,
+                jobs=jobs,
+            )
+        )
+
     if not to_run or jobs == 1 or len(to_run) == 1:
-        computed = [(index, _execute(spec)) for index, spec in to_run]
+        computed = [
+            (index, *_execute_timed(spec)) for index, spec in to_run
+        ]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
             computed = list(pool.map(_execute_indexed, to_run))
 
-    for index, result in computed:
+    for index, result, _wall_seconds in computed:
         results[index] = result
         if active_cache is not None:
             active_cache.put(active_cache.key_for(spec_list[index]), result)
         for follower in followers[digests[index]]:
             results[follower] = result
 
+    metrics = _batch_metrics(
+        results=results,
+        computed=computed,
+        total=len(spec_list),
+        cache_hits=hit_count,
+        deduplicated=deduplicated,
+        jobs=jobs,
+        active_cache=active_cache,
+        cache_counters_before=cache_counters_before,
+    )
+    if tracer.enabled:
+        tracer.emit(MetricsSnapshot(scope="runner", metrics=metrics))
+        tracer.emit(
+            SweepCompleted(
+                total=len(spec_list),
+                executed=len(to_run),
+                cache_hits=hit_count,
+                deduplicated=deduplicated,
+                jobs=jobs,
+                wall_seconds=time.perf_counter() - batch_started,
+            )
+        )
+
     if stats is not None:
         stats.total = len(spec_list)
         stats.executed = len(to_run)
         stats.cache_hits = hit_count
-        stats.deduplicated = len(spec_list) - hit_count - len(to_run)
+        stats.deduplicated = deduplicated
         stats.jobs = jobs
+        stats.metrics = metrics
     return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def _batch_metrics(
+    results: list[SimulationResult | None],
+    computed: list[tuple[int, SimulationResult, float]],
+    total: int,
+    cache_hits: int,
+    deduplicated: int,
+    jobs: int,
+    active_cache: ResultCache | None,
+    cache_counters_before: dict[str, int],
+) -> dict:
+    """Aggregate one batch's observability snapshot.
+
+    Merges the runner's own counters (spec dispositions, per-execution
+    wall-time histogram, cache-layer deltas) with the engine metrics of
+    every *distinct* result object -- deduplicated and cache-shared
+    results contribute once, so counters stay proportional to work done.
+    """
+    registry = MetricsRegistry()
+    registry.counter("runner.specs", float(total))
+    registry.counter("runner.executed", float(len(computed)))
+    registry.counter("runner.cache_hits", float(cache_hits))
+    registry.counter("runner.deduplicated", float(deduplicated))
+    registry.gauge("runner.jobs", float(jobs))
+    for _index, _result, wall_seconds in computed:
+        registry.histogram("runner.worker_wall_seconds", wall_seconds)
+    if active_cache is not None:
+        for name, count in active_cache.layer_counters().items():
+            delta = count - cache_counters_before.get(name, 0)
+            if delta:
+                registry.counter(f"cache.{name}", float(delta))
+    distinct = {id(result): result for result in results if result is not None}
+    return aggregate_metrics(
+        [registry.snapshot()]
+        + [result.metrics for result in distinct.values() if result.metrics]
+    )

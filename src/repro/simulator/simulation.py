@@ -21,6 +21,7 @@ from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
 from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
 from repro.cluster.spot import CheckpointConfig, EvictionModel
 from repro.errors import ConfigError
+from repro.obs.tracer import Tracer, tracer_from_env
 from repro.policies.base import Policy
 from repro.policies.registry import make_policy
 from repro.simulator.engine import Engine
@@ -75,6 +76,7 @@ def run_simulation(
     online_estimation: bool = False,
     price_trace=None,
     memoize_decisions: bool | None = None,
+    tracer: Tracer | None = None,
 ) -> SimulationResult:
     """Run one policy over one workload/region and return the accounting.
 
@@ -85,6 +87,11 @@ def run_simulation(
     ``memoize_decisions`` overrides the engine's default of caching
     decisions for stateless policies (never cached under online
     estimation, whose length estimates drift within a run).
+
+    ``tracer`` enables the observability layer for this run (see
+    ``docs/observability.md``); ``None`` consults ``$REPRO_TRACE`` via
+    :func:`repro.obs.tracer.tracer_from_env` and defaults to the no-op
+    null tracer, which leaves results and timings untouched.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
@@ -129,6 +136,11 @@ def run_simulation(
     else:
         forecaster = PerfectForecaster(covering)
 
+    owns_tracer = False
+    if tracer is None:
+        tracer = tracer_from_env()
+        owns_tracer = tracer.enabled
+
     engine = Engine(
         workload=workload,
         carbon=covering,
@@ -148,8 +160,15 @@ def run_simulation(
         length_estimator=estimator,
         price_forecaster=_price_forecaster_for(price_trace, covering),
         memoize_decisions=memoize_decisions,
+        tracer=tracer,
     )
-    return engine.run()
+    try:
+        return engine.run()
+    finally:
+        # Close (flush) only tracers this call created from the
+        # environment; caller-supplied tracers stay open for reuse.
+        if owns_tracer:
+            tracer.close()
 
 
 def _price_forecaster_for(price_trace, carbon: CarbonIntensityTrace):

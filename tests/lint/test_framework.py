@@ -19,11 +19,11 @@ from repro.lint import (
 )
 from repro.lint.cli import main
 
-EXPECTED_CODES = [f"SIM00{i}" for i in range(1, 9)]
+EXPECTED_CODES = [f"SIM00{i}" for i in range(1, 10)]
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert [rule.code for rule in all_rules()] == EXPECTED_CODES
 
     def test_rules_have_names_and_rationales(self):

@@ -423,3 +423,59 @@ class TestSIM008Docstrings:
             X = 1  # simlint: disable=SIM008
         """
         assert check(source, "SIM008") == []
+
+
+class TestSIM009MethodDocstrings:
+    SOURCE = """
+        '''Module.'''
+
+        class Result:
+            '''Documented class.'''
+
+            def accessor(self):
+                return 1
+
+            def documented(self):
+                '''Fine.'''
+
+            def _private(self):
+                return 2
+
+            def __repr__(self):
+                return "Result()"
+    """
+
+    def test_undocumented_public_method_fires_in_simulator(self, check):
+        findings = check(self.SOURCE, "SIM009", module="repro.simulator.fake")
+        assert codes(findings) == ["SIM009"]
+        assert "Result.'accessor'" in findings[0].message
+
+    def test_obs_package_is_also_strict(self, check):
+        assert len(check(self.SOURCE, "SIM009", module="repro.obs.fake")) == 1
+
+    def test_other_packages_are_exempt(self, check):
+        assert check(self.SOURCE, "SIM009", module="repro.policies.fake") == []
+
+    def test_private_classes_are_exempt(self, check):
+        source = """
+            '''Module.'''
+
+            class _Internal:
+                '''Private.'''
+
+                def accessor(self):
+                    return 1
+        """
+        assert check(source, "SIM009", module="repro.simulator.fake") == []
+
+    def test_suppression_silences(self, check):
+        source = """
+            '''Module.'''
+
+            class Result:
+                '''Documented.'''
+
+                def accessor(self):  # simlint: disable=SIM009
+                    return 1
+        """
+        assert check(source, "SIM009", module="repro.simulator.fake") == []

@@ -1,0 +1,1 @@
+"""Observability layer: events, tracers, metrics, instrumentation, CLI."""

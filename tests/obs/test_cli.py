@@ -1,0 +1,101 @@
+"""``python -m repro.obs``: summarize, diff (exit codes), schema, errors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.obs.cli import main
+from repro.obs.tracer import JsonlTracer
+from repro.simulator.simulation import run_simulation
+from repro.units import days, hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+def _trace_file(tmp_path, name, policy):
+    day = np.full(24, 100.0)
+    day[10:16] = 20.0
+    carbon = CarbonIntensityTrace(np.tile(day, 3), name="diurnal")
+    jobs = [Job(job_id=i, arrival=i * 45, length=60, cpus=1) for i in range(4)]
+    workload = WorkloadTrace(jobs, name="cli-tiny", horizon=days(1))
+    queues = QueueSet((JobQueue(name="q", max_length=days(3), max_wait=hours(6)),))
+    path = tmp_path / name
+    with JsonlTracer(str(path)) as tracer:
+        run_simulation(workload, carbon, policy, queues=queues, tracer=tracer)
+    return str(path)
+
+
+@pytest.fixture()
+def trace_a(tmp_path):
+    return _trace_file(tmp_path, "a.jsonl", "nowait")
+
+
+@pytest.fixture()
+def trace_b(tmp_path):
+    return _trace_file(tmp_path, "b.jsonl", "carbon-time")
+
+
+class TestSummarize:
+    def test_text_output_names_the_policy(self, trace_a, capsys):
+        assert main(["summarize", trace_a]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "NoWait" in out
+
+    def test_json_output_counts_decisions(self, trace_b, capsys):
+        assert main(["summarize", trace_b, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["decisions_by_policy"]["Carbon-Time"]["total"] == 4
+        assert summary["by_type"]["run_meta"] == 1
+        assert summary["metrics"]["counters"]["engine.jobs"] == 4.0
+
+
+class TestDiff:
+    def test_identical_traces_exit_zero(self, trace_a, capsys):
+        assert main(["diff", trace_a, trace_a]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_traces_exit_one(self, trace_a, trace_b, capsys):
+        assert main(["diff", trace_a, trace_b]) == 1
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_json_diff_reports_the_divergence_index(self, trace_a, trace_b, capsys):
+        assert main(["diff", trace_a, trace_b, "--json"]) == 1
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["identical"] is False
+        assert diff["first_divergence"]["index"] == 0  # run_meta names the policy
+
+
+class TestSchema:
+    def test_lists_every_event_type(self, capsys):
+        assert main(["schema"]) == 0
+        out = capsys.readouterr().out
+        for name in ("run_meta", "policy_decision", "interval_account",
+                     "sweep_completed"):
+            assert name in out
+
+    def test_json_schema_orders_fields(self, capsys):
+        assert main(["schema", "--json"]) == 0
+        schema = json.loads(capsys.readouterr().out)
+        assert schema["job_start"] == ["time", "job_id", "option", "duration",
+                                       "attempt"]
+
+
+class TestErrors:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_jsonl_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "run_meta"}\nnot json\n')
+        assert main(["summarize", str(bad)]) == 2
+        assert "bad.jsonl:2" in capsys.readouterr().err
+
+    def test_non_event_line_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('["a", "list"]\n')
+        assert main(["summarize", str(bad)]) == 2
+        assert "not an event object" in capsys.readouterr().err

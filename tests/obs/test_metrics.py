@@ -1,0 +1,65 @@
+"""Metrics registry and cross-snapshot aggregation semantics."""
+
+from repro.obs.metrics import MetricsRegistry, aggregate_metrics, empty_snapshot
+
+
+class TestRegistry:
+    def test_counter_defaults_to_one_and_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        registry.counter("hits", 2.5)
+        assert registry.snapshot()["counters"] == {"hits": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("jobs", 4)
+        registry.gauge("jobs", 2)
+        assert registry.snapshot()["gauges"] == {"jobs": 2.0}
+
+    def test_histogram_tracks_count_sum_and_bounds(self):
+        registry = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            registry.histogram("wait", value)
+        assert registry.snapshot()["histograms"]["wait"] == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+        }
+
+    def test_snapshot_is_detached_from_the_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("hits")
+        registry.histogram("wait", 1.0)
+        snap = registry.snapshot()
+        snap["counters"]["hits"] = 99.0
+        snap["histograms"]["wait"]["sum"] = 99.0
+        fresh = registry.snapshot()
+        assert fresh["counters"]["hits"] == 1.0
+        assert fresh["histograms"]["wait"]["sum"] == 1.0
+
+
+class TestAggregation:
+    def test_counters_sum_gauges_max_histograms_merge(self):
+        a = {"counters": {"n": 1.0}, "gauges": {"peak": 2.0},
+             "histograms": {"w": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0}}}
+        b = {"counters": {"n": 2.0, "only_b": 1.0}, "gauges": {"peak": 5.0},
+             "histograms": {"w": {"count": 1, "sum": 9.0, "min": 9.0, "max": 9.0}}}
+        merged = aggregate_metrics([a, b])
+        assert merged["counters"] == {"n": 3.0, "only_b": 1.0}
+        assert merged["gauges"] == {"peak": 5.0}
+        assert merged["histograms"]["w"] == {
+            "count": 3, "sum": 12.0, "min": 1.0, "max": 9.0,
+        }
+
+    def test_empty_and_partial_snapshots_are_tolerated(self):
+        partial = {"counters": {"n": 1.0}}  # no gauges/histograms sections
+        merged = aggregate_metrics([{}, empty_snapshot(), partial])
+        assert merged["counters"] == {"n": 1.0}
+        assert merged["gauges"] == {}
+        assert merged["histograms"] == {}
+
+    def test_no_snapshots_yields_the_empty_snapshot(self):
+        assert aggregate_metrics([]) == empty_snapshot()
+
+    def test_inputs_are_not_mutated(self):
+        a = {"histograms": {"w": {"count": 1, "sum": 1.0, "min": 1.0, "max": 1.0}}}
+        aggregate_metrics([a, a])
+        assert a["histograms"]["w"]["count"] == 1

@@ -1,0 +1,103 @@
+"""Tracer implementations and environment-driven selection."""
+
+import io
+import json
+
+from repro.obs.events import JobArrival, event_from_dict
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    tracer_from_env,
+)
+
+EVENT = JobArrival(time=0, job_id=7, queue="short", cpus=1, length=60)
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_emit_and_close_are_noops(self):
+        NULL_TRACER.emit(EVENT)
+        NULL_TRACER.close()
+
+    def test_singleton_is_a_null_tracer(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestCollectingTracer:
+    def test_collects_in_order(self):
+        tracer = CollectingTracer()
+        second = JobArrival(time=5, job_id=8, queue="long", cpus=2, length=90)
+        tracer.emit(EVENT)
+        tracer.emit(second)
+        assert tracer.events == [EVENT, second]
+
+    def test_by_type_filters(self):
+        tracer = CollectingTracer()
+        tracer.emit(EVENT)
+        assert tracer.by_type("job_arrival") == [EVENT]
+        assert tracer.by_type("job_finish") == []
+
+    def test_enabled(self):
+        assert CollectingTracer().enabled is True
+
+
+class TestJsonlTracer:
+    def test_path_destination_is_lazy_and_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(str(path))
+        assert not path.exists()  # nothing opened until the first emit
+        tracer.emit(EVENT)
+        tracer.close()
+        with JsonlTracer(str(path)) as again:
+            again.emit(EVENT)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(event_from_dict(json.loads(line)) == EVENT for line in lines)
+
+    def test_emitted_counter(self, tmp_path):
+        with JsonlTracer(str(tmp_path / "t.jsonl")) as tracer:
+            tracer.emit(EVENT)
+            tracer.emit(EVENT)
+            assert tracer.emitted == 2
+
+    def test_stream_destination_is_not_closed(self):
+        stream = io.StringIO()
+        tracer = JsonlTracer(stream)
+        tracer.emit(EVENT)
+        tracer.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == EVENT.to_dict()
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "t.jsonl"))
+        tracer.emit(EVENT)
+        tracer.close()
+        tracer.close()
+
+
+class TestTracerFromEnv:
+    def test_unset_empty_and_zero_disable(self):
+        assert tracer_from_env({}) is NULL_TRACER
+        assert tracer_from_env({"REPRO_TRACE": ""}) is NULL_TRACER
+        assert tracer_from_env({"REPRO_TRACE": "0"}) is NULL_TRACER
+
+    def test_one_enables_with_default_destination(self):
+        tracer = tracer_from_env({"REPRO_TRACE": "1"})
+        assert isinstance(tracer, JsonlTracer)
+        assert tracer._path == "repro-trace.jsonl"
+
+    def test_value_is_taken_as_a_path(self):
+        tracer = tracer_from_env({"REPRO_TRACE": "/tmp/run-a.jsonl"})
+        assert isinstance(tracer, JsonlTracer)
+        assert tracer._path == "/tmp/run-a.jsonl"
+
+    def test_trace_file_overrides_destination(self):
+        tracer = tracer_from_env(
+            {"REPRO_TRACE": "1", "REPRO_TRACE_FILE": "/tmp/elsewhere.jsonl"}
+        )
+        assert isinstance(tracer, JsonlTracer)
+        assert tracer._path == "/tmp/elsewhere.jsonl"

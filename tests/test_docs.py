@@ -1,0 +1,34 @@
+"""Documentation stays wired: links resolve, no orphan pages, and the
+observability contract's schema matches what the docs enumerate."""
+
+import sys
+from pathlib import Path
+
+from repro.obs.events import EVENT_TYPES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_docs  # noqa: E402  (repo tool, imported for its check functions)
+
+
+class TestLinks:
+    def test_all_relative_links_resolve(self):
+        assert check_docs.check_links(check_docs.doc_pages()) == []
+
+    def test_every_docs_page_is_linked_from_the_readme(self):
+        assert check_docs.check_docs_reachable() == []
+
+
+class TestObservabilityContract:
+    def test_every_event_type_is_documented(self):
+        page = (REPO_ROOT / "docs" / "observability.md").read_text()
+        for name in EVENT_TYPES:
+            assert f"`{name}`" in page, f"event type {name} missing from docs"
+
+    def test_documented_env_switches_exist_in_the_tracer(self):
+        tracer_source = (
+            REPO_ROOT / "src" / "repro" / "obs" / "tracer.py"
+        ).read_text()
+        for variable in ("REPRO_TRACE", "REPRO_TRACE_FILE"):
+            assert variable in tracer_source

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Documentation checks: internal links resolve, docs are reachable,
+quickstart commands run.
+
+Three checks (all gate the CI ``docs`` job):
+
+1. every relative markdown link in ``README.md`` and ``docs/*.md``
+   points at a file that exists (anchors and external URLs are skipped);
+2. every page under ``docs/`` is linked from ``README.md`` — no orphan
+   documentation;
+3. with ``--run-quickstart``, the commands the README advertises respond
+   to ``--help`` (a dry-run proof the documented entry points exist).
+
+Run from the repo root: ``python tools/check_docs.py [--run-quickstart]``.
+Exits non-zero with one ``path: message`` line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: README entry points proven runnable (--help only, no simulation work).
+QUICKSTART_COMMANDS = [
+    [sys.executable, "-m", "repro", "--help"],
+    [sys.executable, "-m", "repro.lint", "--help"],
+    [sys.executable, "-m", "repro.obs", "--help"],
+    [sys.executable, "examples/paper_figures.py", "--help"],
+    [sys.executable, "benchmarks/sweep_smoke.py", "--help"],
+]
+
+
+def doc_pages() -> list[Path]:
+    """README plus every markdown page under docs/, in stable order."""
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def relative_links(page: Path) -> list[str]:
+    """All link targets in ``page`` that should resolve on disk."""
+    targets = []
+    for target in _LINK.findall(page.read_text(encoding="utf-8")):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target)
+    return targets
+
+
+def check_links(pages: list[Path]) -> list[str]:
+    """Problem messages for link targets that do not exist."""
+    problems = []
+    for page in pages:
+        for target in relative_links(page):
+            resolved = (page.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{page.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_docs_reachable() -> list[str]:
+    """Problem messages for docs pages the README never links."""
+    readme = REPO_ROOT / "README.md"
+    linked = {
+        (readme.parent / target.split("#", 1)[0]).resolve()
+        for target in relative_links(readme)
+    }
+    return [
+        f"README.md: docs page never linked -> docs/{page.name}"
+        for page in sorted((REPO_ROOT / "docs").glob("*.md"))
+        if page.resolve() not in linked
+    ]
+
+
+def check_quickstart() -> list[str]:
+    """Problem messages for advertised commands that fail ``--help``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    problems = []
+    for command in QUICKSTART_COMMANDS:
+        shown = " ".join(command[1:]) if command[0] == sys.executable else " ".join(command)
+        completed = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=120,
+        )
+        if completed.returncode != 0:
+            detail = completed.stderr.strip().splitlines()[-1:] or ["no output"]
+            problems.append(f"quickstart: `python {shown}` failed: {detail[0]}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the checks; print problems; return the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--run-quickstart", action="store_true",
+        help="also execute the README's entry-point commands with --help",
+    )
+    args = parser.parse_args(argv)
+
+    pages = doc_pages()
+    problems = check_links(pages) + check_docs_reachable()
+    if args.run_quickstart:
+        problems += check_quickstart()
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = sum(len(relative_links(page)) for page in pages)
+    print(f"check_docs: {len(pages)} pages, {checked} links, "
+          f"{len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
