@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-run the simulation instead of reusing "
                              "a cached result for identical inputs")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="extra attempts for a failing run "
+                             "(default $REPRO_RETRIES or 0)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-execution timeout in seconds; runs in a "
+                             "worker process so a hung run can be abandoned "
+                             "(default $REPRO_TIMEOUT or none)")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="inject deterministic faults, e.g. "
+                             "'eviction-storm:rate=0.5,hours=6;forecast-bias:bias=0.3' "
+                             "(see docs/robustness.md)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault plan's RNG streams")
     parser.add_argument("--output-dir", default=None,
                         help="write aggregate.csv, details.csv, runtime.csv here")
     return parser
@@ -202,6 +215,11 @@ def main(argv: list[str] | None = None) -> int:
 
             forecaster_factory = HistoricalForecaster
         pricing = DEFAULT_PRICING.with_carbon_price(args.carbon_price)
+        fault_plan = None
+        if args.fault_plan:
+            from repro.faults import parse_fault_plan
+
+            fault_plan = parse_fault_plan(args.fault_plan, seed=args.fault_seed)
         sim_kwargs = dict(
             reserved_cpus=args.reserved,
             queues=queues,
@@ -212,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
             granularity=args.granularity,
             forecast_sigma=forecast_sigma,
             online_estimation=args.online_estimation,
+            fault_plan=fault_plan,
         )
         if forecaster_factory is not None:
             # Live forecaster objects are not spec-able; run directly.
@@ -223,7 +242,12 @@ def main(argv: list[str] | None = None) -> int:
             from repro.simulator.runner import SimulationSpec, run_many
 
             spec = SimulationSpec.build(workload, carbon_trace, args.policy, **sim_kwargs)
-            result = run_many([spec], use_cache=not args.no_cache)[0]
+            result = run_many(
+                [spec],
+                use_cache=not args.no_cache,
+                retries=args.retries,
+                timeout=args.timeout,
+            )[0]
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

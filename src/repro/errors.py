@@ -25,3 +25,19 @@ class SimulationError(ReproError):
 
 class CapacityError(ReproError):
     """Capacity bookkeeping was violated (double-free / over-allocation)."""
+
+
+class SweepError(ReproError):
+    """A batch run finished with failed specs after exhausting recovery.
+
+    Raised by :func:`repro.simulator.runner.run_many` under the default
+    ``on_error="raise"`` policy.  Unlike a raw worker traceback it keeps
+    the sweep's partial outcome: ``results`` has one entry per submitted
+    spec (``None`` for failed slots) and ``failures`` one structured
+    :class:`repro.simulator.runner.SpecFailure` per failed slot.
+    """
+
+    def __init__(self, message: str, results=None, failures=None):
+        super().__init__(message)
+        self.results = results if results is not None else []
+        self.failures = failures if failures is not None else []

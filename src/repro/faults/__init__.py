@@ -1,0 +1,48 @@
+"""Deterministic fault injection for simulations and sweeps.
+
+The package supplies the chaos half of the robustness layer (the other
+half is the fault-tolerant batch runner in
+:mod:`repro.simulator.runner`): seedable :class:`FaultPlan` values that
+compose with :class:`~repro.simulator.runner.SimulationSpec` digests, a
+catalogue of fault models (spot-eviction storms, carbon-forecast
+bias/dropout, corrupted traces, mid-run queue corruption, and
+worker-process sabotage for runner chaos tests), and the hooks
+``run_simulation`` uses to apply a plan.  ``docs/robustness.md`` is the
+narrative guide.
+"""
+
+from __future__ import annotations
+
+from repro.faults.apply import (
+    apply_input_faults,
+    apply_process_faults,
+    engine_injector,
+    wrap_eviction,
+    wrap_forecaster,
+)
+from repro.faults.models import (
+    KNOWN_FAULT_KINDS,
+    PerturbedForecaster,
+    QueueCorruptionInjector,
+    StormEvictionModel,
+    corrupt_carbon_nan,
+    corrupt_carbon_truncate,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_plan
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_plan",
+    "KNOWN_FAULT_KINDS",
+    "StormEvictionModel",
+    "PerturbedForecaster",
+    "QueueCorruptionInjector",
+    "corrupt_carbon_nan",
+    "corrupt_carbon_truncate",
+    "apply_process_faults",
+    "apply_input_faults",
+    "wrap_forecaster",
+    "wrap_eviction",
+    "engine_injector",
+]

@@ -1,0 +1,126 @@
+"""Application of a :class:`FaultPlan` to one simulation's components.
+
+:func:`run_simulation` calls these hooks at fixed points of its setup --
+process faults first, then input corruption, then wrappers around the
+forecaster and eviction model, and finally the engine's mid-run injector.
+Each hook is a no-op (returning its input unchanged) when the plan holds
+no fault of its family, so a ``fault_plan=None`` or empty plan leaves the
+simulation byte-identical to an unfaulted build.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.forecast import Forecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.spot import EvictionModel, NoEvictions
+from repro.faults.models import (
+    PerturbedForecaster,
+    QueueCorruptionInjector,
+    StormEvictionModel,
+    corrupt_carbon_nan,
+    corrupt_carbon_truncate,
+    run_process_fault,
+)
+from repro.faults.plan import FaultPlan
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = [
+    "apply_process_faults",
+    "apply_input_faults",
+    "wrap_forecaster",
+    "wrap_eviction",
+    "engine_injector",
+]
+
+
+def apply_process_faults(plan: FaultPlan | None) -> None:
+    """Run every ``worker-*`` fault (crash/hang/fail/flaky) in-process."""
+    if plan is None:
+        return
+    for fault in plan.faults:
+        if fault.kind.startswith("worker-"):
+            run_process_fault(fault)
+
+
+def apply_input_faults(
+    plan: FaultPlan | None, carbon: CarbonIntensityTrace
+) -> CarbonIntensityTrace:
+    """The carbon trace after every input fault of the plan.
+
+    Truncation applies before NaN injection so a plan combining both
+    corrupts the trace that will actually be used.  NaN injection raises
+    :class:`~repro.errors.TraceError` (typed rejection); truncation
+    returns a shorter trace the simulation survives on.
+    """
+    if plan is None:
+        return carbon
+    trace = carbon
+    for fault in plan.by_kind("trace-truncate"):
+        trace = corrupt_carbon_truncate(trace, float(fault.param("fraction", 0.5)))
+    for fault in plan.by_kind("trace-nan"):
+        trace = corrupt_carbon_nan(
+            trace, int(fault.param("count", 1)), plan.rng("trace-nan")
+        )
+    return trace
+
+
+def wrap_forecaster(plan: FaultPlan | None, forecaster: Forecaster) -> Forecaster:
+    """The forecaster the policies will see, after forecast faults.
+
+    Bias and dropout collapse into one :class:`PerturbedForecaster` over
+    the *true* trace (accounting never uses the perturbed view).
+    """
+    if plan is None:
+        return forecaster
+    bias = 0.0
+    for fault in plan.by_kind("forecast-bias"):
+        bias += float(fault.param("bias", 0.25))
+    dropout = 0.0
+    for fault in plan.by_kind("forecast-dropout"):
+        dropout = max(dropout, float(fault.param("fraction", 0.1)))
+    if bias == 0.0 and dropout == 0.0:
+        return forecaster
+    return PerturbedForecaster(
+        forecaster.trace,
+        bias=bias,
+        dropout_fraction=dropout,
+        rng=plan.rng("forecast-dropout") if dropout > 0.0 else None,
+    )
+
+
+def wrap_eviction(
+    plan: FaultPlan | None, model: EvictionModel | None
+) -> EvictionModel | None:
+    """The eviction model after storm faults (stacking left to right)."""
+    if plan is None:
+        return model
+    storms = plan.by_kind("eviction-storm")
+    if not storms:
+        return model
+    wrapped = model if model is not None else NoEvictions()
+    for fault in storms:
+        start_hour = int(fault.param("start_hour", 0))
+        hours = int(fault.param("hours", 6))
+        wrapped = StormEvictionModel(
+            wrapped,
+            storm_rate=float(fault.param("rate", 0.5)),
+            start_minute=start_hour * MINUTES_PER_HOUR,
+            end_minute=(start_hour + hours) * MINUTES_PER_HOUR,
+        )
+    return wrapped
+
+
+def engine_injector(plan: FaultPlan | None) -> QueueCorruptionInjector | None:
+    """The mid-run injector for the engine, or ``None`` when unfaulted."""
+    if plan is None:
+        return None
+    corruptions = plan.by_kind("queue-corruption")
+    if not corruptions:
+        return None
+    fault = corruptions[0]
+    return QueueCorruptionInjector(
+        fire_minute=int(fault.param("minute", 0)),
+        mode=str(fault.param("mode", "shuffle")),
+        count=int(fault.param("count", 1)),
+        rng=plan.rng("queue-corruption"),
+    )

@@ -1,0 +1,275 @@
+"""Fault model implementations behind :class:`~repro.faults.plan.FaultPlan`.
+
+Three families, mirroring where real sweeps break (see
+``docs/robustness.md`` for the taxonomy and the parameters of every
+kind):
+
+* **simulation faults** perturb the modelled world deterministically --
+  spot-eviction storms, carbon-forecast bias/dropout, mid-run job-queue
+  corruption.  The run completes with finite (but different) numbers, or
+  the engine detects the damage and raises a typed error.
+* **input faults** corrupt the trace data itself -- NaN-bearing or
+  truncated carbon segments.  The validation layer either rejects them
+  with :class:`~repro.errors.TraceError` or the simulation survives on
+  the degraded input; a silent wrong number is never an outcome.
+* **process faults** sabotage the worker process running the spec --
+  crash, hang, deterministic failure, heal-after-N-attempts flakiness.
+  They exist to exercise the runner's retry/timeout/respawn machinery
+  from chaos tests.
+
+Every class here is module-level and picklable, so faulty specs cross
+process boundaries exactly like clean ones.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+from repro.carbon.forecast import Forecaster
+from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
+from repro.cluster.spot import EvictionModel
+from repro.errors import ConfigError
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = [
+    "KNOWN_FAULT_KINDS",
+    "StormEvictionModel",
+    "PerturbedForecaster",
+    "corrupt_carbon_nan",
+    "corrupt_carbon_truncate",
+    "QueueCorruptionInjector",
+    "run_process_fault",
+]
+
+#: Catalogue of fault kinds: kind tag -> one-line description.  Parse-time
+#: validation and ``docs/robustness.md`` both key off this mapping.
+KNOWN_FAULT_KINDS: dict[str, str] = {
+    "eviction-storm": "spot hazard spikes to `rate` inside [start_hour, start_hour+hours)",
+    "forecast-bias": "every CI forecast is scaled by (1 + bias)",
+    "forecast-dropout": "a seeded `fraction` of forecast hours report a stale fallback",
+    "trace-nan": "`count` seeded hours of the carbon trace become NaN",
+    "trace-truncate": "the carbon trace is cut to a `fraction` of its hours",
+    "queue-corruption": "at a seeded minute the pending queue is shuffled or entries are dropped",
+    "worker-crash": "the worker process dies via os._exit(code) at run start",
+    "worker-hang": "the worker sleeps `seconds` at run start (timeout fodder)",
+    "worker-fail": "the worker raises RuntimeError at run start",
+    "worker-flaky": "fails until `path` records `times` prior attempts, then heals",
+}
+
+
+# ----------------------------------------------------------------------
+# Simulation faults
+# ----------------------------------------------------------------------
+class StormEvictionModel(EvictionModel):
+    """Spot-eviction storm: a base hazard with a high-rate window.
+
+    Inside ``[start_minute, end_minute)`` the hazard is the storm's
+    (memoryless, ``storm_rate`` per hour); outside it the wrapped base
+    model applies.  The sampled eviction offset is the earlier of the
+    base draw and the storm draw, so storms only ever *add* evictions.
+    """
+
+    def __init__(
+        self,
+        base: EvictionModel,
+        storm_rate: float,
+        start_minute: int,
+        end_minute: int,
+    ):
+        if not 0 <= storm_rate < 1:
+            raise ConfigError("storm eviction rate must be in [0, 1)")
+        if end_minute <= start_minute:
+            raise ConfigError("storm window must be non-empty")
+        self.base = base
+        self.storm_rate = storm_rate
+        self.start_minute = int(start_minute)
+        self.end_minute = int(end_minute)
+        self._lambda_per_minute = (
+            -math.log(1.0 - storm_rate) / MINUTES_PER_HOUR if storm_rate > 0 else 0.0
+        )
+
+    def sample_eviction(self, start_minute: int, rng: np.random.Generator) -> float:
+        """Earlier of the base model's draw and the storm-window draw.
+
+        The storm draw is consumed unconditionally so the per-job RNG
+        stream advances identically however the allocation falls relative
+        to the window -- eviction times depend only on (seed, job).
+        """
+        base_offset = self.base.sample_eviction(start_minute, rng)
+        if self._lambda_per_minute == 0.0:
+            return base_offset
+        storm_draw = float(rng.exponential(1.0 / self._lambda_per_minute))
+        if start_minute >= self.end_minute:
+            return base_offset
+        # The storm hazard only acts once the allocation enters the window.
+        storm_offset = max(0, self.start_minute - start_minute) + storm_draw
+        if start_minute + storm_offset >= self.end_minute:
+            return base_offset  # survived to the storm's end
+        return min(base_offset, storm_offset)
+
+
+class PerturbedForecaster(Forecaster):
+    """Forecaster whose answers come from a perturbed copy of the trace.
+
+    Implements both forecast fault kinds: a multiplicative ``bias`` and a
+    seeded per-hour ``dropout`` mask whose dropped hours answer with the
+    trace mean (a stale "climatology" fallback).  Accounting is
+    untouched -- ``self.trace`` stays the *true* trace (the engine
+    insists on it), only the policy-visible view is wrong.
+    """
+
+    def __init__(
+        self,
+        trace: CarbonIntensityTrace,
+        bias: float = 0.0,
+        dropout_fraction: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(trace)
+        if bias <= -1.0:
+            raise ConfigError("forecast bias must keep intensities positive (> -1)")
+        if not 0.0 <= dropout_fraction <= 1.0:
+            raise ConfigError("forecast dropout fraction must be in [0, 1]")
+        values = trace.hourly * (1.0 + bias)
+        if dropout_fraction > 0.0:
+            if rng is None:
+                raise ConfigError("forecast dropout needs a plan-seeded rng")
+            mask = rng.random(trace.num_hours) < dropout_fraction
+            values = np.where(mask, float(trace.hourly.mean()), values)
+        self._faulty = HourlySeries(values, name=f"{trace.name}:faulty")
+
+    def slot_values(self, now: int, start_minute: int, num_hours: int) -> np.ndarray:
+        """Perturbed hourly values for the requested window."""
+        return self._faulty.hour_values(start_minute // MINUTES_PER_HOUR, num_hours)
+
+    def interval_carbon(self, now: int, start_minute: int, end_minute: int) -> float:
+        """Perturbed CI integral over ``[start, end)``."""
+        return self._faulty.integrate(start_minute, end_minute)
+
+    def window_carbon_many(
+        self, now: int, starts: np.ndarray, duration: int
+    ) -> np.ndarray:
+        """Vectorized perturbed CI integrals over equal-length windows."""
+        return self._faulty.integrate_many(starts, duration)
+
+
+class QueueCorruptionInjector:
+    """Mid-run corruption of the engine's pending (reserved-pickup) queue.
+
+    Fires once, at the first event at or after ``fire_minute``:
+
+    * ``mode="shuffle"`` deterministically permutes the queue -- the
+      first-fit drain order changes, the run completes with finite (but
+      possibly different) numbers;
+    * ``mode="drop"`` loses up to ``count`` entries as if the queue's
+      backing store forgot them -- the engine's end-of-run audit then
+      raises the typed ``jobs never finished`` :class:`SimulationError`
+      instead of reporting totals that silently miss jobs.
+    """
+
+    def __init__(self, fire_minute: int, mode: str, count: int, rng: np.random.Generator):
+        if mode not in ("shuffle", "drop"):
+            raise ConfigError(f"unknown queue-corruption mode {mode!r}")
+        if fire_minute < 0:
+            raise ConfigError("queue-corruption minute must be non-negative")
+        self.next_time = int(fire_minute)
+        self.mode = mode
+        self.count = int(count)
+        self._rng = rng
+
+    def fire(self, engine, now: int) -> None:
+        """Apply the corruption to ``engine`` and disarm the injector."""
+        self.next_time = -1  # disarmed; engine checks next_time >= 0
+        pending = engine._pending
+        if not pending:
+            return
+        if self.mode == "shuffle":
+            order = self._rng.permutation(len(pending))
+            engine._pending = [pending[i] for i in order]
+            return
+        for _ in range(min(self.count, len(pending))):
+            victim_index = int(self._rng.integers(len(pending)))
+            victim = pending.pop(victim_index)
+            # The corrupted queue "remembers" the job as started, so the
+            # engine never allocates it -- detected by the end-of-run audit.
+            victim.started = True
+
+    @property
+    def armed(self) -> bool:
+        """Whether the injector still has a pending firing."""
+        return self.next_time >= 0
+
+
+# ----------------------------------------------------------------------
+# Input faults
+# ----------------------------------------------------------------------
+def corrupt_carbon_nan(
+    carbon: CarbonIntensityTrace, count: int, rng: np.random.Generator
+) -> CarbonIntensityTrace:
+    """Rebuild ``carbon`` with ``count`` seeded hours set to NaN.
+
+    :class:`HourlySeries` rejects non-finite values at construction, so
+    this *raises* :class:`~repro.errors.TraceError` -- the typed-rejection
+    path the chaos suite asserts.  It returns only if ``count`` is 0.
+    """
+    if count <= 0:
+        return carbon
+    values = carbon.hourly.copy()
+    positions = rng.choice(values.size, size=min(count, values.size), replace=False)
+    values[positions] = np.nan
+    return CarbonIntensityTrace(values, name=carbon.name)
+
+
+def corrupt_carbon_truncate(
+    carbon: CarbonIntensityTrace, fraction: float
+) -> CarbonIntensityTrace:
+    """``carbon`` cut down to ``fraction`` of its hours (at least one).
+
+    A truncated trace is *survivable*: ``prepare_carbon`` re-tiles it to
+    cover the workload, so the run completes on the shortened cycle.  A
+    fraction that leaves no data raises :class:`TraceError`.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigError("truncation fraction must be in (0, 1]")
+    keep = int(carbon.num_hours * fraction)
+    return carbon.slice_hours(0, max(1, keep))
+
+
+# ----------------------------------------------------------------------
+# Process faults (chaos-testing aids for the runner)
+# ----------------------------------------------------------------------
+def run_process_fault(fault) -> None:
+    """Execute one ``worker-*`` fault in the current process.
+
+    Called at the top of a faulted ``run_simulation``; the whole point is
+    to damage the process the way real sweeps get damaged, so the batch
+    runner's recovery paths can be tested end to end.
+    """
+    kind = fault.kind
+    if kind == "worker-crash":
+        os._exit(int(fault.param("code", 1)))
+    if kind == "worker-hang":
+        time.sleep(float(fault.param("seconds", 5.0)))
+        return
+    if kind == "worker-fail":
+        raise RuntimeError(fault.param("message", "injected worker failure"))
+    if kind == "worker-flaky":
+        path = fault.param("path")
+        if not path:
+            raise ConfigError("worker-flaky needs a path= parameter")
+        times = int(fault.param("times", 1))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                prior = len(handle.read().splitlines())
+        except FileNotFoundError:
+            prior = 0
+        if prior < times:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write("attempt\n")
+            raise RuntimeError(f"injected flaky failure (attempt {prior + 1}/{times})")
+        return
+    raise ConfigError(f"unknown process fault {kind!r}")

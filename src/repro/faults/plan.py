@@ -1,0 +1,176 @@
+"""Declarative, seedable fault plans.
+
+A :class:`FaultPlan` is the fault-injection analogue of a
+:class:`~repro.simulator.runner.spec.SimulationSpec`: a frozen, hashable,
+picklable description of *which* fault models perturb a simulation and
+*how* they are seeded.  Plans compose with spec digests, so a faulty run
+caches, deduplicates, and reproduces exactly like a clean one -- two runs
+of the same spec under the same plan (same seed) are bit-identical.
+
+Every randomized fault draws from :meth:`FaultPlan.rng`, which derives an
+independent, deterministic ``np.random.Generator`` per fault label from
+the plan seed -- never from global RNG state (lint rule SIM001).
+
+The catalogue of fault kinds and their parameters lives in
+:mod:`repro.faults.models`; ``docs/robustness.md`` is the prose taxonomy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultSpec", "FaultPlan", "parse_fault_plan"]
+
+
+#: Parameter values a fault may carry (JSON-native scalars only, so
+#: plans stay hashable, picklable, and digest-stable).
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind tag plus its sorted ``(name, value)`` parameters.
+
+    Build via :meth:`make` (which sorts and type-checks the parameters)
+    rather than the raw constructor.
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "FaultSpec":
+        """A fault spec with canonically ordered, scalar-only parameters."""
+        for name, value in params.items():
+            if not isinstance(value, _SCALAR_TYPES):
+                raise ConfigError(
+                    f"fault {kind!r} parameter {name!r} must be a scalar, "
+                    f"got {type(value).__name__}"
+                )
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def param(self, name: str, default=None):
+        """The value of parameter ``name``, or ``default`` when absent."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def describe(self) -> str:
+        """Canonical ``kind:name=value,...`` rendering (digest input)."""
+        if not self.params:
+            return self.kind
+        rendered = ",".join(f"{name}={value!r}" for name, value in self.params)
+        return f"{self.kind}:{rendered}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of faults plus the seed their randomness derives from.
+
+    The plan is applied in fault order; faults of independent kinds
+    commute, and faults sharing a kind stack left to right.  ``seed``
+    scopes *every* draw any fault makes, so re-running a spec with an
+    identical plan is bit-identical (the reproducibility contract in
+    ``docs/robustness.md``).
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def build(cls, *faults: FaultSpec, seed: int = 0) -> "FaultPlan":
+        """A plan over ``faults`` (``FaultSpec`` values), seeded by ``seed``."""
+        for fault in faults:
+            if not isinstance(fault, FaultSpec):
+                raise ConfigError(
+                    f"FaultPlan.build takes FaultSpec values, got {fault!r}"
+                )
+        return cls(faults=tuple(faults), seed=int(seed))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same faults under a different seed."""
+        return FaultPlan(faults=self.faults, seed=int(seed))
+
+    def kinds(self) -> tuple[str, ...]:
+        """The kind tag of every fault, in plan order."""
+        return tuple(fault.kind for fault in self.faults)
+
+    def by_kind(self, kind: str) -> tuple[FaultSpec, ...]:
+        """Every fault of one kind, in plan order."""
+        return tuple(fault for fault in self.faults if fault.kind == kind)
+
+    def rng(self, label: str) -> np.random.Generator:
+        """A deterministic generator scoped to this plan and ``label``.
+
+        Distinct labels (one per fault application site) give independent
+        streams; the same (seed, label) pair always replays identically.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, zlib.crc32(label.encode())])
+        )
+
+    def digest(self) -> str:
+        """SHA-256 content address of the plan (faults, order, and seed).
+
+        Folded into :meth:`SimulationSpec.digest`, so the result cache
+        never serves a clean result for a faulty request or vice versa.
+        """
+        parts = ["FaultPlan", str(self.seed)]
+        parts.extend(fault.describe() for fault in self.faults)
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def _parse_value(text: str):
+    """Parse one parameter value: int, then float, then bare string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_fault_plan(text: str, seed: int = 0) -> FaultPlan:
+    """Parse the CLI syntax: ``kind[:k=v,...][;kind...]``.
+
+    Example: ``"eviction-storm:rate=0.6,start_hour=30,hours=6;trace-nan:count=2"``.
+    Fault kinds are validated against the catalogue in
+    :mod:`repro.faults.models` so typos fail loudly at parse time.
+    """
+    from repro.faults.models import KNOWN_FAULT_KINDS
+
+    faults = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, param_text = clause.partition(":")
+        kind = kind.strip()
+        if kind not in KNOWN_FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {kind!r}; known: {sorted(KNOWN_FAULT_KINDS)}"
+            )
+        params = {}
+        if param_text:
+            for pair in param_text.split(","):
+                name, separator, value = pair.partition("=")
+                if not separator or not name.strip():
+                    raise ConfigError(
+                        f"fault {kind!r}: malformed parameter {pair!r} "
+                        "(expected name=value)"
+                    )
+                params[name.strip()] = _parse_value(value.strip())
+        faults.append(FaultSpec.make(kind, **params))
+    if not faults:
+        raise ConfigError(f"fault plan {text!r} names no faults")
+    return FaultPlan.build(*faults, seed=seed)

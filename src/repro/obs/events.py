@@ -42,6 +42,9 @@ __all__ = [
     "MetricsSnapshot",
     "SweepSubmitted",
     "SweepCompleted",
+    "SpecRetried",
+    "SpecFailed",
+    "PoolRespawned",
 ]
 
 
@@ -283,3 +286,57 @@ class SweepCompleted(Event):
     deduplicated: int
     jobs: int
     wall_seconds: float
+
+
+@_register
+@dataclass(frozen=True)
+class SpecRetried(Event):
+    """One spec's execution attempt failed and will be retried.
+
+    ``attempt`` is the attempt that just failed (1-based);
+    ``delay_seconds`` the backoff before the next attempt;
+    ``error_type`` the exception class name (``"TimeoutError"`` for a
+    deadline expiry, ``"WorkerCrash"`` for a pool-breaking death).
+    """
+
+    type: ClassVar[str] = "spec_retried"
+
+    index: int
+    digest_prefix: str
+    attempt: int
+    error_type: str
+    delay_seconds: float
+
+
+@_register
+@dataclass(frozen=True)
+class SpecFailed(Event):
+    """One spec exhausted its attempts (or hit a fail-fast error).
+
+    Mirrors one entry of the batch's ``RunStats.failures`` report;
+    ``attempts`` counts executions actually charged to the spec.
+    """
+
+    type: ClassVar[str] = "spec_failed"
+
+    index: int
+    digest_prefix: str
+    error_type: str
+    message: str
+    attempts: int
+
+
+@_register
+@dataclass(frozen=True)
+class PoolRespawned(Event):
+    """The worker pool was torn down and respawned mid-batch.
+
+    ``reason`` is ``"broken"`` (a worker died, breaking the pool) or
+    ``"timeout"`` (a hung worker was abandoned); ``respawns`` is the
+    batch's cumulative respawn count.
+    """
+
+    type: ClassVar[str] = "pool_respawned"
+
+    reason: str
+    respawns: int

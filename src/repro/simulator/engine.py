@@ -119,6 +119,7 @@ class Engine:
         price_forecaster: Forecaster | None = None,
         memoize_decisions: bool | None = None,
         tracer: Tracer | None = None,
+        fault_injector=None,
     ):
         self.workload = workload
         self.carbon = carbon
@@ -131,6 +132,12 @@ class Engine:
         forecaster = forecaster if forecaster is not None else PerfectForecaster(carbon)
         if forecaster.trace is not carbon:
             raise SimulationError("forecaster must be built over the simulation's carbon trace")
+        if granularity < 1:
+            raise SimulationError(f"granularity must be >= 1 minute, got {granularity}")
+        # Optional chaos hook (see repro.faults): an object with an armed
+        # ``next_time`` minute and a ``fire(engine, now)`` method.  None
+        # keeps the event loop on its zero-overhead path.
+        self._fault_injector = fault_injector
         # Observability: NULL_TRACER by default, so every emission site
         # below is a single attribute check when tracing is off.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -206,8 +213,11 @@ class Engine:
             _EventKind.FINISH: self._on_finish,
             _EventKind.EVICT: self._on_evict,
         }
+        injector = self._fault_injector
         while self._heap:
             time, kind, _, payload = heapq.heappop(self._heap)
+            if injector is not None and 0 <= injector.next_time <= time:
+                injector.fire(self, time)
             handlers[_EventKind(kind)](time, payload)
 
         unfinished = [run.job.job_id for run in self._runs if not run.finished]
@@ -597,8 +607,25 @@ class Engine:
             provisioning_cpu_minutes=provisioning,
         )
 
+    def _audit_finite(self, values: tuple[list[float], ...]) -> None:
+        """Reject non-finite accounting before it reaches a result.
+
+        Corrupted inputs that slip past construction-time validation (a
+        fault-injected trace, a pathological energy model) must surface
+        as a typed error, never as a NaN total a sweep would happily
+        aggregate.
+        """
+        labels = ("carbon", "energy", "cost", "boot carbon")
+        for label, series in zip(labels, values):
+            if not np.isfinite(np.sum(series)):
+                raise SimulationError(
+                    f"non-finite {label} accounting: simulation inputs are "
+                    "corrupted (check traces and model parameters)"
+                )
+
     def _build_result(self) -> SimulationResult:
         values = self._interval_values()
+        self._audit_finite(values)
         records = []
         offset = 0
         for run in self._runs:

@@ -19,8 +19,12 @@ from repro.simulator.runner.cache import (
 )
 from repro.simulator.runner.execute import (
     RunStats,
+    SpecFailure,
+    WorkerCrash,
     execution_count,
     resolve_jobs,
+    resolve_retries,
+    resolve_timeout,
     run_many,
 )
 from repro.simulator.runner.spec import FrozenSeries, FrozenWorkload, SimulationSpec
@@ -31,7 +35,11 @@ __all__ = [
     "FrozenSeries",
     "run_many",
     "RunStats",
+    "SpecFailure",
+    "WorkerCrash",
     "resolve_jobs",
+    "resolve_retries",
+    "resolve_timeout",
     "execution_count",
     "ResultCache",
     "code_version_salt",

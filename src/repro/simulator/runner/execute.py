@@ -1,31 +1,67 @@
-"""Batch execution of simulation specs: serial, parallel, and cached.
+"""Batch execution of simulation specs: serial, parallel, cached, fault-tolerant.
 
 :func:`run_many` is the sweep primitive every experiment builds on.  It
 deduplicates identical specs within a batch, consults the result cache,
 and fans the remainder out over a ``ProcessPoolExecutor`` -- workers
 receive only the small picklable specs and rebuild live traces
-themselves.  ``jobs=1`` runs in-process (deterministic call order, and
-the :func:`execution_count` hook observes every engine execution, which
-the cache-hit tests rely on).
+themselves.  ``jobs=1`` (with no timeout) runs in-process (deterministic
+call order, and the :func:`execution_count` hook observes every engine
+execution, which the cache-hit tests rely on).
+
+The pool path degrades gracefully instead of losing a sweep to one bad
+spec (``docs/robustness.md`` has the narrative):
+
+* failed attempts are retried up to ``retries`` times with exponential
+  backoff and digest-seeded jitter (:class:`~repro.errors.ReproError`
+  subclasses fail fast -- they are deterministic domain errors a retry
+  cannot fix);
+* a per-execution ``timeout`` abandons hung workers: the pool is torn
+  down, the expired spec is charged a ``TimeoutError``, and innocent
+  in-flight specs are requeued uncharged;
+* a worker death (``BrokenProcessPool``) respawns the pool; when the
+  culprit is ambiguous the in-flight suspects are re-run one at a time
+  ("solo isolation") so only the spec that actually crashes is charged;
+* specs that exhaust recovery are reported as structured
+  :class:`SpecFailure` entries on :class:`RunStats` -- the batch still
+  returns every completed result (``on_error="partial"``) or raises a
+  :class:`~repro.errors.SweepError` carrying both (``"raise"``).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import os
 import time
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
-from repro.obs.events import MetricsSnapshot, SweepCompleted, SweepSubmitted
+from repro.errors import ConfigError, ReproError, SweepError
+from repro.obs.events import (
+    MetricsSnapshot,
+    PoolRespawned,
+    SpecFailed,
+    SpecRetried,
+    SweepCompleted,
+    SweepSubmitted,
+)
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics
 from repro.obs.tracer import Tracer, tracer_from_env
 from repro.simulator.results import SimulationResult
 from repro.simulator.runner.cache import ResultCache, default_cache
 from repro.simulator.runner.spec import SimulationSpec
 
-__all__ = ["RunStats", "run_many", "resolve_jobs", "execution_count"]
+__all__ = [
+    "RunStats",
+    "SpecFailure",
+    "WorkerCrash",
+    "run_many",
+    "resolve_jobs",
+    "resolve_retries",
+    "resolve_timeout",
+    "execution_count",
+]
 
 
 #: In-process count of simulations actually executed (cache hits and
@@ -65,16 +101,44 @@ def _execute_indexed(
     return index, result, wall_seconds
 
 
+class WorkerCrash(RuntimeError):
+    """A worker process died (broke the pool) while running a spec.
+
+    Raised synthetically by the runner on behalf of the dead worker;
+    retryable like any non-:class:`~repro.errors.ReproError` failure.
+    """
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """Structured report of one spec that a batch could not complete.
+
+    ``attempts`` counts executions actually charged to the spec (retries
+    included, uncharged requeues after an innocent pool loss excluded);
+    ``error_type`` is the final exception class name.
+    """
+
+    index: int
+    digest: str
+    error_type: str
+    message: str
+    attempts: int
+
+
 @dataclass
 class RunStats:
     """Bookkeeping of one :func:`run_many` call.
 
     ``total = executed + cache_hits + deduplicated``: every spec is
-    either executed, served from the cache, or aliased to an identical
-    spec executed in the same batch.  ``metrics`` is the batch's
-    aggregated observability snapshot (see :mod:`repro.obs.metrics`):
-    the runner's own counters and per-execution wall-time histogram
-    merged with the engine metrics of every distinct result.
+    either dispatched for execution, served from the cache, or aliased
+    to an identical spec in the same batch.  Dispatched specs that
+    exhaust recovery land in ``failures`` (one :class:`SpecFailure` per
+    failed slot, aliases included) and are counted by ``failed``;
+    ``retries``/``timeouts``/``pool_respawns`` count the recovery
+    machinery's work.  ``metrics`` is the batch's aggregated
+    observability snapshot (see :mod:`repro.obs.metrics`): the runner's
+    own counters and per-execution wall-time histogram merged with the
+    engine metrics of every distinct result.
     """
 
     total: int = 0
@@ -82,6 +146,11 @@ class RunStats:
     cache_hits: int = 0
     deduplicated: int = 0
     jobs: int = 1
+    failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_respawns: int = 0
+    failures: list[SpecFailure] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
 
 
@@ -96,6 +165,354 @@ def resolve_jobs(jobs: int | None = None, environ=None) -> int:
     return jobs
 
 
+def resolve_retries(retries: int | None = None, environ=None) -> int:
+    """Retry budget: the explicit argument, else ``$REPRO_RETRIES``, else 0."""
+    if retries is None:
+        env = os.environ if environ is None else environ
+        raw = env.get("REPRO_RETRIES", "")
+        retries = int(raw) if raw else 0
+    if retries < 0:
+        raise ConfigError("retries must be >= 0")
+    return retries
+
+
+def resolve_timeout(timeout: float | None = None, environ=None) -> float | None:
+    """Per-execution timeout (seconds): the argument, else ``$REPRO_TIMEOUT``."""
+    if timeout is None:
+        env = os.environ if environ is None else environ
+        raw = env.get("REPRO_TIMEOUT", "")
+        timeout = float(raw) if raw else None
+    if timeout is not None and timeout <= 0:
+        raise ConfigError("timeout must be positive (or None to disable)")
+    return timeout
+
+
+def _retry_delay(backoff: float, digest: str, attempt: int) -> float:
+    """Exponential backoff with deterministic digest-seeded jitter.
+
+    The jitter decorrelates retries across a batch without introducing
+    unseeded randomness (SIM001): it is a pure function of the spec
+    digest and the attempt number.
+    """
+    if backoff <= 0.0:
+        return 0.0
+    seed = hashlib.sha256(f"{digest}:{attempt}".encode()).digest()
+    jitter = int.from_bytes(seed[:4], "big") / 2**32
+    return backoff * (2 ** (attempt - 1)) * (1.0 + jitter)
+
+
+@dataclass
+class _Attempt:
+    """One spec's execution state inside the fault-tolerant pool loop."""
+
+    index: int
+    spec: SimulationSpec
+    digest: str
+    attempts: int = 0  # executions charged so far
+    ready_at: float = 0.0  # monotonic time gating resubmission (backoff)
+    solo: bool = False  # crash suspect: must run with nothing else in flight
+
+
+class _PoolLoop:
+    """The fault-tolerant ``ProcessPoolExecutor`` dispatch loop.
+
+    Keeps at most ``workers`` futures in flight (so every submitted
+    future has a worker and submit time approximates start time, which
+    the per-execution deadline is measured from), recovers from broken
+    pools and expired deadlines by respawning, and charges failures to
+    the right spec via solo isolation.
+    """
+
+    def __init__(
+        self,
+        to_run: list[tuple[int, SimulationSpec]],
+        digests: list[str],
+        workers: int,
+        retries: int,
+        timeout: float | None,
+        backoff: float,
+        tracer: Tracer,
+    ):
+        self.pending = [
+            _Attempt(index=index, spec=spec, digest=digests[index])
+            for index, spec in to_run
+        ]
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self.backoff = backoff
+        self.tracer = tracer
+        self.completed: list[tuple[int, SimulationResult, float]] = []
+        self.failures: list[SpecFailure] = []
+        self.retry_count = 0
+        self.timeout_count = 0
+        self.respawn_count = 0
+        self.inflight: dict = {}  # future -> (_Attempt, deadline | None)
+
+    def run(self) -> None:
+        """Drain the work queue, however many pools it takes."""
+        executor = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while self.pending or self.inflight:
+                executor = self._submit_ready(executor)
+                if not self.inflight:
+                    self._sleep_until_ready()
+                    continue
+                done, _ = wait(
+                    set(self.inflight),
+                    timeout=self._wait_timeout(),
+                    return_when=FIRST_COMPLETED,
+                )
+                executor = self._process_done(executor, done)
+                executor = self._expire_deadlines(executor)
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- submission ----------------------------------------------------
+    def _submittable(self, now: float) -> list[_Attempt]:
+        """Attempts eligible for submission right now.
+
+        Solo attempts (crash suspects) run strictly alone: one is
+        submitted only into an empty pool, and while one is in flight
+        nothing else joins it -- so a pool break unambiguously names its
+        culprit.
+        """
+        if any(attempt.solo for attempt, _ in self.inflight.values()):
+            return []
+        ready_solo = [a for a in self.pending if a.solo and a.ready_at <= now]
+        if ready_solo:
+            return ready_solo[:1] if not self.inflight else []
+        return [a for a in self.pending if not a.solo and a.ready_at <= now]
+
+    def _submit_ready(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Fill the in-flight window; respawn if the pool died meanwhile."""
+        now = time.monotonic()
+        for attempt in self._submittable(now)[: self.workers - len(self.inflight)]:
+            self.pending.remove(attempt)
+            try:
+                future = executor.submit(_execute_indexed, (attempt.index, attempt.spec))
+            except BrokenExecutor:
+                # The pool broke between iterations (a worker died after
+                # its futures resolved).  Nothing in flight is lost;
+                # requeue and start fresh.
+                self.pending.append(attempt)
+                executor = self._respawn(executor, reason="broken")
+                continue
+            self.inflight[future] = (
+                attempt,
+                now + self.timeout if self.timeout is not None else None,
+            )
+        return executor
+
+    def _sleep_until_ready(self) -> None:
+        """Idle until the earliest backoff gate opens (nothing in flight)."""
+        ready_at = min(attempt.ready_at for attempt in self.pending)
+        delay = ready_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+
+    def _wait_timeout(self) -> float | None:
+        """How long :func:`wait` may block before a deadline could expire."""
+        deadlines = [d for _, d in self.inflight.values() if d is not None]
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    # -- completion / failure handling ---------------------------------
+    def _process_done(self, executor: ProcessPoolExecutor, done) -> ProcessPoolExecutor:
+        """Harvest finished futures; handle a broken pool if one surfaced."""
+        suspects: list[_Attempt] = []
+        broken = False
+        for future in done:
+            attempt, _deadline = self.inflight.pop(future)
+            try:
+                index, result, wall_seconds = future.result()
+            except BrokenExecutor:
+                broken = True
+                suspects.append(attempt)
+            except Exception as error:  # noqa: BLE001 -- charged, never silent
+                self._charge(attempt, error)
+            else:
+                self.completed.append((index, result, wall_seconds))
+        if not broken:
+            return executor
+        # Everything still in flight rode the same dead pool: requeue it
+        # alongside the futures that already surfaced the break.
+        suspects.extend(attempt for attempt, _ in self.inflight.values())
+        self.inflight.clear()
+        executor = self._respawn(executor, reason="broken")
+        if len(suspects) == 1:
+            # Alone in the pool: the crash is unambiguously its doing.
+            self._charge(suspects[0], WorkerCrash("worker process died"))
+        else:
+            for attempt in suspects:  # ambiguous: isolate, charge nobody yet
+                attempt.solo = True
+                self.pending.append(attempt)
+        return executor
+
+    def _expire_deadlines(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Charge expired attempts and abandon the pool holding them.
+
+        A hung worker cannot be cancelled individually, so the whole
+        pool is torn down; in-flight specs that had time left are
+        requeued without being charged an attempt.
+        """
+        if self.timeout is None or not self.inflight:
+            return executor
+        now = time.monotonic()
+        expired = [
+            future
+            for future, (_attempt, deadline) in self.inflight.items()
+            if deadline is not None and now >= deadline and not future.done()
+        ]
+        if not expired:
+            return executor
+        innocents: list[_Attempt] = []
+        for future, (attempt, _deadline) in list(self.inflight.items()):
+            if future in expired:
+                self.timeout_count += 1
+                self._charge(
+                    attempt,
+                    TimeoutError(f"execution exceeded {self.timeout:g}s"),
+                )
+            else:
+                innocents.append(attempt)
+        self.inflight.clear()
+        self.pending.extend(innocents)
+        return self._respawn(executor, reason="timeout")
+
+    def _charge(self, attempt: _Attempt, error: BaseException) -> None:
+        """Charge one failed execution: schedule a retry or record failure."""
+        attempt.attempts += 1
+        fail_fast = isinstance(error, ReproError)
+        if fail_fast or attempt.attempts > self.retries:
+            self.failures.append(
+                SpecFailure(
+                    index=attempt.index,
+                    digest=attempt.digest,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=attempt.attempts,
+                )
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    SpecFailed(
+                        index=attempt.index,
+                        digest_prefix=attempt.digest[:12],
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=attempt.attempts,
+                    )
+                )
+            return
+        self.retry_count += 1
+        delay = _retry_delay(self.backoff, attempt.digest, attempt.attempts)
+        attempt.ready_at = time.monotonic() + delay
+        self.pending.append(attempt)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SpecRetried(
+                    index=attempt.index,
+                    digest_prefix=attempt.digest[:12],
+                    attempt=attempt.attempts,
+                    error_type=type(error).__name__,
+                    delay_seconds=delay,
+                )
+            )
+
+    def _respawn(
+        self, executor: ProcessPoolExecutor, reason: str
+    ) -> ProcessPoolExecutor:
+        """Abandon ``executor`` and hand back a fresh pool."""
+        _abandon_pool(executor)
+        self.respawn_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(PoolRespawned(reason=reason, respawns=self.respawn_count))
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def _abandon_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear down a pool without joining workers that may never exit.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker alive (and
+    interpreter exit would join it); terminating the worker processes is
+    the only way to reclaim them.  ``_processes`` is executor-internal,
+    so absence is tolerated.
+    """
+    executor.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # already dead / closed
+            pass
+
+
+def _run_serial(
+    to_run: list[tuple[int, SimulationSpec]],
+    digests: list[str],
+    retries: int,
+    backoff: float,
+    tracer: Tracer,
+) -> tuple[list[tuple[int, SimulationResult, float]], list[SpecFailure], int]:
+    """In-process execution with the same retry contract as the pool.
+
+    No timeout or crash protection -- a spec that hangs or kills the
+    process takes the caller with it (use ``jobs > 1`` or a ``timeout``
+    to get process isolation).  Returns (completed, failures, retries).
+    """
+    completed: list[tuple[int, SimulationResult, float]] = []
+    failures: list[SpecFailure] = []
+    retry_count = 0
+    for index, spec in to_run:
+        attempts = 0
+        while True:
+            try:
+                result, wall_seconds = _execute_timed(spec)
+            except Exception as error:  # noqa: BLE001 -- charged, never silent
+                attempts += 1
+                if isinstance(error, ReproError) or attempts > retries:
+                    failures.append(
+                        SpecFailure(
+                            index=index,
+                            digest=digests[index],
+                            error_type=type(error).__name__,
+                            message=str(error),
+                            attempts=attempts,
+                        )
+                    )
+                    if tracer.enabled:
+                        tracer.emit(
+                            SpecFailed(
+                                index=index,
+                                digest_prefix=digests[index][:12],
+                                error_type=type(error).__name__,
+                                message=str(error),
+                                attempts=attempts,
+                            )
+                        )
+                    break
+                retry_count += 1
+                delay = _retry_delay(backoff, digests[index], attempts)
+                if tracer.enabled:
+                    tracer.emit(
+                        SpecRetried(
+                            index=index,
+                            digest_prefix=digests[index][:12],
+                            attempt=attempts,
+                            error_type=type(error).__name__,
+                            delay_seconds=delay,
+                        )
+                    )
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                completed.append((index, result, wall_seconds))
+                break
+    return completed, failures, retry_count
+
+
 def run_many(
     specs: Iterable[SimulationSpec],
     jobs: int | None = None,
@@ -103,6 +520,10 @@ def run_many(
     use_cache: bool = True,
     stats: RunStats | None = None,
     tracer: Tracer | None = None,
+    retries: int | None = None,
+    timeout: float | None = None,
+    backoff: float = 0.05,
+    on_error: str = "raise",
 ) -> list[SimulationResult]:
     """Run every spec and return one result per spec, in spec order.
 
@@ -113,24 +534,48 @@ def run_many(
         executed once and share the result object.
     jobs:
         Worker processes; ``None`` reads ``$REPRO_JOBS`` (default 1).
-        1 runs in-process.
+        1 runs in-process unless a ``timeout`` forces the pool (only a
+        separate process can be abandoned).
     cache:
         Result cache to consult and fill; ``None`` uses the process-wide
-        :func:`default_cache`.
+        :func:`default_cache`.  Only completed results are cached.
     use_cache:
         ``False`` (or ``$REPRO_NO_CACHE=1``) bypasses the cache
         entirely; in-batch deduplication still applies.
     stats:
-        Optional :class:`RunStats` filled in place with hit/execution
-        counts and the batch's aggregated metrics snapshot.
+        Optional :class:`RunStats` filled in place with hit/execution/
+        failure counts and the batch's aggregated metrics snapshot.
+        Filled even when the call raises :class:`SweepError`.
     tracer:
         Observability sink for batch-level events (sweep submitted /
-        completed, runner metrics); ``None`` consults ``$REPRO_TRACE``
-        and defaults to the no-op null tracer.  Worker processes emit
-        their per-run events through their own env-resolved tracers.
+        completed, retries, failures, pool respawns, runner metrics);
+        ``None`` consults ``$REPRO_TRACE`` and defaults to the no-op
+        null tracer.  Worker processes emit their per-run events through
+        their own env-resolved tracers.
+    retries:
+        Extra executions granted to a failing spec; ``None`` reads
+        ``$REPRO_RETRIES`` (default 0).  :class:`~repro.errors.ReproError`
+        subclasses fail fast regardless -- they are deterministic.
+    timeout:
+        Per-execution wall-clock budget in seconds; ``None`` reads
+        ``$REPRO_TIMEOUT`` (default: no timeout).  Expiry abandons the
+        worker pool and charges the spec one attempt.
+    backoff:
+        Base backoff in seconds; attempt ``n`` waits
+        ``backoff * 2**(n-1)`` scaled by deterministic digest-seeded
+        jitter.  0 disables the wait (tests).
+    on_error:
+        ``"raise"`` (default): specs still failed after recovery raise
+        :class:`~repro.errors.SweepError`, carrying the partial results
+        and the failure report.  ``"partial"``: return the results list
+        with ``None`` in failed slots; inspect ``stats.failures``.
     """
     spec_list = list(specs)
     jobs = resolve_jobs(jobs)
+    retries = resolve_retries(retries)
+    timeout = resolve_timeout(timeout)
+    if on_error not in ("raise", "partial"):
+        raise ConfigError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
     if tracer is None:
         tracer = tracer_from_env()
     if os.environ.get("REPRO_NO_CACHE", "") == "1":
@@ -172,13 +617,29 @@ def run_many(
             )
         )
 
-    if not to_run or jobs == 1 or len(to_run) == 1:
-        computed = [
-            (index, *_execute_timed(spec)) for index, spec in to_run
-        ]
+    # The pool is mandatory whenever a timeout is set -- only a separate
+    # process can be abandoned mid-execution -- and whenever jobs > 1,
+    # even for one spec, so a crashing spec cannot take the caller down.
+    if not to_run or (jobs == 1 and timeout is None):
+        computed, failures, retry_count = _run_serial(
+            to_run, digests, retries=retries, backoff=backoff, tracer=tracer
+        )
+        timeout_count = respawn_count = 0
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(to_run))) as pool:
-            computed = list(pool.map(_execute_indexed, to_run))
+        loop = _PoolLoop(
+            to_run,
+            digests,
+            workers=min(jobs, len(to_run)),
+            retries=retries,
+            timeout=timeout,
+            backoff=backoff,
+            tracer=tracer,
+        )
+        loop.run()
+        computed, failures = loop.completed, loop.failures
+        retry_count = loop.retry_count
+        timeout_count = loop.timeout_count
+        respawn_count = loop.respawn_count
 
     for index, result, _wall_seconds in computed:
         results[index] = result
@@ -186,6 +647,12 @@ def run_many(
             active_cache.put(active_cache.key_for(spec_list[index]), result)
         for follower in followers[digests[index]]:
             results[follower] = result
+
+    # Aliases of a failed spec fail with it: report one entry per slot.
+    for failure in list(failures):
+        for follower in followers.get(failure.digest, ()):
+            failures.append(dataclasses.replace(failure, index=follower))
+    failures.sort(key=lambda failure: failure.index)
 
     metrics = _batch_metrics(
         results=results,
@@ -196,6 +663,10 @@ def run_many(
         jobs=jobs,
         active_cache=active_cache,
         cache_counters_before=cache_counters_before,
+        failed=len(failures),
+        retries=retry_count,
+        timeouts=timeout_count,
+        pool_respawns=respawn_count,
     )
     if tracer.enabled:
         tracer.emit(MetricsSnapshot(scope="runner", metrics=metrics))
@@ -216,8 +687,21 @@ def run_many(
         stats.cache_hits = hit_count
         stats.deduplicated = deduplicated
         stats.jobs = jobs
+        stats.failed = len(failures)
+        stats.retries = retry_count
+        stats.timeouts = timeout_count
+        stats.pool_respawns = respawn_count
+        stats.failures = list(failures)
         stats.metrics = metrics
-    return results  # type: ignore[return-value]  # every slot is filled above
+    if failures and on_error == "raise":
+        first = failures[0]
+        raise SweepError(
+            f"{len(failures)} of {len(spec_list)} specs failed after recovery; "
+            f"first: spec {first.index} [{first.error_type}] {first.message}",
+            results=results,
+            failures=failures,
+        )
+    return results  # type: ignore[return-value]  # None only in 'partial' failed slots
 
 
 def _batch_metrics(
@@ -229,13 +713,19 @@ def _batch_metrics(
     jobs: int,
     active_cache: ResultCache | None,
     cache_counters_before: dict[str, int],
+    failed: int = 0,
+    retries: int = 0,
+    timeouts: int = 0,
+    pool_respawns: int = 0,
 ) -> dict:
     """Aggregate one batch's observability snapshot.
 
-    Merges the runner's own counters (spec dispositions, per-execution
-    wall-time histogram, cache-layer deltas) with the engine metrics of
-    every *distinct* result object -- deduplicated and cache-shared
-    results contribute once, so counters stay proportional to work done.
+    Merges the runner's own counters (spec dispositions, recovery work,
+    per-execution wall-time histogram, cache-layer deltas) with the
+    engine metrics of every *distinct* result object -- deduplicated and
+    cache-shared results contribute once, so counters stay proportional
+    to work done.  Recovery counters appear only when nonzero, keeping
+    clean-batch snapshots identical to the pre-robustness layout.
     """
     registry = MetricsRegistry()
     registry.counter("runner.specs", float(total))
@@ -243,6 +733,14 @@ def _batch_metrics(
     registry.counter("runner.cache_hits", float(cache_hits))
     registry.counter("runner.deduplicated", float(deduplicated))
     registry.gauge("runner.jobs", float(jobs))
+    for name, value in (
+        ("runner.failed", failed),
+        ("runner.retries", retries),
+        ("runner.timeouts", timeouts),
+        ("runner.pool_respawns", pool_respawns),
+    ):
+        if value:
+            registry.counter(name, float(value))
     for _index, _result, wall_seconds in computed:
         registry.histogram("runner.worker_wall_seconds", wall_seconds)
     if active_cache is not None:

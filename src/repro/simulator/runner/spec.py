@@ -32,6 +32,7 @@ from repro.cluster.spot import (
     NoEvictions,
 )
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.workload.job import Job, QueueSet
 from repro.workload.trace import WorkloadTrace
 
@@ -202,6 +203,7 @@ class SimulationSpec:
     online_estimation: bool = False
     price_series: FrozenSeries | None = None
     memoize_decisions: bool | None = None
+    fault_plan: FaultPlan | None = None
 
     @classmethod
     def build(
@@ -226,6 +228,7 @@ class SimulationSpec:
         online_estimation: bool = False,
         price_trace: HourlySeries | None = None,
         memoize_decisions: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> "SimulationSpec":
         """Freeze the arguments of one ``run_simulation`` call.
 
@@ -269,6 +272,7 @@ class SimulationSpec:
                 FrozenSeries.freeze(price_trace) if price_trace is not None else None
             ),
             memoize_decisions=memoize_decisions,
+            fault_plan=fault_plan,
         )
 
     def to_kwargs(self) -> dict:
@@ -307,6 +311,7 @@ class SimulationSpec:
                 self.price_series.thaw() if self.price_series is not None else None
             ),
             "memoize_decisions": self.memoize_decisions,
+            "fault_plan": self.fault_plan,
         }
 
     def run(self):
@@ -351,6 +356,7 @@ class SimulationSpec:
                     else "-"
                 ),
                 repr(self.memoize_decisions),
+                self.fault_plan.digest() if self.fault_plan is not None else "-",
             ]
             cached = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
             self.__dict__["_digest"] = cached

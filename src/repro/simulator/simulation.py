@@ -21,6 +21,14 @@ from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
 from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
 from repro.cluster.spot import CheckpointConfig, EvictionModel
 from repro.errors import ConfigError
+from repro.faults import (
+    FaultPlan,
+    apply_input_faults,
+    apply_process_faults,
+    engine_injector,
+    wrap_eviction,
+    wrap_forecaster,
+)
 from repro.obs.tracer import Tracer, tracer_from_env
 from repro.policies.base import Policy
 from repro.policies.registry import make_policy
@@ -77,6 +85,7 @@ def run_simulation(
     price_trace=None,
     memoize_decisions: bool | None = None,
     tracer: Tracer | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimulationResult:
     """Run one policy over one workload/region and return the accounting.
 
@@ -92,7 +101,17 @@ def run_simulation(
     ``docs/observability.md``); ``None`` consults ``$REPRO_TRACE`` via
     :func:`repro.obs.tracer.tracer_from_env` and defaults to the no-op
     null tracer, which leaves results and timings untouched.
+
+    ``fault_plan`` injects deterministic faults (see
+    ``docs/robustness.md``): process faults fire immediately, input
+    faults corrupt the carbon trace before preparation (so a truncated
+    trace is re-tiled like any short trace would be), forecast and
+    eviction faults wrap the respective components, and queue corruption
+    arms the engine's mid-run injector.  ``None`` and the empty plan run
+    byte-identically to an unfaulted build.
     """
+    apply_process_faults(fault_plan)
+    carbon = apply_input_faults(fault_plan, carbon)
     if isinstance(policy, str):
         policy = make_policy(policy)
     if not isinstance(policy, Policy):
@@ -135,6 +154,8 @@ def run_simulation(
         forecaster = NoisyForecaster(covering, sigma=forecast_sigma, seed=forecast_seed)
     else:
         forecaster = PerfectForecaster(covering)
+    forecaster = wrap_forecaster(fault_plan, forecaster)
+    eviction_model = wrap_eviction(fault_plan, eviction_model)
 
     owns_tracer = False
     if tracer is None:
@@ -161,6 +182,7 @@ def run_simulation(
         price_forecaster=_price_forecaster_for(price_trace, covering),
         memoize_decisions=memoize_decisions,
         tracer=tracer,
+        fault_injector=engine_injector(fault_plan),
     )
     try:
         return engine.run()

@@ -103,6 +103,14 @@ def verify_result(
 
     if not np.isfinite(result.total_carbon_g) or result.total_carbon_g < 0:
         violations.append("total carbon is negative or non-finite")
+    if not np.isfinite(result.total_energy_kwh) or result.total_energy_kwh < 0:
+        violations.append("total energy is negative or non-finite")
+    if not np.isfinite(result.metered_cost) or result.metered_cost < 0:
+        violations.append("metered cost is negative or non-finite")
+    for record in result.records:
+        per_job = (record.carbon_g, record.energy_kwh, record.usage_cost)
+        if not all(np.isfinite(value) and value >= 0 for value in per_job):
+            flag(record.job_id, "negative or non-finite accounting values")
     return violations
 
 

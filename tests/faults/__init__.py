@@ -1,0 +1,1 @@
+"""Robustness layer tests: fault injection, chaos matrix, runner recovery."""

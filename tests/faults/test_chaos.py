@@ -1,0 +1,236 @@
+"""Chaos matrix: every fault class against every timing-policy family.
+
+The robustness contract under test: an injected fault ends in exactly
+one of two outcomes -- the simulation **completes with finite numbers**
+(survivable degradation) or it **raises a typed ReproError** (detected
+rejection).  A silent wrong number (NaN/inf totals, missing jobs) is
+never acceptable.
+
+``$REPRO_CHAOS_SEED`` re-seeds the whole matrix, so CI can sweep seeds
+without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.spot import HourlyHazard
+from repro.errors import ReproError, SimulationError, TraceError
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    QueueCorruptionInjector,
+    StormEvictionModel,
+    parse_fault_plan,
+)
+from repro.simulator.simulation import run_simulation
+from repro.simulator.validation import verify_result
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+POLICIES = ("nowait", "wait-awhile", "lowest-slot")
+
+#: One representative plan per injectable fault class (process faults
+#: are the runner's problem and live in test_runner_chaos.py).
+FAULT_PLANS = {
+    "eviction-storm": "eviction-storm:rate=0.6,start_hour=0,hours=12",
+    "forecast-bias": "forecast-bias:bias=0.4",
+    "forecast-dropout": "forecast-dropout:fraction=0.5",
+    "trace-nan": "trace-nan:count=2",
+    "trace-truncate": "trace-truncate:fraction=0.2",
+    "queue-corruption-shuffle": "queue-corruption:minute=60,mode=shuffle",
+    "queue-corruption-drop": "queue-corruption:minute=60,mode=drop,count=2",
+}
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("fault", sorted(FAULT_PLANS))
+    def test_finite_completion_or_typed_error(
+        self, fault, policy, tiny_workload, diurnal_carbon
+    ):
+        plan = parse_fault_plan(FAULT_PLANS[fault], seed=CHAOS_SEED)
+        try:
+            result = run_simulation(
+                tiny_workload,
+                diurnal_carbon,
+                f"spot-first:{policy}",
+                eviction_model=HourlyHazard(0.05),
+                spot_seed=CHAOS_SEED,
+                fault_plan=plan,
+            )
+        except ReproError:
+            return  # typed rejection: an acceptable outcome by contract
+        totals = (
+            result.total_carbon_g,
+            result.total_energy_kwh,
+            result.metered_cost,
+        )
+        assert all(np.isfinite(value) and value >= 0 for value in totals)
+        assert len(result.records) == len(tiny_workload.jobs)
+        assert verify_result(result) == []
+
+
+class TestTypedRejections:
+    def test_nan_trace_raises_trace_error(self, tiny_workload, flat_carbon):
+        with pytest.raises(TraceError):
+            run_simulation(
+                tiny_workload,
+                flat_carbon,
+                "nowait",
+                fault_plan=parse_fault_plan("trace-nan:count=1", seed=CHAOS_SEED),
+            )
+
+    def test_truncated_trace_survives_by_retiling(self, tiny_workload, diurnal_carbon):
+        result = run_simulation(
+            tiny_workload,
+            diurnal_carbon,
+            "lowest-slot",
+            fault_plan=parse_fault_plan("trace-truncate:fraction=0.1"),
+        )
+        assert np.isfinite(result.total_carbon_g)
+        assert len(result.records) == len(tiny_workload.jobs)
+
+
+class TestEvictionStorm:
+    def test_storm_only_adds_evictions(self, tiny_workload, flat_carbon):
+        """Under a storm, spot evictions are a superset in count."""
+        kwargs = dict(
+            eviction_model=HourlyHazard(0.02),
+            spot_seed=CHAOS_SEED,
+        )
+        calm = run_simulation(
+            tiny_workload, flat_carbon, "spot-first:nowait", **kwargs
+        )
+        stormy = run_simulation(
+            tiny_workload,
+            flat_carbon,
+            "spot-first:nowait",
+            fault_plan=FaultPlan.build(
+                FaultSpec.make("eviction-storm", rate=0.95, start_hour=0, hours=48),
+                seed=CHAOS_SEED,
+            ),
+            **kwargs,
+        )
+        calm_evictions = sum(record.evictions for record in calm.records)
+        storm_evictions = sum(record.evictions for record in stormy.records)
+        assert storm_evictions >= calm_evictions
+        assert storm_evictions > 0  # rate 0.95 over 48 h must bite
+
+    def test_outside_window_matches_base_model(self):
+        base = HourlyHazard(0.1)
+        storm = StormEvictionModel(
+            base, storm_rate=0.9, start_minute=0, end_minute=60
+        )
+        rng_a = np.random.default_rng(np.random.SeedSequence([CHAOS_SEED]))
+        rng_b = np.random.default_rng(np.random.SeedSequence([CHAOS_SEED]))
+        base_offset = base.sample_eviction(10_000, rng_a)
+        storm_offset = storm.sample_eviction(10_000, rng_b)
+        assert storm_offset == base_offset
+
+
+class TestForecastFaults:
+    def test_bias_misleads_policy_but_not_accounting(
+        self, tiny_workload, diurnal_carbon
+    ):
+        """Accounting always uses the true trace: a pure bias rescales
+        what the policy sees, not what the books record."""
+        clean = run_simulation(tiny_workload, diurnal_carbon, "nowait")
+        biased = run_simulation(
+            tiny_workload,
+            diurnal_carbon,
+            "nowait",
+            fault_plan=parse_fault_plan("forecast-bias:bias=3.0"),
+        )
+        # NoWait ignores forecasts entirely, so the schedules -- and the
+        # true-trace accounting -- must be identical.
+        assert biased.digest() == clean.digest()
+
+    def test_dropout_changes_forecast_sensitive_schedules(
+        self, tiny_workload, diurnal_carbon
+    ):
+        clean = run_simulation(tiny_workload, diurnal_carbon, "lowest-slot")
+        faulted = run_simulation(
+            tiny_workload,
+            diurnal_carbon,
+            "lowest-slot",
+            fault_plan=parse_fault_plan(
+                "forecast-dropout:fraction=0.95", seed=CHAOS_SEED
+            ),
+        )
+        assert np.isfinite(faulted.total_carbon_g)
+        # With 95% of forecast hours answering the flat climatology mean,
+        # the CI-chasing schedule almost surely moves; totals stay finite
+        # either way, which is the contract (digest equality allowed).
+        assert len(faulted.records) == len(clean.records)
+
+
+class _StubJob:
+    """Minimal stand-in for a pending _RunState (started flag only)."""
+
+    def __init__(self):
+        self.started = False
+
+
+class _StubEngine:
+    """Engine façade exposing only the ``_pending`` queue."""
+
+    def __init__(self, count):
+        self._pending = [_StubJob() for _ in range(count)]
+
+
+class TestQueueCorruption:
+    def test_shuffle_permutes_and_disarms(self):
+        injector = QueueCorruptionInjector(
+            fire_minute=30,
+            mode="shuffle",
+            count=0,
+            rng=np.random.default_rng(np.random.SeedSequence([CHAOS_SEED, 1])),
+        )
+        engine = _StubEngine(6)
+        before = list(engine._pending)
+        assert injector.armed
+        injector.fire(engine, 30)
+        assert not injector.armed
+        assert sorted(map(id, engine._pending)) == sorted(map(id, before))
+
+    def test_drop_marks_victims_started_for_the_audit(self):
+        injector = QueueCorruptionInjector(
+            fire_minute=30,
+            mode="drop",
+            count=2,
+            rng=np.random.default_rng(np.random.SeedSequence([CHAOS_SEED, 2])),
+        )
+        engine = _StubEngine(5)
+        before = list(engine._pending)
+        injector.fire(engine, 30)
+        assert len(engine._pending) == 3
+        dropped = [job for job in before if job not in engine._pending]
+        assert all(job.started for job in dropped)
+
+    def test_dropped_pending_jobs_raise_the_unfinished_audit(
+        self, diurnal_carbon, tiny_workload
+    ):
+        """End to end: if the corruption actually removes queued jobs,
+        the engine's 'jobs never finished' audit fires instead of a
+        silently short result."""
+        plan = parse_fault_plan(
+            "queue-corruption:minute=0,mode=drop,count=5", seed=CHAOS_SEED
+        )
+        try:
+            result = run_simulation(
+                tiny_workload,
+                diurnal_carbon,
+                "res-first:carbon-time",
+                reserved_cpus=1,
+                fault_plan=plan,
+            )
+        except SimulationError as error:
+            assert "never finished" in str(error)
+        else:
+            # The pending queue was empty at every firing opportunity --
+            # then nothing may be missing from the books.
+            assert len(result.records) == len(tiny_workload.jobs)

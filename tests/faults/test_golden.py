@@ -1,0 +1,111 @@
+"""Golden-scenario snapshots: pinned result digests for small clean runs.
+
+Six small fault-free scenarios have their ``SimulationResult.digest()``
+committed in ``golden/digests.json``.  Any change to these digests means
+simulation *behaviour* moved -- either an intentional semantic change
+(regenerate the fixture and say so in the PR) or an accidental
+regression this test just caught.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m tests.faults.test_golden
+
+which rewrites ``golden/digests.json`` in place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.spot import HourlyHazard
+from repro.simulator.simulation import run_simulation
+from repro.units import days, hours
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
+
+
+def _workload() -> WorkloadTrace:
+    """The fixed five-job workload every golden scenario runs."""
+    jobs = [
+        Job(job_id=0, arrival=0, length=60, cpus=1),
+        Job(job_id=1, arrival=30, length=hours(4), cpus=2),
+        Job(job_id=2, arrival=hours(2), length=hours(1), cpus=1),
+        Job(job_id=3, arrival=hours(10), length=hours(12), cpus=4),
+        Job(job_id=4, arrival=hours(30), length=90, cpus=1),
+    ]
+    return WorkloadTrace(jobs, name="golden", horizon=days(2))
+
+
+def _flat() -> CarbonIntensityTrace:
+    return CarbonIntensityTrace(np.full(240, 100.0), name="flat")
+
+
+def _diurnal() -> CarbonIntensityTrace:
+    day = np.full(24, 100.0)
+    day[10:16] = 20.0
+    return CarbonIntensityTrace(np.tile(day, 14), name="diurnal")
+
+
+#: name -> zero-argument scenario runner.  Inputs are rebuilt per call so
+#: scenarios cannot leak state into each other.
+SCENARIOS = {
+    "nowait-flat": lambda: run_simulation(_workload(), _flat(), "nowait"),
+    "wait-awhile-diurnal": lambda: run_simulation(
+        _workload(), _diurnal(), "wait-awhile"
+    ),
+    "lowest-slot-diurnal": lambda: run_simulation(
+        _workload(), _diurnal(), "lowest-slot", granularity=15
+    ),
+    "carbon-time-diurnal": lambda: run_simulation(
+        _workload(), _diurnal(), "carbon-time"
+    ),
+    "spot-first-evictions": lambda: run_simulation(
+        _workload(),
+        _diurnal(),
+        "spot-first:nowait",
+        eviction_model=HourlyHazard(0.05),
+        spot_seed=7,
+    ),
+    "res-first-reserved-pool": lambda: run_simulation(
+        _workload(), _diurnal(), "res-first:carbon-time", reserved_cpus=2
+    ),
+}
+
+
+def compute_digests() -> dict[str, str]:
+    """Run every scenario and return its result digest."""
+    return {name: runner().digest() for name, runner in sorted(SCENARIOS.items())}
+
+
+class TestGoldenScenarios:
+    @pytest.fixture(scope="class")
+    def pinned(self) -> dict[str, str]:
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_fixture_covers_exactly_the_scenarios(self, pinned):
+        assert set(pinned) == set(SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_digest_matches_pin(self, name, pinned):
+        assert SCENARIOS[name]().digest() == pinned[name], (
+            f"golden scenario {name!r} moved; if intentional, regenerate "
+            "with: PYTHONPATH=src python -m tests.faults.test_golden"
+        )
+
+
+def _regenerate() -> None:
+    """Rewrite the committed fixture from the current code's behaviour."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_digests(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration entry
+    _regenerate()

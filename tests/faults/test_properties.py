@@ -1,0 +1,158 @@
+"""Property-based robustness invariants (hypothesis).
+
+Whatever small workload, policy, and (survivable) fault plan hypothesis
+draws, a completed simulation must report finite, non-negative totals,
+account every submitted job, and reproduce bit-identically under the
+same fault-plan seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.faults import FaultPlan, FaultSpec, parse_fault_plan
+from repro.simulator.simulation import run_simulation
+from repro.units import hours
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+POLICIES = ("nowait", "wait-awhile", "lowest-slot")
+
+ci_values = st.lists(
+    st.floats(min_value=1.0, max_value=2000.0, allow_nan=False, allow_infinity=False),
+    min_size=30,
+    max_size=72,
+)
+
+#: Survivable fault plans only -- typed-rejection faults (trace-nan) and
+#: process faults have their own targeted tests in test_chaos.py.
+survivable_plans = st.one_of(
+    st.none(),
+    st.builds(
+        lambda rate, start, length, seed: FaultPlan.build(
+            FaultSpec.make(
+                "eviction-storm", rate=rate, start_hour=start, hours=length
+            ),
+            seed=seed,
+        ),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+        start=st.integers(min_value=0, max_value=24),
+        length=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    ),
+    st.builds(
+        lambda bias, fraction, seed: FaultPlan.build(
+            FaultSpec.make("forecast-bias", bias=bias),
+            FaultSpec.make("forecast-dropout", fraction=fraction),
+            seed=seed,
+        ),
+        bias=st.floats(min_value=-0.5, max_value=2.0),
+        fraction=st.floats(min_value=0.0, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    ),
+    st.builds(
+        lambda fraction: FaultPlan.build(
+            FaultSpec.make("trace-truncate", fraction=fraction)
+        ),
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+    ),
+)
+
+
+def small_workload(num_jobs: int, seed: int) -> WorkloadTrace:
+    """A deterministic handful of jobs derived from ``seed``."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed]))
+    jobs = [
+        Job(
+            job_id=index,
+            arrival=int(rng.integers(0, hours(8))),
+            length=int(rng.integers(10, hours(2))),
+            cpus=int(rng.integers(1, 4)),
+        )
+        for index in range(num_jobs)
+    ]
+    return WorkloadTrace(jobs, name=f"prop-{seed}")
+
+
+class TestCompletedRunInvariants:
+    @given(
+        hourly=ci_values,
+        policy=st.sampled_from(POLICIES),
+        num_jobs=st.integers(min_value=1, max_value=6),
+        workload_seed=st.integers(min_value=0, max_value=1000),
+        plan=survivable_plans,
+    )
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_totals_finite_nonnegative_and_every_job_accounted(
+        self, hourly, policy, num_jobs, workload_seed, plan
+    ):
+        workload = small_workload(num_jobs, workload_seed)
+        carbon = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+        result = run_simulation(workload, carbon, policy, fault_plan=plan)
+        totals = (
+            result.total_carbon_g,
+            result.total_energy_kwh,
+            result.metered_cost,
+        )
+        assert all(np.isfinite(value) and value >= 0 for value in totals)
+        # Completed jobs never exceed (and here always equal) submissions.
+        assert len(result.records) == num_jobs
+        for record in result.records:
+            assert record.finish >= record.first_start >= record.arrival
+
+    @given(
+        policy=st.sampled_from(POLICIES),
+        rate=st.floats(min_value=0.1, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_identical_fault_plan_seeds_are_bit_identical(self, policy, rate, seed):
+        workload = small_workload(4, 11)
+        carbon = CarbonIntensityTrace(np.linspace(50.0, 400.0, 48))
+        digests = [
+            run_simulation(
+                workload,
+                carbon,
+                f"spot-first:{policy}",
+                eviction_model=None,
+                fault_plan=FaultPlan.build(
+                    FaultSpec.make("eviction-storm", rate=rate, hours=8), seed=seed
+                ),
+            ).digest()
+            for _ in range(2)
+        ]
+        assert digests[0] == digests[1]
+
+
+class TestPlanDigests:
+    @given(
+        seed_a=st.integers(min_value=0, max_value=2**31),
+        seed_b=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_digest_depends_on_seed_and_params(self, seed_a, seed_b, rate):
+        plan_a = FaultPlan.build(
+            FaultSpec.make("eviction-storm", rate=rate), seed=seed_a
+        )
+        plan_b = plan_a.with_seed(seed_b)
+        assert (plan_a.digest() == plan_b.digest()) == (seed_a == seed_b)
+        assert plan_a.digest() == FaultPlan.build(
+            FaultSpec.make("eviction-storm", rate=rate), seed=seed_a
+        ).digest()
+
+    @given(count=st.integers(min_value=1, max_value=9), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None, derandomize=True)
+    def test_parse_round_trip_preserves_digest(self, count, seed):
+        text = f"trace-nan:count={count};forecast-bias:bias=0.25"
+        assert (
+            parse_fault_plan(text, seed=seed).digest()
+            == parse_fault_plan(text, seed=seed).digest()
+        )

@@ -1,0 +1,252 @@
+"""Runner recovery under process faults: retries, timeouts, pool respawns.
+
+These tests poison specs with ``worker-*`` faults (which sabotage the
+worker process itself) and assert the ISSUE's graceful-degradation
+contract: a sweep with a few bad specs returns every good result plus a
+structured failure report, never a bare stack trace or a lost batch.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SweepError
+from repro.faults import parse_fault_plan
+from repro.simulator.runner import (
+    RunStats,
+    SimulationSpec,
+    SpecFailure,
+    resolve_retries,
+    resolve_timeout,
+    run_many,
+)
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+@pytest.fixture
+def carbon():
+    return CarbonIntensityTrace(np.linspace(100.0, 300.0, 48), name="ramp")
+
+
+@pytest.fixture
+def workload():
+    jobs = [Job(job_id=i, arrival=i * 30, length=60, cpus=1) for i in range(4)]
+    return WorkloadTrace(jobs, name="runner-chaos")
+
+
+def make_spec(workload, carbon, spot_seed=0, plan_text=None):
+    """One small spec, optionally poisoned by a fault plan."""
+    plan = (
+        parse_fault_plan(plan_text, seed=CHAOS_SEED) if plan_text is not None else None
+    )
+    return SimulationSpec.build(
+        workload, carbon, "nowait", spot_seed=spot_seed, fault_plan=plan
+    )
+
+
+class TestGracefulDegradation:
+    def test_sixteen_specs_two_poisoned_returns_fourteen(self, workload, carbon):
+        """The ISSUE's acceptance scenario: a 16-spec sweep with one
+        worker-crashing spec and one hanging spec returns the 14 good
+        results, a structured report for the 2 bad ones, and recovery
+        counters in the stats metrics."""
+        specs = []
+        for index in range(16):
+            plan_text = None
+            if index == 5:
+                plan_text = "worker-crash"
+            elif index == 11:
+                plan_text = "worker-hang:seconds=30"
+            specs.append(make_spec(workload, carbon, spot_seed=index, plan_text=plan_text))
+
+        stats = RunStats()
+        results = run_many(
+            specs,
+            jobs=4,
+            use_cache=False,
+            stats=stats,
+            retries=1,
+            timeout=3.0,
+            backoff=0.0,
+            on_error="partial",
+        )
+        assert len(results) == 16
+        good = [index for index, result in enumerate(results) if result is not None]
+        assert len(good) == 14
+        assert {index for index in range(16) if index not in good} == {5, 11}
+
+        by_index = {failure.index: failure for failure in stats.failures}
+        assert set(by_index) == {5, 11}
+        assert by_index[5].error_type == "WorkerCrash"
+        assert by_index[11].error_type == "TimeoutError"
+        assert all(failure.attempts == 2 for failure in stats.failures)  # 1 retry each
+        assert stats.failed == 2
+        assert stats.retries == 2
+        assert stats.timeouts >= 2
+        assert stats.pool_respawns >= 2
+        counters = stats.metrics["counters"]
+        assert counters["runner.failed"] == 2.0
+        assert counters["runner.retries"] == 2.0
+        assert counters["runner.pool_respawns"] == stats.pool_respawns
+
+    def test_raise_mode_attaches_partial_results(self, workload, carbon):
+        """Regression: a failure must not discard the completed results
+        -- SweepError carries them alongside the failure report."""
+        specs = [make_spec(workload, carbon, spot_seed=index) for index in range(3)]
+        specs.append(make_spec(workload, carbon, plan_text="worker-fail"))
+        with pytest.raises(SweepError) as excinfo:
+            run_many(specs, jobs=2, use_cache=False, backoff=0.0)
+        error = excinfo.value
+        assert len(error.results) == 4
+        assert sum(result is not None for result in error.results) == 3
+        assert [failure.index for failure in error.failures] == [3]
+        assert error.failures[0].error_type == "RuntimeError"
+
+    def test_failed_digest_aliases_share_the_failure(self, workload, carbon):
+        """In-batch duplicates of a failed spec each get a report entry."""
+        bad = make_spec(workload, carbon, plan_text="worker-fail")
+        stats = RunStats()
+        results = run_many(
+            [bad, bad], jobs=1, use_cache=False, stats=stats,
+            backoff=0.0, on_error="partial",
+        )
+        assert results == [None, None]
+        assert [failure.index for failure in stats.failures] == [0, 1]
+        assert stats.deduplicated == 1
+
+
+class TestRetries:
+    def test_flaky_spec_heals_within_retry_budget(self, workload, carbon, tmp_path):
+        marker = tmp_path / "flaky-marker"
+        spec = make_spec(
+            workload, carbon, plan_text=f"worker-flaky:path={marker},times=1"
+        )
+        stats = RunStats()
+        results = run_many(
+            [spec], jobs=2, use_cache=False, stats=stats, retries=1, backoff=0.0
+        )
+        assert results[0] is not None
+        assert stats.retries == 1
+        assert stats.failed == 0
+
+    def test_serial_path_retries_too(self, workload, carbon, tmp_path):
+        marker = tmp_path / "flaky-serial"
+        spec = make_spec(
+            workload, carbon, plan_text=f"worker-flaky:path={marker},times=2"
+        )
+        stats = RunStats()
+        results = run_many(
+            [spec], jobs=1, use_cache=False, stats=stats, retries=2, backoff=0.0
+        )
+        assert results[0] is not None
+        assert stats.retries == 2
+
+    def test_repro_errors_fail_fast_without_burning_retries(self, workload, carbon):
+        """Deterministic domain errors (here: a NaN trace rejected with
+        TraceError) are never retried, whatever the budget."""
+        spec = make_spec(workload, carbon, plan_text="trace-nan:count=2")
+        stats = RunStats()
+        results = run_many(
+            [spec], jobs=1, use_cache=False, stats=stats,
+            retries=5, backoff=0.0, on_error="partial",
+        )
+        assert results[0] is None
+        assert stats.retries == 0
+        failure = stats.failures[0]
+        assert failure.error_type == "TraceError"
+        assert failure.attempts == 1
+
+    def test_exhausted_retries_report_every_attempt(self, workload, carbon):
+        spec = make_spec(workload, carbon, plan_text="worker-fail")
+        stats = RunStats()
+        run_many(
+            [spec], jobs=1, use_cache=False, stats=stats,
+            retries=2, backoff=0.0, on_error="partial",
+        )
+        assert stats.retries == 2
+        assert stats.failures[0].attempts == 3  # initial + 2 retries
+
+
+class TestCrashIsolation:
+    def test_innocent_inflight_specs_survive_a_worker_crash(self, workload, carbon):
+        """A crash breaks the whole pool; the specs that merely shared it
+        must be re-run uncharged and succeed."""
+        specs = [make_spec(workload, carbon, spot_seed=index) for index in range(6)]
+        specs[2] = make_spec(workload, carbon, plan_text="worker-crash")
+        stats = RunStats()
+        results = run_many(
+            specs, jobs=3, use_cache=False, stats=stats,
+            backoff=0.0, on_error="partial",
+        )
+        assert sum(result is not None for result in results) == 5
+        assert results[2] is None
+        assert [failure.error_type for failure in stats.failures] == ["WorkerCrash"]
+        assert stats.pool_respawns >= 1
+
+
+class TestReproducibility:
+    def test_identical_fault_plans_reproduce_across_pool_runs(self, workload, carbon):
+        plan_text = "eviction-storm:rate=0.5,start_hour=0,hours=24"
+        spec = SimulationSpec.build(
+            workload,
+            carbon,
+            "spot-first:nowait",
+            fault_plan=parse_fault_plan(plan_text, seed=CHAOS_SEED),
+        )
+        first = run_many([spec], jobs=2, timeout=60.0, use_cache=False)
+        second = run_many([spec], jobs=2, timeout=60.0, use_cache=False)
+        assert first[0].digest() == second[0].digest()
+
+    def test_faulted_specs_cache_like_clean_ones(self, workload, carbon):
+        from repro.simulator.runner import ResultCache
+
+        spec = make_spec(
+            workload, carbon, plan_text="eviction-storm:rate=0.3,hours=6"
+        )
+        cache = ResultCache()
+        cold_stats, warm_stats = RunStats(), RunStats()
+        run_many([spec], jobs=1, cache=cache, stats=cold_stats)
+        run_many([spec], jobs=1, cache=cache, stats=warm_stats)
+        assert cold_stats.executed == 1
+        assert warm_stats.cache_hits == 1
+
+    def test_failed_specs_are_never_cached(self, workload, carbon):
+        from repro.simulator.runner import ResultCache
+
+        spec = make_spec(workload, carbon, plan_text="worker-fail")
+        cache = ResultCache()
+        for _ in range(2):
+            stats = RunStats()
+            run_many(
+                [spec], jobs=1, cache=cache, stats=stats,
+                backoff=0.0, on_error="partial",
+            )
+            assert stats.cache_hits == 0
+            assert stats.failed == 1
+
+
+class TestConfigResolution:
+    def test_retries_and_timeout_resolve_from_env(self):
+        env = {"REPRO_RETRIES": "3", "REPRO_TIMEOUT": "2.5"}
+        assert resolve_retries(None, environ=env) == 3
+        assert resolve_timeout(None, environ=env) == 2.5
+        assert resolve_retries(None, environ={}) == 0
+        assert resolve_timeout(None, environ={}) is None
+        assert resolve_retries(1, environ=env) == 1  # explicit wins
+        assert resolve_timeout(9.0, environ=env) == 9.0
+
+    def test_spec_failure_is_frozen_and_reportable(self):
+        failure = SpecFailure(
+            index=4, digest="ab" * 32, error_type="RuntimeError",
+            message="boom", attempts=2,
+        )
+        with pytest.raises(AttributeError):
+            failure.index = 5  # type: ignore[misc]
+        assert "RuntimeError" in repr(failure)

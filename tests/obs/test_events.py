@@ -16,7 +16,10 @@ from repro.obs.events import (
     JobStart,
     MetricsSnapshot,
     PolicyDecision,
+    PoolRespawned,
     RunMeta,
+    SpecFailed,
+    SpecRetried,
     SweepCompleted,
     SweepSubmitted,
     event_from_dict,
@@ -42,6 +45,11 @@ SAMPLES = [
     SweepSubmitted(total=4, executed=2, cache_hits=1, deduplicated=1, jobs=4),
     SweepCompleted(total=4, executed=2, cache_hits=1, deduplicated=1, jobs=4,
                    wall_seconds=0.25),
+    SpecRetried(index=3, digest_prefix="a1b2c3d4e5f6", attempt=1,
+                error_type="WorkerCrash", delay_seconds=0.07),
+    SpecFailed(index=3, digest_prefix="a1b2c3d4e5f6", error_type="TimeoutError",
+               message="execution exceeded 2s", attempts=2),
+    PoolRespawned(reason="broken", respawns=1),
 ]
 
 
