@@ -100,8 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject deterministic faults, e.g. "
                              "'eviction-storm:rate=0.5,hours=6;forecast-bias:bias=0.3' "
                              "(see docs/robustness.md)")
-    parser.add_argument("--fault-seed", type=int, default=0,
-                        help="seed for the fault plan's RNG streams")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for the fault plan's RNG streams "
+                             "(requires --fault-plan; default 0)")
     parser.add_argument("--output-dir", default=None,
                         help="write aggregate.csv, details.csv, runtime.csv here")
     return parser
@@ -175,7 +176,7 @@ def _write_outputs(result: SimulationResult, carbon_trace, energy_kw_per_cpu, ou
                  record.evictions, f"{record.lost_cpu_minutes:.1f}"]
             )
     # Runtime file: hourly allocation and carbon during execution.
-    horizon = max(record.finish for record in result.records)
+    horizon = max((record.finish for record in result.records), default=0)
     profile = demand_profile(result.records, horizon)
     hours_count = -(-horizon // MINUTES_PER_HOUR)
     with open(os.path.join(out_dir, "runtime.csv"), "w", newline="") as handle:
@@ -219,7 +220,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.fault_plan:
             from repro.faults import parse_fault_plan
 
-            fault_plan = parse_fault_plan(args.fault_plan, seed=args.fault_seed)
+            seed = args.fault_seed if args.fault_seed is not None else 0
+            fault_plan = parse_fault_plan(args.fault_plan, seed=seed)
+        elif args.fault_seed is not None:
+            parser.error("--fault-seed requires --fault-plan")
         sim_kwargs = dict(
             reserved_cpus=args.reserved,
             queues=queues,
@@ -255,15 +259,15 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.report import render_kv, sparkline
 
     print(render_kv(result.summary(), title=f"{result.policy_name} on {result.region}"))
-    last_finish = max(record.finish for record in result.records)
-    profile = demand_profile(result.records, last_finish)
-    print(f"\ndemand  {sparkline(profile)}")
-    ci_hours = carbon_trace.hourly[: -(-last_finish // MINUTES_PER_HOUR)]
-    print(f"carbon  {sparkline(ci_hours)}")
+    last_finish = max((record.finish for record in result.records), default=0)
+    if last_finish:
+        profile = demand_profile(result.records, last_finish)
+        print(f"\ndemand  {sparkline(profile)}")
+        ci_hours = carbon_trace.hourly[: -(-last_finish // MINUTES_PER_HOUR)]
+        print(f"carbon  {sparkline(ci_hours)}")
     if args.output_dir:
         from repro.cluster.energy import DEFAULT_ENERGY
 
-        last_finish = max(record.finish for record in result.records)
         covering = carbon_trace.tile_to(-(-last_finish // MINUTES_PER_HOUR) + 1)
         _write_outputs(result, covering, DEFAULT_ENERGY.active_kw(1), args.output_dir)
         print(f"\nwrote aggregate.csv, details.csv, runtime.csv to {args.output_dir}")

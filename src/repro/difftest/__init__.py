@@ -1,0 +1,30 @@
+"""Differential-testing oracle for the simulation engine.
+
+Cross-checks the optimized engine (:class:`repro.simulator.engine.Engine`)
+against the deliberately simple reference engine
+(:mod:`repro.simulator.reference`) over randomized scenarios, and encodes
+the paper's metamorphic laws as executable invariants.
+
+Entry points:
+
+* ``python -m repro.difftest`` -- the scenario fuzzer CLI;
+* :func:`repro.difftest.scenarios.scenario_spec` -- seeded scenario
+  generation;
+* :func:`repro.difftest.diff.compare_results` -- tolerant field-by-field
+  result comparison;
+* :mod:`repro.difftest.invariants` -- the metamorphic invariant suite
+  (each check is traceable to a paper claim; see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+from repro.difftest.diff import FieldDelta, ResultDiff, compare_results
+from repro.difftest.scenarios import ScenarioSpace, scenario_spec
+
+__all__ = [
+    "FieldDelta",
+    "ResultDiff",
+    "compare_results",
+    "ScenarioSpace",
+    "scenario_spec",
+]

@@ -1,0 +1,12 @@
+"""Module entry point: ``python -m repro.difftest``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.difftest.cli import main
+
+__all__: list[str] = []
+
+if __name__ == "__main__":
+    sys.exit(main())

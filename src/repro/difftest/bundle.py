@@ -1,0 +1,124 @@
+"""Minimized repro bundles for oracle divergences.
+
+When the fuzzer finds a scenario where the engines disagree, it (1)
+shrinks the workload with a delta-debugging pass that keeps only jobs
+necessary to reproduce the divergence, and (2) writes a self-contained
+bundle directory:
+
+* ``bundle.json`` -- spec digests, fuzzer seed and scenario index, the
+  first diverging minute, per-field deltas, and the schedule diff in the
+  observability wire form;
+* ``spec.pkl`` -- the minimized :class:`SimulationSpec`, picklable and
+  re-runnable with ``SimulationSpec.run()`` / ``run_reference``;
+* ``report.txt`` -- the human-readable divergence report.
+
+``docs/testing.md`` walks through interpreting a bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from collections.abc import Callable
+from dataclasses import replace
+from pathlib import Path
+
+from repro.difftest.diff import ResultDiff
+from repro.simulator.runner.spec import FrozenWorkload, SimulationSpec
+
+__all__ = ["spec_with_jobs", "minimize_spec", "write_bundle"]
+
+
+def spec_with_jobs(
+    spec: SimulationSpec, jobs: tuple[tuple[int, int, int, int, str], ...]
+) -> SimulationSpec:
+    """A copy of ``spec`` whose workload holds only ``jobs``.
+
+    ``dataclasses.replace`` drops the cached digest, so the copy's
+    :meth:`SimulationSpec.digest` is recomputed over the subset.
+    """
+    workload = FrozenWorkload(
+        jobs=jobs, name=spec.workload.name, horizon=spec.workload.horizon
+    )
+    return replace(spec, workload=workload)
+
+
+def minimize_spec(
+    spec: SimulationSpec,
+    still_diverges: Callable[[SimulationSpec], bool],
+    max_probes: int = 200,
+) -> SimulationSpec:
+    """Shrink a diverging spec's workload, ddmin-style.
+
+    Repeatedly tries dropping job chunks (halves first, then ever finer
+    slices down to single jobs), keeping any removal after which
+    ``still_diverges`` holds.  Removing jobs shifts queue-average length
+    estimates, so some subsets stop diverging -- those removals are
+    simply not taken.  ``max_probes`` bounds total oracle invocations.
+    """
+    jobs = spec.workload.jobs
+    probes = 0
+    chunk = max(1, len(jobs) // 2)
+    while chunk >= 1 and probes < max_probes:
+        shrunk = False
+        start = 0
+        while start < len(jobs) and probes < max_probes:
+            candidate = jobs[:start] + jobs[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            probes += 1
+            if still_diverges(spec_with_jobs(spec, candidate)):
+                jobs = candidate
+                shrunk = True
+                # keep start in place: the next chunk slid into position
+            else:
+                start += chunk
+        if not shrunk or chunk == 1:
+            if chunk == 1:
+                break
+        chunk = max(1, chunk // 2)
+    return spec_with_jobs(spec, jobs)
+
+
+def write_bundle(
+    directory: str | Path,
+    *,
+    spec: SimulationSpec,
+    minimized: SimulationSpec,
+    diff: ResultDiff,
+    seed: int,
+    scenario_index: int,
+    perturb: str | None = None,
+) -> Path:
+    """Write one divergence's repro bundle; returns the bundle directory."""
+    bundle_dir = Path(directory) / f"divergence-s{seed}-i{scenario_index}"
+    bundle_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "seed": seed,
+        "scenario_index": scenario_index,
+        "policy": spec.policy,
+        "spec_digest": spec.digest(),
+        "minimized_digest": minimized.digest(),
+        "num_jobs": len(spec.workload.jobs),
+        "minimized_jobs": len(minimized.workload.jobs),
+        "first_diverging_minute": diff.first_diverging_minute,
+        "perturb": perturb,
+        "field_deltas": [
+            {
+                "job_id": delta.job_id,
+                "field": delta.field,
+                "reference": delta.reference,
+                "optimized": delta.optimized,
+            }
+            for delta in diff.field_deltas
+        ],
+        "schedule_diff": diff.schedule_diff,
+    }
+    (bundle_dir / "bundle.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    with open(bundle_dir / "spec.pkl", "wb") as stream:
+        pickle.dump(minimized, stream)
+    (bundle_dir / "report.txt").write_text(diff.render() + "\n", encoding="utf-8")
+    return bundle_dir

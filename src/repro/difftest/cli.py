@@ -1,0 +1,122 @@
+"""Command line for the differential fuzzer: ``python -m repro.difftest``.
+
+Fuzzes N seeded scenarios through the optimized engine and the scalar
+reference engine, diffing each pair of results field by field.  On
+divergence it shrinks the scenario's workload and writes a repro bundle
+(see :mod:`repro.difftest.bundle` and ``docs/testing.md``).
+
+``--perturb`` applies a fault plan (``repro.faults`` syntax, e.g.
+``"forecast-bias:sigma=0.5"``) to the *optimized* engine only, which
+must make the oracle report divergences -- the standard self-test that
+the oracle can actually catch a mutated engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.difftest.bundle import minimize_spec, write_bundle
+from repro.difftest.diff import compare_results
+from repro.difftest.scenarios import scenario_spec
+from repro.errors import ReproError
+from repro.faults import parse_fault_plan
+from repro.simulator.reference import run_reference
+from repro.simulator.runner.spec import SimulationSpec
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The fuzzer's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.difftest",
+        description="Differential fuzzing of the optimized engine against "
+        "the scalar reference engine.",
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=50, help="number of scenarios to fuzz"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fuzzing seed (scenario stream id)"
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        default="difftest-bundles",
+        help="directory for divergence repro bundles",
+    )
+    parser.add_argument(
+        "--perturb",
+        default=None,
+        metavar="FAULT_PLAN",
+        help="apply a fault plan to the optimized engine only (oracle self-test)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="fuzz all scenarios even after a divergence (default: stop at first)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-divergence reports"
+    )
+    return parser
+
+
+def _optimized_spec(spec: SimulationSpec, perturb: str | None) -> SimulationSpec:
+    """The spec the optimized engine runs (fault-planned under --perturb)."""
+    if perturb is None:
+        return spec
+    return replace(spec, fault_plan=parse_fault_plan(perturb, seed=spec.spot_seed))
+
+
+def _diverges(spec: SimulationSpec, perturb: str | None) -> bool:
+    """Oracle probe used during minimization: do the engines disagree?"""
+    try:
+        reference = run_reference(**spec.to_kwargs())
+        optimized = _optimized_spec(spec, perturb).run()
+    except ReproError:
+        # A subset that no longer simulates cleanly (e.g. queue averages
+        # shifted) is not a smaller reproduction; keep the previous spec.
+        return False
+    return not compare_results(reference, optimized).identical
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Fuzzer entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    divergences = 0
+    for index in range(args.scenarios):
+        spec = scenario_spec(args.seed, index)
+        reference = run_reference(**spec.to_kwargs())
+        optimized = _optimized_spec(spec, args.perturb).run()
+        diff = compare_results(reference, optimized)
+        if diff.identical:
+            continue
+        divergences += 1
+        minimized = minimize_spec(spec, lambda s: _diverges(s, args.perturb))
+        bundle_dir = write_bundle(
+            args.bundle_dir,
+            spec=spec,
+            minimized=minimized,
+            diff=diff,
+            seed=args.seed,
+            scenario_index=index,
+            perturb=args.perturb,
+        )
+        if not args.quiet:
+            print(f"DIVERGENCE scenario {index} (policy {spec.policy}):")
+            print(diff.render())
+            print(f"repro bundle: {bundle_dir}")
+        if not args.keep_going:
+            break
+    checked = index + 1 if args.scenarios else 0
+    print(
+        f"difftest: {checked} scenario(s) checked (seed {args.seed}), "
+        f"{divergences} divergence(s)"
+    )
+    return 1 if divergences else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

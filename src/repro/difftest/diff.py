@@ -1,0 +1,204 @@
+"""Tolerant field-by-field comparison of two simulation results.
+
+The differential contract between the optimized and reference engines:
+
+* every **integer scheduling outcome** -- first start, finish, eviction
+  count, and the exact usage-interval set (start, end, cpus, purchase
+  option) -- must match bit for bit;
+* every **accounted float** (carbon, energy, cost, baseline, lost work,
+  checkpoint and provisioning overhead) must agree within a per-field
+  tolerance, because the engines accumulate in different orders (batched
+  prefix sums vs. scalar minute loops).
+
+Schedule mismatches are diffed through the observability layer's
+:func:`repro.obs.analyze.diff_traces` over integer-only wire events, so
+a divergence report looks exactly like a ``python -m repro.obs diff``
+first-divergence record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.analyze import diff_traces, render_diff
+from repro.simulator.results import JobRecord, SimulationResult
+
+__all__ = [
+    "FIELD_TOLERANCES",
+    "FieldDelta",
+    "ResultDiff",
+    "schedule_events",
+    "compare_results",
+]
+
+
+#: Per-field (relative, absolute) tolerances for accounted floats.  The
+#: two engines sum identical per-minute quantities in different orders,
+#: so disagreement beyond a few ulps of the total indicates a real bug.
+FIELD_TOLERANCES: dict[str, tuple[float, float]] = {
+    "carbon_g": (1e-6, 1e-6),
+    "energy_kwh": (1e-6, 1e-9),
+    "usage_cost": (1e-6, 1e-9),
+    "baseline_carbon_g": (1e-6, 1e-6),
+    "lost_cpu_minutes": (1e-9, 1e-9),
+    "checkpoint_overhead_minutes": (1e-9, 1e-9),
+    "provisioning_cpu_minutes": (1e-9, 1e-9),
+}
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One accounted float that disagrees beyond its tolerance."""
+
+    job_id: int
+    field: str
+    reference: float
+    optimized: float
+
+    @property
+    def relative_error(self) -> float:
+        """The disagreement relative to the larger magnitude."""
+        scale = max(abs(self.reference), abs(self.optimized), 1e-300)
+        return abs(self.reference - self.optimized) / scale
+
+
+@dataclass
+class ResultDiff:
+    """Outcome of comparing a reference result against an optimized one."""
+
+    identical: bool
+    field_deltas: list[FieldDelta] = field(default_factory=list)
+    schedule_diff: dict[str, Any] = field(default_factory=dict)
+    first_diverging_minute: int | None = None
+
+    def render(self) -> str:
+        """Human-readable divergence report (empty string if identical)."""
+        if self.identical:
+            return ""
+        lines = []
+        if not self.schedule_diff.get("identical", True):
+            lines.append("schedule divergence (reference=a, optimized=b):")
+            lines.append(render_diff(self.schedule_diff))
+        if self.field_deltas:
+            lines.append("accounting deltas beyond tolerance:")
+            for delta in self.field_deltas[:20]:
+                lines.append(
+                    f"  job {delta.job_id} {delta.field}: "
+                    f"reference={delta.reference!r} optimized={delta.optimized!r} "
+                    f"(rel {delta.relative_error:.3e})"
+                )
+            if len(self.field_deltas) > 20:
+                lines.append(f"  ... and {len(self.field_deltas) - 20} more")
+        if self.first_diverging_minute is not None:
+            lines.append(f"first diverging minute: {self.first_diverging_minute}")
+        return "\n".join(lines)
+
+
+def schedule_events(result: SimulationResult) -> list[dict[str, Any]]:
+    """A result's integer scheduling outcome as wire-form events.
+
+    One ``job_schedule`` event per record plus one ``usage_interval``
+    event per usage interval, all integer-valued, in record order -- the
+    form :func:`repro.obs.analyze.diff_traces` consumes.
+    """
+    events: list[dict[str, Any]] = []
+    for record in result.records:
+        events.append(
+            {
+                "type": "job_schedule",
+                "job_id": record.job_id,
+                "queue": record.queue,
+                "arrival": record.arrival,
+                "length": record.length,
+                "cpus": record.cpus,
+                "first_start": record.first_start,
+                "finish": record.finish,
+                "evictions": record.evictions,
+            }
+        )
+        for interval in record.usage:
+            events.append(
+                {
+                    "type": "usage_interval",
+                    "job_id": record.job_id,
+                    "start": interval.start,
+                    "end": interval.end,
+                    "cpus": interval.cpus,
+                    "option": interval.option.value,
+                }
+            )
+    return events
+
+
+def _within_tolerance(name: str, reference: float, optimized: float) -> bool:
+    """Whether one accounted float pair agrees within its field tolerance."""
+    rel, abs_tol = FIELD_TOLERANCES[name]
+    scale = max(abs(reference), abs(optimized))
+    return abs(reference - optimized) <= max(abs_tol, rel * scale)
+
+
+def _event_minute(event: dict[str, Any] | None) -> int | None:
+    """The earliest simulation minute a wire event refers to."""
+    if event is None:
+        return None
+    for key in ("first_start", "start", "arrival"):
+        if key in event:
+            return int(event[key])
+    return None
+
+
+def _records_by_id(result: SimulationResult) -> dict[int, JobRecord]:
+    """Index a result's records by job id."""
+    return {record.job_id: record for record in result.records}
+
+
+def compare_results(reference: SimulationResult, optimized: SimulationResult) -> ResultDiff:
+    """Diff two results under the differential contract.
+
+    ``reference`` plays the role of trace *a* and ``optimized`` of trace
+    *b* in the embedded schedule diff.
+    """
+    schedule_diff = diff_traces(schedule_events(reference), schedule_events(optimized))
+
+    deltas: list[FieldDelta] = []
+    ref_records = _records_by_id(reference)
+    opt_records = _records_by_id(optimized)
+    for job_id in sorted(ref_records.keys() & opt_records.keys()):
+        ref_record, opt_record = ref_records[job_id], opt_records[job_id]
+        for name in FIELD_TOLERANCES:
+            ref_value = float(getattr(ref_record, name))
+            opt_value = float(getattr(opt_record, name))
+            if not _within_tolerance(name, ref_value, opt_value):
+                deltas.append(
+                    FieldDelta(
+                        job_id=job_id,
+                        field=name,
+                        reference=ref_value,
+                        optimized=opt_value,
+                    )
+                )
+
+    identical = schedule_diff["identical"] and not deltas
+    first_minute: int | None = None
+    if not identical:
+        candidates: list[int] = []
+        divergence = schedule_diff.get("first_divergence")
+        if divergence is not None:
+            for side in ("a", "b"):
+                minute = _event_minute(divergence.get(side))
+                if minute is not None:
+                    candidates.append(minute)
+        for delta in deltas:
+            record = ref_records.get(delta.job_id) or opt_records.get(delta.job_id)
+            if record is not None:
+                starts = [interval.start for interval in record.usage]
+                candidates.append(min(starts) if starts else record.arrival)
+        if candidates:
+            first_minute = min(candidates)
+    return ResultDiff(
+        identical=identical,
+        field_deltas=deltas,
+        schedule_diff=schedule_diff,
+        first_diverging_minute=first_minute,
+    )

@@ -1,0 +1,215 @@
+"""Seeded random scenario generation for the differential oracle.
+
+:func:`scenario_spec` maps ``(seed, index)`` deterministically to a
+:class:`~repro.simulator.runner.spec.SimulationSpec`: a frozen, picklable
+description both engines can execute.  The sampler is built on the
+existing synthetic generators (:mod:`repro.workload.synthetic`,
+:mod:`repro.carbon.synthetic`) and sweeps the dimensions the paper's
+experiments exercise -- workload shape, region trace character, policy
+(including purchase-option wrappers), slack factors, candidate
+granularity, forecast noise, spot-eviction hazards, checkpointing, and
+instance boot overhead.
+
+Scenarios are intentionally small (tens of jobs, days-scale horizons):
+the reference engine accounts minute by minute, and the oracle's power
+comes from many diverse scenarios rather than big ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.simulator.runner.spec import SimulationSpec
+from repro.units import days, hours
+from repro.workload.job import JobQueue, QueueSet
+from repro.workload.synthetic import alibaba_like, mustang_like, poisson_exponential
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["ScenarioSpace", "scenario_spec", "DEFAULT_SPACE"]
+
+
+#: Policy spec strings the fuzzer samples from: every timing policy the
+#: paper evaluates, plus the purchase-option wrappers (Section 4.2.3-4).
+POLICY_POOL: tuple[str, ...] = (
+    "nowait",
+    "allwait-threshold",
+    "lowest-slot",
+    "lowest-window",
+    "carbon-time",
+    "wait-awhile",
+    "ecovisor",
+    "gaia-sr",
+    "res-first:nowait",
+    "res-first:carbon-time",
+    "res-first:lowest-window",
+    "spot-first:lowest-slot",
+    "spot-first:carbon-time",
+    "spot-res:carbon-time",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """Bounds of the randomized scenario distribution.
+
+    Shrinking these (e.g. ``max_jobs``) trades oracle power for speed;
+    the defaults keep one scenario under ~100 ms through both engines.
+    """
+
+    max_jobs: int = 40
+    min_horizon_days: int = 1
+    max_horizon_days: int = 3
+    min_mean_ci: float = 80.0
+    max_mean_ci: float = 600.0
+    slack_factors: tuple[float, ...] = (0.0, 0.25, 1.0, 1.0, 2.0)
+    granularities: tuple[int, ...] = (1, 5, 15, 30)
+    reserved_pool_sizes: tuple[int, ...] = (0, 0, 8, 16, 32, 64)
+    overhead_choices: tuple[int, ...] = (0, 0, 0, 2, 5)
+    spot_probability: float = 0.5
+
+
+#: The default sampling space used by the CLI and CI.
+DEFAULT_SPACE = ScenarioSpace()
+
+
+def _clamp_lengths(trace: WorkloadTrace, bound: int) -> WorkloadTrace:
+    """Cap job lengths at ``bound`` so every job fits the longest queue."""
+    if not len(trace) or max(job.length for job in trace) <= bound:
+        return trace
+    jobs = [
+        replace(job, length=min(job.length, bound)) if job.length > bound else job
+        for job in trace.jobs
+    ]
+    return WorkloadTrace(jobs, name=trace.name, horizon=trace.horizon)
+
+
+def _sample_workload(
+    rng: np.random.Generator, space: ScenarioSpace, seed: int, index: int
+) -> WorkloadTrace:
+    """Draw one small workload from the synthetic trace families."""
+    horizon = int(rng.integers(space.min_horizon_days, space.max_horizon_days + 1)) * days(1)
+    family = rng.choice(["poisson", "alibaba", "mustang"], p=[0.5, 0.25, 0.25])
+    gen_seed = int(rng.integers(0, 2**31))
+    if family == "poisson":
+        trace = poisson_exponential(
+            mean_interarrival=int(rng.integers(20, 120)),
+            mean_length=int(rng.integers(30, hours(8))),
+            cpus=int(rng.integers(1, 9)),
+            horizon=horizon,
+            seed=gen_seed,
+            name=f"fuzz-poisson-{seed}-{index}",
+        )
+    elif family == "alibaba":
+        trace = alibaba_like(
+            num_jobs=int(rng.integers(5, space.max_jobs + 1)),
+            horizon=horizon,
+            seed=gen_seed,
+            max_cpus=32,
+        )
+    else:
+        trace = mustang_like(
+            num_jobs=int(rng.integers(5, space.max_jobs + 1)),
+            horizon=horizon,
+            seed=gen_seed,
+            max_cpus=48,
+        )
+    if len(trace) > space.max_jobs:
+        trace = WorkloadTrace(
+            trace.jobs[: space.max_jobs], name=trace.name, horizon=trace.horizon
+        )
+    return trace
+
+
+def _sample_queues(rng: np.random.Generator, space: ScenarioSpace) -> QueueSet:
+    """The paper's two-queue configuration at a sampled slack factor."""
+    slack = float(rng.choice(space.slack_factors))
+    return QueueSet(
+        (
+            JobQueue(name="short", max_length=hours(2), max_wait=int(hours(6) * slack)),
+            JobQueue(name="long", max_length=days(3), max_wait=int(hours(24) * slack)),
+        )
+    )
+
+
+def _sample_carbon(rng: np.random.Generator, space: ScenarioSpace, seed: int, index: int):
+    """Draw one synthetic region trace (diurnal + seasonal + OU noise)."""
+    profile = RegionProfile(
+        name=f"fuzz-region-{seed}-{index}",
+        mean_ci=float(rng.uniform(space.min_mean_ci, space.max_mean_ci)),
+        diurnal_amplitude=float(rng.uniform(0.0, 0.5)),
+        seasonal_amplitude=float(rng.uniform(0.0, 0.3)),
+        noise_sigma=float(rng.uniform(0.0, 0.2)),
+        noise_half_life_hours=float(rng.uniform(2.0, 12.0)),
+        diurnal_peak_hour=float(rng.uniform(0.0, 24.0)),
+    )
+    num_hours = int(rng.integers(3 * 24, 8 * 24))
+    return generate_carbon_trace(profile, num_hours=num_hours, seed=int(rng.integers(0, 2**31)))
+
+
+def scenario_spec(
+    seed: int, index: int, space: ScenarioSpace = DEFAULT_SPACE
+) -> SimulationSpec:
+    """Deterministically sample scenario ``index`` of fuzzing run ``seed``.
+
+    Returns a frozen :class:`SimulationSpec`; running it through
+    :func:`repro.simulator.simulation.run_simulation` and
+    :func:`repro.simulator.reference.run_reference` must yield results
+    that agree under :func:`repro.difftest.diff.compare_results`.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+    queues = _sample_queues(rng, space)
+    workload = _clamp_lengths(
+        _sample_workload(rng, space, seed, index), queues.longest.max_length
+    )
+    carbon_trace = _sample_carbon(rng, space, seed, index)
+    policy = str(rng.choice(POLICY_POOL))
+
+    eviction_kind = rng.choice(["none", "hourly", "diurnal"], p=[0.4, 0.4, 0.2])
+    eviction_model = None
+    if eviction_kind == "hourly":
+        from repro.cluster.spot import HourlyHazard
+
+        eviction_model = HourlyHazard(float(rng.uniform(0.002, 0.08)))
+    elif eviction_kind == "diurnal":
+        from repro.cluster.spot import DiurnalHazard
+
+        eviction_model = DiurnalHazard(
+            float(rng.uniform(0.002, 0.05)),
+            amplitude=float(rng.uniform(0.0, 0.9)),
+            peak_hour=float(rng.uniform(0.0, 24.0)),
+        )
+
+    checkpointing = None
+    retry_spot = False
+    if rng.random() < 0.4:
+        from repro.cluster.spot import CheckpointConfig
+
+        checkpointing = CheckpointConfig(
+            interval=int(rng.integers(15, 121)), overhead=int(rng.integers(1, 6))
+        )
+        retry_spot = bool(rng.random() < 0.5)
+
+    forecast_sigma = 0.0
+    forecast_seed = 0
+    if rng.random() < 0.3:
+        forecast_sigma = float(rng.uniform(0.02, 0.3))
+        forecast_seed = int(rng.integers(0, 2**31))
+
+    return SimulationSpec.build(
+        workload=workload,
+        carbon=carbon_trace,
+        policy=policy,
+        reserved_cpus=int(rng.choice(space.reserved_pool_sizes)),
+        queues=queues,
+        eviction_model=eviction_model,
+        forecast_sigma=forecast_sigma,
+        forecast_seed=forecast_seed,
+        granularity=int(rng.choice(space.granularities)),
+        spot_seed=int(rng.integers(0, 2**31)),
+        checkpointing=checkpointing,
+        retry_spot=retry_spot,
+        instance_overhead_minutes=int(rng.choice(space.overhead_choices)),
+    )

@@ -119,10 +119,6 @@ class SimulationResult:
     records: tuple[JobRecord, ...] = field(default_factory=tuple)
     metrics: dict = field(default_factory=dict, compare=False, repr=False)
 
-    def __post_init__(self) -> None:
-        if not self.records:
-            raise SimulationError("a simulation result needs at least one record")
-
     # ------------------------------------------------------------------
     # Carbon and energy
     # ------------------------------------------------------------------
@@ -174,7 +170,12 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def mean_waiting_minutes(self) -> float:
-        """Mean per-job waiting time (delay beyond pure length), minutes."""
+        """Mean per-job waiting time (delay beyond pure length), minutes.
+
+        0 for a zero-job result (never a NaN or a numpy warning).
+        """
+        if not self.records:
+            return 0.0
         return float(np.mean([record.waiting_time for record in self.records]))
 
     @property
@@ -189,7 +190,9 @@ class SimulationResult:
 
     @property
     def mean_completion_hours(self) -> float:
-        """Mean submission-to-completion time per job, in hours."""
+        """Mean submission-to-completion time per job, in hours (0 if no jobs)."""
+        if not self.records:
+            return 0.0
         return (
             float(np.mean([record.completion_time for record in self.records]))
             / MINUTES_PER_HOUR
@@ -197,6 +200,8 @@ class SimulationResult:
 
     def waiting_percentiles(self, percentiles=(50, 90, 95, 99)) -> dict[int, float]:
         """Waiting-time percentiles in hours (tail latency of the queue)."""
+        if not self.records:
+            return {int(p): 0.0 for p in percentiles}
         waits = np.array([record.waiting_time for record in self.records], dtype=float)
         return {
             int(p): float(np.percentile(waits, p)) / MINUTES_PER_HOUR
@@ -240,7 +245,7 @@ class SimulationResult:
         Usage past the nominal horizon (jobs still draining) is clipped so
         utilization stays in [0, 1].
         """
-        if self.reserved_cpus == 0:
+        if self.reserved_cpus == 0 or self.horizon == 0:
             return 0.0
         busy = 0.0
         for record in self.records:

@@ -55,7 +55,7 @@ def prepare_carbon(
     retries and checkpoint overhead raise the factor).  One extra hour
     absorbs slot rounding.
     """
-    max_length = int(max(job.length for job in workload))
+    max_length = int(max((job.length for job in workload), default=0))
     slack = redo_factor * max_length + queues.max_wait + MINUTES_PER_HOUR
     required_minutes = workload.horizon + slack
     if carbon.horizon_minutes >= required_minutes:
@@ -118,7 +118,7 @@ def run_simulation(
         raise ConfigError(f"policy must be a Policy or spec string, got {policy!r}")
 
     queues = queues if queues is not None else default_queue_set()
-    longest = max(job.length for job in workload)
+    longest = max((job.length for job in workload), default=0)
     if longest > queues.longest.max_length:
         raise ConfigError(
             f"workload has a {longest}-minute job exceeding the longest queue "

@@ -90,7 +90,7 @@ def verify_result(
             f"cost {recomputed_cost}"
         )
 
-    if result.reserved_cpus >= 0:
+    if result.reserved_cpus >= 0 and result.records:
         horizon = max(record.finish for record in result.records)
         reserved = demand_profile(
             result.records, horizon, option=PurchaseOption.RESERVED

@@ -31,15 +31,15 @@ class WorkloadTrace:
 
     def __init__(self, jobs: Iterable[Job], name: str = "", horizon: int | None = None):
         ordered = tuple(sorted(jobs, key=lambda job: (job.arrival, job.job_id)))
-        if not ordered:
-            raise TraceError("a workload trace needs at least one job")
         ids = [job.job_id for job in ordered]
         if len(set(ids)) != len(ids):
             raise TraceError("duplicate job ids in trace")
         self._jobs = ordered
         self.name = name
-        inferred = max(job.arrival + job.length for job in ordered)
-        if horizon is not None and horizon < ordered[-1].arrival:
+        # A zero-job trace is legal (an idle cluster is a valid scenario);
+        # its inferred horizon is 0.
+        inferred = max((job.arrival + job.length for job in ordered), default=0)
+        if horizon is not None and ordered and horizon < ordered[-1].arrival:
             raise TraceError("horizon ends before the last arrival")
         self.horizon = horizon if horizon is not None else inferred
         self._content_digest: str | None = None

@@ -1,0 +1,120 @@
+"""The differential fuzzer CLI: clean runs, perturbed runs, and bundles."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.difftest.bundle import minimize_spec, spec_with_jobs, write_bundle
+from repro.difftest.cli import main
+from repro.difftest.diff import compare_results
+from repro.difftest.scenarios import scenario_spec
+from repro.simulator.reference import run_reference
+from repro.simulator.runner.spec import SimulationSpec
+
+
+def test_clean_run_exits_zero(tmp_path, capsys):
+    code = main(["--scenarios", "8", "--seed", "0", "--bundle-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "8 scenario(s) checked (seed 0), 0 divergence(s)" in out
+    assert not any(tmp_path.iterdir()), "clean run must write no bundles"
+
+
+def test_perturbed_engine_is_caught(tmp_path, capsys):
+    """The oracle self-test: a fault-planned engine must diverge."""
+    code = main(
+        [
+            "--scenarios", "50", "--seed", "0",
+            "--perturb", "forecast-bias:bias=0.8",
+            "--bundle-dir", str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DIVERGENCE" in out
+    bundles = sorted(tmp_path.glob("divergence-*"))
+    assert bundles, "a divergence must produce a repro bundle"
+    payload = json.loads((bundles[0] / "bundle.json").read_text())
+    assert payload["perturb"] == "forecast-bias:bias=0.8"
+    assert payload["minimized_jobs"] <= payload["num_jobs"]
+    assert (bundles[0] / "report.txt").read_text().strip()
+    with open(bundles[0] / "spec.pkl", "rb") as stream:
+        minimized = pickle.load(stream)
+    assert isinstance(minimized, SimulationSpec)
+    # The minimized spec still reproduces the divergence.
+    reference = run_reference(**minimized.to_kwargs())
+    from dataclasses import replace
+
+    from repro.faults import parse_fault_plan
+
+    perturbed = replace(
+        minimized,
+        fault_plan=parse_fault_plan("forecast-bias:bias=0.8", seed=minimized.spot_seed),
+    ).run()
+    assert not compare_results(reference, perturbed).identical
+
+
+def test_keep_going_counts_all(tmp_path, capsys):
+    code = main(
+        [
+            "--scenarios", "6", "--seed", "1", "--keep-going", "--quiet",
+            "--bundle-dir", str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "6 scenario(s) checked (seed 1)" in out
+
+
+def test_minimizer_preserves_divergence_predicate():
+    """ddmin keeps only jobs needed by the (synthetic) oracle predicate."""
+    spec = scenario_spec(0, 0)
+    assert len(spec.workload.jobs) >= 2
+    needed = spec.workload.jobs[0]
+
+    def still_diverges(candidate: SimulationSpec) -> bool:
+        return needed in candidate.workload.jobs
+
+    minimized = minimize_spec(spec, still_diverges)
+    assert needed in minimized.workload.jobs
+    assert len(minimized.workload.jobs) == 1
+
+
+def test_spec_with_jobs_changes_digest():
+    spec = scenario_spec(0, 3)
+    if len(spec.workload.jobs) < 2:
+        pytest.skip("scenario sampled a single-job workload")
+    subset = spec_with_jobs(spec, spec.workload.jobs[:1])
+    assert subset.digest() != spec.digest()
+    assert len(subset.workload.jobs) == 1
+
+
+def test_write_bundle_layout(tmp_path):
+    from repro.difftest.diff import ResultDiff
+
+    spec = scenario_spec(0, 0)
+    diff = ResultDiff(
+        identical=False,
+        schedule_diff={
+            "identical": False,
+            "lengths": [1, 0],
+            "count_deltas": {"job_schedule": (1, 0)},
+            "first_divergence": {
+                "index": 0,
+                "a": {"type": "job_schedule", "job_id": 0},
+                "b": None,
+            },
+        },
+    )
+    bundle_dir = write_bundle(
+        tmp_path, spec=spec, minimized=spec, diff=diff, seed=9, scenario_index=4
+    )
+    assert bundle_dir.name == "divergence-s9-i4"
+    assert {path.name for path in bundle_dir.iterdir()} == {
+        "bundle.json",
+        "spec.pkl",
+        "report.txt",
+    }

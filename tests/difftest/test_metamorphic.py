@@ -1,0 +1,199 @@
+"""Metamorphic invariant suite (hypothesis-driven paper laws).
+
+Each test drives one entry of :data:`repro.difftest.invariants.INVARIANTS`
+over randomized small workloads and synthetic carbon traces; the table in
+``docs/testing.md`` traces every invariant back to its paper claim.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.difftest.invariants import (
+    INVARIANTS,
+    SLACK_MONOTONE_POLICIES,
+    check_carbon_scaling,
+    check_cost_option_ordering,
+    check_energy_conservation,
+    check_slack_monotonicity,
+    check_zero_slack_collapses_to_nowait,
+    slack_queue_set,
+)
+from repro.simulator.simulation import run_simulation
+from repro.units import hours
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+WAITING_POLICIES = (
+    "allwait-threshold",
+    "lowest-slot",
+    "lowest-window",
+    "carbon-time",
+    "wait-awhile",
+    "ecovisor",
+    "gaia-sr",
+)
+
+
+@st.composite
+def workloads(draw, max_jobs=8):
+    """Small arrival-ordered workloads; lengths fit the short queue."""
+    num_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for job_id in range(num_jobs):
+        jobs.append(
+            Job(
+                job_id=job_id,
+                arrival=draw(st.integers(min_value=0, max_value=hours(12))),
+                length=draw(st.integers(min_value=1, max_value=hours(2))),
+                cpus=draw(st.integers(min_value=1, max_value=4)),
+            )
+        )
+    return WorkloadTrace(jobs, name="meta")
+
+
+@st.composite
+def uniform_workloads(draw, max_jobs=5):
+    """Workloads whose jobs share one length, so Ĵ == J exactly.
+
+    Slack monotonicity requires the policy's length estimate to be
+    exact (see :func:`check_slack_monotonicity`); a single shared
+    length makes every queue average equal the true length.
+    """
+    num_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    length = draw(st.integers(min_value=1, max_value=hours(2)))
+    jobs = [
+        Job(
+            job_id=job_id,
+            arrival=draw(st.integers(min_value=0, max_value=hours(12))),
+            length=length,
+            cpus=draw(st.integers(min_value=1, max_value=4)),
+        )
+        for job_id in range(num_jobs)
+    ]
+    return WorkloadTrace(jobs, name="meta-uniform")
+
+
+@st.composite
+def carbon_traces(draw):
+    """Synthetic diurnal traces long enough for any metamorphic run."""
+    profile = RegionProfile(
+        name="meta-region",
+        mean_ci=draw(st.floats(min_value=80.0, max_value=600.0)),
+        diurnal_amplitude=draw(st.floats(min_value=0.0, max_value=0.6)),
+        seasonal_amplitude=0.0,
+        noise_sigma=draw(st.floats(min_value=0.0, max_value=0.2)),
+        diurnal_peak_hour=draw(st.floats(min_value=0.0, max_value=23.0)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return generate_carbon_trace(profile, num_hours=5 * 24, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# The five paper laws
+# ---------------------------------------------------------------------------
+
+
+class TestZeroSlackCollapse:
+    @given(
+        workload=workloads(),
+        carbon=carbon_traces(),
+        policy=st.sampled_from(WAITING_POLICIES),
+    )
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_collapses_to_nowait(self, workload, carbon, policy):
+        check_zero_slack_collapses_to_nowait(workload, carbon, policy)
+
+
+class TestCarbonScaling:
+    @given(
+        workload=workloads(),
+        carbon=carbon_traces(),
+        policy=st.sampled_from(WAITING_POLICIES + ("nowait",)),
+        exponent=st.integers(min_value=-3, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_footprint_scales_linearly(self, workload, carbon, policy, exponent):
+        check_carbon_scaling(workload, carbon, policy, scale=2.0**exponent)
+
+
+class TestSlackMonotonicity:
+    @given(
+        workload=uniform_workloads(),
+        carbon=carbon_traces(),
+        policy=st.sampled_from(SLACK_MONOTONE_POLICIES),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_wider_slack_never_costs_carbon(self, workload, carbon, policy):
+        check_slack_monotonicity(workload, carbon, policy)
+
+
+class TestCostOptionOrdering:
+    @given(workload=workloads(), carbon=carbon_traces())
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_spot_leq_reserved_leq_on_demand(self, workload, carbon):
+        check_cost_option_ordering(workload, carbon)
+
+
+class TestEnergyConservation:
+    @given(
+        workload=workloads(),
+        carbon=carbon_traces(),
+        policy=st.sampled_from(WAITING_POLICIES),
+        overhead=st.sampled_from((0, 2, 5)),
+    )
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_per_job_energy_sums_to_total(self, workload, carbon, policy, overhead):
+        result = run_simulation(
+            workload, carbon, policy, instance_overhead_minutes=overhead
+        )
+        check_energy_conservation(result, instance_overhead_minutes=overhead)
+
+
+# ---------------------------------------------------------------------------
+# Registry integrity
+# ---------------------------------------------------------------------------
+
+
+def test_registry_lists_all_five_laws():
+    assert set(INVARIANTS) == {
+        "zero-slack-collapse",
+        "carbon-scaling",
+        "slack-monotonicity",
+        "cost-option-ordering",
+        "energy-conservation",
+    }
+    for name, entry in INVARIANTS.items():
+        assert callable(entry["check"]), name
+        assert isinstance(entry["claim"], str) and entry["claim"], name
+
+
+def test_slack_queue_set_scales_waits():
+    zero = slack_queue_set(0.0)
+    assert all(queue.max_wait == 0 for queue in zero)
+    doubled = slack_queue_set(2.0)
+    assert doubled["short"].max_wait == hours(12)
+    assert doubled["long"].max_wait == hours(48)
+
+
+def test_energy_violation_detected(tiny_workload, diurnal_carbon):
+    """The checks are falsifiable: a tampered result must fail them."""
+    import dataclasses
+
+    import pytest
+
+    result = run_simulation(tiny_workload, diurnal_carbon, "nowait")
+    tampered_record = dataclasses.replace(
+        result.records[0], energy_kwh=result.records[0].energy_kwh * 2 + 1.0
+    )
+    tampered = dataclasses.replace(
+        result, records=(tampered_record, *result.records[1:])
+    )
+    with pytest.raises(AssertionError):
+        check_energy_conservation(tampered)

@@ -1,0 +1,116 @@
+"""Reference-engine parity: both engines agree on hand-picked configs.
+
+The fuzzer (``python -m repro.difftest``) sweeps randomized scenarios;
+these tests pin a curated set of configurations — one per engine
+feature — so a parity break localizes to the feature that diverged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.spot import CheckpointConfig, DiurnalHazard, HourlyHazard
+from repro.difftest.diff import compare_results, schedule_events
+from repro.simulator.reference import run_reference
+from repro.simulator.simulation import run_simulation
+
+
+def assert_parity(workload, carbon, policy, **kwargs):
+    optimized = run_simulation(workload, carbon, policy, **kwargs)
+    reference = run_reference(workload, carbon, policy, **kwargs)
+    diff = compare_results(reference, optimized)
+    assert diff.identical, diff.render()
+    return reference, optimized
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        "nowait",
+        "allwait-threshold",
+        "lowest-slot",
+        "lowest-window",
+        "carbon-time",
+        "wait-awhile",
+        "ecovisor",
+        "gaia-sr",
+    ],
+)
+def test_all_policies_agree(policy, tiny_workload, diurnal_carbon):
+    assert_parity(tiny_workload, diurnal_carbon, policy)
+
+
+@pytest.mark.parametrize(
+    "policy", ["res-first:carbon-time", "spot-first:lowest-slot", "spot-res:carbon-time"]
+)
+def test_wrappers_agree(policy, tiny_workload, diurnal_carbon):
+    assert_parity(tiny_workload, diurnal_carbon, policy, reserved_cpus=4)
+
+
+def test_evictions_and_checkpointing_agree(tiny_workload, diurnal_carbon):
+    assert_parity(
+        tiny_workload,
+        diurnal_carbon,
+        "spot-first:nowait",
+        eviction_model=HourlyHazard(0.1),
+        checkpointing=CheckpointConfig(interval=30, overhead=2),
+        retry_spot=True,
+        spot_seed=7,
+    )
+
+
+def test_diurnal_hazard_and_overhead_agree(tiny_workload, diurnal_carbon):
+    assert_parity(
+        tiny_workload,
+        diurnal_carbon,
+        "spot-first:carbon-time",
+        eviction_model=DiurnalHazard(0.05, amplitude=0.5, peak_hour=14.0),
+        instance_overhead_minutes=3,
+        spot_seed=3,
+    )
+
+
+def test_noisy_forecast_agrees(tiny_workload, diurnal_carbon):
+    assert_parity(
+        tiny_workload, diurnal_carbon, "carbon-time",
+        forecast_sigma=0.2, forecast_seed=11,
+    )
+
+
+def test_granularity_one_agrees(tiny_workload, diurnal_carbon):
+    assert_parity(tiny_workload, diurnal_carbon, "lowest-window", granularity=1)
+
+
+def test_reference_result_is_verifiable(tiny_workload, diurnal_carbon):
+    from repro.simulator.validation import verify_result
+
+    reference = run_reference(tiny_workload, diurnal_carbon, "carbon-time")
+    assert verify_result(reference) == []
+
+
+def test_compare_results_flags_injected_divergence(tiny_workload, diurnal_carbon):
+    """A mutated optimized engine must produce a non-identical diff."""
+    from repro.faults import parse_fault_plan
+
+    reference = run_reference(tiny_workload, diurnal_carbon, "spot-first:nowait")
+    perturbed = run_simulation(
+        tiny_workload, diurnal_carbon, "spot-first:nowait",
+        fault_plan=parse_fault_plan("eviction-storm:rate=0.9,hours=48", seed=0),
+    )
+    diff = compare_results(reference, perturbed)
+    assert not diff.identical
+    report = diff.render()
+    assert report  # non-empty human-readable divergence
+    assert diff.first_diverging_minute is not None
+
+
+def test_schedule_events_are_integer_wire_form(tiny_workload, diurnal_carbon):
+    result = run_simulation(tiny_workload, diurnal_carbon, "nowait")
+    events = schedule_events(result)
+    assert events, "expected wire events for a non-empty result"
+    for event in events:
+        for key, value in event.items():
+            if key in ("type", "queue", "option"):
+                assert isinstance(value, str)
+            else:
+                assert isinstance(value, int), f"{key} should be int, got {value!r}"

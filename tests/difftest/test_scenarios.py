@@ -1,0 +1,71 @@
+"""Scenario generator: determinism, picklability, and spec validity."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.difftest.scenarios import DEFAULT_SPACE, POLICY_POOL, ScenarioSpace, scenario_spec
+from repro.policies.registry import make_policy
+from repro.simulator.runner.spec import SimulationSpec
+
+
+def test_same_seed_index_is_deterministic():
+    first = scenario_spec(3, 5)
+    second = scenario_spec(3, 5)
+    assert first.digest() == second.digest()
+
+
+def test_different_indices_differ():
+    digests = {scenario_spec(0, index).digest() for index in range(10)}
+    assert len(digests) == 10
+
+
+def test_different_seeds_differ():
+    assert scenario_spec(0, 0).digest() != scenario_spec(1, 0).digest()
+
+
+def test_specs_are_picklable():
+    spec = scenario_spec(0, 2)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert isinstance(clone, SimulationSpec)
+    assert clone.digest() == spec.digest()
+
+
+def test_policy_pool_all_constructible():
+    for spec_string in POLICY_POOL:
+        make_policy(spec_string)
+
+
+def test_sampled_specs_run():
+    """A handful of sampled scenarios must simulate cleanly end to end."""
+    for index in range(5):
+        spec = scenario_spec(11, index)
+        result = spec.run()
+        assert result.records is not None
+
+
+def test_jobs_fit_queue_bounds():
+    """Clamping guarantees every sampled job fits the longest queue."""
+    from repro.units import days
+
+    for index in range(20):
+        spec = scenario_spec(2, index)
+        for _, _, length, _, _ in spec.workload.jobs:
+            assert length <= days(3)
+
+
+def test_space_bounds_are_respected():
+    space = ScenarioSpace(max_jobs=6)
+    for index in range(10):
+        spec = scenario_spec(0, index, space)
+        assert len(spec.workload.jobs) <= 6
+        assert spec.granularity in DEFAULT_SPACE.granularities
+        assert spec.instance_overhead_minutes in DEFAULT_SPACE.overhead_choices
+        assert spec.policy in POLICY_POOL
+
+
+def test_space_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_SPACE.max_jobs = 99  # type: ignore[misc]

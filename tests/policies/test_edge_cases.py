@@ -1,0 +1,162 @@
+"""Policy edge cases: boundary lengths, horizon clipping, early evictions.
+
+Each test pins behaviour at a boundary the fuzzer brushes against:
+a job exactly as long as its slack window, a planning window longer
+than the carbon data, and eviction striking a suspend-resume job in
+its very first segment minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.spot import HourlyHazard
+from repro.policies.base import SchedulingContext, validate_decision
+from repro.policies.lowest_window import LowestWindow
+from repro.policies.wait_awhile import WaitAwhile
+from repro.simulator.reference import run_reference
+from repro.simulator.simulation import run_simulation
+from repro.simulator.validation import verify_result
+from repro.units import hours
+from repro.workload.job import Job, JobQueue, QueueSet
+from repro.workload.trace import WorkloadTrace
+
+
+def make_ctx(hourly, queues, granularity=5):
+    trace = CarbonIntensityTrace(np.asarray(hourly, dtype=float))
+    return SchedulingContext(
+        forecaster=PerfectForecaster(trace), queues=queues, granularity=granularity
+    )
+
+
+@pytest.fixture
+def boundary_queues() -> QueueSet:
+    return QueueSet(
+        (
+            JobQueue(name="short", max_length=hours(2), max_wait=hours(2), avg_length=60.0),
+            JobQueue(name="long", max_length=hours(12), max_wait=hours(4), avg_length=hours(6)),
+        )
+    )
+
+
+class TestWaitAwhileSlackBoundary:
+    def test_length_exactly_fills_deadline(self, boundary_queues):
+        """length == deadline - arrival: the no-slack branch, contiguous run."""
+        ctx = make_ctx(np.full(24, 100.0), boundary_queues)
+        # Deadline is arrival + length + W; shrink W to zero via a
+        # zero-wait queue so deadline - arrival == length exactly.
+        zero_wait = QueueSet(
+            (JobQueue(name="short", max_length=hours(2), max_wait=0, avg_length=60.0),)
+        )
+        ctx = make_ctx(np.full(24, 100.0), zero_wait)
+        job = Job(job_id=0, arrival=30, length=hours(2), cpus=1, queue="short")
+        decision = WaitAwhile().decide(job, ctx)
+        assert decision.segments == ((30, 30 + hours(2)),)
+        validate_decision(job, decision, ctx)
+
+    def test_one_minute_of_slack_still_plans(self, boundary_queues):
+        """length == W boundary: the planner must fill the window exactly."""
+        one_minute_wait = QueueSet(
+            (JobQueue(name="short", max_length=hours(2), max_wait=1, avg_length=60.0),)
+        )
+        ctx = make_ctx(np.full(24, 100.0), one_minute_wait)
+        job = Job(job_id=0, arrival=0, length=hours(1), cpus=1, queue="short")
+        decision = WaitAwhile().decide(job, ctx)
+        total = sum(end - start for start, end in decision.segments)
+        assert total == hours(1)
+        validate_decision(job, decision, ctx)
+
+    def test_deadline_clipped_at_horizon(self, boundary_queues):
+        """Arrival near the end of carbon data: plan clips, never overruns."""
+        ctx = make_ctx(np.full(3, 100.0), boundary_queues)  # 180-minute horizon
+        job = Job(job_id=0, arrival=100, length=80, cpus=1, queue="short")
+        decision = WaitAwhile().decide(job, ctx)
+        assert decision.segments == ((100, 180),)
+
+
+class TestLowestWindowHorizonClipping:
+    def test_window_exceeding_horizon_collapses_to_arrival(self, boundary_queues):
+        """Estimate longer than remaining carbon data: start at arrival."""
+        ctx = make_ctx(np.full(4, 100.0), boundary_queues)  # 240-minute horizon
+        # The long queue's average (6 h) exceeds the whole trace, so no
+        # candidate window fits and the policy must fall back to arrival.
+        job = Job(job_id=0, arrival=60, length=hours(5), cpus=1, queue="long")
+        decision = LowestWindow().decide(job, ctx)
+        assert decision.start_time == 60
+
+    def test_dip_within_reach_is_chosen(self, boundary_queues):
+        day = np.full(24, 100.0)
+        day[1:3] = 10.0  # cheap dip inside the 2 h waiting window
+        ctx = make_ctx(day, boundary_queues, granularity=1)
+        job = Job(job_id=0, arrival=0, length=60, cpus=1, queue="short")
+        decision = LowestWindow().decide(job, ctx)
+        # The 1 h-average window sits fully inside the dip from minute 60.
+        assert decision.start_time == hours(1)
+
+    def test_flat_trace_ties_to_arrival(self, boundary_queues):
+        ctx = make_ctx(np.full(24, 100.0), boundary_queues, granularity=1)
+        job = Job(job_id=0, arrival=15, length=60, cpus=1, queue="short")
+        decision = LowestWindow().decide(job, ctx)
+        assert decision.start_time == 15
+
+
+class TestSuspendResumeEvictionAtStart:
+    def _workload(self):
+        # 90 minutes keeps the job under SpotFirst's 2 h eligibility bound.
+        return WorkloadTrace(
+            [Job(job_id=0, arrival=0, length=90, cpus=2)], name="sr-evict"
+        )
+
+    def _carbon(self):
+        day = np.full(24, 100.0)
+        day[10:16] = 20.0
+        return CarbonIntensityTrace(np.tile(day, 7), name="diurnal")
+
+    def test_eviction_in_first_segment_minute(self):
+        """A suspend-resume job evicted immediately still completes validly."""
+        result = run_simulation(
+            self._workload(),
+            self._carbon(),
+            "spot-first:gaia-sr",
+            eviction_model=HourlyHazard(0.99),  # evicts within the first minutes
+            spot_seed=0,
+        )
+        record = result.records[0]
+        assert record.finish >= record.first_start + record.length
+        assert verify_result(result) == []
+
+    def test_parity_with_reference_under_early_eviction(self):
+        kwargs = dict(
+            eviction_model=HourlyHazard(0.99),
+            spot_seed=0,
+            checkpointing=None,
+        )
+        optimized = run_simulation(
+            self._workload(), self._carbon(), "spot-first:wait-awhile", **kwargs
+        )
+        reference = run_reference(
+            self._workload(), self._carbon(), "spot-first:wait-awhile", **kwargs
+        )
+        from repro.difftest.diff import compare_results
+
+        diff = compare_results(reference, optimized)
+        assert diff.identical, diff.render()
+
+    def test_eviction_with_checkpointing_preserves_work(self):
+        from repro.cluster.spot import CheckpointConfig
+
+        result = run_simulation(
+            self._workload(),
+            self._carbon(),
+            "spot-first:nowait",
+            eviction_model=HourlyHazard(0.5),
+            checkpointing=CheckpointConfig(interval=30, overhead=2),
+            retry_spot=True,
+            spot_seed=1,
+        )
+        record = result.records[0]
+        assert record.evictions >= 1
+        assert verify_result(result) == []

@@ -1,0 +1,65 @@
+"""Regression: zero-job workloads simulate, verify, and report cleanly.
+
+An idle cluster is a legal scenario (the fuzzer can sample a horizon
+with no arrivals); it must produce an empty, valid result without
+numpy mean-of-empty warnings or division errors anywhere in the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.simulator.reference import run_reference
+from repro.simulator.simulation import run_simulation
+from repro.simulator.validation import assert_valid, verify_result
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture
+def empty_workload() -> WorkloadTrace:
+    return WorkloadTrace([], name="empty")
+
+
+@pytest.mark.filterwarnings("error")
+def test_engine_accepts_zero_jobs(empty_workload, flat_carbon):
+    result = run_simulation(empty_workload, flat_carbon, "carbon-time")
+    assert len(result.records) == 0
+    assert result.total_carbon_g == 0.0
+    assert result.total_energy_kwh == 0.0
+    assert result.metered_cost == 0.0
+
+
+@pytest.mark.filterwarnings("error")
+def test_reference_engine_accepts_zero_jobs(empty_workload, flat_carbon):
+    result = run_reference(empty_workload, flat_carbon, "nowait")
+    assert len(result.records) == 0
+
+
+@pytest.mark.filterwarnings("error")
+def test_verify_result_no_spurious_violations(empty_workload, flat_carbon):
+    result = run_simulation(empty_workload, flat_carbon, "nowait", reserved_cpus=8)
+    assert verify_result(result) == []
+    assert_valid(result)
+
+
+@pytest.mark.filterwarnings("error")
+def test_analytics_are_warning_free(empty_workload, flat_carbon):
+    result = run_simulation(empty_workload, flat_carbon, "nowait")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert result.mean_waiting_minutes == 0.0
+        assert result.mean_completion_hours == 0.0
+        assert result.waiting_percentiles((50, 95, 99)) == {50: 0.0, 95: 0.0, 99: 0.0}
+        assert result.summary()  # every aggregate renders
+
+
+@pytest.mark.filterwarnings("error")
+def test_empty_trace_properties():
+    trace = WorkloadTrace([], name="empty")
+    assert len(trace) == 0
+    assert trace.horizon == 0
+    assert trace.total_cpu_minutes == 0.0
+    assert trace.content_digest()  # digestible for the result cache

@@ -116,9 +116,14 @@ class TestSimulationResult:
         assert better.carbon_savings_vs(base) == pytest.approx(0.4)
         assert better.cost_increase_vs(base) == pytest.approx(0.2)
 
-    def test_rejects_empty_records(self):
-        with pytest.raises(SimulationError):
-            result([])
+    def test_accepts_empty_records(self):
+        # An idle cluster is a legal outcome: every aggregate is zero and
+        # no numpy empty-mean warnings leak (see tests/simulator/
+        # test_empty_workload.py for the end-to-end regression).
+        res = result([])
+        assert res.total_carbon_g == 0.0
+        assert res.mean_waiting_minutes == 0.0
+        assert res.summary()
 
     def test_summary_keys(self):
         summary = result([record()]).summary()

@@ -22,9 +22,11 @@ class TestConstruction:
         trace = WorkloadTrace(jobs3())
         assert [job.job_id for job in trace] == [1, 2, 0]
 
-    def test_rejects_empty(self):
-        with pytest.raises(TraceError):
-            WorkloadTrace([])
+    def test_accepts_empty(self):
+        # A zero-job trace is legal (an idle cluster); horizon infers to 0.
+        trace = WorkloadTrace([])
+        assert len(trace) == 0
+        assert trace.horizon == 0
 
     def test_rejects_duplicate_ids(self):
         with pytest.raises(TraceError):
