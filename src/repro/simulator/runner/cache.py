@@ -34,8 +34,19 @@ __all__ = [
 
 #: Packages (relative to the ``repro`` root) whose sources determine
 #: simulation outputs.  Top-level modules (units, errors, ...) are
-#: always included.
-_SALTED_PACKAGES = ("carbon", "cluster", "policies", "simulator", "workload")
+#: always included.  ``faults`` belongs here because fault plans fold
+#: into ``SimulationSpec.digest()`` and fault application changes the
+#: simulated outcome; ``obs`` because engine metrics are folded into
+#: cached :class:`SimulationResult` payloads.
+_SALTED_PACKAGES = (
+    "carbon",
+    "cluster",
+    "faults",
+    "obs",
+    "policies",
+    "simulator",
+    "workload",
+)
 
 
 @lru_cache(maxsize=1)

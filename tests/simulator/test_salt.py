@@ -1,0 +1,95 @@
+"""Regression tests for the cache's code-version salt coverage.
+
+The result cache keys on ``sha256(code_version_salt + spec.digest())``;
+a package that shapes ``SimulationSpec.digest()`` semantics or the
+simulated outcome but is missing from the salt silently serves stale
+results after a semantic edit (the ``repro.faults`` bug this file
+guards against).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.simulator.runner.cache import _SALTED_PACKAGES
+
+REPRO_ROOT = Path(repro.__file__).resolve().parent
+
+#: Modules whose semantics flow into spec digests and cached results:
+#: the spec itself (digest / thaw / run), the simulation assembly, and
+#: fault application (folded into digests via ``FaultPlan.digest``).
+_DIGEST_SEED_MODULES = (
+    "repro.simulator.runner.spec",
+    "repro.simulator.simulation",
+    "repro.faults.apply",
+)
+
+
+def _module_path(module: str) -> Path | None:
+    """The source file of a ``repro.*`` dotted module, if it exists."""
+    relative = Path(*module.split(".")[1:])
+    for candidate in (
+        REPRO_ROOT / relative.parent / f"{relative.name}.py",
+        REPRO_ROOT / relative / "__init__.py",
+    ):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _imported_repro_modules(path: Path) -> set[str]:
+    """Every ``repro.*`` module imported anywhere in one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    imported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imported.update(
+                alias.name for alias in node.names if alias.name.startswith("repro")
+            )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module and node.module.startswith("repro"):
+                imported.add(node.module)
+                # ``from repro.x import y`` may name a submodule, not an
+                # attribute; include the candidate so closure follows it.
+                imported.update(f"{node.module}.{alias.name}" for alias in node.names)
+    return imported
+
+
+def _import_closure(seeds: tuple[str, ...]) -> set[str]:
+    """Transitive ``repro.*`` import closure over the source tree."""
+    seen: set[str] = set()
+    frontier = [module for module in seeds if _module_path(module) is not None]
+    while frontier:
+        module = frontier.pop()
+        if module in seen:
+            continue
+        path = _module_path(module)
+        if path is None:
+            continue
+        seen.add(module)
+        frontier.extend(_imported_repro_modules(path) - seen)
+    return seen
+
+
+class TestSaltCoverage:
+    def test_every_digest_feeding_package_is_salted(self):
+        closure = _import_closure(_DIGEST_SEED_MODULES)
+        assert closure, "import closure unexpectedly empty"
+        needed_packages = {
+            module.split(".")[1]
+            for module in closure
+            if module.count(".") >= 2  # repro.<package>.<module>
+        }
+        missing = sorted(needed_packages - set(_SALTED_PACKAGES))
+        assert not missing, (
+            f"packages {missing} feed SimulationSpec.digest()/simulation "
+            "semantics but are not in _SALTED_PACKAGES; stale cached results "
+            "would survive semantic edits there"
+        )
+
+    def test_faults_package_is_salted(self):
+        # The concrete historical bug: editing fault-application semantics
+        # must evict cached results.
+        assert "faults" in _SALTED_PACKAGES
