@@ -1,0 +1,55 @@
+"""simcheck -- whole-program static analysis under simlint.
+
+Where the ``SIM0xx`` rules reason about one expression or one module at
+a time, this subpackage builds *project-wide* context -- per-module
+symbol tables, an interprocedural call graph, import closures, and
+AST-normalized source fingerprints -- and powers the flow-aware rules
+``SIM101`` (unit flow), ``SIM102`` (digest-safety certification), and
+``SIM103`` (pool-boundary pickle safety).
+
+The analysis is also load-bearing outside the linter: the result
+cache's :func:`repro.simulator.runner.cache.code_version_salt` is an
+AST-normalized fingerprint of exactly the SIM102-certified reachable
+file set, so comment-only edits never evict cached sweeps while
+semantic edits anywhere digest-reachable always do.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analysis.callgraph import CallGraph
+from repro.lint.analysis.certify import (
+    certified_files,
+    certified_modules,
+    entry_functions,
+    reachable_functions,
+)
+from repro.lint.analysis.entrypoints import (
+    DIGEST_ENTRY_PATTERNS,
+    POOL_BOUNDARY_ROOTS,
+    register_entry_pattern,
+)
+from repro.lint.analysis.fingerprint import (
+    fingerprint_files,
+    fingerprint_source,
+    normalized_dump,
+)
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.symbols import ClassSymbol, FunctionSymbol, ModuleSymbols
+
+__all__ = [
+    "CallGraph",
+    "ClassSymbol",
+    "DIGEST_ENTRY_PATTERNS",
+    "FunctionSymbol",
+    "ModuleSymbols",
+    "POOL_BOUNDARY_ROOTS",
+    "ProjectContext",
+    "certified_files",
+    "certified_modules",
+    "entry_functions",
+    "fingerprint_files",
+    "fingerprint_source",
+    "normalized_dump",
+    "reachable_functions",
+    "register_entry_pattern",
+]

@@ -1,0 +1,274 @@
+"""Project-wide call graph with evidence-carrying reachability.
+
+Edges are resolved *statically and conservatively* from four call
+shapes:
+
+* ``f(...)`` -- a name defined or imported in the calling module;
+* ``mod.f(...)`` / ``pkg.mod.f(...)`` -- resolved through import aliases;
+* ``self.m(...)`` / ``cls.m(...)`` -- a method of the enclosing class
+  (following project-local base classes);
+* ``obj.m(...)`` -- *unique-name fallback*: linked only when exactly one
+  project class defines a method ``m`` and no module-level function
+  shares the name, a CHA-lite that resolves idioms like
+  ``plan.rng(...)`` without guessing among homonyms.
+
+Class instantiation links to ``__init__`` when the class defines one.
+Unresolved calls (stdlib, numpy, dynamic dispatch) simply produce no
+edge -- the certification layer compensates by unioning call-graph
+reachability with the module *import closure*, which is a sound
+over-approximation at file granularity.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.lint.analysis.symbols import FunctionSymbol, ModuleSymbols, dotted_name
+
+if TYPE_CHECKING:
+    from repro.lint.analysis.project import ProjectContext
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored at its source location."""
+
+    caller: str
+    callee: str
+    lineno: int
+    col: int
+    #: The call expression itself (argument matching for unit flow).
+    node: ast.Call
+
+
+class CallGraph:
+    """Resolved call edges over every in-scope function of a project."""
+
+    def __init__(
+        self,
+        functions: dict[str, FunctionSymbol],
+        sites: list[CallSite],
+    ):
+        #: Every in-scope function/method by project qualname.
+        self.functions = functions
+        #: Every resolved call site.
+        self.sites = sites
+        self.edges: dict[str, set[str]] = {}
+        self._sites_by_caller: dict[str, list[CallSite]] = {}
+        for site in sites:
+            self.edges.setdefault(site.caller, set()).add(site.callee)
+            self._sites_by_caller.setdefault(site.caller, []).append(site)
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> CallGraph:
+        """Resolve every call site of the project's in-scope modules."""
+        symbols = project.symbols()
+        functions: dict[str, FunctionSymbol] = {}
+        for table in symbols.values():
+            for symbol in table.all_functions():
+                functions[symbol.qualname] = symbol
+        unique_methods = _unique_method_index(symbols)
+        sites: list[CallSite] = []
+        for table in symbols.values():
+            for symbol in table.all_functions():
+                sites.extend(
+                    _resolve_calls(symbol, table, symbols, functions, unique_methods)
+                )
+        return cls(functions, sites)
+
+    def callees_of(self, qualname: str) -> set[str]:
+        """Direct callees of one function."""
+        return self.edges.get(qualname, set())
+
+    def reachable(self, entries: list[str]) -> dict[str, tuple[str, ...]]:
+        """Functions reachable from ``entries``, with evidence chains.
+
+        Returns ``qualname -> (entry, ..., qualname)``: the breadth-first
+        call chain proving reachability, used verbatim as finding
+        evidence by SIM102.
+        """
+        parent: dict[str, str | None] = {}
+        queue: deque[str] = deque()
+        for entry in entries:
+            if entry in self.functions and entry not in parent:
+                parent[entry] = None
+                queue.append(entry)
+        while queue:
+            current = queue.popleft()
+            for callee in sorted(self.edges.get(current, ())):
+                if callee in parent or callee not in self.functions:
+                    continue
+                parent[callee] = current
+                queue.append(callee)
+        chains: dict[str, tuple[str, ...]] = {}
+        for qualname in parent:
+            chain: list[str] = []
+            cursor: str | None = qualname
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = parent[cursor]
+            chains[qualname] = tuple(reversed(chain))
+        return chains
+
+    def sites_in(self, qualname: str) -> list[CallSite]:
+        """Call sites whose caller is ``qualname``."""
+        return self._sites_by_caller.get(qualname, [])
+
+
+def _unique_method_index(
+    symbols: dict[str, ModuleSymbols]
+) -> dict[str, FunctionSymbol]:
+    """Method name -> symbol, for names defined by exactly one class.
+
+    Names that are also module-level functions anywhere are excluded:
+    the fallback must never guess between a method and a function.
+    """
+    seen: dict[str, FunctionSymbol | None] = {}
+    function_names: set[str] = set()
+    for table in symbols.values():
+        function_names.update(table.functions)
+        for klass in table.classes.values():
+            for name, method in klass.methods.items():
+                seen[name] = None if name in seen else method
+    return {
+        name: method
+        for name, method in seen.items()
+        if method is not None and name not in function_names
+    }
+
+
+def _resolve_calls(
+    caller: FunctionSymbol,
+    table: ModuleSymbols,
+    symbols: dict[str, ModuleSymbols],
+    functions: dict[str, FunctionSymbol],
+    unique_methods: dict[str, FunctionSymbol],
+) -> list[CallSite]:
+    sites: list[CallSite] = []
+    for node in ast.walk(caller.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _resolve_callee(node.func, caller, table, symbols, unique_methods)
+        if callee is None or callee.qualname not in functions:
+            continue
+        sites.append(
+            CallSite(
+                caller=caller.qualname,
+                callee=callee.qualname,
+                lineno=node.lineno,
+                col=node.col_offset,
+                node=node,
+            )
+        )
+    return sites
+
+
+def _resolve_callee(
+    func: ast.expr,
+    caller: FunctionSymbol,
+    table: ModuleSymbols,
+    symbols: dict[str, ModuleSymbols],
+    unique_methods: dict[str, FunctionSymbol],
+) -> FunctionSymbol | None:
+    """Best-effort resolution of one call expression to a project symbol."""
+    if isinstance(func, ast.Name):
+        return _resolve_name(func.id, table, symbols)
+    if not isinstance(func, ast.Attribute):
+        return None
+    # self.m(...) / cls.m(...): the enclosing class, then its bases.
+    if (
+        isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and caller.owner is not None
+    ):
+        found = _resolve_method(caller.module, caller.owner, func.attr, table, symbols)
+        if found is not None:
+            return found
+    dotted = dotted_name(func)
+    if dotted is not None:
+        resolved = table.resolve(dotted)
+        found = _lookup_qualname(resolved, symbols)
+        if found is not None:
+            return found
+    # obj.m(...): unique-name fallback.
+    return unique_methods.get(func.attr)
+
+
+def _resolve_name(
+    name: str, table: ModuleSymbols, symbols: dict[str, ModuleSymbols]
+) -> FunctionSymbol | None:
+    if name in table.functions:
+        return table.functions[name]
+    if name in table.classes:
+        return table.classes[name].methods.get("__init__")
+    target = table.imports.get(name)
+    if target is not None:
+        return _lookup_qualname(target, symbols)
+    return None
+
+
+def _resolve_method(
+    module: str,
+    class_name: str,
+    method: str,
+    table: ModuleSymbols,
+    symbols: dict[str, ModuleSymbols],
+    depth: int = 0,
+) -> FunctionSymbol | None:
+    """A method of a class, following project-local bases (bounded)."""
+    if depth > 8:
+        return None
+    klass = table.classes.get(class_name)
+    if klass is None:
+        return None
+    if method in klass.methods:
+        return klass.methods[method]
+    for base in klass.bases:
+        resolved = table.resolve(base)
+        owner_module, _, owner_name = resolved.rpartition(".")
+        base_table = symbols.get(owner_module)
+        if base_table is None:
+            # A base written unqualified in the same module.
+            if resolved in table.classes:
+                found = _resolve_method(
+                    module, resolved, method, table, symbols, depth + 1
+                )
+                if found is not None:
+                    return found
+            continue
+        found = _resolve_method(
+            owner_module, owner_name, method, base_table, symbols, depth + 1
+        )
+        if found is not None:
+            return found
+    return None
+
+
+def _lookup_qualname(
+    qualname: str, symbols: dict[str, ModuleSymbols]
+) -> FunctionSymbol | None:
+    """Find ``module.func``, ``module.Class.method``, or a class init."""
+    parts = qualname.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:split])
+        table = symbols.get(module)
+        if table is None:
+            continue
+        remainder = parts[split:]
+        if len(remainder) == 1:
+            name = remainder[0]
+            if name in table.functions:
+                return table.functions[name]
+            if name in table.classes:
+                return table.classes[name].methods.get("__init__")
+        elif len(remainder) == 2:
+            klass = table.classes.get(remainder[0])
+            if klass is not None:
+                return klass.methods.get(remainder[1])
+        return None
+    return None

@@ -1,0 +1,90 @@
+"""Digest-safety certification: the reachable set behind SIM102 and the salt.
+
+Certification answers two questions about a project:
+
+* **which functions** can influence a simulation result for a given
+  spec digest -- the call-graph closure of the digest entry points
+  (:data:`~repro.lint.analysis.entrypoints.DIGEST_ENTRY_PATTERNS`),
+  each with a breadth-first call chain as evidence; and
+* **which files** must participate in the cache's code-version salt --
+  the *import closure* of the entry-point modules, a sound
+  over-approximation at file granularity that covers edges the static
+  call resolver cannot see (dynamic dispatch, registry indirection).
+
+The union is deliberately asymmetric: findings want precision (call
+chains), the salt wants soundness (no digest-relevant file may escape
+it, or semantic edits there would silently serve stale cached sweeps).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.lint.analysis.entrypoints import DIGEST_ENTRY_PATTERNS, matches_any
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.symbols import FunctionSymbol
+
+__all__ = [
+    "certified_files",
+    "certified_modules",
+    "entry_functions",
+    "reachable_functions",
+]
+
+
+def entry_functions(
+    project: ProjectContext, patterns: list[str] | None = None
+) -> dict[str, FunctionSymbol]:
+    """The project functions matching the digest entry-point patterns."""
+    patterns = DIGEST_ENTRY_PATTERNS if patterns is None else patterns
+    graph = project.callgraph()
+    return {
+        qualname: symbol
+        for qualname, symbol in sorted(graph.functions.items())
+        if matches_any(qualname, patterns)
+    }
+
+
+def reachable_functions(
+    project: ProjectContext, patterns: list[str] | None = None
+) -> dict[str, tuple[str, ...]]:
+    """Call-graph-reachable functions with their evidence chains.
+
+    Maps each reachable qualname to the breadth-first call chain
+    ``(entry, ..., qualname)`` proving reachability.
+    """
+    entries = entry_functions(project, patterns)
+    return project.callgraph().reachable(sorted(entries))
+
+
+def certified_modules(
+    project: ProjectContext, patterns: list[str] | None = None
+) -> set[str]:
+    """Modules certified digest-relevant: import closure ∪ call closure.
+
+    Raises :class:`~repro.errors.ConfigError` when no entry point
+    matches -- an empty certification must never silently produce an
+    empty salt.
+    """
+    entries = entry_functions(project, patterns)
+    if not entries:
+        raise ConfigError(
+            "no digest entry points found; the analyzed tree does not "
+            "define any function matching DIGEST_ENTRY_PATTERNS"
+        )
+    seed_modules = {symbol.module for symbol in entries.values()}
+    closure = project.import_closure(seed_modules)
+    chains = project.callgraph().reachable(sorted(entries))
+    call_modules = {
+        project.callgraph().functions[qualname].module for qualname in chains
+    }
+    return closure | call_modules | seed_modules
+
+
+def certified_files(
+    project: ProjectContext, patterns: list[str] | None = None
+) -> list[Path]:
+    """The sorted source files of the certified module set."""
+    modules = certified_modules(project, patterns)
+    return sorted(project.modules[name].path for name in modules)

@@ -1,0 +1,95 @@
+"""AST-normalized source fingerprints.
+
+A fingerprint hashes what the interpreter *executes*, not the bytes on
+disk: source is parsed, docstrings are stripped (module, class, and
+function bodies), and the remaining tree is serialized with
+:func:`ast.dump` -- which carries no comments, no blank lines, no
+trailing whitespace, and no line/column numbers.  Two sources that
+differ only in comments, docstrings, or formatting therefore fingerprint
+identically, while any semantic change (a constant, an operator, a
+default, an added statement) changes the digest.
+
+This is the foundation of the cache's code-version salt
+(:func:`repro.simulator.runner.cache.code_version_salt`): comment-only
+edits stop evicting warmed sweep caches, semantic edits keep doing so.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from collections.abc import Iterable
+from pathlib import Path
+
+__all__ = [
+    "fingerprint_files",
+    "fingerprint_source",
+    "normalized_dump",
+    "strip_docstrings",
+]
+
+_DOCUMENTED = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def strip_docstrings(tree: ast.AST) -> ast.AST:
+    """Remove docstring statements from a tree, in place.
+
+    A body emptied by the removal gets an ``ast.Pass()`` so the tree
+    stays valid (``def f(): "doc"`` normalizes like ``def f(): pass``).
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, _DOCUMENTED):
+            continue
+        body = node.body
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            del body[0]
+            if not body:
+                body.append(ast.Pass())
+    return tree
+
+
+def normalized_dump(source: str, filename: str = "<fingerprint>") -> str:
+    """The comment/docstring/whitespace-free serialization of a source.
+
+    Raises ``SyntaxError`` for unparseable source -- the caller decides
+    whether to fall back to byte hashing.
+    """
+    tree = ast.parse(source, filename=filename)
+    return ast.dump(strip_docstrings(tree), annotate_fields=False)
+
+
+def fingerprint_source(source: str, filename: str = "<fingerprint>") -> str:
+    """SHA-256 of one source's normalized form."""
+    return hashlib.sha256(normalized_dump(source, filename).encode()).hexdigest()
+
+
+def fingerprint_files(root: Path, files: Iterable[Path]) -> str:
+    """One SHA-256 over the normalized forms of many files.
+
+    Files hash in sorted root-relative order, with their relative path
+    mixed in, so renames and moves change the digest while traversal
+    order cannot.  A file that fails to parse contributes its raw bytes
+    instead (strictly safer: byte-level edits there keep evicting).
+    """
+    hasher = hashlib.sha256()
+    resolved_root = root.resolve()
+    ordered = sorted(
+        (path.resolve().relative_to(resolved_root).as_posix(), path) for path in files
+    )
+    for relative, path in ordered:
+        hasher.update(relative.encode())
+        hasher.update(b"\x00")
+        source_bytes = path.read_bytes()
+        try:
+            dump = normalized_dump(source_bytes.decode("utf-8"), filename=relative)
+        except (SyntaxError, UnicodeDecodeError):
+            hasher.update(source_bytes)
+        else:
+            hasher.update(dump.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()

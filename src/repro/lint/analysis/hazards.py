@@ -1,0 +1,235 @@
+"""Determinism-hazard detection shared by SIM001 and SIM102.
+
+The tables name the stdlib/numpy surfaces whose use makes a simulation
+depend on hidden process state: module-level RNGs, wall-clock reads,
+environment lookups, and (via ``PYTHONHASHSEED``) the iteration order
+of string-keyed sets.  SIM001 flags direct *calls* per module;
+SIM102 additionally scans digest-reachable functions for the shapes
+SIM001 cannot see -- hazardous callables stored or passed as values
+(``clock = time.time``), ``os.environ`` reads behind indirection, and
+unordered set iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.analysis.symbols import FunctionSymbol, ModuleSymbols, dotted_name
+
+__all__ = [
+    "Hazard",
+    "SEEDED_CONSTRUCTORS",
+    "WALL_CLOCK_DATETIME",
+    "WALL_CLOCK_TIME",
+    "function_hazards",
+]
+
+#: numpy.random attributes that construct explicitly seeded generators.
+SEEDED_CONSTRUCTORS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "RandomState",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Wall-clock reads on the ``time`` module (monotonic/perf_counter are
+#: allowed: they are profiling tools, not simulation inputs).
+WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime"}
+
+#: Wall-clock constructors on datetime/date classes.
+WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: Call targets that read entropy or identity no seed controls.
+_ENTROPY_CALLS = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.choice",
+}
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One determinism hazard inside a function body."""
+
+    #: Category: ``unseeded-rng`` | ``wall-clock`` | ``env-read`` |
+    #: ``entropy`` | ``rng-reference`` | ``clock-reference`` |
+    #: ``set-iteration``.
+    kind: str
+    message: str
+    lineno: int
+    col: int
+
+
+def _is_hazard_target(resolved: str) -> tuple[str, str] | None:
+    """Classify a resolved dotted target; return (kind, description)."""
+    head, _, tail = resolved.partition(".")
+    if head == "random" and tail and not tail.startswith("_"):
+        return "unseeded-rng", f"random.{tail} uses the global RNG"
+    if head == "numpy" and tail.startswith("random."):
+        attribute = tail.split(".", 1)[1]
+        if attribute and attribute not in SEEDED_CONSTRUCTORS:
+            return "unseeded-rng", f"numpy.random.{attribute} uses the module-level RNG"
+    if head == "time" and tail in WALL_CLOCK_TIME:
+        return "wall-clock", f"time.{tail} reads the wall clock"
+    if head in ("datetime", "date") and resolved.rsplit(".", 1)[-1] in (
+        WALL_CLOCK_DATETIME
+    ):
+        return "wall-clock", f"{resolved} reads the wall clock"
+    if resolved in _ENTROPY_CALLS:
+        return "entropy", f"{resolved} draws unseedable entropy"
+    return None
+
+
+def _environ_read(node: ast.expr, table: ModuleSymbols) -> str | None:
+    """Describe an ``os.environ`` / ``os.getenv`` access, if this is one."""
+    if isinstance(node, ast.Call):
+        target = dotted_name(node.func)
+        if target is not None and table.resolve(target) in (
+            "os.getenv",
+            "os.environ.get",
+        ):
+            return table.resolve(target)
+        return None
+    target = dotted_name(node)
+    if target is not None and table.resolve(target) == "os.environ":
+        return "os.environ"
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def function_hazards(
+    symbol: FunctionSymbol, table: ModuleSymbols
+) -> Iterator[Hazard]:
+    """Scan one function body for determinism hazards.
+
+    Yields both direct hazardous *calls* (overlapping SIM001, so the
+    certification never depends on another rule being enabled) and the
+    indirection shapes only a reachability pass can justify flagging:
+    hazardous callables referenced as values, environment reads, and
+    unordered set iteration.
+    """
+    call_function_nodes = set()
+    for node in ast.walk(symbol.node):
+        if isinstance(node, ast.Call):
+            call_function_nodes.add(id(node.func))
+
+    for node in ast.walk(symbol.node):
+        if isinstance(node, ast.Call):
+            environ = _environ_read(node, table)
+            if environ is not None:
+                yield Hazard(
+                    kind="env-read",
+                    message=f"{environ} read makes behavior depend on the environment",
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                )
+                continue
+            target = dotted_name(node.func)
+            if target is None:
+                continue
+            classified = _is_hazard_target(table.resolve(target))
+            if classified is not None:
+                kind, description = classified
+                yield Hazard(
+                    kind=kind,
+                    message=f"call to {target}(): {description}",
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                )
+        elif isinstance(node, (ast.Attribute, ast.Name)):
+            if id(node) in call_function_nodes:
+                continue  # the call case above already covers it
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            environ = _environ_read(node, table)
+            if environ is not None:
+                yield Hazard(
+                    kind="env-read",
+                    message=f"{environ} read makes behavior depend on the environment",
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                )
+                continue
+            target = dotted_name(node)
+            if target is None or "." not in target:
+                # Bare names alias too readily (parameters, locals); only
+                # dotted references identify a hazardous callable surely.
+                continue
+            classified = _is_hazard_target(table.resolve(target))
+            if classified is not None:
+                kind, description = classified
+                yield Hazard(
+                    kind=f"{'rng' if kind == 'unseeded-rng' else 'clock'}-reference",
+                    message=(
+                        f"reference to {target} (not a call): {description}; "
+                        "storing or passing it hides the hazard from "
+                        "per-expression linting"
+                    ),
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                )
+        elif isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield Hazard(
+                kind="set-iteration",
+                message=(
+                    "iterating a set: string hashing is randomized per "
+                    "process, so iteration order is not reproducible; "
+                    "wrap in sorted(...)"
+                ),
+                lineno=node.iter.lineno,
+                col=node.iter.col_offset,
+            )
+        elif isinstance(node, ast.comprehension) and _is_set_expression(node.iter):
+            yield Hazard(
+                kind="set-iteration",
+                message=(
+                    "comprehension over a set: iteration order is not "
+                    "reproducible across processes; wrap in sorted(...)"
+                ),
+                lineno=node.iter.lineno,
+                col=node.iter.col_offset,
+            )
+
+    # list()/tuple()/join() over a set expression: materializes an
+    # unordered sequence.
+    for node in ast.walk(symbol.node):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        name = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if name in ("list", "tuple", "join", "enumerate") and _is_set_expression(
+            node.args[0]
+        ):
+            yield Hazard(
+                kind="set-iteration",
+                message=(
+                    f"{name}() over a set materializes an unordered sequence; "
+                    "wrap the set in sorted(...)"
+                ),
+                lineno=node.args[0].lineno,
+                col=node.args[0].col_offset,
+            )

@@ -1,0 +1,258 @@
+"""Pool-boundary pickle safety (the engine behind SIM103).
+
+Everything :func:`repro.simulator.runner.run_many` ships across its
+``ProcessPoolExecutor`` boundary must pickle: the specs going out and
+the results coming back.  A lambda, an open handle, a lock, or a live
+tracer smuggled into a spec only explodes at sweep time, deep inside a
+worker traceback.  This pass verifies the boundary *statically*:
+
+* the dataclass closure of each registered boundary root
+  (:data:`~repro.lint.analysis.entrypoints.POOL_BOUNDARY_ROOTS`) is
+  walked field by field, resolving annotations to project classes;
+* fields typed as callables, locks/threads, IO handles, generators, or
+  live tracer objects are flagged, as are lambda defaults;
+* roots marked ``require_frozen`` (specs: cache keys, dedup keys) must
+  be frozen dataclasses throughout their closure;
+* construction sites of closure types anywhere in the project are
+  scanned for lambda arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.analysis.entrypoints import POOL_BOUNDARY_ROOTS, matches_any
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.symbols import ClassSymbol, ModuleSymbols, dotted_name
+
+__all__ = ["BoundaryViolation", "boundary_closure", "boundary_violations"]
+
+#: Bare annotation identifiers that never pickle (or pickle by identity
+#: loss) regardless of their defining module.
+_FORBIDDEN_BARE = {
+    "Callable",
+    "Generator",
+    "AsyncGenerator",
+    "Coroutine",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "TextIOBase",
+    "BufferedReader",
+    "BufferedWriter",
+}
+
+#: Modules whose types are process-local by nature.
+_FORBIDDEN_MODULES = ("threading", "_thread", "multiprocessing", "asyncio", "socket")
+
+#: Project types that wrap process-local state (live sinks, handles).
+_FORBIDDEN_PROJECT = ("repro.obs.tracer.Tracer",)
+
+
+@dataclass(frozen=True)
+class BoundaryViolation:
+    """One statically-provable pickle hazard at the pool boundary."""
+
+    message: str
+    module: str
+    lineno: int
+    col: int
+    evidence: tuple[str, ...]
+
+
+def _annotation_identifiers(annotation: ast.expr) -> Iterator[str]:
+    """Every dotted/bare identifier mentioned inside an annotation.
+
+    Handles string annotations (``"QueueSet | None"``) by reparsing.
+    """
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return
+    stack: list[ast.AST] = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            target = dotted_name(node)
+            if target is not None:
+                # Do not descend: ``threading.Lock`` is one identifier,
+                # not an identifier plus a bare ``threading``.
+                yield target
+                continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _forbidden_reason(identifier: str, table: ModuleSymbols) -> str | None:
+    """Why an annotation identifier cannot cross the pool, if it cannot."""
+    head = identifier.split(".")[0]
+    tail = identifier.rsplit(".", 1)[-1]
+    if tail in _FORBIDDEN_BARE:
+        return f"{tail} values do not pickle"
+    resolved = table.resolve(identifier)
+    resolved_head = resolved.split(".")[0]
+    if resolved_head in _FORBIDDEN_MODULES or head in _FORBIDDEN_MODULES:
+        return f"{resolved} is process-local state"
+    if resolved in _FORBIDDEN_PROJECT:
+        return f"{resolved} is a live observability sink, not data"
+    return None
+
+
+def _resolve_class(
+    identifier: str, table: ModuleSymbols, symbols: dict[str, ModuleSymbols]
+) -> ClassSymbol | None:
+    """Resolve an annotation identifier to a project class, if it is one."""
+    if identifier in table.classes:
+        return table.classes[identifier]
+    resolved = table.resolve(identifier)
+    module, _, name = resolved.rpartition(".")
+    other = symbols.get(module)
+    if other is not None:
+        return other.classes.get(name)
+    return None
+
+
+def boundary_closure(
+    project: ProjectContext,
+    roots: list[tuple[str, bool]] | None = None,
+) -> dict[str, tuple[ClassSymbol, bool, tuple[str, ...]]]:
+    """The dataclass closure of the pool-boundary roots.
+
+    Maps class qualname to ``(symbol, require_frozen, path)`` where
+    ``path`` is the field chain from a root (evidence for findings).
+    ``require_frozen`` propagates from the root down its closure.
+    """
+    roots = POOL_BOUNDARY_ROOTS if roots is None else roots
+    symbols = project.symbols()
+    closure: dict[str, tuple[ClassSymbol, bool, tuple[str, ...]]] = {}
+    frontier: list[tuple[ClassSymbol, bool, tuple[str, ...]]] = []
+    for table in symbols.values():
+        for klass in table.classes.values():
+            for pattern, require_frozen in roots:
+                if matches_any(klass.qualname, [pattern]):
+                    frontier.append((klass, require_frozen, (klass.qualname,)))
+    while frontier:
+        klass, require_frozen, path = frontier.pop()
+        known = closure.get(klass.qualname)
+        if known is not None and (known[1] or not require_frozen):
+            continue
+        closure[klass.qualname] = (klass, require_frozen, path)
+        table = symbols[klass.module]
+        for field_symbol in klass.fields:
+            if field_symbol.annotation is None:
+                continue
+            for identifier in _annotation_identifiers(field_symbol.annotation):
+                member = _resolve_class(identifier, table, symbols)
+                if member is not None:
+                    frontier.append(
+                        (
+                            member,
+                            require_frozen,
+                            path + (f"{klass.name}.{field_symbol.name}",),
+                        )
+                    )
+    return closure
+
+
+def boundary_violations(
+    project: ProjectContext,
+    roots: list[tuple[str, bool]] | None = None,
+) -> Iterator[BoundaryViolation]:
+    """Every statically-provable pickle hazard at the pool boundary."""
+    symbols = project.symbols()
+    closure = boundary_closure(project, roots)
+    for qualname in sorted(closure):
+        klass, require_frozen, path = closure[qualname]
+        table = symbols[klass.module]
+        chain = " -> ".join(path)
+        if require_frozen and klass.is_dataclass and not klass.dataclass_frozen:
+            yield BoundaryViolation(
+                message=(
+                    f"{klass.name} crosses the worker-pool boundary inside a "
+                    "spec but is not a frozen dataclass; specs are cache and "
+                    "dedup keys and must be immutable"
+                ),
+                module=klass.module,
+                lineno=klass.lineno,
+                col=klass.node.col_offset,
+                evidence=(f"boundary path: {chain}",),
+            )
+        for field_symbol in klass.fields:
+            # ``= lambda: ...`` directly or buried in ``field(default=lambda: ...)``.
+            if field_symbol.default is not None and any(
+                isinstance(inner, ast.Lambda)
+                for inner in ast.walk(field_symbol.default)
+            ):
+                yield BoundaryViolation(
+                    message=(
+                        f"field {klass.name}.{field_symbol.name} defaults to a "
+                        "lambda; lambdas do not pickle across the worker pool"
+                    ),
+                    module=klass.module,
+                    lineno=field_symbol.lineno,
+                    col=klass.node.col_offset,
+                    evidence=(f"boundary path: {chain}",),
+                )
+            if field_symbol.annotation is None:
+                continue
+            for identifier in _annotation_identifiers(field_symbol.annotation):
+                reason = _forbidden_reason(identifier, table)
+                if reason is not None:
+                    yield BoundaryViolation(
+                        message=(
+                            f"field {klass.name}.{field_symbol.name} is typed "
+                            f"{identifier}: {reason}, so it cannot cross "
+                            "run_many's process-pool boundary"
+                        ),
+                        module=klass.module,
+                        lineno=field_symbol.lineno,
+                        col=klass.node.col_offset,
+                        evidence=(f"boundary path: {chain}",),
+                    )
+    yield from _lambda_construction_sites(project, closure)
+
+
+def _lambda_construction_sites(
+    project: ProjectContext,
+    closure: dict[str, tuple[ClassSymbol, bool, tuple[str, ...]]],
+) -> Iterator[BoundaryViolation]:
+    """Lambdas passed where a boundary type is constructed.
+
+    Construction sites are resolved directly (a dataclass ``__init__``
+    is generated, so the call graph has no edge to it): any call whose
+    function name resolves -- through the calling module's imports --
+    to a class in the boundary closure.
+    """
+    closure_names = set(closure)
+    for module_name, table in sorted(project.symbols().items()):
+        for node in ast.walk(table.context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func)
+            if target is None:
+                continue
+            constructed = _resolve_class(target, table, project.symbols())
+            if constructed is None or constructed.qualname not in closure_names:
+                continue
+            arguments = list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]
+            for argument in arguments:
+                for inner in ast.walk(argument):
+                    if isinstance(inner, ast.Lambda):
+                        yield BoundaryViolation(
+                            message=(
+                                f"lambda passed into {constructed.name}(); it "
+                                "cannot pickle across run_many's process-pool "
+                                "boundary"
+                            ),
+                            module=module_name,
+                            lineno=inner.lineno,
+                            col=inner.col_offset,
+                            evidence=(
+                                f"constructed in {module_name} at line "
+                                f"{node.lineno}",
+                            ),
+                        )

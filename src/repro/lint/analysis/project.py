@@ -1,0 +1,188 @@
+"""Whole-program context shared by the simcheck passes.
+
+A :class:`ProjectContext` holds every parsed module of one lint run,
+keyed by dotted module name, and lazily derives the project-level
+structures the flow-aware rules need: per-module symbol tables, the
+interprocedural call graph, and the module import graph (whose closure
+certifies the digest-reachable file set for the cache salt).
+
+``root_package`` scopes the analysis: only modules inside it are
+symbolized and analyzed, so lint runs over ``src tests`` analyze
+``repro.*`` without chewing on the test suite, and fixture
+mini-packages in tests can be analyzed under their own root.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.lint.analysis.symbols import ModuleSymbols
+from repro.lint.context import ModuleContext, collect_files
+
+if TYPE_CHECKING:
+    from repro.lint.analysis.callgraph import CallGraph
+
+__all__ = ["ProjectContext"]
+
+
+@dataclass
+class ProjectContext:
+    """Every parsed module of one lint run, plus derived project facts."""
+
+    #: Dotted module name -> parsed context, all files of the run.
+    modules: dict[str, ModuleContext]
+    #: Package whose modules the whole-program passes analyze.
+    root_package: str = "repro"
+    _symbols: dict[str, ModuleSymbols] | None = field(default=None, repr=False)
+    _import_graph: dict[str, set[str]] | None = field(default=None, repr=False)
+    _by_path: dict[str, ModuleContext] | None = field(default=None, repr=False)
+    _callgraph: object | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_contexts(
+        cls, contexts: Iterable[ModuleContext], root_package: str = "repro"
+    ) -> ProjectContext:
+        """Index already-parsed modules by dotted name."""
+        return cls(
+            modules={context.module: context for context in contexts},
+            root_package=root_package,
+        )
+
+    @classmethod
+    def from_paths(
+        cls, paths: Sequence[Path | str], root_package: str = "repro"
+    ) -> ProjectContext:
+        """Parse files/directories into a project (unparseable files skipped).
+
+        The runner reports unparseable files as SIM000 findings
+        separately; the whole-program passes simply proceed without
+        them.
+        """
+        contexts: list[ModuleContext] = []
+        for file_path in collect_files([Path(p) for p in paths]):
+            try:
+                contexts.append(ModuleContext.from_path(file_path))
+            except SyntaxError:
+                continue
+        return cls.from_contexts(contexts, root_package=root_package)
+
+    @classmethod
+    def from_root(cls, root: Path, package: str | None = None) -> ProjectContext:
+        """Parse one package directory, naming modules under ``package``.
+
+        ``root`` is the package directory itself (e.g. the installed
+        ``repro`` directory); ``package`` defaults to its basename.
+        Used by the cache salt, which must analyze the *installed*
+        sources regardless of the working directory.
+        """
+        package = package or root.name
+        contexts: list[ModuleContext] = []
+        for file_path in sorted(root.rglob("*.py")):
+            if "__pycache__" in file_path.parts:
+                continue
+            relative = file_path.relative_to(root)
+            module = ".".join((package, *relative.with_suffix("").parts))
+            if module.endswith(".__init__"):
+                module = module[: -len(".__init__")]
+            try:
+                contexts.append(
+                    ModuleContext.from_source(
+                        file_path.read_text(encoding="utf-8"),
+                        path=file_path,
+                        module=module,
+                    )
+                )
+            except SyntaxError:
+                continue
+        return cls.from_contexts(contexts, root_package=package)
+
+    def in_scope(self, module: str) -> bool:
+        """Whether a dotted module name falls under the analysis root."""
+        return module == self.root_package or module.startswith(
+            self.root_package + "."
+        )
+
+    def scoped_modules(self) -> dict[str, ModuleContext]:
+        """The in-scope subset of :attr:`modules`."""
+        return {
+            name: context
+            for name, context in self.modules.items()
+            if self.in_scope(name)
+        }
+
+    def symbols(self) -> dict[str, ModuleSymbols]:
+        """Per-module symbol tables for every in-scope module (cached)."""
+        if self._symbols is None:
+            self._symbols = {
+                name: ModuleSymbols.build(context)
+                for name, context in sorted(self.scoped_modules().items())
+            }
+        return self._symbols
+
+    def callgraph(self) -> "CallGraph":
+        """The project call graph (cached).  See :mod:`.callgraph`."""
+        from repro.lint.analysis.callgraph import CallGraph
+
+        if self._callgraph is None:
+            self._callgraph = CallGraph.build(self)
+        assert isinstance(self._callgraph, CallGraph)
+        return self._callgraph
+
+    def context_for_path(self, path: str | Path) -> ModuleContext | None:
+        """Look a module up by its source path (suppression filtering)."""
+        if self._by_path is None:
+            self._by_path = {
+                str(context.path): context for context in self.modules.values()
+            }
+        return self._by_path.get(str(path))
+
+    # -- import graph ---------------------------------------------------
+    def import_graph(self) -> dict[str, set[str]]:
+        """In-scope module -> in-scope modules it imports (cached).
+
+        ``from repro.x import name`` counts both ``repro.x`` and -- when
+        ``repro.x.name`` is itself a module of the project -- the
+        submodule, so re-exported packages link to their contents.
+        """
+        if self._import_graph is None:
+            known = set(self.scoped_modules())
+            graph: dict[str, set[str]] = {}
+            for name, table in self.symbols().items():
+                edges: set[str] = set()
+                for target in table.imports.values():
+                    edges.update(self._project_modules_of(target, known))
+                graph[name] = edges - {name}
+            self._import_graph = graph
+        return self._import_graph
+
+    def _project_modules_of(self, target: str, known: set[str]) -> set[str]:
+        """Project modules a dotted import target touches.
+
+        ``repro.carbon.trace.CarbonIntensityTrace`` touches
+        ``repro.carbon.trace`` (longest known prefix); importing a
+        package touches its ``__init__`` module.
+        """
+        touched: set[str] = set()
+        parts = target.split(".")
+        for length in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:length])
+            if prefix in known:
+                touched.add(prefix)
+                break
+        return touched
+
+    def import_closure(self, seeds: Iterable[str]) -> set[str]:
+        """Transitive import closure of ``seeds`` over in-scope modules."""
+        graph = self.import_graph()
+        seen: set[str] = set()
+        frontier = [seed for seed in seeds if seed in graph]
+        while frontier:
+            module = frontier.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            frontier.extend(graph.get(module, ()) - seen)
+        return seen

@@ -1,0 +1,253 @@
+"""Per-module symbol tables for the whole-program analysis passes.
+
+A :class:`ModuleSymbols` is the bridge between one parsed
+:class:`~repro.lint.context.ModuleContext` and the project-level
+layers: it resolves import aliases to dotted targets, indexes every
+function/method definition under its project-unique *qualname*
+(``repro.simulator.engine.Engine.run``), and records dataclass facts
+the pickle-safety pass needs (frozen-ness, field annotations).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.context import ModuleContext
+
+__all__ = [
+    "ClassSymbol",
+    "DataclassField",
+    "FunctionSymbol",
+    "ModuleSymbols",
+    "dotted_name",
+]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render an attribute chain like ``np.random.rand`` as a dotted string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One function or method definition, addressable project-wide."""
+
+    #: Dotted project-unique name: ``<module>[.<class>].<name>``.
+    qualname: str
+    module: str
+    name: str
+    #: Enclosing class name, or ``None`` for module-level functions.
+    owner: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Positional-or-keyword parameter names in order, ``self``/``cls``
+    #: already stripped for methods.
+    params: tuple[str, ...]
+    #: Whether the function accepts ``*args`` (disables positional
+    #: argument matching at call sites).
+    has_varargs: bool
+
+    @property
+    def lineno(self) -> int:
+        """Source line of the ``def`` statement."""
+        return self.node.lineno
+
+
+@dataclass(frozen=True)
+class DataclassField:
+    """One annotated dataclass field (pickle-safety raw material)."""
+
+    name: str
+    annotation: ast.expr | None
+    default: ast.expr | None
+    lineno: int
+
+
+@dataclass(frozen=True)
+class ClassSymbol:
+    """One class definition with the facts the analyses consult."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Base classes as written (dotted strings; unresolvable bases dropped).
+    bases: tuple[str, ...]
+    methods: dict[str, FunctionSymbol]
+    is_dataclass: bool
+    dataclass_frozen: bool
+    fields: tuple[DataclassField, ...]
+
+    @property
+    def lineno(self) -> int:
+        """Source line of the ``class`` statement."""
+        return self.node.lineno
+
+
+def _decorator_dataclass_facts(node: ast.ClassDef) -> tuple[bool, bool]:
+    """Whether a class is decorated as a dataclass, and whether frozen."""
+    for decorator in node.decorator_list:
+        call = decorator if isinstance(decorator, ast.Call) else None
+        target = call.func if call is not None else decorator
+        name = dotted_name(target) or ""
+        if name in ("dataclass", "dataclasses.dataclass"):
+            frozen = False
+            if call is not None:
+                for keyword in call.keywords:
+                    if keyword.arg == "frozen" and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        frozen = bool(keyword.value.value)
+            return True, frozen
+    return False, False
+
+
+def _function_symbol(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, module: str, owner: str | None
+) -> FunctionSymbol:
+    params = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+    if owner is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    qualname = f"{module}.{owner}.{node.name}" if owner else f"{module}.{node.name}"
+    return FunctionSymbol(
+        qualname=qualname,
+        module=module,
+        name=node.name,
+        owner=owner,
+        node=node,
+        params=tuple(params),
+        has_varargs=node.args.vararg is not None,
+    )
+
+
+def _class_fields(node: ast.ClassDef) -> tuple[DataclassField, ...]:
+    fields: list[DataclassField] = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            fields.append(
+                DataclassField(
+                    name=statement.target.id,
+                    annotation=statement.annotation,
+                    default=statement.value,
+                    lineno=statement.lineno,
+                )
+            )
+    return tuple(fields)
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbol table of one module: imports, functions, classes."""
+
+    context: ModuleContext
+    module: str
+    #: Local name -> dotted target.  ``import numpy as np`` maps ``np ->
+    #: numpy``; ``from repro.x import f`` maps ``f -> repro.x.f``.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level functions and methods by *local* qualname
+    #: (``run_reference``, ``Engine.run``).
+    functions: dict[str, FunctionSymbol] = field(default_factory=dict)
+    classes: dict[str, ClassSymbol] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, context: ModuleContext) -> ModuleSymbols:
+        """Extract the symbol table from one parsed module."""
+        table = cls(context=context, module=context.module)
+        table._collect_imports()
+        for statement in context.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = _function_symbol(statement, context.module, owner=None)
+                table.functions[statement.name] = symbol
+            elif isinstance(statement, ast.ClassDef):
+                table._collect_class(statement)
+        return table
+
+    def _collect_imports(self) -> None:
+        package = self._package_name()
+        for node in ast.walk(self.context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _package_name(self) -> str:
+        """The package this module's relative imports resolve against."""
+        if self.context.path.name == "__init__.py":
+            return self.module
+        head, _, _tail = self.module.rpartition(".")
+        return head
+
+    @staticmethod
+    def _resolve_from_base(node: ast.ImportFrom, package: str) -> str | None:
+        if node.level == 0:
+            return node.module
+        parts = package.split(".") if package else []
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None
+        base_parts = parts[: len(parts) - ascend] if ascend else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        methods: dict[str, FunctionSymbol] = {}
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[statement.name] = _function_symbol(
+                    statement, self.module, owner=node.name
+                )
+        bases = tuple(
+            name for name in (dotted_name(base) for base in node.bases) if name
+        )
+        is_dataclass, frozen = _decorator_dataclass_facts(node)
+        self.classes[node.name] = ClassSymbol(
+            qualname=f"{self.module}.{node.name}",
+            module=self.module,
+            name=node.name,
+            node=node,
+            bases=bases,
+            methods=methods,
+            is_dataclass=is_dataclass,
+            dataclass_frozen=frozen,
+            fields=_class_fields(node),
+        )
+
+    def resolve(self, name: str) -> str:
+        """Resolve a (possibly dotted) local name to its dotted target.
+
+        ``np.random.rand`` resolves through the ``np -> numpy`` alias to
+        ``numpy.random.rand``; unresolvable heads return the name as
+        written.
+        """
+        head, _, tail = name.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return name
+        return f"{target}.{tail}" if tail else target
+
+    def all_functions(self) -> list[FunctionSymbol]:
+        """Every function and method defined in this module."""
+        symbols = list(self.functions.values())
+        for klass in self.classes.values():
+            symbols.extend(klass.methods.values())
+        return symbols

@@ -1,0 +1,274 @@
+"""Interprocedural unit-flow inference (the engine behind SIM101).
+
+SIM003 checks unit suffixes *per expression*; this layer follows the
+quantities.  Unit families are seeded from the repository's suffix
+convention (``carbon_g``, ``energy_kwh``, ``usage_cost`` -- see
+:func:`repro.lint.rules.sim003_unit_suffixes.unit_family`) and
+propagated through assignments, function returns, and resolved call
+edges, so a gram-valued expression reaching a ``_kg`` parameter two
+modules away is still a typed mismatch.
+
+Propagation is deliberately conservative: only ``+``/``-`` preserve a
+family (multiplication and division legitimately change units), only
+*known, conflicting* families are reported, and unresolved calls infer
+nothing.  Precision over recall -- every finding should read as a real
+unit bug or an honest naming drift.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.analysis.callgraph import CallGraph, CallSite
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.symbols import FunctionSymbol
+from repro.lint.analysis.units import unit_family
+
+__all__ = ["UnitMismatch", "function_return_families", "unit_flow_mismatches"]
+
+#: Fixpoint bound for return-family propagation through call chains.
+_MAX_PASSES = 5
+
+
+@dataclass(frozen=True)
+class UnitMismatch:
+    """One cross-expression unit-family conflict."""
+
+    #: ``argument`` | ``keyword-argument`` | ``assignment`` | ``return``.
+    kind: str
+    message: str
+    module: str
+    lineno: int
+    col: int
+    #: Human-readable flow evidence (caller -> callee, families).
+    evidence: tuple[str, ...]
+
+
+def _family_of_name(name: str) -> str | None:
+    return unit_family(name)
+
+
+class _FunctionFlow:
+    """Per-function unit environment: parameter/local name families."""
+
+    def __init__(
+        self,
+        symbol: FunctionSymbol,
+        returns: dict[str, str],
+        graph: CallGraph,
+    ):
+        self.symbol = symbol
+        self.returns = returns
+        self.graph = graph
+        self._callees_by_node: dict[int, str] = {
+            id(site.node): site.callee for site in graph.sites_in(symbol.qualname)
+        }
+        self.env: dict[str, str] = {}
+        for param in symbol.params:
+            family = _family_of_name(param)
+            if family is not None:
+                self.env[param] = family
+        #: Names whose family was *inferred* from flow rather than read
+        #: off their own suffix (drives SIM101/SIM003 division of labor).
+        self.inferred: set[str] = set()
+        self._seed_assignments()
+
+    def _seed_assignments(self) -> None:
+        for node in ast.walk(self.symbol.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                declared = _family_of_name(target.id)
+                if declared is not None:
+                    self.env.setdefault(target.id, declared)
+                    continue
+                inferred = self.expression_family(node.value)
+                if inferred is not None:
+                    self.env[target.id] = inferred
+                    self.inferred.add(target.id)
+
+    def expression_family(self, node: ast.expr) -> str | None:
+        """The unit family of an expression, or ``None`` when unknown."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or _family_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return _family_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            callee = self._callees_by_node.get(id(node))
+            if callee is not None:
+                return self.returns.get(callee)
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left = self.expression_family(node.left)
+            right = self.expression_family(node.right)
+            if left is not None and left == right:
+                return left
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.expression_family(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.expression_family(node.body)
+            orelse = self.expression_family(node.orelse)
+            return body if body is not None and body == orelse else None
+        return None
+
+    def is_inferred(self, node: ast.expr) -> bool:
+        """Whether the expression's family came from flow, not a suffix."""
+        if isinstance(node, ast.Name):
+            return node.id in self.inferred
+        if isinstance(node, (ast.Attribute, ast.Constant)):
+            return False
+        return True  # calls, arithmetic: by construction flow-inferred
+
+
+def function_return_families(
+    project: ProjectContext, graph: CallGraph | None = None
+) -> dict[str, str]:
+    """Return-unit families per function qualname, to a fixpoint.
+
+    A family comes from the function's own name suffix when present
+    (``def added_carbon_g(...)``), else from agreeing families of every
+    ``return`` expression; conflicting or unknown returns infer nothing.
+    """
+    graph = graph or project.callgraph()
+    returns: dict[str, str] = {}
+    for qualname, symbol in graph.functions.items():
+        family = _family_of_name(symbol.name)
+        if family is not None:
+            returns[qualname] = family
+    for _ in range(_MAX_PASSES):
+        changed = False
+        for qualname, symbol in graph.functions.items():
+            if qualname in returns:
+                continue
+            flow = _FunctionFlow(symbol, returns, graph)
+            families = set()
+            for node in ast.walk(symbol.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    families.add(flow.expression_family(node.value))
+            if len(families) == 1:
+                family = families.pop()
+                if family is not None:
+                    returns[qualname] = family
+                    changed = True
+        if not changed:
+            break
+    return returns
+
+
+def _call_argument_pairs(
+    site: CallSite, callee: FunctionSymbol
+) -> Iterator[tuple[ast.expr, str, str]]:
+    """Yield ``(argument, parameter_name, kind)`` for one resolved call."""
+    if not callee.has_varargs:
+        for position, argument in enumerate(site.node.args):
+            if isinstance(argument, ast.Starred):
+                return  # positional mapping unknowable past a splat
+            if position < len(callee.params):
+                yield argument, callee.params[position], "argument"
+    for keyword in site.node.keywords:
+        if keyword.arg is not None:
+            yield keyword.value, keyword.arg, "keyword-argument"
+
+
+def unit_flow_mismatches(project: ProjectContext) -> Iterator[UnitMismatch]:
+    """Every unit-family conflict the flow analysis can prove.
+
+    Three shapes: a call argument whose family conflicts with the
+    parameter's declared suffix (positional arguments always; keyword
+    arguments only when the argument family was flow-inferred, since
+    suffix-vs-suffix keyword conflicts are SIM003's per-expression
+    finding); an assignment whose target suffix conflicts with the
+    value's family; and a ``return`` whose family conflicts with the
+    function's own name suffix.
+    """
+    graph = project.callgraph()
+    returns = function_return_families(project, graph)
+    for qualname in sorted(graph.functions):
+        symbol = graph.functions[qualname]
+        flow = _FunctionFlow(symbol, returns, graph)
+
+        for site in graph.sites_in(qualname):
+            callee = graph.functions[site.callee]
+            for argument, parameter, kind in _call_argument_pairs(site, callee):
+                parameter_family = _family_of_name(parameter)
+                if parameter_family is None:
+                    continue
+                argument_family = flow.expression_family(argument)
+                if argument_family is None or argument_family == parameter_family:
+                    continue
+                if kind == "keyword-argument" and not flow.is_inferred(argument):
+                    continue  # SIM003 territory: suffix vs suffix at the call
+                label = ast.unparse(argument)
+                yield UnitMismatch(
+                    kind=kind,
+                    message=(
+                        f"passing {label!r} ({argument_family}) to parameter "
+                        f"{parameter!r} ({parameter_family}) of {site.callee}()"
+                    ),
+                    module=symbol.module,
+                    lineno=argument.lineno,
+                    col=argument.col_offset,
+                    evidence=(
+                        f"caller {qualname} at line {site.lineno}",
+                        f"callee {site.callee} declares {parameter!r} "
+                        f"as {parameter_family}",
+                        f"argument {label!r} carries {argument_family}",
+                    ),
+                )
+
+        for node in ast.walk(symbol.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                declared = _family_of_name(target.id)
+                if declared is None:
+                    continue
+                value_family = flow.expression_family(node.value)
+                if (
+                    value_family is not None
+                    and value_family != declared
+                    and (
+                        flow.is_inferred(node.value)
+                        or isinstance(node.value, (ast.Name, ast.Attribute))
+                    )
+                ):
+                    yield UnitMismatch(
+                        kind="assignment",
+                        message=(
+                            f"assigning a {value_family} value to "
+                            f"{target.id!r} ({declared})"
+                        ),
+                        module=symbol.module,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        evidence=(
+                            f"in {qualname}",
+                            f"value is {value_family}, target suffix "
+                            f"declares {declared}",
+                        ),
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                declared = _family_of_name(symbol.name)
+                if declared is None:
+                    continue
+                value_family = flow.expression_family(node.value)
+                if value_family is not None and value_family != declared:
+                    yield UnitMismatch(
+                        kind="return",
+                        message=(
+                            f"{qualname}() is suffixed {declared} but returns "
+                            f"a {value_family} value"
+                        ),
+                        module=symbol.module,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        evidence=(
+                            f"function name declares {declared}",
+                            f"returned expression carries {value_family}",
+                        ),
+                    )

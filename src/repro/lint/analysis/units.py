@@ -1,0 +1,39 @@
+"""Unit-suffix vocabulary shared by SIM003 and the SIM101 flow analysis.
+
+The codebase encodes physical units in name suffixes (``carbon_g``,
+``energy_kwh``, ``price_per_hour``); :func:`unit_family` maps a name to
+its unit family, or ``None`` when the name carries no unit.  Lives in
+the analysis layer so both the per-module rule and the whole-program
+flow pass share one vocabulary without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SUFFIX_FAMILIES", "unit_family"]
+
+#: Map of recognized unit suffixes to their unit family.
+SUFFIX_FAMILIES = {
+    "g": "carbon-mass[g]",
+    "kg": "carbon-mass[kg]",
+    "kwh": "energy[kWh]",
+    "kw": "power[kW]",
+    "usd": "money[USD]",
+    "cost": "money[USD]",
+    "per_hour": "rate[/h]",
+    "per_kwh": "rate[/kWh]",
+}
+
+
+def unit_family(name: str) -> str | None:
+    """The unit family a suffixed name belongs to, or ``None``."""
+    lowered = name.lower()
+    if lowered.endswith("_per_hour"):
+        return SUFFIX_FAMILIES["per_hour"]
+    if lowered.endswith("_per_kwh"):
+        return SUFFIX_FAMILIES["per_kwh"]
+    if lowered == "cost" or lowered.endswith("_cost"):
+        return SUFFIX_FAMILIES["cost"]
+    tail = lowered.rsplit("_", 1)[-1]
+    if tail != lowered and tail in SUFFIX_FAMILIES:
+        return SUFFIX_FAMILIES[tail]
+    return None

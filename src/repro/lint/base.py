@@ -14,12 +14,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 
-__all__ = ["Rule", "register", "all_rules", "get_rule"]
+if TYPE_CHECKING:
+    from repro.lint.analysis.project import ProjectContext
+
+__all__ = ["ProjectRule", "Rule", "register", "all_rules", "get_rule"]
 
 _REGISTRY: dict[str, type[Rule]] = {}
 
@@ -51,6 +55,25 @@ class Rule(ABC):
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (simcheck) rules.
+
+    A project rule sees every parsed module of the lint run at once via
+    a :class:`~repro.lint.analysis.project.ProjectContext` -- symbol
+    tables, call graph, import closure -- instead of one module at a
+    time.  ``check`` (the per-module hook) is a no-op; the runner calls
+    :meth:`check_project` once per run instead.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Project rules produce nothing per-module."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole project."""
 
 
 def register(rule_class: type[Rule]) -> type[Rule]:

@@ -5,25 +5,40 @@ Usage::
     python -m repro.lint src tests          # lint trees, exit 1 on findings
     python -m repro.lint --list-rules       # rule codes + rationales
     python -m repro.lint --select SIM001 src/repro/policies
+    python -m repro.lint --format json src  # machine-readable report
+    python -m repro.lint --write-baseline simlint-baseline.json src tests
+    python -m repro.lint --baseline simlint-baseline.json src tests
 
-Findings print one per line as ``path:line:col: CODE message``; the
-exit status is the number of findings capped at 1, so CI can gate on
-it (2 for usage errors: unknown rule codes, nonexistent paths).  See
-docs/linting.md for the rule catalogue and the
-``# simlint: disable=CODE`` suppression syntax.
+Findings print one per line as ``path:line:col: CODE message`` (or as a
+JSON report with ``--format json``, including the SIM102
+certified-reachable-set evidence); the exit status is the number of
+findings capped at 1, so CI can gate on it (2 for usage errors: unknown
+rule codes, nonexistent paths, unreadable baselines).  With
+``--baseline``, previously recorded findings are filtered out and only
+*new* ones fail the run.  See docs/linting.md for the rule catalogue,
+the baseline workflow, and the ``# simlint: disable=CODE`` suppression
+syntax.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.lint.analysis.certify import certified_modules, entry_functions
+from repro.lint.analysis.project import ProjectContext
 from repro.lint.base import all_rules
-from repro.lint.runner import lint_paths
+from repro.lint.findings import Finding
+from repro.lint.runner import lint_paths_with_project
 
 __all__ = ["main"]
+
+#: Schema version of the JSON report and baseline formats.
+_REPORT_VERSION = 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of accepted findings; only new ones fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule with its rationale and exit",
     )
@@ -60,6 +87,64 @@ def _split(spec: str | None) -> list[str] | None:
     return [code.strip() for code in spec.split(",") if code.strip()]
 
 
+def _load_baseline(path: str) -> set[str]:
+    """The accepted finding keys recorded in a baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigError(f"cannot read baseline {path}: {error}") from error
+    keys = payload.get("keys") if isinstance(payload, dict) else None
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise ConfigError(
+            f"baseline {path} is malformed: expected {{'keys': [str, ...]}}"
+        )
+    return set(keys)
+
+
+def _write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Record the given findings' keys as the new baseline."""
+    payload = {
+        "version": _REPORT_VERSION,
+        "keys": sorted({finding.baseline_key() for finding in findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _certification_report(project: ProjectContext) -> dict | None:
+    """The SIM102 certified-reachable-set section of the JSON report.
+
+    ``None`` when the linted tree defines no digest entry point (e.g. a
+    partial run over a single module).
+    """
+    entries = entry_functions(project)
+    if not entries:
+        return None
+    modules = certified_modules(project)
+    reachable = project.callgraph().reachable(sorted(entries))
+    return {
+        "entry_points": sorted(entries),
+        "reachable_functions": sorted(reachable),
+        "certified_modules": sorted(modules),
+        "certified_files": sorted(
+            str(project.modules[name].path) for name in modules
+        ),
+    }
+
+
+def _json_report(
+    findings: Sequence[Finding],
+    baselined: int,
+    project: ProjectContext,
+) -> str:
+    report = {
+        "version": _REPORT_VERSION,
+        "findings": [finding.to_record() for finding in findings],
+        "baselined": baselined,
+        "certification": _certification_report(project),
+    }
+    return json.dumps(report, indent=2)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the linter; return a process exit status (0 = clean)."""
     args = _build_parser().parse_args(argv)
@@ -71,15 +156,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     try:
-        findings = lint_paths(
+        baseline = _load_baseline(args.baseline) if args.baseline else set()
+        findings, project = lint_paths_with_project(
             args.paths, select=_split(args.select), ignore=_split(args.ignore)
         )
     except ConfigError as error:
         print(f"simlint: error: {error}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
+
+    if args.write_baseline:
+        _write_baseline(args.write_baseline, findings)
+        if not args.quiet:
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(
+                f"simlint: baseline of {len(findings)} {noun} written to "
+                f"{args.write_baseline}",
+                file=sys.stderr,
+            )
+        return 0
+
+    new = [f for f in findings if f.baseline_key() not in baseline]
+    baselined = len(findings) - len(new)
+
+    if args.format == "json":
+        print(_json_report(new, baselined, project))
+    else:
+        for finding in new:
+            print(finding.render())
     if not args.quiet:
-        noun = "finding" if len(findings) == 1 else "findings"
-        print(f"simlint: {len(findings)} {noun}", file=sys.stderr)
-    return 1 if findings else 0
+        noun = "finding" if len(new) == 1 else "findings"
+        suffix = f" ({baselined} baselined)" if baselined else ""
+        print(f"simlint: {len(new)} {noun}{suffix}", file=sys.stderr)
+    return 1 if new else 0

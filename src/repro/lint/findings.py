@@ -21,7 +21,30 @@ class Finding:
     col: int
     code: str
     message: str
+    #: Whole-program evidence (e.g. the SIM102 call chain proving
+    #: reachability); empty for per-module rules.  Rendered by the JSON
+    #: format and ``--explain``-style tooling, not the one-line form.
+    evidence: tuple[str, ...] = ()
 
     def render(self) -> str:
         """Format as the conventional ``path:line:col: CODE message``."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_record(self) -> dict:
+        """The structured (JSON-ready) form of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "evidence": list(self.evidence),
+        }
+
+    def baseline_key(self) -> str:
+        """Identity used by ``--baseline`` matching.
+
+        Deliberately excludes line/col (and evidence) so unrelated edits
+        that shift a known finding do not resurface it as new.
+        """
+        return f"{self.path}::{self.code}::{self.message}"

@@ -17,6 +17,9 @@ from repro.lint.rules.sim006_mutable_defaults import MutableDefaults
 from repro.lint.rules.sim007_export_hygiene import ExportHygiene
 from repro.lint.rules.sim008_docstrings import PublicDocstrings
 from repro.lint.rules.sim009_method_docstrings import MethodDocstrings
+from repro.lint.rules.sim101_unit_flow import UnitFlow
+from repro.lint.rules.sim102_digest_safety import DigestSafety
+from repro.lint.rules.sim103_pool_boundary import PoolBoundary
 
 __all__ = [
     "UnseededRandomness",
@@ -28,4 +31,7 @@ __all__ = [
     "ExportHygiene",
     "PublicDocstrings",
     "MethodDocstrings",
+    "UnitFlow",
+    "DigestSafety",
+    "PoolBoundary",
 ]

@@ -13,42 +13,17 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.lint.analysis.hazards import (
+    SEEDED_CONSTRUCTORS as _SEEDED_CONSTRUCTORS,
+    WALL_CLOCK_DATETIME as _WALL_CLOCK_DATETIME,
+    WALL_CLOCK_TIME as _WALL_CLOCK_TIME,
+)
+from repro.lint.analysis.symbols import dotted_name as _dotted
 from repro.lint.base import Rule, register
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 
 __all__ = ["UnseededRandomness"]
-
-#: numpy.random attributes that construct explicitly seeded generators.
-_SEEDED_CONSTRUCTORS = {
-    "default_rng",
-    "Generator",
-    "SeedSequence",
-    "RandomState",
-    "PCG64",
-    "Philox",
-    "MT19937",
-    "SFC64",
-}
-
-#: Wall-clock reads on the ``time`` module (monotonic/perf_counter are
-#: allowed: they are profiling tools, not simulation inputs).
-_WALL_CLOCK_TIME = {"time", "time_ns", "localtime", "gmtime"}
-
-#: Wall-clock constructors on datetime/date classes.
-_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
-
-
-def _dotted(node: ast.expr) -> str | None:
-    """Render an attribute chain like ``np.random.rand`` as a dotted string."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 @register

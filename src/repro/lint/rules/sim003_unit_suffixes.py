@@ -23,44 +23,18 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from repro.lint.analysis.units import unit_family
 from repro.lint.base import Rule, register
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 
 __all__ = ["UnitSuffixes", "unit_family"]
 
-#: Map of recognized unit suffixes to their unit family.
-_SUFFIX_FAMILIES = {
-    "g": "carbon-mass[g]",
-    "kg": "carbon-mass[kg]",
-    "kwh": "energy[kWh]",
-    "kw": "power[kW]",
-    "usd": "money[USD]",
-    "cost": "money[USD]",
-    "per_hour": "rate[/h]",
-    "per_kwh": "rate[/kWh]",
-}
-
 #: Bare quantity stems that need a unit suffix when assigned numbers.
 _BARE_STEMS = {"carbon", "energy", "cost", "price"}
 
 #: Substrings marking a call as producing a unit-bearing quantity.
 _QUANTITY_CALL_MARKERS = ("carbon", "energy", "cost", "price")
-
-
-def unit_family(name: str) -> str | None:
-    """The unit family a suffixed name belongs to, or ``None``."""
-    lowered = name.lower()
-    if lowered.endswith("_per_hour"):
-        return _SUFFIX_FAMILIES["per_hour"]
-    if lowered.endswith("_per_kwh"):
-        return _SUFFIX_FAMILIES["per_kwh"]
-    if lowered == "cost" or lowered.endswith("_cost"):
-        return _SUFFIX_FAMILIES["cost"]
-    tail = lowered.rsplit("_", 1)[-1]
-    if tail != lowered and tail in _SUFFIX_FAMILIES:
-        return _SUFFIX_FAMILIES[tail]
-    return None
 
 
 def _operand_name(node: ast.expr) -> str | None:

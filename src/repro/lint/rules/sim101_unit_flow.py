@@ -1,0 +1,51 @@
+"""SIM101 -- interprocedural unit-flow discipline.
+
+SIM003 polices unit suffixes one expression at a time; it cannot see a
+gram-valued call result assigned to a ``_kg`` name, nor a ``_g`` local
+passed *positionally* into a ``_kg`` parameter defined two modules
+away.  SIM101 runs the whole-program unit-flow inference
+(:mod:`repro.lint.analysis.unitflow`): families seed from the suffix
+convention, propagate through assignments, returns, and resolved call
+edges, and every provable cross-expression conflict is reported with
+its flow evidence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.unitflow import unit_flow_mismatches
+from repro.lint.base import ProjectRule, register
+from repro.lint.findings import Finding
+
+__all__ = ["UnitFlow"]
+
+
+@register
+class UnitFlow(ProjectRule):
+    """Flag unit-family conflicts that flow across expressions and calls."""
+
+    code = "SIM101"
+    name = "unit-flow"
+    rationale = (
+        "gCO2eq/kWh/USD quantities keep their unit family along every "
+        "assignment, return, and call edge; a _g value reaching a _kg "
+        "parameter across modules is a silent 1000x accounting error "
+        "SIM003's per-expression view cannot see."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Report every provable cross-expression unit-family conflict."""
+        for mismatch in unit_flow_mismatches(project):
+            context = project.modules.get(mismatch.module)
+            if context is None:
+                continue
+            yield Finding(
+                path=str(context.path),
+                line=mismatch.lineno,
+                col=mismatch.col,
+                code=self.code,
+                message=f"[{mismatch.kind}] {mismatch.message}",
+                evidence=mismatch.evidence,
+            )

@@ -1,0 +1,69 @@
+"""SIM102 -- digest-safety certification of the reachable simulation core.
+
+The result cache trusts that a :meth:`SimulationSpec.digest` plus the
+code-version salt fully determine a simulation's output.  That trust
+fails if anything *reachable* from the digest-relevant entry points
+(``Engine.run``, ``run_reference``, policy ``decide`` implementations,
+``SimulationSpec.digest``, ``repro.faults.apply``) consults hidden
+process state.  SIM001 already flags direct hazardous calls per module;
+SIM102 walks the interprocedural call graph from the entry points and
+flags, with the call chain as evidence, the shapes indirection hides:
+hazardous callables stored as values, ``os.environ`` reads, unseedable
+entropy, and string-set iteration (ordered by the per-process hash
+seed).
+
+The pass's certified reachable-file set is also the input to the cache
+salt -- see :func:`repro.lint.analysis.certify.certified_files` and
+``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.analysis.certify import entry_functions, reachable_functions
+from repro.lint.analysis.hazards import function_hazards
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.base import ProjectRule, register
+from repro.lint.findings import Finding
+
+__all__ = ["DigestSafety"]
+
+
+@register
+class DigestSafety(ProjectRule):
+    """Certify the digest-reachable call graph free of hidden state."""
+
+    code = "SIM102"
+    name = "digest-safety"
+    rationale = (
+        "Cached results are keyed by spec digest + code salt; any "
+        "randomness, wall-clock, environment, or hash-order dependence "
+        "reachable from the digest entry points makes bit-identical "
+        "replays impossible and cache hits silently wrong."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Scan every digest-reachable function for determinism hazards."""
+        if not entry_functions(project):
+            return  # nothing to certify in this tree (partial lint run)
+        graph = project.callgraph()
+        symbols = project.symbols()
+        for qualname, chain in sorted(reachable_functions(project).items()):
+            symbol = graph.functions[qualname]
+            table = symbols[symbol.module]
+            context = project.modules.get(symbol.module)
+            if context is None:
+                continue
+            for hazard in function_hazards(symbol, table):
+                yield Finding(
+                    path=str(context.path),
+                    line=hazard.lineno,
+                    col=hazard.col,
+                    code=self.code,
+                    message=(
+                        f"[{hazard.kind}] {hazard.message} "
+                        f"(digest-reachable via {' -> '.join(chain)})"
+                    ),
+                    evidence=chain,
+                )

@@ -1,0 +1,52 @@
+"""SIM103 -- pickle safety across the ``run_many`` worker-pool boundary.
+
+Specs ship to ``ProcessPoolExecutor`` workers and results ship back;
+both must pickle, and specs additionally serve as cache and dedup keys
+so their whole dataclass closure must be frozen.  A lambda, a live
+tracer, a lock, or an open handle that sneaks into the closure only
+explodes at sweep time inside a worker traceback.  SIM103 walks the
+registered boundary roots
+(:data:`~repro.lint.analysis.entrypoints.POOL_BOUNDARY_ROOTS`) field by
+field and reports every statically-provable violation, including lambda
+arguments at construction sites anywhere in the project.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.lint.analysis.pickles import boundary_violations
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.base import ProjectRule, register
+from repro.lint.findings import Finding
+
+__all__ = ["PoolBoundary"]
+
+
+@register
+class PoolBoundary(ProjectRule):
+    """Verify every type crossing the worker pool is frozen/picklable."""
+
+    code = "SIM103"
+    name = "pool-boundary"
+    rationale = (
+        "run_many ships specs to worker processes and results back; an "
+        "unpicklable field (lambda, lock, handle, live tracer) or a "
+        "mutable spec breaks sweeps at runtime, deep inside a worker "
+        "traceback instead of at definition time."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Report every statically-provable pool-boundary pickle hazard."""
+        for violation in boundary_violations(project):
+            context = project.modules.get(violation.module)
+            if context is None:
+                continue
+            yield Finding(
+                path=str(context.path),
+                line=violation.lineno,
+                col=violation.col,
+                code=self.code,
+                message=violation.message,
+                evidence=violation.evidence,
+            )

@@ -2,9 +2,11 @@
 
 ``lint_paths`` is the programmatic entry point used by the CLI and the
 test suite: expand paths to ``.py`` files, parse each into a
-:class:`ModuleContext`, run every applicable rule, and drop findings
-silenced by inline suppressions.  Unparseable files surface as SIM000
-findings (never suppressible) instead of crashing the run.
+:class:`ModuleContext`, run every applicable per-module rule, then run
+the whole-program (simcheck) rules once over the assembled
+:class:`~repro.lint.analysis.project.ProjectContext` -- and drop
+findings silenced by inline suppressions.  Unparseable files surface as
+SIM000 findings (never suppressible) instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -13,18 +15,19 @@ from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.errors import ConfigError
-from repro.lint.base import Rule, all_rules
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.base import ProjectRule, Rule, all_rules
 from repro.lint.context import ModuleContext, collect_files
 from repro.lint.findings import Finding
 
-__all__ = ["lint_module", "lint_paths"]
+__all__ = ["lint_module", "lint_paths", "lint_paths_with_project", "lint_project"]
 
 
 def lint_module(module: ModuleContext, rules: Iterable[Rule]) -> list[Finding]:
     """Run the given rules over one parsed module, honoring suppressions."""
     findings: list[Finding] = []
     for rule in rules:
-        if not rule.applies_to(module):
+        if isinstance(rule, ProjectRule) or not rule.applies_to(module):
             continue
         for finding in rule.check(module):
             if not module.suppressions.is_suppressed(finding):
@@ -32,18 +35,28 @@ def lint_module(module: ModuleContext, rules: Iterable[Rule]) -> list[Finding]:
     return sorted(findings)
 
 
-def lint_paths(
-    paths: Sequence[Path | str],
-    select: Iterable[str] | None = None,
-    ignore: Iterable[str] | None = None,
-) -> list[Finding]:
-    """Lint files/directories; return all unsuppressed findings, sorted.
+def lint_project(project: ProjectContext, rules: Iterable[Rule]) -> list[Finding]:
+    """Run the whole-program rules once, honoring per-line suppressions.
 
-    ``select`` restricts to the given codes; ``ignore`` drops codes.
-    Unknown codes and nonexistent paths raise :class:`ConfigError`
-    rather than silently linting nothing -- a typo must not turn into
-    a green CI run.
+    A project-rule finding is suppressed exactly like a per-module one:
+    by a ``# simlint: disable=CODE`` comment in the file the finding
+    points into.
     """
+    findings: list[Finding] = []
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(project):
+            context = project.context_for_path(finding.path)
+            if context is not None and context.suppressions.is_suppressed(finding):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def _selected_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
     rules = all_rules()
     known = {rule.code for rule in rules}
     if select is not None:
@@ -58,6 +71,25 @@ def lint_paths(
         if unknown:
             raise ConfigError(f"unknown rule code(s) in --ignore: {', '.join(unknown)}")
         rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def lint_paths_with_project(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    root_package: str = "repro",
+) -> tuple[list[Finding], ProjectContext]:
+    """Lint files/directories; return (findings, project context).
+
+    ``select`` restricts to the given codes; ``ignore`` drops codes.
+    Unknown codes and nonexistent paths raise :class:`ConfigError`
+    rather than silently linting nothing -- a typo must not turn into
+    a green CI run.  The returned project context holds every module
+    that parsed, whether or not any project rule ran; the CLI reuses it
+    for the certified-reachable-set section of the JSON report.
+    """
+    rules = _selected_rules(select, ignore)
 
     resolved = [Path(p) for p in paths]
     missing = [str(p) for p in resolved if not p.exists()]
@@ -65,6 +97,7 @@ def lint_paths(
         raise ConfigError(f"no such file or directory: {', '.join(missing)}")
 
     findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
     for file_path in collect_files(resolved):
         try:
             module = ModuleContext.from_path(file_path)
@@ -79,5 +112,18 @@ def lint_paths(
                 )
             )
             continue
+        contexts.append(module)
         findings.extend(lint_module(module, rules))
-    return sorted(findings)
+    project = ProjectContext.from_contexts(contexts, root_package=root_package)
+    findings.extend(lint_project(project, rules))
+    return sorted(findings), project
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files/directories; return all unsuppressed findings, sorted."""
+    findings, _project = lint_paths_with_project(paths, select=select, ignore=ignore)
+    return findings

@@ -135,7 +135,9 @@ def tracer_from_env(environ: dict[str, str] | None = None) -> Tracer:
     if environ is None:
         import os
 
-        env: Any = os.environ
+        # Deliberate env read: $REPRO_TRACE only toggles trace *emission*;
+        # it cannot change any field of SimulationResult (see docs/linting.md).
+        env: Any = os.environ  # simlint: disable=SIM102
     else:
         env = environ
     raw = env.get("REPRO_TRACE", "")

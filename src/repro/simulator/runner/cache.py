@@ -2,11 +2,25 @@
 
 Results are keyed by ``sha256(code_version_salt + spec.digest())``: the
 spec digest covers every simulation input, and the code-version salt --
-a hash of the ``repro`` sources that can affect simulation outputs --
-invalidates all entries whenever the simulator, policies, or models
-change.  The experiment/analysis/lint layers are deliberately excluded
-from the salt: editing a figure script must not evict the simulations it
-re-plots.
+a fingerprint of the ``repro`` sources that can affect simulation
+outputs -- invalidates all entries whenever the simulator, policies, or
+models change.
+
+The salt is *analysis-derived*: simcheck's digest-safety certification
+(:func:`repro.lint.analysis.certify.certified_files`) computes the set
+of files reachable from the digest entry points (``Engine.run``,
+``run_reference``, policy ``decide`` implementations,
+``SimulationSpec.digest``, ``repro.faults.apply``) as the union of the
+interprocedural call-graph closure and the module import closure -- a
+sound file-granularity over-approximation.  Each certified file is
+hashed in AST-normalized form (docstrings, comments, and formatting
+stripped), so a comment-only edit to the engine no longer evicts a
+warmed sweep cache while any semantic edit still does.  The
+experiment/analysis/lint layers fall outside the certified set: editing
+a figure script -- or the analyzer itself -- must not evict the
+simulations it re-plots.  If certification fails for any reason the
+salt falls back to byte-hashing the packages in ``_SALTED_PACKAGES``,
+which can only over-evict, never serve stale results.
 
 The in-memory layer is always on; the on-disk layer is opt-in via
 ``$REPRO_CACHE_DIR`` (explicit directory) or ``$REPRO_DISK_CACHE=1``
@@ -33,11 +47,12 @@ __all__ = [
 ]
 
 #: Packages (relative to the ``repro`` root) whose sources determine
-#: simulation outputs.  Top-level modules (units, errors, ...) are
-#: always included.  ``faults`` belongs here because fault plans fold
-#: into ``SimulationSpec.digest()`` and fault application changes the
-#: simulated outcome; ``obs`` because engine metrics are folded into
-#: cached :class:`SimulationResult` payloads.
+#: simulation outputs -- the *fallback* salt scope, used only when the
+#: certified salt cannot be computed.  Top-level modules (units,
+#: errors, ...) are always included.  ``faults`` belongs here because
+#: fault plans fold into ``SimulationSpec.digest()`` and fault
+#: application changes the simulated outcome; ``obs`` because engine
+#: metrics are folded into cached :class:`SimulationResult` payloads.
 _SALTED_PACKAGES = (
     "carbon",
     "cluster",
@@ -48,17 +63,51 @@ _SALTED_PACKAGES = (
     "workload",
 )
 
+#: Subtrees never certified into the salt.  ``repro.lint`` is excluded
+#: explicitly because this module imports the analyzer to *compute* the
+#: salt; without the exclusion that import would pull the whole lint
+#: layer into its own certified set and every analyzer edit would evict
+#: every cached sweep.
+_SALT_EXCLUDED_SUBTREES = ("repro.lint",)
 
-@lru_cache(maxsize=1)
-def code_version_salt() -> str:
-    """SHA-256 over the simulation-affecting ``repro`` source files.
 
-    Cached per process: source files do not change under a running
-    simulation, and hashing them once costs a few milliseconds.
+def _is_salt_excluded(module: str) -> bool:
+    return any(
+        module == subtree or module.startswith(subtree + ".")
+        for subtree in _SALT_EXCLUDED_SUBTREES
+    )
+
+
+def _certified_salt(root: Path) -> str:
+    """AST-normalized fingerprint of the certified reachable file set.
+
+    ``root`` is the installed ``repro`` package directory.  Raises on
+    any certification problem (unparseable tree, no entry points) --
+    the caller falls back to :func:`_fallback_salt`.
     """
-    import repro
+    from repro.lint.analysis.certify import certified_files
+    from repro.lint.analysis.fingerprint import fingerprint_files
+    from repro.lint.analysis.project import ProjectContext
 
-    root = Path(repro.__file__).resolve().parent
+    project = ProjectContext.from_root(root, package="repro")
+    pruned = ProjectContext.from_contexts(
+        (
+            context
+            for name, context in project.modules.items()
+            if not _is_salt_excluded(name)
+        ),
+        root_package="repro",
+    )
+    return fingerprint_files(root, certified_files(pruned))
+
+
+def _fallback_salt(root: Path) -> str:
+    """Byte-level SHA-256 over the ``_SALTED_PACKAGES`` sources.
+
+    Coarser than the certified salt on both axes -- whole packages
+    instead of the reachable set, raw bytes instead of normalized ASTs
+    -- so it can only evict more, never serve stale results.
+    """
     files = sorted(root.glob("*.py"))
     for package in _SALTED_PACKAGES:
         files.extend(sorted((root / package).rglob("*.py")))
@@ -67,6 +116,24 @@ def code_version_salt() -> str:
         hasher.update(path.relative_to(root).as_posix().encode())
         hasher.update(path.read_bytes())
     return hasher.hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Fingerprint of the simulation-affecting ``repro`` source files.
+
+    The certified salt (see module docstring) when the analysis
+    succeeds, the package byte-hash otherwise.  Cached per process:
+    source files do not change under a running simulation, and the
+    one-time analysis costs well under a second.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    try:
+        return _certified_salt(root)
+    except Exception:
+        return _fallback_salt(root)
 
 
 class ResultCache:

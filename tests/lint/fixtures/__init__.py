@@ -1,0 +1,9 @@
+"""Fixture mini-packages with *known* simcheck violations.
+
+Each subdirectory is a tiny standalone package analyzed with
+``ProjectContext.from_root`` under its own root package, so the golden
+tests exercise SIM101/SIM102/SIM103 end to end without depending on the
+real ``repro`` tree staying dirty.  Repo-wide lint runs never flag these
+files: their modules are named ``tests.lint.fixtures...`` and therefore
+fall outside the ``repro`` analysis root.
+"""

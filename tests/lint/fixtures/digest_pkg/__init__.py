@@ -1,0 +1,1 @@
+"""Fixture package: digest-reachable determinism hazards (SIM102)."""

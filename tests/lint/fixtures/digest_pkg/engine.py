@@ -1,0 +1,16 @@
+"""A digest entry point reaching hazards only through other modules."""
+
+from digest_pkg.helpers import jitter, order_regions, sample_clock
+
+
+class Engine:
+    """Minimal engine shape matching the ``*.Engine.run`` entry pattern."""
+
+    def run(self, steps, regions):
+        """Reach every hazard in ``helpers`` two calls deep."""
+        total = 0.0
+        for _ in range(steps):
+            total += jitter()
+        for _region in order_regions(regions):
+            total += sample_clock()
+        return total

@@ -1,0 +1,34 @@
+"""Hazard shapes a per-module pass cannot justify flagging.
+
+Line numbers here are golden data for ``tests/lint/test_simcheck.py``;
+keep them stable when editing.
+"""
+
+import os
+import random
+import time
+
+
+def jitter():
+    """Unseeded RNG call, digest-reachable (line 14)."""
+    return random.random()
+
+
+def sample_clock():
+    """Clock stored as a value (line 19) plus an env read (line 20)."""
+    clock = time.time
+    if os.getenv("FIXTURE_FLAG"):
+        return clock()
+    return 0.0
+
+
+def order_regions(regions):
+    """Materializes a set in hash order (line 27)."""
+    return list({region for region in regions})
+
+
+def unreachable_entropy():
+    """Never called from an entry point: must NOT be certified."""
+    import uuid
+
+    return uuid.uuid4()

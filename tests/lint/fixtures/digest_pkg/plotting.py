@@ -1,0 +1,6 @@
+"""Not imported by the engine: stays outside the certified set."""
+
+
+def render(values):
+    """Pretend to draw a figure."""
+    return len(values)

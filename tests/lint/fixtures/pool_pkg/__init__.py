@@ -1,0 +1,1 @@
+"""Fixture package: pool-boundary pickle hazards (SIM103)."""

@@ -1,0 +1,8 @@
+"""A lambda smuggled into a spec at its construction site."""
+
+from pool_pkg.spec import Knobs, SimulationSpec
+
+
+def build_spec(seed):
+    """Constructs a spec with an unpicklable lambda argument (line 8)."""
+    return SimulationSpec(seed=seed, knobs=Knobs(), hook=lambda x: x + 1)

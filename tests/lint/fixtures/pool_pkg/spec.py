@@ -1,0 +1,34 @@
+"""Boundary types with known pickle hazards.
+
+Line numbers here are golden data for ``tests/lint/test_simcheck.py``;
+keep them stable when editing.
+"""
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Knobs:
+    """Nested frozen member of the spec closure: no violation."""
+
+    retries: int = 0
+
+
+@dataclass
+class SimulationSpec:
+    """Boundary root (line 20): not frozen, with unpicklable fields."""
+
+    seed: int
+    knobs: Knobs
+    hook: Callable = None
+    guard: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class SimulationResult:
+    """Result root: frozen not required, handles still forbidden."""
+
+    value: float
+    on_done: Callable = None

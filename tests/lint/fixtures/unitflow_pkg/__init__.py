@@ -1,0 +1,1 @@
+"""Fixture package: cross-function unit-flow violations (SIM101)."""

@@ -1,0 +1,24 @@
+"""Callers with known cross-function unit-flow violations.
+
+Line numbers here are golden data for ``tests/lint/test_simcheck.py``;
+keep them stable when editing.
+"""
+
+from unitflow_pkg.convert import energy_used_kwh, total_footprint_g
+
+
+def mixed_positional():
+    """Passes a kWh quantity to a gram parameter (line 13)."""
+    used_kwh = energy_used_kwh(2.0, 3.0)
+    return total_footprint_g(used_kwh, 1.0)
+
+
+def mixed_assignment():
+    """Assigns a kWh-returning call to a ``_g`` name (line 18)."""
+    total_g = energy_used_kwh(1.0, 1.0)
+    return total_g
+
+
+def shipping_cost(mass_g):
+    """Suffixed as money but returns a gram value (line 23)."""
+    return mass_g

@@ -1,0 +1,218 @@
+"""Unit tests for the analysis layer's trickier resolution paths.
+
+The golden fixture tests (``test_simcheck.py``) pin end-to-end
+behavior; these pin the individual mechanisms -- alias and relative
+import resolution, the four call-resolution strategies, evidence-chain
+construction, and the import-closure used by the certified salt -- so a
+regression is attributable to one mechanism instead of one symptom.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint.analysis.callgraph import CallGraph
+from repro.lint.analysis.certify import certified_modules
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.analysis.symbols import ModuleSymbols
+from repro.lint.context import ModuleContext
+
+
+def _project(modules: dict[str, str], root: str = "pkg") -> ProjectContext:
+    contexts = [
+        ModuleContext.from_source(
+            source, path=f"{name.replace('.', '/')}.py", module=name
+        )
+        for name, source in modules.items()
+    ]
+    return ProjectContext.from_contexts(contexts, root_package=root)
+
+
+class TestSymbols:
+    def test_import_alias_resolution(self):
+        table = ModuleSymbols.build(
+            ModuleContext.from_source(
+                "import numpy as np\nfrom repro.units import to_kwh as conv\n",
+                module="pkg.m",
+            )
+        )
+        assert table.resolve("np.random.rand") == "numpy.random.rand"
+        assert table.resolve("conv") == "repro.units.to_kwh"
+        assert table.resolve("unknown.thing") == "unknown.thing"
+
+    def test_relative_import_resolution(self):
+        table = ModuleSymbols.build(
+            ModuleContext.from_source(
+                "from .sibling import helper\nfrom ..top import other\n",
+                path="pkg/sub/m.py",
+                module="pkg.sub.m",
+            )
+        )
+        assert table.resolve("helper") == "pkg.sub.sibling.helper"
+        assert table.resolve("other") == "pkg.top.other"
+
+    def test_dataclass_facts(self):
+        table = ModuleSymbols.build(
+            ModuleContext.from_source(
+                "from dataclasses import dataclass\n"
+                "@dataclass(frozen=True)\n"
+                "class A:\n"
+                "    x: int\n"
+                "@dataclass\n"
+                "class B:\n"
+                "    y: str = 'z'\n",
+                module="pkg.m",
+            )
+        )
+        assert table.classes["A"].dataclass_frozen
+        assert not table.classes["B"].dataclass_frozen
+        (field,) = table.classes["B"].fields
+        assert field.name == "y" and field.default is not None
+
+    def test_method_params_strip_self(self):
+        table = ModuleSymbols.build(
+            ModuleContext.from_source(
+                "class C:\n    def m(self, a_g, b_kwh):\n        pass\n",
+                module="pkg.m",
+            )
+        )
+        assert table.classes["C"].methods["m"].params == ("a_g", "b_kwh")
+
+
+class TestCallGraph:
+    def test_cross_module_call_through_alias(self):
+        project = _project(
+            {
+                "pkg.a": "def target():\n    pass\n",
+                "pkg.b": "from pkg import a\ndef caller():\n    a.target()\n",
+            }
+        )
+        graph = project.callgraph()
+        assert graph.callees_of("pkg.b.caller") == {"pkg.a.target"}
+
+    def test_self_method_follows_base_class(self):
+        project = _project(
+            {
+                "pkg.base": "class Base:\n    def helper(self):\n        pass\n",
+                "pkg.sub": (
+                    "from pkg.base import Base\n"
+                    "class Sub(Base):\n"
+                    "    def run(self):\n"
+                    "        self.helper()\n"
+                ),
+            }
+        )
+        graph = project.callgraph()
+        assert graph.callees_of("pkg.sub.Sub.run") == {"pkg.base.Base.helper"}
+
+    def test_unique_method_fallback(self):
+        project = _project(
+            {
+                "pkg.a": "class Plan:\n    def rng(self):\n        pass\n",
+                "pkg.b": "def use(plan):\n    plan.rng()\n",
+            }
+        )
+        graph = project.callgraph()
+        assert graph.callees_of("pkg.b.use") == {"pkg.a.Plan.rng"}
+
+    def test_fallback_refuses_ambiguous_names(self):
+        project = _project(
+            {
+                "pkg.a": "class A:\n    def rng(self):\n        pass\n",
+                "pkg.b": "class B:\n    def rng(self):\n        pass\n",
+                "pkg.c": "def use(x):\n    x.rng()\n",
+            }
+        )
+        assert project.callgraph().callees_of("pkg.c.use") == set()
+
+    def test_fallback_refuses_function_name_collisions(self):
+        project = _project(
+            {
+                "pkg.a": "class A:\n    def rng(self):\n        pass\n",
+                "pkg.b": "def rng():\n    pass\n",
+                "pkg.c": "def use(x):\n    x.rng()\n",
+            }
+        )
+        # ``x.rng()`` could be the method; ``rng`` is also a free
+        # function, so the fallback must not guess.
+        assert project.callgraph().callees_of("pkg.c.use") == set()
+
+    def test_constructor_links_to_init(self):
+        project = _project(
+            {
+                "pkg.a": (
+                    "class Thing:\n"
+                    "    def __init__(self, n):\n"
+                    "        self.n = n\n"
+                ),
+                "pkg.b": "from pkg.a import Thing\ndef make():\n    Thing(3)\n",
+            }
+        )
+        graph = project.callgraph()
+        assert graph.callees_of("pkg.b.make") == {"pkg.a.Thing.__init__"}
+
+    def test_reachability_chain_is_breadth_first_evidence(self):
+        project = _project(
+            {
+                "pkg.m": (
+                    "def a():\n    b()\n"
+                    "def b():\n    c()\n"
+                    "def c():\n    pass\n"
+                ),
+            }
+        )
+        chains = project.callgraph().reachable(["pkg.m.a"])
+        assert chains["pkg.m.c"] == ("pkg.m.a", "pkg.m.b", "pkg.m.c")
+
+
+class TestCertification:
+    def test_import_closure_covers_unresolved_dispatch(self):
+        # ``run`` calls nothing resolvable, but the module imports the
+        # model module; the certified set must still include it.
+        project = _project(
+            {
+                "pkg.engine": (
+                    "from pkg import models\n"
+                    "class Engine:\n"
+                    "    def run(self, registry):\n"
+                    "        return registry['m']()\n"
+                ),
+                "pkg.models": "def model():\n    return 1\n",
+                "pkg.plots": "def draw():\n    pass\n",
+            }
+        )
+        certified = certified_modules(project)
+        assert "pkg.models" in certified
+        assert "pkg.plots" not in certified
+
+    def test_no_entry_points_is_a_config_error(self):
+        project = _project({"pkg.util": "def helper():\n    pass\n"})
+        with pytest.raises(ConfigError):
+            certified_modules(project)
+
+    def test_out_of_scope_modules_are_ignored(self):
+        project = _project(
+            {
+                "pkg.engine": "class Engine:\n    def run(self):\n        pass\n",
+                "other.engine": "class Engine:\n    def run(self):\n        pass\n",
+            }
+        )
+        assert certified_modules(project) == {"pkg.engine"}
+
+    def test_callgraph_is_cached(self):
+        project = _project({"pkg.m": "def f():\n    pass\n"})
+        assert project.callgraph() is project.callgraph()
+
+
+class TestCallGraphBuildDirect:
+    def test_build_classmethod_matches_project_accessor(self):
+        project = _project(
+            {
+                "pkg.a": "def target():\n    pass\ndef caller():\n    target()\n",
+            }
+        )
+        graph = CallGraph.build(project)
+        assert graph.callees_of("pkg.a.caller") == {"pkg.a.target"}
+        (site,) = graph.sites_in("pkg.a.caller")
+        assert (site.caller, site.callee) == ("pkg.a.caller", "pkg.a.target")

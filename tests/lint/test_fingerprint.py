@@ -1,0 +1,135 @@
+"""Property tests for the AST-normalized fingerprints behind the salt.
+
+The cache's code-version salt must be invariant under everything the
+interpreter ignores (comments, docstrings, formatting) and sensitive to
+everything it does not (constants, operators, statements, names).  The
+hypothesis properties pin the invariance over arbitrary comment and
+docstring content; the parametrized cases pin one example per semantic
+edit class.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.analysis.fingerprint import (
+    fingerprint_files,
+    fingerprint_source,
+    normalized_dump,
+)
+
+BASE = textwrap.dedent(
+    '''
+    """Module docstring."""
+
+
+    def added_carbon_g(rate_g, minutes):
+        """Docstring."""
+        total_g = rate_g * minutes
+        return total_g + 1
+    '''
+).lstrip()
+
+# Printable ASCII without newlines or quote characters, so injected text
+# stays inside one comment or docstring literal.
+_FILLER = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126, blacklist_characters='"\\'
+    ),
+    max_size=50,
+)
+
+
+class TestInvariance:
+    @given(comment=_FILLER)
+    def test_any_comment_line_is_invisible(self, comment):
+        commented = BASE.replace(
+            "total_g = rate_g * minutes",
+            f"total_g = rate_g * minutes  # {comment}",
+        )
+        assert fingerprint_source(commented) == fingerprint_source(BASE)
+
+    @given(docstring=_FILLER)
+    def test_any_docstring_content_is_invisible(self, docstring):
+        redocumented = BASE.replace('"""Docstring."""', f'"""{docstring}"""')
+        assert fingerprint_source(redocumented) == fingerprint_source(BASE)
+
+    @given(blank_lines=st.integers(min_value=0, max_value=5))
+    def test_blank_lines_are_invisible(self, blank_lines):
+        padded = BASE.replace("\n\n\n", "\n" * (blank_lines + 1), 1)
+        assert fingerprint_source(padded) == fingerprint_source(BASE)
+
+    def test_docstring_only_body_normalizes_like_pass(self):
+        assert fingerprint_source('def f():\n    """Doc."""\n') == (
+            fingerprint_source("def f():\n    pass\n")
+        )
+
+    def test_removing_the_module_docstring_is_invisible(self):
+        stripped = BASE.replace('"""Module docstring."""\n', "")
+        assert fingerprint_source(stripped) == fingerprint_source(BASE)
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize(
+        "before, after",
+        [
+            ("return total_g + 1", "return total_g + 2"),  # constant
+            ("return total_g + 1", "return total_g - 1"),  # operator
+            ("rate_g * minutes", "rate_g / minutes"),  # expression shape
+            ("total_g = rate_g", "total_kwh = rate_g"),  # renamed binding
+            ('"""Docstring."""', '"""Docstring."""\n    x = 0'),  # new statement
+            ("def added_carbon_g(rate_g, minutes):",
+             "def added_carbon_g(rate_g, minutes=5):"),  # new default
+        ],
+    )
+    def test_semantic_edits_change_the_fingerprint(self, before, after):
+        edited = BASE.replace(before, after)
+        assert edited != BASE
+        assert fingerprint_source(edited) != fingerprint_source(BASE)
+
+    @given(a=st.integers(), b=st.integers())
+    def test_distinct_constants_never_collide(self, a, b):
+        left = fingerprint_source(f"x = {a}")
+        right = fingerprint_source(f"x = {b}")
+        assert (left == right) == (a == b)
+
+
+class TestFingerprintFiles:
+    def test_rename_changes_the_digest(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        one = fingerprint_files(tmp_path, [tmp_path / "a.py"])
+        (tmp_path / "a.py").rename(tmp_path / "b.py")
+        two = fingerprint_files(tmp_path, [tmp_path / "b.py"])
+        assert one != two
+
+    def test_order_of_the_file_list_is_irrelevant(self, tmp_path):
+        for name in ("a.py", "b.py"):
+            (tmp_path / name).write_text(f"# {name}\nx = 1\n", encoding="utf-8")
+        files = [tmp_path / "a.py", tmp_path / "b.py"]
+        assert fingerprint_files(tmp_path, files) == (
+            fingerprint_files(tmp_path, list(reversed(files)))
+        )
+
+    def test_unparseable_file_falls_back_to_byte_hashing(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (\n", encoding="utf-8")
+        one = fingerprint_files(tmp_path, [bad])
+        bad.write_text("def (  # a comment now matters\n", encoding="utf-8")
+        two = fingerprint_files(tmp_path, [bad])
+        assert one != two
+
+    def test_comment_edit_in_parseable_file_is_invisible(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        one = fingerprint_files(tmp_path, [good])
+        good.write_text("x = 1  # annotated\n", encoding="utf-8")
+        two = fingerprint_files(tmp_path, [good])
+        assert one == two
+
+    def test_normalized_dump_rejects_bad_source(self):
+        with pytest.raises(SyntaxError):
+            normalized_dump("def (:\n")

@@ -19,11 +19,15 @@ from repro.lint import (
 )
 from repro.lint.cli import main
 
-EXPECTED_CODES = [f"SIM00{i}" for i in range(1, 10)]
+EXPECTED_CODES = [f"SIM00{i}" for i in range(1, 10)] + [
+    "SIM101",
+    "SIM102",
+    "SIM103",
+]
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
+    def test_all_rules_registered(self):
         assert [rule.code for rule in all_rules()] == EXPECTED_CODES
 
     def test_rules_have_names_and_rationales(self):

@@ -1,0 +1,229 @@
+"""Golden tests for the whole-program simcheck passes (SIM101-SIM103).
+
+Each fixture mini-package under ``tests/lint/fixtures/`` carries known
+violations; these tests pin the exact findings (rule, file, line) plus
+the reachability evidence and the certified module set, so any analysis
+regression -- a lost call edge, a widened hazard table, a broken
+suppression -- shows up as a golden diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.analysis.certify import certified_modules, entry_functions
+from repro.lint.analysis.project import ProjectContext
+from repro.lint.base import all_rules
+from repro.lint.cli import main
+from repro.lint.runner import lint_paths_with_project, lint_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    """Rule findings per fixture package, as (code, filename, line) plus raw."""
+    findings = {}
+    for name in ("unitflow_pkg", "digest_pkg", "pool_pkg"):
+        project = ProjectContext.from_root(FIXTURES / name)
+        findings[name] = lint_project(project, all_rules())
+    return findings
+
+
+def _golden(findings):
+    return sorted(
+        (finding.code, Path(finding.path).name, finding.line) for finding in findings
+    )
+
+
+class TestUnitFlowGolden:
+    def test_exact_findings(self, fixture_findings):
+        assert _golden(fixture_findings["unitflow_pkg"]) == [
+            ("SIM101", "report.py", 13),  # kWh into a _g positional parameter
+            ("SIM101", "report.py", 18),  # kWh call result assigned to total_g
+            ("SIM101", "report.py", 24),  # _cost function returning grams
+        ]
+
+    def test_kinds_and_families_in_messages(self, fixture_findings):
+        messages = sorted(f.message for f in fixture_findings["unitflow_pkg"])
+        assert messages[0].startswith("[argument] passing 'used_kwh' (energy[kWh])")
+        assert "'base_g' (carbon-mass[g])" in messages[0]
+        assert messages[1].startswith("[assignment]")
+        assert messages[2].startswith("[return]")
+
+    def test_clean_callee_module_is_not_flagged(self, fixture_findings):
+        assert not any(
+            Path(f.path).name == "convert.py"
+            for f in fixture_findings["unitflow_pkg"]
+        )
+
+
+class TestDigestSafetyGolden:
+    def test_exact_findings(self, fixture_findings):
+        assert _golden(fixture_findings["digest_pkg"]) == [
+            ("SIM102", "helpers.py", 14),  # random.random() two calls deep
+            ("SIM102", "helpers.py", 19),  # time.time stored as a value
+            ("SIM102", "helpers.py", 20),  # os.getenv read
+            ("SIM102", "helpers.py", 27),  # list() over a set comprehension
+        ]
+
+    def test_unreachable_hazard_is_not_flagged(self, fixture_findings):
+        # uuid.uuid4() in unreachable_entropy never reaches an entry point.
+        assert not any(
+            "uuid" in f.message for f in fixture_findings["digest_pkg"]
+        )
+
+    def test_evidence_is_the_call_chain(self, fixture_findings):
+        by_line = {f.line: f for f in fixture_findings["digest_pkg"]}
+        assert by_line[14].evidence == (
+            "digest_pkg.engine.Engine.run",
+            "digest_pkg.helpers.jitter",
+        )
+        assert "digest-reachable via digest_pkg.engine.Engine.run" in (
+            by_line[14].message
+        )
+
+    def test_certified_set_is_reachable_files_only(self):
+        project = ProjectContext.from_root(FIXTURES / "digest_pkg")
+        assert certified_modules(project) == {
+            "digest_pkg.engine",
+            "digest_pkg.helpers",
+        }
+
+    def test_entry_point_binding(self):
+        project = ProjectContext.from_root(FIXTURES / "digest_pkg")
+        assert sorted(entry_functions(project)) == ["digest_pkg.engine.Engine.run"]
+
+
+class TestPoolBoundaryGolden:
+    def test_exact_findings(self, fixture_findings):
+        assert _golden(fixture_findings["pool_pkg"]) == [
+            ("SIM103", "builder.py", 8),  # lambda at a construction site
+            ("SIM103", "spec.py", 20),  # spec dataclass not frozen
+            ("SIM103", "spec.py", 25),  # Callable field on the spec
+            ("SIM103", "spec.py", 26),  # threading.Lock field
+            ("SIM103", "spec.py", 34),  # Callable field on the result
+        ]
+
+    def test_frozen_nested_member_is_clean(self, fixture_findings):
+        assert not any(
+            "Knobs" in f.message for f in fixture_findings["pool_pkg"]
+        )
+
+    def test_result_root_does_not_require_frozen(self, fixture_findings):
+        # SimulationResult is not a frozen dataclass, but only specs
+        # (cache/dedup keys) must be; no not-frozen finding names it.
+        assert not any(
+            "SimulationResult" in f.message and "not a frozen" in f.message
+            for f in fixture_findings["pool_pkg"]
+        )
+
+
+def _write_engine(tree: Path, body: str) -> None:
+    (tree / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    (tree / "src" / "repro" / "engine.py").write_text(body, encoding="utf-8")
+
+
+_HAZARDOUS_ENGINE = '''"""Fixture engine."""
+
+import random
+
+
+class Engine:
+    """Fixture."""
+
+    def run(self):
+        """Draw from the global RNG."""
+        return random.random()
+'''
+
+_TWO_HAZARD_ENGINE = '''"""Fixture engine."""
+
+import random
+import time
+
+
+class Engine:
+    """Fixture."""
+
+    def run(self):
+        """Draw from the global RNG and the wall clock."""
+        return random.random() + time.time()
+'''
+
+
+class TestCliJsonAndBaseline:
+    """End-to-end: ``--format json``, ``--baseline``, ``--write-baseline``.
+
+    The tmp tree is shaped ``src/repro/...`` so its modules land under
+    the default ``repro`` analysis root without touching the real tree.
+    """
+
+    def test_json_report_structure(self, tmp_path, capsys):
+        _write_engine(tmp_path, _HAZARDOUS_ENGINE)
+        status = main(
+            ["--select", "SIM102", "--format", "json", str(tmp_path / "src")]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert status == 1
+        assert report["version"] == 1
+        (finding,) = report["findings"]
+        assert finding["code"] == "SIM102"
+        assert finding["line"] == 11
+        assert finding["evidence"] == ["repro.engine.Engine.run"]
+        certification = report["certification"]
+        assert certification["entry_points"] == ["repro.engine.Engine.run"]
+        assert certification["certified_modules"] == ["repro.engine"]
+        assert certification["reachable_functions"] == ["repro.engine.Engine.run"]
+        assert certification["certified_files"] == [
+            str(tmp_path / "src" / "repro" / "engine.py")
+        ]
+
+    def test_baseline_roundtrip_fails_only_on_new_findings(self, tmp_path, capsys):
+        _write_engine(tmp_path, _HAZARDOUS_ENGINE)
+        baseline = tmp_path / "baseline.json"
+        source = str(tmp_path / "src")
+
+        assert main(["--select", "SIM102", "--write-baseline", str(baseline), source]) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(payload["keys"]) == 1
+
+        capsys.readouterr()
+        assert main(["--select", "SIM102", "--baseline", str(baseline), source]) == 0
+
+        _write_engine(tmp_path, _TWO_HAZARD_ENGINE)
+        capsys.readouterr()
+        status = main(["--select", "SIM102", "--baseline", str(baseline), source])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "wall clock" in out  # only the new finding is reported
+        assert "global RNG" not in out
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path, capsys):
+        _write_engine(tmp_path, _HAZARDOUS_ENGINE)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"keys": "nope"}', encoding="utf-8")
+        assert main(["--baseline", str(bad), str(tmp_path / "src")]) == 2
+
+    def test_suppression_silences_project_findings(self, tmp_path, capsys):
+        _write_engine(
+            tmp_path,
+            _HAZARDOUS_ENGINE.replace(
+                "return random.random()",
+                "return random.random()  # simlint: disable=SIM102",
+            ),
+        )
+        assert main(["--select", "SIM102", "--quiet", str(tmp_path / "src")]) == 0
+
+
+class TestRepoIsClean:
+    def test_whole_program_passes_are_clean_on_the_repo(self):
+        repo = Path(__file__).resolve().parents[2]
+        findings, _project = lint_paths_with_project(
+            [repo / "src", repo / "tests"],
+            select=["SIM101", "SIM102", "SIM103"],
+        )
+        assert findings == []

@@ -10,10 +10,18 @@ guards against).
 from __future__ import annotations
 
 import ast
+import shutil
 from pathlib import Path
 
+import pytest
+
 import repro
-from repro.simulator.runner.cache import _SALTED_PACKAGES
+from repro.simulator.runner.cache import (
+    _SALTED_PACKAGES,
+    _certified_salt,
+    _fallback_salt,
+    code_version_salt,
+)
 
 REPRO_ROOT = Path(repro.__file__).resolve().parent
 
@@ -93,3 +101,114 @@ class TestSaltCoverage:
         # The concrete historical bug: editing fault-application semantics
         # must evict cached results.
         assert "faults" in _SALTED_PACKAGES
+
+
+@pytest.fixture(scope="module")
+def repro_copy(tmp_path_factory) -> Path:
+    """A private writable copy of the installed ``repro`` tree."""
+    destination = tmp_path_factory.mktemp("salt") / "repro"
+    shutil.copytree(REPRO_ROOT, destination, ignore=shutil.ignore_patterns("__pycache__"))
+    return destination
+
+
+def _edit(root: Path, relative: str, append: str) -> str:
+    """Append text to a file under ``root``; return the original source."""
+    path = root / relative
+    original = path.read_text(encoding="utf-8")
+    path.write_text(original + append, encoding="utf-8")
+    return original
+
+
+class TestCertifiedSalt:
+    """The ISSUE acceptance criterion: the salt tracks semantics, not bytes."""
+
+    def test_matches_installed_tree(self, repro_copy: Path):
+        # The copy fingerprints identically to the installed sources, so
+        # the edit tests below isolate exactly the edit's effect.
+        assert _certified_salt(repro_copy) == _certified_salt(REPRO_ROOT)
+
+    def test_comment_only_edit_to_engine_keeps_salt(self, repro_copy: Path):
+        before = _certified_salt(repro_copy)
+        original = _edit(
+            repro_copy, "simulator/engine.py", "\n# a trailing comment, no semantics\n"
+        )
+        try:
+            assert _certified_salt(repro_copy) == before
+        finally:
+            (repro_copy / "simulator/engine.py").write_text(
+                original, encoding="utf-8"
+            )
+
+    def test_docstring_edit_to_engine_keeps_salt(self, repro_copy: Path):
+        path = repro_copy / "simulator" / "engine.py"
+        original = path.read_text(encoding="utf-8")
+        assert original.startswith('"""')
+        before = _certified_salt(repro_copy)
+        path.write_text('"""Rewritten docstring."""' + original.split('"""', 2)[2],
+                        encoding="utf-8")
+        try:
+            assert _certified_salt(repro_copy) == before
+        finally:
+            path.write_text(original, encoding="utf-8")
+
+    def test_semantic_edit_to_faults_apply_changes_salt(self, repro_copy: Path):
+        before = _certified_salt(repro_copy)
+        original = _edit(repro_copy, "faults/apply.py", "\n_SALT_PROBE = 1\n")
+        try:
+            assert _certified_salt(repro_copy) != before
+        finally:
+            (repro_copy / "faults/apply.py").write_text(original, encoding="utf-8")
+
+    def test_semantic_edit_to_engine_changes_salt(self, repro_copy: Path):
+        before = _certified_salt(repro_copy)
+        original = _edit(repro_copy, "simulator/engine.py", "\n_SALT_PROBE = 1\n")
+        try:
+            assert _certified_salt(repro_copy) != before
+        finally:
+            (repro_copy / "simulator/engine.py").write_text(
+                original, encoding="utf-8"
+            )
+
+    def test_edit_outside_certified_set_keeps_salt(self, repro_copy: Path):
+        # Experiment/figure scripts and the lint layer are not certified:
+        # editing them must not evict warmed sweep caches.
+        before = _certified_salt(repro_copy)
+        originals = [
+            (relative, _edit(repro_copy, relative, "\n_SALT_PROBE = 1\n"))
+            for relative in ("experiments/registry.py", "lint/findings.py")
+        ]
+        try:
+            assert _certified_salt(repro_copy) == before
+        finally:
+            for relative, original in originals:
+                (repro_copy / relative).write_text(original, encoding="utf-8")
+
+    def test_fallback_salt_is_byte_sensitive(self, repro_copy: Path):
+        before = _fallback_salt(repro_copy)
+        original = _edit(repro_copy, "simulator/engine.py", "\n# comment\n")
+        try:
+            assert _fallback_salt(repro_copy) != before
+        finally:
+            (repro_copy / "simulator/engine.py").write_text(
+                original, encoding="utf-8"
+            )
+
+    def test_code_version_salt_falls_back_on_analysis_failure(self, monkeypatch):
+        import repro.simulator.runner.cache as cache_module
+
+        def boom(root: Path) -> str:
+            raise RuntimeError("certification broke")
+
+        monkeypatch.setattr(cache_module, "_certified_salt", boom)
+        code_version_salt.cache_clear()
+        try:
+            assert code_version_salt() == _fallback_salt(REPRO_ROOT)
+        finally:
+            code_version_salt.cache_clear()
+
+    def test_code_version_salt_is_certified_salt(self):
+        code_version_salt.cache_clear()
+        try:
+            assert code_version_salt() == _certified_salt(REPRO_ROOT)
+        finally:
+            code_version_salt.cache_clear()
