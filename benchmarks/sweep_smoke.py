@@ -13,6 +13,21 @@ Output shape (``BENCH_sweep.json``)::
     {"meta": {"jobs": 2, "scale": "small"},
      "experiments": {"fig08": {"cold_s": 1.9, "warm_s": 0.02,
                                "cold_cache_hits": 0, "warm_cache_hits": 6}}}
+
+Regression gate
+---------------
+``--check-regression BASELINE.json`` compares two already-written
+reports without running any sweeps: the candidate named by ``--output``
+against the baseline (typically the committed ``BENCH_sweep.json``).
+An experiment regresses when its candidate ``cold_s`` exceeds both
+``baseline * (1 + --max-regression)`` and ``baseline + --noise-floor``
+(the absolute floor keeps sub-100ms experiments from tripping the gate
+on scheduler jitter).  CI runs the sweeps into a scratch file and then
+invokes this mode against the committed baseline::
+
+    python benchmarks/sweep_smoke.py --jobs 2 --scale small --output bench_new.json
+    python benchmarks/sweep_smoke.py --check-regression BENCH_sweep.json \
+        --output bench_new.json
 """
 
 from __future__ import annotations
@@ -25,15 +40,62 @@ import time
 DEFAULT_EXPERIMENTS = ("fig08", "fig16", "ablation-granularity")
 
 
+def check_regression(candidate_path: str, baseline_path: str,
+                     max_regression: float, noise_floor: float) -> int:
+    """Compare cold wall times and return a process exit code."""
+    with open(candidate_path) as handle:
+        candidate = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    if candidate.get("meta") != baseline.get("meta"):
+        print(f"note: meta differs (candidate {candidate.get('meta')}, "
+              f"baseline {baseline.get('meta')}); comparing anyway")
+
+    regressions = []
+    for experiment_id, timings in candidate.get("experiments", {}).items():
+        base = baseline.get("experiments", {}).get(experiment_id)
+        if base is None:
+            print(f"{experiment_id}: no baseline entry, skipping")
+            continue
+        old, new = float(base["cold_s"]), float(timings["cold_s"])
+        limit = max(old * (1.0 + max_regression), old + noise_floor)
+        verdict = "REGRESSED" if new > limit else "ok"
+        print(f"{experiment_id}: cold {old:.3f}s -> {new:.3f}s "
+              f"(limit {limit:.3f}s) {verdict}")
+        if new > limit:
+            regressions.append(experiment_id)
+
+    if regressions:
+        print(f"cold-time regression (> {max_regression:.0%} over baseline) "
+              f"in: {', '.join(regressions)}")
+        return 1
+    print("no cold-time regressions")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", default=None,
                         help=f"experiment ids (default: {' '.join(DEFAULT_EXPERIMENTS)})")
     parser.add_argument("--jobs", type=int, default=2,
                         help="worker processes per sweep")
-    parser.add_argument("--scale", choices=("small", "medium", "full"), default="small")
+    parser.add_argument("--scale", choices=("small", "medium", "large", "full"),
+                        default="small")
     parser.add_argument("--output", default="BENCH_sweep.json")
+    parser.add_argument("--check-regression", metavar="BASELINE", default=None,
+                        help="compare --output against this baseline report "
+                             "instead of running sweeps")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional cold-time slowdown (default 0.25)")
+    parser.add_argument("--noise-floor", type=float, default=0.05,
+                        help="absolute slowdown in seconds always tolerated "
+                             "(default 0.05)")
     args = parser.parse_args(argv)
+
+    if args.check_regression is not None:
+        return check_regression(args.output, args.check_regression,
+                                args.max_regression, args.noise_floor)
 
     os.environ["REPRO_JOBS"] = str(args.jobs)
     from repro.experiments.registry import run_experiment

@@ -52,6 +52,20 @@ class Forecaster(ABC):
     ) -> np.ndarray:
         """Vectorized :meth:`interval_carbon` over equal-length windows."""
 
+    def window_view(self, duration: int) -> np.ndarray | None:
+        """A *query-time-independent* view of every window integral, or None.
+
+        When non-None, ``window_view(d)[s]`` must equal
+        ``window_carbon_many(now, [s], d)[0]`` bit for bit for **every**
+        ``now`` -- which is only possible for forecasters whose output
+        does not depend on the issue time.  Batched policy scoring
+        (:mod:`repro.policies.scoring`) shares one such view across jobs
+        with different arrivals; forecasters that degrade with lead time
+        (e.g. :class:`NoisyForecaster`) return ``None`` and scoring
+        falls back to per-job queries.
+        """
+        return None
+
 
 class PerfectForecaster(Forecaster):
     """Oracle forecaster: returns the true trace values (paper default)."""
@@ -66,6 +80,9 @@ class PerfectForecaster(Forecaster):
         self, now: int, starts: np.ndarray, duration: int
     ) -> np.ndarray:
         return self.trace.integrate_many(starts, duration)
+
+    def window_view(self, duration: int) -> np.ndarray | None:
+        return self.trace.window_sums(duration)
 
 
 class NoisyForecaster(Forecaster):

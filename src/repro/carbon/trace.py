@@ -43,6 +43,7 @@ class HourlySeries:
         self._hourly = values
         self.name = name
         self._cumulative: np.ndarray | None = None
+        self._window_sums: dict[int, np.ndarray] = {}
         self._content_digest: str | None = None
 
     @property
@@ -140,6 +141,32 @@ class HourlySeries:
             raise TraceError("candidate window extends beyond the trace horizon")
         cum = self._cum()
         return cum[ends] - cum[starts]
+
+    def window_sums(self, duration: int) -> np.ndarray:
+        """Integrals of *every* ``duration``-minute window, indexed by start.
+
+        ``window_sums(d)[s]`` equals ``integrate(s, s + d)`` bit for bit
+        (both are ``cum[s + d] - cum[s]`` over the same prefix sum), for
+        every feasible start ``s`` in ``[0, horizon_minutes - d]``.  The
+        array is the batched-scoring counterpart of
+        :meth:`integrate_many`: policies that evaluate candidate windows
+        for many jobs gather their scores from this one precomputed
+        (read-only, cached per duration) array instead of re-slicing the
+        prefix sum per job.
+        """
+        if duration < 0:
+            raise TraceError("duration must be non-negative")
+        if duration > self.horizon_minutes:
+            raise TraceError(
+                f"window duration {duration} beyond horizon {self.horizon_minutes}"
+            )
+        cached = self._window_sums.get(duration)
+        if cached is None:
+            cum = self._cum()
+            cached = cum[duration:] - cum[: cum.size - duration]
+            cached.setflags(write=False)
+            self._window_sums[duration] = cached
+        return cached
 
     def content_digest(self) -> str:
         """SHA-256 over the series' exact values, name, and type.

@@ -2,11 +2,14 @@
 
 Every paper figure/table maps to one module exposing
 ``run(scale=None) -> ExperimentResult``.  The ``REPRO_SCALE`` environment
-variable (``small`` / ``medium`` / ``full``) sets the default workload
-sizes: ``full`` is the paper's configuration (year-long, 100k jobs);
-``medium`` (the default) shrinks the horizon and job count together so
-the mean cluster demand -- which the reserved-pool experiments anchor on
--- is preserved while the whole suite runs in minutes.
+variable (``small`` / ``medium`` / ``large`` / ``full``) sets the default
+workload sizes: ``full`` is the paper's configuration (year-long, 100k
+jobs); ``medium`` (the default) shrinks the horizon and job count
+together so the mean cluster demand -- which the reserved-pool
+experiments anchor on -- is preserved while the whole suite runs in
+minutes.  ``large`` sits between the two and exists for the nightly
+benchmark tier: big enough that engine-level performance work shows up
+in wall time, small enough to finish in a scheduled CI job.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ class Scale:
 SCALES: dict[str, Scale] = {
     "small": Scale("small", raw_jobs=20_000, year_jobs=4_000, year_days=28, week_jobs=300),
     "medium": Scale("medium", raw_jobs=60_000, year_jobs=20_000, year_days=91, week_jobs=1_000),
+    "large": Scale("large", raw_jobs=120_000, year_jobs=50_000, year_days=182, week_jobs=1_000),
     "full": Scale("full", raw_jobs=200_000, year_jobs=100_000, year_days=365, week_jobs=1_000),
 }
 

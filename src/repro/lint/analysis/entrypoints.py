@@ -37,6 +37,10 @@ DIGEST_ENTRY_PATTERNS: list[str] = [
     "*.SimulationSpec.digest",
     # Every policy decision hook, including future registry entries.
     "*.decide",
+    # Batched decision hooks backing the engine's fast path; reached
+    # dynamically from Engine._precompute_decisions, and their scoring
+    # helpers must stay inside the certified set.
+    "*.decide_many",
     # Fault application: folded into spec digests via FaultPlan.digest.
     "*.faults.apply.*",
 ]

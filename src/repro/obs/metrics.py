@@ -61,6 +61,34 @@ class MetricsRegistry:
         stats["min"] = min(stats["min"], value)
         stats["max"] = max(stats["max"], value)
 
+    def histogram_many(self, name: str, values: Iterable[float]) -> None:
+        """Record many observations into the named histogram at once.
+
+        One dict lookup and one C-speed ``sum``/``min``/``max`` pass
+        replace a per-value :meth:`histogram` loop.  ``sum`` accumulates
+        left-to-right exactly like repeated ``+=``, so a bulk call into a
+        *fresh* histogram matches the per-value calls bit for bit; when
+        the histogram already has entries the fold order differs (the
+        batch is summed before merging), which only matters if callers
+        mix both styles on one name.  An empty batch records nothing.
+        """
+        values = [float(value) for value in values]
+        if not values:
+            return
+        stats = self._histograms.get(name)
+        if stats is None:
+            self._histograms[name] = {
+                "count": len(values),
+                "sum": sum(values),
+                "min": min(values),
+                "max": max(values),
+            }
+            return
+        stats["count"] += len(values)
+        stats["sum"] += sum(values)
+        stats["min"] = min(stats["min"], min(values))
+        stats["max"] = max(stats["max"], max(values))
+
     def snapshot(self) -> dict[str, Any]:
         """A deep-copied, JSON-serializable view of everything recorded."""
         return {

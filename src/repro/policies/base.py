@@ -17,6 +17,7 @@ paper's Table 1).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -168,6 +169,26 @@ class Policy(ABC):
     @abstractmethod
     def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
         """Return the scheduling decision for ``job`` at its arrival."""
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        """Batched :meth:`decide` over many jobs, or ``None`` to opt out.
+
+        When a policy returns a list, entry ``i`` must equal
+        ``decide(jobs[i], ctx)`` **bit for bit** -- the engine's fast
+        path substitutes batched decisions for scalar ones and the
+        simulation digest must not move.  Returning ``None`` (the
+        default) makes the engine fall back to per-arrival ``decide``
+        calls; implementations must also return ``None`` whenever they
+        cannot guarantee exact equality (e.g. the forecaster has no
+        query-time-independent :meth:`~repro.carbon.forecast.Forecaster.window_view`).
+
+        Batched scoring bypasses ``SchedulingContext.candidate_starts``
+        and therefore emits no per-job ``CandidateWindow`` trace events;
+        the engine only batches when tracing is disabled.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"

@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.policies.base import Decision, Policy, SchedulingContext
 from repro.workload.job import Job
 
@@ -25,6 +27,11 @@ class NoWait(Policy):
 
     def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
         return Decision(start_time=job.arrival)
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        return [Decision(start_time=job.arrival) for job in jobs]
 
 
 class AllWaitThreshold(Policy):

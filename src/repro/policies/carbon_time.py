@@ -16,9 +16,18 @@ runs now.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import cast
+
 import numpy as np
 
 from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.scoring import (
+    candidate_batch,
+    group_jobs_by_queue,
+    segment_first_where,
+    segment_max,
+)
 from repro.workload.job import Job
 
 __all__ = ["CarbonTime"]
@@ -53,3 +62,42 @@ class CarbonTime(Policy):
         if savings[best] <= tolerance:
             return Decision(start_time=arrival)
         return Decision(start_time=int(candidates[best]))
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        if ctx.estimator is not None:
+            # Online estimates can drift between queries; batching would
+            # freeze them at precompute time.
+            return None
+        decisions: list[Decision | None] = [None] * len(jobs)
+        for queue, positions in group_jobs_by_queue(jobs, ctx):
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            arrivals = np.fromiter(
+                (jobs[i].arrival for i in positions), np.int64, count=len(positions)
+            )
+            batch = candidate_batch(
+                arrivals, queue.max_wait, estimate, ctx.carbon_horizon, ctx.granularity
+            )
+            chosen = arrivals.copy()
+            if batch.index.size:
+                view = ctx.forecaster.window_view(estimate)
+                if view is None:
+                    return None
+                footprints = view[batch.starts]
+                # First candidate of each job is its arrival, so the
+                # per-job immediate footprint sits at the slice offsets.
+                immediate = footprints[batch.offsets]
+                savings = batch.expand(immediate) - footprints
+                completion = batch.starts + estimate - batch.expand(batch.arrivals)
+                cst = savings / completion
+                # completion[0] in the scalar path is exactly `estimate`.
+                tolerance = 1e-9 * np.maximum(1.0, immediate)
+                threshold = segment_max(cst, batch) - tolerance / estimate
+                best = segment_first_where(cst >= batch.expand(threshold), batch)
+                chosen[batch.index] = np.where(
+                    savings[best] <= tolerance, batch.arrivals, batch.starts[best]
+                )
+            for slot, position in enumerate(positions):
+                decisions[position] = Decision(start_time=int(chosen[slot]))
+        return cast(list[Decision], decisions)

@@ -8,9 +8,19 @@ it -- the paper's key "coarse length knowledge" assumption.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import cast
+
 import numpy as np
 
 from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.scoring import (
+    candidate_batch,
+    group_jobs_by_queue,
+    segment_first_where,
+    segment_max,
+    segment_min,
+)
 from repro.workload.job import Job
 
 __all__ = ["LowestWindow"]
@@ -37,3 +47,35 @@ class LowestWindow(Policy):
         tolerance = 1e-9 * max(1.0, float(np.max(footprints)))
         best = int(np.flatnonzero(footprints <= footprints.min() + tolerance)[0])
         return Decision(start_time=int(candidates[best]))
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        if ctx.estimator is not None:
+            # Online estimates can drift between queries; batching would
+            # freeze them at precompute time.
+            return None
+        decisions: list[Decision | None] = [None] * len(jobs)
+        for queue, positions in group_jobs_by_queue(jobs, ctx):
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            arrivals = np.fromiter(
+                (jobs[i].arrival for i in positions), np.int64, count=len(positions)
+            )
+            batch = candidate_batch(
+                arrivals, queue.max_wait, estimate, ctx.carbon_horizon, ctx.granularity
+            )
+            chosen = arrivals.copy()
+            if batch.index.size:
+                view = ctx.forecaster.window_view(estimate)
+                if view is None:
+                    return None
+                footprints = view[batch.starts]
+                tolerance = 1e-9 * np.maximum(1.0, segment_max(footprints, batch))
+                within = footprints <= batch.expand(
+                    segment_min(footprints, batch) + tolerance
+                )
+                best = segment_first_where(within, batch)
+                chosen[batch.index] = batch.starts[best]
+            for slot, position in enumerate(positions):
+                decisions[position] = Decision(start_time=int(chosen[slot]))
+        return cast(list[Decision], decisions)

@@ -20,10 +20,21 @@ are typically published day-ahead.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from typing import cast
+
 import numpy as np
 
 from repro.errors import SchedulingError
 from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.scoring import (
+    CandidateBatch,
+    candidate_batch,
+    group_jobs_by_queue,
+    segment_first_where,
+    segment_max,
+    segment_min,
+)
 from repro.workload.job import Job
 
 __all__ = ["PriceAware", "WeightedCarbonPrice"]
@@ -59,6 +70,36 @@ class PriceAware(Policy):
         tolerance = 1e-9 * max(1.0, float(np.max(np.abs(prices))))
         best = int(np.flatnonzero(prices <= prices.min() + tolerance)[0])
         return Decision(start_time=int(candidates[best]))
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        if ctx.estimator is not None:
+            return None
+        decisions: list[Decision | None] = [None] * len(jobs)
+        for queue, positions in group_jobs_by_queue(jobs, ctx):
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            arrivals = np.fromiter(
+                (jobs[i].arrival for i in positions), np.int64, count=len(positions)
+            )
+            batch = candidate_batch(
+                arrivals, queue.max_wait, estimate, ctx.carbon_horizon, ctx.granularity
+            )
+            chosen = arrivals.copy()
+            if batch.index.size:
+                view = _price_forecaster(ctx).window_view(estimate)
+                if view is None:
+                    return None
+                prices = view[batch.starts]
+                # Price series can be negative: bound the tolerance by the
+                # largest magnitude, exactly as the scalar path does.
+                tolerance = 1e-9 * np.maximum(1.0, segment_max(np.abs(prices), batch))
+                within = prices <= batch.expand(segment_min(prices, batch) + tolerance)
+                best = segment_first_where(within, batch)
+                chosen[batch.index] = batch.starts[best]
+            for slot, position in enumerate(positions):
+                decisions[position] = Decision(start_time=int(chosen[slot]))
+        return cast(list[Decision], decisions)
 
 
 class WeightedCarbonPrice(Policy):
@@ -104,3 +145,45 @@ class WeightedCarbonPrice(Policy):
         tolerance = 1e-9 * max(1.0, float(np.max(np.abs(blended))))
         best = int(np.flatnonzero(blended <= blended.min() + tolerance)[0])
         return Decision(start_time=int(candidates[best]))
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        if ctx.estimator is not None:
+            return None
+        decisions: list[Decision | None] = [None] * len(jobs)
+        for queue, positions in group_jobs_by_queue(jobs, ctx):
+            estimate = max(1, int(round(ctx.length_estimate(queue))))
+            arrivals = np.fromiter(
+                (jobs[i].arrival for i in positions), np.int64, count=len(positions)
+            )
+            batch = candidate_batch(
+                arrivals, queue.max_wait, estimate, ctx.carbon_horizon, ctx.granularity
+            )
+            chosen = arrivals.copy()
+            if batch.index.size:
+                carbon_view = ctx.forecaster.window_view(estimate)
+                price_view = _price_forecaster(ctx).window_view(estimate)
+                if carbon_view is None or price_view is None:
+                    return None
+
+                def normalized(series: np.ndarray, batch: CandidateBatch) -> np.ndarray:
+                    # Division by 1.0 is exact, so folding the scalar
+                    # path's `if anchor > 1e-12` branch into a divisor of
+                    # 1.0 keeps the bits identical.
+                    anchor = np.abs(series[batch.offsets])
+                    divisor = np.where(anchor > 1e-12, anchor, 1.0)
+                    return series / batch.expand(divisor)
+
+                blended = (
+                    self.carbon_weight * normalized(carbon_view[batch.starts], batch)
+                    + (1.0 - self.carbon_weight)
+                    * normalized(price_view[batch.starts], batch)
+                )
+                tolerance = 1e-9 * np.maximum(1.0, segment_max(np.abs(blended), batch))
+                within = blended <= batch.expand(segment_min(blended, batch) + tolerance)
+                best = segment_first_where(within, batch)
+                chosen[batch.index] = batch.starts[best]
+            for slot, position in enumerate(positions):
+                decisions[position] = Decision(start_time=int(chosen[slot]))
+        return cast(list[Decision], decisions)

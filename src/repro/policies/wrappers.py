@@ -21,6 +21,8 @@ availability is runtime state no arrival-time decision can know.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.errors import SchedulingError
 from repro.policies.base import Decision, Policy, SchedulingContext
 from repro.units import hours
@@ -30,7 +32,12 @@ __all__ = ["ResFirst", "SpotFirst", "SpotRes"]
 
 
 class _Wrapper(Policy):
-    """Shared plumbing for meta-policies around a timing policy."""
+    """Shared plumbing for meta-policies around a timing policy.
+
+    Subclasses implement :meth:`_wrap`, the pure per-job rewrapping of
+    the inner decision; ``decide`` and ``decide_many`` both route through
+    it so the scalar and batched paths cannot drift apart.
+    """
 
     def __init__(self, inner: Policy):
         if inner is None:
@@ -45,6 +52,23 @@ class _Wrapper(Policy):
     def _inner_decision(self, job: Job, ctx: SchedulingContext) -> Decision:
         return self.inner.decide(job, ctx)
 
+    def _wrap(self, job: Job, decision: Decision, ctx: SchedulingContext) -> Decision:
+        raise NotImplementedError  # pragma: no cover - subclasses override
+
+    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
+        return self._wrap(job, self._inner_decision(job, ctx), ctx)
+
+    def decide_many(
+        self, jobs: Sequence[Job], ctx: SchedulingContext
+    ) -> list[Decision] | None:
+        inner = self.inner.decide_many(jobs, ctx)
+        if inner is None:
+            return None
+        return [
+            self._wrap(job, decision, ctx)
+            for job, decision in zip(jobs, inner, strict=True)
+        ]
+
 
 class ResFirst(_Wrapper):
     """Work-conserving reserved-first scheduling around a timing policy."""
@@ -53,8 +77,7 @@ class ResFirst(_Wrapper):
         super().__init__(inner)
         self.name = f"RES-First-{inner.name}"
 
-    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
-        decision = self._inner_decision(job, ctx)
+    def _wrap(self, job: Job, decision: Decision, ctx: SchedulingContext) -> Decision:
         if decision.segments is not None and len(decision.segments) > 1:
             raise SchedulingError(
                 f"{self.name} wraps uninterruptible timing policies only; "
@@ -86,8 +109,7 @@ class SpotFirst(_Wrapper):
     def _eligible(self, job: Job, ctx: SchedulingContext) -> bool:
         return ctx.queue_of(job).max_length <= self.spot_max_length
 
-    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
-        decision = self._inner_decision(job, ctx)
+    def _wrap(self, job: Job, decision: Decision, ctx: SchedulingContext) -> Decision:
         if not self._eligible(job, ctx):
             return decision
         # Suspend-resume inner plans are preserved: each segment runs on
@@ -107,8 +129,7 @@ class SpotRes(SpotFirst):
         super().__init__(inner, spot_max_length=spot_max_length)
         self.name = f"Spot-RES-{inner.name}"
 
-    def decide(self, job: Job, ctx: SchedulingContext) -> Decision:
-        decision = self._inner_decision(job, ctx)
+    def _wrap(self, job: Job, decision: Decision, ctx: SchedulingContext) -> Decision:
         if self._eligible(job, ctx):
             return Decision(
                 start_time=decision.start_time,

@@ -70,7 +70,7 @@ class _EventKind(IntEnum):
     START = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunState:
     """Mutable execution state of one job inside the engine."""
 
@@ -92,6 +92,23 @@ class _RunState:
     spot_attempts: int = 0
     checkpoint_overhead_minutes: float = 0.0  # cpu-minutes spent checkpointing
     pending_overhead: int = 0  # wall overhead of the open allocation
+
+
+def _batched_hook_consistent(policy: Policy) -> bool:
+    """Whether ``policy.decide_many`` can stand in for its ``decide``.
+
+    ``decide_many`` promises bit-identical decisions to ``decide``, but
+    the promise is made by the class that defines *both*.  A subclass
+    overriding only ``decide`` inherits a ``decide_many`` that speaks
+    for the ancestor's behaviour, not the override's -- batching it
+    would silently ignore the override.  Sound iff the class providing
+    ``decide_many`` sits at or below the class providing ``decide`` in
+    the MRO.
+    """
+    cls = type(policy)
+    decide_owner = next(c for c in cls.__mro__ if "decide" in c.__dict__)
+    many_owner = next(c for c in cls.__mro__ if "decide_many" in c.__dict__)
+    return issubclass(many_owner, decide_owner)
 
 
 class Engine:
@@ -120,6 +137,7 @@ class Engine:
         memoize_decisions: bool | None = None,
         tracer: Tracer | None = None,
         fault_injector=None,
+        fast_path: bool = True,
     ):
         self.workload = workload
         self.carbon = carbon
@@ -172,6 +190,15 @@ class Engine:
             memoize_decisions = getattr(policy, "stateless", False)
         self.memoize_decisions = bool(memoize_decisions) and length_estimator is None
         self._decision_memo: dict[tuple[int, str, int, int], Decision] = {}
+        # Array-native fast path: batch-precompute decisions and feed
+        # arrivals straight from the sorted workload instead of the heap.
+        # Bit-identical to the legacy path by construction (see run());
+        # ``fast_path=False`` forces the legacy scalar path, which the
+        # digest-parity suite compares against.
+        self.fast_path = bool(fast_path)
+        self._precomputed = False
+        self._precomputed_fresh: set[tuple[int, str, int, int]] = set()
+        self._batched_decisions = 0
 
         self._heap: list[tuple[int, int, int, _RunState | Job]] = []
         self._seq = itertools.count()
@@ -204,21 +231,17 @@ class Engine:
                     horizon=self.workload.horizon,
                 )
             )
-        for job in self.workload:
-            self._push(job.arrival, _EventKind.ARRIVAL, job)
-
-        handlers = {
-            _EventKind.ARRIVAL: self._on_arrival,
-            _EventKind.START: self._on_start,
-            _EventKind.FINISH: self._on_finish,
-            _EventKind.EVICT: self._on_evict,
-        }
-        injector = self._fault_injector
-        while self._heap:
-            time, kind, _, payload = heapq.heappop(self._heap)
-            if injector is not None and 0 <= injector.next_time <= time:
-                injector.fire(self, time)
-            handlers[_EventKind(kind)](time, payload)
+        # Handlers indexed by the integer event kind: finish, evict,
+        # arrival, start (the _EventKind tie-break order).
+        handlers = (self._on_finish, self._on_evict, self._on_arrival, self._on_start)
+        if self.fast_path:
+            self._precompute_decisions()
+            if self._can_run_linear():
+                self._run_linear()
+            else:
+                self._run_merged(handlers)
+        else:
+            self._run_legacy(handlers)
 
         unfinished = [run.job.job_id for run in self._runs if not run.finished]
         if unfinished:
@@ -226,6 +249,196 @@ class Engine:
             more = ", ..." if len(unfinished) > 5 else ""
             raise SimulationError(f"jobs never finished: [{shown}{more}]")
         return self._build_result()
+
+    def _run_legacy(self, handlers: tuple) -> None:
+        """The original event loop: every arrival is a heap event."""
+        injector = self._fault_injector
+        for job in self.workload:
+            self._push(job.arrival, _EventKind.ARRIVAL, job)
+        while self._heap:
+            time, kind, _, payload = heapq.heappop(self._heap)
+            if injector is not None and 0 <= injector.next_time <= time:
+                injector.fire(self, time)
+            handlers[kind](time, payload)
+
+    def _run_merged(self, handlers: tuple) -> None:
+        """Feed arrivals straight from the sorted workload, heap-free.
+
+        The workload is already in canonical (arrival, job_id) order, so
+        the heap keys the legacy path would assign to arrivals --
+        ``(arrival, ARRIVAL, i)`` for ``i`` in workload order -- are
+        strictly increasing.  Merging that sorted stream against the heap
+        of dynamic events (comparing the next arrival's key with the heap
+        top) therefore pops events in exactly the legacy order, while the
+        ``n`` arrival events never touch the heap at all.  Same-minute
+        arrival cohorts drain back-to-back through the fast branch below
+        without re-heapifying between them.
+        """
+        jobs = self.workload.jobs
+        num_jobs = len(jobs)
+        # Dynamic events must sort after the implicit arrival sequence
+        # numbers 0..n-1, exactly as if the arrivals were pushed first.
+        self._seq = itertools.count(num_jobs)
+        heap = self._heap
+        injector = self._fault_injector
+        arrival_kind = int(_EventKind.ARRIVAL)
+        index = 0
+        while True:
+            if index < num_jobs:
+                job = jobs[index]
+                # 3-tuple vs 4-tuple comparison never reaches the payload:
+                # sequence numbers are unique across both streams.
+                if not heap or (job.arrival, arrival_kind, index) < heap[0]:
+                    now = job.arrival
+                    if injector is not None and 0 <= injector.next_time <= now:
+                        injector.fire(self, now)
+                    index += 1
+                    self._on_arrival(now, job)
+                    continue
+            if not heap:
+                break
+            time, kind, _, payload = heapq.heappop(heap)
+            if injector is not None and 0 <= injector.next_time <= time:
+                injector.fire(self, time)
+            handlers[kind](time, payload)
+
+    def _precompute_decisions(self) -> None:
+        """Batch the run's scheduling decisions up front when provably sound.
+
+        Requirements, all checked here: decisions must be memoizable
+        (stateless policy, no online length estimator), tracing must be
+        off (batched scoring emits no per-job CandidateWindow /
+        PolicyDecision events), and no fault injector may mutate
+        scheduling inputs between arrivals.  The policy may still opt out
+        by returning ``None`` from ``decide_many``; either way the run
+        falls back to per-arrival ``decide`` calls with an unchanged
+        digest.  Decisions are validated here exactly as the lazy path
+        validates them on first compute, and ``_policy_calls`` /
+        ``_memo_hits`` metrics stay identical via ``_precomputed_fresh``
+        (the first arrival-time lookup of a precomputed key is the
+        batched stand-in for the lazy compute, not a memo hit).
+
+        A subclass that overrides ``decide`` while inheriting an
+        ancestor's ``decide_many`` would silently batch the *ancestor's*
+        decisions; such policies are detected by MRO position and fall
+        back to the scalar path.
+        """
+        if not self.memoize_decisions or self._tracing or self._fault_injector is not None:
+            return
+        if not _batched_hook_consistent(self.policy):
+            return
+        unique: dict[tuple[int, str, int, int], Job] = {}
+        for job in self.workload:
+            key = (job.arrival, job.queue, job.cpus, job.length)
+            if key not in unique:
+                unique[key] = job
+        batch = list(unique.values())
+        decisions = self.policy.decide_many(batch, self.ctx)
+        if decisions is None:
+            return
+        if self.validate:
+            self._validate_batched(batch, decisions)
+        memo = self._decision_memo
+        for job, decision in zip(batch, decisions, strict=True):
+            memo[(job.arrival, job.queue, job.cpus, job.length)] = decision
+        self._policy_calls += len(batch)
+        self._batched_decisions = len(batch)
+        self._precomputed = True
+        self._precomputed_fresh = set(memo)
+
+    def _validate_batched(self, jobs: list[Job], decisions: list[Decision]) -> None:
+        """Vectorized :func:`validate_decision` over a precomputed batch.
+
+        Plain start-time decisions -- the entire batched-policy surface
+        today -- reduce to two array bound checks.  Segment plans, length
+        mismatches, and any batch that fails the vectorized checks fall
+        back to the scalar validator, which raises the exact per-job
+        error in batch order.
+        """
+        if len(jobs) != len(decisions) or any(
+            decision.segments is not None for decision in decisions
+        ):
+            for job, decision in zip(jobs, decisions, strict=True):
+                validate_decision(job, decision, self.ctx)
+            return
+        count = len(jobs)
+        starts = np.fromiter(
+            (decision.start_time for decision in decisions), np.int64, count=count
+        )
+        arrivals = np.fromiter((job.arrival for job in jobs), np.int64, count=count)
+        wait_by_queue = {
+            queue.name: queue.max_wait for queue in self.ctx.queues
+        }
+        waits = np.fromiter(
+            (
+                wait_by_queue[job.queue]
+                if job.queue
+                else self.ctx.queue_of(job).max_wait
+                for job in jobs
+            ),
+            np.int64,
+            count=count,
+        )
+        within_bounds = bool(
+            (starts >= arrivals).all()
+            and (starts <= arrivals + waits + MINUTES_PER_HOUR).all()
+        )
+        if not within_bounds:
+            for job, decision in zip(jobs, decisions):
+                validate_decision(job, decision, self.ctx)
+
+    def _can_run_linear(self) -> bool:
+        """Whether every job's execution is independent of every other's.
+
+        With a zero-size reserved pool, no spot placements, no
+        reserved-pickup queueing, and no suspend-resume plans, jobs never
+        interact: each runs on-demand from its decided start for exactly
+        its length, so the event loop adds ordering the outcome does not
+        depend on.  Requires a successful decision precompute (which
+        itself guarantees no tracer, no fault injector, and no online
+        estimator) so the full decision set is inspectable up front.
+        """
+        if not self._precomputed or self.pool.capacity != 0:
+            return False
+        return all(
+            decision.segments is None
+            and not decision.use_spot
+            and not decision.reserved_pickup
+            for decision in self._decision_memo.values()
+        )
+
+    def _run_linear(self) -> None:
+        """Materialize the contention-free schedule without an event loop.
+
+        Replays exactly what the event loop would do for independent
+        jobs -- arrival, on-demand start at ``decision.start_time``, one
+        usage interval, finish ``length`` minutes later -- directly into
+        run states, in workload (= arrival processing) order.  The
+        memo-hit tally reproduces the per-arrival ``_decide`` stream
+        arithmetically: the first lookup of each precomputed key is the
+        stand-in for its lazy compute, every later lookup is a hit.
+        """
+        memo = self._decision_memo
+        runs = self._runs
+        interval = UsageInterval._from_validated  # end - start == length > 0
+        on_demand = PurchaseOption.ON_DEMAND
+        for job in self.workload.jobs:
+            decision = memo[(job.arrival, job.queue, job.cpus, job.length)]
+            start = decision.start_time
+            finish = start + job.length
+            runs.append(
+                _RunState(
+                    job=job,
+                    decision=decision,
+                    started=True,
+                    finished=True,
+                    first_start=start,
+                    finish=finish,
+                    usage=[interval(start, finish, job.cpus, on_demand)],
+                )
+            )
+        self._memo_hits += len(runs) - self._batched_decisions
+        self._precomputed_fresh.clear()
 
     # ------------------------------------------------------------------
     # Handlers
@@ -282,6 +495,14 @@ class Engine:
             if self.validate:
                 validate_decision(job, cached, self.ctx)
             self._decision_memo[key] = cached
+        elif self._precomputed_fresh:
+            # A batch-precomputed decision's first arrival-time lookup is
+            # the stand-in for the lazy compute (already tallied as a
+            # policy call), not a memo hit; later lookups are hits.
+            if key in self._precomputed_fresh:
+                self._precomputed_fresh.discard(key)
+            else:
+                self._memo_hits += 1
         else:
             self._memo_hits += 1
         if self._tracing:
@@ -303,6 +524,20 @@ class Engine:
                 decision.start_time // MINUTES_PER_HOUR, len(price_hourly) - 1
             )
             price_usd_per_mwh = float(price_hourly[price_index])
+        # Compute the arrival CI once and pass it through: when arrival
+        # and planned start fall in the same trace hour (the common case
+        # for immediate starts) the start CI is the same value, so the
+        # second trace lookup is skipped entirely.
+        hourly = self.carbon.hourly
+        last_hour = len(hourly) - 1
+        arrival_hour = min(job.arrival // MINUTES_PER_HOUR, last_hour)
+        arrival_ci_g_per_kwh = float(hourly[arrival_hour])
+        start_hour = min(decision.start_time // MINUTES_PER_HOUR, last_hour)
+        start_ci_g_per_kwh = (
+            arrival_ci_g_per_kwh
+            if start_hour == arrival_hour
+            else float(hourly[start_hour])
+        )
         self.tracer.emit(
             PolicyDecision(
                 time=job.arrival,
@@ -313,8 +548,8 @@ class Engine:
                 reserved_pickup=decision.reserved_pickup,
                 num_segments=len(decision.segments) if decision.segments else 0,
                 memoized=memoized,
-                arrival_ci_g_per_kwh=self._ci_at(job.arrival),
-                start_ci_g_per_kwh=self._ci_at(decision.start_time),
+                arrival_ci_g_per_kwh=arrival_ci_g_per_kwh,
+                start_ci_g_per_kwh=start_ci_g_per_kwh,
                 start_price_usd_per_mwh=price_usd_per_mwh,
             )
         )
@@ -516,25 +751,29 @@ class Engine:
         expression each for energy, metered cost, and boot-overhead
         carbon) replaces the per-interval Python calls the old accounting
         loop made.  Values are elementwise-identical to the scalar
-        formulas, so the per-job accumulation in :meth:`_record_for`
-        reproduces the old sums bit for bit.
+        formulas, so the per-job assembly in :meth:`_records` reproduces
+        the old sums bit for bit.
         """
         count = sum(len(run.usage) for run in self._runs)
         starts = np.empty(count, dtype=np.int64)
         durations = np.empty(count, dtype=np.int64)
         cpu_counts = np.empty(count, dtype=np.int64)
         rates_usd_per_hour = np.empty(count, dtype=np.float64)
+        rate_for = {
+            option: (
+                0.0
+                if option is PurchaseOption.RESERVED
+                else self.pricing.hourly_rate(option)
+            )
+            for option in PurchaseOption
+        }
         cursor = 0
         for run in self._runs:
             for interval in run.usage:
                 starts[cursor] = interval.start
                 durations[cursor] = interval.end - interval.start
                 cpu_counts[cursor] = interval.cpus
-                rates_usd_per_hour[cursor] = (
-                    0.0
-                    if interval.option is PurchaseOption.RESERVED
-                    else self.pricing.hourly_rate(interval.option)
-                )
+                rates_usd_per_hour[cursor] = rate_for[interval.option]
                 cursor += 1
         kw_values = self.energy.active_kw_many(cpu_counts)
         carbon_values_g = self.carbon.integrate_many(starts, durations) * kw_values
@@ -551,7 +790,7 @@ class Engine:
             boot_carbon_values_g.tolist(),
         )
 
-    def _record_for(
+    def _accumulate(
         self,
         run: _RunState,
         offset: int,
@@ -559,9 +798,15 @@ class Engine:
         energy_values_kwh: list[float],
         cost_values_usd: list[float],
         boot_carbon_values_g: list[float],
-    ) -> JobRecord:
+    ) -> tuple[float, float, float, float]:
+        """Sequential per-interval accumulation for multi-interval runs.
+
+        Left-to-right float summation is part of the digest contract, so
+        runs with several usage intervals (evictions, suspend-resume
+        plans) keep the exact accumulation order of the original scalar
+        loop; single-interval runs bypass this in :meth:`_records`.
+        """
         job = run.job
-        kw = self.energy.active_kw(job.cpus)
         carbon_g = 0.0
         energy_kwh = 0.0
         usage_cost = 0.0
@@ -586,26 +831,109 @@ class Engine:
                 )
                 energy_kwh += self.energy.energy_kwh(job.cpus, overhead)
                 carbon_g += boot_carbon_values_g[index]
-        baseline_end = min(job.arrival + job.length, self.carbon.horizon_minutes)
-        baseline = self.carbon.interval_carbon(job.arrival, baseline_end) * kw
-        return JobRecord(
-            job_id=job.job_id,
-            queue=job.queue,
-            arrival=job.arrival,
-            length=job.length,
-            cpus=job.cpus,
-            first_start=run.first_start if run.first_start is not None else job.arrival,
-            finish=run.finish if run.finish is not None else job.arrival + job.length,
-            carbon_g=carbon_g,
-            energy_kwh=energy_kwh,
-            usage_cost=usage_cost,
-            baseline_carbon_g=baseline,
-            usage=tuple(run.usage),
-            evictions=run.evictions,
-            lost_cpu_minutes=run.lost_cpu_minutes,
-            checkpoint_overhead_minutes=run.checkpoint_overhead_minutes,
-            provisioning_cpu_minutes=provisioning,
+        return carbon_g, energy_kwh, usage_cost, provisioning
+
+    def _records(
+        self, values: tuple[list[float], list[float], list[float], list[float]]
+    ) -> list[JobRecord]:
+        """Assemble every job's record from the batched interval values.
+
+        Run-on-arrival baselines are computed for all runs in one
+        ``integrate_many * active_kw_many`` expression (elementwise the
+        same float ops as the scalar ``interval_carbon(a, e) *
+        active_kw(c)``, so bit-identical).  Runs with exactly one usage
+        interval -- the overwhelming bulk of any workload -- read their
+        accounting straight out of the batched arrays (``0.0 + v == v``
+        exactly, so skipping the accumulator changes nothing); the rest
+        go through :meth:`_accumulate`.
+        """
+        carbon_values_g, energy_values_kwh, cost_values_usd, _ = values
+        runs = self._runs
+        num_runs = len(runs)
+        arrivals = np.fromiter((run.job.arrival for run in runs), np.int64, count=num_runs)
+        lengths = np.fromiter((run.job.length for run in runs), np.int64, count=num_runs)
+        cpu_counts = np.fromiter((run.job.cpus for run in runs), np.int64, count=num_runs)
+        ends = np.minimum(arrivals + lengths, self.carbon.horizon_minutes)
+        baselines = (
+            self.carbon.integrate_many(arrivals, ends - arrivals)
+            * self.energy.active_kw_many(cpu_counts)
+        ).tolist()
+        # The record invariants (started at/after arrival, finished no
+        # earlier than start + length) are checked vectorized across all
+        # runs; when they hold -- always, short of an engine bug -- the
+        # per-record assembly skips ``JobRecord.__init__``.  When one
+        # fails, the validating constructor raises the exact per-job
+        # error the scalar path always raised.
+        first_starts = np.fromiter(
+            (
+                run.first_start if run.first_start is not None else run.job.arrival
+                for run in runs
+            ),
+            np.int64,
+            count=num_runs,
         )
+        finishes = np.fromiter(
+            (
+                run.finish
+                if run.finish is not None
+                else run.job.arrival + run.job.length
+                for run in runs
+            ),
+            np.int64,
+            count=num_runs,
+        )
+        invariants_hold = not bool(
+            (first_starts < arrivals).any() or (finishes < first_starts + lengths).any()
+        )
+        # Waiting minutes (finish - arrival - length) for the metrics
+        # histogram, computed here where the arrays already exist; the
+        # values are exact small integers, so int64 -> float64 is exact.
+        self._waiting_minutes = (finishes - arrivals - lengths).astype(np.float64).tolist()
+        overhead = self.instance_overhead_minutes
+        fast_record = JobRecord._from_validated
+        records = []
+        offset = 0
+        for position, run in enumerate(runs):
+            job = run.job
+            count = len(run.usage)
+            if count == 1 and (
+                not overhead or run.usage[0].option is PurchaseOption.RESERVED
+            ):
+                carbon_g = carbon_values_g[offset]
+                energy_kwh = energy_values_kwh[offset]
+                usage_cost = cost_values_usd[offset]
+                provisioning = 0.0
+            else:
+                carbon_g, energy_kwh, usage_cost, provisioning = self._accumulate(
+                    run, offset, *values
+                )
+            fields = {
+                "job_id": job.job_id,
+                "queue": job.queue,
+                "arrival": job.arrival,
+                "length": job.length,
+                "cpus": job.cpus,
+                "first_start": (
+                    run.first_start if run.first_start is not None else job.arrival
+                ),
+                "finish": (
+                    run.finish if run.finish is not None else job.arrival + job.length
+                ),
+                "carbon_g": carbon_g,
+                "energy_kwh": energy_kwh,
+                "usage_cost": usage_cost,
+                "baseline_carbon_g": baselines[position],
+                "usage": tuple(run.usage),
+                "evictions": run.evictions,
+                "lost_cpu_minutes": run.lost_cpu_minutes,
+                "checkpoint_overhead_minutes": run.checkpoint_overhead_minutes,
+                "provisioning_cpu_minutes": provisioning,
+            }
+            records.append(
+                fast_record(fields) if invariants_hold else JobRecord(**fields)
+            )
+            offset += count
+        return records
 
     def _audit_finite(self, values: tuple[list[float], ...]) -> None:
         """Reject non-finite accounting before it reaches a result.
@@ -626,11 +954,7 @@ class Engine:
     def _build_result(self) -> SimulationResult:
         values = self._interval_values()
         self._audit_finite(values)
-        records = []
-        offset = 0
-        for run in self._runs:
-            records.append(self._record_for(run, offset, *values))
-            offset += len(run.usage)
+        records = self._records(values)
         if self._tracing:
             self._trace_interval_accounts(values)
         metrics = self._metrics_snapshot(records)
@@ -688,10 +1012,13 @@ class Engine:
         registry.counter(
             "engine.usage_intervals", float(sum(len(run.usage) for run in self._runs))
         )
+        registry.counter("engine.batched_decisions", float(self._batched_decisions))
         registry.gauge("engine.reserved_cpus", float(self.pool.capacity))
         registry.gauge("engine.memoize_decisions", float(self.memoize_decisions))
-        for record in records:
-            registry.histogram("engine.job_waiting_minutes", float(record.waiting_time))
+        waiting = getattr(self, "_waiting_minutes", None)
+        if waiting is None:
+            waiting = [float(record.waiting_time) for record in records]
+        registry.histogram_many("engine.job_waiting_minutes", waiting)
         return registry.snapshot()
 
 

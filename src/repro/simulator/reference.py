@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.carbon.forecast import Forecaster, NoisyForecaster, PerfectForecaster
 from repro.carbon.trace import CarbonIntensityTrace
 from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
@@ -138,6 +140,16 @@ class ReferenceEngine:
         if instance_overhead_minutes < 0:
             raise SimulationError("instance overhead must be non-negative")
         self.instance_overhead_minutes = instance_overhead_minutes
+
+        # The only hoisting the reference allows itself: the repeated
+        # ``hourly[minute // 60]`` lookup in the per-minute accounting
+        # loops is precomputed into one per-minute array (a plain
+        # ``np.repeat`` copy of the hourly values, no integration, no
+        # prefix sums).  ``_ci_at`` MUST stay semantically minute-by-
+        # minute -- one lookup per simulated minute, value equal to the
+        # hour's CI -- because the engine-vs-reference diff relies on the
+        # reference accumulating scalar minute contributions in order.
+        self._ci_per_minute_g_per_kwh = np.repeat(carbon.hourly, MINUTES_PER_HOUR)
 
         # Scheduled actions: minute -> list of (kind, seq, payload), in
         # push order.  A plain dict of plain lists -- the reference
@@ -368,15 +380,18 @@ class ReferenceEngine:
     # Accounting: one simulated minute at a time, no prefix sums
     # ------------------------------------------------------------------
     def _ci_at(self, minute: int) -> float:
-        """True carbon intensity (g/kWh) of the hour containing ``minute``."""
-        hourly = self.carbon.hourly
-        index = minute // MINUTES_PER_HOUR
-        if index >= hourly.size:
+        """True carbon intensity (g/kWh) of the hour containing ``minute``.
+
+        Reads the hoisted per-minute array -- an exact copy of
+        ``hourly[minute // 60]``, so still one scalar lookup per minute.
+        """
+        values = self._ci_per_minute_g_per_kwh
+        if minute >= values.size:
             raise SimulationError(
                 f"accounting minute {minute} beyond carbon horizon "
                 f"{self.carbon.horizon_minutes}"
             )
-        return float(hourly[index])
+        return float(values[minute])
 
     def _minute_carbon_g(self, start: int, end: int, kw: float) -> float:
         """Grams of CO2eq emitted by a ``kw`` draw over ``[start, end)``."""
@@ -477,7 +492,10 @@ def run_reference(
     rejects any knob the reference deliberately does not implement
     (tracing, fault plans, online estimation, forecaster factories).
     """
-    ignorable = {"memoize_decisions"}  # decisions are pure; caching can't matter
+    # Decisions are pure, so caching can't matter; fast_path selects
+    # between two bit-identical optimized code paths the reference is the
+    # oracle for either way.
+    ignorable = {"memoize_decisions", "fast_path"}
     rejected = {
         "forecaster_factory",
         "online_estimation",

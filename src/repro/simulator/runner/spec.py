@@ -21,6 +21,8 @@ import hashlib
 from dataclasses import dataclass
 from weakref import WeakKeyDictionary
 
+import numpy as np
+
 from repro.carbon.trace import CarbonIntensityTrace, HourlySeries
 from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
 from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
@@ -43,6 +45,15 @@ __all__ = ["FrozenWorkload", "FrozenSeries", "SimulationSpec"]
 #: serializes it only once.
 _WORKLOAD_MEMO: WeakKeyDictionary = WeakKeyDictionary()
 _SERIES_MEMO: WeakKeyDictionary = WeakKeyDictionary()
+
+#: Value-keyed thaw memo: specs unpickled in a worker each carry their
+#: own (equal) FrozenWorkload copy, so the per-payload ``_thawed`` cache
+#: never hits there.  Keying by value lets a worker rebuild each distinct
+#: workload once per sweep instead of once per spec.  Cleared wholesale
+#: at a small cap -- sweeps use a handful of workloads; unbounded growth
+#: would pin every trace a long-lived test session ever thawed.
+_THAWED_BY_VALUE: dict["FrozenWorkload", WorkloadTrace] = {}
+_THAWED_BY_VALUE_CAP = 16
 
 
 @dataclass(frozen=True)
@@ -74,15 +85,61 @@ class FrozenWorkload:
         return cached
 
     def thaw(self) -> WorkloadTrace:
-        """Rebuild the live trace this payload was frozen from."""
-        return WorkloadTrace(
-            (
-                Job(job_id=job_id, arrival=arrival, length=length, cpus=cpus, queue=queue)
-                for job_id, arrival, length, cpus, queue in self.jobs
-            ),
-            name=self.name,
-            horizon=self.horizon,
+        """Rebuild the live trace this payload was frozen from.
+
+        ``jobs`` is stored in the trace's canonical (arrival, job_id)
+        order (see the class docstring), so the rebuild goes through the
+        trusted sorted constructor; the result is cached on the payload
+        (both are immutable) so repeated executions of one spec -- e.g.
+        serial sweeps and retries -- rebuild at most once.
+        """
+        cached = self.__dict__.get("_thawed")
+        if cached is None:
+            cached = _THAWED_BY_VALUE.get(self)
+            if cached is None:
+                cached = WorkloadTrace._from_sorted(
+                    tuple(
+                        Job(job_id=job_id, arrival=arrival, length=length, cpus=cpus, queue=queue)
+                        for job_id, arrival, length, cpus, queue in self.jobs
+                    ),
+                    name=self.name,
+                    horizon=self.horizon,
+                )
+                if len(_THAWED_BY_VALUE) >= _THAWED_BY_VALUE_CAP:
+                    _THAWED_BY_VALUE.clear()
+                _THAWED_BY_VALUE[self] = cached
+            self.__dict__["_thawed"] = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Columnar pickle: numeric job fields ship as one int64 array.
+
+        Default dataclass pickling writes one tuple per job -- the bulk
+        of every spec crossing into a sweep worker.  Packing (job_id,
+        arrival, length, cpus) into a numpy array roughly halves both
+        the payload and the encode/decode time; queue labels stay a
+        plain list (pickle memoizes the few distinct strings).  The
+        ``_thawed`` / ``_content_digest`` caches are deliberately
+        dropped: a cached live trace must never ride along.
+        """
+        numbers = np.asarray(
+            [job[:4] for job in self.jobs], dtype=np.int64
+        ).reshape(len(self.jobs), 4)
+        return {
+            "name": self.name,
+            "horizon": self.horizon,
+            "numbers": numbers,
+            "queues": [job[4] for job in self.jobs],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "name", state["name"])
+        object.__setattr__(self, "horizon", state["horizon"])
+        jobs = tuple(
+            (*row, queue)
+            for row, queue in zip(state["numbers"].tolist(), state["queues"])
         )
+        object.__setattr__(self, "jobs", jobs)
 
     def content_digest(self) -> str:
         """SHA-256 over the payload; equals the live trace's

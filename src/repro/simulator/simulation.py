@@ -55,8 +55,7 @@ def prepare_carbon(
     retries and checkpoint overhead raise the factor).  One extra hour
     absorbs slot rounding.
     """
-    max_length = int(max((job.length for job in workload), default=0))
-    slack = redo_factor * max_length + queues.max_wait + MINUTES_PER_HOUR
+    slack = redo_factor * workload.max_length + queues.max_wait + MINUTES_PER_HOUR
     required_minutes = workload.horizon + slack
     if carbon.horizon_minutes >= required_minutes:
         return carbon
@@ -86,6 +85,7 @@ def run_simulation(
     memoize_decisions: bool | None = None,
     tracer: Tracer | None = None,
     fault_plan: FaultPlan | None = None,
+    fast_path: bool = True,
 ) -> SimulationResult:
     """Run one policy over one workload/region and return the accounting.
 
@@ -101,6 +101,11 @@ def run_simulation(
     ``docs/observability.md``); ``None`` consults ``$REPRO_TRACE`` via
     :func:`repro.obs.tracer.tracer_from_env` and defaults to the no-op
     null tracer, which leaves results and timings untouched.
+
+    ``fast_path`` (default on) enables the engine's array-native fast
+    path -- batched decision precomputation and the merged arrival feed
+    -- which is bit-identical to the legacy scalar path; ``False`` forces
+    the legacy path (the digest-parity suite runs both and compares).
 
     ``fault_plan`` injects deterministic faults (see
     ``docs/robustness.md``): process faults fire immediately, input
@@ -118,7 +123,7 @@ def run_simulation(
         raise ConfigError(f"policy must be a Policy or spec string, got {policy!r}")
 
     queues = queues if queues is not None else default_queue_set()
-    longest = max((job.length for job in workload), default=0)
+    longest = workload.max_length
     if longest > queues.longest.max_length:
         raise ConfigError(
             f"workload has a {longest}-minute job exceeding the longest queue "
@@ -133,7 +138,7 @@ def run_simulation(
         estimator = OnlineLengthEstimator(queues)
         workload = workload.with_queues(queues)
     else:
-        queues = queues.with_averages(workload.jobs)
+        queues = workload.queues_with_averages(queues)
         workload = workload.with_queues(queues)
     # Spot retries and checkpoint overhead extend the worst-case tail.
     redo_factor = 2
@@ -183,6 +188,7 @@ def run_simulation(
         memoize_decisions=memoize_decisions,
         tracer=tracer,
         fault_injector=engine_injector(fault_plan),
+        fast_path=fast_path,
     )
     try:
         return engine.run()

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from repro.errors import ConfigError, TraceError
 from repro.units import days, hours
 
@@ -115,6 +117,11 @@ class QueueSet:
     """
 
     queues: tuple[JobQueue, ...] = field(default_factory=tuple)
+    #: Derived lookup caches, rebuilt in ``__post_init__``: name lookup is
+    #: on the engine's per-decision path and length routing is on the
+    #: workload-preparation path, so both are O(1)/vectorized.
+    _by_name: dict[str, JobQueue] = field(init=False, repr=False, compare=False)
+    _length_bounds: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.queues:
@@ -124,15 +131,21 @@ class QueueSet:
         names = [q.name for q in ordered]
         if len(set(names)) != len(names):
             raise ConfigError(f"duplicate queue names: {names}")
+        object.__setattr__(self, "_by_name", {q.name: q for q in ordered})
+        object.__setattr__(
+            self,
+            "_length_bounds",
+            np.asarray([q.max_length for q in ordered], dtype=np.int64),
+        )
 
     def __iter__(self):
         return iter(self.queues)
 
     def __getitem__(self, name: str) -> JobQueue:
-        for queue in self.queues:
-            if queue.name == name:
-                return queue
-        raise KeyError(name)
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(name) from None
 
     @property
     def longest(self) -> JobQueue:
@@ -153,25 +166,76 @@ class QueueSet:
             f"{self.longest.max_length} min"
         )
 
+    def _route_indices(self, lengths: np.ndarray) -> np.ndarray:
+        """Queue index for each job length, via one ``searchsorted``.
+
+        The first queue whose ``max_length`` covers the job is the first
+        insertion point into the sorted bounds, so this reproduces
+        :meth:`queue_for_length` for every length at once -- including
+        raising the same error for the first over-long job.
+        """
+        indices = np.searchsorted(self._length_bounds, lengths, side="left")
+        overflow = indices == len(self.queues)
+        if overflow.any():
+            length = int(lengths[int(np.argmax(overflow))])
+            raise ConfigError(
+                f"job length {length} min exceeds the longest queue bound "
+                f"{self.longest.max_length} min"
+            )
+        return indices
+
     def assign(self, jobs: Iterable[Job]) -> list[Job]:
-        """Route each job to its queue, returning re-labelled copies."""
-        return [job.with_queue(self.queue_for_length(job.length).name) for job in jobs]
+        """Route each job to its queue, returning re-labelled copies.
+
+        Routing is batched through :meth:`_route_indices`.  Jobs already
+        carrying the right label are returned as-is (they are frozen, so
+        sharing is safe); the rest are rebuilt with a direct constructor
+        call, which is several times cheaper than ``dataclasses.replace``
+        on this hot preparation path.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        lengths = np.fromiter((job.length for job in jobs), np.int64, count=len(jobs))
+        names = [self.queues[i].name for i in self._route_indices(lengths).tolist()]
+        routed = []
+        for job, name in zip(jobs, names):
+            if job.queue == name:
+                routed.append(job)
+            else:
+                routed.append(
+                    Job(
+                        job_id=job.job_id,
+                        arrival=job.arrival,
+                        length=job.length,
+                        cpus=job.cpus,
+                        queue=name,
+                    )
+                )
+        return routed
 
     def with_averages(self, jobs: Sequence[Job]) -> "QueueSet":
         """A copy whose queues carry per-queue historical average lengths.
 
         Jobs are routed by length; queues with no jobs keep their previous
-        estimate.
+        estimate.  Lengths are integer minutes, so the vectorized
+        per-queue sums are exact and the averages match the old
+        one-job-at-a-time accumulation bit for bit.
         """
-        totals: dict[str, list[float]] = {queue.name: [] for queue in self.queues}
-        for job in jobs:
-            totals[self.queue_for_length(job.length).name].append(job.length)
-        new_queues = []
-        for queue in self.queues:
-            lengths = totals[queue.name]
-            if lengths:
-                queue = replace(queue, avg_length=sum(lengths) / len(lengths))
-            new_queues.append(queue)
+        new_queues = list(self.queues)
+        if jobs:
+            lengths = np.fromiter(
+                (job.length for job in jobs), np.int64, count=len(jobs)
+            )
+            indices = self._route_indices(lengths)
+            num_queues = len(self.queues)
+            sums = np.bincount(indices, weights=lengths, minlength=num_queues)
+            counts = np.bincount(indices, minlength=num_queues)
+            for position, queue in enumerate(new_queues):
+                if counts[position]:
+                    new_queues[position] = replace(
+                        queue, avg_length=float(sums[position]) / int(counts[position])
+                    )
         return QueueSet(tuple(new_queues))
 
 

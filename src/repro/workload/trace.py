@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.units import MINUTES_PER_HOUR
-from repro.workload.job import Job
+from repro.workload.job import Job, QueueSet
 
 __all__ = ["WorkloadTrace"]
 
@@ -43,6 +43,28 @@ class WorkloadTrace:
             raise TraceError("horizon ends before the last arrival")
         self.horizon = horizon if horizon is not None else inferred
         self._content_digest: str | None = None
+        self._prep_cache: dict = {}
+
+    @classmethod
+    def _from_sorted(
+        cls, ordered: tuple[Job, ...], name: str, horizon: int
+    ) -> "WorkloadTrace":
+        """Trusted constructor for jobs already in canonical order.
+
+        Callers guarantee ``ordered`` is sorted by (arrival, job_id) with
+        unique ids and that ``horizon`` is valid for it -- true whenever
+        the jobs come from an existing trace (re-routing queues preserves
+        order, thawing a frozen snapshot restores it).  Skipping the
+        sort, duplicate check, and horizon inference makes rebuilds of
+        large traces cheap on the sweep hot path.
+        """
+        trace = cls.__new__(cls)
+        trace._jobs = tuple(ordered)
+        trace.name = name
+        trace.horizon = horizon
+        trace._content_digest = None
+        trace._prep_cache = {}
+        return trace
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +118,20 @@ class WorkloadTrace:
         if self.horizon <= 0:
             raise TraceError("trace horizon must be positive")
         return self.total_cpu_minutes / self.horizon
+
+    @property
+    def max_length(self) -> int:
+        """Longest job length in the trace (0 when empty), cached.
+
+        Every simulation run needs it twice (queue-bound check and
+        carbon-trace coverage), so the scan over an immutable trace runs
+        once.
+        """
+        cached = self._prep_cache.get("max_length")
+        if cached is None:
+            cached = int(max((job.length for job in self._jobs), default=0))
+            self._prep_cache["max_length"] = cached
+        return cached
 
     def lengths(self) -> np.ndarray:
         """Job lengths in minutes as an array."""
@@ -157,8 +193,34 @@ class WorkloadTrace:
         return WorkloadTrace(jobs, name=self.name, horizon=self.horizon)
 
     def with_queues(self, queue_set) -> "WorkloadTrace":
-        """A copy with every job routed to its queue."""
-        return WorkloadTrace(queue_set.assign(self._jobs), name=self.name, horizon=self.horizon)
+        """A copy with every job routed to its queue.
+
+        Routing rewrites only the queue label, so the canonical
+        (arrival, job_id) order of this trace carries over unchanged.
+        Memoized per queue set (by value): sweeps route the same trace
+        through the same queues once per spec, and both sides are
+        immutable, so re-routing is a dictionary hit.
+        """
+        cached = self._prep_cache.get(("with_queues", queue_set))
+        if cached is None:
+            cached = WorkloadTrace._from_sorted(
+                tuple(queue_set.assign(self._jobs)), name=self.name, horizon=self.horizon
+            )
+            self._prep_cache[("with_queues", queue_set)] = cached
+        return cached
+
+    def queues_with_averages(self, queue_set: "QueueSet") -> "QueueSet":
+        """``queue_set.with_averages(self.jobs)``, memoized per queue set.
+
+        The historical averages depend only on this immutable trace and
+        the (immutable) input queues, so every simulation of the same
+        workload shares one computation.
+        """
+        cached = self._prep_cache.get(("averaged", queue_set))
+        if cached is None:
+            cached = queue_set.with_averages(self._jobs)
+            self._prep_cache[("averaged", queue_set)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Persistence

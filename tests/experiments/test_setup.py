@@ -9,7 +9,14 @@ from repro.experiments.base import SCALES, ExperimentResult, current_scale
 
 class TestScales:
     def test_known_scales(self):
-        assert set(SCALES) == {"small", "medium", "full"}
+        assert set(SCALES) == {"small", "medium", "large", "full"}
+
+    def test_large_sits_between_medium_and_full(self):
+        assert (
+            SCALES["medium"].year_jobs
+            < SCALES["large"].year_jobs
+            < SCALES["full"].year_jobs
+        )
 
     def test_override_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "medium")

@@ -217,7 +217,16 @@ class TestUnfinishedJobsMessage:
             horizon=days(1),
         )
         with pytest.raises(SimulationError) as excinfo:
-            run_simulation(workload, region_trace("SA-AU"), "nowait", validate=False)
+            run_simulation(
+                workload,
+                region_trace("SA-AU"),
+                "nowait",
+                validate=False,
+                # The linear fast path never routes through _on_finish;
+                # the unfinished-jobs guard under test lives on the
+                # event-loop paths.
+                fast_path=False,
+            )
         return str(excinfo.value)
 
     def test_few_ids_are_listed_without_ellipsis(self, monkeypatch):
