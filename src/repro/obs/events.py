@@ -45,6 +45,13 @@ __all__ = [
     "SpecRetried",
     "SpecFailed",
     "PoolRespawned",
+    "ServiceStarted",
+    "ServiceJobAdmitted",
+    "ServiceJobRejected",
+    "ServiceJobCancelled",
+    "ServiceClockAdvanced",
+    "ServiceDrained",
+    "ServiceStopped",
 ]
 
 
@@ -340,3 +347,123 @@ class PoolRespawned(Event):
 
     reason: str
     respawns: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceStarted(Event):
+    """The scheduler service opened its engine session and began
+    accepting submissions.
+
+    ``policy`` / ``region`` identify the configured engine;
+    ``max_pending`` is the bounded command-queue size (the backpressure
+    limit) and ``horizon`` the last admissible arrival minute.
+    """
+
+    type: ClassVar[str] = "service.started"
+
+    policy: str
+    region: str
+    reserved_cpus: int
+    max_pending: int
+    horizon: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceJobAdmitted(Event):
+    """A submission passed admission control and was enqueued.
+
+    ``time`` is the arrival minute assigned to the job (the service
+    clock if the client did not pin one); ``queue`` the routed queue.
+    """
+
+    type: ClassVar[str] = "service.job_admitted"
+
+    time: int
+    job_id: int
+    queue: str
+    cpus: int
+    length: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceJobRejected(Event):
+    """A submission failed admission control or hit backpressure.
+
+    ``reason`` is a stable machine-readable code (for example
+    ``"queue_full"``, ``"too_long"``, ``"arrival_past"``); ``status``
+    the HTTP status the API maps it to.  ``job_id`` is -1 when the
+    submission was rejected before an id could be assigned.
+    """
+
+    type: ClassVar[str] = "service.job_rejected"
+
+    time: int
+    job_id: int
+    reason: str
+    status: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceJobCancelled(Event):
+    """A queued job was cancelled before the engine scheduled it.
+
+    Only jobs still waiting in the command queue are cancellable; the
+    engine never sees them, so accounting is untouched.
+    """
+
+    type: ClassVar[str] = "service.job_cancelled"
+
+    time: int
+    job_id: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceClockAdvanced(Event):
+    """The service clock moved forward without an arrival.
+
+    ``pending`` is the number of dynamic events (finishes, evictions,
+    starts) still outstanding after advancing from ``from_time`` to
+    ``time``.
+    """
+
+    type: ClassVar[str] = "service.clock_advanced"
+
+    time: int
+    from_time: int
+    pending: int
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceDrained(Event):
+    """The session was drained: the event loop ran dry and the
+    authoritative :class:`~repro.simulator.results.SimulationResult`
+    was built.  ``digest`` is its accounting digest -- the value the
+    batch-equivalence guarantee is stated over.
+    """
+
+    type: ClassVar[str] = "service.drained"
+
+    time: int
+    jobs: int
+    carbon_g: float
+    cost_usd: float
+    digest: str
+
+
+@_register
+@dataclass(frozen=True)
+class ServiceStopped(Event):
+    """The service shut down; ``drained`` records whether the session
+    was drained first (an undrained stop discards in-flight state)."""
+
+    type: ClassVar[str] = "service.stopped"
+
+    jobs_submitted: int
+    jobs_rejected: int
+    drained: bool

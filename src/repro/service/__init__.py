@@ -1,0 +1,38 @@
+"""GAIA as an always-on service: online scheduling over the engine.
+
+The package layers an asyncio service on the incremental-stepping
+engine session (:meth:`repro.simulator.engine.Engine.open`):
+
+* :class:`ServiceConfig` -- deployment knobs and engine construction
+  (the single source of engine parameters on both sides of the
+  batch-equivalence guarantee);
+* :class:`SchedulerService` -- admission control, bounded-queue
+  backpressure, cancellation, live accounting and metrics;
+* :class:`ServiceServer` / :data:`ROUTES` -- the JSON-over-HTTP
+  transport and its introspectable route table;
+* :class:`ServiceClient` -- the stdlib async client used by tests and
+  ``examples/service_demo.py``.
+
+Run it with ``python -m repro.service``; the API is documented
+endpoint-by-endpoint in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.http import ROUTES, Route, ServiceServer, route_table
+from repro.service.scheduler import AdmissionError, JobView, SchedulerService
+
+__all__ = [
+    "AdmissionError",
+    "JobView",
+    "ROUTES",
+    "Route",
+    "route_table",
+    "SchedulerService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+]

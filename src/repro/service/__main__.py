@@ -1,0 +1,140 @@
+"""``python -m repro.service``: run the scheduler service.
+
+Example::
+
+    python -m repro.service --policy carbon-time --region SA-AU --port 8765
+
+The flags mirror the batch CLI where they overlap; the service-only
+flags (admission and backpressure limits) map one-to-one onto
+:class:`~repro.service.config.ServiceConfig` fields.  The parser is
+introspected by ``tools/check_docs.py`` to keep ``docs/service.md``'s
+flag reference in sync.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.carbon.regions import REGION_PROFILES
+from repro.errors import ReproError
+from repro.obs.tracer import tracer_from_env
+from repro.service.config import ServiceConfig
+from repro.service.http import ServiceServer
+from repro.service.scheduler import SchedulerService
+
+__all__ = ["main", "build_parser", "serve"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.service`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="GAIA online scheduler service (JSON over HTTP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="bind port (0 picks an ephemeral port)")
+    parser.add_argument("--policy", default="carbon-time",
+                        help="policy spec, e.g. carbon-time or res-first:carbon-time")
+    parser.add_argument(
+        "--region", default="SA-AU",
+        help=f"carbon region ({', '.join(sorted(REGION_PROFILES))}) or a CSV path",
+    )
+    parser.add_argument("--reserved", type=int, default=0, help="reserved CPUs")
+    parser.add_argument(
+        "-w", "--waiting", default="6x24", metavar="SHORTxLONG",
+        help="max waiting hours as SHORTxLONG (artifact syntax), e.g. 6x24",
+    )
+    parser.add_argument("--granularity", type=int, default=5,
+                        help="candidate start-time spacing in minutes")
+    parser.add_argument("--horizon-days", type=float, default=7.0,
+                        help="submission horizon; later arrivals are rejected")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="backpressure bound on queued submissions")
+    parser.add_argument("--max-jobs", type=int, default=100_000,
+                        help="admission cap on total accepted jobs")
+    parser.add_argument("--max-cpus", type=int, default=64,
+                        help="admission cap on a single job's CPUs")
+    parser.add_argument("--eviction-rate", type=float, default=0.0,
+                        help="hourly spot eviction probability (0-1)")
+    parser.add_argument("--spot-seed", type=int, default=0,
+                        help="seed for the per-job spot RNG streams")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN",
+                        help="inject deterministic faults into the live engine "
+                             "(see docs/robustness.md)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for the fault plan's RNG streams "
+                             "(requires --fault-plan; default 0)")
+    return parser
+
+
+def _config_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> ServiceConfig:
+    from repro.cli import _parse_waiting
+
+    short_wait, long_wait = _parse_waiting(args.waiting)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import parse_fault_plan
+
+        seed = args.fault_seed if args.fault_seed is not None else 0
+        fault_plan = parse_fault_plan(args.fault_plan, seed=seed)
+    elif args.fault_seed is not None:
+        parser.error("--fault-seed requires --fault-plan")
+    return ServiceConfig(
+        policy=args.policy,
+        region=args.region,
+        reserved_cpus=args.reserved,
+        short_wait_hours=short_wait / 60,
+        long_wait_hours=long_wait / 60,
+        granularity=args.granularity,
+        horizon_days=args.horizon_days,
+        max_pending=args.max_pending,
+        max_jobs=args.max_jobs,
+        max_cpus=args.max_cpus,
+        eviction_rate=args.eviction_rate,
+        spot_seed=args.spot_seed,
+        fault_plan=fault_plan,
+    )
+
+
+async def serve(config: ServiceConfig, host: str, port: int) -> None:
+    """Start the service and serve until ``POST /shutdown``."""
+    tracer = tracer_from_env()
+    service = SchedulerService(config, tracer=tracer)
+    await service.start()
+    server = ServiceServer(service, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    print(
+        f"repro.service: {config.policy} on {config.region} "
+        f"listening on http://{bound_host}:{bound_port}",
+        flush=True,
+    )
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.stop()
+        tracer.close()
+    print("repro.service: stopped", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the service from CLI arguments; return a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = _config_from_args(args, parser)
+        asyncio.run(serve(config, args.host, args.port))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 130
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Async client for the scheduler service's JSON API (stdlib only).
+
+One thin method per endpoint, mirroring the route table in
+:mod:`repro.service.http`.  Connections are one-shot (the server sends
+``Connection: close``), so the client holds no state beyond the
+address; error responses raise :class:`ServiceError` carrying the
+server's status, reason code, and message.
+
+Used by the end-to-end tests and ``examples/service_demo.py``::
+
+    client = ServiceClient(host, port)
+    await client.submit(length=120, cpus=2)
+    await client.drain()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.errors import ReproError
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(ReproError):
+    """An error response from the service API."""
+
+    def __init__(self, status: int, reason: str, message: str):
+        super().__init__(f"[{status} {reason}] {message}")
+        self.status = status
+        self.reason = reason
+
+    @classmethod
+    def from_payload(cls, status: int, payload: dict[str, Any]) -> "ServiceError":
+        return cls(
+            status,
+            str(payload.get("error", "unknown")),
+            str(payload.get("message", "")),
+        )
+
+
+class ServiceClient:
+    """Async HTTP client for one service address."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        params: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        if params:
+            filtered = {key: value for key, value in params.items() if value is not None}
+            if filtered:
+                path = f"{path}?{urlencode(filtered)}"
+        payload = json.dumps(body).encode() if body is not None else b""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            writer.write(head + payload)
+            await writer.drain()
+            status_line = (await reader.readline()).decode("latin-1")
+            try:
+                status = int(status_line.split(" ", 2)[1])
+            except (IndexError, ValueError):
+                raise ServiceError(0, "protocol", f"bad status line {status_line!r}") from None
+            content_length = 0
+            while True:
+                line = (await reader.readline()).decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            raw = await reader.readexactly(content_length) if content_length else b"{}"
+            parsed = json.loads(raw)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - server-side close race
+                pass
+        if status >= 400:
+            raise ServiceError.from_payload(status, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # One method per endpoint
+    # ------------------------------------------------------------------
+    async def health(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return await self._request("GET", "/healthz")
+
+    async def submit(
+        self,
+        length: int,
+        cpus: int = 1,
+        queue: str = "",
+        arrival: int | None = None,
+        job_id: int | None = None,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """``POST /jobs``: submit one job, returning its schedule."""
+        body: dict[str, Any] = {"length": length, "cpus": cpus, "wait": wait}
+        if queue:
+            body["queue"] = queue
+        if arrival is not None:
+            body["arrival"] = arrival
+        if job_id is not None:
+            body["job_id"] = job_id
+        if timeout is not None:
+            body["timeout"] = timeout
+        return await self._request("POST", "/jobs", body=body)
+
+    async def jobs(self, state: str | None = None, limit: int = 100) -> dict[str, Any]:
+        """``GET /jobs``: list jobs, optionally filtered by state."""
+        return await self._request("GET", "/jobs", params={"state": state, "limit": limit})
+
+    async def status(self, job_id: int) -> dict[str, Any]:
+        """``GET /jobs/{job_id}``: one job's state and schedule."""
+        return await self._request("GET", f"/jobs/{job_id}")
+
+    async def cancel(self, job_id: int) -> dict[str, Any]:
+        """``DELETE /jobs/{job_id}``: cancel a still-queued job."""
+        return await self._request("DELETE", f"/jobs/{job_id}")
+
+    async def advance_to(self, minute: int) -> dict[str, Any]:
+        """``POST /clock/advance``: let simulated time pass."""
+        return await self._request("POST", "/clock/advance", body={"minute": minute})
+
+    async def drain(self) -> dict[str, Any]:
+        """``POST /drain``: run the session dry; returns the digest."""
+        return await self._request("POST", "/drain")
+
+    async def accounting(
+        self,
+        queue: str | None = None,
+        since: int | None = None,
+        limit: int = 100,
+        detail: bool = False,
+    ) -> dict[str, Any]:
+        """``GET /accounting``: read-only per-job accounting."""
+        return await self._request(
+            "GET",
+            "/accounting",
+            params={
+                "queue": queue,
+                "since": since,
+                "limit": limit,
+                "detail": "1" if detail else None,
+            },
+        )
+
+    async def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``: live metrics snapshot."""
+        return await self._request("GET", "/metrics")
+
+    async def shutdown(self) -> dict[str, Any]:
+        """``POST /shutdown``: stop the service cleanly."""
+        return await self._request("POST", "/shutdown")

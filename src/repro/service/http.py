@@ -1,0 +1,306 @@
+"""JSON-over-HTTP transport for the scheduler service (stdlib only).
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server``: every
+request is parsed by hand, dispatched through the :data:`ROUTES` table,
+and answered with a JSON body and ``Connection: close``.  No framework,
+no new dependencies -- the service's API surface is exactly the route
+table, which ``tools/check_docs.py`` introspects to keep
+``docs/service.md`` honest.
+
+Error mapping: :class:`~repro.service.scheduler.AdmissionError` carries
+its own HTTP status (422 validation, 409 conflict, 404 unknown, 429
+capacity, 503 backpressure); any other :class:`~repro.errors.ReproError`
+maps to 500.  Error bodies are ``{"error": reason, "message": text}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+from repro.service.scheduler import AdmissionError, SchedulerService
+
+__all__ = ["Route", "ROUTES", "route_table", "ServiceServer"]
+
+#: Cap on accepted request bodies; a submission is a few hundred bytes.
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Route:
+    """One API endpoint: the unit of the documented surface.
+
+    ``pattern`` uses ``{name}`` placeholders for path parameters;
+    ``handler`` names the :class:`ServiceServer` method that serves it.
+    """
+
+    method: str
+    pattern: str
+    handler: str
+    summary: str
+
+
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", "handle_healthz", "liveness and service state"),
+    Route("POST", "/jobs", "handle_submit", "submit one job (admission + backpressure)"),
+    Route("GET", "/jobs", "handle_jobs", "list jobs, filterable by state"),
+    Route("GET", "/jobs/{job_id}", "handle_status", "one job's state and schedule"),
+    Route("DELETE", "/jobs/{job_id}", "handle_cancel", "cancel a still-queued job"),
+    Route("POST", "/clock/advance", "handle_advance", "advance the simulated clock"),
+    Route("POST", "/drain", "handle_drain", "run the session dry; authoritative result"),
+    Route("GET", "/accounting", "handle_accounting", "read-only per-job accounting"),
+    Route("GET", "/metrics", "handle_metrics", "live metrics snapshot"),
+    Route("POST", "/shutdown", "handle_shutdown", "stop the service cleanly"),
+)
+
+
+def route_table() -> tuple[Route, ...]:
+    """The service's full API surface (introspected by check_docs)."""
+    return ROUTES
+
+
+def _match(route: Route, path: str) -> dict[str, str] | None:
+    """Path parameters if ``path`` matches the route pattern, else None."""
+    pattern_parts = route.pattern.strip("/").split("/")
+    path_parts = path.strip("/").split("/")
+    if len(pattern_parts) != len(path_parts):
+        return None
+    params: dict[str, str] = {}
+    for expected, actual in zip(pattern_parts, path_parts):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, reason: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+_STATUS_TEXT = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class ServiceServer:
+    """The HTTP front end of one :class:`SchedulerService`.
+
+    Usage::
+
+        server = ServiceServer(service, host="127.0.0.1", port=0)
+        host, port = await server.start()
+        await server.serve_until_shutdown()   # returns after POST /shutdown
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` returns
+    the bound address.  Shutdown -- via endpoint or :meth:`stop` --
+    closes the listener and stops the scheduler's worker task, leaving
+    no tasks behind.
+    """
+
+    def __init__(self, service: SchedulerService, host: str = "127.0.0.1", port: int = 8765):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown`` (or :meth:`stop`), then clean up."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Close the listener and stop the scheduler (idempotent)."""
+        self._shutdown.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except _HttpError as error:
+            status = error.status
+            payload = {"error": error.reason, "message": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            status = 500
+            payload = {"error": "internal", "message": str(error)}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "bad_request", "empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(
+                400, "bad_request", f"malformed request line {request_line!r}"
+            ) from None
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        content_length = int(headers.get("content-length", "0") or "0")
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, "too_large", "request body too large")
+        raw = await reader.readexactly(content_length) if content_length else b""
+        body: dict[str, Any] = {}
+        if raw:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise _HttpError(400, "bad_json", f"invalid JSON body: {error}") from None
+            if not isinstance(body, dict):
+                raise _HttpError(400, "bad_json", "JSON body must be an object")
+        split = urlsplit(target)
+        params = dict(parse_qsl(split.query))
+        return await self._dispatch(method.upper(), split.path, params, body)
+
+    async def _dispatch(
+        self, method: str, path: str, params: dict[str, str], body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        path_exists = False
+        for route in ROUTES:
+            path_params = _match(route, path)
+            if path_params is None:
+                continue
+            path_exists = True
+            if route.method != method:
+                continue
+            handler: Callable[..., Awaitable[tuple[int, dict[str, Any]]]]
+            handler = getattr(self, route.handler)
+            try:
+                return await handler(path_params, params, body)
+            except AdmissionError as error:
+                return error.status, {"error": error.reason, "message": str(error)}
+            except ReproError as error:
+                return 500, {"error": "internal", "message": str(error)}
+        if path_exists:
+            raise _HttpError(405, "method_not_allowed", f"{method} not allowed on {path}")
+        raise _HttpError(404, "not_found", f"no route for {path}")
+
+    # ------------------------------------------------------------------
+    # Handlers (one per route; names are part of the route table)
+    # ------------------------------------------------------------------
+    async def handle_healthz(self, _path, _params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, self.service.health()
+
+    async def handle_submit(self, _path, _params, body) -> tuple[int, dict[str, Any]]:
+        if "length" not in body:
+            raise AdmissionError("bad_length", "submission requires a length", 422)
+        payload = await self.service.submit(
+            length=body["length"],
+            cpus=body.get("cpus", 1),
+            queue=body.get("queue", ""),
+            arrival=body.get("arrival"),
+            job_id=body.get("job_id"),
+            wait=bool(body.get("wait", True)),
+            timeout=body.get("timeout"),
+        )
+        return 201, payload
+
+    async def handle_jobs(self, _path, params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, self.service.jobs(
+            state=params.get("state"),
+            limit=_int_param(params, "limit", 100),
+        )
+
+    async def handle_status(self, path_params, _params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, self.service.status(_job_id(path_params))
+
+    async def handle_cancel(self, path_params, _params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, self.service.cancel(_job_id(path_params))
+
+    async def handle_advance(self, _path, _params, body) -> tuple[int, dict[str, Any]]:
+        minute = body.get("minute")
+        if not isinstance(minute, int):
+            raise AdmissionError("bad_minute", "advance requires an integer minute", 422)
+        return 200, await self.service.advance_to(minute)
+
+    async def handle_drain(self, _path, _params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, await self.service.drain()
+
+    async def handle_accounting(self, _path, params, _body) -> tuple[int, dict[str, Any]]:
+        since = params.get("since")
+        return 200, self.service.accounting(
+            queue=params.get("queue"),
+            since=int(since) if since is not None else None,
+            limit=_int_param(params, "limit", 100),
+            detail=params.get("detail", "") in ("1", "true", "yes"),
+        )
+
+    async def handle_metrics(self, _path, _params, _body) -> tuple[int, dict[str, Any]]:
+        return 200, self.service.metrics()
+
+    async def handle_shutdown(self, _path, _params, _body) -> tuple[int, dict[str, Any]]:
+        # Respond first; serve_until_shutdown tears the listener down.
+        self._shutdown.set()
+        return 200, {"state": "stopping"}
+
+
+def _job_id(path_params: dict[str, str]) -> int:
+    try:
+        return int(path_params["job_id"])
+    except (KeyError, ValueError):
+        raise AdmissionError("bad_job_id", "job id must be an integer", 422) from None
+
+
+def _int_param(params: dict[str, str], name: str, default: int) -> int:
+    value = params.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise AdmissionError(f"bad_{name}", f"{name} must be an integer", 422) from None

@@ -15,13 +15,16 @@ from repro.simulator.runner import (
     SimulationSpec,
     run_many,
 )
-from repro.simulator.simulation import prepare_carbon, run_simulation
+from repro.simulator.session import EngineSession
+from repro.simulator.simulation import build_engine, prepare_carbon, run_simulation
 from repro.simulator.validation import assert_valid, verify_result
 
 __all__ = [
     "verify_result",
     "assert_valid",
     "Engine",
+    "EngineSession",
+    "build_engine",
     "JobRecord",
     "SimulationResult",
     "UsageInterval",

@@ -30,6 +30,7 @@ import itertools
 import math
 from dataclasses import dataclass, field
 from enum import IntEnum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -57,6 +58,9 @@ from repro.simulator.results import JobRecord, SimulationResult, UsageInterval
 from repro.units import MINUTES_PER_HOUR
 from repro.workload.job import Job, QueueSet
 from repro.workload.trace import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.simulator.session import EngineSession
 
 __all__ = ["Engine"]
 
@@ -112,7 +116,13 @@ def _batched_hook_consistent(policy: Policy) -> bool:
 
 
 class Engine:
-    """One-shot simulator: construct, :meth:`run`, read the result."""
+    """One-shot simulator: construct, :meth:`run`, read the result.
+
+    For incremental (online) stepping, :meth:`open` returns an
+    :class:`~repro.simulator.session.EngineSession` that advances the
+    event loop one arrival at a time; the batch :meth:`run` is itself
+    expressed as open + replay + drain, so the two paths cannot drift.
+    """
 
     def __init__(
         self,
@@ -190,11 +200,11 @@ class Engine:
             memoize_decisions = getattr(policy, "stateless", False)
         self.memoize_decisions = bool(memoize_decisions) and length_estimator is None
         self._decision_memo: dict[tuple[int, str, int, int], Decision] = {}
-        # Array-native fast path: batch-precompute decisions and feed
-        # arrivals straight from the sorted workload instead of the heap.
-        # Bit-identical to the legacy path by construction (see run());
-        # ``fast_path=False`` forces the legacy scalar path, which the
-        # digest-parity suite compares against.
+        # Array-native fast path: batch-precompute decisions and, for
+        # contention-free workloads, skip the event loop entirely.
+        # Bit-identical to the scalar path by construction (see run());
+        # ``fast_path=False`` forces per-arrival decide() through the
+        # session replay, which the digest-parity suite compares against.
         self.fast_path = bool(fast_path)
         self._precomputed = False
         self._precomputed_fresh: set[tuple[int, str, int, int]] = set()
@@ -204,6 +214,7 @@ class Engine:
         self._seq = itertools.count()
         self._pending: list[_RunState] = []  # reserved-pickup jobs, arrival order
         self._runs: list[_RunState] = []
+        self._opened = False
         # Cheap always-on counters, snapshot into SimulationResult.metrics.
         self._policy_calls = 0
         self._memo_hits = 0
@@ -219,8 +230,18 @@ class Engine:
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the whole workload and return the accounting result."""
+    def open(self) -> "EngineSession":
+        """Open an incremental session over this engine's event loop.
+
+        Emits the run's ``RunMeta`` header and hands the loop to an
+        :class:`~repro.simulator.session.EngineSession`: feed arrivals
+        with ``submit``/``replay``, let time pass with ``advance_to``,
+        and finish with ``drain``.  An engine runs once -- opening twice
+        (or after :meth:`run`) is an error.
+        """
+        if self._opened:
+            raise SimulationError("engine already opened; engines run once")
+        self._opened = True
         if self._tracing:
             self.tracer.emit(
                 RunMeta(
@@ -231,76 +252,36 @@ class Engine:
                     horizon=self.workload.horizon,
                 )
             )
-        # Handlers indexed by the integer event kind: finish, evict,
-        # arrival, start (the _EventKind tie-break order).
-        handlers = (self._on_finish, self._on_evict, self._on_arrival, self._on_start)
+        from repro.simulator.session import EngineSession
+
+        return EngineSession(self)
+
+    def run(self) -> SimulationResult:
+        """Execute the whole workload and return the accounting result.
+
+        The batch path is the online session replaying the trace: open,
+        feed every arrival in canonical order, drain.  The array-native
+        fast path slots in front -- decisions are batch-precomputed when
+        provably sound, and a contention-free workload skips the event
+        loop entirely (:meth:`_run_linear`) -- with unchanged digests.
+        """
+        session = self.open()
         if self.fast_path:
             self._precompute_decisions()
             if self._can_run_linear():
                 self._run_linear()
-            else:
-                self._run_merged(handlers)
-        else:
-            self._run_legacy(handlers)
+                return session.drain()
+        session.replay(self.workload.jobs)
+        return session.drain()
 
+    def _finish_run(self) -> SimulationResult:
+        """Close out a drained event loop: audit completion, build the result."""
         unfinished = [run.job.job_id for run in self._runs if not run.finished]
         if unfinished:
             shown = ", ".join(str(job_id) for job_id in unfinished[:5])
             more = ", ..." if len(unfinished) > 5 else ""
             raise SimulationError(f"jobs never finished: [{shown}{more}]")
         return self._build_result()
-
-    def _run_legacy(self, handlers: tuple) -> None:
-        """The original event loop: every arrival is a heap event."""
-        injector = self._fault_injector
-        for job in self.workload:
-            self._push(job.arrival, _EventKind.ARRIVAL, job)
-        while self._heap:
-            time, kind, _, payload = heapq.heappop(self._heap)
-            if injector is not None and 0 <= injector.next_time <= time:
-                injector.fire(self, time)
-            handlers[kind](time, payload)
-
-    def _run_merged(self, handlers: tuple) -> None:
-        """Feed arrivals straight from the sorted workload, heap-free.
-
-        The workload is already in canonical (arrival, job_id) order, so
-        the heap keys the legacy path would assign to arrivals --
-        ``(arrival, ARRIVAL, i)`` for ``i`` in workload order -- are
-        strictly increasing.  Merging that sorted stream against the heap
-        of dynamic events (comparing the next arrival's key with the heap
-        top) therefore pops events in exactly the legacy order, while the
-        ``n`` arrival events never touch the heap at all.  Same-minute
-        arrival cohorts drain back-to-back through the fast branch below
-        without re-heapifying between them.
-        """
-        jobs = self.workload.jobs
-        num_jobs = len(jobs)
-        # Dynamic events must sort after the implicit arrival sequence
-        # numbers 0..n-1, exactly as if the arrivals were pushed first.
-        self._seq = itertools.count(num_jobs)
-        heap = self._heap
-        injector = self._fault_injector
-        arrival_kind = int(_EventKind.ARRIVAL)
-        index = 0
-        while True:
-            if index < num_jobs:
-                job = jobs[index]
-                # 3-tuple vs 4-tuple comparison never reaches the payload:
-                # sequence numbers are unique across both streams.
-                if not heap or (job.arrival, arrival_kind, index) < heap[0]:
-                    now = job.arrival
-                    if injector is not None and 0 <= injector.next_time <= now:
-                        injector.fire(self, now)
-                    index += 1
-                    self._on_arrival(now, job)
-                    continue
-            if not heap:
-                break
-            time, kind, _, payload = heapq.heappop(heap)
-            if injector is not None and 0 <= injector.next_time <= time:
-                injector.fire(self, time)
-            handlers[kind](time, payload)
 
     def _precompute_decisions(self) -> None:
         """Batch the run's scheduling decisions up front when provably sound.

@@ -38,7 +38,7 @@ from repro.units import MINUTES_PER_HOUR
 from repro.workload.job import QueueSet, default_queue_set
 from repro.workload.trace import WorkloadTrace
 
-__all__ = ["prepare_carbon", "run_simulation"]
+__all__ = ["prepare_carbon", "build_engine", "run_simulation"]
 
 
 def prepare_carbon(
@@ -62,7 +62,7 @@ def prepare_carbon(
     return carbon.tile_to(-(-required_minutes // MINUTES_PER_HOUR))
 
 
-def run_simulation(
+def build_engine(
     workload: WorkloadTrace,
     carbon: CarbonIntensityTrace,
     policy: Policy | str,
@@ -86,34 +86,21 @@ def run_simulation(
     tracer: Tracer | None = None,
     fault_plan: FaultPlan | None = None,
     fast_path: bool = True,
-) -> SimulationResult:
-    """Run one policy over one workload/region and return the accounting.
+) -> Engine:
+    """Build a ready-to-run :class:`Engine` from experiment-level knobs.
 
-    Parameters mirror the paper's experiment knobs: ``reserved_cpus`` is
-    the pre-paid pool size, ``eviction_model`` the spot market behaviour,
-    ``forecast_sigma`` > 0 switches to noisy CI forecasts (ablation), and
-    ``granularity`` the candidate start-time spacing in minutes.
-    ``memoize_decisions`` overrides the engine's default of caching
-    decisions for stateless policies (never cached under online
-    estimation, whose length estimates drift within a run).
+    This is the preparation half of :func:`run_simulation`: queue
+    routing and historical averages, carbon-trace coverage, forecaster
+    construction, and fault-plan application -- everything between "I
+    have a workload and a region" and a constructed engine.  Callers
+    that need the batch result keep using :func:`run_simulation`;
+    callers that need incremental stepping (the online scheduler
+    service, the session parity suite) call this and then
+    :meth:`Engine.open`.
 
-    ``tracer`` enables the observability layer for this run (see
-    ``docs/observability.md``); ``None`` consults ``$REPRO_TRACE`` via
-    :func:`repro.obs.tracer.tracer_from_env` and defaults to the no-op
-    null tracer, which leaves results and timings untouched.
-
-    ``fast_path`` (default on) enables the engine's array-native fast
-    path -- batched decision precomputation and the merged arrival feed
-    -- which is bit-identical to the legacy scalar path; ``False`` forces
-    the legacy path (the digest-parity suite runs both and compares).
-
-    ``fault_plan`` injects deterministic faults (see
-    ``docs/robustness.md``): process faults fire immediately, input
-    faults corrupt the carbon trace before preparation (so a truncated
-    trace is re-tiled like any short trace would be), forecast and
-    eviction faults wrap the respective components, and queue corruption
-    arms the engine's mid-run injector.  ``None`` and the empty plan run
-    byte-identically to an unfaulted build.
+    ``tracer`` is passed through as-is (``None`` means the no-op null
+    tracer); environment-variable tracer resolution and its close-on-end
+    ownership live in :func:`run_simulation`.
     """
     apply_process_faults(fault_plan)
     carbon = apply_input_faults(fault_plan, carbon)
@@ -162,12 +149,7 @@ def run_simulation(
     forecaster = wrap_forecaster(fault_plan, forecaster)
     eviction_model = wrap_eviction(fault_plan, eviction_model)
 
-    owns_tracer = False
-    if tracer is None:
-        tracer = tracer_from_env()
-        owns_tracer = tracer.enabled
-
-    engine = Engine(
+    return Engine(
         workload=workload,
         carbon=covering,
         policy=policy,
@@ -188,6 +170,91 @@ def run_simulation(
         memoize_decisions=memoize_decisions,
         tracer=tracer,
         fault_injector=engine_injector(fault_plan),
+        fast_path=fast_path,
+    )
+
+
+def run_simulation(
+    workload: WorkloadTrace,
+    carbon: CarbonIntensityTrace,
+    policy: Policy | str,
+    reserved_cpus: int = 0,
+    queues: QueueSet | None = None,
+    pricing: PricingModel = DEFAULT_PRICING,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    eviction_model: EvictionModel | None = None,
+    forecast_sigma: float = 0.0,
+    forecast_seed: int = 0,
+    granularity: int = 5,
+    validate: bool = True,
+    spot_seed: int = 0,
+    checkpointing: CheckpointConfig | None = None,
+    retry_spot: bool = False,
+    instance_overhead_minutes: int = 0,
+    forecaster_factory=None,
+    online_estimation: bool = False,
+    price_trace=None,
+    memoize_decisions: bool | None = None,
+    tracer: Tracer | None = None,
+    fault_plan: FaultPlan | None = None,
+    fast_path: bool = True,
+) -> SimulationResult:
+    """Run one policy over one workload/region and return the accounting.
+
+    Parameters mirror the paper's experiment knobs: ``reserved_cpus`` is
+    the pre-paid pool size, ``eviction_model`` the spot market behaviour,
+    ``forecast_sigma`` > 0 switches to noisy CI forecasts (ablation), and
+    ``granularity`` the candidate start-time spacing in minutes.
+    ``memoize_decisions`` overrides the engine's default of caching
+    decisions for stateless policies (never cached under online
+    estimation, whose length estimates drift within a run).
+
+    ``tracer`` enables the observability layer for this run (see
+    ``docs/observability.md``); ``None`` consults ``$REPRO_TRACE`` via
+    :func:`repro.obs.tracer.tracer_from_env` and defaults to the no-op
+    null tracer, which leaves results and timings untouched.
+
+    ``fast_path`` (default on) enables the engine's array-native fast
+    path -- batched decision precomputation and the linear schedule for
+    contention-free runs -- which is bit-identical to the per-arrival
+    scalar path; ``False`` forces the scalar path (the digest-parity
+    suite runs both and compares).
+
+    ``fault_plan`` injects deterministic faults (see
+    ``docs/robustness.md``): process faults fire immediately, input
+    faults corrupt the carbon trace before preparation (so a truncated
+    trace is re-tiled like any short trace would be), forecast and
+    eviction faults wrap the respective components, and queue corruption
+    arms the engine's mid-run injector.  ``None`` and the empty plan run
+    byte-identically to an unfaulted build.
+    """
+    owns_tracer = False
+    if tracer is None:
+        tracer = tracer_from_env()
+        owns_tracer = tracer.enabled
+    engine = build_engine(
+        workload,
+        carbon,
+        policy,
+        reserved_cpus=reserved_cpus,
+        queues=queues,
+        pricing=pricing,
+        energy=energy,
+        eviction_model=eviction_model,
+        forecast_sigma=forecast_sigma,
+        forecast_seed=forecast_seed,
+        granularity=granularity,
+        validate=validate,
+        spot_seed=spot_seed,
+        checkpointing=checkpointing,
+        retry_spot=retry_spot,
+        instance_overhead_minutes=instance_overhead_minutes,
+        forecaster_factory=forecaster_factory,
+        online_estimation=online_estimation,
+        price_trace=price_trace,
+        memoize_decisions=memoize_decisions,
+        tracer=tracer,
+        fault_plan=fault_plan,
         fast_path=fast_path,
     )
     try:

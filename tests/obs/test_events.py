@@ -18,6 +18,13 @@ from repro.obs.events import (
     PolicyDecision,
     PoolRespawned,
     RunMeta,
+    ServiceClockAdvanced,
+    ServiceDrained,
+    ServiceJobAdmitted,
+    ServiceJobCancelled,
+    ServiceJobRejected,
+    ServiceStarted,
+    ServiceStopped,
     SpecFailed,
     SpecRetried,
     SweepCompleted,
@@ -50,6 +57,15 @@ SAMPLES = [
     SpecFailed(index=3, digest_prefix="a1b2c3d4e5f6", error_type="TimeoutError",
                message="execution exceeded 2s", attempts=2),
     PoolRespawned(reason="broken", respawns=1),
+    ServiceStarted(policy="carbon-time", region="SA-AU", reserved_cpus=4,
+                   max_pending=64, horizon=10080),
+    ServiceJobAdmitted(time=30, job_id=1, queue="short", cpus=2, length=240),
+    ServiceJobRejected(time=30, job_id=-1, reason="queue_full", status=503),
+    ServiceJobCancelled(time=45, job_id=2),
+    ServiceClockAdvanced(time=1440, from_time=30, pending=3),
+    ServiceDrained(time=5460, jobs=12, carbon_g=6.73, cost_usd=0.28,
+                   digest="66a44fa35132045a"),
+    ServiceStopped(jobs_submitted=12, jobs_rejected=1, drained=True),
 ]
 
 

@@ -1,0 +1,166 @@
+"""The JSON/HTTP surface: routing, error mapping, end-to-end endpoints.
+
+Drives a real ``ServiceServer`` on an ephemeral port through the async
+client -- the same path ``examples/service_demo.py`` and the CI
+service-smoke job exercise.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    ROUTES,
+    SchedulerService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+)
+from repro.service.http import Route, _match
+
+
+def _config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        policy="carbon-time",
+        region="SA-AU",
+        horizon_days=2.0,
+        workload_name="http-test",
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def _serve(config: ServiceConfig):
+    service = SchedulerService(config)
+    await service.start()
+    server = ServiceServer(service, port=0)
+    host, port = await server.start()
+    return service, server, ServiceClient(host, port)
+
+
+class TestRouting:
+    def test_pattern_matching(self):
+        param = Route("GET", "/jobs/{job_id}", "handle_status", "")
+        plain = Route("GET", "/jobs", "handle_jobs", "")
+        assert _match(param, "/jobs/7") == {"job_id": "7"}
+        assert _match(param, "/jobs") is None
+        assert _match(plain, "/jobs") == {}
+        assert _match(plain, "/jobs/7") is None
+
+    def test_routes_are_unique(self):
+        seen = {(route.method, route.pattern) for route in ROUTES}
+        assert len(seen) == len(ROUTES)
+
+
+class TestEndpoints:
+    def test_full_session_over_http(self):
+        async def scenario():
+            service, server, client = await _serve(_config())
+            try:
+                health = await client.health()
+                submitted = await client.submit(length=120, cpus=2, arrival=30)
+                status = await client.status(submitted["job_id"])
+                listing = await client.jobs()
+                advanced = await client.advance_to(1000)
+                accounting = await client.accounting(detail=True)
+                metrics = await client.metrics()
+                drained = await client.drain()
+                return (health, submitted, status, listing, advanced,
+                        accounting, metrics, drained)
+            finally:
+                await client.shutdown()
+                await server.serve_until_shutdown()
+
+        (health, submitted, status, listing, advanced,
+         accounting, metrics, drained) = asyncio.run(scenario())
+        assert health["state"] == "running"
+        assert submitted["queue"] == "short" and submitted["arrival"] == 30
+        assert status["job_id"] == submitted["job_id"]
+        assert listing["total"] == 1
+        assert advanced["now"] == 1000 and advanced["from"] == 30
+        assert accounting["totals"]["jobs"] == 1.0
+        assert metrics["gauges"]["service.jobs_finished"] == 1.0
+        assert drained["jobs"] == 1 and len(drained["digest"]) == 64
+
+    def test_error_mapping_and_reason_codes(self):
+        async def scenario():
+            service, server, client = await _serve(_config(max_cpus=4))
+            outcomes = {}
+            try:
+                for name, call in {
+                    "too_wide": client.submit(length=60, cpus=5),
+                    "unknown_job": client.status(99),
+                    "cancel_unknown": client.cancel(42),
+                }.items():
+                    with pytest.raises(ServiceError) as excinfo:
+                        await call
+                    outcomes[name] = (excinfo.value.status, excinfo.value.reason)
+                return outcomes
+            finally:
+                await client.shutdown()
+                await server.serve_until_shutdown()
+
+        outcomes = asyncio.run(scenario())
+        assert outcomes["too_wide"] == (422, "too_wide")
+        assert outcomes["unknown_job"] == (404, "unknown_job")
+        assert outcomes["cancel_unknown"] == (404, "unknown_job")
+
+    def test_unknown_route_and_wrong_method(self):
+        async def scenario():
+            service, server, client = await _serve(_config())
+            try:
+                with pytest.raises(ServiceError) as missing:
+                    await client._request("GET", "/nope")
+                with pytest.raises(ServiceError) as method:
+                    await client._request("DELETE", "/healthz")
+                return missing.value.status, method.value.status
+            finally:
+                await client.shutdown()
+                await server.serve_until_shutdown()
+
+        missing_status, method_status = asyncio.run(scenario())
+        assert missing_status == 404
+        assert method_status == 405
+
+    def test_malformed_json_body_is_a_client_error(self):
+        async def scenario():
+            service, server, client = await _serve(_config())
+            try:
+                reader, writer = await asyncio.open_connection(
+                    client.host, client.port
+                )
+                body = b"{not json"
+                writer.write(
+                    b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return raw
+            finally:
+                await client.shutdown()
+                await server.serve_until_shutdown()
+
+        raw = asyncio.run(scenario())
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b"400" in head.split(b"\r\n", 1)[0]
+        assert "error" in json.loads(payload)
+
+    def test_shutdown_leaves_no_running_tasks(self):
+        async def scenario():
+            service, server, client = await _serve(_config())
+            await client.submit(length=60)
+            reply = await client.shutdown()
+            await server.serve_until_shutdown()
+            current = asyncio.current_task()
+            leaked = [task for task in asyncio.all_tasks() if task is not current]
+            return reply, service.state, leaked
+
+        reply, state, leaked = asyncio.run(scenario())
+        assert reply == {"state": "stopping"}
+        assert state == "stopped"
+        assert leaked == []

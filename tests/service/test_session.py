@@ -1,0 +1,87 @@
+"""EngineSession surface: watermark discipline, stepping, drain semantics.
+
+Digest parity between sessions and batch runs lives in
+``tests/service/test_parity.py``; this module covers the session API's
+contracts in isolation.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import build_engine
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+
+class TestSessionApi:
+    def _engine(self, flat_carbon, jobs=(), horizon=None):
+        workload = WorkloadTrace(jobs, name="session", horizon=horizon)
+        return build_engine(workload, flat_carbon, "nowait")
+
+    def test_open_twice_raises(self, flat_carbon):
+        engine = self._engine(flat_carbon)
+        engine.open()
+        with pytest.raises(SimulationError, match="already opened"):
+            engine.open()
+
+    def test_run_after_open_raises(self, flat_carbon):
+        engine = self._engine(flat_carbon)
+        engine.open()
+        with pytest.raises(SimulationError, match="already opened"):
+            engine.run()
+
+    def test_submissions_must_be_time_ordered(self, flat_carbon):
+        engine = self._engine(flat_carbon, horizon=1000)
+        session = engine.open()
+        session.submit(Job(job_id=0, arrival=100, length=30, queue="short"))
+        with pytest.raises(SimulationError, match="time-ordered"):
+            session.submit(Job(job_id=1, arrival=99, length=30, queue="short"))
+
+    def test_advance_backwards_raises(self, flat_carbon):
+        session = self._engine(flat_carbon, horizon=1000).open()
+        session.advance_to(500)
+        assert session.now == 500
+        with pytest.raises(SimulationError, match="cannot advance"):
+            session.advance_to(499)
+
+    def test_advance_fires_due_events(self, flat_carbon):
+        engine = self._engine(flat_carbon, horizon=1000)
+        session = engine.open()
+        run = session.submit(Job(job_id=0, arrival=0, length=60, queue="short"))
+        assert not run.finished
+        session.advance_to(60)  # start fired; finish at 60 not yet due
+        session.advance_to(61)
+        assert run.finished and run.finish == 60
+
+    def test_drain_is_idempotent_and_closes_the_session(self, flat_carbon):
+        engine = self._engine(flat_carbon, horizon=1000)
+        session = engine.open()
+        session.submit(Job(job_id=0, arrival=0, length=30, queue="short"))
+        result = session.drain()
+        assert session.drain() is result
+        assert session.drained
+        with pytest.raises(SimulationError, match="drained"):
+            session.submit(Job(job_id=1, arrival=40, length=30, queue="short"))
+
+    def test_result_property_requires_drain(self, flat_carbon):
+        session = self._engine(flat_carbon).open()
+        with pytest.raises(SimulationError, match="not drained"):
+            _ = session.result
+        session.drain()
+        assert list(session.result.records) == []
+
+    def test_interleaved_advance_preserves_the_digest(self, flat_carbon):
+        """Letting time pass between submissions cannot move the digest."""
+        jobs = [
+            Job(job_id=i, arrival=40 * i, length=90, queue="short")
+            for i in range(8)
+        ]
+        workload = WorkloadTrace(jobs, name="interleave", horizon=2000)
+        batch = build_engine(workload, flat_carbon, "carbon-time").run()
+
+        engine = build_engine(workload, flat_carbon, "carbon-time")
+        session = engine.open()
+        for job in engine.workload.jobs:
+            session.advance_to(job.arrival)  # watermark moves first
+            session.submit(job)
+        assert session.drain().digest() == batch.digest()

@@ -1,10 +1,13 @@
-"""Documentation stays wired: links resolve, no orphan pages, and the
-observability contract's schema matches what the docs enumerate."""
+"""Documentation stays wired: links resolve, no orphan pages, the
+observability contract's schema matches what the docs enumerate, and
+the service API reference matches the live route table and CLI."""
 
 import sys
 from pathlib import Path
 
 from repro.obs.events import EVENT_TYPES
+from repro.service.__main__ import build_parser
+from repro.service.http import route_table
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -32,3 +35,31 @@ class TestObservabilityContract:
         ).read_text()
         for variable in ("REPRO_TRACE", "REPRO_TRACE_FILE"):
             assert variable in tracer_source
+
+
+class TestServiceApiContract:
+    """docs/service.md matches the introspected service surface."""
+
+    def test_checker_reports_no_drift(self):
+        assert check_docs.check_service_api() == []
+
+    def test_every_route_has_a_reference_section(self):
+        page = (REPO_ROOT / "docs" / "service.md").read_text()
+        for route in route_table():
+            heading = f"### {route.method} {route.pattern}"
+            assert heading in page, f"{heading} missing from docs/service.md"
+
+    def test_every_cli_flag_is_documented(self):
+        page = (REPO_ROOT / "docs" / "service.md").read_text()
+        for action in build_parser()._actions:
+            for option in action.option_strings:
+                if option in ("-h", "--help"):
+                    continue
+                assert f"`{option}`" in page, f"flag {option} missing from docs"
+
+    def test_route_handlers_exist_on_the_server(self):
+        from repro.service.http import ServiceServer
+
+        for route in route_table():
+            handler = getattr(ServiceServer, route.handler, None)
+            assert callable(handler), f"{route.handler} missing on ServiceServer"

@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
 """Documentation checks: internal links resolve, docs are reachable,
-quickstart commands run.
+the service API reference matches the code, quickstart commands run.
 
-Three checks (all gate the CI ``docs`` job):
+Four checks (all gate the CI ``docs`` job):
 
 1. every relative markdown link in ``README.md`` and ``docs/*.md``
    points at a file that exists (anchors and external URLs are skipped);
 2. every page under ``docs/`` is linked from ``README.md`` — no orphan
    documentation;
-3. with ``--run-quickstart``, the commands the README advertises respond
+3. ``docs/service.md`` matches the service's live surface in **both**
+   directions: every route in ``repro.service.http.ROUTES`` has a
+   ``### METHOD /path`` section and every documented endpoint exists in
+   the route table; every ``python -m repro.service`` parser flag
+   appears in the flag reference and every documented flag exists on
+   the parser;
+4. with ``--run-quickstart``, the commands the README advertises respond
    to ``--help`` (a dry-run proof the documented entry points exist).
 
 Run from the repo root: ``python tools/check_docs.py [--run-quickstart]``.
@@ -34,6 +40,7 @@ QUICKSTART_COMMANDS = [
     [sys.executable, "-m", "repro", "--help"],
     [sys.executable, "-m", "repro.lint", "--help"],
     [sys.executable, "-m", "repro.obs", "--help"],
+    [sys.executable, "-m", "repro.service", "--help"],
     [sys.executable, "examples/paper_figures.py", "--help"],
     [sys.executable, "benchmarks/sweep_smoke.py", "--help"],
 ]
@@ -81,6 +88,71 @@ def check_docs_reachable() -> list[str]:
     ]
 
 
+#: Documented endpoints: a heading like ``### GET /jobs/{job_id}``.
+_ENDPOINT_HEADING = re.compile(r"^###\s+(GET|POST|PUT|DELETE|PATCH)\s+(/\S*)", re.M)
+
+#: Documented CLI flags: backticked long/short options in service.md's
+#: flag table, e.g. ``` `--max-pending` ``` or ``` `-w` ```.
+_FLAG_TOKEN = re.compile(r"`(--?[a-z][a-z0-9-]*)`")
+
+
+def check_service_api() -> list[str]:
+    """Problem messages for drift between docs/service.md and the code.
+
+    Introspects the live route table (``repro.service.http.ROUTES``)
+    and the ``python -m repro.service`` argument parser, and compares
+    both against the documented surface — in both directions, so a
+    route or flag added without documentation fails exactly like a
+    documented endpoint that no longer exists.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.service.__main__ import build_parser
+        from repro.service.http import route_table
+    finally:
+        sys.path.pop(0)
+
+    page = REPO_ROOT / "docs" / "service.md"
+    if not page.exists():
+        return ["docs/service.md: missing (the service API reference)"]
+    text = page.read_text(encoding="utf-8")
+    problems = []
+
+    real_routes = {(route.method, route.pattern) for route in route_table()}
+    documented_routes = {
+        (method, pattern.rstrip(":")) for method, pattern in _ENDPOINT_HEADING.findall(text)
+    }
+    for method, pattern in sorted(real_routes - documented_routes):
+        problems.append(
+            f"docs/service.md: route {method} {pattern} has no `### {method} "
+            f"{pattern}` section"
+        )
+    for method, pattern in sorted(documented_routes - real_routes):
+        problems.append(
+            f"docs/service.md: documents {method} {pattern}, which is not in "
+            f"repro.service.http.ROUTES"
+        )
+
+    parser = build_parser()
+    real_flags = {
+        option
+        for action in parser._actions
+        for option in action.option_strings
+        if option not in ("-h", "--help")
+    }
+    documented_flags = set(_FLAG_TOKEN.findall(text))
+    for flag in sorted(real_flags - documented_flags):
+        problems.append(
+            f"docs/service.md: python -m repro.service flag {flag} is undocumented"
+        )
+    for flag in sorted(documented_flags - real_flags):
+        problems.append(
+            f"docs/service.md: documents flag {flag}, which python -m "
+            f"repro.service does not accept"
+        )
+    return problems
+
+
 def check_quickstart() -> list[str]:
     """Problem messages for advertised commands that fail ``--help``."""
     env = dict(os.environ)
@@ -108,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     pages = doc_pages()
-    problems = check_links(pages) + check_docs_reachable()
+    problems = check_links(pages) + check_docs_reachable() + check_service_api()
     if args.run_quickstart:
         problems += check_quickstart()
 
