@@ -27,6 +27,15 @@ class CapacityError(ReproError):
     """Capacity bookkeeping was violated (double-free / over-allocation)."""
 
 
+class CampaignError(ReproError):
+    """A campaign directory is invalid, locked, or inconsistent.
+
+    Raised by :class:`repro.simulator.runner.campaign.Campaign` when a
+    directory cannot be created/loaded or when a second runner holds the
+    campaign lock.
+    """
+
+
 class SweepError(ReproError):
     """A batch run finished with failed specs after exhausting recovery.
 

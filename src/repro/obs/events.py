@@ -45,6 +45,11 @@ __all__ = [
     "SpecRetried",
     "SpecFailed",
     "PoolRespawned",
+    "BackendOpened",
+    "BackendClosed",
+    "CampaignCreated",
+    "CampaignResumed",
+    "CampaignCompleted",
     "ServiceStarted",
     "ServiceJobAdmitted",
     "ServiceJobRejected",
@@ -347,6 +352,93 @@ class PoolRespawned(Event):
 
     reason: str
     respawns: int
+
+
+@_register
+@dataclass(frozen=True)
+class BackendOpened(Event):
+    """A sweep backend acquired its execution resources.
+
+    Emitted by ``run_many`` once per batch that dispatches work;
+    ``backend`` is the registered backend name (``"serial"``,
+    ``"pool"``, ``"workqueue"``, ...) and ``workers`` the parallelism it
+    was opened with (already capped at the distinct-spec count).
+    """
+
+    type: ClassVar[str] = "runner.backend.opened"
+
+    backend: str
+    workers: int
+
+
+@_register
+@dataclass(frozen=True)
+class BackendClosed(Event):
+    """A sweep backend released its resources at the end of a batch.
+
+    ``executed`` counts the attempts that completed with a result;
+    ``respawns`` the worker/pool replacements recovery performed.
+    """
+
+    type: ClassVar[str] = "runner.backend.closed"
+
+    backend: str
+    executed: int
+    respawns: int
+
+
+@_register
+@dataclass(frozen=True)
+class CampaignCreated(Event):
+    """A campaign directory was initialized from a spec list.
+
+    ``total`` counts submitted specs, ``distinct`` unique digests --
+    the campaign executes each distinct digest once and aliases the
+    rest (the same in-batch dedup contract as ``run_many``).
+    """
+
+    type: ClassVar[str] = "campaign.created"
+
+    name: str
+    total: int
+    distinct: int
+
+
+@_register
+@dataclass(frozen=True)
+class CampaignResumed(Event):
+    """A campaign run started from its journal.
+
+    ``completed`` is the number of distinct digests already journaled
+    complete (with readable result files); ``remaining`` the distinct
+    digests still to execute.  A fresh campaign emits this with
+    ``completed=0``.
+    """
+
+    type: ClassVar[str] = "campaign.resumed"
+
+    name: str
+    completed: int
+    remaining: int
+
+
+@_register
+@dataclass(frozen=True)
+class CampaignCompleted(Event):
+    """A campaign run finished (not necessarily the whole campaign).
+
+    ``executed`` counts the distinct digests this run dispatched,
+    ``failed`` those that exhausted recovery, and ``remaining`` the
+    distinct digests still incomplete afterwards (nonzero when the run
+    was limited or failures remain).
+    """
+
+    type: ClassVar[str] = "campaign.completed"
+
+    name: str
+    executed: int
+    failed: int
+    remaining: int
 
 
 @_register

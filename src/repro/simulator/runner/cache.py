@@ -235,8 +235,19 @@ class ResultCache:
                 found = pickle.load(stream)
         except FileNotFoundError:
             return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-            # A truncated or stale entry is a miss, not an error.
+        except (
+            OSError,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            ValueError,
+            IndexError,
+        ):
+            # A truncated or stale entry is a miss, not an error.  Bad
+            # pickle bytes surface as more than UnpicklingError: an
+            # unsupported-protocol byte raises ValueError, a truncated
+            # memo reference IndexError.
             return None
         return found if isinstance(found, SimulationResult) else None
 

@@ -1,26 +1,35 @@
-"""Batch execution of simulation specs: serial, parallel, cached, fault-tolerant.
+"""Batch execution of simulation specs: backends, caching, recovery.
 
 :func:`run_many` is the sweep primitive every experiment builds on.  It
 deduplicates identical specs within a batch, consults the result cache,
-and fans the remainder out over a ``ProcessPoolExecutor`` -- workers
-receive only the small picklable specs and rebuild live traces
-themselves.  ``jobs=1`` (with no timeout) runs in-process (deterministic
-call order, and the :func:`execution_count` hook observes every engine
-execution, which the cache-hit tests rely on).
+and dispatches the remainder to a pluggable
+:class:`~repro.simulator.runner.backends.SweepBackend` -- ``serial``
+(in-process), ``pool`` (fault-tolerant ``ProcessPoolExecutor``), or
+``workqueue`` (file-based multi-process queue sharing the disk cache) --
+selected by argument, ``$REPRO_BACKEND``, or the historical heuristic
+(``serial`` for ``jobs=1`` with no timeout, ``pool`` otherwise).
 
-The pool path degrades gracefully instead of losing a sweep to one bad
-spec (``docs/robustness.md`` has the narrative):
+The recovery semantics are *backend-agnostic* -- they live in the
+dispatch loop here, so every backend inherits them and the conformance
+suite (``tests/simulator/test_backends.py``) certifies each one against
+the same contract (``docs/robustness.md`` and ``docs/sweeps.md`` have
+the narrative):
 
 * failed attempts are retried up to ``retries`` times with exponential
   backoff and digest-seeded jitter (:class:`~repro.errors.ReproError`
   subclasses fail fast -- they are deterministic domain errors a retry
-  cannot fix);
-* a per-execution ``timeout`` abandons hung workers: the pool is torn
-  down, the expired spec is charged a ``TimeoutError``, and innocent
-  in-flight specs are requeued uncharged;
-* a worker death (``BrokenProcessPool``) respawns the pool; when the
-  culprit is ambiguous the in-flight suspects are re-run one at a time
-  ("solo isolation") so only the spec that actually crashes is charged;
+  cannot fix).  Backoff gates never stall the loop: a waiting retry
+  only bounds the backend poll timeout, and the loop sleeps outright
+  only when nothing at all is in flight;
+* a per-execution ``timeout`` cancels hung attempts through the
+  backend: the expired spec is charged a ``TimeoutError``, and innocent
+  in-flight specs a backend had to abandon as collateral are requeued
+  uncharged;
+* a worker death surfaces as a
+  :class:`~repro.simulator.runner.backends.WorkerCrash`; when a backend
+  cannot name the culprit it requeues the suspects as *exclusive*
+  attempts and the loop re-runs them one at a time ("solo isolation")
+  so only the spec that actually crashes is charged;
 * specs that exhaust recovery are reported as structured
   :class:`SpecFailure` entries on :class:`RunStats` -- the batch still
   returns every completed result (``on_error="partial"``) or raises a
@@ -33,14 +42,14 @@ import dataclasses
 import hashlib
 import os
 import time
-from collections.abc import Iterable
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, ReproError, SweepError
 from repro.obs.events import (
+    BackendClosed,
+    BackendOpened,
     MetricsSnapshot,
-    PoolRespawned,
     SpecFailed,
     SpecRetried,
     SweepCompleted,
@@ -49,6 +58,15 @@ from repro.obs.events import (
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics
 from repro.obs.tracer import Tracer, tracer_from_env
 from repro.simulator.results import SimulationResult
+from repro.simulator.runner.backends import (
+    AttemptOutcome,
+    BackendContext,
+    SweepBackend,
+    WorkerCrash,
+    create_backend,
+    execution_count,
+    resolve_backend_name,
+)
 from repro.simulator.runner.cache import ResultCache, default_cache
 from repro.simulator.runner.spec import SimulationSpec
 
@@ -60,53 +78,22 @@ __all__ = [
     "resolve_jobs",
     "resolve_retries",
     "resolve_timeout",
+    "resolve_backend_name",
     "execution_count",
 ]
 
+#: Callback fired once per distinct spec digest whose result became
+#: available (cache hit at planning time, or execution completing).
+OnResult = Callable[[int, SimulationSpec, SimulationResult], None]
 
-#: In-process count of simulations actually executed (cache hits and
-#: work done in pool workers do not increment it here).
-_EXECUTIONS = 0
 
+def _load_builtin_backends() -> None:
+    """Import the backend modules that register themselves on import.
 
-def execution_count() -> int:
-    """How many simulations this process has executed via the runner.
-
-    A warm-cache ``run_many`` leaves this unchanged -- the invariant the
-    cache-hit tests assert.
+    Lazy (called from :func:`run_many`) so a direct import of this
+    module never recurses through the package ``__init__``.
     """
-    return _EXECUTIONS
-
-
-def _execute(spec: SimulationSpec) -> SimulationResult:
-    """Run one spec in-process, counting the execution."""
-    global _EXECUTIONS
-    _EXECUTIONS += 1
-    return spec.run()
-
-
-def _execute_timed(spec: SimulationSpec) -> tuple[SimulationResult, float]:
-    """Run one spec, returning the result and its wall seconds."""
-    started = time.perf_counter()
-    result = _execute(spec)
-    return result, time.perf_counter() - started
-
-
-def _execute_indexed(
-    item: tuple[int, SimulationSpec]
-) -> tuple[int, SimulationResult, float]:
-    """Pool-worker entry point (module-level so it pickles)."""
-    index, spec = item
-    result, wall_seconds = _execute_timed(spec)
-    return index, result, wall_seconds
-
-
-class WorkerCrash(RuntimeError):
-    """A worker process died (broke the pool) while running a spec.
-
-    Raised synthetically by the runner on behalf of the dead worker;
-    retryable like any non-:class:`~repro.errors.ReproError` failure.
-    """
+    import repro.simulator.runner.workqueue  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -135,10 +122,12 @@ class RunStats:
     exhaust recovery land in ``failures`` (one :class:`SpecFailure` per
     failed slot, aliases included) and are counted by ``failed``;
     ``retries``/``timeouts``/``pool_respawns`` count the recovery
-    machinery's work.  ``metrics`` is the batch's aggregated
-    observability snapshot (see :mod:`repro.obs.metrics`): the runner's
-    own counters and per-execution wall-time histogram merged with the
-    engine metrics of every distinct result.
+    machinery's work (``pool_respawns`` counts worker replacements on
+    every backend, not just the pool).  ``backend`` names the execution
+    substrate the batch dispatched to.  ``metrics`` is the batch's
+    aggregated observability snapshot (see :mod:`repro.obs.metrics`):
+    the runner's own counters and per-execution wall-time histogram
+    merged with the engine metrics of every distinct result.
     """
 
     total: int = 0
@@ -150,6 +139,7 @@ class RunStats:
     retries: int = 0
     timeouts: int = 0
     pool_respawns: int = 0
+    backend: str = "serial"
     failures: list[SpecFailure] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
 
@@ -203,106 +193,99 @@ def _retry_delay(backoff: float, digest: str, attempt: int) -> float:
 
 @dataclass
 class _Attempt:
-    """One spec's execution state inside the fault-tolerant pool loop."""
+    """One spec's execution state inside the dispatch loop."""
 
     index: int
     spec: SimulationSpec
     digest: str
     attempts: int = 0  # executions charged so far
     ready_at: float = 0.0  # monotonic time gating resubmission (backoff)
-    solo: bool = False  # crash suspect: must run with nothing else in flight
+    exclusive: bool = False  # crash suspect: runs with nothing else in flight
 
 
-class _PoolLoop:
-    """The fault-tolerant ``ProcessPoolExecutor`` dispatch loop.
+class _Dispatcher:
+    """The backend-agnostic fault-tolerant dispatch loop.
 
-    Keeps at most ``workers`` futures in flight (so every submitted
-    future has a worker and submit time approximates start time, which
-    the per-execution deadline is measured from), recovers from broken
-    pools and expired deadlines by respawning, and charges failures to
-    the right spec via solo isolation.
+    Owns every recovery decision -- retry scheduling, timeout charging,
+    exclusive (solo) isolation of crash suspects, failure reporting --
+    while the :class:`SweepBackend` only executes attempts and reports
+    :class:`AttemptOutcome` values.  Backoff waits never block the loop:
+    a gated retry merely bounds the backend poll timeout, so unrelated
+    in-flight completions keep landing while the gate is closed, and the
+    loop sleeps outright only when nothing at all is in flight.
     """
 
     def __init__(
         self,
         to_run: list[tuple[int, SimulationSpec]],
         digests: list[str],
-        workers: int,
+        backend: SweepBackend,
         retries: int,
         timeout: float | None,
         backoff: float,
         tracer: Tracer,
+        on_complete: Callable[[int, SimulationResult], None] | None = None,
     ):
         self.pending = [
             _Attempt(index=index, spec=spec, digest=digests[index])
             for index, spec in to_run
         ]
-        self.workers = workers
+        self.backend = backend
         self.retries = retries
         self.timeout = timeout
         self.backoff = backoff
         self.tracer = tracer
+        self.on_complete = on_complete
         self.completed: list[tuple[int, SimulationResult, float]] = []
         self.failures: list[SpecFailure] = []
         self.retry_count = 0
         self.timeout_count = 0
-        self.respawn_count = 0
-        self.inflight: dict = {}  # future -> (_Attempt, deadline | None)
+        self.inflight: dict[int, tuple[_Attempt, float | None]] = {}
+        self._next_token = 0
 
     def run(self) -> None:
-        """Drain the work queue, however many pools it takes."""
-        executor = ProcessPoolExecutor(max_workers=self.workers)
-        try:
-            while self.pending or self.inflight:
-                executor = self._submit_ready(executor)
-                if not self.inflight:
-                    self._sleep_until_ready()
-                    continue
-                done, _ = wait(
-                    set(self.inflight),
-                    timeout=self._wait_timeout(),
-                    return_when=FIRST_COMPLETED,
-                )
-                executor = self._process_done(executor, done)
-                executor = self._expire_deadlines(executor)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+        """Drain the work queue through the backend."""
+        while self.pending or self.inflight:
+            self._submit_ready()
+            if not self.inflight:
+                self._sleep_until_ready()
+                continue
+            for outcome in self.backend.poll(self._poll_timeout()):
+                self._apply(outcome)
+            self._expire_deadlines()
 
     # -- submission ----------------------------------------------------
     def _submittable(self, now: float) -> list[_Attempt]:
         """Attempts eligible for submission right now.
 
-        Solo attempts (crash suspects) run strictly alone: one is
-        submitted only into an empty pool, and while one is in flight
-        nothing else joins it -- so a pool break unambiguously names its
-        culprit.
+        Exclusive attempts (crash suspects) run strictly alone: one is
+        submitted only when nothing is in flight, and while one is in
+        flight nothing else joins it -- so a repeat crash unambiguously
+        names its culprit.
         """
-        if any(attempt.solo for attempt, _ in self.inflight.values()):
+        if any(attempt.exclusive for attempt, _ in self.inflight.values()):
             return []
-        ready_solo = [a for a in self.pending if a.solo and a.ready_at <= now]
-        if ready_solo:
-            return ready_solo[:1] if not self.inflight else []
-        return [a for a in self.pending if not a.solo and a.ready_at <= now]
+        ready_exclusive = [
+            a for a in self.pending if a.exclusive and a.ready_at <= now
+        ]
+        if ready_exclusive:
+            return ready_exclusive[:1] if not self.inflight else []
+        return [a for a in self.pending if not a.exclusive and a.ready_at <= now]
 
-    def _submit_ready(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
-        """Fill the in-flight window; respawn if the pool died meanwhile."""
+    def _submit_ready(self) -> None:
+        """Hand ready attempts to the backend, up to its capacity."""
         now = time.monotonic()
-        for attempt in self._submittable(now)[: self.workers - len(self.inflight)]:
+        eligible = self._submittable(now)
+        capacity = self.backend.capacity()
+        if capacity is not None:
+            eligible = eligible[: max(0, capacity)]
+        for attempt in eligible:
             self.pending.remove(attempt)
-            try:
-                future = executor.submit(_execute_indexed, (attempt.index, attempt.spec))
-            except BrokenExecutor:
-                # The pool broke between iterations (a worker died after
-                # its futures resolved).  Nothing in flight is lost;
-                # requeue and start fresh.
-                self.pending.append(attempt)
-                executor = self._respawn(executor, reason="broken")
-                continue
-            self.inflight[future] = (
-                attempt,
-                now + self.timeout if self.timeout is not None else None,
-            )
-        return executor
+            token = self._next_token
+            self._next_token += 1
+            deadline = now + self.timeout if self.timeout is not None else None
+            self.inflight[token] = (attempt, deadline)
+            self.backend.submit(token, attempt.spec)
 
     def _sleep_until_ready(self) -> None:
         """Idle until the earliest backoff gate opens (nothing in flight)."""
@@ -311,75 +294,66 @@ class _PoolLoop:
         if delay > 0:
             time.sleep(delay)
 
-    def _wait_timeout(self) -> float | None:
-        """How long :func:`wait` may block before a deadline could expire."""
-        deadlines = [d for _, d in self.inflight.values() if d is not None]
-        if not deadlines:
+    def _poll_timeout(self) -> float | None:
+        """How long the backend may block before the loop must act.
+
+        Bounded by the earliest in-flight deadline (a timeout could
+        expire) *and* the earliest pending backoff gate (a retry could
+        become submittable) -- the latter is what keeps backoff waits
+        off the dispatch path.
+        """
+        bounds = [
+            deadline for _, deadline in self.inflight.values() if deadline is not None
+        ]
+        now = time.monotonic()
+        bounds.extend(
+            attempt.ready_at for attempt in self.pending if attempt.ready_at > now
+        )
+        if not bounds:
             return None
-        return max(0.0, min(deadlines) - time.monotonic())
+        return max(0.0, min(bounds) - now)
 
     # -- completion / failure handling ---------------------------------
-    def _process_done(self, executor: ProcessPoolExecutor, done) -> ProcessPoolExecutor:
-        """Harvest finished futures; handle a broken pool if one surfaced."""
-        suspects: list[_Attempt] = []
-        broken = False
-        for future in done:
-            attempt, _deadline = self.inflight.pop(future)
-            try:
-                index, result, wall_seconds = future.result()
-            except BrokenExecutor:
-                broken = True
-                suspects.append(attempt)
-            except Exception as error:  # noqa: BLE001 -- charged, never silent
-                self._charge(attempt, error)
-            else:
-                self.completed.append((index, result, wall_seconds))
-        if not broken:
-            return executor
-        # Everything still in flight rode the same dead pool: requeue it
-        # alongside the futures that already surfaced the break.
-        suspects.extend(attempt for attempt, _ in self.inflight.values())
-        self.inflight.clear()
-        executor = self._respawn(executor, reason="broken")
-        if len(suspects) == 1:
-            # Alone in the pool: the crash is unambiguously its doing.
-            self._charge(suspects[0], WorkerCrash("worker process died"))
+    def _apply(self, outcome: AttemptOutcome) -> None:
+        """Fold one backend outcome into the loop state."""
+        entry = self.inflight.pop(outcome.token, None)
+        if entry is None:
+            return  # stale token: already charged (e.g. as a timeout)
+        attempt, _deadline = entry
+        if outcome.requeue:
+            attempt.exclusive = attempt.exclusive or outcome.exclusive
+            self.pending.append(attempt)
+        elif outcome.error is not None:
+            self._charge(attempt, outcome.error)
         else:
-            for attempt in suspects:  # ambiguous: isolate, charge nobody yet
-                attempt.solo = True
-                self.pending.append(attempt)
-        return executor
+            assert outcome.result is not None
+            self.completed.append((attempt.index, outcome.result, outcome.wall_seconds))
+            if self.on_complete is not None:
+                self.on_complete(attempt.index, outcome.result)
 
-    def _expire_deadlines(self, executor: ProcessPoolExecutor) -> ProcessPoolExecutor:
-        """Charge expired attempts and abandon the pool holding them.
+    def _expire_deadlines(self) -> None:
+        """Cancel expired attempts through the backend and charge them.
 
-        A hung worker cannot be cancelled individually, so the whole
-        pool is torn down; in-flight specs that had time left are
-        requeued without being charged an attempt.
+        Only attempts the backend *confirms* cancelled are charged a
+        ``TimeoutError`` -- one that finished in the race window
+        delivers its real outcome on the next poll instead.
         """
         if self.timeout is None or not self.inflight:
-            return executor
+            return
         now = time.monotonic()
-        expired = [
-            future
-            for future, (_attempt, deadline) in self.inflight.items()
-            if deadline is not None and now >= deadline and not future.done()
-        ]
+        expired = {
+            token
+            for token, (_attempt, deadline) in self.inflight.items()
+            if deadline is not None and now >= deadline
+        }
         if not expired:
-            return executor
-        innocents: list[_Attempt] = []
-        for future, (attempt, _deadline) in list(self.inflight.items()):
-            if future in expired:
-                self.timeout_count += 1
-                self._charge(
-                    attempt,
-                    TimeoutError(f"execution exceeded {self.timeout:g}s"),
-                )
-            else:
-                innocents.append(attempt)
-        self.inflight.clear()
-        self.pending.extend(innocents)
-        return self._respawn(executor, reason="timeout")
+            return
+        for token in self.backend.cancel(expired):
+            attempt, _deadline = self.inflight.pop(token)
+            self.timeout_count += 1
+            self._charge(
+                attempt, TimeoutError(f"execution exceeded {self.timeout:g}s")
+            )
 
     def _charge(self, attempt: _Attempt, error: BaseException) -> None:
         """Charge one failed execution: schedule a retry or record failure."""
@@ -421,97 +395,6 @@ class _PoolLoop:
                 )
             )
 
-    def _respawn(
-        self, executor: ProcessPoolExecutor, reason: str
-    ) -> ProcessPoolExecutor:
-        """Abandon ``executor`` and hand back a fresh pool."""
-        _abandon_pool(executor)
-        self.respawn_count += 1
-        if self.tracer.enabled:
-            self.tracer.emit(PoolRespawned(reason=reason, respawns=self.respawn_count))
-        return ProcessPoolExecutor(max_workers=self.workers)
-
-
-def _abandon_pool(executor: ProcessPoolExecutor) -> None:
-    """Tear down a pool without joining workers that may never exit.
-
-    ``shutdown(wait=False)`` alone would leave a hung worker alive (and
-    interpreter exit would join it); terminating the worker processes is
-    the only way to reclaim them.  ``_processes`` is executor-internal,
-    so absence is tolerated.
-    """
-    executor.shutdown(wait=False, cancel_futures=True)
-    processes = getattr(executor, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except (OSError, ValueError):  # already dead / closed
-            pass
-
-
-def _run_serial(
-    to_run: list[tuple[int, SimulationSpec]],
-    digests: list[str],
-    retries: int,
-    backoff: float,
-    tracer: Tracer,
-) -> tuple[list[tuple[int, SimulationResult, float]], list[SpecFailure], int]:
-    """In-process execution with the same retry contract as the pool.
-
-    No timeout or crash protection -- a spec that hangs or kills the
-    process takes the caller with it (use ``jobs > 1`` or a ``timeout``
-    to get process isolation).  Returns (completed, failures, retries).
-    """
-    completed: list[tuple[int, SimulationResult, float]] = []
-    failures: list[SpecFailure] = []
-    retry_count = 0
-    for index, spec in to_run:
-        attempts = 0
-        while True:
-            try:
-                result, wall_seconds = _execute_timed(spec)
-            except Exception as error:  # noqa: BLE001 -- charged, never silent
-                attempts += 1
-                if isinstance(error, ReproError) or attempts > retries:
-                    failures.append(
-                        SpecFailure(
-                            index=index,
-                            digest=digests[index],
-                            error_type=type(error).__name__,
-                            message=str(error),
-                            attempts=attempts,
-                        )
-                    )
-                    if tracer.enabled:
-                        tracer.emit(
-                            SpecFailed(
-                                index=index,
-                                digest_prefix=digests[index][:12],
-                                error_type=type(error).__name__,
-                                message=str(error),
-                                attempts=attempts,
-                            )
-                        )
-                    break
-                retry_count += 1
-                delay = _retry_delay(backoff, digests[index], attempts)
-                if tracer.enabled:
-                    tracer.emit(
-                        SpecRetried(
-                            index=index,
-                            digest_prefix=digests[index][:12],
-                            attempt=attempts,
-                            error_type=type(error).__name__,
-                            delay_seconds=delay,
-                        )
-                    )
-                if delay > 0:
-                    time.sleep(delay)
-            else:
-                completed.append((index, result, wall_seconds))
-                break
-    return completed, failures, retry_count
-
 
 def run_many(
     specs: Iterable[SimulationSpec],
@@ -524,6 +407,8 @@ def run_many(
     timeout: float | None = None,
     backoff: float = 0.05,
     on_error: str = "raise",
+    backend: str | None = None,
+    on_result: OnResult | None = None,
 ) -> list[SimulationResult]:
     """Run every spec and return one result per spec, in spec order.
 
@@ -534,8 +419,8 @@ def run_many(
         executed once and share the result object.
     jobs:
         Worker processes; ``None`` reads ``$REPRO_JOBS`` (default 1).
-        1 runs in-process unless a ``timeout`` forces the pool (only a
-        separate process can be abandoned).
+        1 runs in-process unless a ``timeout`` forces a process-backed
+        backend (only a separate process can be abandoned).
     cache:
         Result cache to consult and fill; ``None`` uses the process-wide
         :func:`default_cache`.  Only completed results are cached.
@@ -548,18 +433,18 @@ def run_many(
         Filled even when the call raises :class:`SweepError`.
     tracer:
         Observability sink for batch-level events (sweep submitted /
-        completed, retries, failures, pool respawns, runner metrics);
-        ``None`` consults ``$REPRO_TRACE`` and defaults to the no-op
-        null tracer.  Worker processes emit their per-run events through
-        their own env-resolved tracers.
+        completed, backend opened / closed, retries, failures, worker
+        respawns, runner metrics); ``None`` consults ``$REPRO_TRACE``
+        and defaults to the no-op null tracer.  Worker processes emit
+        their per-run events through their own env-resolved tracers.
     retries:
         Extra executions granted to a failing spec; ``None`` reads
         ``$REPRO_RETRIES`` (default 0).  :class:`~repro.errors.ReproError`
         subclasses fail fast regardless -- they are deterministic.
     timeout:
         Per-execution wall-clock budget in seconds; ``None`` reads
-        ``$REPRO_TIMEOUT`` (default: no timeout).  Expiry abandons the
-        worker pool and charges the spec one attempt.
+        ``$REPRO_TIMEOUT`` (default: no timeout).  Expiry cancels the
+        attempt through the backend and charges the spec one attempt.
     backoff:
         Base backoff in seconds; attempt ``n`` waits
         ``backoff * 2**(n-1)`` scaled by deterministic digest-seeded
@@ -569,11 +454,28 @@ def run_many(
         :class:`~repro.errors.SweepError`, carrying the partial results
         and the failure report.  ``"partial"``: return the results list
         with ``None`` in failed slots; inspect ``stats.failures``.
+    backend:
+        Execution substrate name (``"serial"``, ``"pool"``,
+        ``"workqueue"``, or any registered backend); ``None`` reads
+        ``$REPRO_BACKEND`` and falls back to the jobs/timeout heuristic.
+        See ``docs/sweeps.md`` for the backend matrix.
+    on_result:
+        Streaming completion hook, called once per *distinct* spec
+        digest as soon as its result is available -- for cache hits
+        during planning and for executions as they land, before the
+        batch finishes.  Campaign journaling builds on this.  Aliased
+        (deduplicated) slots do not trigger extra calls.
     """
+    _load_builtin_backends()
     spec_list = list(specs)
     jobs = resolve_jobs(jobs)
     retries = resolve_retries(retries)
     timeout = resolve_timeout(timeout)
+    backend_name = resolve_backend_name(backend, jobs=jobs, timeout=timeout)
+    if timeout is not None and not _backend_class(backend_name).supports_timeout:
+        raise ConfigError(
+            f"backend {backend_name!r} cannot enforce per-execution timeouts"
+        )
     if on_error not in ("raise", "partial"):
         raise ConfigError(f"on_error must be 'raise' or 'partial', got {on_error!r}")
     if tracer is None:
@@ -588,6 +490,7 @@ def run_many(
 
     results: list[SimulationResult | None] = [None] * len(spec_list)
     digests: list[str] = [spec.digest() for spec in spec_list]
+    notified: set[str] = set()
     to_run: list[tuple[int, SimulationSpec]] = []
     followers: dict[str, list[int]] = {}
     hit_count = 0
@@ -597,6 +500,9 @@ def run_many(
             if found is not None:
                 results[index] = found
                 hit_count += 1
+                if on_result is not None and digests[index] not in notified:
+                    notified.add(digests[index])
+                    on_result(index, spec, found)
                 continue
         digest = digests[index]
         if digest in followers:
@@ -617,29 +523,56 @@ def run_many(
             )
         )
 
-    # The pool is mandatory whenever a timeout is set -- only a separate
-    # process can be abandoned mid-execution -- and whenever jobs > 1,
-    # even for one spec, so a crashing spec cannot take the caller down.
-    if not to_run or (jobs == 1 and timeout is None):
-        computed, failures, retry_count = _run_serial(
-            to_run, digests, retries=retries, backoff=backoff, tracer=tracer
+    def _stream(index: int, result: SimulationResult) -> None:
+        """Forward one dispatch completion to the caller's hook."""
+        if on_result is not None and digests[index] not in notified:
+            notified.add(digests[index])
+            on_result(index, spec_list[index], result)
+
+    if to_run:
+        active_backend = create_backend(backend_name)
+        workers = min(jobs, len(to_run))
+        context = BackendContext(
+            workers=workers,
+            tracer=tracer,
+            cache_dir=(
+                str(active_cache.disk_dir)
+                if active_cache is not None and active_cache.disk_dir is not None
+                else None
+            ),
         )
-        timeout_count = respawn_count = 0
-    else:
-        loop = _PoolLoop(
+        if tracer.enabled:
+            tracer.emit(BackendOpened(backend=backend_name, workers=workers))
+        dispatcher = _Dispatcher(
             to_run,
             digests,
-            workers=min(jobs, len(to_run)),
+            backend=active_backend,
             retries=retries,
             timeout=timeout,
             backoff=backoff,
             tracer=tracer,
+            on_complete=_stream if on_result is not None else None,
         )
-        loop.run()
-        computed, failures = loop.completed, loop.failures
-        retry_count = loop.retry_count
-        timeout_count = loop.timeout_count
-        respawn_count = loop.respawn_count
+        active_backend.open(context)
+        try:
+            dispatcher.run()
+        finally:
+            active_backend.shutdown()
+        computed, failures = dispatcher.completed, dispatcher.failures
+        retry_count = dispatcher.retry_count
+        timeout_count = dispatcher.timeout_count
+        respawn_count = active_backend.respawns
+        if tracer.enabled:
+            tracer.emit(
+                BackendClosed(
+                    backend=backend_name,
+                    executed=len(computed),
+                    respawns=respawn_count,
+                )
+            )
+    else:
+        computed, failures = [], []
+        retry_count = timeout_count = respawn_count = 0
 
     for index, result, _wall_seconds in computed:
         results[index] = result
@@ -691,6 +624,7 @@ def run_many(
         stats.retries = retry_count
         stats.timeouts = timeout_count
         stats.pool_respawns = respawn_count
+        stats.backend = backend_name
         stats.failures = list(failures)
         stats.metrics = metrics
     if failures and on_error == "raise":
@@ -702,6 +636,13 @@ def run_many(
             failures=failures,
         )
     return results  # type: ignore[return-value]  # None only in 'partial' failed slots
+
+
+def _backend_class(name: str) -> type[SweepBackend]:
+    """The registered backend class for ``name`` (resolution validated)."""
+    from repro.simulator.runner.backends import BACKENDS
+
+    return BACKENDS[name]
 
 
 def _batch_metrics(

@@ -1,0 +1,458 @@
+"""File-based work-queue backend: independent workers claiming specs.
+
+The ``workqueue`` :class:`~repro.simulator.runner.backends.SweepBackend`
+runs attempts in long-lived worker *processes* that coordinate through
+a spool directory instead of an executor protocol:
+
+* the parent submits an attempt by atomically writing a pickled
+  ``(token, spec)`` file into ``todo/``;
+* each worker claims work by ``os.rename``-ing a todo file into
+  ``claimed/<token>.<pid>.pkl`` -- rename is atomic on POSIX, so
+  exactly one worker wins a spec and the claim file doubles as the
+  crash ledger (a dead pid's claims name exactly the specs it was
+  running);
+* outcomes come back as atomically-written ``done/<token>.pkl`` files
+  which the parent drains on :meth:`WorkQueueBackend.poll`.
+
+When the promoted disk :class:`~repro.simulator.runner.cache.ResultCache`
+is active, workers use it as a *cross-worker store*: before executing a
+spec they take a per-key lock file (``<key>.lock`` created with
+``O_CREAT | O_EXCL``) so concurrent sweeps sharing one
+``$REPRO_CACHE_DIR`` never execute the same spec twice -- the loser
+waits and reads the winner's atomically-published entry.  Lock holders
+that die are detected by pid liveness and the lock is stolen, so a
+killed worker never wedges the queue.
+
+Recovery maps onto the same accounting as the ``pool`` backend: a dead
+worker's claimed spec surfaces as a
+:class:`~repro.simulator.runner.backends.WorkerCrash` outcome and the
+worker is replaced (one ``pool_respawned`` event per replacement);
+:meth:`WorkQueueBackend.cancel` terminates the exact worker holding an
+expired claim, which the dispatch loop charges as a timeout.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs.events import PoolRespawned
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simulator.runner.backends import (
+    AttemptOutcome,
+    BackendContext,
+    SweepBackend,
+    WorkerCrash,
+    _execute_timed,
+    register_backend,
+)
+from repro.simulator.runner.cache import ResultCache
+from repro.simulator.runner.spec import SimulationSpec
+
+__all__ = ["WorkQueueBackend"]
+
+#: Seconds an idle worker sleeps between todo-directory scans.
+_WORKER_IDLE_SECONDS = 0.01
+#: Seconds a worker waiting on another worker's cache lock sleeps
+#: between liveness/result checks.
+_LOCK_WAIT_SECONDS = 0.02
+#: A lock file whose holder pid cannot be read is considered abandoned
+#: after this many seconds (clock-skew-safe fallback to pid liveness).
+_LOCK_STALE_SECONDS = 30.0
+#: Seconds the parent sleeps between poll scans of the done directory.
+_POLL_IDLE_SECONDS = 0.005
+
+
+def _atomic_write(directory: Path, name: str, payload: bytes) -> None:
+    """Publish ``payload`` at ``directory/name`` via tempfile + rename.
+
+    Readers either see the complete file or no file -- never a torn
+    write -- which is what makes the spool directories and the shared
+    cache safe under concurrent workers and SIGKILL.
+    """
+    handle, staging_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(payload)
+        os.replace(staging_path, directory / name)
+    except OSError:
+        if os.path.exists(staging_path):
+            os.unlink(staging_path)
+        raise
+
+
+def _read_pickle(path: Path):
+    """Load a pickle, returning ``None`` on any corruption or race.
+
+    Spool files are published atomically, so corruption here means an
+    unrelated writer or a stale entry -- both are treated as absent, in
+    the same spirit as the cache's corruption-tolerant reads.
+    """
+    try:
+        with open(path, "rb") as stream:
+            return pickle.load(stream)
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        ValueError,
+        IndexError,
+    ):
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def _try_lock(lock_path: Path, pid: int) -> bool:
+    """Try to create the per-key execution lock; False if held."""
+    try:
+        handle = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(handle, "w") as stream:
+        stream.write(str(pid))
+    return True
+
+
+def _steal_if_dead(lock_path: Path) -> None:
+    """Remove a lock whose holder is gone (dead pid or stale file)."""
+    try:
+        raw = lock_path.read_text()
+    except OSError:
+        return  # released (or being rewritten) meanwhile
+    try:
+        holder = int(raw)
+    except ValueError:
+        holder = None
+    if holder is not None and _pid_alive(holder):
+        return
+    if holder is None:
+        # Unreadable holder: only reclaim clearly-abandoned locks.
+        try:
+            # Wall-clock read is deliberate: file mtimes are epoch
+            # timestamps, so staleness needs time.time(), and lock
+            # lifetimes never influence simulation results.
+            age = time.time() - lock_path.stat().st_mtime  # simlint: disable=SIM001
+        except OSError:
+            return
+        if age < _LOCK_STALE_SECONDS:
+            return
+    try:
+        lock_path.unlink()
+    except OSError:
+        pass  # someone else stole it first
+
+
+def _run_shared(
+    spec: SimulationSpec, cache: ResultCache | None
+):
+    """Execute one spec through the shared-cache coordination protocol.
+
+    Without a cache this is a plain timed execution.  With one, the
+    per-key lock guarantees that across every worker of every sweep
+    sharing the disk directory, each distinct spec executes at most
+    once; everyone else blocks briefly and reads the published result.
+    Returns ``(result, wall_seconds)``.
+    """
+    if cache is None or cache.disk_dir is None:
+        return _execute_timed(spec)
+    key = cache.key_for(spec)
+    found = cache.get(key)
+    if found is not None:
+        return found, 0.0
+    cache.disk_dir.mkdir(parents=True, exist_ok=True)
+    lock_path = cache.disk_dir / f"{key}.lock"
+    while not _try_lock(lock_path, os.getpid()):
+        found = cache.get(key)
+        if found is not None:
+            return found, 0.0
+        _steal_if_dead(lock_path)
+        time.sleep(_LOCK_WAIT_SECONDS)
+    try:
+        found = cache.get(key)  # published while we raced for the lock
+        if found is not None:
+            return found, 0.0
+        result, wall_seconds = _execute_timed(spec)
+        cache.put(key, result)
+        return result, wall_seconds
+    finally:
+        try:
+            lock_path.unlink()
+        except OSError:
+            pass  # stolen by a waiter that saw this pid die
+
+
+def _worker_main(root: str, cache_dir: str | None) -> None:
+    """Worker-process loop: claim, execute, publish, repeat.
+
+    Runs until the ``stop`` flag file appears.  Every step communicates
+    through atomic renames/replaces only, so the parent can SIGKILL the
+    worker at any instant without corrupting the spool.
+    """
+    spool = Path(root)
+    todo = spool / "todo"
+    claimed = spool / "claimed"
+    done = spool / "done"
+    stop_flag = spool / "stop"
+    pid = os.getpid()
+    cache = ResultCache(disk_dir=cache_dir) if cache_dir else None
+    while not stop_flag.exists():
+        claim_path = None
+        for entry in sorted(todo.glob("*.pkl")):
+            candidate = claimed / f"{entry.stem}.{pid}.pkl"
+            try:
+                os.rename(entry, candidate)
+            except OSError:
+                continue  # another worker won the claim
+            claim_path = candidate
+            break
+        if claim_path is None:
+            time.sleep(_WORKER_IDLE_SECONDS)
+            continue
+        item = _read_pickle(claim_path)
+        if item is None:
+            claim_path.unlink(missing_ok=True)
+            continue
+        token, spec = item
+        try:
+            result, wall_seconds = _run_shared(spec, cache)
+        except Exception as error:  # noqa: BLE001 -- reported, never silent
+            try:
+                payload = pickle.dumps((token, None, error, 0.0))
+            except Exception:  # noqa: BLE001 -- unpicklable exception
+                payload = pickle.dumps(
+                    (token, None, RuntimeError(f"{type(error).__name__}: {error}"), 0.0)
+                )
+            _atomic_write(done, f"{token}.pkl", payload)
+        else:
+            _atomic_write(
+                done,
+                f"{token}.pkl",
+                pickle.dumps((token, result, None, wall_seconds)),
+            )
+        # Publish-then-release: the outcome exists before the claim
+        # disappears, so a crash between the two reports at most once.
+        claim_path.unlink(missing_ok=True)
+
+
+@register_backend
+class WorkQueueBackend(SweepBackend):
+    """Multi-process file-based work queue (see module docstring)."""
+
+    name = "workqueue"
+    supports_timeout = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._root: Path | None = None
+        self._workers: dict[int, multiprocessing.Process] = {}
+        self._inflight: set[int] = set()
+        self._worker_count = 1
+        self._cache_dir: str | None = None
+        self._tracer: Tracer = NULL_TRACER
+
+    def open(self, context: BackendContext) -> None:
+        """Create the spool directory and start the worker processes."""
+        self._worker_count = context.workers
+        self._cache_dir = context.cache_dir
+        self._tracer = context.tracer
+        self._root = Path(tempfile.mkdtemp(prefix="repro-workqueue-"))
+        for name in ("todo", "claimed", "done"):
+            (self._root / name).mkdir()
+        for _ in range(self._worker_count):
+            self._spawn_worker()
+
+    def capacity(self) -> int | None:
+        """Free worker slots: submissions are windowed like the pool."""
+        return max(0, self._worker_count - len(self._inflight))
+
+    def submit(self, token: int, spec: SimulationSpec) -> None:
+        """Publish one attempt into ``todo/`` for any worker to claim."""
+        assert self._root is not None
+        _atomic_write(
+            self._root / "todo", f"{token}.pkl", pickle.dumps((token, spec))
+        )
+        self._inflight.add(token)
+
+    def poll(self, timeout: float | None) -> list[AttemptOutcome]:
+        """Drain published outcomes; reap dead workers along the way."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            outcomes = self._drain_done()
+            outcomes.extend(self._reap_dead_workers())
+            if outcomes:
+                return outcomes
+            if not self._inflight:
+                return []
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+            time.sleep(_POLL_IDLE_SECONDS)
+
+    def cancel(self, tokens: set[int]) -> set[int]:
+        """Abandon expired attempts by terminating their exact workers.
+
+        Unlike the pool, claims map each in-flight token to one worker
+        pid, so only the hung worker is killed and replaced -- other
+        attempts keep running undisturbed.
+        """
+        assert self._root is not None
+        confirmed: set[int] = set()
+        for token in tokens:
+            if (self._root / "done" / f"{token}.pkl").exists():
+                continue  # finished meanwhile: real outcome next poll
+            todo_path = self._root / "todo" / f"{token}.pkl"
+            try:
+                os.rename(todo_path, self._root / f"cancelled-{token}.pkl")
+            except OSError:
+                pass  # already claimed (the common case for an expiry)
+            else:
+                self._inflight.discard(token)
+                confirmed.add(token)
+                continue
+            claim = self._claim_for(token)
+            if claim is None:
+                continue  # between publish and release: outcome imminent
+            _claim_token, pid, claim_path = claim
+            self._terminate_worker(pid)
+            claim_path.unlink(missing_ok=True)
+            self._inflight.discard(token)
+            confirmed.add(token)
+            self.respawns += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    PoolRespawned(reason="timeout", respawns=self.respawns)
+                )
+            self._spawn_worker()
+        return confirmed
+
+    def shutdown(self) -> None:
+        """Stop the workers and remove the spool directory."""
+        if self._root is None:
+            return
+        (self._root / "stop").touch()
+        for process in self._workers.values():
+            process.terminate()
+        for process in self._workers.values():
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+        self._workers.clear()
+        self._inflight.clear()
+        shutil.rmtree(self._root, ignore_errors=True)
+        self._root = None
+
+    # -- internals -----------------------------------------------------
+    def _spawn_worker(self) -> None:
+        """Start one worker process on the spool."""
+        assert self._root is not None
+        process = multiprocessing.Process(
+            target=_worker_main,
+            args=(str(self._root), self._cache_dir),
+            daemon=True,
+        )
+        process.start()
+        assert process.pid is not None
+        self._workers[process.pid] = process
+
+    def _terminate_worker(self, pid: int) -> None:
+        """Terminate and discard one worker by pid (kill as fallback)."""
+        process = self._workers.pop(pid, None)
+        if process is None:
+            return
+        process.terminate()
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+    def _claim_for(self, token: int) -> tuple[int, int, Path] | None:
+        """The ``(token, pid, path)`` of a token's claim file, if any."""
+        assert self._root is not None
+        for claim_path in (self._root / "claimed").glob(f"{token}.*.pkl"):
+            claim_token, pid = _parse_claim_name(claim_path)
+            if claim_token == token and pid is not None:
+                return token, pid, claim_path
+        return None
+
+    def _drain_done(self) -> list[AttemptOutcome]:
+        """Collect every published outcome, unlinking as we go."""
+        assert self._root is not None
+        outcomes: list[AttemptOutcome] = []
+        for path in sorted((self._root / "done").glob("*.pkl")):
+            payload = _read_pickle(path)
+            path.unlink(missing_ok=True)
+            if payload is None:
+                continue  # corrupt/foreign file: drop it
+            token, result, error, wall_seconds = payload
+            if token not in self._inflight:
+                continue  # stale outcome for an already-settled token
+            self._inflight.discard(token)
+            if error is not None:
+                outcomes.append(AttemptOutcome(token=token, error=error))
+            else:
+                outcomes.append(
+                    AttemptOutcome(token=token, result=result, wall_seconds=wall_seconds)
+                )
+        return outcomes
+
+    def _reap_dead_workers(self) -> list[AttemptOutcome]:
+        """Replace dead workers; charge their claimed specs as crashes.
+
+        A claim left by a dead pid names exactly the spec it was running
+        -- no ambiguity, so no solo isolation is needed: the spec is
+        charged a :class:`WorkerCrash` directly (retryable as usual).
+        """
+        assert self._root is not None
+        dead = [pid for pid, process in self._workers.items() if not process.is_alive()]
+        outcomes: list[AttemptOutcome] = []
+        for pid in dead:
+            process = self._workers.pop(pid)
+            process.join(timeout=1.0)
+            for claim_path in (self._root / "claimed").glob(f"*.{pid}.pkl"):
+                token, _pid = _parse_claim_name(claim_path)
+                claim_path.unlink(missing_ok=True)
+                if token is None or token not in self._inflight:
+                    continue
+                if (self._root / "done" / f"{token}.pkl").exists():
+                    continue  # died after publishing: real outcome pending
+                self._inflight.discard(token)
+                outcomes.append(
+                    AttemptOutcome(
+                        token=token, error=WorkerCrash("workqueue worker died")
+                    )
+                )
+            self.respawns += 1
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    PoolRespawned(reason="broken", respawns=self.respawns)
+                )
+            self._spawn_worker()
+        return outcomes
+
+
+def _parse_claim_name(claim_path: Path) -> tuple[int | None, int | None]:
+    """Split ``claimed/<token>.<pid>.pkl`` into its integer parts."""
+    parts = claim_path.name.split(".")
+    if len(parts) != 3:
+        return None, None
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        return None, None

@@ -7,6 +7,11 @@ import pytest
 
 from repro.obs.events import (
     EVENT_TYPES,
+    BackendClosed,
+    BackendOpened,
+    CampaignCompleted,
+    CampaignCreated,
+    CampaignResumed,
     CandidateWindow,
     Event,
     IntervalAccount,
@@ -57,6 +62,11 @@ SAMPLES = [
     SpecFailed(index=3, digest_prefix="a1b2c3d4e5f6", error_type="TimeoutError",
                message="execution exceeded 2s", attempts=2),
     PoolRespawned(reason="broken", respawns=1),
+    BackendOpened(backend="workqueue", workers=4),
+    BackendClosed(backend="workqueue", executed=16, respawns=2),
+    CampaignCreated(name="sweep-fig8", total=96, distinct=48),
+    CampaignResumed(name="sweep-fig8", completed=20, remaining=28),
+    CampaignCompleted(name="sweep-fig8", executed=28, failed=0, remaining=0),
     ServiceStarted(policy="carbon-time", region="SA-AU", reserved_cpus=4,
                    max_pending=64, horizon=10080),
     ServiceJobAdmitted(time=30, job_id=1, queue="short", cpus=2, length=240),

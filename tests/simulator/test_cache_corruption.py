@@ -111,3 +111,46 @@ def test_memory_layer_untouched_by_disk_corruption(tmp_path, tiny_workload, flat
     # The writer's own memory layer still serves the result.
     assert cache.get("key") == result
     assert cache.memory_hits == 1
+
+
+def test_interleaved_writers_and_readers_never_tear(tmp_path, shared_result):
+    """Concurrent put/get on one key: atomic publication means readers
+    observe either a complete valid entry or a miss -- never a torn
+    pickle, never an exception (the workqueue backend's shared-cache
+    protocol depends on exactly this)."""
+    import threading
+
+    stop = threading.Event()
+    errors: list[Exception] = []
+    expected = shared_result.digest()
+
+    def writer() -> None:
+        try:
+            while not stop.is_set():
+                ResultCache(disk_dir=tmp_path).put("key", shared_result)
+        except Exception as error:
+            errors.append(error)
+
+    def reader() -> None:
+        try:
+            hits = 0
+            while not stop.is_set() or hits == 0:
+                found = ResultCache(disk_dir=tmp_path).get("key")
+                if found is not None:
+                    hits += 1
+                    assert found.digest() == expected
+        except Exception as error:
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer) for _ in range(2)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    import time as _time
+
+    _time.sleep(0.5)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+    assert errors == []

@@ -1,0 +1,329 @@
+"""Campaign journal/resume tests, including crash-at-arbitrary-prefix.
+
+The core property (satellite 2): a campaign interrupted after *any*
+prefix of its journal -- including a torn final line -- resumes to a
+digest-identical outcome while re-executing only the un-journaled
+distinct specs.  Hypothesis drives the cut point; a real SIGKILL'd
+subprocess covers the end-to-end CLI path; the remaining tests pin
+journal corruption tolerance, the campaign lock, failure re-indexing,
+and heal-on-resume semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import CampaignError
+from repro.faults import parse_fault_plan
+from repro.simulator.runner import (
+    Campaign,
+    RunStats,
+    SimulationSpec,
+    execution_count,
+)
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+DISTINCT = 6
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def carbon():
+    return CarbonIntensityTrace(np.linspace(120.0, 280.0, 48), name="ramp")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    jobs = [Job(job_id=i, arrival=i * 30, length=60, cpus=1) for i in range(4)]
+    return WorkloadTrace(jobs, name="campaign-small")
+
+
+def make_specs(workload, carbon):
+    """DISTINCT distinct specs plus two aliases (8 slots total)."""
+    specs = [
+        SimulationSpec.build(workload, carbon, "nowait", spot_seed=seed)
+        for seed in range(DISTINCT)
+    ]
+    return specs + [specs[0], specs[3]]
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory, workload, carbon):
+    """One uninterrupted campaign run: the parity oracle for resumes."""
+    directory = tmp_path_factory.mktemp("campaign-reference")
+    campaign = Campaign.create(directory, make_specs(workload, carbon), name="ref")
+    report = campaign.run(jobs=1, backend="serial", use_cache=False)
+    assert report.complete
+    journal_lines = [
+        line
+        for line in (directory / "journal.jsonl").read_text().splitlines()
+        if json.loads(line)["event"] == "completed"
+    ]
+    assert len(journal_lines) == DISTINCT
+    return {
+        "directory": directory,
+        "journal_lines": journal_lines,
+        "digest": report.results_digest(),
+    }
+
+
+class TestCrashResumeProperty:
+    @given(cut=st.integers(min_value=0, max_value=DISTINCT))
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_resume_after_any_journal_prefix(
+        self, cut, tmp_path_factory, workload, carbon, reference
+    ):
+        """Truncate the journal to its first ``cut`` completions (plus a
+        torn partial line, as a SIGKILL mid-append would leave), resume,
+        and require digest parity with exactly ``DISTINCT - cut``
+        re-executions -- journaled specs never run again."""
+        directory = tmp_path_factory.mktemp(f"campaign-cut{cut}")
+        Campaign.create(directory, make_specs(workload, carbon), name="cut")
+        prefix = reference["journal_lines"][:cut]
+        torn = '{"event": "completed", "dig'
+        (directory / "journal.jsonl").write_text("\n".join([*prefix, torn]) + "\n")
+        for line in prefix:
+            digest = json.loads(line)["digest"]
+            source = reference["directory"] / "results" / f"{digest}.pkl"
+            (directory / "results" / f"{digest}.pkl").write_bytes(
+                source.read_bytes()
+            )
+
+        campaign = Campaign.load(directory)
+        assert len(campaign.completed_results()) == cut
+        executed_before = execution_count()
+        report = campaign.run(jobs=1, backend="serial", use_cache=False)
+        assert execution_count() - executed_before == DISTINCT - cut
+        assert report.complete
+        assert report.results_digest() == reference["digest"]
+
+
+class TestJournalSemantics:
+    def test_limit_interrupt_then_resume(self, tmp_path, workload, carbon, reference):
+        """A deliberately partial run journals its completions; the next
+        run picks up only the remainder."""
+        campaign = Campaign.create(tmp_path, make_specs(workload, carbon), name="lim")
+        first = campaign.run(jobs=1, backend="serial", use_cache=False, limit=2)
+        assert not first.complete
+        assert first.stats.executed == 2
+        assert campaign.status()["remaining"] == DISTINCT - 2
+
+        second_stats = RunStats()
+        second = campaign.run(
+            jobs=1, backend="serial", use_cache=False, stats=second_stats
+        )
+        assert second.complete
+        assert second_stats.executed == DISTINCT - 2
+        assert second.results_digest() == reference["digest"]
+
+    def test_garbage_journal_lines_are_skipped(self, tmp_path, workload, carbon):
+        campaign = Campaign.create(tmp_path, make_specs(workload, carbon), name="gar")
+        (tmp_path / "journal.jsonl").write_text(
+            "\n".join(
+                [
+                    "not json at all",
+                    '{"event": "completed"}',
+                    '{"event": "completed", "digest": 17}',
+                    '[1, 2, 3]',
+                    '{"event": "failed", "digest": "abc"}',
+                    "",
+                ]
+            )
+        )
+        assert campaign.journaled_completions() == set()
+        assert campaign.status()["completed"] == 0
+
+    def test_journaled_digest_without_result_file_is_pending(
+        self, tmp_path, workload, carbon
+    ):
+        """A journal line whose result file is missing or corrupt demotes
+        the digest back to pending instead of poisoning the campaign."""
+        specs = make_specs(workload, carbon)
+        campaign = Campaign.create(tmp_path, specs, name="demote")
+        missing, corrupt = specs[0].digest(), specs[1].digest()
+        (tmp_path / "results" / f"{corrupt}.pkl").write_bytes(b"\x80garbage")
+        (tmp_path / "journal.jsonl").write_text(
+            json.dumps({"event": "completed", "digest": missing})
+            + "\n"
+            + json.dumps({"event": "completed", "digest": corrupt})
+            + "\n"
+        )
+        assert campaign.completed_results() == {}
+        report = campaign.run(jobs=1, backend="serial", use_cache=False)
+        assert report.complete
+
+    def test_second_runner_hits_the_lock(self, tmp_path, workload, carbon):
+        import fcntl
+
+        campaign = Campaign.create(tmp_path, make_specs(workload, carbon), name="lck")
+        with open(tmp_path / "campaign.lock", "w") as holder:
+            fcntl.flock(holder.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            with pytest.raises(CampaignError, match="locked"):
+                campaign.run(jobs=1, backend="serial", use_cache=False)
+        report = campaign.run(jobs=1, backend="serial", use_cache=False)
+        assert report.complete
+
+
+class TestFailureHandling:
+    def test_failed_spec_heals_on_resume(self, tmp_path, workload, carbon):
+        """A spec that fails this run (no retry budget) is journaled as
+        failed but stays pending; the next run re-attempts and heals it."""
+        marker = tmp_path / "flaky-marker"
+        plan = parse_fault_plan(f"worker-flaky:path={marker},times=1", seed=0)
+        flaky = SimulationSpec.build(workload, carbon, "nowait", fault_plan=plan)
+        good = SimulationSpec.build(workload, carbon, "nowait", spot_seed=9)
+        directory = tmp_path / "campaign"
+        campaign = Campaign.create(directory, [good, flaky], name="heal")
+
+        first = campaign.run(
+            jobs=1, backend="serial", use_cache=False,
+            retries=0, on_error="partial",
+        )
+        assert not first.complete
+        assert [failure.index for failure in first.failures] == [1]
+        journal = (directory / "journal.jsonl").read_text()
+        assert '"event": "failed"' in journal
+
+        second = campaign.run(jobs=1, backend="serial", use_cache=False)
+        assert second.complete
+        assert second.stats.executed == 1  # only the flaky spec re-ran
+
+    def test_raise_mode_reports_campaign_aligned_failures(
+        self, tmp_path, workload, carbon
+    ):
+        from repro.errors import SweepError
+
+        plan = parse_fault_plan("worker-fail", seed=0)
+        bad = SimulationSpec.build(workload, carbon, "nowait", fault_plan=plan)
+        good = SimulationSpec.build(workload, carbon, "nowait")
+        campaign = Campaign.create(
+            tmp_path, [good, bad, good, bad], name="align"
+        )
+        with pytest.raises(SweepError) as excinfo:
+            campaign.run(jobs=1, backend="serial", use_cache=False, backoff=0.0)
+        error = excinfo.value
+        assert len(error.results) == 4
+        assert [index for index, r in enumerate(error.results) if r is None] == [1, 3]
+        assert [failure.index for failure in error.failures] == [1, 3]
+
+
+class TestDirectoryLifecycle:
+    def test_create_rejects_an_existing_campaign(self, tmp_path, workload, carbon):
+        specs = make_specs(workload, carbon)
+        Campaign.create(tmp_path, specs, name="one")
+        with pytest.raises(CampaignError, match="already holds"):
+            Campaign.create(tmp_path, specs, name="two")
+
+    def test_create_rejects_an_empty_spec_list(self, tmp_path):
+        with pytest.raises(CampaignError):
+            Campaign.create(tmp_path, [], name="empty")
+
+    def test_load_requires_a_manifest(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign manifest"):
+            Campaign.load(tmp_path)
+
+    def test_load_rejects_foreign_manifest_versions(
+        self, tmp_path, workload, carbon
+    ):
+        Campaign.create(tmp_path, make_specs(workload, carbon), name="v")
+        manifest = json.loads((tmp_path / "campaign.json").read_text())
+        manifest["version"] = 99
+        (tmp_path / "campaign.json").write_text(json.dumps(manifest))
+        with pytest.raises(CampaignError, match="version"):
+            Campaign.load(tmp_path)
+
+
+@pytest.fixture(scope="module")
+def heavy_inputs():
+    """~10 ms/spec inputs so a subprocess can be killed mid-campaign."""
+    jobs = [
+        Job(job_id=i, arrival=(i % 144) * 60, length=240, cpus=2)
+        for i in range(300)
+    ]
+    workload = WorkloadTrace(jobs, name="campaign-heavy")
+    carbon = CarbonIntensityTrace(
+        np.linspace(80.0, 400.0, 7 * 24), name="week-ramp"
+    )
+    return workload, carbon
+
+
+class TestSigkillResume:
+    def test_sigkilled_cli_campaign_resumes_digest_identical(
+        self, tmp_path, heavy_inputs
+    ):
+        """End-to-end acceptance: SIGKILL the resume CLI mid-campaign,
+        resume in-process, and require digest parity with an
+        uninterrupted reference plus zero re-executions of journaled
+        specs."""
+        workload, carbon = heavy_inputs
+        specs = [
+            SimulationSpec.build(workload, carbon, "carbon-time", spot_seed=seed)
+            for seed in range(30)
+        ]
+
+        reference_dir = tmp_path / "reference"
+        reference = Campaign.create(reference_dir, specs, name="ref")
+        reference_report = reference.run(jobs=1, backend="serial", use_cache=False)
+        assert reference_report.complete
+
+        victim_dir = tmp_path / "victim"
+        campaign = Campaign.create(victim_dir, specs, name="victim")
+        journal = victim_dir / "journal.jsonl"
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_TRACE", None)
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.simulator.runner",
+                "resume", str(victim_dir),
+                "--jobs", "1", "--backend", "serial", "--no-cache",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if journal.exists() and journal.read_text().count("completed") >= 2:
+                    break
+                if process.poll() is not None:
+                    break
+                time.sleep(0.002)
+            else:
+                pytest.fail("subprocess never journaled two completions")
+        finally:
+            if process.poll() is None:
+                os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+
+        completed_before = len(campaign.completed_results())
+        assert completed_before >= 2
+
+        resumed = Campaign.load(victim_dir)
+        stats = RunStats()
+        executed_before = execution_count()
+        report = resumed.run(jobs=1, backend="serial", use_cache=False, stats=stats)
+        executed_after_resume = execution_count() - executed_before
+
+        assert report.complete
+        assert executed_after_resume == len(specs) - completed_before
+        assert executed_after_resume < len(specs)
+        assert report.results_digest() == reference_report.results_digest()

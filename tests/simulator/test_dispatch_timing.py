@@ -1,0 +1,160 @@
+"""Retry-backoff timing regressions: backoff must never stall dispatch.
+
+Satellite 4: the dispatcher schedules a failed attempt's retry behind a
+``ready_at`` gate instead of sleeping inline, so unrelated specs keep
+executing while the gate is closed.  These tests pin that property with
+wall-clock bounds (a reverted inline ``time.sleep`` makes them fail by
+hundreds of milliseconds, far beyond the asserted margins) and unit-test
+the poll-timeout arithmetic that implements it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.faults import parse_fault_plan
+from repro.obs.tracer import NULL_TRACER
+from repro.simulator.runner import SimulationSpec, run_many
+from repro.simulator.runner.execute import _Attempt, _Dispatcher, _retry_delay
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture(scope="module")
+def carbon():
+    return CarbonIntensityTrace(np.linspace(110.0, 290.0, 48), name="ramp")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    jobs = [Job(job_id=i, arrival=i * 30, length=60, cpus=1) for i in range(4)]
+    return WorkloadTrace(jobs, name="dispatch-timing")
+
+
+def make_flaky_spec(workload, carbon, marker):
+    plan = parse_fault_plan(f"worker-flaky:path={marker},times=1", seed=0)
+    return SimulationSpec.build(workload, carbon, "nowait", fault_plan=plan)
+
+
+class TestBackoffOffTheDispatchPath:
+    def test_good_specs_complete_while_a_retry_gate_is_closed(
+        self, tmp_path, workload, carbon
+    ):
+        """A flaky spec's ~0.5-1.0 s backoff gate must not delay the
+        healthy spec behind it: with gated retries the healthy spec
+        lands within milliseconds; an inline sleep would push it past
+        the full backoff delay."""
+        flaky = make_flaky_spec(workload, carbon, tmp_path / "marker")
+        good = SimulationSpec.build(workload, carbon, "nowait", spot_seed=7)
+        completion_times: dict[int, float] = {}
+
+        start = time.monotonic()
+        results = run_many(
+            [flaky, good],
+            jobs=1,
+            use_cache=False,
+            retries=1,
+            backoff=0.5,
+            backend="serial",
+            on_result=lambda index, _spec, _result: completion_times.setdefault(
+                index, time.monotonic() - start
+            ),
+        )
+        assert all(result is not None for result in results)
+        assert completion_times[1] < 0.4
+        assert completion_times[0] >= _retry_delay(0.5, flaky.digest(), 1)
+
+    def test_sweep_elapsed_is_one_gate_not_a_serial_sleep_chain(
+        self, tmp_path, workload, carbon
+    ):
+        """Total wall time for [flaky, good, good] is bounded by the
+        single retry delay plus a small dispatch margin -- the gate is
+        waited out exactly once, concurrently with nothing."""
+        flaky = make_flaky_spec(workload, carbon, tmp_path / "marker")
+        goods = [
+            SimulationSpec.build(workload, carbon, "nowait", spot_seed=seed)
+            for seed in (11, 12)
+        ]
+        delay = _retry_delay(0.5, flaky.digest(), 1)
+
+        start = time.monotonic()
+        results = run_many(
+            [flaky, *goods],
+            jobs=1,
+            use_cache=False,
+            retries=1,
+            backoff=0.5,
+            backend="serial",
+        )
+        elapsed = time.monotonic() - start
+        assert all(result is not None for result in results)
+        assert delay <= elapsed < delay + 0.3
+
+
+class _StubBackend:
+    """Just enough backend surface for constructing a dispatcher."""
+
+    def capacity(self):
+        return 0
+
+    def poll(self, timeout):
+        return []
+
+
+def make_dispatcher():
+    return _Dispatcher(
+        to_run=[],
+        digests=[],
+        backend=_StubBackend(),
+        retries=1,
+        timeout=None,
+        backoff=0.5,
+        tracer=NULL_TRACER,
+    )
+
+
+class TestPollTimeoutArithmetic:
+    def test_earliest_backoff_gate_bounds_the_poll(self, workload, carbon):
+        spec = SimulationSpec.build(workload, carbon, "nowait")
+        dispatcher = make_dispatcher()
+        now = time.monotonic()
+        gated = _Attempt(index=0, spec=spec, digest="d0", ready_at=now + 5.0)
+        dispatcher.pending = [gated]
+        dispatcher.inflight = {
+            0: (_Attempt(index=1, spec=spec, digest="d1"), now + 9.0)
+        }
+        timeout = dispatcher._poll_timeout()
+        assert 4.5 < timeout <= 5.0
+
+    def test_deadlines_alone_bound_the_poll(self, workload, carbon):
+        spec = SimulationSpec.build(workload, carbon, "nowait")
+        dispatcher = make_dispatcher()
+        now = time.monotonic()
+        dispatcher.inflight = {
+            0: (_Attempt(index=0, spec=spec, digest="d0"), now + 2.0)
+        }
+        timeout = dispatcher._poll_timeout()
+        assert 1.5 < timeout <= 2.0
+
+    def test_unbounded_when_nothing_gates(self, workload, carbon):
+        spec = SimulationSpec.build(workload, carbon, "nowait")
+        dispatcher = make_dispatcher()
+        dispatcher.inflight = {
+            0: (_Attempt(index=0, spec=spec, digest="d0"), None)
+        }
+        assert dispatcher._poll_timeout() is None
+
+    def test_expired_gates_do_not_produce_negative_timeouts(
+        self, workload, carbon
+    ):
+        spec = SimulationSpec.build(workload, carbon, "nowait")
+        dispatcher = make_dispatcher()
+        now = time.monotonic()
+        dispatcher.inflight = {
+            0: (_Attempt(index=0, spec=spec, digest="d0"), now - 1.0)
+        }
+        assert dispatcher._poll_timeout() == 0.0

@@ -1,0 +1,135 @@
+"""Concurrency stress tests for the workqueue backend's shared cache.
+
+Satellite 3: two workqueue sweeps racing on the same disk cache
+directory must coordinate through the per-key lock protocol -- each
+distinct spec executes exactly once *globally* (the engine-run trace is
+the cross-process oracle), torn cache entries are re-executed rather
+than served, and a lock file abandoned by a dead process is stolen
+instead of deadlocking the sweep.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.simulator.runner import (
+    ResultCache,
+    RunStats,
+    SimulationSpec,
+    run_many,
+)
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+DISTINCT = 6
+
+
+@pytest.fixture(scope="module")
+def carbon():
+    return CarbonIntensityTrace(np.linspace(90.0, 310.0, 48), name="ramp")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    jobs = [Job(job_id=i, arrival=i * 45, length=90, cpus=1) for i in range(4)]
+    return WorkloadTrace(jobs, name="workqueue-stress")
+
+
+def make_specs(workload, carbon):
+    return [
+        SimulationSpec.build(workload, carbon, "nowait", spot_seed=seed)
+        for seed in range(DISTINCT)
+    ]
+
+
+def test_racing_sweeps_never_double_execute(
+    tmp_path, workload, carbon, monkeypatch
+):
+    """Two sweeps, two workers each, one shared disk cache: the trace
+    must record exactly DISTINCT engine runs -- the per-key lock lets
+    the loser of each race read the winner's published result."""
+    specs = make_specs(workload, carbon)
+    trace_path = tmp_path / "trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+    cache_dir = tmp_path / "shared-cache"
+
+    outcomes: dict[str, list] = {}
+
+    def sweep(label: str) -> None:
+        results = run_many(
+            specs,
+            jobs=2,
+            cache=ResultCache(disk_dir=cache_dir),
+            stats=RunStats(),
+            backend="workqueue",
+            on_error="partial",
+        )
+        outcomes[label] = results
+
+    threads = [
+        threading.Thread(target=sweep, args=(label,)) for label in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+    for label in ("a", "b"):
+        assert all(result is not None for result in outcomes[label])
+    digests_a = [result.digest() for result in outcomes["a"]]
+    digests_b = [result.digest() for result in outcomes["b"]]
+    assert digests_a == digests_b
+
+    engine_runs = trace_path.read_text().count('"type": "run_meta"')
+    assert engine_runs == DISTINCT
+
+
+def test_torn_cache_entry_is_reexecuted_and_overwritten(
+    tmp_path, workload, carbon
+):
+    spec = make_specs(workload, carbon)[0]
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    key = ResultCache(disk_dir=cache_dir).key_for(spec)
+    (cache_dir / f"{key}.pkl").write_bytes(b"\x80\x67 torn entry")
+
+    results = run_many(
+        [spec], jobs=2, cache=ResultCache(disk_dir=cache_dir), backend="workqueue"
+    )
+    assert results[0].digest() == spec.run().digest()
+
+    healed = ResultCache(disk_dir=cache_dir).get(key)
+    assert healed is not None
+    assert healed.digest() == results[0].digest()
+
+
+def test_lock_abandoned_by_dead_process_is_stolen(tmp_path, workload, carbon):
+    """A crash between lock acquisition and release must not wedge every
+    future sweep: waiters probe the holder pid and steal dead locks."""
+    spec = make_specs(workload, carbon)[0]
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    cache = ResultCache(disk_dir=cache_dir)
+    key = cache.key_for(spec)
+
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(probe.stdout.strip())
+    (cache_dir / f"{key}.lock").write_text(f"{dead_pid}\n")
+
+    results = run_many(
+        [spec], jobs=2, cache=ResultCache(disk_dir=cache_dir), backend="workqueue"
+    )
+    assert results[0].digest() == spec.run().digest()
+    assert not (cache_dir / f"{key}.lock").exists()

@@ -1,0 +1,136 @@
+"""CI smoke test: SIGKILL a running campaign, resume it, demand parity.
+
+Creates a campaign of ``--specs`` distinct simulations, starts the
+``python -m repro.simulator.runner resume`` CLI against it, SIGKILLs the
+whole process group once at least ``--kill-after`` completions are
+journaled, then resumes in-process and asserts:
+
+* the resumed campaign completes;
+* the number of specs executed after resume equals the number that had
+  no journaled completion (zero re-executions of journaled work), and
+  is strictly below the campaign size;
+* the per-spec result digests match an uninterrupted reference campaign
+  bit for bit.
+
+Run from the repository root with ``repro`` importable:
+``python tools/campaign_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.simulator.runner import Campaign, RunStats, SimulationSpec
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+
+def build_specs(count: int) -> list[SimulationSpec]:
+    """``count`` distinct medium-weight specs (~10 ms each)."""
+    jobs = [
+        Job(job_id=i, arrival=(i % 144) * 60, length=240, cpus=2)
+        for i in range(300)
+    ]
+    workload = WorkloadTrace(jobs, name="campaign-smoke")
+    carbon = CarbonIntensityTrace(np.linspace(80.0, 400.0, 7 * 24), name="ramp")
+    return [
+        SimulationSpec.build(workload, carbon, "carbon-time", spot_seed=seed)
+        for seed in range(count)
+    ]
+
+
+def kill_mid_campaign(directory: Path, kill_after: int, timeout: float) -> None:
+    """Run the resume CLI detached and SIGKILL it mid-campaign."""
+    journal = directory / "journal.jsonl"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.simulator.runner",
+            "resume", str(directory), "--jobs", "2", "--no-cache",
+        ],
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if journal.exists() and journal.read_text().count("completed") >= kill_after:
+                break
+            if process.poll() is not None:
+                print("warning: CLI finished before the kill threshold", flush=True)
+                break
+            time.sleep(0.002)
+        else:
+            raise SystemExit(
+                f"CLI never journaled {kill_after} completions within {timeout}s"
+            )
+    finally:
+        if process.poll() is None:
+            os.killpg(process.pid, signal.SIGKILL)
+        process.wait(timeout=60)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--specs", type=int, default=200)
+    parser.add_argument("--kill-after", type=int, default=20)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    specs = build_specs(args.specs)
+    with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as root:
+        reference_dir = Path(root) / "reference"
+        victim_dir = Path(root) / "victim"
+
+        started = time.monotonic()
+        reference = Campaign.create(reference_dir, specs, name="reference")
+        reference_report = reference.run(jobs=2, use_cache=False)
+        if not reference_report.complete:
+            raise SystemExit("reference campaign did not complete")
+        print(
+            f"reference: {args.specs} specs in "
+            f"{time.monotonic() - started:.1f}s",
+            flush=True,
+        )
+
+        Campaign.create(victim_dir, specs, name="victim")
+        kill_mid_campaign(victim_dir, args.kill_after, args.timeout)
+
+        victim = Campaign.load(victim_dir)
+        completed_before = len(victim.completed_results())
+        print(f"killed with {completed_before} completions journaled", flush=True)
+
+        stats = RunStats()
+        report = victim.run(jobs=2, use_cache=False, stats=stats)
+        executed_after_resume = stats.executed
+        print(
+            f"resume executed {executed_after_resume} specs via {stats.backend}",
+            flush=True,
+        )
+
+        if not report.complete:
+            raise SystemExit("resumed campaign did not complete")
+        if executed_after_resume != args.specs - completed_before:
+            raise SystemExit(
+                f"re-execution leak: resumed {executed_after_resume} but only "
+                f"{args.specs - completed_before} specs were unjournaled"
+            )
+        if executed_after_resume >= args.specs:
+            raise SystemExit("kill landed after the campaign already finished")
+        if report.results_digest() != reference_report.results_digest():
+            raise SystemExit("resumed campaign diverged from the reference")
+
+    print("campaign smoke OK: digest parity, zero re-executions", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,7 @@ QUICKSTART_COMMANDS = [
     [sys.executable, "-m", "repro.lint", "--help"],
     [sys.executable, "-m", "repro.obs", "--help"],
     [sys.executable, "-m", "repro.service", "--help"],
+    [sys.executable, "-m", "repro.simulator.runner", "--help"],
     [sys.executable, "examples/paper_figures.py", "--help"],
     [sys.executable, "benchmarks/sweep_smoke.py", "--help"],
 ]
