@@ -7,11 +7,14 @@ the paper's metamorphic laws as executable invariants.
 
 Entry points:
 
-* ``python -m repro.difftest`` -- the scenario fuzzer CLI;
-* :func:`repro.difftest.scenarios.scenario_spec` -- seeded scenario
-  generation;
-* :func:`repro.difftest.diff.compare_results` -- tolerant field-by-field
-  result comparison;
+* ``python -m repro.difftest`` -- the scenario fuzzer CLI (temporal plus
+  the federated *spatial* dimension);
+* :func:`repro.difftest.scenarios.scenario_spec` /
+  :func:`repro.difftest.scenarios.federated_scenario_spec` -- seeded
+  scenario generation;
+* :func:`repro.difftest.diff.compare_results` /
+  :func:`repro.difftest.federated.compare_federated` -- tolerant
+  field-by-field result comparison;
 * :mod:`repro.difftest.invariants` -- the metamorphic invariant suite
   (each check is traceable to a paper claim; see ``docs/testing.md``).
 """
@@ -19,12 +22,22 @@ Entry points:
 from __future__ import annotations
 
 from repro.difftest.diff import FieldDelta, ResultDiff, compare_results
-from repro.difftest.scenarios import ScenarioSpace, scenario_spec
+from repro.difftest.federated import FederatedDiff, compare_federated
+from repro.difftest.scenarios import (
+    ScenarioSpace,
+    federated_scenario_spec,
+    mixed_scenario_spec,
+    scenario_spec,
+)
 
 __all__ = [
     "FieldDelta",
     "ResultDiff",
     "compare_results",
+    "FederatedDiff",
+    "compare_federated",
     "ScenarioSpace",
     "scenario_spec",
+    "federated_scenario_spec",
+    "mixed_scenario_spec",
 ]

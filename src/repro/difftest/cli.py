@@ -1,14 +1,19 @@
 """Command line for the differential fuzzer: ``python -m repro.difftest``.
 
 Fuzzes N seeded scenarios through the optimized engine and the scalar
-reference engine, diffing each pair of results field by field.  On
-divergence it shrinks the scenario's workload and writes a repro bundle
-(see :mod:`repro.difftest.bundle` and ``docs/testing.md``).
+reference engine, diffing each pair of results field by field.  Every
+:data:`~repro.difftest.scenarios.SPATIAL_PERIOD`-th scenario is
+*federated*: a multi-region spec run through
+:func:`repro.federation.simulation.run_federated_simulation` against
+the straight-line :func:`repro.federation.reference.run_reference_federated`.
+On divergence the fuzzer shrinks the scenario's workload and writes a
+repro bundle (see :mod:`repro.difftest.bundle` and ``docs/testing.md``).
 
 ``--perturb`` applies a fault plan (``repro.faults`` syntax, e.g.
-``"forecast-bias:sigma=0.5"``) to the *optimized* engine only, which
-must make the oracle report divergences -- the standard self-test that
-the oracle can actually catch a mutated engine.
+``"forecast-bias:sigma=0.5"`` or the federated-only ``"migration-drop"``)
+to the *optimized* engine only, which must make the oracle report
+divergences -- the standard self-test that the oracle can actually catch
+a mutated engine.
 """
 
 from __future__ import annotations
@@ -19,9 +24,12 @@ from dataclasses import replace
 
 from repro.difftest.bundle import minimize_spec, write_bundle
 from repro.difftest.diff import compare_results
-from repro.difftest.scenarios import scenario_spec
+from repro.difftest.federated import compare_federated
+from repro.difftest.scenarios import mixed_scenario_spec
 from repro.errors import ReproError
 from repro.faults import parse_fault_plan
+from repro.federation.reference import run_reference_federated
+from repro.federation.spec import FederatedSpec
 from repro.simulator.reference import run_reference
 from repro.simulator.runner.spec import SimulationSpec
 
@@ -63,23 +71,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _optimized_spec(spec: SimulationSpec, perturb: str | None) -> SimulationSpec:
+def _optimized_spec(spec, perturb: str | None):
     """The spec the optimized engine runs (fault-planned under --perturb)."""
     if perturb is None:
         return spec
     return replace(spec, fault_plan=parse_fault_plan(perturb, seed=spec.spot_seed))
 
 
-def _diverges(spec: SimulationSpec, perturb: str | None) -> bool:
+def _diff_pair(spec, perturb: str | None):
+    """Run one scenario through both engines and diff the outcomes.
+
+    Dispatches on the spec type: plain :class:`SimulationSpec` scenarios
+    go through ``run_reference``/``compare_results``, federated ones
+    through ``run_reference_federated``/``compare_federated``.
+    """
+    if isinstance(spec, FederatedSpec):
+        kwargs = spec.to_kwargs()
+        kwargs.pop("fault_plan", None)  # the reference never runs faulted
+        reference = run_reference_federated(**kwargs)
+        optimized = _optimized_spec(spec, perturb).run()
+        return compare_federated(reference, optimized)
+    reference = run_reference(**spec.to_kwargs())
+    optimized = _optimized_spec(spec, perturb).run()
+    return compare_results(reference, optimized)
+
+
+def _diverges(spec, perturb: str | None) -> bool:
     """Oracle probe used during minimization: do the engines disagree?"""
     try:
-        reference = run_reference(**spec.to_kwargs())
-        optimized = _optimized_spec(spec, perturb).run()
+        return not _diff_pair(spec, perturb).identical
     except ReproError:
         # A subset that no longer simulates cleanly (e.g. queue averages
         # shifted) is not a smaller reproduction; keep the previous spec.
         return False
-    return not compare_results(reference, optimized).identical
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,10 +111,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     divergences = 0
     for index in range(args.scenarios):
-        spec = scenario_spec(args.seed, index)
-        reference = run_reference(**spec.to_kwargs())
-        optimized = _optimized_spec(spec, args.perturb).run()
-        diff = compare_results(reference, optimized)
+        spec = mixed_scenario_spec(args.seed, index)
+        diff = _diff_pair(spec, args.perturb)
         if diff.identical:
             continue
         divergences += 1

@@ -1,0 +1,122 @@
+"""Differential comparison of federated results.
+
+A federated run diverges when either the *routing* outcome (placements,
+migrated count, home, selector) or any *region's* simulation outcome
+differs.  Region results are diffed under the standard differential
+contract of :func:`repro.difftest.diff.compare_results` -- bit-exact
+integer schedules, tolerance-bounded accounted floats -- so a federated
+divergence report is a set of per-region reports plus the routing
+deltas.
+
+:class:`FederatedDiff` exposes the same surface the bundle writer reads
+from :class:`~repro.difftest.diff.ResultDiff` (``identical``,
+``field_deltas``, ``schedule_diff``, ``first_diverging_minute``,
+``render``), so divergence bundles work unchanged for federated specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.difftest.diff import FieldDelta, ResultDiff, compare_results
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federation.simulation import FederatedResult
+
+__all__ = ["FederatedDiff", "compare_federated"]
+
+
+@dataclass
+class FederatedDiff:
+    """Outcome of comparing a reference federated run against an optimized one."""
+
+    identical: bool
+    #: Routing-level disagreements (placements, migrated count, home, ...).
+    routing_problems: list[str] = field(default_factory=list)
+    #: Per-region diffs, keyed by region name (only regions present on
+    #: both sides are compared; missing regions are routing problems).
+    region_diffs: dict[str, ResultDiff] = field(default_factory=dict)
+
+    @property
+    def field_deltas(self) -> list[FieldDelta]:
+        return [
+            delta
+            for name in sorted(self.region_diffs)
+            for delta in self.region_diffs[name].field_deltas
+        ]
+
+    @property
+    def schedule_diff(self) -> dict[str, Any]:
+        for name in sorted(self.region_diffs):
+            diff = self.region_diffs[name].schedule_diff
+            if diff and not diff.get("identical", True):
+                return diff
+        return {"identical": True}
+
+    @property
+    def first_diverging_minute(self) -> int | None:
+        minutes = [
+            diff.first_diverging_minute
+            for diff in self.region_diffs.values()
+            if diff.first_diverging_minute is not None
+        ]
+        return min(minutes) if minutes else None
+
+    def render(self) -> str:
+        """Human-readable divergence report (empty string if identical)."""
+        if self.identical:
+            return ""
+        lines = []
+        for problem in self.routing_problems:
+            lines.append(f"routing: {problem}")
+        for name in sorted(self.region_diffs):
+            diff = self.region_diffs[name]
+            if diff.identical:
+                continue
+            lines.append(f"region {name}:")
+            lines.extend(f"  {line}" for line in diff.render().splitlines())
+        return "\n".join(lines)
+
+
+def compare_federated(
+    reference: "FederatedResult", optimized: "FederatedResult"
+) -> FederatedDiff:
+    """Diff two federated results under the differential contract.
+
+    Routing metadata (selector, home, placements, migrated count) must
+    match exactly; each shared region's result must satisfy
+    :func:`~repro.difftest.diff.compare_results`.
+    """
+    problems: list[str] = []
+    for name in ("selector_name", "policy_name", "home"):
+        ref_value = getattr(reference, name)
+        opt_value = getattr(optimized, name)
+        if ref_value != opt_value:
+            problems.append(f"{name}: reference={ref_value!r} optimized={opt_value!r}")
+    if reference.placements != optimized.placements:
+        problems.append(
+            f"placements: reference={reference.placements!r} "
+            f"optimized={optimized.placements!r}"
+        )
+    if reference.migrated_jobs != optimized.migrated_jobs:
+        problems.append(
+            f"migrated_jobs: reference={reference.migrated_jobs} "
+            f"optimized={optimized.migrated_jobs}"
+        )
+    ref_regions = set(reference.per_region)
+    opt_regions = set(optimized.per_region)
+    for name in sorted(ref_regions ^ opt_regions):
+        side = "reference" if name in ref_regions else "optimized"
+        problems.append(f"region {name!r} has results only on the {side} side")
+
+    region_diffs = {
+        name: compare_results(reference.per_region[name], optimized.per_region[name])
+        for name in sorted(ref_regions & opt_regions)
+    }
+    identical = not problems and all(diff.identical for diff in region_diffs.values())
+    return FederatedDiff(
+        identical=identical,
+        routing_problems=problems,
+        region_diffs=region_diffs,
+    )

@@ -45,6 +45,10 @@ __all__ = [
     "check_slack_monotonicity",
     "check_cost_option_ordering",
     "check_energy_conservation",
+    "check_federation_single_region",
+    "check_migration_delay_neutrality",
+    "check_scaling_greedy_dominance",
+    "check_scaling_feasibility",
     "slack_queue_set",
 ]
 
@@ -265,6 +269,155 @@ def check_energy_conservation(
     assert abs(result.total_energy_kwh - recomputed_total_kwh) <= tolerance
 
 
+def check_federation_single_region(
+    workload: WorkloadTrace,
+    carbon: CarbonIntensityTrace,
+    policy: str,
+    granularity: int = 5,
+    reserved_cpus: int = 0,
+) -> None:
+    """A single-region federation degenerates to the plain engine, bit for bit.
+
+    With one region every selector places every job at home unshifted,
+    so the federated runner must execute the *same* engine call as
+    :func:`~repro.simulator.simulation.run_simulation` -- the region's
+    :meth:`SimulationResult.digest` (which hashes every record field and
+    every float via ``repr``) must be identical, not merely tolerant.
+    """
+    from repro.federation.selectors import SELECTOR_SPECS, make_selector
+    from repro.federation.simulation import FederatedRegion, run_federated_simulation
+
+    plain = run_simulation(
+        workload, carbon, policy,
+        granularity=granularity, reserved_cpus=reserved_cpus,
+    )
+    region = FederatedRegion(
+        name=carbon.name or "only", carbon=carbon, reserved_cpus=reserved_cpus
+    )
+    for selector_spec in SELECTOR_SPECS:
+        federated = run_federated_simulation(
+            workload,
+            [region],
+            make_selector(selector_spec, region.name),
+            policy,
+            granularity=granularity,
+        )
+        assert federated.placements == {region.name: len(workload)}
+        assert federated.migrated_jobs == 0
+        only = federated.per_region[region.name]
+        assert only.digest() == plain.digest(), (
+            f"selector {selector_spec}: single-region federation diverged "
+            f"from the plain engine"
+        )
+
+
+def check_migration_delay_neutrality(
+    workload: WorkloadTrace,
+    regions,
+    policy: str,
+    migration_minutes: int,
+    granularity: int = 5,
+) -> None:
+    """The migration delay is accounting-neutral for home placements.
+
+    Data staging only shifts the arrival of jobs placed *off* home, so
+    under the home selector (zero off-home placements) any migration
+    delay must leave the merged outcome digest-identical to the
+    zero-delay run.  Each region's trace is tiled a little further to
+    keep the delay's slack, which must not move any decision: candidate
+    windows are bounded by the queues' waiting budgets, already covered
+    by the undelayed preparation.
+    """
+    from repro.federation.selectors import make_selector
+    from repro.federation.simulation import run_federated_simulation
+
+    home = regions[0].name
+    base = run_federated_simulation(
+        workload, list(regions), make_selector("home", home), policy,
+        home=home, migration_minutes=0, granularity=granularity,
+    )
+    delayed = run_federated_simulation(
+        workload, list(regions), make_selector("home", home), policy,
+        home=home, migration_minutes=migration_minutes, granularity=granularity,
+    )
+    assert delayed.migrated_jobs == 0, "home selector must not migrate"
+    assert base.digest() == delayed.digest(), (
+        f"{policy}: migration delay {migration_minutes} changed a run with "
+        "only home placements"
+    )
+
+
+def check_scaling_greedy_dominance(
+    job,
+    carbon: CarbonIntensityTrace,
+    speedup=None,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> None:
+    """The greedy scaling plan never beats -- is never beaten by -- any
+    fixed allocation, carbon-wise.
+
+    Energy is linear in CPUs, so under a concave speedup the greedy plan
+    equals the fractional-LP optimum up to one minute of ceil rounding
+    on its most expensive unit; every feasible fixed (constant-CPU,
+    run-on-arrival) allocation is a feasible point of that LP.  The
+    greedy plan's carbon must therefore be at most the fixed plan's plus
+    one cpu-minute of carbon at the trace maximum.
+    """
+    from repro.scaling.planner import fixed_allocation_plan, plan_carbon_scaling
+    from repro.scaling.speedup import LinearSpeedup
+
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    for cpus in range(1, job.max_cpus + 1):
+        rate = speedup.rate(cpus)
+        if rate <= 0:
+            continue
+        fixed = fixed_allocation_plan(job, carbon, cpus, energy=energy, speedup=speedup)
+        deadline = fixed.completion_minute
+        greedy = plan_carbon_scaling(
+            job, carbon, deadline, speedup=speedup, energy=energy
+        )
+        max_ci = float(np.max(carbon.hourly[: -(-deadline // MINUTES_PER_HOUR)]))
+        rounding_slack = max_ci * energy.active_kw(1) / MINUTES_PER_HOUR
+        tolerance = rounding_slack + 1e-9 * max(1.0, fixed.carbon_g)
+        assert greedy.carbon_g <= fixed.carbon_g + tolerance, (
+            f"greedy plan emits {greedy.carbon_g:.6f} g, fixed {cpus}-CPU "
+            f"allocation only {fixed.carbon_g:.6f} g (deadline {deadline})"
+        )
+
+
+def check_scaling_feasibility(
+    job,
+    carbon: CarbonIntensityTrace,
+    deadline: int,
+    speedup=None,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> None:
+    """Every plan meets its work, deadline, and CPU-cap constraints.
+
+    The planner either raises :class:`SchedulingError` (infeasible) or
+    returns a plan that finishes the work by the deadline inside the
+    CPU cap, with non-overlapping, ordered allocation segments.
+    """
+    from repro.scaling.planner import plan_carbon_scaling
+    from repro.scaling.speedup import LinearSpeedup
+
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    plan = plan_carbon_scaling(job, carbon, deadline, speedup=speedup, energy=energy)
+    assert plan.work_done(speedup) + 1e-6 >= job.work, (
+        f"plan accomplishes {plan.work_done(speedup)} of {job.work} work-minutes"
+    )
+    assert plan.completion_minute <= deadline
+    assert plan.peak_cpus <= job.max_cpus
+    previous_end = None
+    for start, end, cpus in sorted(plan.allocation):
+        assert job.arrival <= start < end <= deadline
+        assert 1 <= cpus <= job.max_cpus
+        assert previous_end is None or start >= previous_end, (
+            "allocation segments overlap"
+        )
+        previous_end = end
+
+
 #: Registry of metamorphic invariants with the paper claim each encodes.
 #: ``docs/testing.md`` renders this table; the hypothesis suite drives
 #: every check.
@@ -295,5 +448,29 @@ INVARIANTS: dict[str, dict[str, object]] = {
         "energy equals the usage integral and sums to the cluster total "
         "(Section 4.1).",
         "check": check_energy_conservation,
+    },
+    "federation-single-region": {
+        "claim": "Spatial shifting degenerates gracefully: a one-region "
+        "federation is bit-identical (result digest) to the plain engine "
+        "under every selector (spatial future work, Section 9).",
+        "check": check_federation_single_region,
+    },
+    "migration-delay-neutrality": {
+        "claim": "Data-staging delay prices only off-home placements; with "
+        "every job at home, any migration delay leaves the merged outcome "
+        "digest-identical to the zero-delay run.",
+        "check": check_migration_delay_neutrality,
+    },
+    "scaling-greedy-dominance": {
+        "claim": "Under concave speedups the greedy scaling plan never "
+        "exceeds any fixed allocation's carbon (beyond one cpu-minute of "
+        "ceil rounding) -- the CarbonScaler exchange argument (Section 9).",
+        "check": check_scaling_greedy_dominance,
+    },
+    "scaling-feasibility": {
+        "claim": "Scaling plans always meet their work, deadline, and "
+        "CPU-cap constraints or the planner raises instead of emitting an "
+        "infeasible plan.",
+        "check": check_scaling_feasibility,
     },
 }

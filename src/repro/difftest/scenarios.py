@@ -30,7 +30,15 @@ from repro.workload.job import JobQueue, QueueSet
 from repro.workload.synthetic import alibaba_like, mustang_like, poisson_exponential
 from repro.workload.trace import WorkloadTrace
 
-__all__ = ["ScenarioSpace", "scenario_spec", "DEFAULT_SPACE"]
+__all__ = [
+    "ScenarioSpace",
+    "scenario_spec",
+    "federated_scenario_spec",
+    "mixed_scenario_spec",
+    "DEFAULT_SPACE",
+    "SPATIAL_PERIOD",
+    "SELECTOR_POOL",
+]
 
 
 #: Policy spec strings the fuzzer samples from: every timing policy the
@@ -51,6 +59,21 @@ POLICY_POOL: tuple[str, ...] = (
     "spot-first:carbon-time",
     "spot-res:carbon-time",
 )
+
+#: Region-selector spec strings the spatial dimension samples from.
+SELECTOR_POOL: tuple[str, ...] = (
+    "home",
+    "lowest-mean-ci",
+    "greedy-spatial",
+    "spatio-temporal",
+)
+
+#: Every ``SPATIAL_PERIOD``-th scenario of the mixed stream is federated.
+SPATIAL_PERIOD = 5
+
+#: Seed-sequence stream id separating spatial sampling from the temporal
+#: stream (same ``(seed, index)`` must not correlate the two samplers).
+_SPATIAL_STREAM = 0x5FA71A1
 
 
 @dataclass(frozen=True)
@@ -74,6 +97,11 @@ class ScenarioSpace:
     reserved_pool_sizes: tuple[int, ...] = (0, 0, 8, 16, 32, 64)
     overhead_choices: tuple[int, ...] = (0, 0, 0, 2, 5)
     spot_probability: float = 0.5
+    # Spatial (federated) dimension: a federation runs one engine per
+    # region, so its workloads are capped tighter than the temporal ones.
+    max_federated_jobs: int = 150
+    region_counts: tuple[int, ...] = (1, 2, 2, 3, 4)
+    migration_choices: tuple[int, ...] = (0, 0, 30, 90, 240)
 
 
 #: The default sampling space used by the CLI and CI.
@@ -218,3 +246,61 @@ def scenario_spec(
         retry_spot=retry_spot,
         instance_overhead_minutes=int(rng.choice(space.overhead_choices)),
     )
+
+
+def federated_scenario_spec(seed: int, index: int, space: ScenarioSpace = DEFAULT_SPACE):
+    """Deterministically sample spatial scenario ``index`` of run ``seed``.
+
+    Returns a frozen :class:`~repro.federation.spec.FederatedSpec`
+    sampling the dimensions *both* federated engines support: region
+    count and CI character, selector, temporal policy, migration delay,
+    per-region reserved pools, slack, and granularity.  Evictions,
+    forecast noise, and checkpointing are per-engine knobs outside the
+    federated spec and are not sampled here.
+    """
+    from repro.federation.spec import FederatedSpec
+    from repro.federation.simulation import FederatedRegion
+
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index, _SPATIAL_STREAM]))
+    queues = _sample_queues(rng, space)
+    workload = _clamp_lengths(
+        _sample_workload(rng, space, seed, index), queues.longest.max_length
+    )
+    if len(workload) > space.max_federated_jobs:
+        workload = WorkloadTrace(
+            workload.jobs[: space.max_federated_jobs],
+            name=workload.name,
+            horizon=workload.horizon,
+        )
+    num_regions = int(rng.choice(space.region_counts))
+    regions = [
+        FederatedRegion(
+            name=f"fuzz-fed-{seed}-{index}-{position}",
+            carbon=_sample_carbon(rng, space, seed, index * 16 + position),
+            reserved_cpus=int(rng.choice(space.reserved_pool_sizes)),
+        )
+        for position in range(num_regions)
+    ]
+    return FederatedSpec.build(
+        workload=workload,
+        regions=regions,
+        selector=str(rng.choice(SELECTOR_POOL)),
+        policy=str(rng.choice(POLICY_POOL)),
+        home=regions[int(rng.integers(0, num_regions))].name,
+        queues=queues,
+        migration_minutes=int(rng.choice(space.migration_choices)),
+        granularity=int(rng.choice(space.granularities)),
+        spot_seed=int(rng.integers(0, 2**31)),
+    )
+
+
+def mixed_scenario_spec(seed: int, index: int, space: ScenarioSpace = DEFAULT_SPACE):
+    """The fuzzer's combined stream: temporal plus the spatial dimension.
+
+    Every :data:`SPATIAL_PERIOD`-th scenario is a
+    :class:`~repro.federation.spec.FederatedSpec`; the rest are plain
+    :class:`SimulationSpec` scenarios from :func:`scenario_spec`.
+    """
+    if index % SPATIAL_PERIOD == SPATIAL_PERIOD - 1:
+        return federated_scenario_spec(seed, index, space)
+    return scenario_spec(seed, index, space)

@@ -51,6 +51,8 @@ _EXPERIMENT_SPECS: dict[str, tuple[str, str]] = {
     "ext-arrival-phase": ("extensions", "arrival_phase"),
     "ext-energy-price": ("extensions", "energy_price"),
     "ext-scaling": ("extensions", "scaling"),
+    "sweep-federation": ("spatial_sweeps", "federation"),
+    "sweep-scaling": ("spatial_sweeps", "scaling"),
 }
 
 

@@ -1,0 +1,155 @@
+"""Declarative federation/scaling sweeps over the batch runner.
+
+The ``ext-federation`` / ``ext-scaling`` extension experiments call the
+live engines directly; these sweeps are the first-class counterparts:
+every cell is a frozen :class:`~repro.federation.spec.FederatedSpec` or
+:class:`~repro.scaling.spec.ScalingSpec` submitted up front through
+:func:`repro.experiments.base.sweep`, so the grids deduplicate, cache,
+and fan out over ``$REPRO_JOBS`` workers like any figure sweep
+(fig16-style rows: carbon / cost / waiting per selector, and per
+speedup family).
+"""
+
+from __future__ import annotations
+
+from repro.carbon.regions import region_trace
+from repro.experiments import setup
+from repro.experiments.base import ExperimentResult, sweep
+from repro.federation import FederatedRegion, FederatedSpec
+from repro.scaling import AmdahlSpeedup, MalleableJob, ScalingSpec
+from repro.units import hours
+
+__all__ = ["federation", "scaling"]
+
+#: selector spec string -> shown label (home resolves against CA-US).
+SELECTOR_GRID: tuple[str, ...] = (
+    "home",
+    "lowest-mean-ci",
+    "greedy-spatial",
+    "spatio-temporal",
+)
+
+MIGRATION_GRID: tuple[int, ...] = (0, 60)
+
+#: label -> declarative speedup (None = linear).
+SPEEDUP_FAMILIES: tuple[tuple[str, object], ...] = (
+    ("linear", None),
+    ("amdahl-0.95", AmdahlSpeedup(0.95)),
+    ("amdahl-0.90", AmdahlSpeedup(0.9)),
+    ("amdahl-0.75", AmdahlSpeedup(0.75)),
+)
+
+#: at most this many malleable jobs per scaling cell (stride-sampled).
+MAX_SCALING_JOBS = 64
+
+
+def _federation_regions() -> list[FederatedRegion]:
+    return [
+        FederatedRegion("CA-US", region_trace("CA-US")),
+        FederatedRegion("SA-AU", region_trace("SA-AU")),
+        FederatedRegion("ON-CA", region_trace("ON-CA")),
+    ]
+
+
+def federation(scale: str | None = None) -> ExperimentResult:
+    """Carbon / cost / waiting per spatial selector and migration delay."""
+    workload = setup.week_workload("alibaba", scale)
+    regions = _federation_regions()
+    grid = [
+        (selector, migration)
+        for selector in SELECTOR_GRID
+        for migration in MIGRATION_GRID
+        if not (selector == "home" and migration > 0)  # home never migrates
+    ]
+    specs = [
+        FederatedSpec.build(
+            workload, regions, "home", "nowait", home="CA-US"
+        )  # the baseline rides the same batch
+    ] + [
+        FederatedSpec.build(
+            workload,
+            regions,
+            selector,
+            "carbon-time",
+            home="CA-US",
+            migration_minutes=migration,
+        )
+        for selector, migration in grid
+    ]
+    results = sweep(specs)
+    baseline, rest = results[0], results[1:]
+    rows = []
+    for (selector, migration), result in zip(grid, rest):
+        rows.append(
+            {
+                "selector": selector,
+                "migration_min": migration,
+                "carbon_kg": result.total_carbon_kg,
+                "carbon_saving_pct": 100
+                * (1 - result.total_carbon_kg / baseline.total_carbon_kg),
+                "cost_usd": result.total_cost,
+                "mean_wait_h": result.mean_waiting_hours,
+                "migrated_jobs": result.migrated_jobs,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="sweep-federation",
+        title="Federated selector sweep (CA-US/SA-AU/ON-CA, Carbon-Time)",
+        rows=rows,
+        notes=(
+            "baseline: NoWait at home (CA-US); every cell is a FederatedSpec "
+            "through run_many (cached, deduplicated, digest-addressed)"
+        ),
+    )
+
+
+def scaling(scale: str | None = None) -> ExperimentResult:
+    """Total carbon per speedup family, greedy plans vs a 1-CPU baseline."""
+    workload = setup.week_workload("alibaba", scale)
+    carbon_trace = setup.carbon_for("SA-AU")
+    stride = max(1, len(workload.jobs) // MAX_SCALING_JOBS)
+    jobs = [
+        MalleableJob(work=float(job.length), max_cpus=4, arrival=job.arrival)
+        for job in workload.jobs[::stride][:MAX_SCALING_JOBS]
+    ]
+
+    def deadline_for(job: MalleableJob) -> int:
+        return min(int(job.arrival + job.work) + hours(24), carbon_trace.horizon_minutes)
+
+    baseline_specs = [
+        ScalingSpec.build(
+            carbon_trace,
+            MalleableJob(work=job.work, max_cpus=1, arrival=job.arrival),
+            deadline_for(job),
+            mode=("fixed", 1),
+        )
+        for job in jobs
+    ]
+    family_specs = [
+        ScalingSpec.build(carbon_trace, job, deadline_for(job), speedup=speedup)
+        for _, speedup in SPEEDUP_FAMILIES
+        for job in jobs
+    ]
+    results = sweep(baseline_specs + family_specs)
+    baseline = sum(result.carbon_g for result in results[: len(jobs)])
+    rows = []
+    for index, (label, _) in enumerate(SPEEDUP_FAMILIES):
+        cells = results[len(jobs) * (index + 1) : len(jobs) * (index + 2)]
+        total = sum(result.carbon_g for result in cells)
+        rows.append(
+            {
+                "speedup": label,
+                "carbon_kg": total / 1000.0,
+                "carbon_saving_pct": 100 * (1 - total / baseline),
+                "mean_peak_cpus": sum(r.peak_cpus for r in cells) / len(cells),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="sweep-scaling",
+        title="Malleable-scaling sweep by speedup family (SA-AU, 4-CPU cap)",
+        rows=rows,
+        notes=(
+            f"baseline: run-on-arrival at 1 CPU over {len(jobs)} stride-sampled "
+            "jobs; every cell is a ScalingSpec through run_many"
+        ),
+    )

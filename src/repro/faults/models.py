@@ -54,6 +54,7 @@ KNOWN_FAULT_KINDS: dict[str, str] = {
     "trace-nan": "`count` seeded hours of the carbon trace become NaN",
     "trace-truncate": "the carbon trace is cut to a `fraction` of its hours",
     "queue-corruption": "at a seeded minute the pending queue is shuffled or entries are dropped",
+    "migration-drop": "a federated run ignores its migration delay (off-home staging becomes free)",
     "worker-crash": "the worker process dies via os._exit(code) at run start",
     "worker-hang": "the worker sleeps `seconds` at run start (timeout fodder)",
     "worker-fail": "the worker raises RuntimeError at run start",

@@ -2,18 +2,23 @@
 
 from __future__ import annotations
 
+from repro.federation.reference import run_reference_federated
 from repro.federation.selectors import (
+    SELECTOR_SPECS,
     GreedySpatial,
     HomeRegion,
     LowestMeanCI,
     RegionSelector,
     SpatioTemporal,
+    make_selector,
 )
 from repro.federation.simulation import (
     FederatedRegion,
     FederatedResult,
     run_federated_simulation,
 )
+from repro.federation.spec import FederatedSpec, FrozenRegion
+from repro.federation.validation import assert_valid_federated, verify_federated_result
 
 __all__ = [
     "RegionSelector",
@@ -21,7 +26,14 @@ __all__ = [
     "LowestMeanCI",
     "GreedySpatial",
     "SpatioTemporal",
+    "SELECTOR_SPECS",
+    "make_selector",
     "FederatedRegion",
     "FederatedResult",
+    "FederatedSpec",
+    "FrozenRegion",
     "run_federated_simulation",
+    "run_reference_federated",
+    "verify_federated_result",
+    "assert_valid_federated",
 ]

@@ -1,0 +1,170 @@
+"""Naive scalar reference for federated runs.
+
+The federated analogue of :func:`repro.simulator.reference.run_reference`:
+straight-line preparation (full-workload queue averages, per-region
+carbon coverage recomputed from first principles, migration tiling),
+routing through the same selector contract, and one
+:class:`~repro.simulator.reference.ReferenceEngine` per region.  The
+optimized :func:`~repro.federation.simulation.run_federated_simulation`
+is differentially tested against this path by the fuzzer's spatial
+scenarios.
+
+Deliberately unsupported: fault plans and tracers -- the reference
+exists to certify the *unfaulted* federated core, which is exactly why a
+perturbed optimized run (e.g. under ``migration-drop``) diverges from it
+and is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.carbon.forecast import PerfectForecaster
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
+from repro.errors import ConfigError
+from repro.federation.selectors import RegionSelector
+from repro.federation.simulation import FederatedRegion, FederatedResult
+from repro.policies.base import Policy, SchedulingContext
+from repro.policies.registry import make_policy
+from repro.simulator.reference import ReferenceEngine
+from repro.simulator.results import SimulationResult
+from repro.units import MINUTES_PER_HOUR
+from repro.workload.job import Job, QueueSet, default_queue_set
+from repro.workload.trace import WorkloadTrace
+
+__all__ = ["run_reference_federated"]
+
+
+def run_reference_federated(
+    workload: WorkloadTrace,
+    regions: list[FederatedRegion],
+    selector: RegionSelector,
+    policy: Policy | str,
+    home: str | None = None,
+    queues: QueueSet | None = None,
+    migration_minutes: int = 0,
+    pricing: PricingModel = DEFAULT_PRICING,
+    energy: EnergyModel = DEFAULT_ENERGY,
+    granularity: int = 5,
+    validate: bool = True,
+    spot_seed: int = 0,
+    **unsupported,
+) -> FederatedResult:
+    """Reference counterpart of ``run_federated_simulation``.
+
+    Accepts the optimized entry point's keyword surface so
+    ``run_reference_federated(**spec.to_kwargs())`` works, but rejects
+    the knobs the reference deliberately does not implement (fault
+    plans, tracers).
+    """
+    for name, value in unsupported.items():
+        if name not in ("fault_plan", "tracer"):
+            raise ConfigError(f"run_reference_federated got an unknown knob {name!r}")
+        if value is not None:
+            raise ConfigError(
+                f"the federated reference does not support {name!r}; it "
+                "exists to differentially test the unfaulted federation core"
+            )
+    if not regions:
+        raise ConfigError("a federation needs at least one region")
+    names = [region.name for region in regions]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate region names: {names}")
+    home = home if home is not None else names[0]
+    if home not in names:
+        raise ConfigError(f"home region {home!r} not in the federation")
+    if migration_minutes < 0:
+        raise ConfigError("migration delay must be non-negative")
+    policy_spec = policy if isinstance(policy, str) else None
+
+    queues = queues if queues is not None else default_queue_set()
+    queues = queues.with_averages(workload.jobs)
+    workload = workload.with_queues(queues)
+
+    # Per-region coverage, recomputed from first principles over the
+    # *full* workload (the selector and every engine must clamp candidate
+    # windows at the same horizon the optimized path uses): arrival
+    # horizon, full-W waits, a complete eviction redo, slot rounding, and
+    # the migration shift.
+    max_length = max((job.length for job in workload), default=0)
+    required_minutes = (
+        workload.horizon + 2 * max_length + queues.max_wait + MINUTES_PER_HOUR
+    )
+    extra_hours = -(-migration_minutes // MINUTES_PER_HOUR)
+    prepared = {}
+    for region in regions:
+        trace = region.carbon
+        if trace.horizon_minutes < required_minutes:
+            trace = trace.tile_to(-(-required_minutes // MINUTES_PER_HOUR))
+        if extra_hours:
+            trace = trace.tile_to(trace.num_hours + extra_hours)
+        prepared[region.name] = trace
+    forecasters = {name: PerfectForecaster(trace) for name, trace in prepared.items()}
+    contexts = {
+        name: SchedulingContext(
+            forecaster=forecasters[name], queues=queues, granularity=granularity
+        )
+        for name in prepared
+    }
+
+    all_jobs = list(workload)
+    assigned: dict[str, list[Job]] = {name: [] for name in names}
+    migrated = 0
+    for job in all_jobs:
+        region = selector.select(job, contexts)
+        if region not in assigned:
+            raise ConfigError(f"selector chose unknown region {region!r}")
+        if region != home:
+            migrated += 1
+            if migration_minutes:
+                job = replace(job, arrival=job.arrival + migration_minutes)
+        assigned[region].append(job)
+
+    by_region: dict[str, SimulationResult] = {}
+    for region in regions:
+        jobs = assigned[region.name]
+        if not jobs:
+            continue
+        if jobs == all_jobs:
+            sub_workload = workload
+        else:
+            sub_workload = WorkloadTrace(
+                jobs, name=f"{workload.name}@{region.name}",
+                horizon=max(workload.horizon, max(j.arrival for j in jobs) + 1),
+            )
+        region_policy = (
+            make_policy(policy_spec) if policy_spec is not None else policy
+        )
+        engine = ReferenceEngine(
+            workload=sub_workload,
+            carbon=prepared[region.name],
+            policy=region_policy,
+            queues=queues,
+            reserved_cpus=region.reserved_cpus,
+            pricing=pricing,
+            energy=energy,
+            eviction_model=None,
+            forecaster=forecasters[region.name],
+            granularity=granularity,
+            validate=validate,
+            spot_seed=spot_seed,
+        )
+        by_region[region.name] = engine.run()
+
+    policy_name = (
+        next(iter(by_region.values())).policy_name if by_region else str(policy)
+    )
+    result = FederatedResult(
+        selector_name=selector.name,
+        policy_name=policy_name,
+        home=home,
+        per_region=by_region,
+        placements={name: len(jobs) for name, jobs in assigned.items()},
+        migrated_jobs=migrated,
+    )
+    if validate:
+        from repro.federation.validation import assert_valid_federated
+
+        assert_valid_federated(result)
+    return result

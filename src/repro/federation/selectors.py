@@ -28,7 +28,14 @@ __all__ = [
     "LowestMeanCI",
     "GreedySpatial",
     "SpatioTemporal",
+    "SELECTOR_SPECS",
+    "make_selector",
 ]
+
+#: Registry spec strings accepted by :func:`make_selector` -- the
+#: declarative selector tags a :class:`~repro.federation.spec.FederatedSpec`
+#: carries instead of a live selector instance.
+SELECTOR_SPECS = ("home", "lowest-mean-ci", "greedy-spatial", "spatio-temporal")
 
 
 class RegionSelector(ABC):
@@ -99,6 +106,31 @@ class GreedySpatial(RegionSelector):
         if best_region is None:
             raise ConfigError("empty federation")
         return best_region
+
+
+def make_selector(spec: str, home: str | None = None) -> RegionSelector:
+    """Build a selector from its registry spec string.
+
+    ``"home"`` keeps jobs in ``home`` (an explicit target can be named as
+    ``"home:<region>"``); the other tags map one-to-one onto the selector
+    classes.  Unknown specs fail loudly, mirroring
+    :func:`repro.policies.registry.make_policy`.
+    """
+    if spec == "home" or spec.startswith("home:"):
+        _, _, target = spec.partition(":")
+        target = target or home
+        if not target:
+            raise ConfigError("the 'home' selector needs a home region")
+        return HomeRegion(target)
+    if spec == "lowest-mean-ci":
+        return LowestMeanCI()
+    if spec == "greedy-spatial":
+        return GreedySpatial()
+    if spec == "spatio-temporal":
+        return SpatioTemporal()
+    raise ConfigError(
+        f"unknown selector spec {spec!r}; known: {sorted(SELECTOR_SPECS)}"
+    )
 
 
 class SpatioTemporal(RegionSelector):

@@ -1,0 +1,199 @@
+"""Declarative descriptions of federated runs.
+
+A :class:`FederatedSpec` captures everything that determines a
+:func:`repro.federation.simulation.run_federated_simulation` outcome --
+the workload, every region's CI trace and reserved pool, the spatial
+selector and temporal policy (both as registry spec strings), the
+migration delay, and the fault plan -- as a frozen, hashable, picklable
+value.  Like :class:`~repro.simulator.runner.spec.SimulationSpec`, specs
+are the currency of the batch runner: ``run_many`` deduplicates and
+caches them by :meth:`FederatedSpec.digest`, and campaigns journal them
+like any other spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.cluster.pricing import DEFAULT_PRICING, PricingModel
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.federation.selectors import SELECTOR_SPECS
+from repro.simulator.runner.spec import FrozenSeries, FrozenWorkload
+from repro.workload.job import QueueSet
+
+__all__ = ["FrozenRegion", "FederatedSpec"]
+
+
+@dataclass(frozen=True)
+class FrozenRegion:
+    """A hashable, picklable snapshot of a
+    :class:`~repro.federation.simulation.FederatedRegion`."""
+
+    name: str
+    carbon: FrozenSeries
+    reserved_cpus: int = 0
+
+    @classmethod
+    def freeze(cls, region) -> "FrozenRegion":
+        """Snapshot a live region (the carbon trace is memo-frozen)."""
+        return cls(
+            name=region.name,
+            carbon=FrozenSeries.freeze(region.carbon),
+            reserved_cpus=region.reserved_cpus,
+        )
+
+    def thaw(self):
+        """Rebuild the live region this payload was frozen from."""
+        from repro.federation.simulation import FederatedRegion
+
+        return FederatedRegion(
+            name=self.name,
+            carbon=self.carbon.thaw(),
+            reserved_cpus=self.reserved_cpus,
+        )
+
+
+@dataclass(frozen=True)
+class FederatedSpec:
+    """One ``run_federated_simulation`` call as a frozen, digest-able value.
+
+    ``selector`` is a registry spec string (see
+    :data:`repro.federation.selectors.SELECTOR_SPECS`); ``policy`` the
+    temporal policy's registry spec string.  Build specs with
+    :meth:`build`, fan batches out with ``run_many``, or execute one
+    in-process with :meth:`run`.
+    """
+
+    workload: FrozenWorkload
+    regions: tuple[FrozenRegion, ...]
+    selector: str
+    policy: str
+    home: str | None = None
+    queues: QueueSet | None = None
+    migration_minutes: int = 0
+    pricing: PricingModel = DEFAULT_PRICING
+    energy: EnergyModel = DEFAULT_ENERGY
+    granularity: int = 5
+    validate: bool = True
+    spot_seed: int = 0
+    fault_plan: FaultPlan | None = None
+
+    @classmethod
+    def build(
+        cls,
+        workload,
+        regions,
+        selector: str,
+        policy: str,
+        home: str | None = None,
+        queues: QueueSet | None = None,
+        migration_minutes: int = 0,
+        pricing: PricingModel = DEFAULT_PRICING,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        granularity: int = 5,
+        validate: bool = True,
+        spot_seed: int = 0,
+        fault_plan: FaultPlan | None = None,
+    ) -> "FederatedSpec":
+        """Freeze the arguments of one ``run_federated_simulation`` call.
+
+        ``regions`` is a sequence of live ``FederatedRegion`` values;
+        ``selector`` and ``policy`` must be registry spec strings (live
+        instances cannot cross process boundaries declaratively).
+        """
+        if not isinstance(selector, str):
+            raise ConfigError(
+                "FederatedSpec needs a selector spec string (one of "
+                f"{sorted(SELECTOR_SPECS)}); pass instances to "
+                "run_federated_simulation directly"
+            )
+        if not isinstance(policy, str):
+            raise ConfigError(
+                "FederatedSpec needs a policy spec string (e.g. 'carbon-time')"
+            )
+        if not regions:
+            raise ConfigError("a federation needs at least one region")
+        return cls(
+            workload=FrozenWorkload.freeze(workload),
+            regions=tuple(FrozenRegion.freeze(region) for region in regions),
+            selector=selector,
+            policy=policy,
+            home=home,
+            queues=queues,
+            migration_minutes=migration_minutes,
+            pricing=pricing,
+            energy=energy,
+            granularity=granularity,
+            validate=validate,
+            spot_seed=spot_seed,
+            fault_plan=fault_plan,
+        )
+
+    def to_kwargs(self) -> dict:
+        """The ``run_federated_simulation`` keyword arguments this spec
+        describes."""
+        from repro.federation.selectors import make_selector
+
+        home = self.home if self.home is not None else self.regions[0].name
+        return {
+            "workload": self.workload.thaw(),
+            "regions": [region.thaw() for region in self.regions],
+            "selector": make_selector(self.selector, home),
+            "policy": self.policy,
+            "home": home,
+            "queues": self.queues,
+            "migration_minutes": self.migration_minutes,
+            "pricing": self.pricing,
+            "energy": self.energy,
+            "granularity": self.granularity,
+            "validate": self.validate,
+            "spot_seed": self.spot_seed,
+            "fault_plan": self.fault_plan,
+        }
+
+    def run(self):
+        """Execute this spec in-process and return the FederatedResult."""
+        from repro.federation.simulation import run_federated_simulation
+
+        return run_federated_simulation(**self.to_kwargs())
+
+    def digest(self) -> str:
+        """SHA-256 content address of this spec.
+
+        Covers the workload and every region's carbon content digest
+        plus every knob (and the fault plan), mirroring
+        :meth:`SimulationSpec.digest` so federated runs cache and
+        deduplicate under the same contract.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            parts = [
+                "FederatedSpec",
+                self.workload.content_digest(),
+            ]
+            for region in self.regions:
+                parts.extend(
+                    (region.name, region.carbon.content_digest(),
+                     str(region.reserved_cpus))
+                )
+            parts.extend(
+                (
+                    self.selector,
+                    self.policy,
+                    repr(self.home),
+                    repr(self.queues),
+                    str(self.migration_minutes),
+                    repr(self.pricing),
+                    repr(self.energy),
+                    str(self.granularity),
+                    str(self.validate),
+                    str(self.spot_seed),
+                    self.fault_plan.digest() if self.fault_plan is not None else "-",
+                )
+            )
+            cached = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+            self.__dict__["_digest"] = cached
+        return cached

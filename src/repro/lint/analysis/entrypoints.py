@@ -43,6 +43,18 @@ DIGEST_ENTRY_PATTERNS: list[str] = [
     "*.decide_many",
     # Fault application: folded into spec digests via FaultPlan.digest.
     "*.faults.apply.*",
+    # Federated and scaling specs: first-class run_many citizens, so
+    # their run/digest paths (and the selector hook, reached dynamically
+    # through the selector registry) determine cached payloads too.
+    "*.run_federated_simulation",
+    "*.run_reference_federated",
+    "*.FederatedSpec.run",
+    "*.FederatedSpec.digest",
+    "*.select",
+    "*.ScalingSpec.run",
+    "*.ScalingSpec.digest",
+    "*.plan_carbon_scaling",
+    "*.fixed_allocation_plan",
 ]
 
 #: Types that cross the ``run_many`` process-pool boundary, with whether
@@ -52,6 +64,10 @@ DIGEST_ENTRY_PATTERNS: list[str] = [
 POOL_BOUNDARY_ROOTS: list[tuple[str, bool]] = [
     ("*.SimulationSpec", True),
     ("*.SimulationResult", False),
+    ("*.FederatedSpec", True),
+    ("*.FederatedResult", False),
+    ("*.ScalingSpec", True),
+    ("*.ScalingResult", False),
 ]
 
 

@@ -7,9 +7,9 @@ float literal, a ``float`` annotation) silently breaks slot arithmetic
 -- carbon integration and capacity accounting both index arrays by
 these values.
 
-Names ending in ``_cpu_minutes`` / ``_overhead_minutes`` are exempt:
-they are *resource quantities* (cpu x minutes), legitimately fractional
-after division by a job's cpu count.
+Names ending in ``cpu_minutes`` / ``overhead_minutes`` (bare or
+suffixed) are exempt: they are *resource quantities* (cpu x minutes),
+legitimately fractional after division by a job's cpu count.
 """
 
 from __future__ import annotations
@@ -30,7 +30,7 @@ _INT_PRODUCERS = {"int", "round", "len", "floor", "ceil", "hours", "days", "week
 def is_minute_name(name: str) -> bool:
     """Whether a variable/parameter name denotes an integer-minute value."""
     lowered = name.lower()
-    if lowered.endswith(("_cpu_minutes", "_cpu_minute", "_overhead_minutes")):
+    if lowered.endswith(("cpu_minutes", "cpu_minute", "overhead_minutes")):
         return False
     if "per_minute" in lowered:  # rates (1/min), legitimately fractional
         return False

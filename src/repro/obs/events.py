@@ -50,6 +50,9 @@ __all__ = [
     "CampaignCreated",
     "CampaignResumed",
     "CampaignCompleted",
+    "FederationRouted",
+    "FederationCompleted",
+    "ScalingPlanned",
     "ServiceStarted",
     "ServiceJobAdmitted",
     "ServiceJobRejected",
@@ -439,6 +442,72 @@ class CampaignCompleted(Event):
     executed: int
     failed: int
     remaining: int
+
+
+@_register
+@dataclass(frozen=True)
+class FederationRouted(Event):
+    """A federated run finished routing jobs to regions.
+
+    Emitted once per federated simulation, after the selector placed
+    every job and before any region's engine ran.  ``migrated`` counts
+    off-home placements; ``migration_minutes`` is the per-job staging
+    delay those placements paid (0 when dropped by the
+    ``migration-drop`` fault).
+    """
+
+    type: ClassVar[str] = "federation.routed"
+
+    selector: str
+    home: str
+    regions: int
+    jobs: int
+    migrated: int
+    migration_minutes: int
+
+
+@_register
+@dataclass(frozen=True)
+class FederationCompleted(Event):
+    """A federated run finished every region's engine and merged
+    the accounting.
+
+    ``carbon_kg`` / ``cost_usd`` are the federation totals (sums over
+    regions); ``jobs`` counts executed records across all regions.
+    """
+
+    type: ClassVar[str] = "federation.completed"
+
+    selector: str
+    policy: str
+    regions: int
+    jobs: int
+    migrated: int
+    carbon_kg: float
+    cost_usd: float
+
+
+@_register
+@dataclass(frozen=True)
+class ScalingPlanned(Event):
+    """A malleable-job scaling plan was computed.
+
+    ``speedup`` and ``mode`` are the declarative tags of
+    :class:`repro.scaling.spec.ScalingSpec` rendered as strings (e.g.
+    ``"amdahl:0.9"``, ``"greedy"`` or ``"fixed:4"``); ``peak_cpus`` and
+    ``cpu_minutes`` summarize the allocation shape.
+    """
+
+    type: ClassVar[str] = "scaling.planned"
+
+    speedup: str
+    mode: str
+    work: float
+    deadline: int
+    peak_cpus: int
+    cpu_minutes: float
+    carbon_g: float
+    energy_kwh: float
 
 
 @_register

@@ -8,6 +8,12 @@ from repro.scaling.planner import (
     fixed_allocation_plan,
     plan_carbon_scaling,
 )
+from repro.scaling.reference import (
+    enumerate_slots,
+    exhaustive_min_carbon,
+    verify_greedy_certificate,
+)
+from repro.scaling.spec import ScalingResult, ScalingSpec, freeze_speedup, thaw_speedup
 from repro.scaling.speedup import AmdahlSpeedup, LinearSpeedup, SpeedupModel
 
 __all__ = [
@@ -18,4 +24,11 @@ __all__ = [
     "ScalingPlan",
     "plan_carbon_scaling",
     "fixed_allocation_plan",
+    "ScalingSpec",
+    "ScalingResult",
+    "freeze_speedup",
+    "thaw_speedup",
+    "enumerate_slots",
+    "exhaustive_min_carbon",
+    "verify_greedy_certificate",
 ]

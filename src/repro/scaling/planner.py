@@ -7,15 +7,18 @@ the job finishes by its deadline with minimal carbon.
 The allocation is greedy over *marginal* (slot, CPU) units: the j-th CPU
 in slot ``h`` contributes ``marginal_rate[j] * slot_minutes`` work at a
 carbon cost proportional to ``ci[h] * slot_minutes``; units are taken in
-increasing carbon-per-work order until the job's work is covered.  For
-concave (non-increasing marginal) speedups an exchange argument makes
-this allocation carbon-optimal among slot-constant allocations -- the
+increasing carbon-per-work order until the job's work is covered, and
+the final (most expensive) unit is trimmed to the integer minutes it is
+actually needed.  For concave (non-increasing marginal) speedups an
+exchange argument makes this allocation carbon-optimal among
+slot-resolution allocations up to that one-minute rounding -- the
 CarbonScaler result.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 from repro.carbon.trace import CarbonIntensityTrace
@@ -134,6 +137,11 @@ def plan_carbon_scaling(
             heapq.heappush(heap, (ci / marginals[0], index, 0))
 
     cpus_per_slot = [0] * len(slots)
+    # The final (most expensive) unit is trimmed to the integer minutes
+    # actually needed: (slot_idx, minutes kept at the top CPU count).
+    # Carbon is constant within a slot, so the trimmed fraction matches
+    # the fractional-LP optimum up to one minute of ceil rounding.
+    trim: tuple[int, int] | None = None
     remaining = job.work
     while remaining > 1e-9 and heap:
         _, index, cpu_idx = heapq.heappop(heap)
@@ -141,19 +149,34 @@ def plan_carbon_scaling(
         slot_minutes = end - start
         gained = marginals[cpu_idx] * slot_minutes
         cpus_per_slot[index] = cpu_idx + 1
+        if gained >= remaining:
+            kept = min(slot_minutes, math.ceil(remaining / marginals[cpu_idx]))
+            if kept < slot_minutes:
+                trim = (index, kept)
+            remaining = 0.0
+            break
         remaining -= gained
         next_cpu = cpu_idx + 1
         if next_cpu < job.max_cpus and marginals[next_cpu] > 0:
             heapq.heappush(heap, (ci / marginals[next_cpu], index, next_cpu))
 
     plan = ScalingPlan(job=job, deadline=deadline)
-    for (start, end, ci), cpus in zip(slots, cpus_per_slot):
+    for index, ((start, end, ci), cpus) in enumerate(zip(slots, cpus_per_slot)):
         if cpus == 0:
             continue
-        minutes = end - start
-        plan.allocation.append((start, end, cpus))
-        plan.energy_kwh += energy.energy_kwh(cpus, minutes)
-        plan.carbon_g += ci * energy.active_kw(cpus) * minutes / MINUTES_PER_HOUR
+        segments = [(start, end, cpus)]
+        if trim is not None and trim[0] == index:
+            kept = trim[1]
+            segments = [(start, start + kept, cpus)]
+            if cpus > 1:
+                segments.append((start + kept, end, cpus - 1))
+        for seg_start, seg_end, seg_cpus in segments:
+            minutes = seg_end - seg_start
+            plan.allocation.append((seg_start, seg_end, seg_cpus))
+            plan.energy_kwh += energy.energy_kwh(seg_cpus, minutes)
+            plan.carbon_g += (
+                ci * energy.active_kw(seg_cpus) * minutes / MINUTES_PER_HOUR
+            )
     return plan
 
 

@@ -1,0 +1,155 @@
+"""Naive references for the scaling planner.
+
+Two independent oracles for :func:`repro.scaling.planner.plan_carbon_scaling`:
+
+* :func:`exhaustive_min_carbon` -- brute-force enumeration of every
+  slot-constant (full-slot) CPU allocation on small instances.  The
+  greedy plan must never emit more carbon than the exhaustive minimum
+  (it can emit *less*, because it additionally trims its most expensive
+  unit to the minutes actually needed).
+* :func:`verify_greedy_certificate` -- the exchange-argument optimality
+  certificate: in a greedy plan over concave (non-increasing marginal)
+  speedups, every selected marginal (slot, CPU) unit must have a
+  carbon-per-work ratio no worse than every unselected unit.  Checking
+  the certificate is linear, so it scales to instances enumeration
+  cannot touch.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.errors import ConfigError, SchedulingError
+from repro.scaling.planner import MalleableJob, ScalingPlan
+from repro.scaling.speedup import LinearSpeedup, SpeedupModel
+from repro.units import MINUTES_PER_HOUR
+
+__all__ = ["enumerate_slots", "exhaustive_min_carbon", "verify_greedy_certificate"]
+
+#: Enumeration guard: (max_cpus + 1) ** num_slots states at most.
+_MAX_STATES = 300_000
+
+
+def enumerate_slots(
+    job: MalleableJob, carbon: CarbonIntensityTrace, deadline: int
+) -> list[tuple[int, int, float]]:
+    """The planner's (start, end, ci) slot decomposition, re-derived."""
+    if deadline <= job.arrival:
+        raise SchedulingError("deadline must lie after the arrival")
+    if deadline > carbon.horizon_minutes:
+        raise SchedulingError("deadline beyond the carbon trace")
+    slots = []
+    first_hour = job.arrival // MINUTES_PER_HOUR
+    last_hour = -(-deadline // MINUTES_PER_HOUR)
+    for hour in range(first_hour, last_hour):
+        start = max(job.arrival, hour * MINUTES_PER_HOUR)
+        end = min(deadline, (hour + 1) * MINUTES_PER_HOUR)
+        if end > start:
+            slots.append((start, end, float(carbon.hourly[hour])))
+    return slots
+
+
+def exhaustive_min_carbon(
+    job: MalleableJob,
+    carbon: CarbonIntensityTrace,
+    deadline: int,
+    speedup: SpeedupModel | None = None,
+    energy: EnergyModel = DEFAULT_ENERGY,
+) -> float:
+    """Minimum carbon over *every* full-slot allocation, by enumeration.
+
+    Exponential in the slot count -- guarded to small instances.  Raises
+    :class:`SchedulingError` when no allocation finishes the work.
+    """
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    slots = enumerate_slots(job, carbon, deadline)
+    states = (job.max_cpus + 1) ** len(slots)
+    if states > _MAX_STATES:
+        raise ConfigError(
+            f"exhaustive search over {states} allocations is too large; "
+            "use verify_greedy_certificate for big instances"
+        )
+    rates = [speedup.rate(c) for c in range(job.max_cpus + 1)]
+    best = None
+    for assignment in itertools.product(range(job.max_cpus + 1), repeat=len(slots)):
+        done = sum(
+            rates[cpus] * (end - start)
+            for (start, end, _), cpus in zip(slots, assignment)
+        )
+        if done + 1e-9 < job.work:
+            continue
+        carbon_g = sum(
+            ci * energy.active_kw(cpus) * (end - start) / MINUTES_PER_HOUR
+            for (start, end, ci), cpus in zip(slots, assignment)
+            if cpus
+        )
+        if best is None or carbon_g < best:
+            best = carbon_g
+    if best is None:
+        raise SchedulingError("infeasible: no full-slot allocation finishes the work")
+    return best
+
+
+def verify_greedy_certificate(
+    plan: ScalingPlan,
+    carbon: CarbonIntensityTrace,
+    speedup: SpeedupModel | None = None,
+    tolerance: float = 1e-9,
+) -> list[str]:
+    """Exchange-argument violations of a greedy plan (empty when optimal).
+
+    Reconstructs the marginal (slot, CPU) units from the plan's own slot
+    decomposition and checks that no unselected unit is strictly cheaper
+    (in carbon per work) than any selected unit -- if one were, swapping
+    them would reduce carbon, contradicting optimality.  The trimmed top
+    unit counts as selected.  Also reports feasibility violations
+    (deadline, CPU cap), so the certificate is self-contained.
+    """
+    speedup = speedup if speedup is not None else LinearSpeedup()
+    job = plan.job
+    problems: list[str] = []
+    if plan.completion_minute > plan.deadline:
+        problems.append(
+            f"plan finishes at {plan.completion_minute} after deadline {plan.deadline}"
+        )
+    if plan.peak_cpus > job.max_cpus:
+        problems.append(f"plan peak {plan.peak_cpus} exceeds cap {job.max_cpus}")
+    if plan.work_done(speedup) + 1e-6 < job.work:
+        problems.append(
+            f"plan accomplishes {plan.work_done(speedup):.6f} of "
+            f"{job.work:.6f} work-minutes"
+        )
+    slots = enumerate_slots(job, carbon, plan.deadline)
+    marginals = speedup.marginal_rates(job.max_cpus)
+
+    # Top CPU level the plan ever reaches inside each slot.
+    levels = [0] * len(slots)
+    for start, end, cpus in plan.allocation:
+        for index, (slot_start, slot_end, _) in enumerate(slots):
+            if start < slot_end and end > slot_start:
+                levels[index] = max(levels[index], cpus)
+    max_selected = None
+    min_unselected = None
+    for index, (slot_start, slot_end, ci) in enumerate(slots):
+        for cpu_idx in range(job.max_cpus):
+            if marginals[cpu_idx] <= 0:
+                continue
+            ratio = ci / marginals[cpu_idx]
+            if cpu_idx < levels[index]:
+                if max_selected is None or ratio > max_selected:
+                    max_selected = ratio
+            else:
+                if min_unselected is None or ratio < min_unselected:
+                    min_unselected = ratio
+    if (
+        max_selected is not None
+        and min_unselected is not None
+        and min_unselected < max_selected - tolerance * max(1.0, max_selected)
+    ):
+        problems.append(
+            f"exchange violation: unselected unit at {min_unselected:.9g} "
+            f"gCO2/work beats selected unit at {max_selected:.9g}"
+        )
+    return problems

@@ -1,0 +1,246 @@
+"""Declarative descriptions of malleable-scaling runs.
+
+A :class:`ScalingSpec` captures everything that determines one scaling
+plan -- the CI trace, the malleable job (work, CPU cap, arrival), the
+deadline, the speedup family, and whether the plan is the greedy
+carbon-aware allocation or a fixed baseline -- as a frozen, hashable,
+picklable value.  Like a ``SimulationSpec``, scaling specs execute
+through ``run_many`` and campaigns, deduplicate and cache by
+:meth:`ScalingSpec.digest`, and participate in fault plans (process
+faults sabotage the worker; input faults corrupt the carbon trace before
+planning).
+
+Speedup tags are declarative: ``("linear",)`` or ``("amdahl", p)``.
+Modes are ``("greedy",)`` (the CarbonScaler-style planner) or
+``("fixed", cpus)`` (run-on-arrival at a constant allocation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.cluster.energy import DEFAULT_ENERGY, EnergyModel
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, apply_input_faults, apply_process_faults
+from repro.obs.events import ScalingPlanned
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, tracer_from_env
+from repro.scaling.planner import (
+    MalleableJob,
+    ScalingPlan,
+    fixed_allocation_plan,
+    plan_carbon_scaling,
+)
+from repro.scaling.speedup import AmdahlSpeedup, LinearSpeedup, SpeedupModel
+from repro.simulator.runner.spec import FrozenSeries
+
+__all__ = ["ScalingSpec", "ScalingResult", "freeze_speedup", "thaw_speedup"]
+
+
+def freeze_speedup(speedup: SpeedupModel | None) -> tuple:
+    """Declarative tag for a speedup model (``None`` means linear)."""
+    if speedup is None or isinstance(speedup, LinearSpeedup):
+        return ("linear",)
+    if isinstance(speedup, AmdahlSpeedup):
+        return ("amdahl", float(speedup.parallel_fraction))
+    raise ConfigError(
+        f"speedup model {type(speedup).__name__} cannot be expressed in a "
+        "ScalingSpec; call plan_carbon_scaling directly"
+    )
+
+
+def thaw_speedup(tag: tuple) -> SpeedupModel:
+    """Rebuild a speedup model from its declarative tag."""
+    if tag[0] == "linear":
+        return LinearSpeedup()
+    if tag[0] == "amdahl":
+        return AmdahlSpeedup(tag[1])
+    raise ConfigError(f"unknown speedup tag {tag!r}")
+
+
+@dataclass
+class ScalingResult:
+    """One scaling plan's allocation and accounting, digest-able.
+
+    The plan itself (slot allocations, carbon, energy) plus enough of
+    the spec's identity to content-address the outcome; ``work_done`` is
+    the work-minutes the allocation accomplishes under the spec's
+    speedup curve (>= ``work`` for any feasible plan).
+    """
+
+    speedup: tuple
+    mode: tuple
+    work: float
+    max_cpus: int
+    arrival: int
+    deadline: int
+    carbon_name: str
+    allocation: tuple[tuple[int, int, int], ...]
+    carbon_g: float
+    energy_kwh: float
+    work_done: float
+    metrics: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def peak_cpus(self) -> int:
+        return max((cpus for _, _, cpus in self.allocation), default=0)
+
+    @property
+    def completion_minute(self) -> int:
+        return max((end for _, end, _ in self.allocation), default=self.arrival)
+
+    @property
+    def cpu_minutes(self) -> float:
+        return float(sum((end - start) * cpus for start, end, cpus in self.allocation))
+
+    @property
+    def total_carbon_kg(self) -> float:
+        return self.carbon_g / 1000.0
+
+    def digest(self) -> str:
+        """SHA-256 content address of the planned outcome."""
+        parts = [
+            "ScalingResult",
+            self.carbon_name,
+            repr(self.speedup),
+            repr(self.mode),
+            repr(self.work),
+            str(self.max_cpus),
+            str(self.arrival),
+            str(self.deadline),
+        ]
+        parts.extend(f"{s},{e},{c}" for s, e, c in self.allocation)
+        parts.extend((repr(self.carbon_g), repr(self.energy_kwh), repr(self.work_done)))
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScalingSpec:
+    """One scaling-plan computation as a frozen, digest-able value."""
+
+    carbon: FrozenSeries
+    work: float
+    max_cpus: int
+    deadline: int
+    arrival: int = 0
+    speedup: tuple = ("linear",)
+    mode: tuple = ("greedy",)
+    energy: EnergyModel = DEFAULT_ENERGY
+    fault_plan: FaultPlan | None = None
+
+    @classmethod
+    def build(
+        cls,
+        carbon,
+        job: MalleableJob,
+        deadline: int,
+        speedup: SpeedupModel | None = None,
+        mode: tuple = ("greedy",),
+        energy: EnergyModel = DEFAULT_ENERGY,
+        fault_plan: FaultPlan | None = None,
+    ) -> "ScalingSpec":
+        """Freeze one planning call over a live trace and job.
+
+        ``mode`` is ``("greedy",)`` or ``("fixed", cpus)``.
+        """
+        if mode[0] not in ("greedy", "fixed"):
+            raise ConfigError(f"unknown scaling mode {mode!r}")
+        if mode[0] == "fixed" and (len(mode) != 2 or int(mode[1]) <= 0):
+            raise ConfigError("fixed mode needs a positive cpu count")
+        return cls(
+            carbon=FrozenSeries.freeze(carbon),
+            work=float(job.work),
+            max_cpus=job.max_cpus,
+            deadline=int(deadline),
+            arrival=job.arrival,
+            speedup=freeze_speedup(speedup),
+            mode=tuple(mode),
+            energy=energy,
+            fault_plan=fault_plan,
+        )
+
+    def plan(self) -> ScalingPlan:
+        """Compute the plan this spec describes (no fault application)."""
+        trace = self.carbon.thaw()
+        job = MalleableJob(work=self.work, max_cpus=self.max_cpus, arrival=self.arrival)
+        speedup = thaw_speedup(self.speedup)
+        if self.mode[0] == "greedy":
+            return plan_carbon_scaling(
+                job, trace, self.deadline, speedup=speedup, energy=self.energy
+            )
+        return fixed_allocation_plan(
+            job, trace, cpus=int(self.mode[1]), energy=self.energy, speedup=speedup
+        )
+
+    def run(self, tracer: Tracer | None = None) -> ScalingResult:
+        """Execute this spec in-process and return the ScalingResult."""
+        apply_process_faults(self.fault_plan)
+        trace = apply_input_faults(self.fault_plan, self.carbon.thaw())
+        job = MalleableJob(work=self.work, max_cpus=self.max_cpus, arrival=self.arrival)
+        speedup = thaw_speedup(self.speedup)
+        if self.mode[0] == "greedy":
+            plan = plan_carbon_scaling(
+                job, trace, self.deadline, speedup=speedup, energy=self.energy
+            )
+        else:
+            plan = fixed_allocation_plan(
+                job, trace, cpus=int(self.mode[1]), energy=self.energy, speedup=speedup
+            )
+        registry = MetricsRegistry()
+        registry.counter("scaling.plans")
+        registry.gauge("scaling.peak_cpus", float(plan.peak_cpus))
+        result = ScalingResult(
+            speedup=self.speedup,
+            mode=self.mode,
+            work=self.work,
+            max_cpus=self.max_cpus,
+            arrival=self.arrival,
+            deadline=self.deadline,
+            carbon_name=trace.name,
+            allocation=tuple(plan.allocation),
+            carbon_g=plan.carbon_g,
+            energy_kwh=plan.energy_kwh,
+            work_done=plan.work_done(speedup),
+            metrics=registry.snapshot(),
+        )
+        owns_tracer = False
+        if tracer is None:
+            tracer = tracer_from_env()
+            owns_tracer = tracer.enabled
+        if tracer.enabled:
+            tracer.emit(
+                ScalingPlanned(
+                    speedup=":".join(str(part) for part in self.speedup),
+                    mode=":".join(str(part) for part in self.mode),
+                    work=self.work,
+                    deadline=self.deadline,
+                    peak_cpus=result.peak_cpus,
+                    cpu_minutes=result.cpu_minutes,
+                    carbon_g=result.carbon_g,
+                    energy_kwh=result.energy_kwh,
+                )
+            )
+        if owns_tracer:
+            tracer.close()
+        return result
+
+    def digest(self) -> str:
+        """SHA-256 content address of this spec (inputs and every knob)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            parts = [
+                "ScalingSpec",
+                self.carbon.content_digest(),
+                repr(self.work),
+                str(self.max_cpus),
+                str(self.deadline),
+                str(self.arrival),
+                repr(self.speedup),
+                repr(self.mode),
+                repr(self.energy),
+                self.fault_plan.digest() if self.fault_plan is not None else "-",
+            ]
+            cached = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+            self.__dict__["_digest"] = cached
+        return cached

@@ -249,7 +249,21 @@ class ResultCache:
             # unsupported-protocol byte raises ValueError, a truncated
             # memo reference IndexError.
             return None
-        return found if isinstance(found, SimulationResult) else None
+        return found if isinstance(found, _cacheable_types()) else None
+
+
+@lru_cache(maxsize=1)
+def _cacheable_types() -> tuple[type, ...]:
+    """Result types a disk entry may legitimately deserialize into.
+
+    Imported lazily: the federation and scaling packages import the
+    runner (for ``FrozenSeries``/``FrozenWorkload``), so a module-level
+    import here would cycle.
+    """
+    from repro.federation.simulation import FederatedResult
+    from repro.scaling.spec import ScalingResult
+
+    return (SimulationResult, FederatedResult, ScalingResult)
 
 
 _DEFAULT_CACHE: ResultCache | None = None

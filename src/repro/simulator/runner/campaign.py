@@ -246,7 +246,9 @@ class Campaign:
             IndexError,
         ):
             return None
-        return found if isinstance(found, SimulationResult) else None
+        from repro.simulator.runner.cache import _cacheable_types
+
+        return found if isinstance(found, _cacheable_types()) else None
 
     def completed_results(self) -> dict[str, SimulationResult]:
         """Journaled completions whose result files load cleanly."""

@@ -17,6 +17,10 @@ from repro.difftest.invariants import (
     check_carbon_scaling,
     check_cost_option_ordering,
     check_energy_conservation,
+    check_federation_single_region,
+    check_migration_delay_neutrality,
+    check_scaling_feasibility,
+    check_scaling_greedy_dominance,
     check_slack_monotonicity,
     check_zero_slack_collapses_to_nowait,
     slack_queue_set,
@@ -157,17 +161,99 @@ class TestEnergyConservation:
 
 
 # ---------------------------------------------------------------------------
+# The federated and scaling laws
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def malleable_jobs(draw):
+    from repro.scaling import MalleableJob
+
+    return MalleableJob(
+        work=float(draw(st.integers(min_value=30, max_value=600))),
+        max_cpus=draw(st.integers(min_value=1, max_value=6)),
+        arrival=draw(st.integers(min_value=0, max_value=hours(12))),
+    )
+
+
+@st.composite
+def concave_speedups(draw):
+    from repro.scaling import AmdahlSpeedup, LinearSpeedup
+
+    if draw(st.booleans()):
+        return LinearSpeedup()
+    return AmdahlSpeedup(draw(st.floats(min_value=0.5, max_value=1.0)))
+
+
+class TestFederationSingleRegion:
+    @given(
+        workload=workloads(max_jobs=5),
+        carbon=carbon_traces(),
+        policy=st.sampled_from(WAITING_POLICIES + ("nowait",)),
+    )
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    def test_degenerates_to_plain_engine(self, workload, carbon, policy):
+        check_federation_single_region(workload, carbon, policy)
+
+
+class TestMigrationDelayNeutrality:
+    @given(
+        workload=workloads(max_jobs=5),
+        traces=st.lists(carbon_traces(), min_size=2, max_size=3),
+        policy=st.sampled_from(("nowait", "carbon-time", "lowest-window")),
+        migration=st.sampled_from((30, 90, 240)),
+    )
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    def test_home_placements_are_delay_blind(
+        self, workload, traces, policy, migration
+    ):
+        from repro.federation import FederatedRegion
+
+        regions = [
+            FederatedRegion(name=f"neutral-{index}", carbon=trace)
+            for index, trace in enumerate(traces)
+        ]
+        check_migration_delay_neutrality(workload, regions, policy, migration)
+
+
+class TestScalingGreedyDominance:
+    @given(job=malleable_jobs(), carbon=carbon_traces(), speedup=concave_speedups())
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_greedy_never_loses_to_fixed(self, job, carbon, speedup):
+        check_scaling_greedy_dominance(job, carbon, speedup=speedup)
+
+
+class TestScalingFeasibility:
+    @given(
+        job=malleable_jobs(),
+        carbon=carbon_traces(),
+        speedup=concave_speedups(),
+        slack=st.integers(min_value=1, max_value=hours(24)),
+    )
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_plans_meet_their_constraints(self, job, carbon, speedup, slack):
+        # rate(1) == 1 for every speedup model, so this deadline always
+        # leaves a feasible single-CPU allocation.
+        deadline = job.arrival + int(job.work) + slack
+        check_scaling_feasibility(job, carbon, deadline, speedup=speedup)
+
+
+# ---------------------------------------------------------------------------
 # Registry integrity
 # ---------------------------------------------------------------------------
 
 
-def test_registry_lists_all_five_laws():
+def test_registry_lists_all_nine_laws():
     assert set(INVARIANTS) == {
         "zero-slack-collapse",
         "carbon-scaling",
         "slack-monotonicity",
         "cost-option-ordering",
         "energy-conservation",
+        "federation-single-region",
+        "migration-delay-neutrality",
+        "scaling-greedy-dominance",
+        "scaling-feasibility",
     }
     for name, entry in INVARIANTS.items():
         assert callable(entry["check"]), name

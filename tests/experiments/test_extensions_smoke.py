@@ -65,6 +65,27 @@ class TestEnergyPrice:
         )
 
 
+class TestSpatialSweeps:
+    def test_federation_sweep_beats_home_baseline(self):
+        result = run_experiment("sweep-federation", scale="small")
+        rows = {(row["selector"], row["migration_min"]): row for row in result.rows}
+        assert rows[("home", 0)]["migrated_jobs"] == 0
+        assert rows[("spatio-temporal", 0)]["carbon_saving_pct"] > (
+            rows[("home", 0)]["carbon_saving_pct"]
+        )
+        # A migration delay can only cost carbon, never save it.
+        assert rows[("greedy-spatial", 60)]["carbon_kg"] >= (
+            rows[("greedy-spatial", 0)]["carbon_kg"] - 1e-9
+        )
+
+    def test_scaling_sweep_orders_speedup_families(self):
+        result = run_experiment("sweep-scaling", scale="small")
+        savings = result.column("carbon_saving_pct")
+        # linear >= amdahl-0.95 >= amdahl-0.90 >= amdahl-0.75
+        assert savings == sorted(savings, reverse=True)
+        assert all(saving > 0 for saving in savings)
+
+
 class TestFederationExperiment:
     @pytest.fixture(scope="class")
     def result(self):

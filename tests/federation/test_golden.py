@@ -1,0 +1,102 @@
+"""Golden federated scenarios: pinned ``FederatedResult.digest()`` values.
+
+Mirrors ``tests/faults/test_golden.py``: three small deterministic
+federated runs have their merged digests committed in
+``golden/digests.json``.  A moved digest means federated behaviour
+changed -- regenerate intentionally with::
+
+    PYTHONPATH=src python -m tests.federation.test_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.federation import FederatedRegion, make_selector, run_federated_simulation
+from repro.units import days, hours
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
+
+
+def _workload() -> WorkloadTrace:
+    jobs = [
+        Job(job_id=0, arrival=0, length=60, cpus=1),
+        Job(job_id=1, arrival=30, length=hours(4), cpus=2),
+        Job(job_id=2, arrival=hours(2), length=hours(1), cpus=1),
+        Job(job_id=3, arrival=hours(10), length=hours(12), cpus=4),
+        Job(job_id=4, arrival=hours(30), length=90, cpus=1),
+    ]
+    return WorkloadTrace(jobs, name="golden-fed", horizon=days(2))
+
+
+def _regions() -> list[FederatedRegion]:
+    day = np.full(24, 100.0)
+    day[10:16] = 20.0
+    return [
+        FederatedRegion("diurnal", CarbonIntensityTrace(np.tile(day, 14), name="diurnal")),
+        FederatedRegion("flat", CarbonIntensityTrace(np.full(336, 90.0), name="flat")),
+        FederatedRegion(
+            "ramp",
+            CarbonIntensityTrace(np.linspace(40.0, 400.0, 336), name="ramp"),
+            reserved_cpus=4,
+        ),
+    ]
+
+
+#: name -> zero-argument scenario runner (inputs rebuilt per call).
+SCENARIOS = {
+    "home-carbon-time": lambda: run_federated_simulation(
+        _workload(), _regions(), make_selector("home", "diurnal"), "carbon-time"
+    ),
+    "greedy-spatial-migration": lambda: run_federated_simulation(
+        _workload(),
+        _regions(),
+        make_selector("greedy-spatial"),
+        "lowest-window",
+        migration_minutes=90,
+    ),
+    "spatio-temporal-nowait": lambda: run_federated_simulation(
+        _workload(),
+        _regions(),
+        make_selector("spatio-temporal"),
+        "nowait",
+        migration_minutes=30,
+    ),
+}
+
+
+def compute_digests() -> dict[str, str]:
+    return {name: runner().digest() for name, runner in sorted(SCENARIOS.items())}
+
+
+class TestGoldenFederatedScenarios:
+    @pytest.fixture(scope="class")
+    def pinned(self) -> dict[str, str]:
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_fixture_covers_exactly_the_scenarios(self, pinned):
+        assert set(pinned) == set(SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_digest_matches_pin(self, name, pinned):
+        assert SCENARIOS[name]().digest() == pinned[name], (
+            f"golden federated scenario {name!r} moved; if intentional, "
+            "regenerate with: PYTHONPATH=src python -m tests.federation.test_golden"
+        )
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_digests(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration entry
+    _regenerate()

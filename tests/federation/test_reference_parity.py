@@ -1,0 +1,140 @@
+"""Hypothesis parity suite: the federated runner vs its scalar reference.
+
+Random region counts, CI traces, selectors, and migration delays must
+produce results the straight-line
+:func:`repro.federation.reference.run_reference_federated` agrees with
+under the differential contract (bit-exact schedules, tolerance-bounded
+floats) -- and the federated-only ``migration-drop`` fault must break
+that agreement whenever the delay matters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.synthetic import RegionProfile, generate_carbon_trace
+from repro.difftest.federated import compare_federated
+from repro.faults import parse_fault_plan
+from repro.federation import (
+    SELECTOR_SPECS,
+    FederatedRegion,
+    make_selector,
+    run_federated_simulation,
+    run_reference_federated,
+)
+from repro.units import hours
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+POLICIES = ("nowait", "carbon-time", "lowest-window", "wait-awhile")
+
+
+@st.composite
+def workloads(draw, max_jobs=6):
+    num_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = [
+        Job(
+            job_id=job_id,
+            arrival=draw(st.integers(min_value=0, max_value=hours(12))),
+            length=draw(st.integers(min_value=1, max_value=hours(2))),
+            cpus=draw(st.integers(min_value=1, max_value=4)),
+        )
+        for job_id in range(num_jobs)
+    ]
+    return WorkloadTrace(jobs, name="fed-parity")
+
+
+@st.composite
+def region_lists(draw, max_regions=3):
+    count = draw(st.integers(min_value=1, max_value=max_regions))
+    regions = []
+    for index in range(count):
+        profile = RegionProfile(
+            name=f"fed-region-{index}",
+            mean_ci=draw(st.floats(min_value=80.0, max_value=600.0)),
+            diurnal_amplitude=draw(st.floats(min_value=0.0, max_value=0.6)),
+            seasonal_amplitude=0.0,
+            noise_sigma=draw(st.floats(min_value=0.0, max_value=0.2)),
+        )
+        trace = generate_carbon_trace(
+            profile,
+            num_hours=5 * 24,
+            seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        )
+        regions.append(
+            FederatedRegion(
+                name=profile.name,
+                carbon=trace,
+                reserved_cpus=draw(st.sampled_from((0, 0, 4, 16))),
+            )
+        )
+    return regions
+
+
+class TestReferenceParity:
+    @given(
+        workload=workloads(),
+        regions=region_lists(),
+        selector_spec=st.sampled_from(SELECTOR_SPECS),
+        policy=st.sampled_from(POLICIES),
+        migration=st.sampled_from((0, 0, 45, 120)),
+    )
+    @settings(max_examples=10, deadline=None, derandomize=True)
+    def test_engines_agree(self, workload, regions, selector_spec, policy, migration):
+        home = regions[0].name
+        kwargs = dict(
+            workload=workload,
+            regions=regions,
+            selector=make_selector(selector_spec, home),
+            policy=policy,
+            home=home,
+            migration_minutes=migration,
+        )
+        optimized = run_federated_simulation(**kwargs)
+        reference = run_reference_federated(**kwargs)
+        diff = compare_federated(reference, optimized)
+        assert diff.identical, diff.render()
+        assert reference.placements == optimized.placements
+        assert reference.migrated_jobs == optimized.migrated_jobs
+
+
+class TestMigrationDropIsCaught:
+    def test_dropped_delay_diverges_from_reference(self):
+        """The latent-bug stand-in: an engine that forgets the migration
+        delay must disagree with the reference whenever the delay moved
+        any off-home arrival."""
+        jobs = [Job(job_id=i, arrival=i * 20, length=90, cpus=2) for i in range(6)]
+        workload = WorkloadTrace(jobs, name="fed-drop")
+        regions = []
+        for index, mean_ci in enumerate((400.0, 90.0)):
+            profile = RegionProfile(
+                name=f"drop-region-{index}",
+                mean_ci=mean_ci,
+                diurnal_amplitude=0.4,
+                seasonal_amplitude=0.0,
+                noise_sigma=0.0,
+            )
+            regions.append(
+                FederatedRegion(
+                    name=profile.name,
+                    carbon=generate_carbon_trace(profile, num_hours=5 * 24, seed=index),
+                )
+            )
+        kwargs = dict(
+            workload=workload,
+            regions=regions,
+            selector=make_selector("lowest-mean-ci"),
+            policy="carbon-time",
+            home=regions[0].name,
+            migration_minutes=240,
+        )
+        reference = run_reference_federated(**kwargs)
+        # Every job prefers the low-CI second region, so the delay matters.
+        assert reference.migrated_jobs == len(jobs)
+        dropped = run_federated_simulation(
+            **kwargs, fault_plan=parse_fault_plan("migration-drop", seed=0)
+        )
+        diff = compare_federated(reference, dropped)
+        assert not diff.identical
+        assert diff.render()

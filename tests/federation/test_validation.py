@@ -1,0 +1,105 @@
+"""Merged-accounting validation: the regression suite for the gap where
+``FederatedResult`` never passed through ``verify_result``-style checks.
+
+A routing bug could double-count a job, drop a region's accounting, or
+report placements that do not match the executed schedules while every
+per-region engine check still passed.  These tests pin that
+:func:`repro.federation.validation.verify_federated_result` catches each
+of those shapes and that ``run_federated_simulation`` validates by
+default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.errors import SimulationError
+from repro.federation import (
+    FederatedRegion,
+    FederatedResult,
+    assert_valid_federated,
+    make_selector,
+    run_federated_simulation,
+    verify_federated_result,
+)
+from repro.workload.job import Job
+from repro.workload.trace import WorkloadTrace
+
+
+@pytest.fixture
+def federated_result() -> FederatedResult:
+    jobs = [Job(job_id=i, arrival=i * 15, length=45, cpus=1) for i in range(5)]
+    workload = WorkloadTrace(jobs, name="validation")
+    regions = [
+        FederatedRegion("low", CarbonIntensityTrace(np.full(96, 80.0), name="low")),
+        FederatedRegion("high", CarbonIntensityTrace(np.full(96, 400.0), name="high")),
+    ]
+    return run_federated_simulation(
+        workload, regions, make_selector("lowest-mean-ci"), "nowait", home="high"
+    )
+
+
+def test_clean_run_validates(federated_result):
+    assert verify_federated_result(federated_result) == []
+    assert_valid_federated(federated_result)
+
+
+def test_placement_count_mismatch_detected(federated_result):
+    federated_result.placements["low"] += 1
+    problems = verify_federated_result(federated_result)
+    assert any("placements" in problem for problem in problems)
+    with pytest.raises(SimulationError):
+        assert_valid_federated(federated_result)
+
+
+def test_dropped_region_accounting_detected(federated_result):
+    name, result = next(iter(federated_result.per_region.items()))
+    assert result.records, "fixture must place jobs in every region"
+    del federated_result.per_region[name]
+    problems = verify_federated_result(federated_result)
+    assert any("no result" in problem for problem in problems)
+
+
+def test_phantom_region_detected(federated_result):
+    name, result = next(iter(federated_result.per_region.items()))
+    federated_result.per_region["phantom"] = result
+    problems = verify_federated_result(federated_result)
+    assert any("unplaced" in problem for problem in problems)
+
+
+def test_migrated_count_mismatch_detected(federated_result):
+    federated_result.migrated_jobs += 1
+    problems = verify_federated_result(federated_result)
+    assert any("migrated" in problem for problem in problems)
+
+
+def test_runner_validates_by_default(monkeypatch):
+    """The simulation path itself rejects a corrupted merge: arm a fault
+    that corrupts the routing bookkeeping and the run must raise."""
+    from repro.federation import simulation as fed_simulation
+
+    jobs = [Job(job_id=i, arrival=0, length=30, cpus=1) for i in range(3)]
+    workload = WorkloadTrace(jobs, name="validate-default")
+    regions = [
+        FederatedRegion("only", CarbonIntensityTrace(np.full(96, 100.0), name="only")),
+    ]
+
+    original = fed_simulation.FederatedResult
+
+    class CorruptedResult(original):
+        @property
+        def total_jobs(self) -> int:  # double-counts every record
+            return 2 * super().total_jobs
+
+    monkeypatch.setattr(fed_simulation, "FederatedResult", CorruptedResult)
+    with pytest.raises(SimulationError):
+        run_federated_simulation(
+            workload, regions, make_selector("home", "only"), "nowait"
+        )
+    # The same corrupted merge sails through when validation is off --
+    # exactly the latent gap the validator closes.
+    run_federated_simulation(
+        workload, regions, make_selector("home", "only"), "nowait", validate=False
+    )

@@ -132,6 +132,7 @@ class TestSIM002IntegerMinutes:
         assert is_minute_name("first_start")
         assert is_minute_name("warmup_minutes")
         assert not is_minute_name("lost_cpu_minutes")
+        assert not is_minute_name("cpu_minutes")
         assert not is_minute_name("lambda_per_minute")
         assert not is_minute_name("carbon_g")
 

@@ -14,6 +14,8 @@ from repro.obs.events import (
     CampaignResumed,
     CandidateWindow,
     Event,
+    FederationCompleted,
+    FederationRouted,
     IntervalAccount,
     JobArrival,
     JobEvict,
@@ -23,6 +25,7 @@ from repro.obs.events import (
     PolicyDecision,
     PoolRespawned,
     RunMeta,
+    ScalingPlanned,
     ServiceClockAdvanced,
     ServiceDrained,
     ServiceJobAdmitted,
@@ -67,6 +70,14 @@ SAMPLES = [
     CampaignCreated(name="sweep-fig8", total=96, distinct=48),
     CampaignResumed(name="sweep-fig8", completed=20, remaining=28),
     CampaignCompleted(name="sweep-fig8", executed=28, failed=0, remaining=0),
+    FederationRouted(selector="greedy-spatial", home="SA-AU", regions=3, jobs=12,
+                     migrated=7, migration_minutes=90),
+    FederationCompleted(selector="greedy-spatial", policy="carbon-time",
+                        regions=3, jobs=12, migrated=7, carbon_kg=4.2,
+                        cost_usd=1.37),
+    ScalingPlanned(speedup="amdahl:0.9", mode="greedy", work=240.0, deadline=720,
+                   peak_cpus=4, cpu_minutes=276.0, carbon_g=31.5,
+                   energy_kwh=0.46),
     ServiceStarted(policy="carbon-time", region="SA-AU", reserved_cpus=4,
                    max_pending=64, horizon=10080),
     ServiceJobAdmitted(time=30, job_id=1, queue="short", cpus=2, length=240),

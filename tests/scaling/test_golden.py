@@ -1,0 +1,73 @@
+"""Golden scaling scenarios: pinned ``ScalingResult.digest()`` values.
+
+Mirrors ``tests/faults/test_golden.py``: three deterministic planning
+runs (greedy linear, greedy Amdahl, fixed baseline) have their digests
+committed in ``golden/digests.json``.  Regenerate intentionally with::
+
+    PYTHONPATH=src python -m tests.scaling.test_golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.scaling import AmdahlSpeedup, MalleableJob, ScalingSpec
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
+
+
+def _carbon() -> CarbonIntensityTrace:
+    day = np.full(24, 200.0)
+    day[9:15] = 35.0
+    return CarbonIntensityTrace(np.tile(day, 3), name="golden-dip")
+
+
+def _job() -> MalleableJob:
+    return MalleableJob(work=400.0, max_cpus=4, arrival=45)
+
+
+#: name -> zero-argument scenario runner (inputs rebuilt per call).
+SCENARIOS = {
+    "greedy-linear": lambda: ScalingSpec.build(_carbon(), _job(), deadline=1440).run(),
+    "greedy-amdahl": lambda: ScalingSpec.build(
+        _carbon(), _job(), deadline=1440, speedup=AmdahlSpeedup(0.85)
+    ).run(),
+    "fixed-two-cpus": lambda: ScalingSpec.build(
+        _carbon(), _job(), deadline=1440, mode=("fixed", 2)
+    ).run(),
+}
+
+
+def compute_digests() -> dict[str, str]:
+    return {name: runner().digest() for name, runner in sorted(SCENARIOS.items())}
+
+
+class TestGoldenScalingScenarios:
+    @pytest.fixture(scope="class")
+    def pinned(self) -> dict[str, str]:
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_fixture_covers_exactly_the_scenarios(self, pinned):
+        assert set(pinned) == set(SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_digest_matches_pin(self, name, pinned):
+        assert SCENARIOS[name]().digest() == pinned[name], (
+            f"golden scaling scenario {name!r} moved; if intentional, "
+            "regenerate with: PYTHONPATH=src python -m tests.scaling.test_golden"
+        )
+
+
+def _regenerate() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_digests(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - fixture regeneration entry
+    _regenerate()

@@ -1,0 +1,131 @@
+"""Optimality properties of the greedy scaling planner.
+
+Two independent oracles over random concave speedup curves:
+
+* on small instances, exhaustive enumeration of every full-slot
+  allocation (:func:`repro.scaling.reference.exhaustive_min_carbon`) --
+  the greedy plan must never exceed the enumerated minimum by more than
+  one cpu-minute of ceil rounding (and usually beats it, because greedy
+  additionally trims its most expensive unit);
+* on any instance, the linear-time exchange-argument certificate
+  (:func:`repro.scaling.reference.verify_greedy_certificate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carbon.trace import CarbonIntensityTrace
+from repro.cluster.energy import DEFAULT_ENERGY
+from repro.errors import SchedulingError
+from repro.scaling import (
+    AmdahlSpeedup,
+    LinearSpeedup,
+    MalleableJob,
+    exhaustive_min_carbon,
+    fixed_allocation_plan,
+    plan_carbon_scaling,
+    verify_greedy_certificate,
+)
+from repro.units import MINUTES_PER_HOUR
+
+
+@st.composite
+def concave_speedups(draw):
+    if draw(st.booleans()):
+        return LinearSpeedup()
+    return AmdahlSpeedup(draw(st.floats(min_value=0.5, max_value=1.0)))
+
+
+@st.composite
+def small_instances(draw):
+    """Instances small enough for exhaustive search: <= 6 slots, <= 4 CPUs."""
+    num_hours = draw(st.integers(min_value=2, max_value=6))
+    hourly = [draw(st.floats(min_value=10.0, max_value=500.0)) for _ in range(num_hours)]
+    carbon = CarbonIntensityTrace(np.array(hourly), name="opt")
+    max_cpus = draw(st.integers(min_value=1, max_value=4))
+    deadline = num_hours * MINUTES_PER_HOUR
+    speedup = draw(concave_speedups())
+    capacity = speedup.rate(max_cpus) * deadline
+    work = float(draw(st.integers(min_value=10, max_value=int(capacity))))
+    job = MalleableJob(work=work, max_cpus=max_cpus, arrival=0)
+    return job, carbon, deadline, speedup
+
+
+def _rounding_slack(carbon: CarbonIntensityTrace, deadline: int) -> float:
+    hours = -(-deadline // MINUTES_PER_HOUR)
+    max_ci = float(np.max(carbon.hourly[:hours]))
+    return max_ci * DEFAULT_ENERGY.active_kw(1) / MINUTES_PER_HOUR
+
+
+class TestGreedyVsExhaustive:
+    @given(instance=small_instances())
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_greedy_never_exceeds_enumerated_minimum(self, instance):
+        job, carbon, deadline, speedup = instance
+        greedy = plan_carbon_scaling(job, carbon, deadline, speedup=speedup)
+        best = exhaustive_min_carbon(job, carbon, deadline, speedup=speedup)
+        slack = _rounding_slack(carbon, deadline) + 1e-9 * max(1.0, best)
+        assert greedy.carbon_g <= best + slack, (
+            f"greedy {greedy.carbon_g} vs exhaustive {best}"
+        )
+
+    @given(instance=small_instances())
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_certificate_is_clean(self, instance):
+        job, carbon, deadline, speedup = instance
+        greedy = plan_carbon_scaling(job, carbon, deadline, speedup=speedup)
+        assert verify_greedy_certificate(greedy, carbon, speedup=speedup) == []
+
+    @given(instance=small_instances())
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_greedy_never_loses_to_any_fixed_allocation(self, instance):
+        job, carbon, deadline, speedup = instance
+        slack = _rounding_slack(carbon, deadline)
+        for cpus in range(1, job.max_cpus + 1):
+            try:
+                fixed = fixed_allocation_plan(job, carbon, cpus, speedup=speedup)
+            except SchedulingError:
+                continue  # this constant allocation runs past the trace
+            if fixed.completion_minute > deadline:
+                continue
+            greedy = plan_carbon_scaling(job, carbon, deadline, speedup=speedup)
+            assert greedy.carbon_g <= fixed.carbon_g + slack + 1e-9 * max(
+                1.0, fixed.carbon_g
+            )
+
+
+class TestCertificateFalsifiability:
+    def test_tampered_plan_fails_the_certificate(self):
+        """Forcing work into the dirtiest slot must violate exchange."""
+        hourly = np.array([50.0, 500.0, 50.0, 50.0])
+        carbon = CarbonIntensityTrace(hourly, name="tamper")
+        job = MalleableJob(work=120.0, max_cpus=2, arrival=0)
+        plan = plan_carbon_scaling(job, carbon, deadline=240)
+        assert verify_greedy_certificate(plan, carbon) == []
+        # Move the whole job into the 500 g/kWh slot at the CPU cap.
+        plan.allocation = [(60, 120, 2)]
+        problems = verify_greedy_certificate(plan, carbon)
+        assert any("exchange violation" in problem for problem in problems)
+
+    def test_infeasible_plans_are_reported(self):
+        carbon = CarbonIntensityTrace(np.full(4, 100.0), name="short")
+        job = MalleableJob(work=180.0, max_cpus=2, arrival=0)
+        plan = plan_carbon_scaling(job, carbon, deadline=240)
+        assert len(plan.allocation) > 1
+        plan.allocation = plan.allocation[:1]
+        assert any(
+            "work-minutes" in problem
+            for problem in verify_greedy_certificate(plan, carbon)
+        )
+
+    def test_infeasible_instances_raise(self):
+        carbon = CarbonIntensityTrace(np.full(2, 100.0), name="tiny")
+        job = MalleableJob(work=500.0, max_cpus=2, arrival=0)
+        with pytest.raises(SchedulingError):
+            plan_carbon_scaling(job, carbon, deadline=120)
+        with pytest.raises(SchedulingError):
+            exhaustive_min_carbon(job, carbon, deadline=120)
